@@ -1,0 +1,133 @@
+package phasenoise
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the c
+// quadrature resolution, the adjoint integration step count, the
+// harmonic-balance collocation size, and the frequency-domain route as an
+// alternative to the Section-9 time-domain route.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floquet"
+	"repro/internal/hb"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func hopfPSS(b *testing.B) (*osc.Hopf, *shooting.PSS, *floquet.Decomposition) {
+	b.Helper()
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := floquet.Analyze(h, pss, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h, pss, dec
+}
+
+// Quadrature ablation: the periodic trapezoid rule converges spectrally, so
+// 256 points should match 4096 to ~machine precision at ~16× less work.
+func BenchmarkAblationQuadrature256(b *testing.B) {
+	h, pss, dec := hopfPSS(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FromDecomposition(h, pss, dec, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationQuadrature4096(b *testing.B) {
+	h, pss, dec := hopfPSS(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FromDecomposition(h, pss, dec, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Adjoint-steps ablation: v1(t) accuracy vs cost of the backward RK4 pass.
+func BenchmarkAblationAdjointSteps1k(b *testing.B) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := floquet.Analyze(h, pss, &floquet.Options{Steps: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAdjointSteps16k(b *testing.B) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := floquet.Analyze(h, pss, &floquet.Options{Steps: 16000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Frequency-domain (footnote 11) vs time-domain (Section 9) route for c on
+// the same oscillator: run each end to end.
+func BenchmarkAblationRouteTimeDomain(b *testing.B) {
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.02}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Characterise(v, []float64{2, 0}, 6.7, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRouteFreqDomain(b *testing.B) {
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.02}
+	pss, err := shooting.Find(v, []float64{2, 0}, 6.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	guess := func(tt float64) []float64 {
+		pss.Orbit.At(math.Mod(tt, pss.T), buf)
+		return append([]float64(nil), buf...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := hb.Solve(v, guess, pss.Omega0(), &hb.Options{N: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sol.C(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// HB collocation-size ablation.
+func BenchmarkAblationHBCollocation64(b *testing.B)  { benchHBN(b, 64) }
+func BenchmarkAblationHBCollocation256(b *testing.B) { benchHBN(b, 256) }
+
+func benchHBN(b *testing.B, n int) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	guess := func(tt float64) []float64 {
+		return []float64{math.Cos(2 * math.Pi * tt), math.Sin(2 * math.Pi * tt)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hb.Solve(h, guess, 2*math.Pi, &hb.Options{N: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command pnbandpass reproduces the paper's bandpass-oscillator experiments
+// (Figures 2 and 3) on the Tow-Thomas-equivalent RLC + comparator model:
+//
+//	pnbandpass -exp fig2a   # computed PSD, 4 harmonics (CSV: f, Sss, dB)
+//	pnbandpass -exp fig2b   # Monte-Carlo "spectrum analyzer" vs theory
+//	pnbandpass -exp fig3    # L(f_m) via Eq. 27 and Eq. 28 (CSV)
+//	pnbandpass -exp summary # c, corner frequency, total power
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnbandpass: ")
+	exp := flag.String("exp", "summary", "experiment: fig2a, fig2b, fig2b-display, fig3, summary")
+	paths := flag.Int("paths", 24, "Monte-Carlo paths for fig2b")
+	seed := flag.Int64("seed", 1, "Monte-Carlo seed")
+	flag.Parse()
+
+	res, err := experiments.CharacteriseBandpass()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *exp {
+	case "summary":
+		fmt.Print(res.Report())
+		sp := res.OutputSpectrum(0, 4)
+		fmt.Printf("Total carrier power     = %.6e V² (Eq. 25)\n", sp.TotalPower())
+		fmt.Printf("Paper reference:   c = 7.56e-08 s²·Hz, f0 = 6.66 kHz, fc = 10.56 Hz\n")
+	case "fig2a":
+		fmt.Println("f_hz,sss_v2_per_hz,db")
+		for _, p := range experiments.Fig2a(res, 400) {
+			fmt.Printf("%.4f,%.8e,%.3f\n", p.F, p.PSD, p.DB)
+		}
+	case "fig2b":
+		r, err := experiments.Fig2b(res, *paths, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Lorentzian line at first harmonic (MC %d paths)\n", *paths)
+		fmt.Printf("# fit:    center=%.2f Hz  half-width=%.3f Hz  peak=%.4e\n", r.FitCenter, r.FitHalfW, r.FitPeak)
+		fmt.Printf("# theory: center=%.2f Hz  half-width=%.3f Hz  peak=%.4e\n", res.F0(), r.TheoryHalfW, r.TheoryPeak)
+		fmt.Println("f_hz,psd_mc")
+		f0 := res.F0()
+		for i, f := range r.Freqs {
+			if f > 0.7*f0 && f < 1.3*f0 {
+				fmt.Printf("%.4f,%.8e\n", f, r.PSD[i])
+			}
+		}
+	case "fig2b-display":
+		// Emulated spectrum-analyzer screen (paper Fig 2(b) was measured in
+		// dBm with a finite RBW): 60 Hz RBW sweep across four harmonics.
+		sp := res.OutputSpectrum(0, 4)
+		f0 := res.F0()
+		fmt.Println("f_hz,display_dbm")
+		for _, p := range sp.AnalyzerTrace(0.2*f0, 4.6*f0, 60, 50, 600) {
+			fmt.Printf("%.2f,%.3f\n", p.F, p.DBmF)
+		}
+	case "fig3":
+		fc := res.CornerFreq()
+		fmt.Printf("# corner frequency fc = pi*f0^2*c = %.4f Hz (paper: 10.56 Hz)\n", fc)
+		fmt.Println("fm_hz,L_eq27_dbc,L_eq28_dbc")
+		for _, p := range experiments.Fig3(res, 20) {
+			fmt.Printf("%.4f,%.3f,%.3f\n", p.Fm, p.Lorentzian, p.InvSquare)
+		}
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

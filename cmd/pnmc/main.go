@@ -1,0 +1,122 @@
+// Command pnmc is the Monte-Carlo validation driver: it simulates the full
+// nonlinear oscillator SDE as an ensemble, then checks the three pillars of
+// the theory against the Floquet-computed c —
+//
+//  1. Var[α(t)] = c·t with asymptotically Gaussian α (Section 6), measured
+//     through the exact phase SDE (Eq. 9);
+//  2. the Lorentzian line shape at the first harmonic (Section 7), via an
+//     ensemble-averaged periodogram and a reciprocal-quadratic line fit;
+//  3. threshold-crossing jitter growth Var[t_k] = c·k·T (Section 8).
+//
+// Usage:
+//
+//	pnmc [-osc hopf|vanderpol] [-paths 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynsys"
+	"repro/internal/experiments"
+	"repro/internal/fourier"
+	"repro/internal/osc"
+	"repro/internal/sde"
+	"repro/internal/stochproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnmc: ")
+	oscName := flag.String("osc", "hopf", "oscillator: hopf, vanderpol")
+	paths := flag.Int("paths", 200, "ensemble size")
+	seed := flag.Int64("seed", 1, "master seed")
+	flag.Parse()
+
+	var (
+		sys dynsys.System
+		res *core.Result
+		err error
+	)
+	switch *oscName {
+	case "hopf":
+		h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+		sys = h
+		res, err = core.Characterise(h, []float64{1, 0}, 1, nil)
+	case "vanderpol":
+		v := &osc.VanDerPol{Mu: 1, Sigma: 0.01}
+		sys = v
+		res, err = core.Characterise(v, []float64{2, 0}, 6.7, nil)
+	default:
+		log.Fatalf("unknown oscillator %q", *oscName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("theory: f0 = %.6e Hz, c = %.6e s²·Hz\n\n", res.F0(), res.C)
+
+	// --- 1. Phase SDE: variance growth + Gaussianity. --------------------
+	phase := res.PhaseSDE(sys)
+	var at20, at40 []float64
+	for p := 0; p < *paths*4; p++ {
+		rng := rand.New(rand.NewSource(*seed + int64(p)))
+		path := sde.EulerMaruyama(phase, []float64{0}, 0, res.T()/50, 40*50, 50, rng)
+		at20 = append(at20, path.X[20][0])
+		at40 = append(at40, path.X[40][0])
+	}
+	m20 := stochproc.SampleMoments(at20)
+	m40 := stochproc.SampleMoments(at40)
+	fmt.Println("Section 6 (phase SDE, Eq. 9):")
+	fmt.Printf("  Var[α(20T)] = %.4e   theory c·20T = %.4e\n", m20.Variance, res.C*20*res.T())
+	fmt.Printf("  Var[α(40T)] = %.4e   theory c·40T = %.4e\n", m40.Variance, res.C*40*res.T())
+	fmt.Printf("  α(40T) Gaussian? %v (skew %+.3f, excess kurtosis %+.3f)\n\n",
+		m40.IsGaussianish(4), m40.Skewness, m40.ExcessKurtosis)
+
+	// --- 2. Lorentzian line. ---------------------------------------------
+	full := sde.System{
+		Dim: sys.Dim(), NumNoise: sys.NumNoise(),
+		Drift: func(t float64, x, dst []float64) { sys.Eval(x, dst) },
+		Diff:  func(t float64, x []float64, dst []float64) { sys.Noise(x, dst) },
+	}
+	sp := res.OutputSpectrum(0, 2)
+	hw := sp.LorentzianHalfWidth(1)
+	// Record long enough to resolve the line: ≥ 30 coherence times.
+	record := 30.0 / (math.Pi * hw)
+	dt := res.T() / 200
+	steps := int(record / dt)
+	stride := 4
+	cfg := sde.EnsembleConfig{Paths: *paths / 4, Steps: steps, Stride: stride, Seed: *seed, Dt: dt}
+	ens := sde.Ensemble(full, res.PSS.X0, cfg)
+	sigs := make([][]float64, len(ens))
+	for i, p := range ens {
+		s := p.Component(0)
+		n := 1
+		for n*2 <= len(s) {
+			n *= 2
+		}
+		sigs[i] = s[:n]
+	}
+	fs := 1 / (dt * float64(stride))
+	freqs, psd := fourier.EnsemblePSD(sigs, fs, fourier.Rectangular)
+	fit, err := stochproc.FitLorentzian(freqs, psd, 0.5*res.F0(), 1.5*res.F0())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Section 7 (Lorentzian line, ensemble periodogram):")
+	fmt.Printf("  centre     %.6e Hz   (theory %.6e)\n", fit.Center, res.F0())
+	fmt.Printf("  half-width %.4e Hz   (theory π·f0²·c = %.4e)\n", fit.HalfWidth, hw)
+	fmt.Printf("  peak       %.4e      (theory %.4e)\n\n", fit.Peak, sp.SSB(res.F0()))
+
+	// --- 3. Crossing jitter. ---------------------------------------------
+	jr, err := experiments.JitterExperiment(full, res, 0, *paths, 30, *seed+7777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Section 8 (threshold-crossing jitter):")
+	fmt.Printf("  Var[t_k] slope = %.4e   theory c = %.4e   (rel. err %.1f%%)\n",
+		jr.MeasuredC, jr.TheoryC, 100*jr.RelativeErr)
+}

@@ -1,0 +1,69 @@
+// Command pnring reproduces the paper's ring-oscillator experiments
+// (Figure 4) on the three-stage bipolar ECL ring model:
+//
+//	pnring -exp fig4a   # the (Rc, rb, IEE) → (f0, c) table
+//	pnring -exp fig4b   # (2π·f0)²·c versus IEE series
+//	pnring -exp budget  # per-source noise budget at the nominal point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+// paperFig4a is the table the paper reports (c in units of 1e-15 s²·Hz),
+// printed alongside our values for comparison.
+var paperFig4a = []struct{ f0MHz, c1e15 float64 }{
+	{167.7, 0.269},
+	{74, 0.149},
+	{94.6, 0.686},
+	{169.5, 0.182},
+	{169.7, 0.151},
+	{167.7, 0.142},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnring: ")
+	exp := flag.String("exp", "fig4a", "experiment: fig4a, fig4b, budget")
+	flag.Parse()
+
+	switch *exp {
+	case "fig4a":
+		rows, err := experiments.Fig4a()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Rc_ohm,rb_ohm,IEE_uA,f0_MHz,c_s2hz,paper_f0_MHz,paper_c_s2hz")
+		for i, r := range rows {
+			fmt.Printf("%.0f,%.0f,%.0f,%.2f,%.3e,%.1f,%.3e\n",
+				r.Rc, r.Rb, r.IEE*1e6, r.F0/1e6, r.C,
+				paperFig4a[i].f0MHz, paperFig4a[i].c1e15*1e-15)
+		}
+	case "fig4b":
+		rows, err := experiments.Fig4a()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("IEE_uA,fom_(2pi_f0)^2_c")
+		for _, r := range experiments.Fig4b(rows) {
+			fmt.Printf("%.0f,%.4g\n", r.IEE*1e6, r.FOM)
+		}
+	case "budget":
+		row, err := experiments.CharacteriseRing(500, 58, 331e-6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("nominal ring: f0 = %.2f MHz, c = %.3e s²·Hz\n", row.F0/1e6, row.C)
+		res, err := experiments.CharacteriseRingFull(500, 58, 331e-6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

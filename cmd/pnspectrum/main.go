@@ -1,0 +1,95 @@
+// Command pnspectrum dumps the closed-form Lorentzian output spectrum
+// (Eq. 24) and single-sideband phase noise (Eqs. 26–28) of a named
+// oscillator as CSV, for plotting.
+//
+//	pnspectrum -osc bandpass -what psd  -harmonics 4   # f, Sss(f)
+//	pnspectrum -osc ring     -what lfm                 # fm, L(fm) both ways
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnspectrum: ")
+	oscName := flag.String("osc", "bandpass", "oscillator: hopf, vanderpol, bandpass, ring, negres, colpitts")
+	what := flag.String("what", "psd", "output: psd (Sss over harmonics) or lfm (L(f_m))")
+	harmonics := flag.Int("harmonics", 4, "number of harmonics")
+	points := flag.Int("points", 200, "points per harmonic / per decade")
+	flag.Parse()
+
+	res, err := characterise(*oscName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := res.OutputSpectrum(0, *harmonics)
+	f0 := res.F0()
+
+	switch *what {
+	case "psd":
+		fmt.Printf("# f0=%.6e Hz c=%.6e s2Hz corner=%.6e Hz\n", f0, res.C, res.CornerFreq())
+		fmt.Println("f_hz,sss")
+		fmax := (float64(*harmonics) + 0.6) * f0
+		n := *harmonics * *points
+		for k := 0; k <= n; k++ {
+			f := fmax * float64(k) / float64(n)
+			fmt.Printf("%.6e,%.8e\n", f, sp.SSB(f))
+		}
+	case "lfm":
+		fmt.Printf("# corner=%.6e Hz\n", res.CornerFreq())
+		fmt.Println("fm_hz,L_lorentzian_dbc,L_invsquare_dbc")
+		lo := res.CornerFreq() / 100
+		hi := f0 / 3
+		decades := math.Log10(hi / lo)
+		n := int(decades * float64(*points))
+		for k := 0; k <= n; k++ {
+			fm := lo * math.Pow(hi/lo, float64(k)/float64(n))
+			fmt.Printf("%.6e,%.3f,%.3f\n", fm, sp.LdBcLorentzian(fm), sp.LdBcInvSquare(fm))
+		}
+	default:
+		log.Fatalf("unknown output %q", *what)
+	}
+}
+
+func characterise(name string) (*core.Result, error) {
+	switch name {
+	case "hopf":
+		h := &osc.Hopf{Lambda: 1e6, Omega: 2 * math.Pi * 1e6, Sigma: 0.5}
+		return core.Characterise(h, []float64{1, 0}, h.Period(), nil)
+	case "vanderpol":
+		return core.Characterise(&osc.VanDerPol{Mu: 1, Sigma: 0.01}, []float64{2, 0}, 6.7, nil)
+	case "bandpass":
+		return core.Characterise(osc.NewBandpassPaper(), []float64{0.1, 0}, 1/6660.0, nil)
+	case "negres":
+		v := osc.NewNegResLC(1e8, 5e-9, 8, 3, 0.2, 300, 2)
+		return core.Characterise(v, []float64{0.01, 0}, 1e-8, nil)
+	case "colpitts":
+		c := osc.NewColpittsPaperScale()
+		x0 := c.BiasPoint()
+		x0[1] += 0.05
+		T, xc, err := shooting.EstimatePeriod(c, x0, 300.0/c.F0Linear())
+		if err != nil {
+			return nil, err
+		}
+		return core.Characterise(c, xc, T, nil)
+	case "ring":
+		r := osc.NewECLRingPaper()
+		T, x0, err := shooting.EstimatePeriod(r, r.InitialState(), 300e-9)
+		if err != nil {
+			return nil, err
+		}
+		return core.Characterise(r, x0, T, &core.Options{
+			Shooting: &shooting.Options{StepsPerPeriod: 4000},
+		})
+	default:
+		return nil, fmt.Errorf("unknown oscillator %q", name)
+	}
+}

@@ -1,0 +1,85 @@
+// Injection: the deterministic side of the theory (paper Section 5).
+//
+// The exact nonlinear phase equation (Eq. 9) is solved for known,
+// deterministic perturbations b(t) and compared against brute-force
+// simulation of the perturbed oscillator:
+//
+//  1. Theorem 5.1 verification — the perturbed solution z(t) equals
+//     xs(t+α(t)) + y(t) with α from Eq. 9 and the orbital deviation y from
+//     the full Floquet basis (Eq. 12), to second order in ‖b‖;
+//  2. resonant injection — a tone at the oscillation frequency produces a
+//     steady phase drift (frequency pulling), while an off-resonance tone
+//     only causes bounded phase beating.
+//
+// Run with: go run ./examples/injection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	phasenoise "repro"
+	"repro/internal/floquet"
+	"repro/internal/linalg"
+	"repro/internal/osc"
+)
+
+func main() {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 1} // B = identity
+	res, err := phasenoise.Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := floquet.AnalyzeFull(h, res.PSS, 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. Theorem 5.1: z(t) = xs(t+α(t)) + y(t) + O(‖b‖²). -----------
+	eps := 1e-3
+	bfun := func(t float64) []float64 {
+		return []float64{eps * math.Cos(3*t), eps * math.Sin(5*t)}
+	}
+	t1 := 4 * res.T()
+	nsteps := 8000
+	z := res.PerturbedSolution(h, bfun, t1, nsteps)
+	alpha := res.SolvePhaseODE(h, bfun, t1, nsteps)
+
+	fmt.Println("Theorem 5.1: ‖z(t) − (xs(t+α)+y)‖ vs ‖z(t) − xs(t)‖ (naive)")
+	zb := make([]float64, 2)
+	xb := make([]float64, 2)
+	nb := make([]float64, 2)
+	for _, frac := range []float64{1, 2, 4} {
+		tt := frac * res.T()
+		k := int(frac / 4 * float64(nsteps))
+		z.At(tt, zb)
+		res.PhaseShiftedOrbit(tt, alpha[k], xb)
+		y := full.OrbitalDeviation(h, res.PSS, bfun, tt, 4000)
+		recon := linalg.AddVec(xb, y)
+		res.PhaseShiftedOrbit(tt, 0, nb) // unperturbed xs(t)
+		fmt.Printf("  t = %gT:  decomposition %.3e   naive %.3e   (ε = %g)\n",
+			frac, linalg.Norm2(linalg.SubVec(zb, recon)),
+			linalg.Norm2(linalg.SubVec(zb, nb)), eps)
+	}
+
+	// --- 2. Resonant vs off-resonant injection. --------------------------
+	hy := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 1, YOnly: true}
+	resy, err := phasenoise.Characterise(hy, []float64{1, 0}, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj := func(fInj float64) float64 {
+		b := func(t float64) []float64 {
+			return []float64{1e-4 * math.Cos(2*math.Pi*fInj*t)}
+		}
+		a := resy.SolvePhaseODE(hy, b, 20*resy.T(), 20000)
+		return a[len(a)-1] / (20 * resy.T())
+	}
+	fmt.Println("\nInjection at frequency f → mean phase drift dα/dt:")
+	for _, f := range []float64{1.0, 1.5, 2.5} {
+		fmt.Printf("  f = %.1f·f0:  drift %.3e s/s\n", f, inj(f))
+	}
+	fmt.Println("only the resonant tone produces a secular drift (frequency pulling);")
+	fmt.Println("off-resonance the phase merely beats and stays bounded.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: characterise the phase noise of an oscillator in ~40 lines.
+//
+// The model is the Hopf normal form — the simplest oscillator with an
+// exactly known answer (c = σ²/ω²) — so you can verify the pipeline's
+// output against the closed form printed at the end.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	phasenoise "repro"
+	"repro/internal/osc"
+)
+
+func main() {
+	// A 1-MHz oscillator with weak white noise on both state equations.
+	oscillator := &osc.Hopf{
+		Lambda: 1e6,               // radial relaxation rate (1/s)
+		Omega:  2 * math.Pi * 1e6, // 1 MHz
+		Sigma:  0.5,               // noise intensity
+	}
+
+	// One call: shooting → Floquet → c and all figures of merit.
+	res, err := phasenoise.Characterise(oscillator, []float64{1, 0}, 1e-6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	// The Lorentzian output spectrum and single-sideband phase noise.
+	sp := res.OutputSpectrum(0, 4)
+	fmt.Printf("\nSingle-sideband phase noise:\n")
+	for _, fm := range []float64{1e2, 1e3, 1e4, 1e5} {
+		fmt.Printf("  L(%8.0f Hz) = %7.2f dBc/Hz\n", fm, sp.LdBcLorentzian(fm))
+	}
+
+	// Ground truth for this model.
+	fmt.Printf("\nclosed-form c = σ²/ω² = %.6e s²·Hz (computed %.6e)\n",
+		oscillator.ExactC(), res.C)
+}

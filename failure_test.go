@@ -1,0 +1,146 @@
+package phasenoise
+
+// Failure-injection tests: broken or adversarial models must produce
+// descriptive errors, never panics, wrong-but-plausible numbers, or hangs.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/sde"
+)
+
+// nanField becomes NaN once the state leaves a disc — emulating a device
+// model evaluated outside its validity range.
+type nanField struct{ osc.Hopf }
+
+func (m *nanField) Eval(x, dst []float64) {
+	m.Hopf.Eval(x, dst)
+	if x[0]*x[0]+x[1]*x[1] > 4 {
+		dst[0] = math.NaN()
+	}
+}
+
+func TestNaNVectorFieldFailsCleanly(t *testing.T) {
+	m := &nanField{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
+	// Start outside the validity disc: the integrator must bail, not hang.
+	_, err := Characterise(m, []float64{3, 0}, 1, nil)
+	if err == nil {
+		t.Fatal("expected failure for NaN vector field")
+	}
+}
+
+// wrongJacobian returns a Jacobian unrelated to the field: the monodromy is
+// garbage, so Floquet analysis must refuse (no unit multiplier) rather than
+// deliver a bogus c.
+type wrongJacobian struct{ osc.Hopf }
+
+func (m *wrongJacobian) Jacobian(x []float64, dst []float64) {
+	dst[0], dst[1], dst[2], dst[3] = -7, 0, 0, -7
+}
+
+func TestWrongJacobianRefused(t *testing.T) {
+	m := &wrongJacobian{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
+	_, err := Characterise(m, []float64{1, 0}, 1, nil)
+	if err == nil {
+		t.Fatal("expected failure for inconsistent Jacobian")
+	}
+	if !strings.Contains(err.Error(), "multiplier") && !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	// And the model checker pinpoints the cause.
+	issues := VerifyModel(m, []float64{1, 0}, 1)
+	found := false
+	for _, i := range issues {
+		if i.Check == "jacobian" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("VerifyModel missed the Jacobian bug: %v", issues)
+	}
+}
+
+// decayOsc spirals into a fixed point: there is no limit cycle at all.
+type decayOsc struct{}
+
+func (d *decayOsc) Dim() int { return 2 }
+func (d *decayOsc) Eval(x, dst []float64) {
+	dst[0] = -0.1*x[0] - x[1]
+	dst[1] = x[0] - 0.1*x[1]
+}
+func (d *decayOsc) Jacobian(x []float64, dst []float64) {
+	dst[0], dst[1], dst[2], dst[3] = -0.1, -1, 1, -0.1
+}
+func (d *decayOsc) NumNoise() int                    { return 1 }
+func (d *decayOsc) Noise(x []float64, dst []float64) { dst[0], dst[1] = 0.1, 0 }
+func (d *decayOsc) NoiseLabels() []string            { return []string{"s"} }
+
+func TestDecayingSystemRefused(t *testing.T) {
+	// Characterise (with a period guess) and CharacteriseAuto must both
+	// refuse a system that merely rings down.
+	if _, err := Characterise(&decayOsc{}, []float64{1, 0}, 2*math.Pi, nil); err == nil {
+		t.Fatal("spiral sink accepted by Characterise")
+	}
+	if _, err := CharacteriseAuto(&decayOsc{}, []float64{1, 0}, 100, nil); err == nil {
+		t.Fatal("spiral sink accepted by CharacteriseAuto")
+	}
+}
+
+// burstNoise returns enormous noise entries — the characterisation itself
+// is linear in B so it must still complete, with a proportionally huge c
+// (garbage in, proportional garbage out, no overflow).
+type burstNoise struct{ osc.Hopf }
+
+func (m *burstNoise) Noise(x []float64, dst []float64) {
+	dst[0], dst[1] = 1e12, 0
+	dst[2], dst[3] = 0, 1e12
+}
+
+func TestHugeNoiseStillFinite(t *testing.T) {
+	m := &burstNoise{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 1}}
+	res, err := Characterise(m, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e24 / (2 * math.Pi * 2 * math.Pi) // σ²/ω² with σ = 1e12
+	if math.IsInf(res.C, 0) || math.IsNaN(res.C) {
+		t.Fatal("c overflowed")
+	}
+	if math.Abs(res.C-want) > 1e-5*want {
+		t.Fatalf("c = %g, want %g", res.C, want)
+	}
+}
+
+func TestZeroPathEnsemble(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	sys := sde.System{
+		Dim: 2, NumNoise: 2,
+		Drift: func(tt float64, x, dst []float64) { h.Eval(x, dst) },
+		Diff:  func(tt float64, x []float64, dst []float64) { h.Noise(x, dst) },
+	}
+	paths := sde.Ensemble(sys, []float64{1, 0}, sde.EnsembleConfig{Paths: 0, Steps: 10, Dt: 0.01})
+	if len(paths) != 0 {
+		t.Fatalf("%d paths from empty request", len(paths))
+	}
+}
+
+// stiffTrap has an enormous time-scale spread; the characterisation should
+// either succeed or fail with an explicit error — never silently return a
+// non-converged answer.
+func TestExtremeStiffnessHandledOrRefused(t *testing.T) {
+	f := &osc.FitzHughNagumo{Eps: 0.002, A: 0, SigmaV: 1e-3, SigmaW: 1e-3}
+	res, err := CharacteriseAuto(f, []float64{1, 0}, 60, nil)
+	if err != nil {
+		t.Logf("refused (acceptable): %v", err)
+		return
+	}
+	if res.PSS.Residual > 1e-6 {
+		t.Fatalf("accepted non-converged orbit: residual %g", res.PSS.Residual)
+	}
+	if res.C <= 0 || math.IsNaN(res.C) {
+		t.Fatalf("bad c: %g", res.C)
+	}
+}

@@ -1,0 +1,181 @@
+// Package baseline implements the pre-Demir analyses that the paper's
+// Sections 3–4 argue against, so their failure modes can be demonstrated
+// quantitatively:
+//
+//   - the Leeson-style LTI single-sideband phase-noise model, which predicts
+//     a 1/f² spectrum that diverges at the carrier (infinite noise power);
+//   - linear time-varying (LTV) covariance propagation about the periodic
+//     orbit, whose variance grows without bound along the orbit tangent —
+//     the inconsistency of linearisation for autonomous oscillators
+//     (paper Section 4, Eq. 6);
+//   - forward integration of the adjoint equation, the numerically unstable
+//     direction that Section 9 (step 5) warns about.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/linalg"
+	"repro/internal/ode"
+	"repro/internal/shooting"
+)
+
+// LeesonLdBc evaluates the classical Leeson LTI phase-noise model in dBc/Hz:
+//
+//	L(f_m) = 10·log10( (2FkT/Psig)·(1 + (f0/(2Q·f_m))²) )
+//
+// F is the amplifier noise figure (linear), psig the carrier power (W into
+// the tank resistance), q the loaded Q. As f_m → 0 this diverges like 1/f_m²
+// — the non-physical infinite carrier power the Lorentzian theory removes.
+func LeesonLdBc(fm, f0, q, noiseFigure, psig, tempK float64) float64 {
+	kT := dynsys.BoltzmannK * tempK
+	ratio := f0 / (2 * q * fm)
+	return 10 * math.Log10(2*noiseFigure*kT/psig*(1+ratio*ratio))
+}
+
+// InvSquareLdBc is the bare 1/f² LTI/LTV prediction with a given diffusion
+// constant: L(f_m) = 10·log10((f0/f_m)²·c), identical to the paper's Eq. 28.
+// It diverges as f_m → 0.
+func InvSquareLdBc(fm, f0, c float64) float64 {
+	return 10 * math.Log10(f0*f0/(fm*fm)*c)
+}
+
+// LTVGrowth is the result of propagating the linearised covariance.
+type LTVGrowth struct {
+	Times      []float64
+	TangentVar []float64 // variance along the orbit tangent u1(t) (normalised direction)
+	TransVar   []float64 // variance transverse to the tangent
+	TotalVar   []float64 // trace of the covariance
+}
+
+// LTVCovariance integrates the linear time-varying covariance equation
+//
+//	Ṗ = A(t)P + PAᵀ(t) + B(t)Bᵀ(t),   P(0) = 0,
+//
+// for the linearisation of sys about the periodic orbit pss over nPeriods
+// periods, sampling once per period. This is the "consistent-looking"
+// forced-system analysis of paper Section 4; its tangent-direction variance
+// grows linearly without bound, invalidating the small-deviation assumption
+// that justified linearising in the first place.
+func LTVCovariance(sys dynsys.System, pss *shooting.PSS, nPeriods, stepsPerPeriod int) *LTVGrowth {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	jm := make([]float64, n*n)
+	bm := make([]float64, n*p)
+	xbuf := make([]float64, n)
+	// State: P packed row-major (n² entries).
+	rhs := func(t float64, pp, dst []float64) {
+		tm := math.Mod(t, pss.T)
+		pss.Orbit.At(tm, xbuf)
+		sys.Jacobian(xbuf, jm)
+		sys.Noise(xbuf, bm)
+		// dst = A P + P Aᵀ + B Bᵀ
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += jm[i*n+k]*pp[k*n+j] + pp[i*n+k]*jm[j*n+k]
+				}
+				for k := 0; k < p; k++ {
+					s += bm[i*p+k] * bm[j*p+k]
+				}
+				dst[i*n+j] = s
+			}
+		}
+	}
+	out := &LTVGrowth{}
+	pp := make([]float64, n*n)
+	fbuf := make([]float64, n)
+	record := func(t float64) {
+		tm := math.Mod(t, pss.T)
+		pss.Orbit.At(tm, xbuf)
+		sys.Eval(xbuf, fbuf)
+		u := linalg.CloneVec(fbuf)
+		linalg.Normalize(u)
+		// Tangent variance uᵀPu; total = trace; transverse = total − tangent.
+		tangent := 0.0
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += pp[i*n+i]
+			for j := 0; j < n; j++ {
+				tangent += u[i] * pp[i*n+j] * u[j]
+			}
+		}
+		out.Times = append(out.Times, t)
+		out.TangentVar = append(out.TangentVar, tangent)
+		out.TransVar = append(out.TransVar, total-tangent)
+		out.TotalVar = append(out.TotalVar, total)
+	}
+	record(0)
+	for k := 0; k < nPeriods; k++ {
+		t0 := float64(k) * pss.T
+		pp = ode.RK4(rhs, t0, t0+pss.T, pp, stepsPerPeriod)
+		record(t0 + pss.T)
+	}
+	return out
+}
+
+// TangentSlope fits Var_tangent(t) ≈ a + b·t by least squares and returns
+// the growth rate b; a strictly positive slope is the Section-4 signature of
+// unbounded linearised deviation.
+func (g *LTVGrowth) TangentSlope() float64 {
+	return fitSlope(g.Times, g.TangentVar)
+}
+
+// TransverseSaturation returns the ratio of the last transverse variance to
+// the maximum observed one; values near 1 mean the transverse modes have
+// saturated (bounded orbital deviation, paper Remark 5.2).
+func (g *LTVGrowth) TransverseSaturation() float64 {
+	if len(g.TransVar) == 0 {
+		return 0
+	}
+	maxv := 0.0
+	for _, v := range g.TransVar {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if maxv == 0 {
+		return 0
+	}
+	return g.TransVar[len(g.TransVar)-1] / maxv
+}
+
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// ForwardAdjointGrowth perturbs v1(0) by eps and integrates the adjoint
+// equation FORWARD over nPeriods periods, returning the factor by which the
+// perturbation grows. For an orbitally stable cycle this grows like
+// exp(−μ₂·t) (μ₂ < 0), demonstrating why Section 9 step 5 integrates
+// backward instead.
+func ForwardAdjointGrowth(sys dynsys.System, pss *shooting.PSS, v10 []float64, eps float64, nPeriods, stepsPerPeriod int) float64 {
+	f := func(t float64, x, dst []float64) { sys.Eval(x, dst) }
+	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
+	// Extended orbit over nPeriods periods.
+	rec := &ode.Trajectory{}
+	tEnd := float64(nPeriods) * pss.T
+	ode.Variational(f, jac, 0, tEnd, pss.X0, nPeriods*stepsPerPeriod, rec)
+	y0 := linalg.CloneVec(v10)
+	y0[0] += eps
+	yf := ode.AdjointForward(jac, rec, 0, tEnd, y0, nPeriods*stepsPerPeriod)
+	// The unperturbed adjoint solution returns to v1(0) after whole periods.
+	return linalg.Norm2(linalg.SubVec(yf, v10)) / eps
+}

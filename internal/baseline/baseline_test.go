@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func TestLeesonDivergesAtCarrier(t *testing.T) {
+	// The LTI model must blow up as fm → 0 — the defect the paper fixes.
+	l1 := LeesonLdBc(1, 1e6, 10, 2, 1e-3, 300)
+	l2 := LeesonLdBc(0.01, 1e6, 10, 2, 1e-3, 300)
+	if l2-l1 < 30 {
+		t.Fatalf("Leeson should rise ~40 dB per 100× toward carrier: %g → %g", l1, l2)
+	}
+	// Far above the corner it flattens to the broadband floor.
+	lf1 := LeesonLdBc(1e5, 1e6, 10, 2, 1e-3, 300)
+	lf2 := LeesonLdBc(3e5, 1e6, 10, 2, 1e-3, 300)
+	if math.Abs(lf1-lf2) > 3 {
+		t.Fatalf("floor should be flat: %g vs %g", lf1, lf2)
+	}
+}
+
+func TestLeesonSlopeIs20dBPerDecade(t *testing.T) {
+	// In the 1/f² region, one decade of offset = −20 dB.
+	f0, q := 1e6, 5.0
+	l1 := LeesonLdBc(100, f0, q, 1, 1e-3, 300)
+	l2 := LeesonLdBc(1000, f0, q, 1, 1e-3, 300)
+	if math.Abs((l1-l2)-20) > 0.5 {
+		t.Fatalf("slope %g dB/decade, want 20", l1-l2)
+	}
+}
+
+func TestInvSquareMatchesPaperEq28(t *testing.T) {
+	// Same formula as core's Eq. 28 evaluation.
+	got := InvSquareLdBc(1000, 6660, 7.56e-8)
+	want := 10 * math.Log10(6660.0*6660.0/1e6*7.56e-8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestLTVCovarianceTangentGrowsTransverseSaturates(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.02}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := LTVCovariance(h, pss, 30, 400)
+	if len(g.Times) != 31 {
+		t.Fatalf("%d samples", len(g.Times))
+	}
+	// Tangent variance grows linearly: compare growth over the second half
+	// against the first half — should be comparable (linear, not saturating).
+	firstHalf := g.TangentVar[15] - g.TangentVar[0]
+	secondHalf := g.TangentVar[30] - g.TangentVar[15]
+	if secondHalf < 0.7*firstHalf {
+		t.Fatalf("tangent variance saturating: %g then %g", firstHalf, secondHalf)
+	}
+	slope := g.TangentSlope()
+	if slope <= 0 {
+		t.Fatalf("tangent slope %g, want > 0", slope)
+	}
+	// For the Hopf ground truth the phase-direction variance grows like
+	// c·t·‖u1‖² with c = σ²/ω² and ‖u1‖ = ω ⇒ slope ≈ σ².
+	want := h.Sigma * h.Sigma
+	if math.Abs(slope-want) > 0.15*want {
+		t.Fatalf("tangent slope %g, want ≈ %g", slope, want)
+	}
+	// Transverse variance saturates near its max.
+	if sat := g.TransverseSaturation(); sat < 0.5 {
+		t.Fatalf("transverse saturation %g", sat)
+	}
+	// And stays bounded ≈ σ²/(2·2λ)·... — at least, far below tangent growth.
+	if g.TransVar[30] > g.TangentVar[30]/3 {
+		t.Fatalf("transverse %g not ≪ tangent %g", g.TransVar[30], g.TangentVar[30])
+	}
+}
+
+func TestLTVCovarianceMatchesPhaseDiffusion(t *testing.T) {
+	// The LTV tangent growth rate equals c·‖u1‖² for the isotropic Hopf —
+	// i.e. the LTV analysis detects the same diffusion the nonlinear theory
+	// quantifies, it just cannot conclude anything valid from it.
+	h := &osc.Hopf{Lambda: 3, Omega: 4, Sigma: 0.01}
+	pss, err := shooting.Find(h, []float64{1, 0}, 2*math.Pi/4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := LTVCovariance(h, pss, 40, 300)
+	slope := g.TangentSlope()
+	cExact := h.ExactC()
+	uNormSq := h.Omega * h.Omega
+	if math.Abs(slope-cExact*uNormSq) > 0.1*cExact*uNormSq {
+		t.Fatalf("slope %g, want %g", slope, cExact*uNormSq)
+	}
+}
+
+func TestForwardAdjointGrowthExplodes(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1(0) for the Hopf cycle at x0=(cos θ0, sin θ0).
+	th0 := math.Atan2(pss.X0[1], pss.X0[0])
+	v10 := []float64{-math.Sin(th0) / h.Omega, math.Cos(th0) / h.Omega}
+	growth := ForwardAdjointGrowth(h, pss, v10, 1e-9, 4, 2000)
+	// Expected ≈ exp(2λ·4T) = exp(16π/ω·λ)… just require severe growth.
+	if growth < 1e3 {
+		t.Fatalf("forward adjoint growth %g, want exponential blow-up", growth)
+	}
+	// More periods ⇒ much more growth (exponential, not algebraic).
+	growth6 := ForwardAdjointGrowth(h, pss, v10, 1e-9, 6, 2000)
+	if growth6 < 10*growth {
+		t.Fatalf("growth not exponential: %g after 4T, %g after 6T", growth, growth6)
+	}
+}
+
+func TestFitSlopeExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	if s := fitSlope(xs, ys); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("slope %g", s)
+	}
+	if fitSlope([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("degenerate slope should be 0")
+	}
+	if fitSlope([]float64{2, 2}, []float64{1, 5}) != 0 {
+		t.Fatal("vertical line should return 0")
+	}
+}

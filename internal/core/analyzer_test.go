@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+)
+
+func bandpassSpectrum(t *testing.T) (*Result, *Spectrum) {
+	t.Helper()
+	b := osc.NewBandpassPaper()
+	res, err := Characterise(b, []float64{0.1, 0}, 1/6660.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, res.OutputSpectrum(0, 4)
+}
+
+func TestAnalyzerTraceWideRBWCapturesLinePower(t *testing.T) {
+	// With RBW ≫ line width, the on-carrier displayed POWER (dBm in the
+	// RBW) equals the whole line's power 2|X1|².
+	res, sp := bandpassSpectrum(t)
+	f0 := res.F0()
+	rbw := 300.0 // ≫ 10.5 Hz half-width
+	tr := sp.AnalyzerTrace(f0-10, f0+10, rbw, 50, 3)
+	mid := tr[1]
+	lineP := 2 * real(sp.Xi(1)*complexConj(sp.Xi(1)))
+	wantDBm := 10 * math.Log10(lineP/50/1e-3)
+	if math.Abs(mid.DBmF-wantDBm) > 0.5 {
+		t.Fatalf("displayed %g dBm, line power %g dBm", mid.DBmF, wantDBm)
+	}
+}
+
+func complexConj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+func TestAnalyzerTraceNarrowRBWTracksTruePSD(t *testing.T) {
+	// With RBW ≪ line width the displayed density approaches Sss(f).
+	res, sp := bandpassSpectrum(t)
+	f0 := res.F0()
+	rbw := 1.0 // ≪ 10.5 Hz
+	for _, off := range []float64{0, 30, 120} {
+		tr := sp.AnalyzerTrace(f0+off-1, f0+off+1, rbw, 50, 3)
+		got := tr[1].PSD
+		want := sp.SSB(f0 + off)
+		if math.Abs(got-want) > 0.05*want {
+			t.Fatalf("offset %g: displayed %g vs true %g", off, got, want)
+		}
+	}
+}
+
+func TestAnalyzerTraceLineBroadening(t *testing.T) {
+	// A wide RBW broadens the displayed line: the −3 dB width of the trace
+	// should be set by the RBW, not the Lorentzian.
+	res, sp := bandpassSpectrum(t)
+	f0 := res.F0()
+	rbw := 100.0
+	tr := sp.AnalyzerTrace(f0-400, f0+400, rbw, 50, 161)
+	peak, kp := math.Inf(-1), 0
+	for k, p := range tr {
+		if p.DBmF > peak {
+			peak, kp = p.DBmF, k
+		}
+	}
+	// Walk to the −3 dB points.
+	var fl, fr float64
+	for k := kp; k >= 0; k-- {
+		if tr[k].DBmF < peak-3 {
+			fl = tr[k].F
+			break
+		}
+	}
+	for k := kp; k < len(tr); k++ {
+		if tr[k].DBmF < peak-3 {
+			fr = tr[k].F
+			break
+		}
+	}
+	width := fr - fl
+	if width < 0.8*rbw || width > 2.5*rbw {
+		t.Fatalf("displayed −3 dB width %g with RBW %g", width, rbw)
+	}
+}
+
+func TestAnalyzerTraceMatchesPaperStylePlot(t *testing.T) {
+	// Regenerate a Figure-2(b)-style display: 4 harmonics, RBW well above
+	// the line width (as the paper's analyzer was set). The displayed trace
+	// must show four distinct peaks at the harmonics with the right
+	// relative levels (odd harmonics dominate for a comparator feedback).
+	res, sp := bandpassSpectrum(t)
+	f0 := res.F0()
+	tr := sp.AnalyzerTrace(0.5*f0, 4.5*f0, 60, 50, 401)
+	levelNear := func(f float64) float64 {
+		best, bd := math.Inf(-1), math.Inf(1)
+		for _, p := range tr {
+			if d := math.Abs(p.F - f); d < bd {
+				bd, best = d, p.DBmF
+			}
+		}
+		return best
+	}
+	l1, l2, l3 := levelNear(f0), levelNear(2*f0), levelNear(3*f0)
+	mid := levelNear(1.5 * f0)
+	if l1 < mid+20 {
+		t.Fatalf("first harmonic not prominent: %g vs floor %g", l1, mid)
+	}
+	if l3 < l2 {
+		t.Fatalf("comparator spectrum should favour odd harmonics: H2 %g, H3 %g", l2, l3)
+	}
+	if l1 < l3 {
+		t.Fatalf("fundamental below third harmonic: %g vs %g", l1, l3)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ClockModel is a behavioural macromodel of the characterised oscillator
+// used as a clock source: edges at t_k = k·T + α_k where the phase
+// deviation α performs the exact random walk the theory derives —
+// independent Gaussian increments of variance c·T per period. This is the
+// downstream-usable artefact of a phase-noise characterisation: a
+// jitter-accurate clock for system-level (e.g. sampled-data or SerDes)
+// simulation at a cost independent of the circuit's complexity.
+type ClockModel struct {
+	T float64 // nominal period (s)
+	C float64 // phase-diffusion constant (s²·Hz)
+}
+
+// ClockModel derives the macromodel from a characterisation result.
+func (r *Result) ClockModel() *ClockModel {
+	return &ClockModel{T: r.PSS.T, C: r.C}
+}
+
+// Edges generates n successive clock-edge times (one per period) starting
+// from a trigger edge at t = 0, using rng for the jitter increments.
+func (m *ClockModel) Edges(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	sigma := math.Sqrt(m.C * m.T)
+	alpha := 0.0
+	for k := 1; k <= n; k++ {
+		alpha += sigma * rng.NormFloat64()
+		out[k-1] = float64(k)*m.T + alpha
+	}
+	return out
+}
+
+// PeriodJitterRMS returns the RMS cycle-to-cycle... more precisely the
+// period jitter: the standard deviation of one period duration, √(c·T).
+func (m *ClockModel) PeriodJitterRMS() float64 { return math.Sqrt(m.C * m.T) }
+
+// AccumulatedJitterRMS returns the RMS error of the k-th edge relative to
+// the trigger, √(c·k·T) — the linearly-growing variance law.
+func (m *ClockModel) AccumulatedJitterRMS(k int) float64 {
+	return math.Sqrt(m.C * float64(k) * m.T)
+}
+
+// AbsoluteJitterAfter returns the RMS phase error accumulated over an
+// arbitrary elapsed time τ, √(c·τ).
+func (m *ClockModel) AbsoluteJitterAfter(tau float64) float64 {
+	return math.Sqrt(m.C * tau)
+}

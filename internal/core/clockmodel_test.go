@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/stochproc"
+)
+
+func clockFromHopf(t *testing.T) *ClockModel {
+	t.Helper()
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.ClockModel()
+}
+
+func TestClockModelParameters(t *testing.T) {
+	m := clockFromHopf(t)
+	if math.Abs(m.T-1) > 1e-8 {
+		t.Fatalf("T = %g", m.T)
+	}
+	if math.Abs(m.PeriodJitterRMS()-math.Sqrt(m.C*m.T)) > 1e-18 {
+		t.Fatal("period jitter formula")
+	}
+	if math.Abs(m.AccumulatedJitterRMS(9)-3*m.PeriodJitterRMS()) > 1e-15 {
+		t.Fatal("accumulated jitter should grow as √k")
+	}
+	if math.Abs(m.AbsoluteJitterAfter(4*m.T)-m.AccumulatedJitterRMS(4)) > 1e-15 {
+		t.Fatal("τ-form and k-form must agree at τ = kT")
+	}
+}
+
+func TestClockModelEdgeStatistics(t *testing.T) {
+	m := clockFromHopf(t)
+	nPaths, nEdges := 3000, 40
+	kProbe := []int{5, 20, 40}
+	samples := map[int][]float64{}
+	for p := 0; p < nPaths; p++ {
+		rng := rand.New(rand.NewSource(int64(p + 1)))
+		edges := m.Edges(nEdges, rng)
+		for _, k := range kProbe {
+			samples[k] = append(samples[k], edges[k-1]-float64(k)*m.T)
+		}
+	}
+	for _, k := range kProbe {
+		mom := stochproc.SampleMoments(samples[k])
+		want := m.C * float64(k) * m.T
+		if math.Abs(mom.Variance-want) > 0.1*want {
+			t.Fatalf("Var[t_%d] = %g, want %g", k, mom.Variance, want)
+		}
+		if !mom.IsGaussianish(5) {
+			t.Fatalf("edge %d errors not Gaussian: skew %g kurt %g", k, mom.Skewness, mom.ExcessKurtosis)
+		}
+	}
+}
+
+func TestClockModelEdgesMonotone(t *testing.T) {
+	m := clockFromHopf(t)
+	rng := rand.New(rand.NewSource(2))
+	edges := m.Edges(200, rng)
+	for k := 1; k < len(edges); k++ {
+		if edges[k] <= edges[k-1] {
+			// With jitter σ ≪ T this must never happen for sane oscillators.
+			t.Fatalf("edges out of order at %d", k)
+		}
+	}
+}
+
+func TestClockModelIncrementsIndependent(t *testing.T) {
+	// Period-to-period jitter increments are i.i.d.: lag-1 autocorrelation
+	// of (t_k − t_{k-1} − T) must vanish.
+	m := clockFromHopf(t)
+	rng := rand.New(rand.NewSource(3))
+	edges := m.Edges(20000, rng)
+	incs := make([]float64, len(edges)-1)
+	for k := 1; k < len(edges); k++ {
+		incs[k-1] = edges[k] - edges[k-1] - m.T
+	}
+	r := stochproc.Autocorrelation(incs, 1)
+	if math.Abs(r[1]/r[0]) > 0.03 {
+		t.Fatalf("lag-1 correlation %g", r[1]/r[0])
+	}
+}
+
+// TestInjectionLockingAdler: the deterministic Eq.-9 machinery reproduces
+// Adler's injection-locking law. For the Hopf oscillator with a y-equation
+// injection ε·cos(ω_inj·t), averaging Eq. 9 gives
+//
+//	dψ/dt = (ε/2)·cos(ψ) − Δω,   ψ = ω0·α − Δω·t,
+//
+// so the oscillator LOCKS to the injected tone iff |Δω| < ε/2, in which
+// case α(t) drifts at exactly Δω/ω0 (the oscillator runs at ω_inj).
+func TestInjectionLockingAdler(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 1, YOnly: true}
+	res, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.04 // lock range |Δω| < 0.02 rad/s
+	measureSlope := func(domega float64) float64 {
+		winj := h.Omega + domega
+		bfun := func(tt float64) []float64 { return []float64{eps * math.Cos(winj*tt)} }
+		// The window must span many beat periods (≈ 80 s outside the lock
+		// range) so partial beats do not bias the slope estimate.
+		nsteps := 120000
+		t1 := 6000 * res.T()
+		alphas := res.SolvePhaseODE(h, bfun, t1, nsteps)
+		// Slope over the second half (past the locking transient).
+		half := nsteps / 2
+		return (alphas[nsteps] - alphas[half]) / (t1 / 2)
+	}
+	// Inside the lock range: α drifts at exactly Δω/ω0.
+	dIn := 0.01
+	slopeIn := measureSlope(dIn)
+	if math.Abs(slopeIn-dIn/h.Omega) > 0.02*dIn/h.Omega {
+		t.Fatalf("locked drift %g, want %g", slopeIn, dIn/h.Omega)
+	}
+	// Outside: the oscillator cannot follow — drift < Δω/ω0 (pulled only).
+	dOut := 0.08
+	slopeOut := measureSlope(dOut)
+	if slopeOut > 0.8*dOut/h.Omega {
+		t.Fatalf("unlocked drift %g too close to full tracking %g", slopeOut, dOut/h.Omega)
+	}
+	// Adler's beat: outside lock the average beat frequency is
+	// √(Δω² − (ε/2)²); check the residual drift (Δω−ω0·slope) matches... the
+	// mean of dψ/dt is −√(Δω²−(ε/2)²) ⇒ ω0·slope = Δω − √(Δω²−(ε/2)²).
+	wantSlope := (dOut - math.Sqrt(dOut*dOut-eps*eps/4)) / h.Omega
+	if math.Abs(slopeOut-wantSlope) > 0.15*wantSlope {
+		t.Fatalf("pulled drift %g, Adler prediction %g", slopeOut, wantSlope)
+	}
+}

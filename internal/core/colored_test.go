@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dynsys"
+	"repro/internal/osc"
+)
+
+// colouredHopfC characterises a Hopf oscillator whose single (y-equation)
+// noise source is OU-filtered with correlation time tau, normalised so the
+// delivered low-frequency intensity matches the white case (σ = 1/√(2τ)).
+func colouredHopfC(t *testing.T, h *osc.Hopf, tau float64) float64 {
+	t.Helper()
+	col, err := dynsys.NewColored(h, []dynsys.ColoredSource{
+		{Index: 0, Tau: tau, Sigma: 1 / math.Sqrt(2*tau)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Characterise(col, col.AugmentState([]float64{1, 0}), h.Period(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The augmented cycle is the base cycle with z = 0: same period.
+	if math.Abs(res.T()-h.Period()) > 1e-8*h.Period() {
+		t.Fatalf("augmented period %g, base %g", res.T(), h.Period())
+	}
+	return res.C
+}
+
+// TestColoredNoiseCarrierFiltering: for the Hopf oscillator v1ᵀB oscillates
+// exactly at the carrier, so an OU-filtered source contributes according to
+// its spectrum AT ω0, not at DC:
+//
+//	c(τ)/c_white = 1/(1 + (ω0·τ)²)
+//
+// — a sharp, parameter-free prediction of the augmented-state treatment.
+func TestColoredNoiseCarrierFiltering(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.05, YOnly: true}
+	cWhite := h.ExactC()
+	for _, x := range []float64{0.3, 1, 3} {
+		tau := x / h.Omega
+		got := colouredHopfC(t, h, tau)
+		want := cWhite / (1 + x*x)
+		if math.Abs(got-want) > 0.02*want {
+			t.Fatalf("ω0τ=%g: c = %.6e, want %.6e", x, got, want)
+		}
+	}
+}
+
+// TestColoredNoiseWhiteLimit: τ → 0 recovers the white-noise c.
+func TestColoredNoiseWhiteLimit(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.05, YOnly: true}
+	tau := 0.01 / h.Omega
+	got := colouredHopfC(t, h, tau)
+	want := h.ExactC()
+	if math.Abs(got-want) > 0.01*want {
+		t.Fatalf("white limit: c = %.6e, want %.6e", got, want)
+	}
+}
+
+// TestColoredAugmentedFloquet: the OU state adds a Floquet exponent −1/τ to
+// the augmented cycle without disturbing the oscillator's own modes.
+func TestColoredAugmentedFloquet(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1.5, Omega: 2 * math.Pi, Sigma: 0.05, YOnly: true}
+	tau := 0.2
+	col, err := dynsys.NewColored(h, []dynsys.ColoredSource{{Index: 0, Tau: tau, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Characterise(col, col.AugmentState([]float64{1, 0}), h.Period(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Floquet.Multipliers) != 3 {
+		t.Fatalf("%d multipliers", len(res.Floquet.Multipliers))
+	}
+	// Expect multipliers {1, e^{−2λT}, e^{−T/τ}} in some order after the
+	// leading unit one.
+	wantA := math.Exp(-2 * h.Lambda * h.Period())
+	wantB := math.Exp(-h.Period() / tau)
+	got1 := real(res.Floquet.Multipliers[1])
+	got2 := real(res.Floquet.Multipliers[2])
+	ok := (math.Abs(got1-wantA) < 1e-4 && math.Abs(got2-wantB) < 1e-4) ||
+		(math.Abs(got1-wantB) < 1e-4 && math.Abs(got2-wantA) < 1e-4)
+	if !ok {
+		t.Fatalf("multipliers %v, want {%g, %g}", res.Floquet.Multipliers[1:], wantA, wantB)
+	}
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the unified
+// phase-noise characterisation of autonomous oscillators
+// (Demir–Mehrotra–Roychowdhury, DAC 1998).
+//
+// Given an oscillator model (dynsys.System), the pipeline is
+//
+//	shooting.Find  →  floquet.Analyze  →  core.Characterise
+//
+// producing the scalar phase-diffusion constant
+//
+//	c = (1/T) ∫₀ᵀ v1ᵀ(τ) B(xs(τ)) Bᵀ(xs(τ)) v1(τ) dτ      (Eq. 29)
+//
+// from which every practical figure of merit follows: the Lorentzian output
+// spectrum (Eqs. 23/24), single-sideband phase noise L(f_m) (Eqs. 26–28),
+// timing jitter Var[t_k] = c·k·T, per-source contributions c_i (Eqs. 30–31)
+// and per-node sensitivities (Eq. 32).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/fourier"
+	"repro/internal/sde"
+	"repro/internal/shooting"
+)
+
+// SourceContribution is one noise source's share of the phase-diffusion
+// constant (Eq. 30): c = Σ c_i.
+type SourceContribution struct {
+	Label    string
+	C        float64 // c_i in s²·Hz
+	Fraction float64 // c_i / c (Eq. 31)
+}
+
+// Result is a complete phase-noise characterisation of one oscillator.
+type Result struct {
+	PSS     *shooting.PSS
+	Floquet *floquet.Decomposition
+
+	C float64 // phase-diffusion constant, s²·Hz (Eq. 29)
+
+	// PerSource decomposes C by noise source, sorted by decreasing share.
+	PerSource []SourceContribution
+	// Sensitivity[k] = cs^(k) (Eq. 32): the c produced by a unit-intensity
+	// source attached to state equation k.
+	Sensitivity []float64
+
+	labels []string
+}
+
+// T returns the oscillation period.
+func (r *Result) T() float64 { return r.PSS.T }
+
+// F0 returns the oscillation frequency in Hz.
+func (r *Result) F0() float64 { return r.PSS.F0() }
+
+// CornerFreq returns the Lorentzian corner (half-width) f_c = π f0² c of the
+// first-harmonic phase-noise spectrum; below f_c the 1/f² approximation
+// (Eq. 28) breaks down and the exact form (Eq. 27) must be used.
+func (r *Result) CornerFreq() float64 {
+	f0 := r.F0()
+	return math.Pi * f0 * f0 * r.C
+}
+
+// JitterVariance returns the mean-square timing error of the k-th clock
+// transition, Var[t_k] = c·k·T (paper Section 8, "Timing jitter").
+func (r *Result) JitterVariance(k int) float64 {
+	return r.C * float64(k) * r.PSS.T
+}
+
+// JitterRMSAfter returns the RMS accumulated jitter after elapsed time
+// τ ≈ kT, σ(τ) = √(c·τ).
+func (r *Result) JitterRMSAfter(tau float64) float64 {
+	return math.Sqrt(r.C * tau)
+}
+
+// Options configures Characterise.
+type Options struct {
+	Shooting *shooting.Options
+	Floquet  *floquet.Options
+	// QuadPoints sets the number of quadrature points for the c integral
+	// (default: the adjoint trajectory knots).
+	QuadPoints int
+}
+
+// Characterise runs the full Section-9 pipeline: periodic steady state by
+// shooting, Floquet decomposition with the stable backward-adjoint
+// computation of v1(t), and the quadratures for c, per-source contributions
+// and per-node sensitivities.
+func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
+	var so *shooting.Options
+	var fo *floquet.Options
+	qp := 0
+	if opts != nil {
+		so, fo, qp = opts.Shooting, opts.Floquet, opts.QuadPoints
+	}
+	pss, err := shooting.Find(sys, x0, tGuess, so)
+	if err != nil {
+		return nil, fmt.Errorf("core: periodic steady state: %w", err)
+	}
+	dec, err := floquet.Analyze(sys, pss, fo)
+	if err != nil {
+		return nil, fmt.Errorf("core: floquet analysis: %w", err)
+	}
+	return FromDecomposition(sys, pss, dec, qp)
+}
+
+// CharacteriseAuto is Characterise without a period guess: it integrates
+// the system for tMax, estimates the period and a point on the cycle from
+// mean-crossings, then runs the full pipeline. tMax should cover at least a
+// few dozen oscillation periods.
+func CharacteriseAuto(sys dynsys.System, x0 []float64, tMax float64, opts *Options) (*Result, error) {
+	T, xc, err := shooting.EstimatePeriod(sys, x0, tMax)
+	if err != nil {
+		return nil, fmt.Errorf("core: period estimation: %w", err)
+	}
+	return Characterise(sys, xc, T, opts)
+}
+
+// FromDecomposition computes the c quadratures for an existing periodic
+// steady state and Floquet decomposition (Eqs. 29–32). quadPoints <= 0
+// selects a default grid.
+func FromDecomposition(sys dynsys.System, pss *shooting.PSS, dec *floquet.Decomposition, quadPoints int) (*Result, error) {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	if quadPoints <= 0 {
+		quadPoints = len(dec.V1.Points)
+		if quadPoints < 1000 {
+			quadPoints = 1000
+		}
+	}
+	x := make([]float64, n)
+	v := make([]float64, n)
+	b := make([]float64, n*p)
+	perSource := make([]float64, p)
+	sens := make([]float64, n)
+	total := 0.0
+	// Uniform trapezoidal quadrature over one period: the integrand is
+	// T-periodic, so the trapezoid rule converges spectrally fast.
+	h := pss.T / float64(quadPoints)
+	for k := 0; k < quadPoints; k++ {
+		tk := float64(k) * h
+		pss.Orbit.At(tk, x)
+		dec.V1.At(tk, v)
+		sys.Noise(x, b)
+		// [v1ᵀ B]_j for each source column j.
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += v[i] * b[i*p+j]
+			}
+			perSource[j] += s * s
+			total += s * s
+		}
+		for i := 0; i < n; i++ {
+			sens[i] += v[i] * v[i]
+		}
+	}
+	inv := 1 / float64(quadPoints) // (1/T)·h = 1/quadPoints
+	total *= inv
+	for j := range perSource {
+		perSource[j] *= inv
+	}
+	for i := range sens {
+		sens[i] *= inv
+	}
+
+	labels := sys.NoiseLabels()
+	contribs := make([]SourceContribution, p)
+	for j := 0; j < p; j++ {
+		frac := 0.0
+		if total > 0 {
+			frac = perSource[j] / total
+		}
+		lbl := fmt.Sprintf("source%d", j)
+		if j < len(labels) {
+			lbl = labels[j]
+		}
+		contribs[j] = SourceContribution{Label: lbl, C: perSource[j], Fraction: frac}
+	}
+	sort.SliceStable(contribs, func(i, j int) bool { return contribs[i].C > contribs[j].C })
+
+	return &Result{
+		PSS:         pss,
+		Floquet:     dec,
+		C:           total,
+		PerSource:   contribs,
+		Sensitivity: sens,
+		labels:      labels,
+	}, nil
+}
+
+// OutputSpectrum extracts the Fourier coefficients X_i (i = −nh..nh) of
+// state component `component` of the periodic steady state and pairs them
+// with c, yielding the Lorentzian output spectrum of that oscillator output.
+func (r *Result) OutputSpectrum(component, nh int) *Spectrum {
+	ns := 1 << 12
+	samples := make([]float64, ns)
+	buf := make([]float64, len(r.PSS.X0))
+	for k := 0; k < ns; k++ {
+		r.PSS.Orbit.At(r.PSS.T*float64(k)/float64(ns), buf)
+		samples[k] = buf[component]
+	}
+	coeffs := fourier.SeriesCoefficients(samples, nh)
+	return &Spectrum{F0: r.F0(), C: r.C, Coeffs: coeffs}
+}
+
+// PhaseSDE returns the exact nonlinear phase-deviation SDE of Eq. (9),
+//
+//	dα = v1ᵀ(t+α)·B(xs(t+α))·dW(t),
+//
+// as an sde.System with a single state (α) and the oscillator's p noise
+// sources, suitable for Monte-Carlo simulation of α(t) without simulating
+// the full state. (Itô interpretation, zero drift.)
+func (r *Result) PhaseSDE(sys dynsys.System) sde.System {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	return sde.System{
+		Dim:      1,
+		NumNoise: p,
+		Drift:    func(t float64, x, dst []float64) { dst[0] = 0 },
+		Diff: func(t float64, alpha []float64, dst []float64) {
+			x := make([]float64, n)
+			v := make([]float64, n)
+			b := make([]float64, n*p)
+			ts := t + alpha[0]
+			tm := math.Mod(ts, r.PSS.T)
+			if tm < 0 {
+				tm += r.PSS.T
+			}
+			r.PSS.Orbit.At(tm, x)
+			r.Floquet.V1.At(tm, v)
+			sys.Noise(x, b)
+			for j := 0; j < p; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += v[i] * b[i*p+j]
+				}
+				dst[j] = s
+			}
+		},
+	}
+}
+
+// Report renders a human-readable characterisation summary.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Oscillation period  T  = %.9e s  (f0 = %.6e Hz)\n", r.T(), r.F0())
+	fmt.Fprintf(&sb, "Phase diffusion     c  = %.6e s²·Hz\n", r.C)
+	fmt.Fprintf(&sb, "Lorentzian corner   fc = %.6e Hz (π f0² c)\n", r.CornerFreq())
+	fmt.Fprintf(&sb, "Jitter after 1 period  = %.6e s RMS\n", math.Sqrt(r.JitterVariance(1)))
+	fmt.Fprintf(&sb, "Floquet multipliers    =")
+	for _, m := range r.Floquet.Multipliers {
+		if imag(m) == 0 {
+			fmt.Fprintf(&sb, " %.6g", real(m))
+		} else {
+			fmt.Fprintf(&sb, " %.6g%+.6gi", real(m), imag(m))
+		}
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "Stability margin       = %.3e\n", r.Floquet.StabilityMargin())
+	if len(r.PerSource) > 0 {
+		sb.WriteString("Noise-source contributions (Eq. 31):\n")
+		for _, s := range r.PerSource {
+			fmt.Fprintf(&sb, "  %-24s c_i = %.4e  (%5.1f%%)\n", s.Label, s.C, 100*s.Fraction)
+		}
+	}
+	sb.WriteString("Per-node phase-noise sensitivities (Eq. 32):\n")
+	for k, s := range r.Sensitivity {
+		fmt.Fprintf(&sb, "  node %-2d  cs = %.4e\n", k, s)
+	}
+	return sb.String()
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/sde"
+)
+
+func characteriseHopf(t *testing.T, h *osc.Hopf) *Result {
+	t.Helper()
+	res, err := Characterise(h, []float64{1, 0.1}, h.Period()*1.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHopfCMatchesClosedFormIsotropic(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	res := characteriseHopf(t, h)
+	want := h.ExactC()
+	if math.Abs(res.C-want) > 1e-6*want {
+		t.Fatalf("c = %.12e, want %.12e (rel err %g)", res.C, want, math.Abs(res.C-want)/want)
+	}
+}
+
+func TestHopfCMatchesClosedFormYOnly(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 5, Sigma: 0.05, YOnly: true}
+	res := characteriseHopf(t, h)
+	want := h.ExactC() // σ²/(2ω²)
+	if math.Abs(res.C-want) > 1e-6*want {
+		t.Fatalf("c = %.12e, want %.12e", res.C, want)
+	}
+}
+
+func TestHopfCScalesWithNoisePower(t *testing.T) {
+	// c must scale as σ² (noise power), the basic sanity of Eq. 29.
+	h1 := &osc.Hopf{Lambda: 1, Omega: 3, Sigma: 0.01}
+	h2 := &osc.Hopf{Lambda: 1, Omega: 3, Sigma: 0.03}
+	c1 := characteriseHopf(t, h1).C
+	c2 := characteriseHopf(t, h2).C
+	if math.Abs(c2/c1-9) > 1e-6 {
+		t.Fatalf("c ratio %g, want 9", c2/c1)
+	}
+}
+
+func TestHopfPerSourceContributions(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2, Sigma: 0.02}
+	res := characteriseHopf(t, h)
+	if len(res.PerSource) != 2 {
+		t.Fatalf("%d sources", len(res.PerSource))
+	}
+	// Isotropic noise: each equation contributes exactly half.
+	for _, s := range res.PerSource {
+		if math.Abs(s.Fraction-0.5) > 1e-6 {
+			t.Fatalf("source %s fraction %g, want 0.5", s.Label, s.Fraction)
+		}
+	}
+	// Σ c_i = c.
+	sum := res.PerSource[0].C + res.PerSource[1].C
+	if math.Abs(sum-res.C) > 1e-12*res.C {
+		t.Fatalf("Σc_i = %g != c = %g", sum, res.C)
+	}
+}
+
+func TestHopfSensitivities(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 4, Sigma: 0.01}
+	res := characteriseHopf(t, h)
+	// v1 = (−sin, cos)/ω ⇒ cs(k) = 1/(2ω²) for both nodes.
+	want := 1 / (2 * h.Omega * h.Omega)
+	for k, s := range res.Sensitivity {
+		if math.Abs(s-want) > 1e-6*want {
+			t.Fatalf("cs(%d) = %g, want %g", k, s, want)
+		}
+	}
+}
+
+func TestJitterVarianceLinear(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res := characteriseHopf(t, h)
+	v1 := res.JitterVariance(1)
+	v10 := res.JitterVariance(10)
+	if math.Abs(v10/v1-10) > 1e-9 {
+		t.Fatalf("jitter variance not linear: %g", v10/v1)
+	}
+	if math.Abs(v1-res.C*res.T()) > 1e-15 {
+		t.Fatalf("Var[t_1] = %g, want cT = %g", v1, res.C*res.T())
+	}
+	if rms := res.JitterRMSAfter(4 * res.T()); math.Abs(rms-math.Sqrt(res.JitterVariance(4))) > 1e-15 {
+		t.Fatalf("RMS inconsistency: %g", rms)
+	}
+}
+
+func TestCornerFrequency(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.1}
+	res := characteriseHopf(t, h)
+	want := math.Pi * res.F0() * res.F0() * res.C
+	if math.Abs(res.CornerFreq()-want) > 1e-15 {
+		t.Fatalf("fc = %g", res.CornerFreq())
+	}
+}
+
+func TestHopfOutputSpectrumCoefficients(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 4)
+	// x-component of the Hopf cycle is cos(ωt + φ): |X1| = 1/2, higher ≈ 0.
+	if math.Abs(2*absC(sp.Xi(1))-1) > 1e-6 {
+		t.Fatalf("|X1| = %g, want 0.5", absC(sp.Xi(1)))
+	}
+	for i := 2; i <= 4; i++ {
+		if absC(sp.Xi(i)) > 1e-6 {
+			t.Fatalf("|X%d| = %g, want ≈0", i, absC(sp.Xi(i)))
+		}
+	}
+	if absC(sp.Xi(99)) != 0 {
+		t.Fatal("out-of-range harmonic must be zero")
+	}
+	if sp.NumHarmonics() != 4 {
+		t.Fatalf("nh = %d", sp.NumHarmonics())
+	}
+}
+
+func absC(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+func TestSpectrumFiniteAtCarrier(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1000, Sigma: 1}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 3)
+	// The Lorentzian value at the carrier is |X1|²·8/(ω0²c) single-sided.
+	got := sp.SSB(sp.F0)
+	omega0 := 2 * math.Pi * sp.F0
+	want := 2 * absC(sp.Xi(1)) * absC(sp.Xi(1)) * 4 / (omega0 * omega0 * sp.C)
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("Sss(f0) = %g, want ≈ %g", got, want)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatal("carrier PSD must be finite")
+	}
+}
+
+func TestSpectrumTotalPowerPreserved(t *testing.T) {
+	// Numerically integrate the single-sided Lorentzian PSD and compare with
+	// Eq. 25: phase noise redistributes but preserves carrier power.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 100, Sigma: 0.5}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 3)
+	want := sp.TotalPower() // = 2|X1|² = 0.5 for a unit cosine
+	if math.Abs(want-0.5) > 1e-6 {
+		t.Fatalf("total power formula = %g, want 0.5", want)
+	}
+	// Integrate Sss over a wide band around the carrier.
+	f0 := sp.F0
+	hw := sp.LorentzianHalfWidth(1)
+	lo, hi := f0-4000*hw, f0+4000*hw
+	if lo < 0 {
+		lo = 0
+	}
+	npts := 400001
+	sum := 0.0
+	df := (hi - lo) / float64(npts-1)
+	for k := 0; k < npts; k++ {
+		f := lo + float64(k)*df
+		w := 1.0
+		if k == 0 || k == npts-1 {
+			w = 0.5
+		}
+		sum += w * sp.SSB(f) * df
+	}
+	if math.Abs(sum-want) > 0.01*want {
+		t.Fatalf("integrated power %g, want %g", sum, want)
+	}
+}
+
+func TestLdBcApproximationsAgreeAboveCorner(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1e4, Sigma: 0.01}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 2)
+	fc := res.CornerFreq()
+	for _, mult := range []float64{30, 100, 1000} {
+		fm := mult * fc
+		if fm > sp.F0/10 {
+			continue
+		}
+		exact := sp.LdBc(fm)
+		lor := sp.LdBcLorentzian(fm)
+		inv2 := sp.LdBcInvSquare(fm)
+		if math.Abs(exact-lor) > 0.5 {
+			t.Fatalf("fm=%g: exact %g vs lorentzian %g", fm, exact, lor)
+		}
+		if math.Abs(lor-inv2) > 0.5 {
+			t.Fatalf("fm=%g: lorentzian %g vs 1/f² %g", fm, lor, inv2)
+		}
+	}
+}
+
+func TestLdBcInvSquareBlowsUpBelowCorner(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1e4, Sigma: 0.01}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 2)
+	fc := res.CornerFreq()
+	// Eq. 28 diverges while Eq. 27 saturates below the corner.
+	lorAt0 := sp.LdBcLorentzian(fc / 1000)
+	lorAtC := sp.LdBcLorentzian(fc)
+	if math.Abs(lorAt0-lorAtC) > 4 {
+		t.Fatalf("Lorentzian should saturate below corner: %g vs %g", lorAt0, lorAtC)
+	}
+	inv0 := sp.LdBcInvSquare(fc / 1000)
+	if inv0-sp.LdBcInvSquare(fc) < 50 {
+		t.Fatalf("1/f² should blow up below corner: %g vs %g", inv0, sp.LdBcInvSquare(fc))
+	}
+}
+
+func TestAutocorrelationProperties(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 50, Sigma: 0.3}
+	res := characteriseHopf(t, h)
+	sp := res.OutputSpectrum(0, 3)
+	// R(0) = total power; R decays with |τ|; R is even.
+	r0 := sp.Autocorrelation(0)
+	if math.Abs(r0-sp.TotalPower()) > 1e-9 {
+		t.Fatalf("R(0) = %g, want %g", r0, sp.TotalPower())
+	}
+	tau := 3.0 / (sp.F0 * sp.F0 * sp.C) // many coherence times
+	if math.Abs(sp.Autocorrelation(tau)) > 0.01*r0 {
+		t.Fatalf("R should decay: R(τ)=%g", sp.Autocorrelation(tau))
+	}
+	if math.Abs(sp.Autocorrelation(0.001)-sp.Autocorrelation(-0.001)) > 1e-12 {
+		t.Fatal("R must be even")
+	}
+}
+
+func TestPhaseSDEVarianceGrowsAsCT(t *testing.T) {
+	// Monte-Carlo the exact phase SDE (Eq. 9) and check Var[α(t)] = c·t.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res := characteriseHopf(t, h)
+	sys := res.PhaseSDE(h)
+	nPaths := 800
+	nSteps := 400
+	dt := res.T() / 100
+	var st sde.Stats
+	for k := 0; k < nPaths; k++ {
+		rng := rand.New(rand.NewSource(int64(1000 + k)))
+		p := sde.EulerMaruyama(sys, []float64{0}, 0, dt, nSteps, nSteps, rng)
+		st.Add(p.X[len(p.X)-1][0])
+	}
+	tEnd := dt * float64(nSteps)
+	want := res.C * tEnd
+	if math.Abs(st.Var()-want) > 0.15*want {
+		t.Fatalf("Var[α(%g)] = %g, want %g", tEnd, st.Var(), want)
+	}
+}
+
+func TestFromDecompositionQuadConvergence(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 3, Sigma: 0.02}
+	res := characteriseHopf(t, h)
+	// Recompute with a coarse quadrature; must agree to high accuracy
+	// because the integrand is smooth and periodic.
+	res2, err := FromDecomposition(h, res.PSS, res.Floquet, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.C-res.C) > 1e-8*res.C {
+		t.Fatalf("quadrature sensitivity: %g vs %g", res2.C, res.C)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.01}
+	res := characteriseHopf(t, h)
+	rep := res.Report()
+	for _, want := range []string{"Phase diffusion", "Lorentzian corner", "Floquet multipliers", "x-equation", "node 0"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCharacteriseAuto(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	res, err := CharacteriseAuto(h, []float64{0.3, 0}, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.C-h.ExactC()) / h.ExactC(); rel > 1e-5 {
+		t.Fatalf("auto c relative error %g", rel)
+	}
+	// Error path: start at the equilibrium ⇒ no oscillation to detect.
+	if _, err := CharacteriseAuto(h, []float64{0, 0}, 10, nil); err == nil {
+		t.Fatal("expected error from equilibrium start")
+	}
+}
+
+func TestCharacteriseErrorPropagation(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 1, Sigma: 0.01}
+	if _, err := Characterise(h, []float64{1, 0}, -5, nil); err == nil {
+		t.Fatal("expected error for bad period guess")
+	}
+}

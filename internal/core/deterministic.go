@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/ode"
+)
+
+// SolvePhaseODE integrates the exact nonlinear phase equation of the paper
+// (Eq. 9) for a DETERMINISTIC perturbation b(t):
+//
+//	dα/dt = v1ᵀ(t+α)·B(xs(t+α))·b(t),   α(0) = 0,
+//
+// returning α sampled at nsteps+1 uniform instants over [0, t1]. This is
+// the Section-5 machinery (phase deviation caused by a known signal),
+// useful for injection/pulling studies and for validating Theorem 5.1
+// against direct simulation of the perturbed oscillator.
+func (r *Result) SolvePhaseODE(sys dynsys.System, bfun func(t float64) []float64, t1 float64, nsteps int) []float64 {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	x := make([]float64, n)
+	v := make([]float64, n)
+	bm := make([]float64, n*p)
+	rhs := func(t float64, alpha, dst []float64) {
+		ts := t + alpha[0]
+		tm := math.Mod(ts, r.PSS.T)
+		if tm < 0 {
+			tm += r.PSS.T
+		}
+		r.PSS.Orbit.At(tm, x)
+		r.Floquet.V1.At(tm, v)
+		sys.Noise(x, bm)
+		bv := bfun(t)
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				s += v[i] * bm[i*p+j] * bv[j]
+			}
+		}
+		dst[0] = s
+	}
+	out := make([]float64, nsteps+1)
+	alpha := []float64{0}
+	h := t1 / float64(nsteps)
+	for k := 0; k < nsteps; k++ {
+		ode.RK4Step(rhs, float64(k)*h, alpha, h, alpha)
+		out[k+1] = alpha[0]
+	}
+	return out
+}
+
+// PerturbedSolution integrates the FULL perturbed oscillator
+// ẋ = f(x) + B(x)·b(t) from the periodic-steady-state point, returning the
+// exact z(t) of the paper's Eq. (2) for comparison against the Section-5
+// decomposition z(t) ≈ xs(t+α(t)) + y(t).
+func (r *Result) PerturbedSolution(sys dynsys.System, bfun func(t float64) []float64, t1 float64, nsteps int) *ode.Trajectory {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	bm := make([]float64, n*p)
+	rhs := func(t float64, z, dst []float64) {
+		sys.Eval(z, dst)
+		sys.Noise(z, bm)
+		bv := bfun(t)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				dst[i] += bm[i*p+j] * bv[j]
+			}
+		}
+	}
+	rec := &ode.Trajectory{}
+	z := append([]float64(nil), r.PSS.X0...)
+	dz := make([]float64, n)
+	rhs(0, z, dz)
+	rec.Append(0, z, dz)
+	h := t1 / float64(nsteps)
+	for k := 0; k < nsteps; k++ {
+		t := float64(k) * h
+		ode.RK4Step(rhs, t, z, h, z)
+		rhs(t+h, z, dz)
+		rec.Append(t+h, z, dz)
+	}
+	return rec
+}
+
+// PhaseShiftedOrbit evaluates xs(t + α) into dst, reducing the argument
+// modulo the period.
+func (r *Result) PhaseShiftedOrbit(t, alpha float64, dst []float64) {
+	tm := math.Mod(t+alpha, r.PSS.T)
+	if tm < 0 {
+		tm += r.PSS.T
+	}
+	r.PSS.Orbit.At(tm, dst)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+// The FitzHugh–Nagumo relaxation oscillator exercises the stiff,
+// strongly non-sinusoidal corner of the pipeline: square-wave-like cycles
+// with extremely contracting transverse Floquet modes (|m2| ~ 1e-16).
+
+func fhnResult(t *testing.T) (*osc.FitzHughNagumo, *Result) {
+	t.Helper()
+	f := &osc.FitzHughNagumo{Eps: 0.08, A: 0, SigmaV: 1e-3, SigmaW: 1e-3}
+	T, x0, err := shooting.EstimatePeriod(f, []float64{1, 0}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Characterise(f, x0, T, &Options{
+		Shooting: &shooting.Options{StepsPerPeriod: 8000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestFHNCharacterisation(t *testing.T) {
+	_, res := fhnResult(t)
+	// Known period scale for ε=0.08, a=0: T ≈ 2.7 (slow branches dominate).
+	if res.T() < 2 || res.T() > 4 {
+		t.Fatalf("T = %g", res.T())
+	}
+	if res.C <= 0 {
+		t.Fatal("c must be positive")
+	}
+	// The transverse multiplier is astronomically contracting but the
+	// pipeline must still deliver a clean v1 (inverse iteration at 1 is
+	// unaffected by the tiny second eigenvalue).
+	if res.Floquet.UnitErr > 1e-5 {
+		t.Fatalf("unit multiplier error %g", res.Floquet.UnitErr)
+	}
+	if res.Floquet.BiorthoDrift > 1e-3 {
+		t.Fatalf("biorthogonality drift %g", res.Floquet.BiorthoDrift)
+	}
+}
+
+func TestFHNSlowEquationMoreSensitive(t *testing.T) {
+	// Phase-noise physics of relaxation oscillators: PER UNIT NOISE
+	// INTENSITY the oscillator is far more sensitive to noise in the SLOW
+	// equation (it directly modulates the dwell time on the slow branches)
+	// than in the fast one, whose deviations relax within O(ε). The per-node
+	// sensitivities cs(k) of Eq. 32 are exactly that per-unit measure.
+	// (The raw contributions c_i go the other way here only because the
+	// model injects σ/ε — a 156× stronger intensity — into the fast
+	// equation.)
+	_, res := fhnResult(t)
+	fast, slow := res.Sensitivity[0], res.Sensitivity[1]
+	if slow < 5*fast {
+		t.Fatalf("slow-equation sensitivity %g not ≫ fast %g", slow, fast)
+	}
+}
+
+func TestQuadratureConvergenceAblation(t *testing.T) {
+	// DESIGN.md ablation: the c quadrature is spectrally convergent in the
+	// number of points for smooth cycles — 200 vs 2000 points must agree to
+	// near machine precision on the Hopf oscillator, and to a loose bound
+	// even on the stiff FHN cycle.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	resH, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseH, err := FromDecomposition(h, resH.PSS, resH.Floquet, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(coarseH.C-resH.C) / resH.C; rel > 1e-10 {
+		t.Fatalf("Hopf quadrature ablation: rel diff %g", rel)
+	}
+
+	f, resF := fhnResult(t)
+	coarseF, err := FromDecomposition(f, resF.PSS, resF.Floquet, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(coarseF.C-resF.C) / resF.C; rel > 0.05 {
+		t.Fatalf("FHN quadrature ablation: rel diff %g", rel)
+	}
+}
+
+func TestShootingStepsAblation(t *testing.T) {
+	// DESIGN.md ablation: halving the monodromy integration steps must not
+	// move c beyond the integrator's O(h⁴) error.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	cAt := func(steps int) float64 {
+		res, err := Characterise(h, []float64{1, 0}, 1, &Options{
+			Shooting: &shooting.Options{StepsPerPeriod: steps},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.C
+	}
+	c1, c2 := cAt(500), cAt(2000)
+	if rel := math.Abs(c1-c2) / c2; rel > 1e-8 {
+		t.Fatalf("steps ablation: rel diff %g", rel)
+	}
+}

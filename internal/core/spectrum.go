@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Spectrum is the closed-form output spectrum of a noisy oscillator: the
+// sum-of-Lorentzians of paper Eqs. (23)/(24), parameterised by the carrier
+// frequency f0, the phase-diffusion constant c and the Fourier coefficients
+// X_i of the noiseless periodic output.
+type Spectrum struct {
+	F0     float64      // carrier frequency, Hz
+	C      float64      // phase-diffusion constant, s²·Hz
+	Coeffs []complex128 // X_i for i = −nh..nh (index i+nh), X_{−i} = conj(X_i)
+}
+
+// NumHarmonics returns nh, the highest harmonic included.
+func (s *Spectrum) NumHarmonics() int { return (len(s.Coeffs) - 1) / 2 }
+
+// Xi returns the Fourier coefficient X_i (i may be negative).
+func (s *Spectrum) Xi(i int) complex128 {
+	nh := s.NumHarmonics()
+	if i < -nh || i > nh {
+		return 0
+	}
+	return s.Coeffs[i+nh]
+}
+
+// PSD evaluates the double-sided power spectral density S(ω) of Eq. (23):
+//
+//	S(ω) = Σ_i |X_i|² · ω0²i²c / (¼ω0⁴i⁴c² + (ω + iω0)²)
+//
+// The DC delta term X0X0*δ(ω) is omitted, as in the paper.
+func (s *Spectrum) PSD(omega float64) float64 {
+	omega0 := 2 * math.Pi * s.F0
+	nh := s.NumHarmonics()
+	sum := 0.0
+	for i := -nh; i <= nh; i++ {
+		if i == 0 {
+			continue
+		}
+		xi := s.Xi(i)
+		p := real(xi)*real(xi) + imag(xi)*imag(xi)
+		ii := float64(i)
+		w2 := omega0 * omega0 * ii * ii * s.C
+		d := omega + ii*omega0
+		sum += p * w2 / (0.25*w2*w2 + d*d)
+	}
+	return sum
+}
+
+// SSB evaluates the single-sided spectral density S_ss(f) = 2S(2πf) of
+// Eq. (24), defined for f ≥ 0.
+func (s *Spectrum) SSB(f float64) float64 {
+	return 2 * s.PSD(2*math.Pi*f)
+}
+
+// TotalPower returns the carrier power preserved under phase noise
+// (Eq. 25): P_tot = Σ_{i≥1} 2|X_i|². Phase deviation redistributes but does
+// not create or destroy power.
+func (s *Spectrum) TotalPower() float64 {
+	nh := s.NumHarmonics()
+	sum := 0.0
+	for i := 1; i <= nh; i++ {
+		sum += 2 * real(s.Xi(i)*cmplx.Conj(s.Xi(i)))
+	}
+	return sum
+}
+
+// LorentzianHalfWidth returns the half-width (in Hz) of the Lorentzian
+// around harmonic i: π f0² i² c.
+func (s *Spectrum) LorentzianHalfWidth(i int) float64 {
+	return math.Pi * s.F0 * s.F0 * float64(i*i) * s.C
+}
+
+// LdBc evaluates the single-sideband phase noise L(f_m) in dBc/Hz at offset
+// f_m from the first harmonic, by the defining ratio of Eq. (26):
+//
+//	L(f_m) = 10 log10( S_ss(f0 + f_m) / (2|X1|²) )
+func (s *Spectrum) LdBc(fm float64) float64 {
+	x1 := s.Xi(1)
+	p1 := 2 * (real(x1)*real(x1) + imag(x1)*imag(x1))
+	if p1 == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(s.SSB(s.F0+fm)/p1)
+}
+
+// LdBcLorentzian evaluates the small-c Lorentzian approximation of Eq. (27):
+//
+//	L(f_m) ≈ 10 log10( f0²c / (π²f0⁴c² + f_m²) )
+//
+// valid for 0 ≤ f_m ≪ f0; unlike Eq. (28) it remains finite as f_m → 0.
+func (s *Spectrum) LdBcLorentzian(fm float64) float64 {
+	f0 := s.F0
+	num := f0 * f0 * s.C
+	den := math.Pi*math.Pi*math.Pow(f0, 4)*s.C*s.C + fm*fm
+	return 10 * math.Log10(num/den)
+}
+
+// LdBcInvSquare evaluates the classical 1/f² approximation of Eq. (28):
+//
+//	L(f_m) ≈ 10 log10( (f0/f_m)² c )
+//
+// valid for πf0²c ≪ f_m ≪ f0; it diverges as f_m → 0 (the well-known
+// non-physical blow-up of LTI/LTV analyses that the exact Lorentzian fixes).
+func (s *Spectrum) LdBcInvSquare(fm float64) float64 {
+	f0 := s.F0
+	return 10 * math.Log10(f0*f0/(fm*fm)*s.C)
+}
+
+// SSBdBm converts the single-sided density at f into dBm/Hz for a given
+// load resistance (spectrum analyzers display dBm into 50 Ω by default):
+// P(f) = Sss(f)/R in W/Hz, dBm/Hz = 10·log10(P/1 mW).
+func (s *Spectrum) SSBdBm(f, rload float64) float64 {
+	return 10 * math.Log10(s.SSB(f)/rload/1e-3)
+}
+
+// CarrierPowerdBm returns the total carrier power (Eq. 25) in dBm into the
+// given load.
+func (s *Spectrum) CarrierPowerdBm(rload float64) float64 {
+	return 10 * math.Log10(s.TotalPower()/rload/1e-3)
+}
+
+// AutocorrelationEnvelope returns the stationary autocorrelation of the
+// phase-noisy output at lag τ (Eq. 22):
+//
+//	R(τ) = Σ_i |X_i|² exp(−jiω0τ) exp(−½ω0²i²c|τ|)
+//
+// which is real for real x_s(t).
+func (s *Spectrum) Autocorrelation(tau float64) float64 {
+	omega0 := 2 * math.Pi * s.F0
+	nh := s.NumHarmonics()
+	sum := complex(0, 0)
+	for i := -nh; i <= nh; i++ {
+		if i == 0 {
+			continue
+		}
+		xi := s.Xi(i)
+		ii := float64(i)
+		mag := real(xi)*real(xi) + imag(xi)*imag(xi)
+		decay := math.Exp(-0.5 * omega0 * omega0 * ii * ii * s.C * math.Abs(tau))
+		sum += complex(mag*decay, 0) * cmplx.Exp(complex(0, -ii*omega0*tau))
+	}
+	return real(sum)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/osc"
+)
+
+func hopfSpectrum(t *testing.T) *Spectrum {
+	t.Helper()
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1e3, Sigma: 0.2}
+	res, err := Characterise(h, []float64{1, 0}, h.Period(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.OutputSpectrum(0, 3)
+}
+
+func TestSpectrumEvenAndPositive(t *testing.T) {
+	sp := hopfSpectrum(t)
+	for _, w := range []float64{0, 100, 6283, 2 * math.Pi * 1e3, 5e4} {
+		p := sp.PSD(w)
+		m := sp.PSD(-w)
+		if p < 0 {
+			t.Fatalf("PSD(%g) = %g < 0", w, p)
+		}
+		if math.Abs(p-m) > 1e-12*(p+m) {
+			t.Fatalf("PSD not even at %g: %g vs %g", w, p, m)
+		}
+	}
+}
+
+func TestSpectrumSSBFactorTwo(t *testing.T) {
+	sp := hopfSpectrum(t)
+	for _, f := range []float64{100, 999, 1001, 3000} {
+		if math.Abs(sp.SSB(f)-2*sp.PSD(2*math.Pi*f)) > 1e-15*sp.SSB(f) {
+			t.Fatalf("SSB(%g) != 2·S(2πf)", f)
+		}
+	}
+}
+
+func TestSpectrumdBmConversions(t *testing.T) {
+	sp := hopfSpectrum(t)
+	r := 50.0
+	f0 := sp.F0
+	// dBm/Hz at the carrier: 10log10(Sss/R/1mW).
+	want := 10 * math.Log10(sp.SSB(f0)/r/1e-3)
+	if math.Abs(sp.SSBdBm(f0, r)-want) > 1e-12 {
+		t.Fatalf("SSBdBm = %g, want %g", sp.SSBdBm(f0, r), want)
+	}
+	// Unit cosine into 50 Ω: power 0.5 V²/50 Ω = 10 mW = +10 dBm.
+	if math.Abs(sp.CarrierPowerdBm(r)-10) > 0.1 {
+		t.Fatalf("carrier power %g dBm, want ≈ +10 (0.5 V² into 50 Ω)", sp.CarrierPowerdBm(r))
+	}
+}
+
+func TestLorentzianHalfWidthScalesAsISquared(t *testing.T) {
+	sp := hopfSpectrum(t)
+	w1 := sp.LorentzianHalfWidth(1)
+	w3 := sp.LorentzianHalfWidth(3)
+	if math.Abs(w3-9*w1) > 1e-12*w3 {
+		t.Fatalf("hw(3)/hw(1) = %g, want 9", w3/w1)
+	}
+}
+
+// Property: the PSD is maximal on each harmonic ridge — at any offset δ the
+// value at f0+δ never exceeds the on-carrier value.
+func TestQuickSpectrumPeakAtCarrier(t *testing.T) {
+	sp := hopfSpectrum(t)
+	f := func(deltaRaw float64) bool {
+		delta := math.Mod(math.Abs(deltaRaw), 400) + 1e-3
+		return sp.SSB(sp.F0) >= sp.SSB(sp.F0+delta) && sp.SSB(sp.F0) >= sp.SSB(sp.F0-delta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: autocorrelation never exceeds its zero-lag value.
+func TestQuickAutocorrelationBound(t *testing.T) {
+	sp := hopfSpectrum(t)
+	r0 := sp.Autocorrelation(0)
+	f := func(tauRaw float64) bool {
+		tau := math.Mod(math.Abs(tauRaw), 10)
+		return math.Abs(sp.Autocorrelation(tau)) <= r0*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLdBcNearCarrierFinite(t *testing.T) {
+	sp := hopfSpectrum(t)
+	// Even evaluated exactly at the carrier offset 0 the exact definition
+	// (Eq. 26) stays finite.
+	v := sp.LdBc(0)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("L(0) = %v", v)
+	}
+	// Zero-X1 degenerate case returns −Inf rather than NaN.
+	empty := &Spectrum{F0: 1e3, C: 1e-9, Coeffs: make([]complex128, 3)}
+	if !math.IsInf(empty.LdBc(10), -1) {
+		t.Fatal("degenerate LdBc should be −Inf")
+	}
+}

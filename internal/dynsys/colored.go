@@ -1,0 +1,151 @@
+package dynsys
+
+import (
+	"fmt"
+	"math"
+)
+
+// ColoredSource describes one noise input of the base system that should be
+// driven by colored (Ornstein–Uhlenbeck-filtered) rather than white noise:
+// the source's intensity process z obeys ż = −z/τ + √(2/τ)·σ·ξ(t), giving
+// a Lorentzian-shaped source spectrum of corner 1/(2πτ) and total (flat-band
+// equivalent) intensity σ² at low frequency.
+type ColoredSource struct {
+	Index int     // which base noise column this replaces
+	Tau   float64 // correlation time (s)
+	Sigma float64 // low-frequency intensity multiplier
+}
+
+// Colored augments a System so that selected noise columns are driven by
+// OU-filtered noise, staying entirely inside the paper's white-noise
+// framework: the OU states join the state vector (they relax to zero on the
+// unperturbed limit cycle, adding Floquet exponents −1/τ), and the only
+// white inputs are the OU excitations plus the untouched original columns.
+//
+// This is the standard rigorous treatment of colored/low-frequency noise in
+// oscillators — near-carrier spectra acquire the corresponding extra slope
+// while the theory's machinery (v1, c) applies unchanged to the augmented
+// system.
+type Colored struct {
+	Base    System
+	Sources []ColoredSource
+
+	colored map[int]int // base column → index in Sources
+}
+
+// NewColored validates and builds the augmented system.
+func NewColored(base System, sources []ColoredSource) (*Colored, error) {
+	p := base.NumNoise()
+	colored := map[int]int{}
+	for i, s := range sources {
+		if s.Index < 0 || s.Index >= p {
+			return nil, fmt.Errorf("dynsys: colored source index %d out of range (p=%d)", s.Index, p)
+		}
+		if s.Tau <= 0 {
+			return nil, fmt.Errorf("dynsys: colored source %d needs positive correlation time", i)
+		}
+		if _, dup := colored[s.Index]; dup {
+			return nil, fmt.Errorf("dynsys: duplicate colored source for column %d", s.Index)
+		}
+		colored[s.Index] = i
+	}
+	return &Colored{Base: base, Sources: sources, colored: colored}, nil
+}
+
+// Dim implements System: base states plus one OU state per colored source.
+func (c *Colored) Dim() int { return c.Base.Dim() + len(c.Sources) }
+
+// NumNoise implements System: the white-noise inputs are the original
+// untouched columns plus one OU excitation per colored source.
+func (c *Colored) NumNoise() int { return c.Base.NumNoise() }
+
+// Eval implements System.
+func (c *Colored) Eval(x, dst []float64) {
+	nb := c.Base.Dim()
+	pb := c.Base.NumNoise()
+	c.Base.Eval(x[:nb], dst[:nb])
+	// The colored sources inject B_col(x)·z into the base equations.
+	b := make([]float64, nb*pb)
+	c.Base.Noise(x[:nb], b)
+	for j, s := range c.Sources {
+		z := x[nb+j]
+		for i := 0; i < nb; i++ {
+			dst[i] += b[i*pb+s.Index] * s.Sigma * z
+		}
+		dst[nb+j] = -z / s.Tau
+	}
+}
+
+// Jacobian implements System.
+func (c *Colored) Jacobian(x []float64, dst []float64) {
+	n := c.Dim()
+	nb := c.Base.Dim()
+	pb := c.Base.NumNoise()
+	for i := range dst[:n*n] {
+		dst[i] = 0
+	}
+	jb := make([]float64, nb*nb)
+	c.Base.Jacobian(x[:nb], jb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			dst[i*n+j] = jb[i*nb+j]
+		}
+	}
+	// ∂/∂z of the injected term: B_col(x)·σ. (The ∂B/∂x·z cross terms are
+	// second order on the limit cycle where z = 0 and are omitted — exact
+	// for state-independent noise maps.)
+	b := make([]float64, nb*pb)
+	c.Base.Noise(x[:nb], b)
+	for j, s := range c.Sources {
+		for i := 0; i < nb; i++ {
+			dst[i*n+nb+j] = b[i*pb+s.Index] * s.Sigma
+		}
+		dst[(nb+j)*n+nb+j] = -1 / s.Tau
+	}
+}
+
+// Noise implements System: white columns for the untouched base sources
+// (zero rows for the OU states), and √(2/τ) excitations for the OU states.
+func (c *Colored) Noise(x []float64, dst []float64) {
+	n := c.Dim()
+	nb := c.Base.Dim()
+	p := c.NumNoise()
+	for i := range dst[:n*p] {
+		dst[i] = 0
+	}
+	b := make([]float64, nb*c.Base.NumNoise())
+	c.Base.Noise(x[:nb], b)
+	for j := 0; j < c.Base.NumNoise(); j++ {
+		if ci, isColored := c.colored[j]; isColored {
+			// The white input drives the OU state instead of the circuit.
+			dst[(nb+ci)*p+j] = math.Sqrt(2 / c.Sources[ci].Tau)
+			continue
+		}
+		for i := 0; i < nb; i++ {
+			dst[i*p+j] = b[i*c.Base.NumNoise()+j]
+		}
+	}
+}
+
+// NoiseLabels implements System.
+func (c *Colored) NoiseLabels() []string {
+	base := c.Base.NoiseLabels()
+	out := make([]string, len(base))
+	for j, l := range base {
+		if _, isColored := c.colored[j]; isColored {
+			out[j] = l + " (OU-colored)"
+		} else {
+			out[j] = l
+		}
+	}
+	return out
+}
+
+// AugmentState extends a base-state vector with zero OU states (the
+// on-cycle values), convenient for seeding shooting on the augmented
+// system.
+func (c *Colored) AugmentState(xbase []float64) []float64 {
+	out := make([]float64, c.Dim())
+	copy(out, xbase)
+	return out
+}

@@ -1,0 +1,121 @@
+package dynsys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestColoredValidation(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	if _, err := NewColored(base, []ColoredSource{{Index: 5, Tau: 1, Sigma: 1}}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := NewColored(base, []ColoredSource{{Index: 0, Tau: 0, Sigma: 1}}); err == nil {
+		t.Fatal("zero correlation time accepted")
+	}
+	if _, err := NewColored(base, []ColoredSource{
+		{Index: 0, Tau: 1, Sigma: 1}, {Index: 0, Tau: 2, Sigma: 1},
+	}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestColoredDimensions(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	c, err := NewColored(base, []ColoredSource{{Index: 1, Tau: 0.5, Sigma: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim() != 3 || c.NumNoise() != 2 {
+		t.Fatalf("dim %d noise %d", c.Dim(), c.NumNoise())
+	}
+	labels := c.NoiseLabels()
+	if labels[0] != "s1" || labels[1] != "s2 (OU-colored)" {
+		t.Fatalf("labels %v", labels)
+	}
+	x := c.AugmentState([]float64{1, 2})
+	if len(x) != 3 || x[2] != 0 {
+		t.Fatalf("augment %v", x)
+	}
+}
+
+func TestColoredEvalInjection(t *testing.T) {
+	// With the OU state z nonzero, the colored column's injection must
+	// appear in the base equations scaled by σ·z.
+	base := &spiral{a: -1, b: 3}
+	c, err := NewColored(base, []ColoredSource{{Index: 1, Tau: 0.5, Sigma: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, -0.2, 0.7} // z = 0.7
+	dst := make([]float64, 3)
+	c.Eval(x, dst)
+	want := make([]float64, 2)
+	base.Eval(x[:2], want)
+	// Base column 1 = (0, 2)ᵀ, injection = 2(column)·2(σ)·0.7 on state 1.
+	if math.Abs(dst[0]-want[0]) > 1e-12 {
+		t.Fatalf("state 0 affected: %g vs %g", dst[0], want[0])
+	}
+	if math.Abs(dst[1]-(want[1]+2*2*0.7)) > 1e-12 {
+		t.Fatalf("state 1 injection: %g", dst[1])
+	}
+	// OU relaxation: ż = −z/τ.
+	if math.Abs(dst[2]-(-0.7/0.5)) > 1e-12 {
+		t.Fatalf("OU state: %g", dst[2])
+	}
+}
+
+func TestColoredJacobianMatchesFiniteDifference(t *testing.T) {
+	base := &spiral{a: -0.5, b: 2}
+	c, err := NewColored(base, []ColoredSource{{Index: 0, Tau: 0.3, Sigma: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := CheckJacobian(c, []float64{0.2, -0.6, 0.1}); d > 1e-5 {
+		t.Fatalf("colored jacobian mismatch %g", d)
+	}
+}
+
+func TestColoredNoiseRouting(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	c, err := NewColored(base, []ColoredSource{{Index: 0, Tau: 0.5, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := make([]float64, 3*2)
+	c.Noise([]float64{0, 0, 0}, bm)
+	// Column 0 is rerouted to the OU state with magnitude √(2/τ) = 2.
+	if bm[0*2+0] != 0 || bm[1*2+0] != 0 {
+		t.Fatal("colored column still drives base states")
+	}
+	if math.Abs(bm[2*2+0]-2) > 1e-12 {
+		t.Fatalf("OU excitation %g, want 2", bm[2*2+0])
+	}
+	// Column 1 untouched: base column (0, 2)ᵀ, zero on the OU row.
+	if bm[0*2+1] != 0 || bm[1*2+1] != 2 || bm[2*2+1] != 0 {
+		t.Fatalf("white column routing: %v", bm)
+	}
+}
+
+func TestColoredOUStationaryVarianceConvention(t *testing.T) {
+	// ż = −z/τ + √(2/τ)·ξ with unit-intensity ξ has stationary variance 1,
+	// so σ scales the low-frequency intensity of the delivered source:
+	// S_z(0)·σ² = 2τ·σ²… sanity-check the diffusion entries instead:
+	// D_zz = 2/τ and relaxation 1/τ ⇒ Var = D/(2·rate) = 1. Verified via
+	// the coefficients used in Noise and Eval above.
+	tau := 0.25
+	base := &spiral{a: -1, b: 3}
+	c, err := NewColored(base, []ColoredSource{{Index: 0, Tau: tau, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := make([]float64, 3*2)
+	c.Noise([]float64{0, 0, 0}, bm)
+	dzz := bm[2*2+0] * bm[2*2+0]
+	dst := make([]float64, 3)
+	c.Eval([]float64{0, 0, 1}, dst)
+	rate := -dst[2] // = 1/τ
+	if v := dzz / (2 * rate); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("OU stationary variance %g, want 1", v)
+	}
+}

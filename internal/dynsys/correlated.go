@@ -1,0 +1,74 @@
+package dynsys
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Correlated wraps a System whose p noise sources are driven by CORRELATED
+// unit-intensity white noise with correlation matrix K (E[b bᵀ] = K·δ):
+// the paper's footnote 9 notes the extension is immediate, because the
+// diffusion matrix becomes B·K·Bᵀ = (B·L)(B·L)ᵀ with K = L·Lᵀ, so the
+// wrapped system simply presents the effective noise map B·L to the
+// (uncorrelated-source) pipeline.
+type Correlated struct {
+	Base System
+	L    *linalg.Matrix // Cholesky factor of the correlation matrix
+}
+
+// NewCorrelated validates the correlation matrix (symmetric positive
+// definite, p×p) and returns the wrapped system.
+func NewCorrelated(base System, corr *linalg.Matrix) (*Correlated, error) {
+	p := base.NumNoise()
+	if corr.Rows != p || corr.Cols != p {
+		return nil, fmt.Errorf("dynsys: correlation matrix is %dx%d, want %dx%d", corr.Rows, corr.Cols, p, p)
+	}
+	l, err := linalg.Cholesky(corr)
+	if err != nil {
+		return nil, fmt.Errorf("dynsys: correlation matrix: %w", err)
+	}
+	return &Correlated{Base: base, L: l}, nil
+}
+
+// Dim implements System.
+func (c *Correlated) Dim() int { return c.Base.Dim() }
+
+// Eval implements System.
+func (c *Correlated) Eval(x, dst []float64) { c.Base.Eval(x, dst) }
+
+// Jacobian implements System.
+func (c *Correlated) Jacobian(x []float64, dst []float64) { c.Base.Jacobian(x, dst) }
+
+// NumNoise implements System.
+func (c *Correlated) NumNoise() int { return c.Base.NumNoise() }
+
+// Noise implements System: returns B(x)·L so that the effective diffusion
+// matrix is B·K·Bᵀ.
+func (c *Correlated) Noise(x []float64, dst []float64) {
+	n := c.Base.Dim()
+	p := c.Base.NumNoise()
+	raw := make([]float64, n*p)
+	c.Base.Noise(x, raw)
+	// dst = raw · L (row-major n×p times p×p lower-triangular).
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for k := j; k < p; k++ { // L is lower triangular: L[k][j] ≠ 0 for k ≥ j
+				s += raw[i*p+k] * c.L.At(k, j)
+			}
+			dst[i*p+j] = s
+		}
+	}
+}
+
+// NoiseLabels implements System. The mixed columns no longer map one-to-one
+// onto physical sources, so the labels are tagged.
+func (c *Correlated) NoiseLabels() []string {
+	base := c.Base.NoiseLabels()
+	out := make([]string, len(base))
+	for i, l := range base {
+		out[i] = l + " (correlated-mix)"
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package dynsys defines the autonomous-oscillator model interface used by
+// the whole phase-noise pipeline: ẋ = f(x) with a noise-injection map B(x)
+// so that the perturbed system is ẋ = f(x) + B(x)·b(t) (paper Eq. 2).
+package dynsys
+
+import (
+	"fmt"
+	"math"
+)
+
+// System is an autonomous dynamical system ẋ = f(x) with a state-dependent
+// noise map B(x) ∈ R^{n×p} that couples p unit-intensity perturbation
+// sources into the state equations.
+type System interface {
+	// Dim returns the state dimension n.
+	Dim() int
+	// Eval writes f(x) into dst (len n).
+	Eval(x, dst []float64)
+	// Jacobian writes ∂f/∂x at x into dst (n×n row-major).
+	Jacobian(x []float64, dst []float64)
+	// NumNoise returns the number of noise columns p.
+	NumNoise() int
+	// Noise writes B(x) into dst (n×p row-major). Columns are scaled so
+	// that B Bᵀ is the two-sided diffusion matrix (unit-intensity sources).
+	Noise(x []float64, dst []float64)
+	// NoiseLabels names the p sources (for per-source budgets).
+	NoiseLabels() []string
+}
+
+// FiniteDiffSystem wraps a bare vector field with a central-difference
+// Jacobian and (optionally) a noise map; convenient for user-defined models
+// that do not supply analytic derivatives.
+type FiniteDiffSystem struct {
+	N      int
+	F      func(x, dst []float64)
+	B      func(x []float64, dst []float64) // may be nil ⇒ no noise
+	P      int                              // noise columns (0 if B nil)
+	Labels []string
+}
+
+// Dim implements System.
+func (s *FiniteDiffSystem) Dim() int { return s.N }
+
+// Eval implements System.
+func (s *FiniteDiffSystem) Eval(x, dst []float64) { s.F(x, dst) }
+
+// Jacobian implements System by central differences.
+func (s *FiniteDiffSystem) Jacobian(x []float64, dst []float64) {
+	n := s.N
+	xp := make([]float64, n)
+	fp := make([]float64, n)
+	fm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		h := 1e-7 * (1 + math.Abs(x[j]))
+		copy(xp, x)
+		xp[j] = x[j] + h
+		s.F(xp, fp)
+		xp[j] = x[j] - h
+		s.F(xp, fm)
+		inv := 1 / (2 * h)
+		for i := 0; i < n; i++ {
+			dst[i*n+j] = (fp[i] - fm[i]) * inv
+		}
+	}
+}
+
+// NumNoise implements System.
+func (s *FiniteDiffSystem) NumNoise() int { return s.P }
+
+// Noise implements System.
+func (s *FiniteDiffSystem) Noise(x []float64, dst []float64) {
+	if s.B == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	s.B(x, dst)
+}
+
+// NoiseLabels implements System.
+func (s *FiniteDiffSystem) NoiseLabels() []string {
+	if s.Labels != nil {
+		return s.Labels
+	}
+	out := make([]string, s.P)
+	for i := range out {
+		out[i] = fmt.Sprintf("source%d", i)
+	}
+	return out
+}
+
+// CheckJacobian compares a system's analytic Jacobian against central
+// differences at x and returns the max absolute discrepancy; used in tests
+// to catch hand-derivation mistakes in device models.
+func CheckJacobian(s System, x []float64) float64 {
+	n := s.Dim()
+	analytic := make([]float64, n*n)
+	s.Jacobian(x, analytic)
+	fd := &FiniteDiffSystem{N: n, F: s.Eval}
+	numeric := make([]float64, n*n)
+	fd.Jacobian(x, numeric)
+	maxd := 0.0
+	for i := range analytic {
+		if d := math.Abs(analytic[i] - numeric[i]); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// Physical constants used by the device noise models.
+const (
+	BoltzmannK = 1.380649e-23 // J/K
+	ElectronQ  = 1.602176634e-19
+	RoomTempK  = 300.0
+)
+
+// ThermalCurrentNoise returns the unit-intensity column magnitude for the
+// thermal (Johnson) current noise of a resistor R at temperature tempK:
+// two-sided PSD 2kT/R ⇒ column √(2kT/R) (A·s^{-1/2} when injected as a
+// current).
+func ThermalCurrentNoise(r, tempK float64) float64 {
+	return math.Sqrt(2 * BoltzmannK * tempK / r)
+}
+
+// ThermalVoltageNoise returns √(2kT·R), the two-sided voltage-noise column
+// for a series resistance R.
+func ThermalVoltageNoise(r, tempK float64) float64 {
+	return math.Sqrt(2 * BoltzmannK * tempK * r)
+}
+
+// ShotNoise returns √(q·|I|), the two-sided shot-noise column for a junction
+// carrying current I.
+func ShotNoise(i float64) float64 {
+	return math.Sqrt(ElectronQ * math.Abs(i))
+}

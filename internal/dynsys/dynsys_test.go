@@ -1,0 +1,146 @@
+package dynsys
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// spiral is a 2-state linear test system with one noise source per state.
+type spiral struct{ a, b float64 }
+
+func (s *spiral) Dim() int { return 2 }
+func (s *spiral) Eval(x, dst []float64) {
+	dst[0] = s.a*x[0] - s.b*x[1]
+	dst[1] = s.b*x[0] + s.a*x[1]
+}
+func (s *spiral) Jacobian(x []float64, dst []float64) {
+	dst[0], dst[1] = s.a, -s.b
+	dst[2], dst[3] = s.b, s.a
+}
+func (s *spiral) NumNoise() int { return 2 }
+func (s *spiral) Noise(x []float64, dst []float64) {
+	dst[0], dst[1] = 1, 0
+	dst[2], dst[3] = 0, 2
+}
+func (s *spiral) NoiseLabels() []string { return []string{"s1", "s2"} }
+
+func TestCheckJacobianCatchesErrors(t *testing.T) {
+	good := &spiral{a: -0.5, b: 2}
+	if d := CheckJacobian(good, []float64{0.3, -0.7}); d > 1e-6 {
+		t.Fatalf("good jacobian flagged: %g", d)
+	}
+	// A deliberately wrong Jacobian must be caught.
+	bad := &FiniteDiffSystem{N: 2, F: good.Eval}
+	wrong := make([]float64, 4)
+	bad.Jacobian([]float64{0.3, -0.7}, wrong)
+	wrong[0] += 1 // corrupt
+	// CheckJacobian on a wrapper that reports the corrupted one:
+	w := &jacOverride{System: good, jac: wrong}
+	if d := CheckJacobian(w, []float64{0.3, -0.7}); d < 0.5 {
+		t.Fatalf("corrupted jacobian not caught: %g", d)
+	}
+}
+
+type jacOverride struct {
+	System
+	jac []float64
+}
+
+func (j *jacOverride) Jacobian(x []float64, dst []float64) { copy(dst, j.jac) }
+
+func TestFiniteDiffSystemDefaults(t *testing.T) {
+	fd := &FiniteDiffSystem{N: 2, F: (&spiral{a: 1, b: 1}).Eval, P: 3}
+	if got := fd.NoiseLabels(); len(got) != 3 || got[0] != "source0" {
+		t.Fatalf("labels %v", got)
+	}
+	b := make([]float64, 6)
+	fd.Noise(nil, b) // nil B ⇒ zeros
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("nil B should produce zeros")
+		}
+	}
+}
+
+func TestCorrelatedIdentityIsNoop(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	c, err := NewCorrelated(base, linalg.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, 4)
+	mixed := make([]float64, 4)
+	base.Noise(nil, raw)
+	c.Noise(nil, mixed)
+	for i := range raw {
+		if raw[i] != mixed[i] {
+			t.Fatalf("identity correlation changed B: %v vs %v", raw, mixed)
+		}
+	}
+	if c.Dim() != 2 || c.NumNoise() != 2 {
+		t.Fatal("dims")
+	}
+}
+
+func TestCorrelatedDiffusionMatrix(t *testing.T) {
+	// The effective diffusion B·K·Bᵀ must equal (B·L)(B·L)ᵀ.
+	base := &spiral{a: -1, b: 3}
+	k := linalg.NewMatrixFrom(2, 2, []float64{
+		1, 0.6,
+		0.6, 2,
+	})
+	c, err := NewCorrelated(base, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	braw := linalg.NewMatrix(2, 2)
+	base.Noise(nil, braw.Data)
+	bmix := linalg.NewMatrix(2, 2)
+	c.Noise(nil, bmix.Data)
+	want := braw.Mul(k).Mul(braw.T())
+	got := bmix.Mul(bmix.T())
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-got.Data[i]) > 1e-12 {
+			t.Fatalf("diffusion mismatch:\n%v\nvs\n%v", want, got)
+		}
+	}
+}
+
+func TestCorrelatedRejectsBadMatrices(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	if _, err := NewCorrelated(base, linalg.Identity(3)); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+	notSPD := linalg.NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := NewCorrelated(base, notSPD); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	asym := linalg.NewMatrixFrom(2, 2, []float64{1, 0.5, 0, 1})
+	if _, err := NewCorrelated(base, asym); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestCorrelatedLabelsTagged(t *testing.T) {
+	base := &spiral{a: -1, b: 3}
+	c, err := NewCorrelated(base, linalg.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range c.NoiseLabels() {
+		if len(l) < 5 {
+			t.Fatalf("label %q", l)
+		}
+	}
+}
+
+func TestNoiseHelperValues(t *testing.T) {
+	// Physical sanity: a 50 Ω resistor at room temperature has one-sided
+	// 4kT/R ≈ 3.3e-22 A²/Hz; our two-sided column squared is half that.
+	in := ThermalCurrentNoise(50, RoomTempK)
+	if in*in < 1.5e-22 || in*in > 1.8e-22 {
+		t.Fatalf("2kT/R for 50Ω = %g", in*in)
+	}
+}

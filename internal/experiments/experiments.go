@@ -1,0 +1,247 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 10) from this repository's substrates, as indexed in
+// DESIGN.md §4. Each experiment returns structured data that the cmd/
+// binaries print and the root benchmarks time; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fourier"
+	"repro/internal/osc"
+	"repro/internal/sde"
+	"repro/internal/shooting"
+	"repro/internal/stochproc"
+)
+
+// CharacteriseBandpass runs the full pipeline on the paper's Figure-1
+// oscillator (Q = 1, f0 = 6.66 kHz, external white-noise source).
+func CharacteriseBandpass() (*core.Result, error) {
+	b := osc.NewBandpassPaper()
+	tGuess := 1 / 6660.0
+	return core.Characterise(b, []float64{0.1, 0}, tGuess, nil)
+}
+
+// Fig2aPoint is one frequency sample of the computed PSD.
+type Fig2aPoint struct {
+	F   float64 // Hz
+	PSD float64 // Sss(f), V²/Hz
+	DB  float64 // 10·log10(PSD)
+}
+
+// Fig2a computes the oscillator-output PSD with 4 harmonics (paper
+// Figure 2(a)): the sum-of-Lorentzians of Eq. (24) swept across the first
+// four harmonics of 6.66 kHz.
+func Fig2a(res *core.Result, pointsPerHarmonic int) []Fig2aPoint {
+	sp := res.OutputSpectrum(0, 4)
+	f0 := sp.F0
+	var out []Fig2aPoint
+	// Sweep 0..4.6·f0 with extra density near each harmonic.
+	fmax := 4.6 * f0
+	n := 4 * pointsPerHarmonic
+	for k := 0; k <= n; k++ {
+		f := fmax * float64(k) / float64(n)
+		p := sp.SSB(f)
+		out = append(out, Fig2aPoint{F: f, PSD: p, DB: 10 * math.Log10(p)})
+	}
+	return out
+}
+
+// Fig2bResult compares the Monte-Carlo "spectrum analyzer" measurement with
+// the Lorentzian theory around the first harmonic.
+type Fig2bResult struct {
+	Freqs, PSD  []float64 // ensemble-averaged periodogram
+	FitCenter   float64   // fitted line centre (Hz)
+	FitHalfW    float64   // fitted half-width (Hz)
+	TheoryHalfW float64   // π·f0²·c
+	TheoryPeak  float64   // Sss(f0)
+	FitPeak     float64
+}
+
+// Fig2b simulates the noisy bandpass oscillator (full nonlinear SDE),
+// estimates its PSD by ensemble-averaged periodograms — the numerical
+// equivalent of the paper's spectrum-analyzer measurement (Figure 2(b)) —
+// and fits the first-harmonic line against the Lorentzian prediction.
+func Fig2b(res *core.Result, paths int, seed int64) (*Fig2bResult, error) {
+	b := osc.NewBandpassPaper()
+	f0 := res.F0()
+	T := res.T()
+	// Long records resolve the ~10 Hz Lorentzian width: 0.5 s ⇒ 2 Hz bins.
+	record := 0.8
+	dtSim := T / 400 // SDE step
+	stride := 8      // decimate to fs ≈ 33·f0
+	nsteps := int(record / dtSim)
+	sys := sde.System{
+		Dim:      2,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { b.Eval(x, dst) },
+		Diff:     func(t float64, x []float64, dst []float64) { b.Noise(x, dst) },
+	}
+	cfg := sde.EnsembleConfig{Paths: paths, Steps: nsteps, Stride: stride, Seed: seed, Dt: dtSim}
+	ens := sde.Ensemble(sys, res.PSS.X0, cfg)
+	fs := 1 / (dtSim * float64(stride))
+	signals := make([][]float64, len(ens))
+	for i, p := range ens {
+		sig := p.Component(0)
+		// Power-of-two length for the FFT.
+		n := 1
+		for n*2 <= len(sig) {
+			n *= 2
+		}
+		signals[i] = sig[:n]
+	}
+	freqs, psd := fourier.EnsemblePSD(signals, fs, fourier.Rectangular)
+	fit, err := stochproc.FitLorentzian(freqs, psd, 0.7*f0, 1.3*f0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Lorentzian fit: %w", err)
+	}
+	sp := res.OutputSpectrum(0, 4)
+	return &Fig2bResult{
+		Freqs:       freqs,
+		PSD:         psd,
+		FitCenter:   fit.Center,
+		FitHalfW:    fit.HalfWidth,
+		TheoryHalfW: sp.LorentzianHalfWidth(1),
+		TheoryPeak:  sp.SSB(f0),
+		FitPeak:     fit.Peak,
+	}, nil
+}
+
+// Fig3Point is one offset-frequency sample of the single-sideband phase
+// noise in both approximations.
+type Fig3Point struct {
+	Fm         float64 // offset from carrier, Hz
+	Lorentzian float64 // Eq. (27), dBc/Hz
+	InvSquare  float64 // Eq. (28), dBc/Hz
+}
+
+// Fig3 evaluates L(f_m) with both Eq. (27) and Eq. (28) from 0.1 Hz to
+// 3 kHz (paper Figure 3); the corner frequency π·f0²·c separates the
+// regimes where they agree and diverge.
+func Fig3(res *core.Result, pointsPerDecade int) []Fig3Point {
+	sp := res.OutputSpectrum(0, 4)
+	var out []Fig3Point
+	for _, decade := range []float64{0.1, 1, 10, 100, 1000} {
+		for k := 0; k < pointsPerDecade; k++ {
+			fm := decade * math.Pow(10, float64(k)/float64(pointsPerDecade))
+			if fm > 3000 {
+				break
+			}
+			out = append(out, Fig3Point{
+				Fm:         fm,
+				Lorentzian: sp.LdBcLorentzian(fm),
+				InvSquare:  sp.LdBcInvSquare(fm),
+			})
+		}
+	}
+	return out
+}
+
+// Fig4Row is one row of the paper's Figure-4(a) table.
+type Fig4Row struct {
+	Rc, Rb, IEE float64 // design parameters (Ω, Ω, A)
+	F0          float64 // oscillation frequency (Hz)
+	C           float64 // phase-diffusion constant (s²·Hz)
+	FOM         float64 // (2π·f0)²·c — Figure 4(b)'s ordinate
+}
+
+// Fig4aParams are the six (Rc, rb, IEE) configurations of Figure 4(a).
+var Fig4aParams = []struct{ Rc, Rb, IEE float64 }{
+	{500, 58, 331e-6},
+	{2000, 58, 331e-6},
+	{500, 1650, 331e-6},
+	{500, 58, 450e-6},
+	{500, 58, 600e-6},
+	{500, 58, 715e-6},
+}
+
+// Fig4a characterises the three-stage ECL ring oscillator at the six
+// configurations of the paper's table (Figure 4(a)).
+func Fig4a() ([]Fig4Row, error) {
+	rows := make([]Fig4Row, 0, len(Fig4aParams))
+	for _, p := range Fig4aParams {
+		row, err := CharacteriseRing(p.Rc, p.Rb, p.IEE)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ring (Rc=%g rb=%g IEE=%g): %w", p.Rc, p.Rb, p.IEE, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// Fig4b extracts the (2πf0)²·c versus IEE series (paper Figure 4(b)) from
+// the Figure-4(a) rows: the constant-Rc, constant-rb sweep over tail
+// current.
+func Fig4b(rows []Fig4Row) []Fig4Row {
+	var out []Fig4Row
+	for _, r := range rows {
+		if r.Rc == 500 && r.Rb == 58 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CharacteriseRingFull runs the pipeline on one ECL-ring configuration and
+// returns the full characterisation (per-source budget, sensitivities, …).
+func CharacteriseRingFull(rc, rb, iee float64) (*core.Result, error) {
+	r := osc.NewECLRingPaper()
+	r.Rc, r.Rb, r.IEE = rc, rb, iee
+	T, x0, err := shooting.EstimatePeriod(r, r.InitialState(), 300e-9)
+	if err != nil {
+		return nil, err
+	}
+	return core.Characterise(r, x0, T, &core.Options{
+		Shooting: &shooting.Options{StepsPerPeriod: 4000},
+	})
+}
+
+// CharacteriseRing runs the pipeline on one ECL-ring configuration and
+// reduces it to a Figure-4(a) table row.
+func CharacteriseRing(rc, rb, iee float64) (*Fig4Row, error) {
+	res, err := CharacteriseRingFull(rc, rb, iee)
+	if err != nil {
+		return nil, err
+	}
+	f0 := res.F0()
+	return &Fig4Row{
+		Rc: rc, Rb: rb, IEE: iee,
+		F0:  f0,
+		C:   res.C,
+		FOM: math.Pow(2*math.Pi*f0, 2) * res.C,
+	}, nil
+}
+
+// JitterResult compares Monte-Carlo threshold-crossing jitter against the
+// theory Var[t_k] = c·k·T (Section 8 / McNeill's measurement).
+type JitterResult struct {
+	Growth      *stochproc.JitterGrowth
+	MeasuredC   float64 // slope of Var[t_k] vs mean t_k
+	TheoryC     float64
+	RelativeErr float64
+}
+
+// JitterExperiment Monte-Carloes the full nonlinear SDE of an oscillator,
+// extracts rising-crossing times of the first state component through its
+// cycle mean, and regresses the variance growth against the theoretical c.
+func JitterExperiment(sys sde.System, res *core.Result, level float64, paths, periods int, seed int64) (*JitterResult, error) {
+	T := res.T()
+	dt := T / 600
+	steps := periods * 600
+	cfg := sde.EnsembleConfig{Paths: paths, Steps: steps, Stride: 1, Seed: seed, Dt: dt}
+	ens := sde.Ensemble(sys, res.PSS.X0, cfg)
+	signals := make([][]float64, len(ens))
+	for i, p := range ens {
+		signals[i] = p.Component(0)
+	}
+	jg, err := stochproc.EnsembleJitter(signals, 0, dt, level)
+	if err != nil {
+		return nil, err
+	}
+	slope := jg.Slope()
+	rel := math.Abs(slope-res.C) / res.C
+	return &JitterResult{Growth: jg, MeasuredC: slope, TheoryC: res.C, RelativeErr: rel}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig2aSweepStructure(t *testing.T) {
+	res, err := CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Fig2a(res, 50)
+	if len(pts) != 201 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Monotone frequency axis, finite dB values past DC.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].F <= pts[i-1].F {
+			t.Fatal("frequency axis not increasing")
+		}
+		if math.IsNaN(pts[i].DB) || math.IsInf(pts[i].DB, 1) {
+			t.Fatalf("bad dB at %g", pts[i].F)
+		}
+		if math.Abs(pts[i].DB-10*math.Log10(pts[i].PSD)) > 1e-9 {
+			t.Fatal("dB column inconsistent with PSD column")
+		}
+	}
+}
+
+func TestFig3SweepRange(t *testing.T) {
+	res, err := CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Fig3(res, 10)
+	if pts[0].Fm > 0.11 {
+		t.Fatalf("sweep starts at %g", pts[0].Fm)
+	}
+	last := pts[len(pts)-1].Fm
+	if last < 1000 || last > 3000 {
+		t.Fatalf("sweep ends at %g", last)
+	}
+	// Eq. 28 column minus Eq. 27 column is monotone decreasing in fm
+	// (their ratio closes as fm rises past the corner).
+	for i := 1; i < len(pts); i++ {
+		d1 := pts[i-1].InvSquare - pts[i-1].Lorentzian
+		d2 := pts[i].InvSquare - pts[i].Lorentzian
+		if d2 > d1+1e-9 {
+			t.Fatalf("approximation gap not closing at fm=%g", pts[i].Fm)
+		}
+	}
+}
+
+func TestFig4bFiltersNominalRows(t *testing.T) {
+	rows := []Fig4Row{
+		{Rc: 500, Rb: 58, IEE: 331e-6, FOM: 3},
+		{Rc: 2000, Rb: 58, IEE: 331e-6, FOM: 9},
+		{Rc: 500, Rb: 1650, IEE: 331e-6, FOM: 9},
+		{Rc: 500, Rb: 58, IEE: 450e-6, FOM: 2},
+	}
+	out := Fig4b(rows)
+	if len(out) != 2 {
+		t.Fatalf("filtered %d rows, want 2", len(out))
+	}
+	for _, r := range out {
+		if r.Rc != 500 || r.Rb != 58 {
+			t.Fatalf("wrong row kept: %+v", r)
+		}
+	}
+}
+
+func TestFig4aParamsMatchPaperTable(t *testing.T) {
+	// The sweep definition itself must match the paper's six rows.
+	if len(Fig4aParams) != 6 {
+		t.Fatalf("%d parameter rows", len(Fig4aParams))
+	}
+	if Fig4aParams[0].Rc != 500 || Fig4aParams[0].Rb != 58 || Fig4aParams[0].IEE != 331e-6 {
+		t.Fatalf("nominal row %+v", Fig4aParams[0])
+	}
+	if Fig4aParams[1].Rc != 2000 || Fig4aParams[2].Rb != 1650 {
+		t.Fatal("Rc/rb sweep rows wrong")
+	}
+	if Fig4aParams[5].IEE != 715e-6 {
+		t.Fatal("IEE sweep end wrong")
+	}
+}
+
+func TestCharacteriseRingRowConsistency(t *testing.T) {
+	row, err := CharacteriseRing(500, 58, 331e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(row.FOM-math.Pow(2*math.Pi*row.F0, 2)*row.C) > 1e-9*row.FOM {
+		t.Fatal("FOM column inconsistent")
+	}
+	full, err := CharacteriseRingFull(500, 58, 331e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.C-row.C) > 1e-12*row.C {
+		t.Fatal("full and row characterisations disagree")
+	}
+}

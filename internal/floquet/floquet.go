@@ -1,0 +1,206 @@
+// Package floquet performs the Floquet analysis of a periodic steady state
+// needed for phase-noise characterisation (paper Sections 4 and 9): the
+// characteristic multipliers/exponents of the monodromy matrix, the tangent
+// Floquet vector u1(t) = ẋs(t), and the adjoint Floquet vector v1(t)
+// (the perturbation projection vector), computed by numerically stable
+// backward integration of the adjoint equation ẏ = −Aᵀ(t)y.
+package floquet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dynsys"
+	"repro/internal/linalg"
+	"repro/internal/ode"
+	"repro/internal/shooting"
+)
+
+// ErrNoUnitMultiplier is returned when the monodromy matrix has no
+// eigenvalue close to 1 — i.e. the supplied orbit is not a (resolved)
+// periodic solution of an autonomous system.
+var ErrNoUnitMultiplier = errors.New("floquet: no characteristic multiplier near 1")
+
+// ErrUnstableCycle is returned when a multiplier other than the structural
+// unit one lies outside the unit circle, meaning the orbit is not
+// asymptotically orbitally stable and the phase-noise theory does not apply.
+var ErrUnstableCycle = errors.New("floquet: limit cycle is orbitally unstable")
+
+// Options configures the analysis.
+type Options struct {
+	Steps          int     // adjoint integration steps over one period (default: 4× orbit knots, min 2000)
+	UnitTol        float64 // acceptance radius for the unit multiplier (default 5e-3)
+	StabilityTol   float64 // margin for instability detection (default 1e-6)
+	SkipStability  bool    // do not fail on unstable cycles (for diagnostics)
+	NoRenormalize  bool    // keep the raw backward-integrated v1(t) without pointwise rescaling
+	RelaxResidual  bool    // accept larger inverse-iteration residuals (ill-conditioned monodromy)
+	MaxPeriodDrift float64 // max tolerated ‖v1(0)−v1(T)‖ closure error (default 1e-3, relative)
+}
+
+func (o *Options) defaults(orbitKnots int) Options {
+	out := Options{
+		Steps:          max(2000, 4*orbitKnots),
+		UnitTol:        5e-3,
+		StabilityTol:   1e-6,
+		MaxPeriodDrift: 1e-3,
+	}
+	if o != nil {
+		if o.Steps > 0 {
+			out.Steps = o.Steps
+		}
+		if o.UnitTol > 0 {
+			out.UnitTol = o.UnitTol
+		}
+		if o.StabilityTol > 0 {
+			out.StabilityTol = o.StabilityTol
+		}
+		out.SkipStability = o.SkipStability
+		out.NoRenormalize = o.NoRenormalize
+		out.RelaxResidual = o.RelaxResidual
+		if o.MaxPeriodDrift > 0 {
+			out.MaxPeriodDrift = o.MaxPeriodDrift
+		}
+	}
+	return out
+}
+
+// Decomposition carries the Floquet quantities of one periodic orbit.
+type Decomposition struct {
+	T           float64
+	Multipliers []complex128 // characteristic multipliers exp(μ_i T), |·| sorted desc
+	Exponents   []complex128 // Floquet exponents μ_i = log(multiplier)/T
+	U10         []float64    // u1(0) = ẋs(0)
+	V10         []float64    // v1(0), normalised v1ᵀ(0)·u1(0) = 1
+	V1          *ode.Trajectory
+	// Diagnostics:
+	UnitErr      float64 // |multiplier₁ − 1|
+	ClosureErr   float64 // relative ‖v1 backward-integrated to 0 − v1(0)‖
+	BiorthoDrift float64 // max |v1ᵀ(t)·ẋs(t) − 1| before renormalisation
+}
+
+// V1At evaluates v1(t) into dst, reducing t modulo the period.
+func (d *Decomposition) V1At(t float64, dst []float64) {
+	tm := math.Mod(t, d.T)
+	if tm < 0 {
+		tm += d.T
+	}
+	d.V1.At(tm, dst)
+}
+
+// StabilityMargin returns 1 − max_{i≥2} |multiplier_i|; positive values mean
+// an asymptotically orbitally stable cycle.
+func (d *Decomposition) StabilityMargin() float64 {
+	worst := 0.0
+	for i := 1; i < len(d.Multipliers); i++ {
+		if a := cmplx.Abs(d.Multipliers[i]); a > worst {
+			worst = a
+		}
+	}
+	return 1 - worst
+}
+
+// Analyze computes the Floquet decomposition of the periodic steady state
+// pss of sys, following paper Section 9 steps 2–5:
+//
+//  1. eigenvalues of Φ(T,0) give the characteristic multipliers;
+//  2. u1(0) = ẋs(0) = f(x0) spans the unit-multiplier eigenspace;
+//  3. v1(0) is the eigenvector of Φᵀ(T,0) at eigenvalue 1, scaled so
+//     v1ᵀ(0) u1(0) = 1;
+//  4. v1(t) follows from integrating ẏ = −Aᵀ(t)y BACKWARD from
+//     y(T) = v1(0); forward integration would be unstable because the
+//     contracting Floquet modes of the cycle are expanding for the adjoint.
+func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decomposition, error) {
+	o := opts.defaults(len(pss.Orbit.Points))
+	n := sys.Dim()
+	phi := pss.Monodromy
+
+	mult, err := linalg.Eigenvalues(phi)
+	if err != nil {
+		return nil, fmt.Errorf("floquet: monodromy eigenvalues: %w", err)
+	}
+	// Locate the multiplier closest to 1 and move it to the front.
+	best, bdist := -1, math.Inf(1)
+	for i, m := range mult {
+		if d := cmplx.Abs(m - 1); d < bdist {
+			best, bdist = i, d
+		}
+	}
+	if best < 0 || bdist > o.UnitTol {
+		return nil, fmt.Errorf("%w (closest %.3e away; refine the shooting solution)", ErrNoUnitMultiplier, bdist)
+	}
+	mult[0], mult[best] = mult[best], mult[0]
+	if !o.SkipStability {
+		for i := 1; i < len(mult); i++ {
+			if cmplx.Abs(mult[i]) > 1+o.StabilityTol {
+				return nil, fmt.Errorf("%w (multiplier %v)", ErrUnstableCycle, mult[i])
+			}
+		}
+	}
+	exps := make([]complex128, len(mult))
+	for i, m := range mult {
+		exps[i] = cmplx.Log(m) / complex(pss.T, 0)
+	}
+	exps[0] = 0 // structurally exact
+
+	// u1(0) = f(x0).
+	u10 := make([]float64, n)
+	sys.Eval(pss.X0, u10)
+
+	// v1(0): eigenvector of Φᵀ at eigenvalue 1.
+	v10, err := linalg.EigenvectorReal(phi.T(), 1)
+	if err != nil {
+		return nil, fmt.Errorf("floquet: v1(0) eigenvector: %w", err)
+	}
+	ip := linalg.Dot(v10, u10)
+	if ip == 0 {
+		return nil, errors.New("floquet: v1(0) orthogonal to u1(0); degenerate monodromy")
+	}
+	linalg.ScaleVec(1/ip, v10)
+
+	// Backward adjoint integration over [0, T] with y(T) = v1(0).
+	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
+	v1traj := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps)
+
+	// Closure diagnostic: the backward solution at t=0 should reproduce v1(0).
+	v1at0 := make([]float64, n)
+	v1traj.At(0, v1at0)
+	closure := linalg.Norm2(linalg.SubVec(v1at0, v10)) / (1 + linalg.Norm2(v10))
+
+	// Biorthogonality drift |v1ᵀ(t) ẋs(t) − 1| and optional renormalisation.
+	drift := 0.0
+	xbuf := make([]float64, n)
+	fbuf := make([]float64, n)
+	for i := range v1traj.Points {
+		p := &v1traj.Points[i]
+		pss.Orbit.At(p.T, xbuf)
+		sys.Eval(xbuf, fbuf)
+		ipT := linalg.Dot(p.X, fbuf)
+		if d := math.Abs(ipT - 1); d > drift {
+			drift = d
+		}
+		if !o.NoRenormalize && ipT != 0 {
+			// The exact v1 satisfies v1ᵀ(t)u1(t) ≡ 1; rescaling pointwise
+			// removes accumulated integration error without changing the
+			// direction of the projection.
+			linalg.ScaleVec(1/ipT, p.X)
+			linalg.ScaleVec(1/ipT, p.DX) // keep the interpolant consistent
+		}
+	}
+	if closure > o.MaxPeriodDrift {
+		return nil, fmt.Errorf("floquet: adjoint closure error %.3e exceeds %.3e; increase Steps or tighten shooting tolerance", closure, o.MaxPeriodDrift)
+	}
+
+	return &Decomposition{
+		T:            pss.T,
+		Multipliers:  mult,
+		Exponents:    exps,
+		U10:          u10,
+		V10:          v10,
+		V1:           v1traj,
+		UnitErr:      bdist,
+		ClosureErr:   closure,
+		BiorthoDrift: drift,
+	}, nil
+}

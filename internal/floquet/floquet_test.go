@@ -1,0 +1,229 @@
+package floquet
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/ode"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func hopfDecomp(t *testing.T, lambda, omega float64) (*osc.Hopf, *shooting.PSS, *Decomposition) {
+	t.Helper()
+	h := &osc.Hopf{Lambda: lambda, Omega: omega, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0.2}, 2*math.Pi/omega*1.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(h, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, pss, dec
+}
+
+func TestHopfMultipliers(t *testing.T) {
+	h, _, dec := hopfDecomp(t, 0.8, 4)
+	if len(dec.Multipliers) != 2 {
+		t.Fatalf("got %d multipliers", len(dec.Multipliers))
+	}
+	if cmplx.Abs(dec.Multipliers[0]-1) > 1e-6 {
+		t.Fatalf("unit multiplier = %v", dec.Multipliers[0])
+	}
+	want := h.ExactSecondMultiplier()
+	if cmplx.Abs(dec.Multipliers[1]-complex(want, 0)) > 1e-5 {
+		t.Fatalf("second multiplier = %v, want %g", dec.Multipliers[1], want)
+	}
+	// Exponents: μ1 = 0 exactly, μ2 = −2λ.
+	if dec.Exponents[0] != 0 {
+		t.Fatalf("μ1 = %v", dec.Exponents[0])
+	}
+	if cmplx.Abs(dec.Exponents[1]-complex(-2*0.8, 0)) > 1e-4 {
+		t.Fatalf("μ2 = %v, want %g", dec.Exponents[1], -1.6)
+	}
+}
+
+func TestHopfV1MatchesClosedForm(t *testing.T) {
+	h, pss, dec := hopfDecomp(t, 1, 2*math.Pi)
+	// The orbit starts at an arbitrary phase point; find its angle so we can
+	// compare against the closed-form v1.
+	theta0 := math.Atan2(pss.X0[1], pss.X0[0])
+	buf := make([]float64, 2)
+	for _, frac := range []float64{0, 0.17, 0.42, 0.73, 0.96} {
+		tt := frac * pss.T
+		dec.V1At(tt, buf)
+		// Closed form referenced to angle θ0 + ωt.
+		th := theta0 + h.Omega*tt
+		wantX := -math.Sin(th) / h.Omega
+		wantY := math.Cos(th) / h.Omega
+		if math.Abs(buf[0]-wantX) > 1e-6 || math.Abs(buf[1]-wantY) > 1e-6 {
+			t.Fatalf("v1(%.2fT) = %v, want (%g, %g)", frac, buf, wantX, wantY)
+		}
+	}
+}
+
+func TestHopfBiorthogonality(t *testing.T) {
+	h, pss, dec := hopfDecomp(t, 0.5, 3)
+	// v1ᵀ(t)·ẋs(t) = 1 along the whole period.
+	xbuf := make([]float64, 2)
+	fbuf := make([]float64, 2)
+	vbuf := make([]float64, 2)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		tt := frac * pss.T
+		pss.Orbit.At(tt, xbuf)
+		h.Eval(xbuf, fbuf)
+		dec.V1At(tt, vbuf)
+		ip := vbuf[0]*fbuf[0] + vbuf[1]*fbuf[1]
+		if math.Abs(ip-1) > 1e-8 {
+			t.Fatalf("v1ᵀu1 at %.3fT = %g", frac, ip)
+		}
+	}
+	if dec.BiorthoDrift > 1e-4 {
+		t.Fatalf("raw biorthogonality drift %g too large", dec.BiorthoDrift)
+	}
+}
+
+func TestHopfV1Periodicity(t *testing.T) {
+	_, pss, dec := hopfDecomp(t, 1.5, 5)
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	dec.V1.At(0, a)
+	dec.V1.At(pss.T, b)
+	if math.Hypot(a[0]-b[0], a[1]-b[1]) > 1e-6 {
+		t.Fatalf("v1 not periodic: %v vs %v", a, b)
+	}
+	if dec.ClosureErr > 1e-6 {
+		t.Fatalf("closure error %g", dec.ClosureErr)
+	}
+}
+
+func TestV1AtWrapsModuloPeriod(t *testing.T) {
+	_, pss, dec := hopfDecomp(t, 1, 2*math.Pi)
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	dec.V1At(0.3*pss.T, a)
+	dec.V1At(0.3*pss.T+3*pss.T, b)
+	if math.Hypot(a[0]-b[0], a[1]-b[1]) > 1e-12 {
+		t.Fatalf("V1At not periodic: %v vs %v", a, b)
+	}
+	dec.V1At(-0.7*pss.T, b) // negative times wrap too
+	if math.Hypot(a[0]-b[0], a[1]-b[1]) > 1e-12 {
+		t.Fatalf("V1At negative wrap: %v vs %v", a, b)
+	}
+}
+
+func TestVanDerPolDecomposition(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.05}
+	pss, err := shooting.Find(v, []float64{2, 0}, 6.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(v, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(dec.Multipliers[0]-1) > 1e-6 {
+		t.Fatalf("unit multiplier = %v", dec.Multipliers[0])
+	}
+	// Liouville: product of multipliers = exp(∫tr A) = exp(μ∫(1−x²)dt);
+	// both multipliers real, second inside unit circle.
+	if im := imag(dec.Multipliers[1]); math.Abs(im) > 1e-9 {
+		t.Fatalf("second multiplier complex: %v", dec.Multipliers[1])
+	}
+	if m := cmplx.Abs(dec.Multipliers[1]); m >= 1 {
+		t.Fatalf("cycle should be stable, |m2| = %g", m)
+	}
+	if dec.StabilityMargin() <= 0 {
+		t.Fatalf("stability margin %g", dec.StabilityMargin())
+	}
+	// Biorthogonality for a non-trivial oscillator.
+	xb := make([]float64, 2)
+	fb := make([]float64, 2)
+	vb := make([]float64, 2)
+	for _, frac := range []float64{0.1, 0.4, 0.8} {
+		tt := frac * pss.T
+		pss.Orbit.At(tt, xb)
+		v.Eval(xb, fb)
+		dec.V1At(tt, vb)
+		ip := vb[0]*fb[0] + vb[1]*fb[1]
+		if math.Abs(ip-1) > 1e-7 {
+			t.Fatalf("vdp v1ᵀu1 at %.1fT = %g", frac, ip)
+		}
+	}
+}
+
+func TestAnalyzeRejectsNonPeriodicOrbit(t *testing.T) {
+	// Hand the analyzer a fake PSS whose "monodromy" has no unit eigenvalue.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := *pss
+	fake.Monodromy = linalg.Diag([]float64{0.5, 0.2})
+	if _, err := Analyze(h, &fake, nil); !errors.Is(err, ErrNoUnitMultiplier) {
+		t.Fatalf("expected ErrNoUnitMultiplier, got %v", err)
+	}
+}
+
+func TestAnalyzeDetectsUnstableCycle(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := *pss
+	fake.Monodromy = linalg.Diag([]float64{1, 1.5})
+	if _, err := Analyze(h, &fake, nil); !errors.Is(err, ErrUnstableCycle) {
+		t.Fatalf("expected ErrUnstableCycle, got %v", err)
+	}
+	// SkipStability must let it pass the stability gate (it may still fail
+	// later, but not with ErrUnstableCycle).
+	if _, err := Analyze(h, &fake, &Options{SkipStability: true}); errors.Is(err, ErrUnstableCycle) {
+		t.Fatal("SkipStability did not bypass the gate")
+	}
+}
+
+func TestForwardAdjointUnstableBackwardStable(t *testing.T) {
+	// Section 9 step 5: forward integration of the adjoint blows up the
+	// solution away from span{v1}; backward integration keeps it periodic.
+	h := &osc.Hopf{Lambda: 3, Omega: 2 * math.Pi} // strongly contracting cycle
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(h, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac := func(tt float64, x []float64, dst []float64) { h.Jacobian(x, dst) }
+	// Perturb v1(0) slightly and integrate FORWARD over several periods:
+	// the error mode grows like exp(+2λT) per period.
+	y0 := append([]float64(nil), dec.V10...)
+	y0[0] += 1e-8
+	// Build an extended orbit trajectory spanning several periods.
+	f := func(tt float64, x, dst []float64) { h.Eval(x, dst) }
+	extRec := &ode.Trajectory{}
+	ode.Variational(f, jac, 0, 5*pss.T, pss.X0, 10000, extRec)
+	yf := ode.AdjointForward(jac, extRec, 0, 5*pss.T, y0, 10000)
+	growth := linalg.Norm2(linalg.SubVec(yf, dec.V10)) / 1e-8
+	if growth < 1e3 {
+		t.Fatalf("forward adjoint error growth %g, expected exponential blow-up", growth)
+	}
+	// Backward stays bounded: closure error is tiny even from the perturbed start.
+	if dec.ClosureErr > 1e-6 {
+		t.Fatalf("backward closure %g", dec.ClosureErr)
+	}
+}
+
+func TestStabilityMarginHopf(t *testing.T) {
+	h, _, dec := hopfDecomp(t, 0.3, 2)
+	want := 1 - h.ExactSecondMultiplier()
+	if math.Abs(dec.StabilityMargin()-want) > 1e-5 {
+		t.Fatalf("margin = %g, want %g", dec.StabilityMargin(), want)
+	}
+}

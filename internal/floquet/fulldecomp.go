@@ -1,0 +1,294 @@
+package floquet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dynsys"
+	"repro/internal/linalg"
+	"repro/internal/ode"
+	"repro/internal/shooting"
+)
+
+// FullDecomposition carries the complete Floquet basis of a periodic orbit:
+// all n modes {u_i(t), v_i(t), μ_i}, not just the phase mode. It enables the
+// paper's Section-5 construction explicitly — splitting a perturbation into
+// the phase component b1 (along u1) and the orbit-transverse remainder, and
+// evaluating the orbital deviation y(t) of Eq. (12).
+//
+// Only real, simple Floquet multipliers are supported for the full basis
+// (complex pairs would need a real 2×2 block treatment); Analyze (the
+// phase-mode-only path) has no such restriction.
+type FullDecomposition struct {
+	T           float64
+	Exponents   []float64         // μ_i, real, sorted: μ_1 = 0 first
+	Multipliers []float64         // exp(μ_i T)
+	U           []*ode.Trajectory // u_i(t) over one period
+	V           []*ode.Trajectory // v_i(t) over one period
+}
+
+// ErrComplexMultipliers is returned when the monodromy matrix has complex
+// Floquet multipliers, which the full real decomposition does not handle.
+var ErrComplexMultipliers = errors.New("floquet: complex multipliers; full decomposition requires real simple multipliers")
+
+// AnalyzeFull computes the complete Floquet basis:
+//
+//	u_i(t) = Φ(t,0)·u_i(0)·exp(−μ_i t)   (periodic by the Floquet theorem),
+//	v_i(t) from backward adjoint integration of each left eigenvector,
+//
+// normalised to the biorthogonality v_iᵀ(t)·u_j(t) = δ_ij of Remark 4.1.
+func AnalyzeFull(sys dynsys.System, pss *shooting.PSS, steps int) (*FullDecomposition, error) {
+	n := sys.Dim()
+	if steps <= 0 {
+		steps = 4000
+	}
+	phi := pss.Monodromy
+	ev, err := linalg.Eigenvalues(phi)
+	if err != nil {
+		return nil, fmt.Errorf("floquet: monodromy eigenvalues: %w", err)
+	}
+	mults := make([]float64, n)
+	for i, z := range ev {
+		if math.Abs(imag(z)) > 1e-7*(1+cmplx.Abs(z)) {
+			return nil, fmt.Errorf("%w (got %v)", ErrComplexMultipliers, z)
+		}
+		mults[i] = real(z)
+	}
+	// Move the unit multiplier to the front.
+	best, bdist := -1, math.Inf(1)
+	for i, m := range mults {
+		if d := math.Abs(m - 1); d < bdist {
+			best, bdist = i, d
+		}
+	}
+	if best < 0 || bdist > 5e-3 {
+		return nil, fmt.Errorf("%w (closest %.3e away)", ErrNoUnitMultiplier, bdist)
+	}
+	mults[0], mults[best] = mults[best], mults[0]
+
+	// Right eigenvectors u_i(0) and left eigenvectors v_i(0).
+	u0 := make([][]float64, n)
+	v0 := make([][]float64, n)
+	u0[0] = make([]float64, n)
+	sys.Eval(pss.X0, u0[0]) // u1(0) = f(x0) exactly
+	for i := 1; i < n; i++ {
+		vec, err := linalg.EigenvectorReal(phi, mults[i])
+		if err != nil {
+			return nil, fmt.Errorf("floquet: right eigenvector for multiplier %g: %w", mults[i], err)
+		}
+		u0[i] = vec
+	}
+	for i := 0; i < n; i++ {
+		lam := mults[i]
+		if i == 0 {
+			lam = 1
+		}
+		vec, err := linalg.EigenvectorReal(phi.T(), lam)
+		if err != nil {
+			return nil, fmt.Errorf("floquet: left eigenvector for multiplier %g: %w", mults[i], err)
+		}
+		v0[i] = vec
+	}
+	// Biorthonormalise: v_iᵀu_j = δ_ij. For simple eigenvalues v_iᵀu_j ≈ 0
+	// automatically (i≠j); just scale the diagonal.
+	for i := 0; i < n; i++ {
+		ip := linalg.Dot(v0[i], u0[i])
+		if ip == 0 {
+			return nil, fmt.Errorf("floquet: degenerate pair %d (v_iᵀu_i = 0)", i)
+		}
+		linalg.ScaleVec(1/ip, v0[i])
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if off := math.Abs(linalg.Dot(v0[i], u0[j])); off > 1e-6*(1+linalg.Norm2(u0[j])) {
+				return nil, fmt.Errorf("floquet: eigenvectors not biorthogonal (v%dᵀu%d = %g); multipliers may be clustered", i, j, off)
+			}
+		}
+	}
+
+	exps := make([]float64, n)
+	for i, m := range mults {
+		if i == 0 {
+			exps[0] = 0
+			continue
+		}
+		if m <= 0 {
+			return nil, fmt.Errorf("floquet: non-positive multiplier %g has no real exponent", m)
+		}
+		exps[i] = math.Log(m) / pss.T
+	}
+
+	f := func(t float64, x, dst []float64) { sys.Eval(x, dst) }
+	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
+
+	// u_i(t): propagate [x; w] with ẇ = A(t)w, then strip exp(μ_i t).
+	dec := &FullDecomposition{T: pss.T, Exponents: exps, Multipliers: mults}
+	for i := 0; i < n; i++ {
+		tr := propagateMode(f, jac, pss, u0[i], exps[i], steps)
+		dec.U = append(dec.U, tr)
+	}
+	// v_i(t): backward adjoint integration, stripping exp(−μ_i t) so the
+	// stored trajectory is the T-periodic Floquet vector.
+	for i := 0; i < n; i++ {
+		tr := adjointMode(jac, pss, v0[i], exps[i], steps)
+		dec.V = append(dec.V, tr)
+	}
+	return dec, nil
+}
+
+// propagateMode integrates ẇ = A(t)w from w(0)=w0 and stores
+// w(t)·exp(−μ t), which is T-periodic for a Floquet mode.
+func propagateMode(f ode.Func, jac ode.JacFunc, pss *shooting.PSS, w0 []float64, mu float64, steps int) *ode.Trajectory {
+	n := len(w0)
+	jm := make([]float64, n*n)
+	xb := make([]float64, n)
+	rhs := func(t float64, w, dst []float64) {
+		pss.Orbit.At(t, xb)
+		jac(t, xb, jm)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jm[i*n+k] * w[k]
+			}
+			// Work in the rotated frame w̃ = w·e^{−μt}: w̃' = (A−μI)w̃,
+			// which keeps the stored mode periodic and avoids overflow or
+			// underflow of the raw solution.
+			dst[i] = s - mu*w[i]
+		}
+	}
+	tr := &ode.Trajectory{}
+	w := linalg.CloneVec(w0)
+	h := pss.T / float64(steps)
+	dw := make([]float64, n)
+	rhs(0, w, dw)
+	tr.Append(0, w, dw)
+	for s := 0; s < steps; s++ {
+		t := float64(s) * h
+		ode.RK4Step(rhs, t, w, h, w)
+		rhs(t+h, w, dw)
+		tr.Append(t+h, w, dw)
+	}
+	return tr
+}
+
+// adjointMode integrates ẏ = −Aᵀ(t)y backwards with the exp(+μt) frame
+// rotation, storing the T-periodic v_i(t).
+func adjointMode(jac ode.JacFunc, pss *shooting.PSS, y0 []float64, mu float64, steps int) *ode.Trajectory {
+	n := len(y0)
+	jm := make([]float64, n*n)
+	xb := make([]float64, n)
+	rhs := func(t float64, y, dst []float64) {
+		pss.Orbit.At(t, xb)
+		jac(t, xb, jm)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jm[k*n+i] * y[k]
+			}
+			// ỹ = y·e^{+μt}: ỹ' = (−Aᵀ+μI)ỹ stays periodic.
+			dst[i] = -s + mu*y[i]
+		}
+	}
+	h := pss.T / float64(steps)
+	y := linalg.CloneVec(y0)
+	dy := make([]float64, n)
+	ts := make([]float64, steps+1)
+	ys := make([][]float64, steps+1)
+	dys := make([][]float64, steps+1)
+	store := func(idx int, t float64) {
+		rhs(t, y, dy)
+		ts[idx] = t
+		ys[idx] = linalg.CloneVec(y)
+		dys[idx] = linalg.CloneVec(dy)
+	}
+	store(steps, pss.T)
+	for s := 0; s < steps; s++ {
+		t := pss.T - float64(s)*h
+		ode.RK4Step(rhs, t, y, -h, y)
+		store(steps-1-s, t-h)
+	}
+	tr := &ode.Trajectory{}
+	for i := 0; i <= steps; i++ {
+		tr.Append(ts[i], ys[i], dys[i])
+	}
+	return tr
+}
+
+// BiorthogonalityError returns max over the sampled grid of
+// |v_iᵀ(t)u_j(t) − δ_ij| — the Remark-4.1 invariant.
+func (d *FullDecomposition) BiorthogonalityError(samples int) float64 {
+	n := len(d.U)
+	ub := make([]float64, n)
+	vb := make([]float64, n)
+	worst := 0.0
+	for s := 0; s <= samples; s++ {
+		t := d.T * float64(s) / float64(samples)
+		for i := 0; i < n; i++ {
+			d.V[i].At(t, vb)
+			for j := 0; j < n; j++ {
+				d.U[j].At(t, ub)
+				ip := linalg.Dot(vb, ub)
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if e := math.Abs(ip - want); e > worst {
+					worst = e
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// OrbitalDeviation evaluates the paper's Eq. (12): the bounded transverse
+// response y(t) to a deterministic perturbation b(t) (as a function of
+// time), computed in the Floquet basis:
+//
+//	y(t) = Σ_{i≥2} u_i(t) ∫₀ᵗ exp(μ_i(t−r)) v_iᵀ(r) B(xs(r)) b(r) dr
+//
+// bfun returns the p-vector perturbation b(r). The quadrature uses `steps`
+// uniform subintervals of [0, t].
+func (d *FullDecomposition) OrbitalDeviation(sys dynsys.System, pss *shooting.PSS, bfun func(r float64) []float64, t float64, steps int) []float64 {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	xb := make([]float64, n)
+	vb := make([]float64, n)
+	ub := make([]float64, n)
+	bm := make([]float64, n*p)
+	y := make([]float64, n)
+	h := t / float64(steps)
+	for i := 1; i < n; i++ { // transverse modes only: the sum starts at 2
+		mu := d.Exponents[i]
+		integral := 0.0
+		for s := 0; s <= steps; s++ {
+			r := float64(s) * h
+			w := 1.0
+			if s == 0 || s == steps {
+				w = 0.5
+			}
+			rm := math.Mod(r, d.T)
+			pss.Orbit.At(rm, xb)
+			d.V[i].At(rm, vb)
+			sys.Noise(xb, bm)
+			bv := bfun(r)
+			// v_iᵀ B b — note the stored v_i is the periodic Floquet vector.
+			viBb := 0.0
+			for row := 0; row < n; row++ {
+				for col := 0; col < p; col++ {
+					viBb += vb[row] * bm[row*p+col] * bv[col]
+				}
+			}
+			integral += w * math.Exp(mu*(t-r)) * viBb * h
+		}
+		tm := math.Mod(t, d.T)
+		d.U[i].At(tm, ub)
+		for row := 0; row < n; row++ {
+			y[row] += ub[row] * integral
+		}
+	}
+	return y
+}

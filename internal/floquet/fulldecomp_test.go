@@ -1,0 +1,169 @@
+package floquet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func fullHopf(t *testing.T, lambda, omega float64) (*osc.Hopf, *shooting.PSS, *FullDecomposition) {
+	t.Helper()
+	h := &osc.Hopf{Lambda: lambda, Omega: omega, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0.1}, 2*math.Pi/omega, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := AnalyzeFull(h, pss, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, pss, dec
+}
+
+func TestFullDecompositionHopfExponents(t *testing.T) {
+	h, _, dec := fullHopf(t, 0.7, 3)
+	if len(dec.Exponents) != 2 {
+		t.Fatalf("%d exponents", len(dec.Exponents))
+	}
+	if dec.Exponents[0] != 0 {
+		t.Fatalf("μ1 = %g", dec.Exponents[0])
+	}
+	if math.Abs(dec.Exponents[1]-(-2*h.Lambda)) > 1e-4 {
+		t.Fatalf("μ2 = %g, want %g", dec.Exponents[1], -2*h.Lambda)
+	}
+	if math.Abs(dec.Multipliers[1]-h.ExactSecondMultiplier()) > 1e-5 {
+		t.Fatalf("multiplier %g", dec.Multipliers[1])
+	}
+}
+
+func TestFullDecompositionBiorthogonality(t *testing.T) {
+	_, _, dec := fullHopf(t, 1.2, 2*math.Pi)
+	if e := dec.BiorthogonalityError(64); e > 1e-6 {
+		t.Fatalf("biorthogonality error %g", e)
+	}
+}
+
+func TestFullDecompositionVdP(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 0.8, Sigma: 0.02}
+	pss, err := shooting.Find(v, []float64{2, 0}, 6.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := AnalyzeFull(v, pss, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dec.BiorthogonalityError(48); e > 1e-5 {
+		t.Fatalf("vdP biorthogonality error %g", e)
+	}
+	// v1 from the full decomposition must agree with Analyze's v1.
+	lite, err := Analyze(v, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		tt := frac * pss.T
+		dec.V[0].At(tt, a)
+		lite.V1At(tt, b)
+		if math.Abs(a[0]-b[0]) > 1e-6 || math.Abs(a[1]-b[1]) > 1e-6 {
+			t.Fatalf("v1 mismatch at %.1fT: %v vs %v", frac, a, b)
+		}
+	}
+}
+
+func TestFullDecompositionModePeriodicity(t *testing.T) {
+	// Stripped of exp(μt), every stored Floquet mode must be T-periodic.
+	_, pss, dec := fullHopf(t, 2, 5)
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	for i := range dec.U {
+		dec.U[i].At(0, a)
+		dec.U[i].At(pss.T, b)
+		if d := math.Hypot(a[0]-b[0], a[1]-b[1]); d > 1e-6*(1+linalg.Norm2(a)) {
+			t.Fatalf("u%d not periodic: closure %g", i+1, d)
+		}
+		dec.V[i].At(0, a)
+		dec.V[i].At(pss.T, b)
+		if d := math.Hypot(a[0]-b[0], a[1]-b[1]); d > 1e-6*(1+linalg.Norm2(a)) {
+			t.Fatalf("v%d not periodic: closure %g", i+1, d)
+		}
+	}
+}
+
+func TestOrbitalDeviationBounded(t *testing.T) {
+	// Remark 5.2: y(t) stays within a constant factor of the perturbation.
+	h, pss, dec := fullHopf(t, 2, 2*math.Pi)
+	eps := 1e-3
+	bfun := func(r float64) []float64 { return []float64{eps, 0} }
+	prevNorm := 0.0
+	for _, periods := range []float64{1, 3, 6, 10} {
+		y := dec.OrbitalDeviation(h, pss, bfun, periods*pss.T, int(2000*periods))
+		norm := linalg.Norm2(y)
+		if norm > 10*eps {
+			t.Fatalf("y after %g periods = %g, not O(b)=%g", periods, norm, eps)
+		}
+		prevNorm = norm
+	}
+	_ = prevNorm
+}
+
+func TestOrbitalDeviationScalesLinearly(t *testing.T) {
+	h, pss, dec := fullHopf(t, 1.5, 4)
+	bfun := func(scale float64) func(r float64) []float64 {
+		return func(r float64) []float64 {
+			return []float64{scale * math.Sin(3*r), scale * math.Cos(r)}
+		}
+	}
+	y1 := dec.OrbitalDeviation(h, pss, bfun(1e-4), 2*pss.T, 4000)
+	y2 := dec.OrbitalDeviation(h, pss, bfun(3e-4), 2*pss.T, 4000)
+	for i := range y1 {
+		if math.Abs(y2[i]-3*y1[i]) > 1e-9+1e-6*math.Abs(y1[i]) {
+			t.Fatalf("y not linear in b: %v vs %v", y1, y2)
+		}
+	}
+}
+
+func TestOrbitalDeviationTransverse(t *testing.T) {
+	// For the Hopf oscillator, the transverse mode is radial: a constant
+	// perturbation's bounded response must be (asymptotically) orthogonal
+	// to nothing in particular, but must NOT grow along the tangent —
+	// verify the tangential component stays comparable to the transverse.
+	h, pss, dec := fullHopf(t, 3, 2*math.Pi)
+	eps := 1e-3
+	bfun := func(r float64) []float64 { return []float64{0, eps} }
+	y := dec.OrbitalDeviation(h, pss, bfun, 5*pss.T, 10000)
+	// Orbit point and tangent at t = 5T ≡ 0 mod T.
+	f := make([]float64, 2)
+	h.Eval(pss.X0, f)
+	linalg.Normalize(f)
+	tangential := math.Abs(linalg.Dot(y, f))
+	if tangential > 10*eps {
+		t.Fatalf("orbital deviation leaking into the phase direction: %g", tangential)
+	}
+}
+
+func TestAnalyzeFullRejectsComplexMultipliers(t *testing.T) {
+	// A 3-state system whose transverse monodromy is a rotation has complex
+	// multipliers. Build one synthetically: extend Hopf with a rotating
+	// transverse plane is overkill — instead check the error path directly
+	// by a fake monodromy on a real PSS.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := *pss
+	fake.Monodromy = linalg.NewMatrixFrom(2, 2, []float64{
+		0.5, -0.5,
+		0.5, 0.5, // eigenvalues 0.5 ± 0.5i
+	})
+	if _, err := AnalyzeFull(h, &fake, 100); !errors.Is(err, ErrComplexMultipliers) && !errors.Is(err, ErrNoUnitMultiplier) {
+		t.Fatalf("expected complex/no-unit error, got %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package floquet
+
+import (
+	"repro/internal/dynsys"
+	"repro/internal/linalg"
+	"repro/internal/ode"
+	"repro/internal/shooting"
+)
+
+// OrbitalDeviationDirect computes the bounded orbital deviation y(t) of the
+// paper's Eq. (12) by direct variational integration rather than the modal
+// sum: it integrates
+//
+//	ẏ = A(t)·y + (I − u1(t)·v1ᵀ(t))·B(xs(t))·b(t),   y(0) = 0,
+//
+// where the projector removes the phase component b1 of the perturbation
+// (Definition 5.2), so the forcing excites only the contracting transverse
+// modes. Any residual drift along the neutral phase direction (from
+// numerical error) is projected out of the result.
+//
+// Unlike FullDecomposition.OrbitalDeviation this needs only the standard
+// Analyze output and therefore works for ANY Floquet structure, including
+// complex-conjugate multiplier pairs (e.g. the ECL ring oscillator).
+// The returned trajectory holds y on [0, t1].
+func OrbitalDeviationDirect(sys dynsys.System, pss *shooting.PSS, dec *Decomposition, bfun func(t float64) []float64, t1 float64, nsteps int) *ode.Trajectory {
+	n := sys.Dim()
+	p := sys.NumNoise()
+	jm := make([]float64, n*n)
+	bm := make([]float64, n*p)
+	xb := make([]float64, n)
+	u1 := make([]float64, n)
+	v1 := make([]float64, n)
+	rhs := func(t float64, y, dst []float64) {
+		tm := modT(t, pss.T)
+		pss.Orbit.At(tm, xb)
+		sys.Jacobian(xb, jm)
+		sys.Noise(xb, bm)
+		sys.Eval(xb, u1) // u1(t) = ẋs(t)
+		dec.V1.At(tm, v1)
+		bv := bfun(t)
+		// Raw forcing B·b.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < p; j++ {
+				s += bm[i*p+j] * bv[j]
+			}
+			dst[i] = s
+		}
+		// Remove the phase component: b̃ = Bb − (v1ᵀBb)·u1.
+		c1 := linalg.Dot(v1, dst)
+		for i := 0; i < n; i++ {
+			dst[i] -= c1 * u1[i]
+		}
+		// Add the homogeneous part A·y.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jm[i*n+k] * y[k]
+			}
+			dst[i] += s
+		}
+	}
+	y := make([]float64, n)
+	dy := make([]float64, n)
+	out := &ode.Trajectory{}
+	record := func(t float64) {
+		// Project out any numerically accumulated phase component:
+		// y ← (I − u1 v1ᵀ) y, evaluated at the current orbit point.
+		tm := modT(t, pss.T)
+		pss.Orbit.At(tm, xb)
+		sys.Eval(xb, u1)
+		dec.V1.At(tm, v1)
+		c1 := linalg.Dot(v1, y)
+		clean := make([]float64, n)
+		for i := 0; i < n; i++ {
+			clean[i] = y[i] - c1*u1[i]
+		}
+		rhs(t, clean, dy)
+		out.Append(t, clean, dy)
+	}
+	record(0)
+	h := t1 / float64(nsteps)
+	for k := 0; k < nsteps; k++ {
+		t := float64(k) * h
+		ode.RK4Step(rhs, t, y, h, y)
+		record(t + h)
+	}
+	return out
+}
+
+func modT(t, period float64) float64 {
+	tm := t
+	for tm >= period {
+		tm -= period
+	}
+	for tm < 0 {
+		tm += period
+	}
+	return tm
+}

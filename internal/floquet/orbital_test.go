@@ -1,0 +1,96 @@
+package floquet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func TestOrbitalDeviationDirectMatchesModalSum(t *testing.T) {
+	// On the Hopf oscillator (real simple multipliers) the direct
+	// variational route must agree with the Eq.-12 modal quadrature.
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 1}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite, err := Analyze(h, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AnalyzeFull(h, pss, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1e-3
+	bfun := func(r float64) []float64 {
+		return []float64{eps * math.Cos(3*r), eps * math.Sin(5*r)}
+	}
+	tr := OrbitalDeviationDirect(h, pss, lite, bfun, 3*pss.T, 6000)
+	buf := make([]float64, 2)
+	for _, frac := range []float64{0.5, 1, 2, 3} {
+		tt := frac * pss.T
+		tr.At(tt, buf)
+		want := full.OrbitalDeviation(h, pss, bfun, tt, 6000)
+		if d := linalg.Norm2(linalg.SubVec(buf, want)); d > 1e-4*eps+1e-6*linalg.Norm2(want) {
+			t.Fatalf("t=%.1fT: direct %v vs modal %v (diff %g)", frac, buf, want, d)
+		}
+	}
+}
+
+func TestOrbitalDeviationDirectStaysBounded(t *testing.T) {
+	// Remark 5.2 on a long horizon: no secular growth over 20 periods.
+	h := &osc.Hopf{Lambda: 1.5, Omega: 4, Sigma: 1}
+	pss, err := shooting.Find(h, []float64{1, 0}, 2*math.Pi/4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite, err := Analyze(h, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1e-3
+	bfun := func(r float64) []float64 { return []float64{eps, eps * math.Sin(r)} }
+	tr := OrbitalDeviationDirect(h, pss, lite, bfun, 20*pss.T, 40000)
+	buf := make([]float64, 2)
+	maxN := 0.0
+	for _, p := range tr.Points {
+		copy(buf, p.X)
+		if nrm := linalg.Norm2(buf); nrm > maxN {
+			maxN = nrm
+		}
+	}
+	if maxN > 10*eps {
+		t.Fatalf("orbital deviation grew to %g (ε = %g)", maxN, eps)
+	}
+}
+
+func TestOrbitalDeviationDirectPhaseFree(t *testing.T) {
+	// The returned y must carry no component along the phase direction:
+	// v1ᵀ(t)·y(t) ≈ 0 everywhere.
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 1}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite, err := Analyze(h, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1e-3
+	bfun := func(r float64) []float64 { return []float64{eps * math.Cos(2*r), 0} }
+	tr := OrbitalDeviationDirect(h, pss, lite, bfun, 5*pss.T, 10000)
+	v := make([]float64, 2)
+	y := make([]float64, 2)
+	for _, frac := range []float64{0.3, 1.7, 4.2} {
+		tt := frac * pss.T
+		tr.At(tt, y)
+		lite.V1At(tt, v)
+		if ip := math.Abs(linalg.Dot(v, y)); ip > 1e-6*eps {
+			t.Fatalf("phase leakage %g at %.1fT", ip, frac)
+		}
+	}
+}

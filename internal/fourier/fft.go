@@ -1,0 +1,193 @@
+// Package fourier provides the spectral tools for phase-noise analysis:
+// a complex FFT (iterative radix-2 plus Bluestein's algorithm for arbitrary
+// lengths), Fourier-series extraction for periodic steady-state waveforms,
+// and periodogram/Welch power-spectral-density estimators for Monte-Carlo
+// validation of the Lorentzian theory.
+package fourier
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x:
+// X[k] = Σ_n x[n]·exp(−2πi·kn/N). The input is not modified. Any length is
+// supported (radix-2 lengths use Cooley–Tukey directly; others use
+// Bluestein's chirp-z algorithm).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse DFT with 1/N normalisation, so IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real sequence (convenience wrapper).
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if len(x) == 0 {
+		return c
+	}
+	if len(x)&(len(x)-1) == 0 {
+		fftRadix2(c, false)
+		return c
+	}
+	return bluestein(c, false)
+}
+
+// fftRadix2 performs an in-place iterative radix-2 Cooley–Tukey transform.
+// inverse selects the conjugate transform (no normalisation).
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reducing it to a radix-2 convolution.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign·iπk²/n). Use k² mod 2n to stay accurate for large k.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	// Convolution length: next power of two ≥ 2n−1.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invm := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invm * w[k]
+	}
+	return out
+}
+
+// SeriesCoefficients computes Fourier-series coefficients X_i of a real
+// T-periodic waveform sampled uniformly at N points over one period
+// (samples[k] = x(k·T/N)), for harmonics i = −nh..nh:
+//
+//	x(t) = Σ_i X_i exp(j·i·ω0·t),  ω0 = 2π/T.
+//
+// The returned slice has length 2·nh+1 with index i+nh holding X_i, and
+// satisfies X_{−i} = conj(X_i) for real input.
+func SeriesCoefficients(samples []float64, nh int) []complex128 {
+	n := len(samples)
+	if nh >= n/2 {
+		panic("fourier: requested harmonics exceed Nyquist")
+	}
+	spec := FFTReal(samples)
+	out := make([]complex128, 2*nh+1)
+	inv := complex(1/float64(n), 0)
+	for i := -nh; i <= nh; i++ {
+		idx := i
+		if idx < 0 {
+			idx += n
+		}
+		out[i+nh] = spec[idx] * inv
+	}
+	return out
+}
+
+// SynthesizeSeries evaluates x(t) = Σ_i X_i exp(j·i·ω0·t) at time t for
+// coefficients laid out as returned by SeriesCoefficients.
+func SynthesizeSeries(coeffs []complex128, omega0, t float64) float64 {
+	nh := (len(coeffs) - 1) / 2
+	s := complex(0, 0)
+	for i := -nh; i <= nh; i++ {
+		s += coeffs[i+nh] * cmplx.Exp(complex(0, float64(i)*omega0*t))
+	}
+	return real(s)
+}
+
+// HarmonicPower returns |X_i|² for i = 0..nh from a coefficient slice laid
+// out as in SeriesCoefficients.
+func HarmonicPower(coeffs []complex128) []float64 {
+	nh := (len(coeffs) - 1) / 2
+	out := make([]float64, nh+1)
+	for i := 0; i <= nh; i++ {
+		c := coeffs[i+nh]
+		out[i] = real(c)*real(c) + imag(c)*imag(c)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cClose(a, b complex128, eps float64) bool {
+	return cmplx.Abs(a-b) <= eps*(1+cmplx.Abs(a)+cmplx.Abs(b))
+}
+
+// Naive O(N²) DFT as the oracle.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		s := complex(0, 0)
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFTPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := FFT(x)
+		want := naiveDFT(x)
+		for k := range got {
+			if !cClose(got[k], want[k], 1e-10) {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitraryN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 97} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := FFT(x)
+		want := naiveDFT(x)
+		for k := range got {
+			if !cClose(got[k], want[k], 1e-9) {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 8, 15, 33, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for k := range x {
+			if !cClose(y[k], x[k], 1e-10) {
+				t.Fatalf("n=%d roundtrip failed at %d: %v vs %v", n, k, y[k], x[k])
+			}
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	y := FFT(x)
+	for k := range y {
+		if !cClose(y[k], 1, 1e-12) {
+			t.Fatalf("impulse spectrum not flat: %v", y)
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	// A pure tone at bin 5 should concentrate all energy there.
+	n := 64
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = math.Cos(2 * math.Pi * 5 * float64(k) / float64(n))
+	}
+	spec := FFTReal(x)
+	if cmplx.Abs(spec[5]) < float64(n)/2-1e-9 {
+		t.Fatalf("|X[5]| = %g, want %g", cmplx.Abs(spec[5]), float64(n)/2)
+	}
+	for k := 0; k <= n/2; k++ {
+		if k != 5 && cmplx.Abs(spec[k]) > 1e-9 {
+			t.Fatalf("leakage at bin %d: %g", k, cmplx.Abs(spec[k]))
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{16, 30} {
+		x := make([]complex128, n)
+		tsum := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			tsum += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		y := FFT(x)
+		fsum := 0.0
+		for _, v := range y {
+			fsum += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fsum /= float64(n)
+		if math.Abs(tsum-fsum) > 1e-9*(1+tsum) {
+			t.Fatalf("Parseval n=%d: %g vs %g", n, tsum, fsum)
+		}
+	}
+}
+
+func TestSeriesCoefficientsSinusoid(t *testing.T) {
+	// x(t) = 3 + 2cos(ω0 t) + 0.5 sin(2 ω0 t):
+	// X0=3, X1 = 1 (cos→(X1+X−1)/...), X±1 = 1, X±2 = ∓0.25i.
+	n := 256
+	samples := make([]float64, n)
+	for k := range samples {
+		th := 2 * math.Pi * float64(k) / float64(n)
+		samples[k] = 3 + 2*math.Cos(th) + 0.5*math.Sin(2*th)
+	}
+	c := SeriesCoefficients(samples, 3)
+	nh := 3
+	if !cClose(c[nh+0], 3, 1e-10) {
+		t.Fatalf("X0 = %v", c[nh])
+	}
+	if !cClose(c[nh+1], 1, 1e-10) || !cClose(c[nh-1], 1, 1e-10) {
+		t.Fatalf("X±1 = %v, %v", c[nh+1], c[nh-1])
+	}
+	if !cClose(c[nh+2], complex(0, -0.25), 1e-10) || !cClose(c[nh-2], complex(0, 0.25), 1e-10) {
+		t.Fatalf("X±2 = %v, %v", c[nh+2], c[nh-2])
+	}
+	if !cClose(c[nh+3], 0, 1e-10) {
+		t.Fatalf("X3 = %v, want 0", c[nh+3])
+	}
+}
+
+func TestSeriesConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float64, 100)
+	for k := range samples {
+		samples[k] = rng.NormFloat64()
+	}
+	c := SeriesCoefficients(samples, 10)
+	nh := 10
+	for i := 1; i <= nh; i++ {
+		if !cClose(c[nh+i], cmplx.Conj(c[nh-i]), 1e-10) {
+			t.Fatalf("X%d != conj(X−%d): %v vs %v", i, i, c[nh+i], cmplx.Conj(c[nh-i]))
+		}
+	}
+}
+
+func TestSynthesizeRoundTrip(t *testing.T) {
+	// Band-limited waveform should be reproduced exactly by its series.
+	n := 128
+	omega0 := 2 * math.Pi / 0.01 // T = 10 ms
+	wave := func(tt float64) float64 {
+		return 1.5*math.Cos(omega0*tt) - 0.7*math.Sin(3*omega0*tt) + 0.2
+	}
+	samples := make([]float64, n)
+	for k := range samples {
+		samples[k] = wave(0.01 * float64(k) / float64(n))
+	}
+	c := SeriesCoefficients(samples, 5)
+	for _, tt := range []float64{0, 0.0013, 0.0047, 0.0099} {
+		got := SynthesizeSeries(c, omega0, tt)
+		if math.Abs(got-wave(tt)) > 1e-9 {
+			t.Fatalf("synth(%g) = %g, want %g", tt, got, wave(tt))
+		}
+	}
+}
+
+func TestHarmonicPower(t *testing.T) {
+	n := 64
+	samples := make([]float64, n)
+	for k := range samples {
+		samples[k] = 2 * math.Cos(2*math.Pi*float64(k)/float64(n))
+	}
+	p := HarmonicPower(SeriesCoefficients(samples, 2))
+	if math.Abs(p[1]-1) > 1e-10 { // X1 = 1 → |X1|² = 1
+		t.Fatalf("|X1|² = %g, want 1", p[1])
+	}
+	if p[0] > 1e-12 || p[2] > 1e-12 {
+		t.Fatalf("spurious harmonic power: %v", p)
+	}
+}
+
+func TestSeriesCoefficientsNyquistGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nh >= N/2")
+		}
+	}()
+	SeriesCoefficients(make([]float64, 8), 4)
+}
+
+// Property: linearity of the FFT.
+func TestQuickFFTLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+		for k := range fs {
+			if !cClose(fs[k], a*fx[k]+fy[k], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time shift ↔ phase twist.
+func TestQuickFFTShiftTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		shift := rng.Intn(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		shifted := make([]complex128, n)
+		for i := range x {
+			shifted[i] = x[(i+shift)%n]
+		}
+		fx, fsh := FFT(x), FFT(shifted)
+		for k := range fx {
+			tw := cmplx.Exp(complex(0, 2*math.Pi*float64(k*shift)/float64(n)))
+			if !cClose(fsh[k], fx[k]*tw, 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package fourier
+
+import "math"
+
+// Window is a taper applied before periodogram estimation.
+type Window int
+
+const (
+	// Rectangular applies no taper.
+	Rectangular Window = iota
+	// Hann applies the raised-cosine taper (good sidelobe suppression).
+	Hann
+	// Hamming applies the Hamming taper.
+	Hamming
+)
+
+func windowValue(w Window, k, n int) float64 {
+	switch w {
+	case Hann:
+		return 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/float64(n-1)))
+	case Hamming:
+		return 0.54 - 0.46*math.Cos(2*math.Pi*float64(k)/float64(n-1))
+	default:
+		return 1
+	}
+}
+
+// Periodogram estimates the single-sided PSD of a real signal sampled at
+// rate fs, returning frequencies f[0..n/2] and estimates S(f) such that
+// Σ S·Δf ≈ mean power (periodogram normalisation 2|X|²/(fs·U·N) with window
+// power U). The DC and Nyquist bins are not doubled.
+func Periodogram(x []float64, fs float64, w Window) (freqs, psd []float64) {
+	n := len(x)
+	if n < 2 {
+		panic("fourier: periodogram needs at least 2 samples")
+	}
+	tapered := make([]float64, n)
+	u := 0.0
+	for k := 0; k < n; k++ {
+		wv := windowValue(w, k, n)
+		tapered[k] = x[k] * wv
+		u += wv * wv
+	}
+	u /= float64(n)
+	spec := FFTReal(tapered)
+	nb := n/2 + 1
+	freqs = make([]float64, nb)
+	psd = make([]float64, nb)
+	norm := 1 / (fs * u * float64(n))
+	for k := 0; k < nb; k++ {
+		re, im := real(spec[k]), imag(spec[k])
+		p := (re*re + im*im) * norm
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			p *= 2 // fold negative frequencies into the single-sided density
+		}
+		freqs[k] = fs * float64(k) / float64(n)
+		psd[k] = p
+	}
+	return freqs, psd
+}
+
+// Welch estimates the single-sided PSD by averaging periodograms of
+// 50%-overlapping segments of length nseg. Reduces estimator variance at the
+// cost of frequency resolution.
+func Welch(x []float64, fs float64, nseg int, w Window) (freqs, psd []float64) {
+	if nseg < 2 || nseg > len(x) {
+		panic("fourier: invalid Welch segment length")
+	}
+	hop := nseg / 2
+	if hop == 0 {
+		hop = 1
+	}
+	count := 0
+	for start := 0; start+nseg <= len(x); start += hop {
+		f, p := Periodogram(x[start:start+nseg], fs, w)
+		if psd == nil {
+			freqs = f
+			psd = make([]float64, len(p))
+		}
+		for i := range p {
+			psd[i] += p[i]
+		}
+		count++
+	}
+	if count == 0 {
+		return Periodogram(x, fs, w)
+	}
+	for i := range psd {
+		psd[i] /= float64(count)
+	}
+	return freqs, psd
+}
+
+// EnsemblePSD averages single-sided periodograms across an ensemble of
+// equal-length signals, emulating a spectrum analyzer's trace averaging.
+func EnsemblePSD(signals [][]float64, fs float64, w Window) (freqs, psd []float64) {
+	if len(signals) == 0 {
+		panic("fourier: empty ensemble")
+	}
+	for _, s := range signals {
+		f, p := Periodogram(s, fs, w)
+		if psd == nil {
+			freqs = f
+			psd = make([]float64, len(p))
+		}
+		for i := range p {
+			psd[i] += p[i]
+		}
+	}
+	for i := range psd {
+		psd[i] /= float64(len(signals))
+	}
+	return freqs, psd
+}
+
+// TotalPower integrates a single-sided PSD over frequency with the
+// trapezoidal rule, returning the mean-square signal power it represents.
+func TotalPower(freqs, psd []float64) float64 {
+	if len(freqs) != len(psd) || len(freqs) < 2 {
+		panic("fourier: TotalPower needs matched slices with >= 2 points")
+	}
+	s := 0.0
+	for k := 1; k < len(freqs); k++ {
+		s += 0.5 * (psd[k] + psd[k-1]) * (freqs[k] - freqs[k-1])
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPeriodogramWhiteNoiseLevel(t *testing.T) {
+	// White noise with variance σ² sampled at fs has single-sided PSD 2σ²/fs
+	// on average (two-sided σ²/fs). Check the average level.
+	rng := rand.New(rand.NewSource(1))
+	fs := 1000.0
+	sigma := 2.0
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = sigma * rng.NormFloat64()
+	}
+	freqs, psd := Periodogram(x, fs, Rectangular)
+	mean := 0.0
+	for k := 1; k < len(psd)-1; k++ {
+		mean += psd[k]
+	}
+	mean /= float64(len(psd) - 2)
+	want := 2 * sigma * sigma / fs
+	if math.Abs(mean-want) > 0.15*want {
+		t.Fatalf("white-noise PSD level %g, want %g", mean, want)
+	}
+	if freqs[len(freqs)-1] != fs/2 {
+		t.Fatalf("last frequency %g, want Nyquist %g", freqs[len(freqs)-1], fs/2)
+	}
+}
+
+func TestPeriodogramParsevalPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fs := 500.0
+	n := 1 << 12
+	x := make([]float64, n)
+	msq := 0.0
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		msq += x[i] * x[i]
+	}
+	msq /= float64(n)
+	freqs, psd := Periodogram(x, fs, Rectangular)
+	// Integrated PSD ≈ mean-square power.
+	got := TotalPower(freqs, psd)
+	if math.Abs(got-msq) > 0.05*msq {
+		t.Fatalf("integrated PSD %g, mean square %g", got, msq)
+	}
+}
+
+func TestPeriodogramTonePeak(t *testing.T) {
+	fs := 1000.0
+	n := 1 << 12
+	f0 := fs * 64 / float64(n) // exactly on a bin
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	freqs, psd := Periodogram(x, fs, Rectangular)
+	// Peak bin should be at f0.
+	kmax := 0
+	for k := range psd {
+		if psd[k] > psd[kmax] {
+			kmax = k
+		}
+	}
+	if math.Abs(freqs[kmax]-f0) > fs/float64(n)/2 {
+		t.Fatalf("peak at %g, want %g", freqs[kmax], f0)
+	}
+	// Power in the peak ≈ 1/2 (mean square of a unit sine).
+	binw := fs / float64(n)
+	if p := psd[kmax] * binw; math.Abs(p-0.5) > 0.05 {
+		t.Fatalf("tone power %g, want 0.5", p)
+	}
+}
+
+func TestWelchReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fs := 100.0
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	_, pFull := Periodogram(x, fs, Rectangular)
+	_, pWelch := Welch(x, fs, 1024, Hann)
+	varOf := func(p []float64) float64 {
+		m, v := 0.0, 0.0
+		for _, q := range p[1 : len(p)-1] {
+			m += q
+		}
+		m /= float64(len(p) - 2)
+		for _, q := range p[1 : len(p)-1] {
+			v += (q - m) * (q - m)
+		}
+		return v / float64(len(p)-2) / (m * m) // relative variance
+	}
+	if varOf(pWelch) > varOf(pFull)/4 {
+		t.Fatalf("Welch relative variance %g not ≪ periodogram %g", varOf(pWelch), varOf(pFull))
+	}
+}
+
+func TestWelchPreservesLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fs := 1000.0
+	sigma := 1.5
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = sigma * rng.NormFloat64()
+	}
+	_, psd := Welch(x, fs, 512, Hann)
+	mean := 0.0
+	for k := 1; k < len(psd)-1; k++ {
+		mean += psd[k]
+	}
+	mean /= float64(len(psd) - 2)
+	want := 2 * sigma * sigma / fs
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("Welch level %g, want %g", mean, want)
+	}
+}
+
+func TestEnsemblePSDAveraging(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fs := 100.0
+	signals := make([][]float64, 20)
+	for s := range signals {
+		signals[s] = make([]float64, 256)
+		for i := range signals[s] {
+			signals[s][i] = rng.NormFloat64()
+		}
+	}
+	freqs, psd := EnsemblePSD(signals, fs, Rectangular)
+	if len(freqs) != 129 || len(psd) != 129 {
+		t.Fatalf("unexpected lengths %d %d", len(freqs), len(psd))
+	}
+	mean := 0.0
+	for k := 1; k < len(psd)-1; k++ {
+		mean += psd[k]
+	}
+	mean /= float64(len(psd) - 2)
+	want := 2.0 / fs
+	if math.Abs(mean-want) > 0.2*want {
+		t.Fatalf("ensemble level %g, want %g", mean, want)
+	}
+}
+
+func TestWindowsNormalised(t *testing.T) {
+	// Hann/Hamming windows must preserve broadband levels via the U factor:
+	// compare white-noise levels across windows.
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, 1<<13)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	level := func(w Window) float64 {
+		_, psd := Periodogram(x, 1, w)
+		m := 0.0
+		for k := 1; k < len(psd)-1; k++ {
+			m += psd[k]
+		}
+		return m / float64(len(psd)-2)
+	}
+	lr, lh, lm := level(Rectangular), level(Hann), level(Hamming)
+	if math.Abs(lh-lr) > 0.1*lr || math.Abs(lm-lr) > 0.1*lr {
+		t.Fatalf("window levels differ: rect=%g hann=%g hamming=%g", lr, lh, lm)
+	}
+}
+
+func TestTotalPowerTrapezoid(t *testing.T) {
+	freqs := []float64{0, 1, 2}
+	psd := []float64{0, 2, 0}
+	if got := TotalPower(freqs, psd); got != 2 {
+		t.Fatalf("trapezoid = %g, want 2", got)
+	}
+}
+
+func TestPeriodogramGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for single sample")
+		}
+	}()
+	Periodogram([]float64{1}, 1, Rectangular)
+}

@@ -1,0 +1,401 @@
+// Package hb implements the frequency-domain (harmonic-balance) companion
+// to the time-domain pipeline, which the paper mentions in Section 9
+// (footnote 11: "We also developed a frequency domain numerical method based
+// on an harmonic balance formulation").
+//
+// The periodic steady state is computed by Fourier collocation: with
+// normalised time τ = ω·t the oscillator equation becomes ω·dx/dτ = f(x),
+// discretised on N uniform collocation points with the spectral
+// differentiation matrix D. The unknowns are the N·n state samples plus the
+// frequency ω; a phase-anchor condition (an extremum of one chosen state
+// component at τ = 0) removes the time-translation degeneracy. The
+// perturbation projection vector v1 is then obtained directly in the
+// frequency domain as the null vector of the adjoint collocation operator
+// (ω·Dᵀ⊗I − blockdiag Aᵀ), giving a computation of the phase-diffusion
+// constant c that is completely independent of the time-domain
+// backward-adjoint route — the two agreeing is a strong end-to-end check.
+package hb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/fourier"
+	"repro/internal/linalg"
+)
+
+// ErrNoConvergence is returned when harmonic-balance Newton fails.
+var ErrNoConvergence = errors.New("hb: Newton iteration did not converge")
+
+// Options configures the harmonic-balance solver.
+type Options struct {
+	N          int     // collocation points per period (even; default 64)
+	Tol        float64 // residual tolerance (default 1e-10)
+	MaxIter    int     // Newton budget (default 60)
+	AnchorComp int     // state component anchored at an extremum at τ=0
+}
+
+func (o *Options) defaults() Options {
+	out := Options{N: 64, Tol: 1e-10, MaxIter: 60}
+	if o != nil {
+		if o.N > 0 {
+			out.N = o.N
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+		if o.MaxIter > 0 {
+			out.MaxIter = o.MaxIter
+		}
+		out.AnchorComp = o.AnchorComp
+	}
+	if out.N%2 != 0 {
+		out.N++
+	}
+	return out
+}
+
+// Solution is a converged harmonic-balance periodic steady state.
+type Solution struct {
+	N        int
+	Omega    float64     // angular frequency (rad/s)
+	X        [][]float64 // X[k] is the state at τ_k = 2πk/N, i.e. t = k·T/N
+	Residual float64
+	Iters    int
+	d        *linalg.Matrix // spectral differentiation matrix (N×N)
+}
+
+// T returns the oscillation period 2π/ω.
+func (s *Solution) T() float64 { return 2 * math.Pi / s.Omega }
+
+// F0 returns the oscillation frequency in Hz.
+func (s *Solution) F0() float64 { return s.Omega / (2 * math.Pi) }
+
+// DiffMatrix returns the N×N trigonometric spectral differentiation matrix
+// for even N: (Dx)_j ≈ dx/dτ at τ_j for a 2π-periodic sample vector x.
+func DiffMatrix(n int) *linalg.Matrix {
+	d := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if j == k {
+				continue
+			}
+			diff := j - k
+			sign := 1.0
+			if diff%2 != 0 { // (−1)^{j−k}
+				sign = -1
+			}
+			d.Set(j, k, 0.5*sign/math.Tan(float64(diff)*math.Pi/float64(n)))
+		}
+	}
+	return d
+}
+
+// Solve runs harmonic-balance Newton from an initial guess supplied as a
+// sampling function xguess(t) over one period of the initial frequency
+// omegaGuess. A point-wise time-domain trajectory (e.g. from a transient
+// run or a shooting solution) makes a good guess; so does a crude sinusoid
+// for nearly harmonic oscillators.
+func Solve(sys dynsys.System, xguess func(t float64) []float64, omegaGuess float64, opts *Options) (*Solution, error) {
+	o := opts.defaults()
+	n := sys.Dim()
+	N := o.N
+	if o.AnchorComp < 0 || o.AnchorComp >= n {
+		return nil, fmt.Errorf("hb: anchor component %d out of range", o.AnchorComp)
+	}
+	if omegaGuess <= 0 {
+		return nil, fmt.Errorf("hb: omega guess must be positive, got %g", omegaGuess)
+	}
+	d := DiffMatrix(N)
+
+	// Unknown vector z = [x_0; x_1; …; x_{N−1}; ω], length N·n + 1.
+	dim := N*n + 1
+	z := make([]float64, dim)
+	tg := 2 * math.Pi / omegaGuess
+	for k := 0; k < N; k++ {
+		xk := xguess(tg * float64(k) / float64(N))
+		copy(z[k*n:(k+1)*n], xk)
+	}
+	z[N*n] = omegaGuess
+
+	resid := make([]float64, dim)
+	jac := linalg.NewMatrix(dim, dim)
+	fbuf := make([]float64, n)
+	abuf := make([]float64, n*n)
+	var lastRes float64
+	scaleX := 1.0
+	for k := 0; k < N*n; k++ {
+		if a := math.Abs(z[k]); a > scaleX {
+			scaleX = a
+		}
+	}
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		omega := z[N*n]
+		// Residual: R_k = ω·(Dx)_k − f(x_k) for each collocation point,
+		// plus the anchor (Dx)_0[anchor] = 0.
+		resNorm := 0.0
+		for k := 0; k < N; k++ {
+			xk := z[k*n : (k+1)*n]
+			sys.Eval(xk, fbuf)
+			for i := 0; i < n; i++ {
+				// (Dx)_k[i] = Σ_m D[k][m]·x_m[i]
+				s := 0.0
+				for m := 0; m < N; m++ {
+					s += d.At(k, m) * z[m*n+i]
+				}
+				r := omega*s - fbuf[i]
+				resid[k*n+i] = r
+			}
+		}
+		// Anchor row.
+		anchor := 0.0
+		for m := 0; m < N; m++ {
+			anchor += d.At(0, m) * z[m*n+o.AnchorComp]
+		}
+		resid[N*n] = anchor
+		for _, r := range resid {
+			if a := math.Abs(r); a > resNorm {
+				resNorm = a
+			}
+		}
+		// Normalise by the flow magnitude for a dimensionless residual.
+		fscale := 0.0
+		for k := 0; k < N; k++ {
+			sys.Eval(z[k*n:(k+1)*n], fbuf)
+			if a := linalg.NormInfVec(fbuf); a > fscale {
+				fscale = a
+			}
+		}
+		if fscale == 0 {
+			return nil, errors.New("hb: guess collapsed to an equilibrium")
+		}
+		lastRes = resNorm / fscale
+		if lastRes < o.Tol {
+			return finishSolution(z, n, N, d, lastRes, iter)
+		}
+
+		// Jacobian.
+		for i := range jac.Data {
+			jac.Data[i] = 0
+		}
+		for k := 0; k < N; k++ {
+			xk := z[k*n : (k+1)*n]
+			sys.Jacobian(xk, abuf)
+			// −A(x_k) block on the (k,k) diagonal.
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					jac.Set(k*n+i, k*n+j, -abuf[i*n+j])
+				}
+			}
+			// ω·D coupling across collocation points (per component).
+			for m := 0; m < N; m++ {
+				dk := omega * d.At(k, m)
+				if dk == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					jac.Set(k*n+i, m*n+i, jac.At(k*n+i, m*n+i)+dk)
+				}
+			}
+			// ∂R/∂ω = (Dx)_k.
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for m := 0; m < N; m++ {
+					s += d.At(k, m) * z[m*n+i]
+				}
+				jac.Set(k*n+i, N*n, s)
+			}
+		}
+		// Anchor row: derivative of (Dx)_0[anchor] w.r.t. samples.
+		for m := 0; m < N; m++ {
+			jac.Set(N*n, m*n+o.AnchorComp, d.At(0, m))
+		}
+
+		step, err := linalg.Solve(jac, resid)
+		if err != nil {
+			return nil, fmt.Errorf("hb: Newton system singular at iteration %d: %w", iter, err)
+		}
+		// Damped update with frequency positivity guard.
+		lambda := 1.0
+		applied := false
+		for try := 0; try < 8; try++ {
+			cand := make([]float64, dim)
+			for i := range z {
+				cand[i] = z[i] - lambda*step[i]
+			}
+			if cand[N*n] <= 0.1*omegaGuess || cand[N*n] > 10*omegaGuess {
+				lambda *= 0.5
+				continue
+			}
+			if candRes := hbResidualNorm(sys, cand, n, N, d, o.AnchorComp); candRes < resNorm || candRes < o.Tol*fscale {
+				copy(z, cand)
+				applied = true
+				break
+			}
+			lambda *= 0.5
+		}
+		if !applied {
+			// Newton stalled. If the residual is already near the
+			// floating-point noise floor of the collocation operator,
+			// accept the solution rather than fail.
+			if lastRes < math.Max(100*o.Tol, 1e-8) {
+				return finishSolution(z, n, N, d, lastRes, iter)
+			}
+			return nil, fmt.Errorf("%w: damping failed at iteration %d (residual %.3e)", ErrNoConvergence, iter, lastRes)
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations (residual %.3e)", ErrNoConvergence, o.MaxIter, lastRes)
+}
+
+func hbResidualNorm(sys dynsys.System, z []float64, n, N int, d *linalg.Matrix, anchorComp int) float64 {
+	omega := z[N*n]
+	fbuf := make([]float64, n)
+	worst := 0.0
+	for k := 0; k < N; k++ {
+		sys.Eval(z[k*n:(k+1)*n], fbuf)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for m := 0; m < N; m++ {
+				s += d.At(k, m) * z[m*n+i]
+			}
+			if r := math.Abs(omega*s - fbuf[i]); r > worst {
+				worst = r
+			}
+		}
+	}
+	anchor := 0.0
+	for m := 0; m < N; m++ {
+		anchor += d.At(0, m) * z[m*n+anchorComp]
+	}
+	if a := math.Abs(anchor); a > worst {
+		worst = a
+	}
+	return worst
+}
+
+func finishSolution(z []float64, n, N int, d *linalg.Matrix, res float64, iters int) (*Solution, error) {
+	sol := &Solution{N: N, Omega: z[N*n], Residual: res, Iters: iters, d: d}
+	for k := 0; k < N; k++ {
+		sol.X = append(sol.X, append([]float64(nil), z[k*n:(k+1)*n]...))
+	}
+	return sol, nil
+}
+
+// At evaluates the solution at time t by trigonometric (Fourier)
+// interpolation of the collocation samples — spectrally accurate for the
+// smooth limit cycles HB converges on.
+func (s *Solution) At(t float64) []float64 {
+	n := len(s.X[0])
+	out := make([]float64, n)
+	// Interpolate each component from its Fourier series.
+	tau := math.Mod(s.Omega*t, 2*math.Pi)
+	if tau < 0 {
+		tau += 2 * math.Pi
+	}
+	for i := 0; i < n; i++ {
+		samples := make([]float64, s.N)
+		for k := 0; k < s.N; k++ {
+			samples[k] = s.X[k][i]
+		}
+		coeffs := fourier.SeriesCoefficients(samples, s.N/2-1)
+		out[i] = fourier.SynthesizeSeries(coeffs, 1, tau)
+	}
+	return out
+}
+
+// V1 computes the perturbation projection vector v1 at the collocation
+// points directly in the frequency domain: v1 spans the null space of the
+// adjoint collocation operator
+//
+//	M = ω·Dᵀ... more precisely, the adjoint of L = ω·D⊗I − blockdiag A
+//
+// (v1 satisfies ω·dv/dτ = −Aᵀ(τ)v, i.e. Mᵀ... see the implementation),
+// normalised so v1ᵀ(τ_k)·ẋs(τ_k) = 1 at every collocation point.
+func (s *Solution) V1(sys dynsys.System) ([][]float64, error) {
+	n := sys.Dim()
+	N := s.N
+	dim := N * n
+	// Operator for the adjoint equation at collocation points:
+	// ω·(Dv)_k + Aᵀ(x_k)·v_k = 0   (since dv/dt = −Aᵀv ⇔ ω·dv/dτ = −Aᵀv).
+	m := linalg.NewMatrix(dim, dim)
+	abuf := make([]float64, n*n)
+	for k := 0; k < N; k++ {
+		sys.Jacobian(s.X[k], abuf)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(k*n+i, k*n+j, abuf[j*n+i]) // Aᵀ block
+			}
+		}
+		for q := 0; q < N; q++ {
+			dk := s.Omega * s.d.At(k, q)
+			if dk == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				m.Set(k*n+i, q*n+i, m.At(k*n+i, q*n+i)+dk)
+			}
+		}
+	}
+	// v1 is the null vector of m (eigenvalue 0, simple for a stable cycle).
+	null, err := linalg.EigenvectorReal(m, 0)
+	if err != nil {
+		return nil, fmt.Errorf("hb: adjoint null vector: %w", err)
+	}
+	// Normalise: v1ᵀ(τ_k)·ẋs(τ_k) = 1 with ẋs = f(xs). Use the mean inner
+	// product for scaling, then verify pointwise.
+	fbuf := make([]float64, n)
+	mean := 0.0
+	for k := 0; k < N; k++ {
+		sys.Eval(s.X[k], fbuf)
+		mean += linalg.Dot(null[k*n:(k+1)*n], fbuf)
+	}
+	mean /= float64(N)
+	if mean == 0 {
+		return nil, errors.New("hb: adjoint null vector orthogonal to the flow")
+	}
+	out := make([][]float64, N)
+	for k := 0; k < N; k++ {
+		v := append([]float64(nil), null[k*n:(k+1)*n]...)
+		linalg.ScaleVec(1/mean, v)
+		out[k] = v
+	}
+	// Pointwise check of the biorthogonality invariant.
+	worst := 0.0
+	for k := 0; k < N; k++ {
+		sys.Eval(s.X[k], fbuf)
+		if e := math.Abs(linalg.Dot(out[k], fbuf) - 1); e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-3 {
+		return nil, fmt.Errorf("hb: v1 biorthogonality drift %.3e; raise N", worst)
+	}
+	return out, nil
+}
+
+// C computes the phase-diffusion constant (Eq. 29) on the collocation grid
+// from the frequency-domain v1 — an independent cross-check of the
+// time-domain quadrature.
+func (s *Solution) C(sys dynsys.System) (float64, error) {
+	v1, err := s.V1(sys)
+	if err != nil {
+		return 0, err
+	}
+	n := sys.Dim()
+	p := sys.NumNoise()
+	b := make([]float64, n*p)
+	total := 0.0
+	for k := 0; k < s.N; k++ {
+		sys.Noise(s.X[k], b)
+		for j := 0; j < p; j++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += v1[k][i] * b[i*p+j]
+			}
+			total += dot * dot
+		}
+	}
+	return total / float64(s.N), nil
+}

@@ -1,0 +1,247 @@
+package hb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floquet"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func TestDiffMatrixOnSinusoids(t *testing.T) {
+	// The spectral differentiation matrix must be exact (to roundoff) on
+	// resolvable trigonometric modes.
+	n := 32
+	d := DiffMatrix(n)
+	for _, k := range []float64{1, 2, 5, 9} {
+		x := make([]float64, n)
+		want := make([]float64, n)
+		for j := 0; j < n; j++ {
+			tau := 2 * math.Pi * float64(j) / float64(n)
+			x[j] = math.Sin(k * tau)
+			want[j] = k * math.Cos(k*tau)
+		}
+		got := d.MulVec(x)
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-9*(1+k) {
+				t.Fatalf("mode %g: (Dx)[%d] = %g, want %g", k, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDiffMatrixAntisymmetryStructure(t *testing.T) {
+	// D is antisymmetric for even N (trigonometric differentiation).
+	d := DiffMatrix(16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if math.Abs(d.At(i, j)+d.At(j, i)) > 1e-12 {
+				t.Fatalf("D not antisymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Constant functions differentiate to zero.
+	ones := make([]float64, 16)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, v := range d.MulVec(ones) {
+		if math.Abs(v) > 1e-12 {
+			t.Fatal("D·1 ≠ 0")
+		}
+	}
+}
+
+func TestSolveHopfFromCrudeGuess(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	// Crude guess: unit circle at 10% wrong frequency and wrong amplitude.
+	guess := func(tt float64) []float64 {
+		return []float64{1.3 * math.Cos(2*math.Pi*0.9*tt), 1.3 * math.Sin(2*math.Pi*0.9*tt)}
+	}
+	sol, err := Solve(h, guess, 2*math.Pi*0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Omega-2*math.Pi) > 1e-8 {
+		t.Fatalf("ω = %.12g, want 2π", sol.Omega)
+	}
+	// All collocation samples on the unit circle.
+	for k, x := range sol.X {
+		if r := math.Hypot(x[0], x[1]); math.Abs(r-1) > 1e-8 {
+			t.Fatalf("sample %d radius %g", k, r)
+		}
+	}
+	if sol.Iters > 30 {
+		t.Fatalf("slow convergence: %d iterations", sol.Iters)
+	}
+}
+
+func TestSolveVanDerPolMatchesShooting(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.02}
+	pss, err := shooting.Find(v, []float64{2, 0}, 6.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	guess := func(tt float64) []float64 {
+		pss.Orbit.At(math.Mod(tt, pss.T), buf)
+		return append([]float64(nil), buf...)
+	}
+	sol, err := Solve(v, guess, pss.Omega0(), &Options{N: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods agree to spectral accuracy.
+	if math.Abs(sol.T()-pss.T) > 1e-6*pss.T {
+		t.Fatalf("HB T = %.10g vs shooting %.10g", sol.T(), pss.T)
+	}
+}
+
+func TestSolutionAtInterpolation(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 3, Sigma: 0}
+	guess := func(tt float64) []float64 {
+		return []float64{math.Cos(3 * tt), math.Sin(3 * tt)}
+	}
+	sol, err := Solve(h, guess, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At collocation instants the interpolation reproduces the samples.
+	for _, k := range []int{0, 5, 17} {
+		tt := sol.T() * float64(k) / float64(sol.N)
+		x := sol.At(tt)
+		if math.Abs(x[0]-sol.X[k][0]) > 1e-9 || math.Abs(x[1]-sol.X[k][1]) > 1e-9 {
+			t.Fatalf("At(τ_%d) = %v, samples %v", k, x, sol.X[k])
+		}
+	}
+	// Periodicity of the interpolant.
+	a := sol.At(0.3)
+	b := sol.At(0.3 + 2*sol.T())
+	if math.Abs(a[0]-b[0]) > 1e-9 {
+		t.Fatal("interpolant not periodic")
+	}
+}
+
+func TestV1MatchesClosedFormHopf(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	guess := func(tt float64) []float64 {
+		return []float64{math.Cos(2 * math.Pi * tt), math.Sin(2 * math.Pi * tt)}
+	}
+	sol, err := Solve(h, guess, 2*math.Pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := sol.V1(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1(τ_k) = (−sin θ_k, cos θ_k)/ω with θ_k the sample's phase angle.
+	for k := 0; k < sol.N; k += 7 {
+		th := math.Atan2(sol.X[k][1], sol.X[k][0])
+		wantX := -math.Sin(th) / h.Omega
+		wantY := math.Cos(th) / h.Omega
+		if math.Abs(v1[k][0]-wantX) > 1e-6 || math.Abs(v1[k][1]-wantY) > 1e-6 {
+			t.Fatalf("v1[%d] = %v, want (%g, %g)", k, v1[k], wantX, wantY)
+		}
+	}
+}
+
+func TestCFrequencyDomainMatchesClosedForm(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 5, Sigma: 0.1}
+	guess := func(tt float64) []float64 {
+		return []float64{math.Cos(5 * tt), math.Sin(5 * tt)}
+	}
+	sol, err := Solve(h, guess, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sol.C(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h.ExactC()
+	if math.Abs(c-want) > 1e-8*want {
+		t.Fatalf("HB c = %.12e, want %.12e", c, want)
+	}
+}
+
+func TestCFrequencyDomainMatchesTimeDomainVdP(t *testing.T) {
+	// The two independent numerical methods (Section 9 time-domain vs the
+	// footnote-11 frequency-domain) must agree on a non-trivial oscillator.
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.02}
+	pss, err := shooting.Find(v, []float64{2, 0}, 6.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	guess := func(tt float64) []float64 {
+		pss.Orbit.At(math.Mod(tt, pss.T), buf)
+		return append([]float64(nil), buf...)
+	}
+	sol, err := Solve(v, guess, pss.Omega0(), &Options{N: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cHB, err := sol.C(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time-domain reference.
+	cTD := timeDomainC(t, v, pss)
+	if math.Abs(cHB-cTD) > 1e-4*cTD {
+		t.Fatalf("HB c = %.10e, time-domain c = %.10e", cHB, cTD)
+	}
+}
+
+// timeDomainC runs the Section-9 time-domain route (floquet + quadrature).
+func timeDomainC(t *testing.T, v *osc.VanDerPol, pss *shooting.PSS) float64 {
+	t.Helper()
+	dec, err := floquet.Analyze(v, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2
+	p := 1
+	quad := 4000
+	x := make([]float64, n)
+	vb := make([]float64, n)
+	b := make([]float64, n*p)
+	total := 0.0
+	for k := 0; k < quad; k++ {
+		tk := pss.T * float64(k) / float64(quad)
+		pss.Orbit.At(tk, x)
+		dec.V1.At(tk, vb)
+		v.Noise(x, b)
+		dot := vb[0]*b[0] + vb[1]*b[p]
+		total += dot * dot
+	}
+	return total / float64(quad)
+}
+
+func TestSolveErrorPaths(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 1, Sigma: 0}
+	zero := func(tt float64) []float64 { return []float64{0, 0} }
+	if _, err := Solve(h, zero, 1, nil); err == nil {
+		t.Fatal("equilibrium guess accepted")
+	}
+	guess := func(tt float64) []float64 { return []float64{math.Cos(tt), math.Sin(tt)} }
+	if _, err := Solve(h, guess, -1, nil); err == nil {
+		t.Fatal("negative omega accepted")
+	}
+	if _, err := Solve(h, guess, 1, &Options{AnchorComp: 5}); err == nil {
+		t.Fatal("bad anchor accepted")
+	}
+}
+
+func TestSolveOddNBumpedToEven(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2, Sigma: 0}
+	guess := func(tt float64) []float64 { return []float64{math.Cos(2 * tt), math.Sin(2 * tt)} }
+	sol, err := Solve(h, guess, 2, &Options{N: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.N%2 != 0 {
+		t.Fatalf("N = %d not even", sol.N)
+	}
+}

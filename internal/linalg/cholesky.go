@@ -1,0 +1,48 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSPD is returned when Cholesky encounters a matrix that is not
+// symmetric positive definite to working precision.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix. The input is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	// Symmetry check (cheap and catches caller bugs early).
+	scale := a.MaxAbs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-10*(1+scale) {
+				return nil, ErrNotSPD
+			}
+		}
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}

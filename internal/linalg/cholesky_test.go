@@ -1,0 +1,85 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 5})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,2]].
+	if !almostEqual(l.At(0, 0), 2, tol) || !almostEqual(l.At(1, 0), 1, tol) ||
+		!almostEqual(l.At(1, 1), 2, tol) || l.At(0, 1) != 0 {
+		t.Fatalf("L = %v", l)
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		b := randomMatrix(rng, n, n)
+		a := b.Mul(b.T())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+0.5) // ensure positive definite
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matricesClose(t, l.Mul(l.T()), a, 1e-9, "LLᵀ = A")
+		// Strictly lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L(%d,%d) = %g above diagonal", i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1})
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+func TestCholeskyRejectsAsymmetric(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 0.5, 0.2, 1})
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+// Property: det(A) = (Π diag L)² for SPD A.
+func TestQuickCholeskyDeterminant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		b := randomMatrix(rng, n, n)
+		a := b.Mul(b.T())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		prod := 1.0
+		for i := 0; i < n; i++ {
+			prod *= l.At(i, i)
+		}
+		return almostEqual(prod*prod, Det(a), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

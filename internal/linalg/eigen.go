@@ -1,0 +1,403 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrNoConvergence is returned when the QR eigenvalue iteration fails to
+// deflate an eigenvalue within the iteration budget.
+var ErrNoConvergence = errors.New("linalg: eigenvalue iteration did not converge")
+
+// Balance applies a similarity diagonal scaling D⁻¹ A D in place to reduce
+// the norm of a, improving eigenvalue accuracy. Standard Parlett-Reinsch
+// balancing with radix-2 scaling.
+func Balance(a *Matrix) {
+	n := a.Rows
+	const radix = 2.0
+	sqrdx := radix * radix
+	for done := false; !done; {
+		done = true
+		for i := 0; i < n; i++ {
+			r, c := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a.At(j, i))
+					r += math.Abs(a.At(i, j))
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g, f, s := r/radix, 1.0, c+r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				for j := 0; j < n; j++ {
+					a.Set(i, j, a.At(i, j)*g)
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, i, a.At(j, i)*f)
+				}
+			}
+		}
+	}
+}
+
+// Hessenberg reduces a (in place) to upper Hessenberg form by Householder
+// similarity transforms. The strictly-lower part below the first subdiagonal
+// is zeroed.
+func Hessenberg(a *Matrix) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: Hessenberg of non-square matrix")
+	}
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		// Householder vector annihilating a[k+2..n-1, k].
+		normx := 0.0
+		for i := k + 1; i < n; i++ {
+			normx += a.At(i, k) * a.At(i, k)
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			continue
+		}
+		alpha := a.At(k+1, k)
+		if alpha > 0 {
+			normx = -normx
+		}
+		v0 := alpha - normx
+		if v0 == 0 {
+			continue
+		}
+		v[k+1] = 1
+		for i := k + 2; i < n; i++ {
+			v[i] = a.At(i, k) / v0
+		}
+		tau := -v0 / normx
+		// A = H A: rows k+1..n-1.
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += v[i] * a.At(i, j)
+			}
+			s *= tau
+			for i := k + 1; i < n; i++ {
+				a.Set(i, j, a.At(i, j)-s*v[i])
+			}
+		}
+		// A = A H: columns k+1..n-1.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += a.At(i, j) * v[j]
+			}
+			s *= tau
+			for j := k + 1; j < n; j++ {
+				a.Set(i, j, a.At(i, j)-s*v[j])
+			}
+		}
+		// Zero the annihilated entries explicitly.
+		a.Set(k+1, k, normx)
+		for i := k + 2; i < n; i++ {
+			a.Set(i, k, 0)
+		}
+	}
+}
+
+// Eigenvalues returns all eigenvalues of the square real matrix a as
+// complex numbers (conjugate pairs for complex eigenvalues), sorted by
+// decreasing magnitude. The input matrix is not modified.
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Eigenvalues of non-square matrix")
+	}
+	h := a.Clone()
+	Balance(h)
+	Hessenberg(h)
+	ev, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ev, func(i, j int) bool { return cmplx.Abs(ev[i]) > cmplx.Abs(ev[j]) })
+	return ev, nil
+}
+
+// hqr computes the eigenvalues of an upper Hessenberg matrix by the Francis
+// double-shift QR algorithm (EISPACK HQR). h is destroyed.
+func hqr(h *Matrix) ([]complex128, error) {
+	n := h.Rows
+	ev := make([]complex128, 0, n)
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(h.At(i, j))
+		}
+	}
+	if anorm == 0 {
+		for i := 0; i < n; i++ {
+			ev = append(ev, 0)
+		}
+		return ev, nil
+	}
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element to split the matrix.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(h.At(l-1, l-1)) + math.Abs(h.At(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(h.At(l, l-1)) <= 1e-16*s {
+					h.Set(l, l-1, 0)
+					break
+				}
+			}
+			x := h.At(nn, nn)
+			if l == nn {
+				// One real root found.
+				ev = append(ev, complex(x+t, 0))
+				nn--
+				break
+			}
+			y := h.At(nn-1, nn-1)
+			w := h.At(nn, nn-1) * h.At(nn-1, nn)
+			if l == nn-1 {
+				// Two roots found: solve the 2x2 block.
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					// Real pair.
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					ev = append(ev, complex(x+z, 0))
+					if z != 0 {
+						ev = append(ev, complex(x-w/z, 0))
+					} else {
+						ev = append(ev, complex(x, 0))
+					}
+				} else {
+					// Complex conjugate pair.
+					ev = append(ev, complex(x+p, z), complex(x+p, -z))
+				}
+				nn -= 2
+				break
+			}
+			// No roots found yet; continue iterating.
+			if its == 60 {
+				return nil, fmt.Errorf("%w (block ending at index %d)", ErrNoConvergence, nn)
+			}
+			if its == 10 || its == 20 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					h.Set(i, i, h.At(i, i)-x)
+				}
+				s := math.Abs(h.At(nn, nn-1)) + math.Abs(h.At(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			// Form shift and look for two consecutive small subdiagonals.
+			var p, q, r, z float64
+			var m int
+			for m = nn - 2; m >= l; m-- {
+				z = h.At(m, m)
+				r = x - z
+				s := y - z
+				p = (r*s-w)/h.At(m+1, m) + h.At(m, m+1)
+				q = h.At(m+1, m+1) - z - r - s
+				r = h.At(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(h.At(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(h.At(m-1, m-1)) + math.Abs(z) + math.Abs(h.At(m+1, m+1)))
+				if u <= 1e-16*v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				h.Set(i, i-2, 0)
+			}
+			for i := m + 3; i <= nn; i++ {
+				h.Set(i, i-3, 0)
+			}
+			// Double QR step on rows l..nn and columns m..nn.
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = h.At(k, k-1)
+					q = h.At(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = h.At(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s := math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						h.Set(k, k-1, -h.At(k, k-1))
+					}
+				} else {
+					h.Set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					p = h.At(k, j) + q*h.At(k+1, j)
+					if k != nn-1 {
+						p += r * h.At(k+2, j)
+						h.Set(k+2, j, h.At(k+2, j)-p*z)
+					}
+					h.Set(k+1, j, h.At(k+1, j)-p*y)
+					h.Set(k, j, h.At(k, j)-p*x)
+				}
+				// Column modification.
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					p = x*h.At(i, k) + y*h.At(i, k+1)
+					if k != nn-1 {
+						p += z * h.At(i, k+2)
+						h.Set(i, k+2, h.At(i, k+2)-p*r)
+					}
+					h.Set(i, k+1, h.At(i, k+1)-p*q)
+					h.Set(i, k, h.At(i, k)-p)
+				}
+			}
+		}
+	}
+	return ev, nil
+}
+
+// EigenvectorReal computes a real eigenvector of a for the (approximately)
+// real eigenvalue lambda using shifted inverse iteration. The returned
+// vector has unit Euclidean norm. The shift is perturbed slightly off the
+// eigenvalue so that (A − σI) remains invertible.
+func EigenvectorReal(a *Matrix, lambda float64) ([]float64, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: EigenvectorReal of non-square matrix")
+	}
+	scale := a.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	// Try a sequence of shift perturbations: inverse iteration converges in
+	// one or two steps when the shift is within eps·‖A‖ of the eigenvalue.
+	perturbs := []float64{1e-10, 1e-8, 1e-6, 1e-4}
+	var lastErr error
+	for _, p := range perturbs {
+		sigma := lambda + p*scale
+		shifted := a.Clone()
+		for i := 0; i < n; i++ {
+			shifted.Set(i, i, shifted.At(i, i)-sigma)
+		}
+		lu := NewLU(shifted)
+		// Start from a deterministic, generic vector.
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 1 / math.Sqrt(float64(i+1))
+		}
+		Normalize(v)
+		converged := false
+		for it := 0; it < 50; it++ {
+			w, err := lu.Solve(v)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			growth := Normalize(w)
+			if growth == 0 {
+				lastErr = ErrSingular
+				break
+			}
+			// Fix the sign for stable convergence detection.
+			if Dot(w, v) < 0 {
+				ScaleVec(-1, w)
+			}
+			diff := 0.0
+			for i := range w {
+				d := w[i] - v[i]
+				diff += d * d
+			}
+			copy(v, w)
+			if math.Sqrt(diff) < 1e-13 {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			continue
+		}
+		// Verify residual ‖Av − λv‖.
+		r := a.MulVec(v)
+		AXPY(-lambda, v, r)
+		if Norm2(r) < 1e-6*math.Max(scale, 1) {
+			return v, nil
+		}
+		lastErr = fmt.Errorf("linalg: inverse iteration residual too large (%g)", Norm2(r))
+	}
+	if lastErr == nil {
+		lastErr = ErrNoConvergence
+	}
+	return nil, lastErr
+}
+
+// SpectralRadius returns the largest |eigenvalue| of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(ev) == 0 {
+		return 0, nil
+	}
+	return cmplx.Abs(ev[0]), nil
+}

@@ -1,0 +1,338 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func complexSetsClose(t *testing.T, got, want []complex128, eps float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("eigenvalue count %d, want %d", len(got), len(want))
+	}
+	g := append([]complex128(nil), got...)
+	w := append([]complex128(nil), want...)
+	key := func(z complex128) (float64, float64) { return real(z), imag(z) }
+	less := func(s []complex128) func(i, j int) bool {
+		return func(i, j int) bool {
+			ri, ii := key(s[i])
+			rj, ij := key(s[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return ii < ij
+		}
+	}
+	sort.Slice(g, less(g))
+	sort.Slice(w, less(w))
+	for i := range g {
+		if cmplx.Abs(g[i]-w[i]) > eps*(1+cmplx.Abs(w[i])) {
+			t.Fatalf("eigenvalue %d: got %v, want %v (all got=%v want=%v)", i, g[i], w[i], g, w)
+		}
+	}
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	a := Diag([]float64{3, -1, 2.5, 0})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, ev, []complex128{3, -1, 2.5, 0}, 1e-12)
+}
+
+func TestEigenvaluesRotation(t *testing.T) {
+	// 2D rotation by θ has eigenvalues exp(±iθ).
+	th := 0.7
+	a := NewMatrixFrom(2, 2, []float64{
+		math.Cos(th), -math.Sin(th),
+		math.Sin(th), math.Cos(th),
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, ev, []complex128{cmplx.Exp(complex(0, th)), cmplx.Exp(complex(0, -th))}, 1e-12)
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion matrix of (λ-1)(λ-2)(λ-3) = λ³ - 6λ² + 11λ - 6.
+	a := NewMatrixFrom(3, 3, []float64{
+		6, -11, 6,
+		1, 0, 0,
+		0, 1, 0,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, ev, []complex128{1, 2, 3}, 1e-9)
+}
+
+func TestEigenvaluesDefectiveJordan(t *testing.T) {
+	// Jordan block: repeated eigenvalue 2 with a single Jordan chain.
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 1, 0,
+		0, 2, 1,
+		0, 0, 2,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range ev {
+		// Defective eigenvalues are only accurate to eps^(1/3).
+		if cmplx.Abs(z-2) > 1e-4 {
+			t.Fatalf("eigenvalue %v too far from 2", z)
+		}
+	}
+}
+
+func TestEigenvaluesSimilarityInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := Diag([]float64{5, -2, 1, 0.5})
+	p := randomMatrix(rng, 4, 4)
+	for i := 0; i < 4; i++ {
+		p.Set(i, i, p.At(i, i)+5)
+	}
+	pinv, err := Inverse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Mul(d).Mul(pinv)
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, ev, []complex128{5, -2, 1, 0.5}, 1e-8)
+}
+
+func TestEigenvaluesTraceDetConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		ev, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := complex(0, 0)
+		prod := complex(1, 0)
+		for _, z := range ev {
+			sum += z
+			prod *= z
+		}
+		if math.Abs(real(sum)-a.Trace()) > 1e-8*(1+math.Abs(a.Trace())) {
+			t.Fatalf("trial %d: Σλ = %v, trace = %g", trial, sum, a.Trace())
+		}
+		if math.Abs(imag(sum)) > 1e-8 {
+			t.Fatalf("trial %d: Σλ has imaginary part %g", trial, imag(sum))
+		}
+		det := Det(a)
+		if math.Abs(real(prod)-det) > 1e-7*(1+math.Abs(det)) {
+			t.Fatalf("trial %d: Πλ = %v, det = %g", trial, prod, det)
+		}
+	}
+}
+
+func TestEigenvaluesZeroMatrix(t *testing.T) {
+	ev, err := Eigenvalues(NewMatrix(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range ev {
+		if z != 0 {
+			t.Fatalf("eigenvalue %v of zero matrix", z)
+		}
+	}
+}
+
+func TestEigenvaluesSortedByMagnitude(t *testing.T) {
+	a := Diag([]float64{1, 9, -4, 2})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ev); i++ {
+		if cmplx.Abs(ev[i]) > cmplx.Abs(ev[i-1])+1e-12 {
+			t.Fatalf("not sorted: %v", ev)
+		}
+	}
+}
+
+func TestEigenvectorRealDiagonal(t *testing.T) {
+	a := Diag([]float64{2, 5, -1})
+	v, err := EigenvectorReal(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should be ±e2.
+	if math.Abs(math.Abs(v[1])-1) > 1e-8 || math.Abs(v[0]) > 1e-8 || math.Abs(v[2]) > 1e-8 {
+		t.Fatalf("eigenvector %v, want ±e2", v)
+	}
+}
+
+func TestEigenvectorRealResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// Build a matrix with a known eigenpair via similarity.
+	d := Diag([]float64{1, 0.3, -0.6, 0.1})
+	p := randomMatrix(rng, 4, 4)
+	for i := 0; i < 4; i++ {
+		p.Set(i, i, p.At(i, i)+4)
+	}
+	pinv, err := Inverse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Mul(d).Mul(pinv)
+	v, err := EigenvectorReal(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(v)
+	AXPY(-1, v, r)
+	if Norm2(r) > 1e-7 {
+		t.Fatalf("residual %g", Norm2(r))
+	}
+}
+
+func TestEigenvectorMonodromyLike(t *testing.T) {
+	// Monodromy-matrix-like case: eigenvalue exactly 1 plus contracting modes.
+	a := NewMatrixFrom(3, 3, []float64{
+		1, 0.5, 0.2,
+		0, 0.3, 0.1,
+		0, 0, 0.05,
+	})
+	v, err := EigenvectorReal(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(v)
+	AXPY(-1, v, r)
+	if Norm2(r) > 1e-8 {
+		t.Fatalf("residual %g for eigenvalue 1", Norm2(r))
+	}
+	// And the transpose (needed for v1 in Floquet analysis).
+	vt, err := EigenvectorReal(a.T(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := a.T().MulVec(vt)
+	AXPY(-1, vt, rt)
+	if Norm2(rt) > 1e-8 {
+		t.Fatalf("transpose residual %g", Norm2(rt))
+	}
+}
+
+func TestHessenbergPreservesEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomMatrix(rng, 5, 5)
+	want, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.Clone()
+	Hessenberg(h)
+	// Hessenberg form must have zeros below the first subdiagonal.
+	for i := 2; i < 5; i++ {
+		for j := 0; j < i-1; j++ {
+			if h.At(i, j) != 0 {
+				t.Fatalf("H(%d,%d) = %g", i, j, h.At(i, j))
+			}
+		}
+	}
+	got, err := Eigenvalues(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, got, want, 1e-8)
+}
+
+func TestBalancePreservesEigenvalues(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{
+		1, 1e6, 0,
+		1e-6, 2, 1e5,
+		0, 1e-5, 3,
+	})
+	want, err := Eigenvalues(a) // Eigenvalues itself balances; baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	Balance(b)
+	got, err := Eigenvalues(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexSetsClose(t, got, want, 1e-7)
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := Diag([]float64{0.5, -3, 1})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 3, 1e-10) {
+		t.Fatalf("spectral radius %g, want 3", r)
+	}
+}
+
+// Property: eigenvalues of AᵀA are real and non-negative.
+func TestQuickGramEigenvaluesNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomMatrix(rng, n, n)
+		g := a.T().Mul(a)
+		ev, err := Eigenvalues(g)
+		if err != nil {
+			return false
+		}
+		for _, z := range ev {
+			if math.Abs(imag(z)) > 1e-7*(1+cmplx.Abs(z)) || real(z) < -1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling a matrix scales its eigenvalues.
+func TestQuickEigenvalueScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := randomMatrix(rng, n, n)
+		s := 0.5 + rng.Float64()*3
+		ev1, err1 := Eigenvalues(a)
+		ev2, err2 := Eigenvalues(a.Scale(s))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Match by magnitude ordering (both sorted).
+		for i := range ev1 {
+			if cmplx.Abs(ev2[i]-complex(s, 0)*ev1[i]) > 1e-6*(1+cmplx.Abs(ev2[i])) {
+				// Allow conjugate-order swaps within a pair.
+				if i+1 < len(ev1) && cmplx.Abs(ev2[i]-complex(s, 0)*ev1[i+1]) < 1e-6*(1+cmplx.Abs(ev2[i])) {
+					continue
+				}
+				if i > 0 && cmplx.Abs(ev2[i]-complex(s, 0)*ev1[i-1]) < 1e-6*(1+cmplx.Abs(ev2[i])) {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation encounters an (exactly or
+// numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an LU factorisation with partial pivoting: P*A = L*U.
+type LU struct {
+	lu    *Matrix // packed L (unit lower, below diagonal) and U (upper)
+	piv   []int   // row permutation: row i of P*A is row piv[i] of A
+	sign  float64 // determinant sign of the permutation
+	n     int
+	small bool // true when a pivot was below the singularity threshold
+}
+
+// NewLU factors the square matrix a (not modified). It never fails outright;
+// inspect Singular or rely on Solve returning ErrSingular.
+func NewLU(a *Matrix) *LU {
+	if a.Rows != a.Cols {
+		panic("linalg: LU of non-square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, n: n}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu.Data
+	// Largest entry sets the singularity scale.
+	scale := a.MaxAbs()
+	tol := scale * float64(n) * 1e-15
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest |entry| in column k at/below row k.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if p != k {
+			rk := lu[k*n : (k+1)*n]
+			rp := lu[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		if math.Abs(pivot) <= tol {
+			f.small = true
+			if pivot == 0 {
+				continue // leave the zero column; Solve will report ErrSingular
+			}
+		}
+		inv := 1 / pivot
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] * inv
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n : (i+1)*n]
+			rk := lu[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f
+}
+
+// Singular reports whether a pivot fell below the singularity threshold.
+func (f *LU) Singular() bool { return f.small }
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.Data[i*f.n+i]
+	}
+	return d
+}
+
+// Solve solves A x = b, returning a new vector.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	n := f.n
+	lu := f.lu.Data
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		ri := lu[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := lu[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		d := ri[i]
+		if d == 0 || math.IsNaN(s/d) || math.IsInf(s/d, 0) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A X = B column-by-column, returning X.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	if b.Rows != f.n {
+		panic("linalg: LU.SolveMatrix dimension mismatch")
+	}
+	out := NewMatrix(f.n, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		col, err := f.Solve(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+	}
+	return out, nil
+}
+
+// Solve solves the linear system a x = b using LU with partial pivoting.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	return NewLU(a).Solve(b)
+}
+
+// Inverse returns A⁻¹ or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return NewLU(a).SolveMatrix(Identity(a.Rows))
+}
+
+// Det returns det(A) via LU.
+func Det(a *Matrix) float64 { return NewLU(a).Det() }

@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 1, 1,
+		1, 3, 2,
+		1, 0, 0,
+	})
+	b := []float64{4, 5, 6}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	r := SubVec(a.MulVec(x), b)
+	if Norm2(r) > 1e-12 {
+		t.Fatalf("residual %g, x=%v", Norm2(r), x)
+	}
+	if !almostEqual(x[0], 6, tol) {
+		t.Fatalf("x[0] = %g, want 6", x[0])
+	}
+}
+
+func TestLUSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			continue // randomly singular: acceptable
+		}
+		r := SubVec(a.MulVec(x), b)
+		if Norm2(r) > 1e-8*(1+a.NormFro()*Norm2(x)) {
+			t.Fatalf("trial %d: residual %g", trial, Norm2(r))
+		}
+	}
+}
+
+func TestLUSingularDetection(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	f := NewLU(a)
+	if !f.Singular() {
+		t.Fatal("rank-1 matrix not flagged singular")
+	}
+	if _, err := f.Solve([]float64{1, 0}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if !almostEqual(Det(a), -2, tol) {
+		t.Fatalf("det = %g, want -2", Det(a))
+	}
+	if !almostEqual(Det(Identity(5)), 1, tol) {
+		t.Fatal("det(I) != 1")
+	}
+	// Permutation sign: swapping rows flips the determinant.
+	b := NewMatrixFrom(2, 2, []float64{3, 4, 1, 2})
+	if !almostEqual(Det(b), 2, tol) {
+		t.Fatalf("det = %g, want 2", Det(b))
+	}
+}
+
+func TestLUDeterminantMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 4, 4)
+	b := randomMatrix(rng, 4, 4)
+	if !almostEqual(Det(a.Mul(b)), Det(a)*Det(b), 1e-9) {
+		t.Fatalf("det(AB)=%g det(A)det(B)=%g", Det(a.Mul(b)), Det(a)*Det(b))
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 6, 6)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matricesClose(t, a.Mul(inv), Identity(6), 1e-9, "A A⁻¹ = I")
+	matricesClose(t, inv.Mul(a), Identity(6), 1e-9, "A⁻¹ A = I")
+}
+
+func TestSolveMatrixColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 4, 4)
+	b := randomMatrix(rng, 4, 3)
+	x, err := NewLU(a).SolveMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matricesClose(t, a.Mul(x), b, 1e-9, "A X = B")
+}
+
+// Property: LU solve residual stays small for well-conditioned matrices.
+func TestQuickLUSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		// Diagonally dominant ⇒ well-conditioned.
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return Norm2(SubVec(a.MulVec(x), b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A) is invariant under transposition.
+func TestQuickDetTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		return almostEqual(Det(a), Det(a.T()), 1e-8) ||
+			math.Abs(Det(a)) < 1e-12 // near-singular: relative compare unreliable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroMatrixSolveFails(t *testing.T) {
+	a := NewMatrix(3, 3)
+	if _, err := Solve(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected failure for zero matrix")
+	}
+}

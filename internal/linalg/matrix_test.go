@@ -1,0 +1,271 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matricesClose(t *testing.T, a, b *Matrix, eps float64, msg string) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", msg, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], b.Data[i], eps) {
+			t.Fatalf("%s: entry %d: %g vs %g", msg, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestNewMatrixFromAndAt(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("unexpected layout: %v", m.Data)
+	}
+	m.Set(1, 1, 42)
+	if m.At(1, 1) != 42 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestNewMatrixFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	matricesClose(t, id, d, 0, "identity vs diag(1,1,1)")
+	if id.Trace() != 3 {
+		t.Fatalf("trace = %g", id.Trace())
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 4, 7)
+	matricesClose(t, m, m.T().T(), 0, "(Aᵀ)ᵀ = A")
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 5, 5)
+	matricesClose(t, m, m.Mul(Identity(5)), tol, "A*I")
+	matricesClose(t, m, Identity(5).Mul(m), tol, "I*A")
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 3, 4)
+	b := randomMatrix(rng, 4, 5)
+	c := randomMatrix(rng, 5, 2)
+	matricesClose(t, a.Mul(b).Mul(c), a.Mul(b.Mul(c)), 1e-12, "(AB)C = A(BC)")
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 6, 3)
+	x := randomMatrix(rng, 3, 1)
+	got := a.MulVec(x.Col(0))
+	want := a.Mul(x).Col(0)
+	for i := range got {
+		if !almostEqual(got[i], want[i], tol) {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 4, 6)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := a.TMulVec(x)
+	want := a.T().MulVec(x)
+	for i := range got {
+		if !almostEqual(got[i], want[i], tol) {
+			t.Fatalf("TMulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 3, 3)
+	b := randomMatrix(rng, 3, 3)
+	matricesClose(t, a.Add(b).Sub(b), a, tol, "A+B-B = A")
+	matricesClose(t, a.Scale(2), a.Add(a), tol, "2A = A+A")
+	c := a.Clone()
+	c.AddScaledInPlace(-1, a)
+	if c.NormFro() > tol {
+		t.Fatalf("A - A != 0: %g", c.NormFro())
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+	m.SetRow(0, []float64{9, 8, 7})
+	if m.At(0, 1) != 8 {
+		t.Fatal("SetRow failed")
+	}
+	m.SetCol(0, []float64{-1, -2})
+	if m.At(1, 0) != -2 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{3, 0, 0, 4})
+	if !almostEqual(m.NormFro(), 5, tol) {
+		t.Fatalf("fro = %g", m.NormFro())
+	}
+	if m.NormInf() != 4 {
+		t.Fatalf("inf = %g", m.NormInf())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("maxabs = %g", m.MaxAbs())
+	}
+}
+
+func TestNorm2OverflowSafety(t *testing.T) {
+	x := []float64{1e300, 1e300}
+	got := Norm2(x)
+	want := 1e300 * math.Sqrt2
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Norm2 overflow-safe = %g, want %g", got, want)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("dot = %g", Dot(x, y))
+	}
+	s := SubVec(AddVec(x, y), y)
+	for i := range s {
+		if s[i] != x[i] {
+			t.Fatalf("add/sub roundtrip: %v", s)
+		}
+	}
+	z := CloneVec(x)
+	AXPY(2, y, z)
+	if z[0] != 9 || z[2] != 15 {
+		t.Fatalf("axpy = %v", z)
+	}
+	ScaleVec(0.5, z)
+	if z[0] != 4.5 {
+		t.Fatalf("scale = %v", z)
+	}
+	if NormInfVec([]float64{-7, 3}) != 7 {
+		t.Fatal("NormInfVec")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	n := Normalize(x)
+	if !almostEqual(n, 5, tol) || !almostEqual(Norm2(x), 1, tol) {
+		t.Fatalf("normalize: n=%g x=%v", n, x)
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("zero vector should return 0")
+	}
+}
+
+func TestOuter(t *testing.T) {
+	m := Outer([]float64{1, 2}, []float64{3, 4, 5})
+	if m.Rows != 2 || m.Cols != 3 || m.At(1, 2) != 10 {
+		t.Fatalf("outer = %v", m)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random small matrices.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(5)
+		c := 1 + rng.Intn(5)
+		a := randomMatrix(rng, r, k)
+		b := randomMatrix(rng, k, c)
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		return lhs.Sub(rhs).MaxAbs() < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖x‖₂² == x·x.
+func TestQuickNormDotConsistency(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Clamp entries to avoid overflow in the naive dot product.
+		x := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x = append(x, math.Mod(v, 1e6))
+		}
+		n := Norm2(x)
+		return almostEqual(n*n, Dot(x, x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for the Frobenius norm.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 4, 4)
+		b := randomMatrix(rng, 4, 4)
+		return a.Add(b).NormFro() <= a.NormFro()+b.NormFro()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendersAllRows(t *testing.T) {
+	m := Identity(2)
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,163 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorisation A = Q R for an m×n matrix with
+// m >= n. Q is m×m orthogonal, R is m×n upper triangular.
+type QR struct {
+	qr   *Matrix   // packed Householder vectors (below diagonal) and R (at/above)
+	tau  []float64 // Householder scalars
+	m, n int
+}
+
+// NewQR factors a (not modified) with Householder reflections.
+func NewQR(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("linalg: QR requires rows >= cols")
+	}
+	f := &QR{qr: a.Clone(), tau: make([]float64, n), m: m, n: n}
+	d := f.qr.Data
+	for k := 0; k < n; k++ {
+		// Build Householder vector from column k, rows k..m-1.
+		normx := 0.0
+		for i := k; i < m; i++ {
+			v := d[i*n+k]
+			normx += v * v
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			f.tau[k] = 0
+			continue
+		}
+		alpha := d[k*n+k]
+		if alpha > 0 {
+			normx = -normx
+		}
+		// v = x - normx*e1, normalised so v[0] = 1.
+		v0 := alpha - normx
+		d[k*n+k] = normx // R diagonal entry
+		for i := k + 1; i < m; i++ {
+			d[i*n+k] /= v0
+		}
+		f.tau[k] = -v0 / normx // tau = 2/(vᵀv) with v[0]=1 scaling
+		// Apply H = I - tau v vᵀ to remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := d[k*n+j]
+			for i := k + 1; i < m; i++ {
+				s += d[i*n+k] * d[i*n+j]
+			}
+			s *= f.tau[k]
+			d[k*n+j] -= s
+			for i := k + 1; i < m; i++ {
+				d[i*n+j] -= s * d[i*n+k]
+			}
+		}
+	}
+	return f
+}
+
+// R returns the upper-triangular factor (n×n leading block).
+func (f *QR) R() *Matrix {
+	r := NewMatrix(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QMulVec computes Q*x for x of length m.
+func (f *QR) QMulVec(x []float64) []float64 {
+	y := CloneVec(x)
+	// Q = H_0 H_1 ... H_{n-1}; apply in reverse order.
+	for k := f.n - 1; k >= 0; k-- {
+		f.applyHouseholder(k, y)
+	}
+	return y
+}
+
+// QTMulVec computes Qᵀ*x for x of length m.
+func (f *QR) QTMulVec(x []float64) []float64 {
+	y := CloneVec(x)
+	for k := 0; k < f.n; k++ {
+		f.applyHouseholder(k, y)
+	}
+	return y
+}
+
+func (f *QR) applyHouseholder(k int, y []float64) {
+	if f.tau[k] == 0 {
+		return
+	}
+	d := f.qr.Data
+	s := y[k]
+	for i := k + 1; i < f.m; i++ {
+		s += d[i*f.n+k] * y[i]
+	}
+	s *= f.tau[k]
+	y[k] -= s
+	for i := k + 1; i < f.m; i++ {
+		y[i] -= s * d[i*f.n+k]
+	}
+}
+
+// Q returns the full m×m orthogonal factor (formed explicitly).
+func (f *QR) Q() *Matrix {
+	q := NewMatrix(f.m, f.m)
+	e := make([]float64, f.m)
+	for j := 0; j < f.m; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		q.SetCol(j, f.QMulVec(e))
+	}
+	return q
+}
+
+// Solve solves the square system A x = b via QR (A must be n×n here).
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if f.m != f.n {
+		panic("linalg: QR.Solve requires a square matrix")
+	}
+	y := f.QTMulVec(b)
+	// Back substitution with R.
+	n := f.n
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A x − b‖₂ for overdetermined A (m >= n).
+func (f *QR) LeastSquares(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic("linalg: QR.LeastSquares dimension mismatch")
+	}
+	y := f.QTMulVec(b)
+	n := f.n
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

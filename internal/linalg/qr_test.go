@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 6, 4)
+	f := NewQR(a)
+	q := f.Q()
+	// Q should be orthogonal.
+	matricesClose(t, q.T().Mul(q), Identity(6), 1e-10, "QᵀQ = I")
+	// Q * [R; 0] should reconstruct A.
+	r := NewMatrix(6, 4)
+	rr := f.R()
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			r.Set(i, j, rr.At(i, j))
+		}
+	}
+	matricesClose(t, q.Mul(r), a, 1e-9, "QR = A")
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 5, 5)
+	r := NewQR(a).R()
+	for i := 1; i < 5; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %g, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRSolveSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 5, 5)
+	b := make([]float64, 5)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := NewQR(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(SubVec(a.MulVec(x), b)) > 1e-9 {
+		t.Fatal("QR solve residual too large")
+	}
+}
+
+func TestQRLeastSquaresMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomMatrix(rng, 10, 3)
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := NewQR(a).LeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal equations solution: (AᵀA) x = Aᵀ b.
+	ata := a.T().Mul(a)
+	atb := a.TMulVec(b)
+	want, err := Solve(ata, atb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEqual(x[i], want[i], 1e-8) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRLeastSquaresExactFit(t *testing.T) {
+	// Fit y = 2 + 3t exactly.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(5, 2)
+	b := make([]float64, 5)
+	for i, tv := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		b[i] = 2 + 3*tv
+	}
+	x, err := NewQR(a).LeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Fatalf("fit = %v, want [2 3]", x)
+	}
+}
+
+func TestQMulVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randomMatrix(rng, 7, 7)
+	f := NewQR(a)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := f.QTMulVec(f.QMulVec(x))
+	for i := range x {
+		if !almostEqual(x[i], y[i], 1e-10) {
+			t.Fatalf("QᵀQx != x at %d: %g vs %g", i, y[i], x[i])
+		}
+	}
+}
+
+// Property: QR solve agrees with LU solve on well-conditioned systems.
+func TestQuickQRvsLU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := NewQR(a).Solve(b)
+		x2, err2 := Solve(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return Norm2(SubVec(x1, x2)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,370 @@
+// Package mna is a small circuit-netlist substrate: it assembles the state
+// equations of a lumped electrical circuit (nodal analysis with explicit
+// capacitor/inductor states) into a dynsys.System that the phase-noise
+// pipeline can characterise directly. It is the practical counterpart of
+// the paper's footnote 1, which notes the theory extends from the ODE form
+// ẋ = f(x) to the circuit (MNA) formulation — here the constant mass matrix
+// M = blockdiag(C_nodes, L_inductors) is factored once and folded into f,
+// its Jacobian, and the noise map.
+//
+// Supported elements: resistors (with optional thermal noise), capacitors,
+// inductors, DC current sources, linear and nonlinear voltage-controlled
+// current sources, and explicit white current-noise sources. Every node
+// must have a capacitive path to ground so that M is nonsingular (a
+// state-space, index-0 formulation).
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/linalg"
+)
+
+// Ground is the reference node name; it carries no state.
+const Ground = "0"
+
+type resistor struct {
+	a, b  int
+	g     float64 // conductance
+	label string
+}
+
+type capacitor struct {
+	a, b int
+	c    float64
+}
+
+type inductor struct {
+	a, b  int
+	l     float64
+	state int // index of the inductor-current state
+}
+
+type vccs struct {
+	outP, outN, ctrlP, ctrlN int
+	gm                       float64
+}
+
+type nlVCCS struct {
+	outP, outN, ctrlP, ctrlN int
+	i                        func(v float64) float64
+	di                       func(v float64) float64
+}
+
+type isource struct {
+	a, b int
+	amps float64
+}
+
+type inoise struct {
+	a, b  int
+	mag   float64 // √(two-sided PSD), A/√Hz
+	label string
+}
+
+// Circuit accumulates netlist elements; call Build to freeze it into a
+// dynsys.System.
+type Circuit struct {
+	names      []string
+	index      map[string]int
+	resistors  []resistor
+	capacitors []capacitor
+	inductors  []inductor
+	vccss      []vccs
+	nlvccss    []nlVCCS
+	isources   []isource
+	inoises    []inoise
+	thermalK   float64 // > 0 ⇒ resistor thermal noise at this temperature
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{index: map[string]int{}}
+}
+
+// node interns a node name; Ground maps to -1.
+func (c *Circuit) node(name string) int {
+	if name == Ground || name == "gnd" || name == "GND" {
+		return -1
+	}
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.names = append(c.names, name)
+	c.index[name] = i
+	return i
+}
+
+// Resistor adds R ohms between nodes a and b.
+func (c *Circuit) Resistor(a, b string, ohms float64) {
+	if ohms <= 0 {
+		panic(fmt.Sprintf("mna: resistor %s-%s must be positive, got %g", a, b, ohms))
+	}
+	c.resistors = append(c.resistors, resistor{c.node(a), c.node(b), 1 / ohms, a + "-" + b})
+}
+
+// Capacitor adds C farads between nodes a and b.
+func (c *Circuit) Capacitor(a, b string, farads float64) {
+	if farads <= 0 {
+		panic(fmt.Sprintf("mna: capacitor %s-%s must be positive, got %g", a, b, farads))
+	}
+	c.capacitors = append(c.capacitors, capacitor{c.node(a), c.node(b), farads})
+}
+
+// Inductor adds L henries between nodes a and b; its current (flowing
+// a → b) becomes an extra state variable.
+func (c *Circuit) Inductor(a, b string, henries float64) {
+	if henries <= 0 {
+		panic(fmt.Sprintf("mna: inductor %s-%s must be positive, got %g", a, b, henries))
+	}
+	c.inductors = append(c.inductors, inductor{a: c.node(a), b: c.node(b), l: henries})
+}
+
+// VCCS adds a linear transconductance: current gm·(v(ctrlP)−v(ctrlN))
+// flows from outP to outN.
+func (c *Circuit) VCCS(outP, outN, ctrlP, ctrlN string, gm float64) {
+	c.vccss = append(c.vccss, vccs{c.node(outP), c.node(outN), c.node(ctrlP), c.node(ctrlN), gm})
+}
+
+// NonlinearVCCS adds a nonlinear transconductance i(v_ctrl) from outP to
+// outN; di must be the exact derivative of i.
+func (c *Circuit) NonlinearVCCS(outP, outN, ctrlP, ctrlN string, i, di func(v float64) float64) {
+	c.nlvccss = append(c.nlvccss, nlVCCS{c.node(outP), c.node(outN), c.node(ctrlP), c.node(ctrlN), i, di})
+}
+
+// CurrentSource adds a DC current flowing from a to b (out of a, into b).
+func (c *Circuit) CurrentSource(a, b string, amps float64) {
+	c.isources = append(c.isources, isource{c.node(a), c.node(b), amps})
+}
+
+// CurrentNoise adds an explicit white current-noise source between a and b
+// with the given √(two-sided PSD) magnitude (A/√Hz).
+func (c *Circuit) CurrentNoise(a, b string, mag float64, label string) {
+	c.inoises = append(c.inoises, inoise{c.node(a), c.node(b), mag, label})
+}
+
+// EnableThermalNoise adds one thermal-noise column per resistor (two-sided
+// PSD 2kT/R) when the circuit is built.
+func (c *Circuit) EnableThermalNoise(tempK float64) { c.thermalK = tempK }
+
+// System is the frozen state-space form of a circuit: states are the node
+// voltages followed by the inductor currents, with the constant mass matrix
+// already folded in (ẋ = M⁻¹·g(x)).
+type System struct {
+	nNodes int
+	names  []string
+	minv   *linalg.Matrix // M⁻¹ (dense; circuits here are small)
+	ckt    *Circuit
+	labels []string
+	nCols  int
+	// scratch
+}
+
+// Build freezes the netlist. It fails if the mass matrix is singular
+// (some node has no capacitive path to ground).
+func (c *Circuit) Build() (*System, error) {
+	nv := len(c.names)
+	if nv == 0 {
+		return nil, errors.New("mna: empty circuit")
+	}
+	for i := range c.inductors {
+		c.inductors[i].state = nv + i
+	}
+	n := nv + len(c.inductors)
+	// Mass matrix: node-capacitance block plus inductor inductances.
+	m := linalg.NewMatrix(n, n)
+	for _, cp := range c.capacitors {
+		if cp.a >= 0 {
+			m.Set(cp.a, cp.a, m.At(cp.a, cp.a)+cp.c)
+		}
+		if cp.b >= 0 {
+			m.Set(cp.b, cp.b, m.At(cp.b, cp.b)+cp.c)
+		}
+		if cp.a >= 0 && cp.b >= 0 {
+			m.Set(cp.a, cp.b, m.At(cp.a, cp.b)-cp.c)
+			m.Set(cp.b, cp.a, m.At(cp.b, cp.a)-cp.c)
+		}
+	}
+	for _, ind := range c.inductors {
+		m.Set(ind.state, ind.state, ind.l)
+	}
+	minv, err := linalg.Inverse(m)
+	if err != nil {
+		return nil, fmt.Errorf("mna: singular mass matrix (every node needs a capacitive path to ground): %w", err)
+	}
+	s := &System{nNodes: nv, names: append([]string(nil), c.names...), minv: minv, ckt: c}
+	for _, ns := range c.inoises {
+		s.labels = append(s.labels, ns.label)
+	}
+	if c.thermalK > 0 {
+		for _, r := range c.resistors {
+			s.labels = append(s.labels, "thermal:"+r.label)
+		}
+	}
+	s.nCols = len(s.labels)
+	return s, nil
+}
+
+// Dim implements dynsys.System.
+func (s *System) Dim() int { return s.nNodes + len(s.ckt.inductors) }
+
+// NodeNames returns the voltage-state names in state order.
+func (s *System) NodeNames() []string { return s.names }
+
+// NodeIndex returns the state index of a named node, or -1.
+func (s *System) NodeIndex(name string) int {
+	if i, ok := s.ckt.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// currents accumulates the raw current/voltage balance g(x) before the
+// mass-matrix solve: for node rows, the net current INTO the node; for
+// inductor rows, the branch voltage v(a) − v(b).
+func (s *System) currents(x, g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+	volt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	add := func(node int, i float64) {
+		if node >= 0 {
+			g[node] += i
+		}
+	}
+	for _, r := range s.ckt.resistors {
+		i := r.g * (volt(r.a) - volt(r.b))
+		add(r.a, -i)
+		add(r.b, i)
+	}
+	for _, v := range s.ckt.vccss {
+		i := v.gm * (volt(v.ctrlP) - volt(v.ctrlN))
+		add(v.outP, -i)
+		add(v.outN, i)
+	}
+	for _, v := range s.ckt.nlvccss {
+		i := v.i(volt(v.ctrlP) - volt(v.ctrlN))
+		add(v.outP, -i)
+		add(v.outN, i)
+	}
+	for _, src := range s.ckt.isources {
+		add(src.a, -src.amps)
+		add(src.b, src.amps)
+	}
+	for _, ind := range s.ckt.inductors {
+		il := x[ind.state]
+		add(ind.a, -il)
+		add(ind.b, il)
+		g[ind.state] = volt(ind.a) - volt(ind.b)
+	}
+}
+
+// Eval implements dynsys.System: ẋ = M⁻¹·g(x).
+func (s *System) Eval(x, dst []float64) {
+	g := make([]float64, s.Dim())
+	s.currents(x, g)
+	copy(dst, s.minv.MulVec(g))
+}
+
+// Jacobian implements dynsys.System: ∂ẋ/∂x = M⁻¹·∂g/∂x.
+func (s *System) Jacobian(x []float64, dst []float64) {
+	n := s.Dim()
+	jg := linalg.NewMatrix(n, n)
+	volt := func(node int) float64 {
+		if node < 0 {
+			return 0
+		}
+		return x[node]
+	}
+	stamp := func(row, col int, v float64) {
+		if row >= 0 && col >= 0 {
+			jg.Set(row, col, jg.At(row, col)+v)
+		}
+	}
+	for _, r := range s.ckt.resistors {
+		stamp(r.a, r.a, -r.g)
+		stamp(r.a, r.b, r.g)
+		stamp(r.b, r.a, r.g)
+		stamp(r.b, r.b, -r.g)
+	}
+	for _, v := range s.ckt.vccss {
+		stamp(v.outP, v.ctrlP, -v.gm)
+		stamp(v.outP, v.ctrlN, v.gm)
+		stamp(v.outN, v.ctrlP, v.gm)
+		stamp(v.outN, v.ctrlN, -v.gm)
+	}
+	for _, v := range s.ckt.nlvccss {
+		di := v.di(volt(v.ctrlP) - volt(v.ctrlN))
+		stamp(v.outP, v.ctrlP, -di)
+		stamp(v.outP, v.ctrlN, di)
+		stamp(v.outN, v.ctrlP, di)
+		stamp(v.outN, v.ctrlN, -di)
+	}
+	for _, ind := range s.ckt.inductors {
+		stamp(ind.a, ind.state, -1)
+		stamp(ind.b, ind.state, 1)
+		stamp(ind.state, ind.a, 1)
+		stamp(ind.state, ind.b, -1)
+	}
+	out := s.minv.Mul(jg)
+	copy(dst, out.Data)
+}
+
+// NumNoise implements dynsys.System.
+func (s *System) NumNoise() int { return s.nCols }
+
+// Noise implements dynsys.System: columns are M⁻¹ applied to raw current
+// injections (explicit noise sources first, then per-resistor thermal
+// noise when enabled).
+func (s *System) Noise(x []float64, dst []float64) {
+	n := s.Dim()
+	p := s.nCols
+	for i := range dst[:n*p] {
+		dst[i] = 0
+	}
+	raw := make([]float64, n)
+	col := 0
+	writeCol := func() {
+		v := s.minv.MulVec(raw)
+		for i := 0; i < n; i++ {
+			dst[i*p+col] = v[i]
+		}
+		for i := range raw {
+			raw[i] = 0
+		}
+		col++
+	}
+	for _, ns := range s.ckt.inoises {
+		if ns.a >= 0 {
+			raw[ns.a] -= ns.mag
+		}
+		if ns.b >= 0 {
+			raw[ns.b] += ns.mag
+		}
+		writeCol()
+	}
+	if s.ckt.thermalK > 0 {
+		for _, r := range s.ckt.resistors {
+			mag := math.Sqrt(2 * dynsys.BoltzmannK * s.ckt.thermalK * r.g)
+			if r.a >= 0 {
+				raw[r.a] -= mag
+			}
+			if r.b >= 0 {
+				raw[r.b] += mag
+			}
+			writeCol()
+		}
+	}
+}
+
+// NoiseLabels implements dynsys.System.
+func (s *System) NoiseLabels() []string { return s.labels }

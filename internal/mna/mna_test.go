@@ -1,0 +1,249 @@
+package mna
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynsys"
+	"repro/internal/ode"
+	"repro/internal/osc"
+)
+
+// buildRC returns a simple RC decay circuit: 1 µF node cap, 1 kΩ to ground.
+func buildRC(t *testing.T) *System {
+	t.Helper()
+	c := New()
+	c.Capacitor("out", Ground, 1e-6)
+	c.Resistor("out", Ground, 1000)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRCDecayTimeConstant(t *testing.T) {
+	sys := buildRC(t)
+	if sys.Dim() != 1 {
+		t.Fatalf("dim %d", sys.Dim())
+	}
+	// dv/dt = −v/(RC): integrate one time constant.
+	f := func(tt float64, x, dst []float64) { sys.Eval(x, dst) }
+	x := ode.RK4(f, 0, 1e-3, []float64{1}, 1000)
+	if math.Abs(x[0]-math.Exp(-1)) > 1e-6 {
+		t.Fatalf("v(τ) = %g, want e⁻¹", x[0])
+	}
+}
+
+func TestLCResonance(t *testing.T) {
+	// Parallel LC: f0 = 1/(2π√(LC)).
+	c := New()
+	c.Capacitor("out", Ground, 1e-9)
+	c.Inductor("out", Ground, 1e-3)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dim() != 2 {
+		t.Fatalf("dim %d", sys.Dim())
+	}
+	f := func(tt float64, x, dst []float64) { sys.Eval(x, dst) }
+	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-3*1e-9))
+	T := 1 / f0
+	// Start with 1 V on the cap; after one full period it must return.
+	x := ode.RK4(f, 0, T, []float64{1, 0}, 20000)
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]) > 1e-9 {
+		t.Fatalf("after one period: %v", x)
+	}
+}
+
+func TestJacobianMatchesFiniteDifference(t *testing.T) {
+	// A circuit with every element type.
+	c := New()
+	c.Capacitor("a", Ground, 1e-9)
+	c.Capacitor("b", Ground, 2e-9)
+	c.Capacitor("a", "b", 0.5e-9)
+	c.Resistor("a", "b", 500)
+	c.Resistor("b", Ground, 1000)
+	c.Inductor("a", Ground, 1e-6)
+	c.VCCS("b", Ground, "a", Ground, 1e-3)
+	c.NonlinearVCCS("a", Ground, "b", Ground,
+		func(v float64) float64 { return 1e-3 * math.Tanh(v/0.1) },
+		func(v float64) float64 { s := 1 / math.Cosh(v/0.1); return 1e-2 * s * s })
+	c.CurrentSource("a", Ground, 1e-4)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.05, -0.03, 1e-4}
+	maxd := dynsys.CheckJacobian(sys, x)
+	jac := make([]float64, 9)
+	sys.Jacobian(x, jac)
+	scale := 0.0
+	for _, v := range jac {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if maxd > 1e-3*(1+scale) {
+		t.Fatalf("jacobian mismatch %g (scale %g)", maxd, scale)
+	}
+}
+
+func TestDCCurrentSourceEquilibrium(t *testing.T) {
+	// I into R ⇒ equilibrium v = I·R.
+	c := New()
+	c.Capacitor("out", Ground, 1e-9)
+	c.Resistor("out", Ground, 2000)
+	c.CurrentSource(Ground, "out", 1e-3) // 1 mA into "out"
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(tt float64, x, dst []float64) { sys.Eval(x, dst) }
+	x := ode.RK4(f, 0, 1e-4, []float64{0}, 10000) // ≫ RC = 2 µs
+	if math.Abs(x[0]-2) > 1e-6 {
+		t.Fatalf("equilibrium %g V, want 2", x[0])
+	}
+}
+
+func TestThermalNoiseColumns(t *testing.T) {
+	c := New()
+	c.Capacitor("out", Ground, 1e-9)
+	c.Resistor("out", Ground, 1000)
+	c.EnableThermalNoise(300)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumNoise() != 1 {
+		t.Fatalf("%d noise columns", sys.NumNoise())
+	}
+	b := make([]float64, 1)
+	sys.Noise([]float64{0}, b)
+	// Column = √(2kT/R)/C.
+	want := math.Sqrt(2*dynsys.BoltzmannK*300/1000) / 1e-9
+	if math.Abs(b[0]-(-want)) > 1e-6*want && math.Abs(b[0]-want) > 1e-6*want {
+		t.Fatalf("thermal column %g, want ±%g", b[0], want)
+	}
+	if sys.NoiseLabels()[0] != "thermal:out-0" {
+		t.Fatalf("label %q", sys.NoiseLabels()[0])
+	}
+}
+
+func TestNodeBookkeeping(t *testing.T) {
+	c := New()
+	c.Capacitor("x", Ground, 1e-9)
+	c.Capacitor("y", "gnd", 1e-9)
+	c.Resistor("x", "y", 100)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NodeIndex("x") != 0 || sys.NodeIndex("y") != 1 || sys.NodeIndex("nope") != -1 {
+		t.Fatalf("node indices: %d %d %d", sys.NodeIndex("x"), sys.NodeIndex("y"), sys.NodeIndex("nope"))
+	}
+	if len(sys.NodeNames()) != 2 {
+		t.Fatal("node names")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := New().Build(); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+	// Node without capacitive path ⇒ singular mass matrix.
+	c := New()
+	c.Capacitor("a", Ground, 1e-9)
+	c.Resistor("a", "floating", 100)
+	c.Resistor("floating", Ground, 100)
+	if _, err := c.Build(); err == nil {
+		t.Fatal("singular mass matrix accepted")
+	}
+}
+
+func TestElementValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive resistor")
+		}
+	}()
+	New().Resistor("a", "b", 0)
+}
+
+// The flagship MNA test: build the paper's Figure-1 bandpass oscillator as
+// a netlist and verify it reproduces the hand-written model's f0 and c.
+func TestBandpassNetlistMatchesHandModel(t *testing.T) {
+	ref := osc.NewBandpassPaper()
+
+	c := New()
+	c.Capacitor("out", Ground, ref.C)
+	c.Resistor("out", Ground, ref.R)
+	c.Inductor("out", Ground, ref.L)
+	c.NonlinearVCCS(Ground, "out", "out", Ground, // injects +I(v) INTO "out"
+		func(v float64) float64 { return ref.Icomp * math.Tanh(v/ref.Vc) },
+		func(v float64) float64 {
+			s := 1 / math.Cosh(v/ref.Vc)
+			return ref.Icomp / ref.Vc * s * s
+		})
+	c.CurrentNoise("out", Ground, math.Sqrt(ref.SI), "external")
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dim() != 2 {
+		t.Fatalf("dim %d", sys.Dim())
+	}
+
+	res, err := core.Characterise(sys, []float64{0.1, 0}, 1/6660.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := core.Characterise(ref, []float64{0.1, 0}, 1/6660.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.F0()-refRes.F0()) > 1e-6*refRes.F0() {
+		t.Fatalf("netlist f0 %g vs model %g", res.F0(), refRes.F0())
+	}
+	if math.Abs(res.C-refRes.C) > 1e-6*refRes.C {
+		t.Fatalf("netlist c %g vs model %g", res.C, refRes.C)
+	}
+}
+
+// And a netlist-built negative-resistance LC VCO characterised end-to-end.
+func TestNegResVCONetlist(t *testing.T) {
+	f0 := 1e8
+	l := 5e-9
+	cap := 1 / (math.Pow(2*math.Pi*f0, 2) * l)
+	g := 2 * math.Pi * f0 * cap / 8 // Q = 8
+	c := New()
+	c.Capacitor("tank", Ground, cap)
+	c.Inductor("tank", Ground, l)
+	c.Resistor("tank", Ground, 1/g)
+	gm := 3 * g
+	vs := 0.2
+	c.NonlinearVCCS(Ground, "tank", "tank", Ground,
+		func(v float64) float64 { return gm * vs * math.Tanh(v/vs) },
+		func(v float64) float64 { s := 1 / math.Cosh(v/vs); return gm * s * s })
+	c.EnableThermalNoise(300)
+	sys, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Characterise(sys, []float64{0.01, 0}, 1/f0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F0() < 0.8*f0 || res.F0() > 1.1*f0 {
+		t.Fatalf("VCO f0 = %g", res.F0())
+	}
+	if res.C <= 0 {
+		t.Fatal("c must be positive with thermal noise enabled")
+	}
+	// Single noise column (one resistor), fraction 1.
+	if len(res.PerSource) != 1 || math.Abs(res.PerSource[0].Fraction-1) > 1e-12 {
+		t.Fatalf("per-source: %+v", res.PerSource)
+	}
+}

@@ -1,0 +1,291 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// TrapezoidalOptions configures the implicit trapezoidal integrator.
+type TrapezoidalOptions struct {
+	NewtonTol   float64 // residual tolerance (default 1e-12 scaled)
+	MaxNewton   int     // Newton iterations per step (default 25)
+	Record      bool    // store a dense Trajectory
+	FreshJacTol float64 // re-factor Jacobian when Newton contraction is worse than this (default: always fresh)
+}
+
+// Trapezoidal integrates ẋ = f with the A-stable implicit trapezoidal rule
+// using nsteps fixed steps and a damped Newton corrector with the analytic
+// Jacobian jac. Suitable for stiff oscillators (relaxation, switching).
+// x0 is not modified.
+func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, opts *TrapezoidalOptions) (*Result, error) {
+	if nsteps <= 0 {
+		panic("ode: Trapezoidal requires nsteps > 0")
+	}
+	o := TrapezoidalOptions{NewtonTol: 1e-12, MaxNewton: 25}
+	if opts != nil {
+		if opts.NewtonTol > 0 {
+			o.NewtonTol = opts.NewtonTol
+		}
+		if opts.MaxNewton > 0 {
+			o.MaxNewton = opts.MaxNewton
+		}
+		o.Record = opts.Record
+	}
+	n := len(x0)
+	h := (t1 - t0) / float64(nsteps)
+	x := make([]float64, n)
+	copy(x, x0)
+	fk := make([]float64, n)
+	fn := make([]float64, n)
+	xn := make([]float64, n)
+	g := make([]float64, n)
+	jm := linalg.NewMatrix(n, n)
+	res := &Result{}
+	if o.Record {
+		res.Traj = &Trajectory{}
+		f(t0, x, fk)
+		res.Traj.Append(t0, x, fk)
+	}
+	for s := 0; s < nsteps; s++ {
+		t := t0 + float64(s)*h
+		tn := t + h
+		f(t, x, fk)
+		// Predictor: explicit Euler.
+		for i := 0; i < n; i++ {
+			xn[i] = x[i] + h*fk[i]
+		}
+		converged := false
+		for it := 0; it < o.MaxNewton; it++ {
+			f(tn, xn, fn)
+			// G(xn) = xn - x - h/2 (fk + fn)
+			gnorm := 0.0
+			for i := 0; i < n; i++ {
+				g[i] = xn[i] - x[i] - 0.5*h*(fk[i]+fn[i])
+				if a := math.Abs(g[i]); a > gnorm {
+					gnorm = a
+				}
+			}
+			scale := 1.0 + linalg.NormInfVec(xn)
+			if gnorm <= o.NewtonTol*scale {
+				converged = true
+				break
+			}
+			// J_G = I - h/2 A(tn, xn)
+			jac(tn, xn, jm.Data)
+			for i := range jm.Data {
+				jm.Data[i] *= -0.5 * h
+			}
+			for i := 0; i < n; i++ {
+				jm.Data[i*n+i] += 1
+			}
+			dx, err := linalg.Solve(jm, g)
+			if err != nil {
+				return nil, fmt.Errorf("ode: trapezoidal Newton solve at t=%g: %w", tn, err)
+			}
+			// Damped update: halve until the residual does not explode.
+			lambda := 1.0
+			applied := false
+			for try := 0; try < 8; try++ {
+				cand := make([]float64, n)
+				for i := 0; i < n; i++ {
+					cand[i] = xn[i] - lambda*dx[i]
+				}
+				f(tn, cand, fn)
+				cnorm := 0.0
+				for i := 0; i < n; i++ {
+					gi := cand[i] - x[i] - 0.5*h*(fk[i]+fn[i])
+					if a := math.Abs(gi); a > cnorm {
+						cnorm = a
+					}
+				}
+				if cnorm <= gnorm || cnorm <= o.NewtonTol*scale {
+					copy(xn, cand)
+					applied = true
+					break
+				}
+				lambda *= 0.5
+			}
+			if !applied {
+				return nil, fmt.Errorf("%w at t=%g (residual %g)", ErrNewtonDiverged, tn, gnorm)
+			}
+		}
+		if !converged {
+			// Accept only if the final residual is reasonable.
+			f(tn, xn, fn)
+			gnorm := 0.0
+			for i := 0; i < n; i++ {
+				gi := xn[i] - x[i] - 0.5*h*(fk[i]+fn[i])
+				if a := math.Abs(gi); a > gnorm {
+					gnorm = a
+				}
+			}
+			if gnorm > 1e-6*(1+linalg.NormInfVec(xn)) {
+				return nil, fmt.Errorf("%w at t=%g after %d iterations", ErrNewtonDiverged, tn, o.MaxNewton)
+			}
+		}
+		copy(x, xn)
+		res.Steps++
+		if o.Record {
+			f(tn, x, fn)
+			res.Traj.Append(tn, x, fn)
+		}
+	}
+	res.X = x
+	return res, nil
+}
+
+// Variational integrates the joint system ẋ = f(t,x), Ẏ = A(t,x)Y with
+// Y(t0) = I using fixed-step RK4, returning the final state and the
+// state-transition matrix Φ(t1, t0). When rec is non-nil the state part of
+// the solution is appended to it as a dense trajectory.
+func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, rec *Trajectory) ([]float64, *linalg.Matrix) {
+	n := len(x0)
+	aug := make([]float64, n+n*n)
+	copy(aug, x0)
+	for i := 0; i < n; i++ {
+		aug[n+i*n+i] = 1 // Y(t0) = I
+	}
+	jm := make([]float64, n*n)
+	rhs := func(t float64, z, dst []float64) {
+		x := z[:n]
+		f(t, x, dst[:n])
+		jac(t, x, jm)
+		// dY = A Y, Y stored row-major in z[n:].
+		y := z[n:]
+		dy := dst[n:]
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += jm[i*n+k] * y[k*n+j]
+				}
+				dy[i*n+j] = s
+			}
+		}
+	}
+	if rec != nil {
+		dz := make([]float64, n+n*n)
+		rhs(t0, aug, dz)
+		rec.Append(t0, aug[:n], dz[:n])
+		h := (t1 - t0) / float64(nsteps)
+		k1 := make([]float64, len(aug))
+		k2 := make([]float64, len(aug))
+		k3 := make([]float64, len(aug))
+		k4 := make([]float64, len(aug))
+		tmp := make([]float64, len(aug))
+		for s := 0; s < nsteps; s++ {
+			t := t0 + float64(s)*h
+			rk4Step(rhs, t, aug, h, aug, k1, k2, k3, k4, tmp)
+			rhs(t+h, aug, dz)
+			rec.Append(t+h, aug[:n], dz[:n])
+		}
+	} else {
+		aug = RK4(rhs, t0, t1, aug, nsteps)
+	}
+	phi := linalg.NewMatrixFrom(n, n, aug[n:])
+	xf := make([]float64, n)
+	copy(xf, aug[:n])
+	return xf, phi
+}
+
+// AdjointBackward integrates the adjoint system ẏ = −Aᵀ(t)y backwards in
+// time from t1 (with y(t1) = yT) to t0, where A(t) is the Jacobian of f
+// evaluated along a stored state trajectory xs. It returns the adjoint
+// solution as a Trajectory sampled on the same uniform grid (nsteps steps).
+// Integrating the adjoint backwards is numerically stable because the
+// unstable forward modes become decaying ones (paper, Section 9, step 5).
+func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int) *Trajectory {
+	n := len(yT)
+	jm := make([]float64, n*n)
+	xbuf := make([]float64, n)
+	rhs := func(t float64, y, dst []float64) {
+		xs.At(t, xbuf)
+		jac(t, xbuf, jm)
+		// dst = −Aᵀ y
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jm[k*n+i] * y[k]
+			}
+			dst[i] = -s
+		}
+	}
+	h := (t1 - t0) / float64(nsteps)
+	y := make([]float64, n)
+	copy(y, yT)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	dy := make([]float64, n)
+	// Collect samples in reverse, then emit a forward-ordered trajectory.
+	ts := make([]float64, nsteps+1)
+	ys := make([][]float64, nsteps+1)
+	dys := make([][]float64, nsteps+1)
+	store := func(idx int, t float64) {
+		rhs(t, y, dy)
+		ts[idx] = t
+		ys[idx] = append([]float64(nil), y...)
+		dys[idx] = append([]float64(nil), dy...)
+	}
+	store(nsteps, t1)
+	for s := 0; s < nsteps; s++ {
+		t := t1 - float64(s)*h
+		rk4Step(rhs, t, y, -h, y, k1, k2, k3, k4, tmp)
+		store(nsteps-1-s, t-h)
+	}
+	out := &Trajectory{}
+	for i := 0; i <= nsteps; i++ {
+		out.Append(ts[i], ys[i], dys[i])
+	}
+	return out
+}
+
+// AdjointForward integrates ẏ = −Aᵀ(t)y forwards from t0 to t1 along the
+// stored trajectory xs. This direction is numerically UNSTABLE for stable
+// limit cycles (the contracting Floquet modes of the original system become
+// expanding modes of the adjoint); it is provided for the Section-9
+// instability demonstration and for testing.
+func AdjointForward(jac JacFunc, xs *Trajectory, t0, t1 float64, y0 []float64, nsteps int) []float64 {
+	n := len(y0)
+	jm := make([]float64, n*n)
+	xbuf := make([]float64, n)
+	rhs := func(t float64, y, dst []float64) {
+		xs.At(t, xbuf)
+		jac(t, xbuf, jm)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jm[k*n+i] * y[k]
+			}
+			dst[i] = -s
+		}
+	}
+	return RK4(rhs, t0, t1, y0, nsteps)
+}
+
+// FiniteDiffJacobian returns a JacFunc that approximates ∂f/∂x by central
+// differences; useful for validating analytic Jacobians and as a fallback
+// for systems that do not provide one.
+func FiniteDiffJacobian(f Func, n int) JacFunc {
+	return func(t float64, x []float64, dst []float64) {
+		xp := make([]float64, n)
+		fp := make([]float64, n)
+		fm := make([]float64, n)
+		for j := 0; j < n; j++ {
+			h := 1e-7 * (1 + math.Abs(x[j]))
+			copy(xp, x)
+			xp[j] = x[j] + h
+			f(t, xp, fp)
+			xp[j] = x[j] - h
+			f(t, xp, fm)
+			inv := 1 / (2 * h)
+			for i := 0; i < n; i++ {
+				dst[i*n+j] = (fp[i] - fm[i]) * inv
+			}
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package ode provides the deterministic initial-value-problem integrators
+// used by the phase-noise pipeline: a fixed-step classical RK4, an adaptive
+// Dormand–Prince 5(4) pair with PI step-size control and dense output, and an
+// A-stable implicit trapezoidal method with a damped Newton corrector for
+// stiff circuit equations. It also integrates the joint state + variational
+// (state-transition-matrix) system needed for monodromy computation.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Func is the right-hand side of an autonomous-friendly ODE ẋ = f(t, x).
+// The result is written into dst (len == len(x)).
+type Func func(t float64, x, dst []float64)
+
+// JacFunc evaluates the Jacobian ∂f/∂x at (t, x) into dst (n×n row-major).
+type JacFunc func(t float64, x []float64, dst []float64)
+
+// ErrStepSizeUnderflow is returned when the adaptive controller cannot meet
+// the tolerance without the step size collapsing below the resolvable limit.
+var ErrStepSizeUnderflow = errors.New("ode: step size underflow")
+
+// ErrNewtonDiverged is returned when the implicit corrector fails.
+var ErrNewtonDiverged = errors.New("ode: Newton iteration diverged")
+
+// RK4Step advances x by one classical Runge–Kutta 4 step of size h,
+// writing the result into xout (may alias x). Scratch slices are allocated
+// internally; use RK4 for repeated stepping without per-step allocation.
+func RK4Step(f Func, t float64, x []float64, h float64, xout []float64) {
+	n := len(x)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	rk4Step(f, t, x, h, xout, k1, k2, k3, k4, tmp)
+}
+
+func rk4Step(f Func, t float64, x []float64, h float64, xout, k1, k2, k3, k4, tmp []float64) {
+	n := len(x)
+	f(t, x, k1)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + 0.5*h*k1[i]
+	}
+	f(t+0.5*h, tmp, k2)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + 0.5*h*k2[i]
+	}
+	f(t+0.5*h, tmp, k3)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + h*k3[i]
+	}
+	f(t+h, tmp, k4)
+	for i := 0; i < n; i++ {
+		xout[i] = x[i] + h/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+}
+
+// RK4 integrates ẋ = f from t0 to t1 with nsteps fixed steps, returning the
+// final state. x0 is not modified.
+func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int) []float64 {
+	if nsteps <= 0 {
+		panic("ode: RK4 requires nsteps > 0")
+	}
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	h := (t1 - t0) / float64(nsteps)
+	for s := 0; s < nsteps; s++ {
+		t := t0 + float64(s)*h
+		rk4Step(f, t, x, h, x, k1, k2, k3, k4, tmp)
+	}
+	return x
+}
+
+// SamplePoint is one stored knot of a trajectory: state and derivative at t,
+// enabling cubic Hermite interpolation between knots.
+type SamplePoint struct {
+	T  float64
+	X  []float64
+	DX []float64
+}
+
+// Trajectory is a time-ordered sequence of sample points supporting C¹
+// cubic-Hermite interpolation. Knots must be strictly increasing in T.
+type Trajectory struct {
+	Points []SamplePoint
+}
+
+// Append adds a knot (copies x and dx).
+func (tr *Trajectory) Append(t float64, x, dx []float64) {
+	if k := len(tr.Points); k > 0 && t <= tr.Points[k-1].T {
+		panic(fmt.Sprintf("ode: non-increasing trajectory knot %g after %g", t, tr.Points[k-1].T))
+	}
+	xc := make([]float64, len(x))
+	copy(xc, x)
+	dc := make([]float64, len(dx))
+	copy(dc, dx)
+	tr.Points = append(tr.Points, SamplePoint{T: t, X: xc, DX: dc})
+}
+
+// Span returns the time interval covered by the trajectory.
+func (tr *Trajectory) Span() (t0, t1 float64) {
+	if len(tr.Points) == 0 {
+		return 0, 0
+	}
+	return tr.Points[0].T, tr.Points[len(tr.Points)-1].T
+}
+
+// At evaluates the trajectory at time t by cubic Hermite interpolation,
+// writing into dst. t is clamped to the covered span.
+func (tr *Trajectory) At(t float64, dst []float64) {
+	pts := tr.Points
+	if len(pts) == 0 {
+		panic("ode: empty trajectory")
+	}
+	if t <= pts[0].T {
+		copy(dst, pts[0].X)
+		return
+	}
+	if t >= pts[len(pts)-1].T {
+		copy(dst, pts[len(pts)-1].X)
+		return
+	}
+	// Binary search for the bracketing segment.
+	lo, hi := 0, len(pts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pts[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := pts[lo], pts[hi]
+	h := b.T - a.T
+	s := (t - a.T) / h
+	// Hermite basis.
+	s2 := s * s
+	s3 := s2 * s
+	h00 := 2*s3 - 3*s2 + 1
+	h10 := s3 - 2*s2 + s
+	h01 := -2*s3 + 3*s2
+	h11 := s3 - s2
+	for i := range dst {
+		dst[i] = h00*a.X[i] + h10*h*a.DX[i] + h01*b.X[i] + h11*h*b.DX[i]
+	}
+}
+
+// Deriv evaluates the time derivative of the interpolant at t into dst.
+func (tr *Trajectory) Deriv(t float64, dst []float64) {
+	pts := tr.Points
+	if len(pts) == 0 {
+		panic("ode: empty trajectory")
+	}
+	if t <= pts[0].T {
+		copy(dst, pts[0].DX)
+		return
+	}
+	if t >= pts[len(pts)-1].T {
+		copy(dst, pts[len(pts)-1].DX)
+		return
+	}
+	lo, hi := 0, len(pts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pts[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := pts[lo], pts[hi]
+	h := b.T - a.T
+	s := (t - a.T) / h
+	s2 := s * s
+	dh00 := (6*s2 - 6*s) / h
+	dh10 := 3*s2 - 4*s + 1
+	dh01 := (-6*s2 + 6*s) / h
+	dh11 := 3*s2 - 2*s
+	for i := range dst {
+		dst[i] = dh00*a.X[i] + dh10*a.DX[i] + dh01*b.X[i] + dh11*b.DX[i]
+	}
+}
+
+// Options configures the adaptive integrators.
+type Options struct {
+	RTol     float64 // relative tolerance (default 1e-9)
+	ATol     float64 // absolute tolerance (default 1e-12)
+	InitStep float64 // initial step (default: estimated)
+	MaxStep  float64 // maximum step (default: interval length)
+	MaxSteps int     // step budget (default 10_000_000)
+	Record   bool    // store the solution as a dense Trajectory
+}
+
+func (o *Options) defaults(t0, t1 float64) Options {
+	out := Options{RTol: 1e-9, ATol: 1e-12, MaxSteps: 10_000_000}
+	if o != nil {
+		if o.RTol > 0 {
+			out.RTol = o.RTol
+		}
+		if o.ATol > 0 {
+			out.ATol = o.ATol
+		}
+		out.InitStep = o.InitStep
+		out.MaxStep = o.MaxStep
+		if o.MaxSteps > 0 {
+			out.MaxSteps = o.MaxSteps
+		}
+		out.Record = o.Record
+	}
+	if out.MaxStep <= 0 {
+		out.MaxStep = math.Abs(t1 - t0)
+	}
+	return out
+}
+
+// Result reports an adaptive integration outcome.
+type Result struct {
+	X        []float64   // final state
+	Steps    int         // accepted steps
+	Rejected int         // rejected trial steps
+	Traj     *Trajectory // dense output if Options.Record
+}
+
+// Dormand–Prince 5(4) coefficients.
+var (
+	dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	dpB = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	dpE = [7]float64{ // b - b̂ (error estimator)
+		71.0 / 57600, 0, -71.0 / 16695, 71.0 / 1920, -17253.0 / 339200, 22.0 / 525, -1.0 / 40,
+	}
+)
+
+// DOPRI5 integrates ẋ = f from t0 to t1 (t1 > t0) with the Dormand–Prince
+// 5(4) adaptive pair. x0 is not modified.
+func DOPRI5(f Func, t0, t1 float64, x0 []float64, opts *Options) (*Result, error) {
+	if t1 <= t0 {
+		return nil, fmt.Errorf("ode: DOPRI5 requires t1 > t0 (got %g..%g)", t0, t1)
+	}
+	o := opts.defaults(t0, t1)
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	k := make([][]float64, 7)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	tmp := make([]float64, n)
+	xnew := make([]float64, n)
+	res := &Result{}
+	if o.Record {
+		res.Traj = &Trajectory{}
+		f(t0, x, k[0])
+		res.Traj.Append(t0, x, k[0])
+	}
+
+	t := t0
+	h := o.InitStep
+	if h <= 0 {
+		h = initialStep(f, t0, x, o)
+	}
+	if h > o.MaxStep {
+		h = o.MaxStep
+	}
+	const (
+		minScale = 0.2
+		maxScale = 5.0
+		safety   = 0.9
+	)
+	prevErr := 1.0
+	firstStage := true
+	for t < t1 {
+		if res.Steps+res.Rejected > o.MaxSteps {
+			return nil, fmt.Errorf("ode: exceeded %d steps at t=%g", o.MaxSteps, t)
+		}
+		if h < 1e-14*(math.Abs(t)+1) {
+			return nil, fmt.Errorf("%w at t=%g (h=%g)", ErrStepSizeUnderflow, t, h)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		// FSAL: k[0] holds f(t, x) from the previous accepted step.
+		if firstStage {
+			f(t, x, k[0])
+			firstStage = false
+		}
+		for s := 1; s < 7; s++ {
+			for i := 0; i < n; i++ {
+				acc := x[i]
+				for j := 0; j < s; j++ {
+					if dpA[s][j] != 0 {
+						acc += h * dpA[s][j] * k[j][i]
+					}
+				}
+				tmp[i] = acc
+			}
+			f(t+dpC[s]*h, tmp, k[s])
+		}
+		// 5th-order solution and embedded error estimate.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			acc := x[i]
+			e := 0.0
+			for s := 0; s < 7; s++ {
+				if dpB[s] != 0 {
+					acc += h * dpB[s] * k[s][i]
+				}
+				if dpE[s] != 0 {
+					e += h * dpE[s] * k[s][i]
+				}
+			}
+			xnew[i] = acc
+			sc := o.ATol + o.RTol*math.Max(math.Abs(x[i]), math.Abs(acc))
+			r := e / sc
+			errNorm += r * r
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
+			errNorm = 10 // force rejection and shrink
+		}
+		if errNorm <= 1 {
+			// Accept. k[6] = f(t+h, xnew) is the FSAL stage.
+			t += h
+			copy(x, xnew)
+			copy(k[0], k[6])
+			res.Steps++
+			if o.Record {
+				res.Traj.Append(t, x, k[0])
+			}
+			// PI controller (Gustafsson).
+			scale := safety * math.Pow(errNorm, -0.7/5) * math.Pow(prevErr, 0.4/5)
+			if scale < minScale {
+				scale = minScale
+			}
+			if scale > maxScale {
+				scale = maxScale
+			}
+			prevErr = math.Max(errNorm, 1e-4)
+			h *= scale
+			if h > o.MaxStep {
+				h = o.MaxStep
+			}
+		} else {
+			res.Rejected++
+			scale := safety * math.Pow(errNorm, -1.0/5)
+			if scale < minScale {
+				scale = minScale
+			}
+			h *= scale
+			firstStage = true // k[0] no longer matches a fresh (t, x)... recompute
+		}
+	}
+	res.X = x
+	return res, nil
+}
+
+// initialStep estimates a safe initial step (Hairer–Nørsett–Wanner, alg. II.4).
+func initialStep(f Func, t0 float64, x0 []float64, o Options) float64 {
+	n := len(x0)
+	f0 := make([]float64, n)
+	f(t0, x0, f0)
+	d0, d1 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sc := o.ATol + o.RTol*math.Abs(x0[i])
+		d0 += (x0[i] / sc) * (x0[i] / sc)
+		d1 += (f0[i] / sc) * (f0[i] / sc)
+	}
+	d0 = math.Sqrt(d0 / float64(n))
+	d1 = math.Sqrt(d1 / float64(n))
+	var h0 float64
+	if d0 < 1e-5 || d1 < 1e-5 {
+		h0 = 1e-6
+	} else {
+		h0 = 0.01 * d0 / d1
+	}
+	// One explicit Euler step to estimate the second derivative.
+	x1 := make([]float64, n)
+	for i := range x1 {
+		x1[i] = x0[i] + h0*f0[i]
+	}
+	f1 := make([]float64, n)
+	f(t0+h0, x1, f1)
+	d2 := 0.0
+	for i := 0; i < n; i++ {
+		sc := o.ATol + o.RTol*math.Abs(x0[i])
+		df := (f1[i] - f0[i]) / sc
+		d2 += df * df
+	}
+	d2 = math.Sqrt(d2/float64(n)) / h0
+	dm := math.Max(d1, d2)
+	var h1 float64
+	if dm <= 1e-15 {
+		h1 = math.Max(1e-6, h0*1e-3)
+	} else {
+		h1 = math.Pow(0.01/dm, 1.0/5)
+	}
+	return math.Min(100*h0, h1)
+}

@@ -1,0 +1,90 @@
+package osc
+
+import "math"
+
+// Bandpass models the oscillator of the paper's first example (Figure 1):
+// a Tow-Thomas second-order bandpass filter closed around a comparator.
+// With ideal OpAmps the paper notes this circuit is ODE-equivalent to a
+// parallel RLC tank driven by a nonlinear voltage-controlled current source,
+// which is exactly what this model implements:
+//
+//	C·dv/dt  = −v/R − iL + Icomp·tanh(v/Vc) + noise
+//	L·diL/dt = v
+//
+// The comparator is the saturating VCCS Icomp·tanh(v/Vc); Vc sets its
+// switching sharpness. Noise is a single external white current source into
+// the tank node (the paper's breadboard used an external source whose
+// intensity dominated all internal device noise), with two-sided PSD SI.
+//
+// State: x = [v (V), iL (A)].
+type Bandpass struct {
+	R, L, C float64 // tank components
+	Icomp   float64 // comparator output current amplitude (A)
+	Vc      float64 // comparator switching scale (V)
+	SI      float64 // two-sided PSD of the injected noise current (A²/Hz)
+}
+
+// NewBandpassPaper returns the oscillator configured for the paper's
+// measurement: Q = 1, f0 = 6.66 kHz, with the external-noise intensity
+// calibrated (see EXPERIMENTS.md) so the computed phase-diffusion constant
+// matches the paper's reported c = 7.56e−8 s²·Hz.
+func NewBandpassPaper() *Bandpass {
+	// The comparator feedback pulls the oscillation below the linear tank
+	// resonance (f_osc ≈ 0.8911·f0_linear at Q = 1 with this comparator);
+	// the linear resonance is pre-compensated so the oscillation lands on
+	// the paper's 6.66 kHz.
+	f0 := 6660.0 / 0.891128
+	omega0 := 2 * math.Pi * f0
+	c := 100e-9           // 100 nF
+	r := 1 / (omega0 * c) // Q = R·ω0·C = 1
+	l := 1 / (omega0 * omega0 * c)
+	return &Bandpass{
+		R:     r,
+		L:     l,
+		C:     c,
+		Icomp: math.Pi / (4 * r), // fundamental-balance amplitude ≈ 1 V
+		Vc:    0.05,
+		SI:    1.6274e-12,
+	}
+}
+
+// Q returns the tank quality factor R·ω0·C = R·√(C/L).
+func (b *Bandpass) Q() float64 { return b.R * math.Sqrt(b.C/b.L) }
+
+// F0Linear returns the linear tank resonance 1/(2π√(LC)); the oscillation
+// frequency is close to (slightly below) this for a sharp comparator.
+func (b *Bandpass) F0Linear() float64 { return 1 / (2 * math.Pi * math.Sqrt(b.L*b.C)) }
+
+// Dim implements dynsys.System.
+func (b *Bandpass) Dim() int { return 2 }
+
+// Eval implements dynsys.System.
+func (b *Bandpass) Eval(x, dst []float64) {
+	v, il := x[0], x[1]
+	dst[0] = (-v/b.R - il + b.Icomp*math.Tanh(v/b.Vc)) / b.C
+	dst[1] = v / b.L
+}
+
+// Jacobian implements dynsys.System.
+func (b *Bandpass) Jacobian(x []float64, dst []float64) {
+	v := x[0]
+	sech := 1 / math.Cosh(v/b.Vc)
+	dIdv := b.Icomp / b.Vc * sech * sech
+	dst[0] = (-1/b.R + dIdv) / b.C
+	dst[1] = -1 / b.C
+	dst[2] = 1 / b.L
+	dst[3] = 0
+}
+
+// NumNoise implements dynsys.System.
+func (b *Bandpass) NumNoise() int { return 1 }
+
+// Noise implements dynsys.System: the external current source injects into
+// the tank node only.
+func (b *Bandpass) Noise(x []float64, dst []float64) {
+	dst[0] = math.Sqrt(b.SI) / b.C
+	dst[1] = 0
+}
+
+// NoiseLabels implements dynsys.System.
+func (b *Bandpass) NoiseLabels() []string { return []string{"external-current"} }

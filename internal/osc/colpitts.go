@@ -1,0 +1,125 @@
+package osc
+
+import (
+	"math"
+
+	"repro/internal/dynsys"
+)
+
+// Colpitts is a single-BJT common-base Colpitts oscillator in the standard
+// three-state (Kennedy) form. With the base grounded, the states are the
+// collector-emitter voltage v1 = Vce (across C1), the emitter voltage ve
+// (across C2, so Vbe = −ve) and the inductor current iL:
+//
+//	C1·dv1/dt = iL − Ic(−ve)
+//	C2·dve/dt = iL − (ve + Vee)/Ree
+//	 L·diL/dt = Vcc − v1 − ve − RL·iL
+//
+// with Ic(Vbe) = Is·exp(min(Vbe, Vclamp)/VT) (the clamp keeps transient
+// Newton/RK evaluations inside floating-point range and never activates on
+// the limit cycle). For moderate loop gain the circuit has a stable periodic
+// orbit; at higher gain it famously period-doubles into chaos — parameters
+// here stay in the periodic regime.
+//
+// Noise: collector shot noise (state-dependent, the paper's B(x) modulation
+// by the large signal), emitter-resistor thermal noise, and tank-loss (RL)
+// series voltage noise.
+type Colpitts struct {
+	C1, C2, L float64
+	RL, Ree   float64
+	Vcc, Vee  float64
+	Is, VT    float64
+	TempK     float64
+	clampVbe  float64
+}
+
+// NewColpittsPaperScale returns a Colpitts oscillator in the periodic
+// regime near 1/(2π√(L·C1C2/(C1+C2))) ≈ 98 kHz.
+func NewColpittsPaperScale() *Colpitts {
+	return &Colpitts{
+		C1: 54e-9, C2: 54e-9, L: 98.5e-6,
+		RL: 20, Ree: 4000,
+		Vcc: 5, Vee: 5,
+		Is: 1e-14, VT: 0.02585,
+		TempK:    dynsys.RoomTempK,
+		clampVbe: 0.95,
+	}
+}
+
+// F0Linear returns the series-tank resonance 1/(2π√(L·C1C2/(C1+C2))).
+func (c *Colpitts) F0Linear() float64 {
+	ceff := c.C1 * c.C2 / (c.C1 + c.C2)
+	return 1 / (2 * math.Pi * math.Sqrt(c.L*ceff))
+}
+
+// BiasPoint returns the DC operating point (v1, ve, iL) with the
+// transistor conducting, found by a few fixed-point sweeps of the
+// exponential bias equation.
+func (c *Colpitts) BiasPoint() []float64 {
+	vbe := 0.7
+	for i := 0; i < 50; i++ {
+		il := (c.Vee - vbe) / c.Ree
+		if il <= 0 {
+			il = 1e-6
+		}
+		vbe = c.VT * math.Log(il/c.Is)
+	}
+	ve := -vbe
+	il := (c.Vee - vbe) / c.Ree
+	v1 := c.Vcc - ve - c.RL*il
+	return []float64{v1, ve, il}
+}
+
+func (c *Colpitts) ic(vbe float64) float64 {
+	v := vbe
+	if v > c.clampVbe {
+		v = c.clampVbe
+	}
+	return c.Is * math.Exp(v/c.VT)
+}
+
+func (c *Colpitts) gmAt(vbe float64) float64 {
+	if vbe > c.clampVbe {
+		return 0
+	}
+	return c.ic(vbe) / c.VT
+}
+
+// Dim implements dynsys.System. State: [v1 = Vce, ve, iL].
+func (c *Colpitts) Dim() int { return 3 }
+
+// Eval implements dynsys.System.
+func (c *Colpitts) Eval(x, dst []float64) {
+	v1, ve, il := x[0], x[1], x[2]
+	dst[0] = (il - c.ic(-ve)) / c.C1
+	dst[1] = (il - (ve+c.Vee)/c.Ree) / c.C2
+	dst[2] = (c.Vcc - v1 - ve - c.RL*il) / c.L
+}
+
+// Jacobian implements dynsys.System.
+func (c *Colpitts) Jacobian(x []float64, dst []float64) {
+	gm := c.gmAt(-x[1])
+	// rows: dv1, dve, diL; cols: v1, ve, il
+	dst[0], dst[1], dst[2] = 0, gm/c.C1, 1/c.C1 // ∂(−Ic(−ve))/∂ve = +gm
+	dst[3], dst[4], dst[5] = 0, -1/(c.Ree*c.C2), 1/c.C2
+	dst[6], dst[7], dst[8] = -1/c.L, -1/c.L, -c.RL/c.L
+}
+
+// NumNoise implements dynsys.System: collector shot, Ree thermal, RL thermal.
+func (c *Colpitts) NumNoise() int { return 3 }
+
+// Noise implements dynsys.System.
+func (c *Colpitts) Noise(x []float64, dst []float64) {
+	for i := range dst[:9] {
+		dst[i] = 0
+	}
+	kT := dynsys.BoltzmannK * c.TempK
+	dst[0*3+0] = dynsys.ShotNoise(c.ic(-x[1])) / c.C1 // shot → collector node
+	dst[1*3+1] = math.Sqrt(2*kT/c.Ree) / c.C2         // Ree thermal → emitter node
+	dst[2*3+2] = math.Sqrt(2*kT*c.RL) / c.L           // RL thermal → inductor loop
+}
+
+// NoiseLabels implements dynsys.System.
+func (c *Colpitts) NoiseLabels() []string {
+	return []string{"collector-shot", "Ree-thermal", "RL-thermal"}
+}

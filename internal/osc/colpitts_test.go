@@ -1,0 +1,171 @@
+package osc
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynsys"
+	"repro/internal/shooting"
+)
+
+func colpittsPSS(t *testing.T) (*Colpitts, *core.Result) {
+	t.Helper()
+	c := NewColpittsPaperScale()
+	x0 := c.BiasPoint()
+	x0[1] += 0.05 // kick off the unstable bias point
+	T, xc, err := shooting.EstimatePeriod(c, x0, 300.0/c.F0Linear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Characterise(c, xc, T, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+func TestColpittsBiasPointConsistent(t *testing.T) {
+	c := NewColpittsPaperScale()
+	x := c.BiasPoint()
+	// The bias point must be an equilibrium of the vector field.
+	dst := make([]float64, 3)
+	c.Eval(x, dst)
+	// Scale by the fastest rate to get a dimensionless residual.
+	for i, v := range dst {
+		if math.Abs(v) > 1e-3*c.F0Linear() {
+			t.Fatalf("bias residual f[%d] = %g", i, v)
+		}
+	}
+	// Transistor conducting: Vbe = −ve ∈ (0.55, 0.85).
+	if -x[1] < 0.55 || -x[1] > 0.85 {
+		t.Fatalf("bias Vbe = %g", -x[1])
+	}
+}
+
+func TestColpittsOscillatesNearTankResonance(t *testing.T) {
+	c, res := colpittsPSS(t)
+	if math.Abs(res.F0()-c.F0Linear()) > 0.05*c.F0Linear() {
+		t.Fatalf("f0 = %g, linear %g", res.F0(), c.F0Linear())
+	}
+}
+
+func TestColpittsStableCycle(t *testing.T) {
+	_, res := colpittsPSS(t)
+	for i := 1; i < len(res.Floquet.Multipliers); i++ {
+		if cmplx.Abs(res.Floquet.Multipliers[i]) >= 1 {
+			t.Fatalf("multiplier %v outside the unit disc", res.Floquet.Multipliers[i])
+		}
+	}
+	if res.C <= 0 {
+		t.Fatal("c must be positive")
+	}
+}
+
+func TestColpittsShotNoiseStateDependence(t *testing.T) {
+	// B(x) modulation: the shot-noise column follows √Ic along the swing.
+	c := NewColpittsPaperScale()
+	b := make([]float64, 9)
+	on := c.BiasPoint()
+	c.Noise(on, b)
+	shotOn := b[0]
+	off := append([]float64(nil), on...)
+	off[1] = 0 // emitter at ground ⇒ Vbe = 0 ⇒ Ic ≈ 0
+	c.Noise(off, b)
+	shotOff := b[0]
+	if shotOn < 1e3*shotOff {
+		t.Fatalf("shot noise not modulated: on=%g off=%g", shotOn, shotOff)
+	}
+}
+
+func TestColpittsJacobian(t *testing.T) {
+	c := NewColpittsPaperScale()
+	x := c.BiasPoint()
+	maxd := dynsys.CheckJacobian(c, x)
+	jac := make([]float64, 9)
+	c.Jacobian(x, jac)
+	scale := 0.0
+	for _, v := range jac {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if maxd > 1e-3*(1+scale) {
+		t.Fatalf("jacobian mismatch %g (scale %g)", maxd, scale)
+	}
+}
+
+func TestColpittsPerSourceBudget(t *testing.T) {
+	_, res := colpittsPSS(t)
+	if len(res.PerSource) != 3 {
+		t.Fatalf("%d sources", len(res.PerSource))
+	}
+	sum := 0.0
+	for _, s := range res.PerSource {
+		sum += s.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum %g", sum)
+	}
+}
+
+func TestNegResLCConstructor(t *testing.T) {
+	v := NewNegResLC(2.4e9, 2e-9, 10, 3, 0.15, 300, 2)
+	if math.Abs(v.F0Linear()-2.4e9) > 1 {
+		t.Fatalf("f0lin %g", v.F0Linear())
+	}
+	if math.Abs(v.Q()-10) > 1e-9 {
+		t.Fatalf("Q %g", v.Q())
+	}
+	if v.Gm/v.G != 3 {
+		t.Fatalf("startup margin %g", v.Gm/v.G)
+	}
+	if v.ActiveNoise/v.TankNoise != 2 {
+		t.Fatalf("excess %g", v.ActiveNoise/v.TankNoise)
+	}
+}
+
+func TestNegResLCCharacterisation(t *testing.T) {
+	v := NewNegResLC(1e8, 5e-9, 8, 3, 0.2, 300, 2)
+	res, err := core.Characterise(v, []float64{0.01, 0}, 1e-8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oscillates near (slightly below) the tank resonance.
+	if res.F0() < 0.85e8 || res.F0() > 1.05e8 {
+		t.Fatalf("f0 = %g", res.F0())
+	}
+	// Active device carries 4× the tank noise power ⇒ ~80% of c.
+	frac := map[string]float64{}
+	for _, s := range res.PerSource {
+		frac[s.Label] = s.Fraction
+	}
+	if math.Abs(frac["active-device"]-0.8) > 1e-6 || math.Abs(frac["tank-loss"]-0.2) > 1e-6 {
+		t.Fatalf("budget %v", frac)
+	}
+}
+
+func TestNegResLCPhaseNoiseImprovesWithQ(t *testing.T) {
+	// Classic design rule (Leeson and the rigorous theory agree):
+	// higher tank Q ⇒ lower (2πf0)²c at fixed swing scale.
+	cAt := func(q float64) float64 {
+		v := NewNegResLC(1e8, 5e-9, q, 3, 0.2, 300, 2)
+		res, err := core.Characterise(v, []float64{0.01, 0}, 1e-8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Pow(2*math.Pi*res.F0(), 2) * res.C
+	}
+	lowQ := cAt(4)
+	highQ := cAt(16)
+	if highQ >= lowQ {
+		t.Fatalf("phase noise did not improve with Q: %g vs %g", lowQ, highQ)
+	}
+	// In this sweep (fixed f0, L, swing and relative startup margin) the
+	// only Q-dependence is the tank noise power ∝ G ∝ 1/Q, so the expected
+	// improvement is ≈ Q ratio = 4×.
+	if r := lowQ / highQ; r < 3 || r > 5.5 {
+		t.Fatalf("Q improvement %gx, want ≈4x", r)
+	}
+}

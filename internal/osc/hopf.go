@@ -1,0 +1,100 @@
+// Package osc is the oscillator model library: each model implements
+// dynsys.System (vector field, analytic Jacobian, noise map) and documents
+// its limit-cycle geometry. Models range from the analytically solvable
+// Hopf normal form (used as ground truth for the entire pipeline) to the
+// circuit-level oscillators of the paper's Section 10: the Tow-Thomas
+// bandpass + comparator oscillator and the three-stage bipolar ECL ring
+// oscillator.
+package osc
+
+import "math"
+
+// Hopf is the polar-symmetric Hopf normal form
+//
+//	ẋ = λx(1−r²) − ωy,   ẏ = λy(1−r²) + ωx,   r² = x²+y²,
+//
+// with the exactly known limit cycle xs(t) = (cos ωt, sin ωt), period
+// T = 2π/ω, Floquet multipliers {1, exp(−4πλ/ω)} and adjoint vector
+// v1(t) = (−sin ωt, cos ωt)/ω. With the isotropic noise map B = σI the
+// phase-diffusion constant is exactly c = σ²/ω²; with noise on the second
+// equation only, c = σ²/(2ω²). These closed forms make Hopf the pipeline's
+// ground-truth oscillator.
+type Hopf struct {
+	Lambda float64 // radial relaxation rate λ > 0
+	Omega  float64 // angular frequency ω > 0
+	Sigma  float64 // noise column magnitude σ
+	// YOnly restricts noise to the second state equation (p=1); otherwise
+	// isotropic two-source noise (p=2).
+	YOnly bool
+}
+
+// Dim implements dynsys.System.
+func (h *Hopf) Dim() int { return 2 }
+
+// Eval implements dynsys.System.
+func (h *Hopf) Eval(x, dst []float64) {
+	r2 := x[0]*x[0] + x[1]*x[1]
+	dst[0] = h.Lambda*x[0]*(1-r2) - h.Omega*x[1]
+	dst[1] = h.Lambda*x[1]*(1-r2) + h.Omega*x[0]
+}
+
+// Jacobian implements dynsys.System.
+func (h *Hopf) Jacobian(x []float64, dst []float64) {
+	r2 := x[0]*x[0] + x[1]*x[1]
+	dst[0] = h.Lambda * (1 - r2 - 2*x[0]*x[0])
+	dst[1] = -h.Omega - 2*h.Lambda*x[0]*x[1]
+	dst[2] = h.Omega - 2*h.Lambda*x[0]*x[1]
+	dst[3] = h.Lambda * (1 - r2 - 2*x[1]*x[1])
+}
+
+// NumNoise implements dynsys.System.
+func (h *Hopf) NumNoise() int {
+	if h.YOnly {
+		return 1
+	}
+	return 2
+}
+
+// Noise implements dynsys.System.
+func (h *Hopf) Noise(x []float64, dst []float64) {
+	if h.YOnly {
+		dst[0] = 0
+		dst[1] = h.Sigma
+		return
+	}
+	dst[0], dst[1] = h.Sigma, 0
+	dst[2], dst[3] = 0, h.Sigma
+}
+
+// NoiseLabels implements dynsys.System.
+func (h *Hopf) NoiseLabels() []string {
+	if h.YOnly {
+		return []string{"y-equation"}
+	}
+	return []string{"x-equation", "y-equation"}
+}
+
+// Period returns the exact period 2π/ω.
+func (h *Hopf) Period() float64 { return 2 * math.Pi / h.Omega }
+
+// ExactC returns the closed-form phase-diffusion constant for the
+// configured noise map.
+func (h *Hopf) ExactC() float64 {
+	c := h.Sigma * h.Sigma / (h.Omega * h.Omega)
+	if h.YOnly {
+		return c / 2
+	}
+	return c
+}
+
+// ExactV1 returns the closed-form adjoint vector v1(t) = (−sin ωt, cos ωt)/ω
+// for the orbit phase-referenced at xs(0) = (1, 0).
+func (h *Hopf) ExactV1(t float64) (float64, float64) {
+	return -math.Sin(h.Omega*t) / h.Omega, math.Cos(h.Omega*t) / h.Omega
+}
+
+// ExactSecondMultiplier returns exp(−4πλ/ω), the non-trivial Floquet
+// multiplier of the radial mode.
+func (h *Hopf) ExactSecondMultiplier() float64 {
+	return math.Exp(-4 * math.Pi * h.Lambda / h.Omega)
+}

@@ -1,0 +1,73 @@
+package osc
+
+import "math"
+
+// NegResLC is a cross-coupled negative-resistance LC oscillator — the
+// canonical integrated VCO core: a parallel RLC tank whose loss conductance
+// G is overcome by a saturating cross-coupled transconductor
+// Gm·Vs·tanh(v/Vs). State: [tank voltage v (V), inductor current iL (A)].
+//
+//	C·dv/dt  = −G·v − iL + Gm·Vs·tanh(v/Vs)
+//	L·diL/dt = v
+//
+// Noise: tank-loss thermal current noise and an excess active-device
+// current source, both injected into the tank node.
+type NegResLC struct {
+	L, C, G     float64 // tank inductance, capacitance, loss conductance
+	Gm, Vs      float64 // transconductor small-signal gm and saturation scale
+	TankNoise   float64 // √(two-sided PSD) of the tank-loss current noise
+	ActiveNoise float64 // √(two-sided PSD) of the active-device current noise
+}
+
+// NewNegResLC builds a VCO at frequency f0 with inductance l, loaded Q q,
+// startup margin gmRatio = Gm/G and saturation scale vs, with thermal tank
+// noise at tempK and an active-device excess-noise factor.
+func NewNegResLC(f0, l, q, gmRatio, vs, tempK, excess float64) *NegResLC {
+	omega0 := 2 * math.Pi * f0
+	cap := 1 / (omega0 * omega0 * l)
+	g := omega0 * cap / q
+	tank := math.Sqrt(2 * 1.380649e-23 * tempK * g)
+	return &NegResLC{
+		L: l, C: cap, G: g,
+		Gm: gmRatio * g, Vs: vs,
+		TankNoise:   tank,
+		ActiveNoise: excess * tank,
+	}
+}
+
+// F0Linear returns the tank resonance 1/(2π√(LC)).
+func (o *NegResLC) F0Linear() float64 { return 1 / (2 * math.Pi * math.Sqrt(o.L*o.C)) }
+
+// Q returns the loaded quality factor ω0·C/G.
+func (o *NegResLC) Q() float64 { return 2 * math.Pi * o.F0Linear() * o.C / o.G }
+
+// Dim implements dynsys.System.
+func (o *NegResLC) Dim() int { return 2 }
+
+// Eval implements dynsys.System.
+func (o *NegResLC) Eval(x, dst []float64) {
+	v, il := x[0], x[1]
+	dst[0] = (-o.G*v - il + o.Gm*o.Vs*math.Tanh(v/o.Vs)) / o.C
+	dst[1] = v / o.L
+}
+
+// Jacobian implements dynsys.System.
+func (o *NegResLC) Jacobian(x []float64, dst []float64) {
+	sech := 1 / math.Cosh(x[0]/o.Vs)
+	dst[0] = (-o.G + o.Gm*sech*sech) / o.C
+	dst[1] = -1 / o.C
+	dst[2] = 1 / o.L
+	dst[3] = 0
+}
+
+// NumNoise implements dynsys.System.
+func (o *NegResLC) NumNoise() int { return 2 }
+
+// Noise implements dynsys.System.
+func (o *NegResLC) Noise(x []float64, dst []float64) {
+	dst[0], dst[1] = o.TankNoise/o.C, o.ActiveNoise/o.C
+	dst[2], dst[3] = 0, 0
+}
+
+// NoiseLabels implements dynsys.System.
+func (o *NegResLC) NoiseLabels() []string { return []string{"tank-loss", "active-device"} }

@@ -1,0 +1,298 @@
+package osc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dynsys"
+)
+
+// All models must satisfy the System contract and have correct Jacobians.
+func allSystems() map[string]dynsys.System {
+	return map[string]dynsys.System{
+		"hopf":      &Hopf{Lambda: 1.3, Omega: 4.2, Sigma: 0.1},
+		"hopf-y":    &Hopf{Lambda: 0.7, Omega: 2.0, Sigma: 0.2, YOnly: true},
+		"vanderpol": &VanDerPol{Mu: 1.5, Sigma: 0.05},
+		"bandpass":  NewBandpassPaper(),
+		"eclring":   NewECLRingPaper(),
+		"fhn":       &FitzHughNagumo{Eps: 0.08, A: 0, SigmaV: 0.01, SigmaW: 0.01},
+	}
+}
+
+func testPoint(s dynsys.System) []float64 {
+	x := make([]float64, s.Dim())
+	for i := range x {
+		x[i] = 0.1 * float64(i+1) * math.Pow(-1, float64(i))
+	}
+	// Circuit models live at sub-volt scales; that point is fine for all.
+	return x
+}
+
+func TestJacobiansMatchFiniteDifferences(t *testing.T) {
+	for name, s := range allSystems() {
+		x := testPoint(s)
+		// Scale for voltage-state circuits: keep well inside tanh range.
+		if name == "eclring" {
+			for i := range x {
+				x[i] *= 0.1
+			}
+		}
+		maxd := dynsys.CheckJacobian(s, x)
+		// Normalise by the Jacobian scale (circuit entries are ~1e9).
+		jac := make([]float64, s.Dim()*s.Dim())
+		s.Jacobian(x, jac)
+		scale := 0.0
+		for _, v := range jac {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if maxd > 1e-4*(1+scale) {
+			t.Errorf("%s: Jacobian mismatch %g (scale %g)", name, maxd, scale)
+		}
+	}
+}
+
+func TestNoiseDimensionsConsistent(t *testing.T) {
+	for name, s := range allSystems() {
+		n, p := s.Dim(), s.NumNoise()
+		if len(s.NoiseLabels()) != p {
+			t.Errorf("%s: %d labels for %d sources", name, len(s.NoiseLabels()), p)
+		}
+		b := make([]float64, n*p)
+		s.Noise(testPoint(s), b)
+		nonzero := false
+		for _, v := range b {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite noise entry", name)
+			}
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: all-zero noise map", name)
+		}
+	}
+}
+
+func TestEvalFinite(t *testing.T) {
+	for name, s := range allSystems() {
+		dst := make([]float64, s.Dim())
+		s.Eval(testPoint(s), dst)
+		for i, v := range dst {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: f[%d] non-finite", name, i)
+			}
+		}
+	}
+}
+
+func TestHopfClosedForms(t *testing.T) {
+	h := &Hopf{Lambda: 2, Omega: 3, Sigma: 0.4}
+	if math.Abs(h.Period()-2*math.Pi/3) > 1e-15 {
+		t.Fatal("period")
+	}
+	if math.Abs(h.ExactC()-0.4*0.4/9) > 1e-15 {
+		t.Fatal("exact c isotropic")
+	}
+	hy := &Hopf{Lambda: 2, Omega: 3, Sigma: 0.4, YOnly: true}
+	if math.Abs(hy.ExactC()-0.4*0.4/18) > 1e-15 {
+		t.Fatal("exact c y-only")
+	}
+	vx, vy := h.ExactV1(0)
+	if math.Abs(vx) > 1e-15 || math.Abs(vy-1.0/3) > 1e-15 {
+		t.Fatalf("v1(0) = (%g, %g)", vx, vy)
+	}
+	if m := h.ExactSecondMultiplier(); math.Abs(m-math.Exp(-8*math.Pi/3)) > 1e-18 {
+		t.Fatalf("second multiplier %g", m)
+	}
+}
+
+func TestHopfLimitCycleInvariant(t *testing.T) {
+	// On the unit circle the radial component of f vanishes:
+	// x·f_x + y·f_y = λr²(1−r²) = 0 at r=1.
+	h := &Hopf{Lambda: 5, Omega: 2, Sigma: 0}
+	dst := make([]float64, 2)
+	for _, th := range []float64{0, 0.7, 2.1, 4.4} {
+		x := []float64{math.Cos(th), math.Sin(th)}
+		h.Eval(x, dst)
+		radial := x[0]*dst[0] + x[1]*dst[1]
+		if math.Abs(radial) > 1e-14 {
+			t.Fatalf("radial flow %g at θ=%g", radial, th)
+		}
+	}
+}
+
+func TestBandpassPaperParameters(t *testing.T) {
+	b := NewBandpassPaper()
+	if math.Abs(b.Q()-1) > 1e-12 {
+		t.Fatalf("Q = %g, want 1", b.Q())
+	}
+	// Linear resonance is pre-compensated above 6.66 kHz.
+	if b.F0Linear() < 6660 || b.F0Linear() > 9000 {
+		t.Fatalf("f0lin = %g", b.F0Linear())
+	}
+	// The comparator injects more current than the tank loses at small v:
+	// small-signal net conductance must be negative (oscillation startup).
+	if b.Icomp/b.Vc <= 1/b.R {
+		t.Fatal("comparator gain insufficient for startup")
+	}
+}
+
+func TestBandpassEnergyPump(t *testing.T) {
+	// Comparator feeds energy at small amplitude, dissipates at large:
+	// d(energy)/dt = v·(Inl − v/R) must be positive at v=0.01, negative at v=10.
+	b := NewBandpassPaper()
+	pump := func(v float64) float64 {
+		return v * (b.Icomp*math.Tanh(v/b.Vc) - v/b.R)
+	}
+	if pump(0.01) <= 0 {
+		t.Fatal("no startup energy at small amplitude")
+	}
+	if pump(10) >= 0 {
+		t.Fatal("no saturation at large amplitude")
+	}
+}
+
+func TestECLRingEquilibriumSymmetric(t *testing.T) {
+	// The all-zero state is an equilibrium (fully balanced ring).
+	r := NewECLRingPaper()
+	x := make([]float64, r.Dim())
+	dst := make([]float64, r.Dim())
+	r.Eval(x, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("f[%d] = %g at balanced state", i, v)
+		}
+	}
+}
+
+func TestECLRingSwingAndInit(t *testing.T) {
+	r := NewECLRingPaper()
+	if math.Abs(r.Swing()-500*331e-6) > 1e-12 {
+		t.Fatalf("swing = %g", r.Swing())
+	}
+	x := r.InitialState()
+	if len(x) != 6 {
+		t.Fatalf("dim %d", len(x))
+	}
+	nz := 0
+	for _, v := range x {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz < 4 {
+		t.Fatal("initial state insufficiently symmetry-broken")
+	}
+}
+
+func TestECLRingNoiseScalesWithParameters(t *testing.T) {
+	r := NewECLRingPaper()
+	n, p := r.Dim(), r.NumNoise()
+	b1 := make([]float64, n*p)
+	r.Noise(make([]float64, n), b1)
+	// Doubling IEE doubles shot-noise power (column ×√2).
+	r2 := NewECLRingPaper()
+	r2.IEE = 2 * r.IEE
+	b2 := make([]float64, n*p)
+	r2.Noise(make([]float64, n), b2)
+	// Column 1 (stage0.shot) at row 0:
+	got := b2[0*p+1] / b1[0*p+1]
+	if math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("shot column ratio %g, want √2", got)
+	}
+	// Quadrupling Rc halves the Rc-thermal column.
+	r3 := NewECLRingPaper()
+	r3.Rc = 4 * r.Rc
+	b3 := make([]float64, n*p)
+	r3.Noise(make([]float64, n), b3)
+	if gotRc := b3[0*p+0] / b1[0*p+0]; math.Abs(gotRc-0.5) > 1e-12 {
+		t.Fatalf("Rc-thermal column ratio %g, want 0.5", gotRc)
+	}
+}
+
+func TestFitzHughNagumoNullclineStructure(t *testing.T) {
+	f := &FitzHughNagumo{Eps: 0.05, A: 0, SigmaV: 0.01, SigmaW: 0.01}
+	dst := make([]float64, 2)
+	// On the cubic nullcline w = v − v³/3 the fast equation vanishes.
+	for _, v := range []float64{-1.5, 0.3, 1.8} {
+		f.Eval([]float64{v, v - v*v*v/3}, dst)
+		if math.Abs(dst[0]) > 1e-12 {
+			t.Fatalf("fast nullcline violated at v=%g: %g", v, dst[0])
+		}
+	}
+}
+
+func TestThermalAndShotHelpers(t *testing.T) {
+	// 1 kΩ at 300 K: one-sided 4kT/R = 1.657e-23; two-sided column² = half.
+	in := dynsys.ThermalCurrentNoise(1000, 300)
+	if math.Abs(in*in-2*dynsys.BoltzmannK*300/1000) > 1e-30 {
+		t.Fatalf("thermal current %g", in)
+	}
+	vn := dynsys.ThermalVoltageNoise(1000, 300)
+	if math.Abs(vn*vn-2*dynsys.BoltzmannK*300*1000) > 1e-24 {
+		t.Fatalf("thermal voltage %g", vn)
+	}
+	sn := dynsys.ShotNoise(1e-3)
+	if math.Abs(sn*sn-dynsys.ElectronQ*1e-3) > 1e-30 {
+		t.Fatalf("shot %g", sn)
+	}
+	if dynsys.ShotNoise(-1e-3) != sn {
+		t.Fatal("shot noise must use |I|")
+	}
+}
+
+// Property: the Hopf radial dynamics contract toward r=1 from both sides.
+func TestQuickHopfRadialContraction(t *testing.T) {
+	f := func(seed int64) bool {
+		lam := seed % 10
+		if lam < 0 {
+			lam = -lam
+		}
+		h := &Hopf{Lambda: 0.5 + float64(lam)/5, Omega: 3}
+		dst := make([]float64, 2)
+		for _, r := range []float64{0.3, 0.8, 1.2, 2.0} {
+			x := []float64{r, 0}
+			h.Eval(x, dst)
+			radial := dst[0] // at (r, 0) the radial direction is x
+			if r < 1 && radial <= 0 {
+				return false
+			}
+			if r > 1 && radial >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FiniteDiffSystem reproduces analytic Jacobians of Hopf.
+func TestQuickFiniteDiffSystem(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 3 || math.Abs(b) > 3 {
+			return true
+		}
+		h := &Hopf{Lambda: 1, Omega: 2, Sigma: 0.1}
+		fd := &dynsys.FiniteDiffSystem{N: 2, F: h.Eval, P: 1,
+			B: func(x []float64, dst []float64) { dst[0], dst[1] = 0, 1 }}
+		want := make([]float64, 4)
+		got := make([]float64, 4)
+		h.Jacobian([]float64{a, b}, want)
+		fd.Jacobian([]float64{a, b}, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-4*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return fd.Dim() == 2 && fd.NumNoise() == 1 && len(fd.NoiseLabels()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

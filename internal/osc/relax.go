@@ -1,0 +1,50 @@
+package osc
+
+// FitzHughNagumo is a relaxation oscillator in the strongly slow/fast
+// regime, used to exercise the pipeline on stiff, strongly non-sinusoidal
+// limit cycles (the kind a square-wave clock generator produces):
+//
+//	ε·v̇ = v − v³/3 − w + noise(σv)
+//	  ẇ = v + A     + noise(σw)
+//
+// For |A| < 1 and small ε the system has a stable relaxation limit cycle
+// with fast v-jumps and slow w-drifts.
+type FitzHughNagumo struct {
+	Eps    float64 // time-scale separation ε ≪ 1
+	A      float64 // asymmetry; |A| < 1 for oscillation
+	SigmaV float64 // noise into the fast equation
+	SigmaW float64 // noise into the slow equation
+}
+
+// Dim implements dynsys.System.
+func (f *FitzHughNagumo) Dim() int { return 2 }
+
+// Eval implements dynsys.System.
+func (f *FitzHughNagumo) Eval(x, dst []float64) {
+	v, w := x[0], x[1]
+	dst[0] = (v - v*v*v/3 - w) / f.Eps
+	dst[1] = v + f.A
+}
+
+// Jacobian implements dynsys.System.
+func (f *FitzHughNagumo) Jacobian(x []float64, dst []float64) {
+	v := x[0]
+	dst[0] = (1 - v*v) / f.Eps
+	dst[1] = -1 / f.Eps
+	dst[2] = 1
+	dst[3] = 0
+}
+
+// NumNoise implements dynsys.System.
+func (f *FitzHughNagumo) NumNoise() int { return 2 }
+
+// Noise implements dynsys.System.
+func (f *FitzHughNagumo) Noise(x []float64, dst []float64) {
+	dst[0], dst[1] = f.SigmaV/f.Eps, 0
+	dst[2], dst[3] = 0, f.SigmaW
+}
+
+// NoiseLabels implements dynsys.System.
+func (f *FitzHughNagumo) NoiseLabels() []string {
+	return []string{"fast-equation", "slow-equation"}
+}

@@ -1,0 +1,72 @@
+package osc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shooting"
+)
+
+func ringResult(t *testing.T, stages int) *core.Result {
+	t.Helper()
+	r := NewECLRingPaper()
+	r.Stages = stages
+	T, x0, err := shooting.EstimatePeriod(r, r.InitialState(), 500e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Characterise(r, x0, T, &core.Options{
+		Shooting: &shooting.Options{StepsPerPeriod: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFiveStageRingFrequencyScaling(t *testing.T) {
+	// A ring oscillator's frequency scales as 1/(2·N·t_d): the 5-stage ring
+	// must run at ≈ 3/5 of the 3-stage frequency.
+	f3 := ringResult(t, 3).F0()
+	f5 := ringResult(t, 5).F0()
+	ratio := f5 / f3
+	if math.Abs(ratio-0.6) > 0.08 {
+		t.Fatalf("f5/f3 = %g, want ≈ 0.6", ratio)
+	}
+}
+
+func TestFiveStageRingJitterImproves(t *testing.T) {
+	// More stages average more independent noise per cycle: the normalised
+	// figure (2πf0)²·c improves (decreases) with stage count at fixed
+	// per-stage design (McNeill's √N law for jitter accumulation).
+	r3 := ringResult(t, 3)
+	r5 := ringResult(t, 5)
+	fom3 := math.Pow(2*math.Pi*r3.F0(), 2) * r3.C
+	fom5 := math.Pow(2*math.Pi*r5.F0(), 2) * r5.C
+	if fom5 >= fom3 {
+		t.Fatalf("5-stage FOM %g not better than 3-stage %g", fom5, fom3)
+	}
+}
+
+func TestFiveStageRingBudgetSymmetry(t *testing.T) {
+	res := ringResult(t, 5)
+	if len(res.PerSource) != 20 {
+		t.Fatalf("%d sources", len(res.PerSource))
+	}
+	// All five shot-noise sources carry equal shares.
+	var shot []float64
+	for _, s := range res.PerSource {
+		if len(s.Label) > 7 && s.Label[7:] == "shot" {
+			shot = append(shot, s.Fraction)
+		}
+	}
+	if len(shot) != 5 {
+		t.Fatalf("%d shot sources", len(shot))
+	}
+	for _, f := range shot[1:] {
+		if math.Abs(f-shot[0]) > 0.01*shot[0] {
+			t.Fatalf("stage shot shares unequal: %v", shot)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package osc
+
+// VanDerPol is the classical van der Pol oscillator
+//
+//	ẋ = y,   ẏ = μ(1−x²)y − x,
+//
+// with additive noise σ on the second equation (the "force" equation, where
+// physical noise enters a mass-spring or RLC analogue). For small μ the
+// limit cycle is nearly circular with amplitude ≈ 2 and period
+// T ≈ 2π(1 + μ²/16); for large μ it becomes a relaxation oscillation.
+type VanDerPol struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Dim implements dynsys.System.
+func (v *VanDerPol) Dim() int { return 2 }
+
+// Eval implements dynsys.System.
+func (v *VanDerPol) Eval(x, dst []float64) {
+	dst[0] = x[1]
+	dst[1] = v.Mu*(1-x[0]*x[0])*x[1] - x[0]
+}
+
+// Jacobian implements dynsys.System.
+func (v *VanDerPol) Jacobian(x []float64, dst []float64) {
+	dst[0], dst[1] = 0, 1
+	dst[2] = -2*v.Mu*x[0]*x[1] - 1
+	dst[3] = v.Mu * (1 - x[0]*x[0])
+}
+
+// NumNoise implements dynsys.System.
+func (v *VanDerPol) NumNoise() int { return 1 }
+
+// Noise implements dynsys.System.
+func (v *VanDerPol) Noise(x []float64, dst []float64) {
+	dst[0] = 0
+	dst[1] = v.Sigma
+}
+
+// NoiseLabels implements dynsys.System.
+func (v *VanDerPol) NoiseLabels() []string { return []string{"force-equation"} }

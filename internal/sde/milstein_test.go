@@ -1,0 +1,94 @@
+package sde
+
+import (
+	"math"
+	"testing"
+)
+
+// Geometric Brownian motion dX = σX dW has the exact solution
+// X(t) = X0·exp(σW(t) − σ²t/2) — the standard strong-convergence testbed.
+
+func gbmMilstein(sigma, x0 float64) func(dw []float64, dt float64) float64 {
+	return func(dw []float64, dt float64) float64 {
+		x := x0
+		for _, d := range dw {
+			// Analytic Milstein for GBM: b = σx, b·b' = σ²x.
+			x += sigma*x*d + 0.5*sigma*sigma*x*(d*d-dt)
+		}
+		return x
+	}
+}
+
+func gbmEuler(sigma, x0 float64) func(dw []float64, dt float64) float64 {
+	return func(dw []float64, dt float64) float64 {
+		x := x0
+		for _, d := range dw {
+			x += sigma * x * d
+		}
+		return x
+	}
+}
+
+func TestMilsteinStrongOrderBeatsEuler(t *testing.T) {
+	sigma, x0 := 1.0, 1.0
+	exact := func(w, tt float64) float64 {
+		return x0 * math.Exp(sigma*w-0.5*sigma*sigma*tt)
+	}
+	trials := 2000
+	errAt := func(scheme func(float64, float64) func([]float64, float64) float64, steps int) float64 {
+		dt := 1.0 / float64(steps)
+		return StrongError(scheme(sigma, x0), exact, 64, steps, trials, dt, 7)
+	}
+	// Halve dt: Milstein error should drop ~2×, Euler ~√2×.
+	em1 := errAt(func(s, x float64) func([]float64, float64) float64 { return gbmEuler(s, x) }, 16)
+	em2 := errAt(func(s, x float64) func([]float64, float64) float64 { return gbmEuler(s, x) }, 32)
+	mi1 := errAt(func(s, x float64) func([]float64, float64) float64 { return gbmMilstein(s, x) }, 16)
+	mi2 := errAt(func(s, x float64) func([]float64, float64) float64 { return gbmMilstein(s, x) }, 32)
+	ratioEM := em1 / em2
+	ratioMI := mi1 / mi2
+	if ratioEM > 1.85 {
+		t.Fatalf("Euler ratio %g, expected ≈ √2", ratioEM)
+	}
+	if ratioMI < 1.7 {
+		t.Fatalf("Milstein ratio %g, expected ≈ 2", ratioMI)
+	}
+	// And Milstein is absolutely more accurate at the same step.
+	if mi1 > em1 {
+		t.Fatalf("Milstein %g worse than Euler %g", mi1, em1)
+	}
+}
+
+func TestMilstein1DMatchesAnalyticCorrection(t *testing.T) {
+	// One step with a frozen increment: the numeric-derivative Milstein1D
+	// must agree with the hand-coded GBM Milstein step.
+	sigma := 0.8
+	a := func(tt, x float64) float64 { return 0 }
+	b := func(tt, x float64) float64 { return sigma * x }
+	// Deterministic rng substitute: drive one step manually via dt with a
+	// known Gaussian draw — emulate by running Milstein1D with a seeded rng
+	// and reproducing its draw.
+	rng := newSeededRand(42)
+	draw := rng.NormFloat64()
+	rng2 := newSeededRand(42)
+	dt := 0.01
+	got := Milstein1D(a, b, 1, 0, dt, 1, rng2)[1]
+	dw := draw * math.Sqrt(dt)
+	want := 1 + sigma*dw + 0.5*sigma*sigma*(dw*dw-dt)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Milstein1D step %g, want %g", got, want)
+	}
+}
+
+func TestMilstein1DAdditiveNoiseReducesToEM(t *testing.T) {
+	// With state-independent diffusion the correction vanishes: Milstein
+	// and Euler–Maruyama coincide exactly (same rng stream).
+	a := func(tt, x float64) float64 { return -x }
+	b := func(tt, x float64) float64 { return 0.5 }
+	mi := Milstein1D(a, b, 1, 0, 0.01, 200, newSeededRand(9))
+	em := ScalarSDE(a, b, 1, 0, 0.01, 200, newSeededRand(9))
+	for k := range mi {
+		if math.Abs(mi[k]-em[k]) > 1e-9 {
+			t.Fatalf("additive-noise mismatch at %d: %g vs %g", k, mi[k], em[k])
+		}
+	}
+}

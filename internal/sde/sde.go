@@ -1,0 +1,205 @@
+// Package sde provides stochastic-differential-equation simulation for
+// noisy oscillators: Euler–Maruyama integration of Itô systems
+// dx = f(x) dt + B(x) dW with unit-intensity vector Wiener processes, and a
+// parallel Monte-Carlo ensemble engine with deterministic per-path seeding.
+//
+// Noise convention (matches DESIGN.md §5): W is a standard p-dimensional
+// Wiener process, so E[dW dWᵀ] = I dt and B(x)Bᵀ(x) is the (two-sided)
+// diffusion matrix.
+package sde
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// DriftFunc evaluates the drift f(t, x) into dst.
+type DriftFunc func(t float64, x, dst []float64)
+
+// DiffusionFunc evaluates the n×p diffusion matrix B(t, x) into dst
+// (row-major, n rows, p columns).
+type DiffusionFunc func(t float64, x []float64, dst []float64)
+
+// System bundles the pieces of dx = f dt + B dW.
+type System struct {
+	Dim      int // state dimension n
+	NumNoise int // noise dimension p
+	Drift    DriftFunc
+	Diff     DiffusionFunc
+}
+
+// Path is a realised sample path on a uniform grid.
+type Path struct {
+	T0, Dt float64
+	X      [][]float64 // X[k] is the state at t = T0 + k·Dt
+}
+
+// Times returns the sample instants.
+func (p *Path) Times() []float64 {
+	out := make([]float64, len(p.X))
+	for k := range out {
+		out[k] = p.T0 + float64(k)*p.Dt
+	}
+	return out
+}
+
+// Component extracts state component i along the path.
+func (p *Path) Component(i int) []float64 {
+	out := make([]float64, len(p.X))
+	for k, x := range p.X {
+		out[k] = x[i]
+	}
+	return out
+}
+
+// EulerMaruyama integrates the system from x0 over nsteps steps of size dt,
+// recording every `stride`-th point (stride >= 1; the initial point is always
+// recorded). rng supplies the Gaussian increments.
+func EulerMaruyama(sys System, x0 []float64, t0, dt float64, nsteps, stride int, rng *rand.Rand) *Path {
+	if stride < 1 {
+		panic("sde: stride must be >= 1")
+	}
+	n, p := sys.Dim, sys.NumNoise
+	if len(x0) != n {
+		panic("sde: x0 dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, x0)
+	drift := make([]float64, n)
+	diff := make([]float64, n*p)
+	dw := make([]float64, p)
+	sqdt := math.Sqrt(dt)
+	path := &Path{T0: t0, Dt: dt * float64(stride)}
+	record := func() {
+		xc := make([]float64, n)
+		copy(xc, x)
+		path.X = append(path.X, xc)
+	}
+	record()
+	for k := 0; k < nsteps; k++ {
+		t := t0 + float64(k)*dt
+		sys.Drift(t, x, drift)
+		sys.Diff(t, x, diff)
+		for j := 0; j < p; j++ {
+			dw[j] = rng.NormFloat64() * sqdt
+		}
+		for i := 0; i < n; i++ {
+			s := drift[i] * dt
+			row := diff[i*p : (i+1)*p]
+			for j := 0; j < p; j++ {
+				s += row[j] * dw[j]
+			}
+			x[i] += s
+		}
+		if (k+1)%stride == 0 {
+			record()
+		}
+	}
+	return path
+}
+
+// EnsembleConfig describes a Monte-Carlo run.
+type EnsembleConfig struct {
+	Paths  int   // number of sample paths
+	Steps  int   // Euler–Maruyama steps per path
+	Stride int   // record every Stride-th step (default 1)
+	Seed   int64 // master seed; path k uses Seed+k (deterministic fan-out)
+	T0, Dt float64
+}
+
+// Ensemble runs cfg.Paths independent Euler–Maruyama integrations of sys in
+// parallel and returns all paths. Path k is seeded with cfg.Seed+k, so
+// results are reproducible regardless of scheduling.
+func Ensemble(sys System, x0 []float64, cfg EnsembleConfig) []*Path {
+	stride := cfg.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	out := make([]*Path, cfg.Paths)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Paths {
+		workers = cfg.Paths
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+				out[k] = EulerMaruyama(sys, x0, cfg.T0, cfg.Dt, cfg.Steps, stride, rng)
+			}
+		}()
+	}
+	for k := 0; k < cfg.Paths; k++ {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// ScalarSDE integrates the scalar Itô equation dα = a(t, α) dt + b(t, α) dW,
+// used for the exact nonlinear phase equation (paper Eq. 9). It returns α
+// sampled at every step (nsteps+1 values).
+func ScalarSDE(a, b func(t, alpha float64) float64, alpha0, t0, dt float64, nsteps int, rng *rand.Rand) []float64 {
+	out := make([]float64, nsteps+1)
+	out[0] = alpha0
+	alpha := alpha0
+	sqdt := math.Sqrt(dt)
+	for k := 0; k < nsteps; k++ {
+		t := t0 + float64(k)*dt
+		alpha += a(t, alpha)*dt + b(t, alpha)*rng.NormFloat64()*sqdt
+		out[k+1] = alpha
+	}
+	return out
+}
+
+// WienerPath generates a standard Wiener path W(k·dt), k = 0..nsteps.
+func WienerPath(dt float64, nsteps int, rng *rand.Rand) []float64 {
+	out := make([]float64, nsteps+1)
+	sqdt := math.Sqrt(dt)
+	for k := 1; k <= nsteps; k++ {
+		out[k] = out[k-1] + rng.NormFloat64()*sqdt
+	}
+	return out
+}
+
+// Stats accumulates running mean and variance (Welford) for ensemble
+// post-processing at fixed time points.
+type Stats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add accumulates one observation.
+func (s *Stats) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the running mean.
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stats) Std() float64 { return math.Sqrt(s.Var()) }

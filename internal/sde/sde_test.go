@@ -1,0 +1,253 @@
+package sde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Pure Brownian motion: dx = σ dW.
+func brownian(sigma float64) System {
+	return System{
+		Dim:      1,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { dst[0] = 0 },
+		Diff:     func(t float64, x []float64, dst []float64) { dst[0] = sigma },
+	}
+}
+
+// Ornstein–Uhlenbeck: dx = −θx dt + σ dW.
+func ou(theta, sigma float64) System {
+	return System{
+		Dim:      1,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { dst[0] = -theta * x[0] },
+		Diff:     func(t float64, x []float64, dst []float64) { dst[0] = sigma },
+	}
+}
+
+func TestBrownianVarianceLinearInTime(t *testing.T) {
+	sigma := 0.5
+	cfg := EnsembleConfig{Paths: 2000, Steps: 200, Seed: 42, Dt: 0.01}
+	paths := Ensemble(brownian(sigma), []float64{0}, cfg)
+	// Var[x(t)] should be σ²t.
+	for _, k := range []int{50, 100, 200} {
+		var st Stats
+		for _, p := range paths {
+			st.Add(p.X[k][0])
+		}
+		tt := float64(k) * cfg.Dt
+		want := sigma * sigma * tt
+		if math.Abs(st.Var()-want) > 0.1*want {
+			t.Fatalf("Var[x(%g)] = %g, want %g", tt, st.Var(), want)
+		}
+		if math.Abs(st.Mean()) > 4*math.Sqrt(want/float64(cfg.Paths)) {
+			t.Fatalf("Mean[x(%g)] = %g, want ≈0", tt, st.Mean())
+		}
+	}
+}
+
+func TestOUStationaryVariance(t *testing.T) {
+	theta, sigma := 2.0, 1.0
+	cfg := EnsembleConfig{Paths: 2000, Steps: 800, Seed: 7, Dt: 0.005}
+	paths := Ensemble(ou(theta, sigma), []float64{0}, cfg)
+	// Stationary variance σ²/(2θ) = 0.25 after t ≫ 1/θ.
+	var st Stats
+	for _, p := range paths {
+		st.Add(p.X[len(p.X)-1][0])
+	}
+	want := sigma * sigma / (2 * theta)
+	if math.Abs(st.Var()-want) > 0.1*want {
+		t.Fatalf("stationary var = %g, want %g", st.Var(), want)
+	}
+}
+
+func TestEnsembleReproducible(t *testing.T) {
+	cfg := EnsembleConfig{Paths: 8, Steps: 100, Seed: 99, Dt: 0.01}
+	a := Ensemble(brownian(1), []float64{0}, cfg)
+	b := Ensemble(brownian(1), []float64{0}, cfg)
+	for k := range a {
+		for j := range a[k].X {
+			if a[k].X[j][0] != b[k].X[j][0] {
+				t.Fatalf("path %d not reproducible at %d", k, j)
+			}
+		}
+	}
+}
+
+func TestEnsemblePathsIndependent(t *testing.T) {
+	cfg := EnsembleConfig{Paths: 2, Steps: 50, Seed: 1, Dt: 0.01}
+	paths := Ensemble(brownian(1), []float64{0}, cfg)
+	same := true
+	for j := range paths[0].X {
+		if paths[0].X[j][0] != paths[1].X[j][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("paths with different seeds are identical")
+	}
+}
+
+func TestStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := EulerMaruyama(brownian(1), []float64{0}, 0, 0.01, 100, 10, rng)
+	if len(p.X) != 11 {
+		t.Fatalf("expected 11 recorded points, got %d", len(p.X))
+	}
+	if p.Dt != 0.1 {
+		t.Fatalf("recorded Dt = %g, want 0.1", p.Dt)
+	}
+	ts := p.Times()
+	if ts[0] != 0 || math.Abs(ts[10]-1) > 1e-12 {
+		t.Fatalf("times = %v", ts)
+	}
+}
+
+func TestComponentExtraction(t *testing.T) {
+	sys := System{
+		Dim:      2,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { dst[0], dst[1] = 1, 2 },
+		Diff:     func(t float64, x []float64, dst []float64) { dst[0], dst[1] = 0, 0 },
+	}
+	rng := rand.New(rand.NewSource(4))
+	p := EulerMaruyama(sys, []float64{0, 0}, 0, 0.1, 10, 1, rng)
+	c1 := p.Component(1)
+	if math.Abs(c1[10]-2.0) > 1e-12 {
+		t.Fatalf("component 1 end = %g, want 2", c1[10])
+	}
+}
+
+func TestDeterministicDriftMatchesODE(t *testing.T) {
+	// With zero diffusion, EM reduces to explicit Euler on ẋ = −x.
+	sys := System{
+		Dim:      1,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { dst[0] = -x[0] },
+		Diff:     func(t float64, x []float64, dst []float64) { dst[0] = 0 },
+	}
+	rng := rand.New(rand.NewSource(5))
+	p := EulerMaruyama(sys, []float64{1}, 0, 1e-4, 10000, 10000, rng)
+	got := p.X[len(p.X)-1][0]
+	if math.Abs(got-math.Exp(-1)) > 1e-3 {
+		t.Fatalf("x(1) = %g, want %g", got, math.Exp(-1))
+	}
+}
+
+func TestScalarSDEBrownianScaling(t *testing.T) {
+	// dα = σ dW: Var[α(T)] = σ²T.
+	var st Stats
+	sigma := 2.0
+	for k := 0; k < 1500; k++ {
+		rng := rand.New(rand.NewSource(int64(k)))
+		alpha := ScalarSDE(
+			func(t, a float64) float64 { return 0 },
+			func(t, a float64) float64 { return sigma },
+			0, 0, 0.01, 100, rng)
+		st.Add(alpha[100])
+	}
+	want := sigma * sigma * 1.0
+	if math.Abs(st.Var()-want) > 0.1*want {
+		t.Fatalf("Var = %g, want %g", st.Var(), want)
+	}
+}
+
+func TestWienerPathIncrements(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := WienerPath(0.5, 10000, rng)
+	var st Stats
+	for k := 1; k < len(w); k++ {
+		st.Add(w[k] - w[k-1])
+	}
+	if math.Abs(st.Var()-0.5) > 0.03 {
+		t.Fatalf("increment var = %g, want 0.5", st.Var())
+	}
+	if math.Abs(st.Mean()) > 0.03 {
+		t.Fatalf("increment mean = %g, want 0", st.Mean())
+	}
+}
+
+func TestStatsWelford(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+	// Unbiased variance of that classic sample is 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %g, want %g", s.Var(), 32.0/7.0)
+	}
+	if math.Abs(s.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("std = %g", s.Std())
+	}
+}
+
+func TestStatsDegenerate(t *testing.T) {
+	var s Stats
+	if s.Var() != 0 || s.Mean() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	s.Add(3)
+	if s.Var() != 0 || s.Mean() != 3 {
+		t.Fatal("single observation stats")
+	}
+}
+
+// Property: Welford mean/var agree with the two-pass formulas.
+func TestQuickStatsAgainstTwoPass(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e8 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var s Stats
+		mean := 0.0
+		for _, v := range clean {
+			s.Add(v)
+			mean += v
+		}
+		mean /= float64(len(clean))
+		ss := 0.0
+		for _, v := range clean {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / float64(len(clean)-1)
+		scale := 1 + math.Abs(mean) + variance
+		return math.Abs(s.Mean()-mean) < 1e-8*scale && math.Abs(s.Var()-variance) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Brownian scaling — W(at) ~ √a·W(t) in variance.
+func TestQuickBrownianSelfSimilarity(t *testing.T) {
+	f := func(seed int64) bool {
+		var s1, s2 Stats
+		for k := 0; k < 400; k++ {
+			rng := rand.New(rand.NewSource(seed + int64(k)))
+			w := WienerPath(0.01, 400, rng)
+			s1.Add(w[100]) // t=1
+			s2.Add(w[400]) // t=4
+		}
+		// Var ratio should be ≈4.
+		r := s2.Var() / s1.Var()
+		return r > 2.5 && r < 6.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package shooting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/osc"
+)
+
+func TestFindHopfExactPeriod(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi} // T = 1 exactly
+	pss, err := Find(h, []float64{0.8, 0.1}, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.T-1) > 1e-8 {
+		t.Fatalf("T = %.12g, want 1", pss.T)
+	}
+	// The converged point must lie on the unit circle.
+	r := math.Hypot(pss.X0[0], pss.X0[1])
+	if math.Abs(r-1) > 1e-8 {
+		t.Fatalf("|x0| = %g, want 1", r)
+	}
+	if pss.Residual > 1e-9 {
+		t.Fatalf("residual %g", pss.Residual)
+	}
+}
+
+func TestFindHopfMonodromyMultipliers(t *testing.T) {
+	h := &osc.Hopf{Lambda: 0.5, Omega: 3}
+	pss, err := Find(h, []float64{1.2, 0}, 2*math.Pi/3*1.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monodromy eigenvalues: 1 and exp(−4πλ/ω); check via trace & det.
+	phi := pss.Monodromy
+	tr := phi.At(0, 0) + phi.At(1, 1)
+	det := phi.At(0, 0)*phi.At(1, 1) - phi.At(0, 1)*phi.At(1, 0)
+	m2 := h.ExactSecondMultiplier()
+	if math.Abs(tr-(1+m2)) > 1e-5 {
+		t.Fatalf("trace = %g, want %g", tr, 1+m2)
+	}
+	if math.Abs(det-m2) > 1e-5 {
+		t.Fatalf("det = %g, want %g", det, m2)
+	}
+}
+
+func TestFindVanDerPolSmallMu(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 0.2}
+	pss, err := Find(v, []float64{2, 0}, 2*math.Pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T ≈ 2π(1 + μ²/16) to O(μ⁴).
+	want := 2 * math.Pi * (1 + 0.2*0.2/16)
+	if math.Abs(pss.T-want) > 2e-3 {
+		t.Fatalf("T = %g, want ≈ %g", pss.T, want)
+	}
+	// Amplitude close to 2 for small mu.
+	maxAmp := 0.0
+	for _, s := range pss.Sample(200) {
+		if a := math.Abs(s[0]); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	if math.Abs(maxAmp-2) > 0.05 {
+		t.Fatalf("amplitude = %g, want ≈ 2", maxAmp)
+	}
+}
+
+func TestFindVanDerPolStiffer(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 3}
+	pss, err := Find(v, []float64{2, 0}, 8, &Options{StepsPerPeriod: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymptotic relaxation period ≈ (3−2ln2)μ for large μ; for μ=3 the
+	// true period is ≈ 8.86 (known numerical value).
+	if pss.T < 8 || pss.T > 10 {
+		t.Fatalf("T = %g, expected ≈ 8.9", pss.T)
+	}
+}
+
+func TestOrbitClosure(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 5}
+	pss, err := Find(h, []float64{0.5, -0.5}, 1.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]float64, 2)
+	end := make([]float64, 2)
+	pss.Orbit.At(0, start)
+	pss.Orbit.At(pss.T, end)
+	if math.Hypot(end[0]-start[0], end[1]-start[1]) > 1e-8 {
+		t.Fatalf("orbit not closed: %v vs %v", start, end)
+	}
+}
+
+func TestPSSAccessors(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	pss, err := Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.F0()-1) > 1e-8 {
+		t.Fatalf("F0 = %g", pss.F0())
+	}
+	if math.Abs(pss.Omega0()-2*math.Pi) > 1e-7 {
+		t.Fatalf("Omega0 = %g", pss.Omega0())
+	}
+	s := pss.Sample(16)
+	if len(s) != 17 {
+		t.Fatalf("Sample returned %d points", len(s))
+	}
+}
+
+func TestFindRejectsBadGuess(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 1}
+	if _, err := Find(h, []float64{1, 0}, -1, nil); err == nil {
+		t.Fatal("expected error for negative period guess")
+	}
+	if _, err := Find(h, []float64{1, 0, 0}, 1, nil); err == nil {
+		t.Fatal("expected error for dimension mismatch")
+	}
+}
+
+func TestFindFromOrigin(t *testing.T) {
+	// The origin is an unstable equilibrium of the Hopf system; the
+	// transient phase must carry the state to the cycle... but exactly at
+	// the origin f = 0 and the trajectory stays there. A slightly offset
+	// start must converge.
+	h := &osc.Hopf{Lambda: 1, Omega: 6}
+	pss, err := Find(h, []float64{1e-3, 0}, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.T-2*math.Pi/6) > 1e-7 {
+		t.Fatalf("T = %g", pss.T)
+	}
+}
+
+func TestEstimatePeriodHopf(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	T, x, err := EstimatePeriod(h, []float64{0.3, 0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-1) > 0.02 {
+		t.Fatalf("estimated T = %g, want ≈1", T)
+	}
+	if len(x) != 2 {
+		t.Fatalf("crossing point %v", x)
+	}
+	// The crossing point should be near the unit circle.
+	if r := math.Hypot(x[0], x[1]); math.Abs(r-1) > 0.05 {
+		t.Fatalf("crossing point radius %g", r)
+	}
+}
+
+func TestEstimatePeriodVanDerPol(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 1}
+	T, _, err := EstimatePeriod(v, []float64{0.1, 0}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known numerical period for μ=1 is ≈ 6.6633.
+	if math.Abs(T-6.6633) > 0.05 {
+		t.Fatalf("estimated T = %g, want ≈6.66", T)
+	}
+}
+
+func TestEstimatePeriodFailsOnEquilibrium(t *testing.T) {
+	// Start exactly at the (unstable) equilibrium: no crossings.
+	h := &osc.Hopf{Lambda: 1, Omega: 1}
+	if _, _, err := EstimatePeriod(h, []float64{0, 0}, 10); err == nil {
+		t.Fatal("expected failure at equilibrium")
+	}
+}
+
+func TestShootingThenEstimateConsistency(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 0.7}
+	Test, x0, err := EstimatePeriod(v, []float64{1, 0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pss, err := Find(v, x0, Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.T-Test) > 0.05*Test {
+		t.Fatalf("shooting T=%g far from estimate %g", pss.T, Test)
+	}
+}

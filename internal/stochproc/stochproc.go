@@ -1,0 +1,309 @@
+// Package stochproc post-processes Monte-Carlo oscillator ensembles into
+// the quantities the phase-noise theory predicts: threshold-crossing jitter
+// and its linear variance growth (Var[t_k] = c·k·T, McNeill's measurement),
+// autocorrelation and stationarity checks, Gaussianity moments for α(t),
+// and Lorentzian line fits to estimated spectra.
+package stochproc
+
+import (
+	"errors"
+	"math"
+	"repro/internal/linalg"
+	"sort"
+)
+
+// Crossings returns the interpolated times at which signal x (sampled at
+// t0 + k·dt) crosses `level` in the rising direction (falling if
+// rising=false).
+func Crossings(x []float64, t0, dt, level float64, rising bool) []float64 {
+	var out []float64
+	for k := 1; k < len(x); k++ {
+		a, b := x[k-1], x[k]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if hit {
+			frac := (level - a) / (b - a)
+			out = append(out, t0+dt*(float64(k-1)+frac))
+		}
+	}
+	return out
+}
+
+// JitterGrowth holds the per-transition jitter statistics of an ensemble of
+// clock-like waveforms.
+type JitterGrowth struct {
+	K        []int     // transition index (1-based)
+	MeanT    []float64 // mean crossing time of transition k
+	Variance []float64 // Var[t_k] across the ensemble
+}
+
+// Slope fits Variance ≈ a + b·MeanT and returns b. For a free-running
+// oscillator the theory gives b = c (since Var[t_k] = c·k·T = c·t̄_k).
+func (j *JitterGrowth) Slope() float64 {
+	return fitSlope(j.MeanT, j.Variance)
+}
+
+// EnsembleJitter measures rising-crossing times of `level` for each signal
+// in the ensemble (all sampled at t0 + k·dt) and returns the variance of the
+// k-th crossing across paths, for all k present in every path.
+//
+// Each path is re-referenced to its own first crossing, mirroring the
+// triggered-oscilloscope measurement the paper describes: the trigger edge
+// defines t = 0, and jitter accumulates on subsequent edges.
+func EnsembleJitter(signals [][]float64, t0, dt, level float64) (*JitterGrowth, error) {
+	if len(signals) < 2 {
+		return nil, errors.New("stochproc: need at least 2 paths")
+	}
+	all := make([][]float64, 0, len(signals))
+	minLen := math.MaxInt
+	for _, s := range signals {
+		cr := Crossings(s, t0, dt, level, true)
+		if len(cr) < 2 {
+			return nil, errors.New("stochproc: a path has fewer than 2 crossings")
+		}
+		// Re-reference to the first (trigger) crossing.
+		ref := cr[0]
+		rel := make([]float64, len(cr)-1)
+		for i := 1; i < len(cr); i++ {
+			rel[i-1] = cr[i] - ref
+		}
+		all = append(all, rel)
+		if len(rel) < minLen {
+			minLen = len(rel)
+		}
+	}
+	out := &JitterGrowth{}
+	for k := 0; k < minLen; k++ {
+		mean, m2 := 0.0, 0.0
+		for i, rel := range all {
+			d := rel[k] - mean
+			mean += d / float64(i+1)
+			m2 += d * (rel[k] - mean)
+		}
+		out.K = append(out.K, k+1)
+		out.MeanT = append(out.MeanT, mean)
+		out.Variance = append(out.Variance, m2/float64(len(all)-1))
+	}
+	return out, nil
+}
+
+// Autocorrelation estimates R(lag·dt) = E[x(t)x(t+lag·dt)] for lags
+// 0..maxLag from a single stationary record, with mean removal.
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		s := 0.0
+		for k := 0; k+lag < n; k++ {
+			s += (x[k] - mean) * (x[k+lag] - mean)
+		}
+		out[lag] = s / float64(n-lag)
+	}
+	return out
+}
+
+// Moments summarises a sample's shape for Gaussianity checks.
+type Moments struct {
+	Mean, Variance float64
+	Skewness       float64 // 0 for Gaussian
+	ExcessKurtosis float64 // 0 for Gaussian
+	N              int
+}
+
+// SampleMoments computes mean, variance, skewness and excess kurtosis.
+func SampleMoments(xs []float64) Moments {
+	n := float64(len(xs))
+	if n == 0 {
+		return Moments{}
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= n
+	var m2, m3, m4 float64
+	for _, v := range xs {
+		d := v - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	mom := Moments{Mean: mean, Variance: m2, N: len(xs)}
+	if m2 > 0 {
+		mom.Skewness = m3 / math.Pow(m2, 1.5)
+		mom.ExcessKurtosis = m4/(m2*m2) - 3
+	}
+	return mom
+}
+
+// IsGaussianish reports whether the sample's skewness and excess kurtosis
+// are within z standard errors of their Gaussian sampling distributions
+// (SE_skew ≈ √(6/N), SE_kurt ≈ √(24/N)).
+func (m Moments) IsGaussianish(z float64) bool {
+	if m.N < 8 {
+		return false
+	}
+	seS := math.Sqrt(6 / float64(m.N))
+	seK := math.Sqrt(24 / float64(m.N))
+	return math.Abs(m.Skewness) < z*seS && math.Abs(m.ExcessKurtosis) < z*seK
+}
+
+// LorentzianFit is a fitted Lorentzian line S(f) = P·(w/π)/((f−f0)² + w²).
+type LorentzianFit struct {
+	Center    float64 // f0
+	HalfWidth float64 // w (half-width at half maximum)
+	Peak      float64 // S(f0)
+	Power     float64 // integrated power P (≈ π·w·Peak)
+}
+
+// FitLorentzian estimates a Lorentzian line shape from a sampled PSD within
+// [fLo, fHi]. It exploits that the reciprocal of a Lorentzian is an exact
+// quadratic in frequency,
+//
+//	1/S(f) = u0 + u1·f + u2·f²  with  f0 = −u1/(2u2),  w² = (1/S(f0))/u2,
+//
+// and fits that quadratic by least squares over the line core (bins above
+// 1/5 of the peak), which is far more robust against single-bin estimator
+// noise than walking to the half-power points.
+func FitLorentzian(freqs, psd []float64, fLo, fHi float64) (*LorentzianFit, error) {
+	if len(freqs) != len(psd) || len(freqs) < 5 {
+		return nil, errors.New("stochproc: bad PSD input")
+	}
+	// Peak within the window.
+	best := -1
+	for k := range freqs {
+		if freqs[k] < fLo || freqs[k] > fHi {
+			continue
+		}
+		if best < 0 || psd[k] > psd[best] {
+			best = k
+		}
+	}
+	if best <= 0 || best >= len(freqs)-1 {
+		return nil, errors.New("stochproc: no interior peak in window")
+	}
+	peak := psd[best]
+	if peak <= 0 {
+		return nil, errors.New("stochproc: non-positive peak")
+	}
+	// Collect the contiguous line core around the peak.
+	fc := freqs[best]
+	var fs, inv []float64
+	for k := best; k >= 0 && freqs[k] >= fLo && psd[k] >= peak/5; k-- {
+		fs = append(fs, freqs[k]-fc) // centre for conditioning
+		inv = append(inv, 1/psd[k])
+	}
+	for k := best + 1; k < len(freqs) && freqs[k] <= fHi && psd[k] >= peak/5; k++ {
+		fs = append(fs, freqs[k]-fc)
+		inv = append(inv, 1/psd[k])
+	}
+	if len(fs) < 5 {
+		return nil, errors.New("stochproc: line core too narrow to fit (increase resolution)")
+	}
+	// Least-squares quadratic 1/S ≈ u0 + u1·x + u2·x².
+	var s0, s1, s2, s3, s4, b0, b1, b2 float64
+	for i, x := range fs {
+		x2 := x * x
+		s0++
+		s1 += x
+		s2 += x2
+		s3 += x2 * x
+		s4 += x2 * x2
+		b0 += inv[i]
+		b1 += inv[i] * x
+		b2 += inv[i] * x2
+	}
+	u, err := linalg.Solve(linalg.NewMatrixFrom(3, 3, []float64{
+		s0, s1, s2,
+		s1, s2, s3,
+		s2, s3, s4,
+	}), []float64{b0, b1, b2})
+	if err != nil {
+		return nil, errors.New("stochproc: quadratic fit singular")
+	}
+	u0, u1, u2 := u[0], u[1], u[2]
+	if u2 <= 0 {
+		return nil, errors.New("stochproc: fitted quadratic not convex (no line)")
+	}
+	x0 := -u1 / (2 * u2)
+	invS0 := u0 + u1*x0 + u2*x0*x0
+	if invS0 <= 0 {
+		return nil, errors.New("stochproc: fitted peak not positive")
+	}
+	w2 := invS0 / u2
+	if w2 <= 0 {
+		return nil, errors.New("stochproc: fitted width not positive")
+	}
+	w := math.Sqrt(w2)
+	pk := 1 / invS0
+	return &LorentzianFit{
+		Center:    fc + x0,
+		HalfWidth: w,
+		Peak:      pk,
+		Power:     math.Pi * w * pk,
+	}, nil
+}
+
+// FitLine performs ordinary least squares y ≈ a + b·x, returning intercept
+// and slope.
+func FitLine(xs, ys []float64) (a, b float64) {
+	b = fitSlope(xs, ys)
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	return sy/n - b*sx/n, b
+}
+
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Median returns the sample median (copy-and-sort; n small in practice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return 0.5 * (c[m-1] + c[m])
+}

@@ -1,0 +1,293 @@
+package stochproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossingsOfSine(t *testing.T) {
+	// sin(2πt) rising zero crossings at t = 0, 1, 2, ...
+	dt := 1e-3
+	n := 3000
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = math.Sin(2 * math.Pi * dt * float64(k))
+	}
+	cr := Crossings(x, 0, dt, 0, true)
+	if len(cr) != 2 {
+		t.Fatalf("expected 2 rising crossings, got %d (%v)", len(cr), cr)
+	}
+	if math.Abs(cr[0]-1) > 1e-4 || math.Abs(cr[1]-2) > 1e-4 {
+		t.Fatalf("crossings %v", cr)
+	}
+	fall := Crossings(x, 0, dt, 0, false)
+	if len(fall) != 3 {
+		t.Fatalf("expected 3 falling crossings, got %v", fall)
+	}
+	if math.Abs(fall[0]-0.5) > 1e-4 {
+		t.Fatalf("first falling at %g", fall[0])
+	}
+}
+
+func TestCrossingsInterpolationAccuracy(t *testing.T) {
+	// A straight line through level 0.5 between samples.
+	x := []float64{0, 1}
+	cr := Crossings(x, 10, 2, 0.5, true)
+	if len(cr) != 1 || math.Abs(cr[0]-11) > 1e-12 {
+		t.Fatalf("crossings %v, want [11]", cr)
+	}
+}
+
+func TestEnsembleJitterLinearGrowth(t *testing.T) {
+	// Synthetic clock: crossing k of path j at t = k·T + √(c·k·T)·g_jk.
+	// (independent Gaussian per edge ⇒ variance grows linearly in k).
+	rng := rand.New(rand.NewSource(1))
+	T := 1.0
+	c := 1e-4
+	nPaths, nEdges := 400, 30
+	// Build square-wave-ish signals whose rising edges carry the jitter.
+	dt := T / 200
+	nSamp := int(float64(nEdges+2) * T / dt)
+	signals := make([][]float64, nPaths)
+	for j := range signals {
+		s := make([]float64, nSamp)
+		// Edge times for this path.
+		edges := make([]float64, nEdges+1)
+		for k := 1; k <= nEdges; k++ {
+			edges[k] = float64(k)*T + math.Sqrt(c*float64(k)*T)*rng.NormFloat64()
+		}
+		for i := range s {
+			tt := float64(i) * dt
+			v := -1.0
+			// Count edges before tt: odd count ⇒ high half-cycle.
+			for k := 1; k <= nEdges; k++ {
+				if tt >= edges[k] && tt < edges[k]+T/2 {
+					v = 1
+					break
+				}
+			}
+			s[i] = v
+		}
+		signals[j] = s
+	}
+	jg, err := EnsembleJitter(signals, 0, dt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jg.K) < 10 {
+		t.Fatalf("only %d transitions", len(jg.K))
+	}
+	slope := jg.Slope()
+	// Variance of (t_k − t_1) = c(kT) + c(T)… re-referencing adds the
+	// trigger's variance: Var[t_k − t_1] = c·k·T + c·T for independent
+	// Gaussians, still slope ≈ c.
+	if slope < 0.5*c || slope > 1.6*c {
+		t.Fatalf("jitter slope %g, want ≈ %g", slope, c)
+	}
+}
+
+func TestEnsembleJitterErrors(t *testing.T) {
+	if _, err := EnsembleJitter(nil, 0, 1, 0); err == nil {
+		t.Fatal("expected error for empty ensemble")
+	}
+	flat := [][]float64{{0, 0, 0}, {0, 0, 0}}
+	if _, err := EnsembleJitter(flat, 0, 1, 0.5); err == nil {
+		t.Fatal("expected error for crossing-free paths")
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	r := Autocorrelation(x, 10)
+	if math.Abs(r[0]-1) > 0.05 {
+		t.Fatalf("R(0) = %g, want ≈1", r[0])
+	}
+	for lag := 1; lag <= 10; lag++ {
+		if math.Abs(r[lag]) > 0.05 {
+			t.Fatalf("R(%d) = %g, want ≈0", lag, r[lag])
+		}
+	}
+}
+
+func TestAutocorrelationCosine(t *testing.T) {
+	n := 10000
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = math.Cos(2 * math.Pi * float64(k) / 100)
+	}
+	r := Autocorrelation(x, 100)
+	// R(lag) ≈ 0.5·cos(2π·lag/100).
+	for _, lag := range []int{0, 25, 50, 100} {
+		want := 0.5 * math.Cos(2*math.Pi*float64(lag)/100)
+		if math.Abs(r[lag]-want) > 0.02 {
+			t.Fatalf("R(%d) = %g, want %g", lag, r[lag], want)
+		}
+	}
+}
+
+func TestSampleMomentsGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = 3 + 2*rng.NormFloat64()
+	}
+	m := SampleMoments(xs)
+	if math.Abs(m.Mean-3) > 0.05 {
+		t.Fatalf("mean %g", m.Mean)
+	}
+	if math.Abs(m.Variance-4) > 0.15 {
+		t.Fatalf("var %g", m.Variance)
+	}
+	if !m.IsGaussianish(4) {
+		t.Fatalf("gaussian sample rejected: skew=%g kurt=%g", m.Skewness, m.ExcessKurtosis)
+	}
+}
+
+func TestSampleMomentsExponentialRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	m := SampleMoments(xs)
+	if m.IsGaussianish(4) {
+		t.Fatal("exponential sample accepted as Gaussian")
+	}
+	if m.Skewness < 1.5 {
+		t.Fatalf("exponential skewness %g, want ≈2", m.Skewness)
+	}
+}
+
+func TestSampleMomentsDegenerate(t *testing.T) {
+	m := SampleMoments(nil)
+	if m.N != 0 || m.Variance != 0 {
+		t.Fatal("empty moments")
+	}
+	m = SampleMoments([]float64{5, 5, 5})
+	if m.Variance != 0 || m.Skewness != 0 {
+		t.Fatalf("constant sample: %+v", m)
+	}
+	if m.IsGaussianish(3) {
+		t.Fatal("tiny sample must not pass")
+	}
+}
+
+func TestFitLorentzianRecoversParameters(t *testing.T) {
+	f0, w, pk := 100.0, 2.5, 7.0
+	freqs := make([]float64, 4001)
+	psd := make([]float64, 4001)
+	for k := range freqs {
+		f := 50 + float64(k)*0.025
+		freqs[k] = f
+		d := f - f0
+		psd[k] = pk * w * w / (d*d + w*w)
+	}
+	fit, err := FitLorentzian(freqs, psd, 60, 140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Center-f0) > 0.05 {
+		t.Fatalf("center %g", fit.Center)
+	}
+	if math.Abs(fit.HalfWidth-w) > 0.05 {
+		t.Fatalf("halfwidth %g, want %g", fit.HalfWidth, w)
+	}
+	if math.Abs(fit.Peak-pk) > 0.01 {
+		t.Fatalf("peak %g", fit.Peak)
+	}
+	if math.Abs(fit.Power-math.Pi*w*pk) > 0.05*math.Pi*w*pk {
+		t.Fatalf("power %g", fit.Power)
+	}
+}
+
+func TestFitLorentzianErrors(t *testing.T) {
+	if _, err := FitLorentzian([]float64{1, 2}, []float64{1, 2}, 0, 3); err == nil {
+		t.Fatal("too-short input accepted")
+	}
+	// Monotone ramp: "peak" at window edge → must fail.
+	freqs := []float64{1, 2, 3, 4, 5, 6}
+	psd := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := FitLorentzian(freqs, psd, 1, 6); err == nil {
+		t.Fatal("edge peak accepted")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	a, b := FitLine([]float64{0, 1, 2}, []float64{5, 7, 9})
+	if math.Abs(a-5) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit a=%g b=%g", a, b)
+	}
+	a, b = FitLine(nil, nil)
+	if a != 0 || b != 0 {
+		t.Fatal("empty fit")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median")
+	}
+}
+
+// Property: autocorrelation at lag 0 equals the biased variance.
+func TestQuickAutocorrVariance(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < 3 {
+			return true
+		}
+		r := Autocorrelation(clean, 0)
+		mean := 0.0
+		for _, v := range clean {
+			mean += v
+		}
+		mean /= float64(len(clean))
+		ss := 0.0
+		for _, v := range clean {
+			ss += (v - mean) * (v - mean)
+		}
+		want := ss / float64(len(clean))
+		return math.Abs(r[0]-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: crossings are monotone increasing in time.
+func TestQuickCrossingsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 200)
+		for i := range x {
+			x[i] = math.Sin(float64(i)*0.3) + 0.3*rng.NormFloat64()
+		}
+		cr := Crossings(x, 0, 0.1, 0, true)
+		for i := 1; i < len(cr); i++ {
+			if cr[i] <= cr[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

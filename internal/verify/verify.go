@@ -1,0 +1,169 @@
+// Package verify is a self-check harness for user-supplied oscillator
+// models: before trusting a phase-noise characterisation, run Model() to
+// catch the common implementation mistakes — inconsistent dimensions, a
+// Jacobian that does not match the vector field, a noise map with
+// non-finite entries, a system that does not actually oscillate, or a limit
+// cycle that is not orbitally stable.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/shooting"
+)
+
+// Severity grades an Issue.
+type Severity int
+
+const (
+	// Warning marks suspicious but non-fatal findings.
+	Warning Severity = iota
+	// Fatal marks findings that make a characterisation meaningless.
+	Fatal
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	if s == Fatal {
+		return "FATAL"
+	}
+	return "warning"
+}
+
+// Issue is one finding of the model checker.
+type Issue struct {
+	Severity Severity
+	Check    string
+	Detail   string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("[%s] %s: %s", i.Severity, i.Check, i.Detail)
+}
+
+// Options tunes the checker.
+type Options struct {
+	TMax        float64 // integration horizon for the oscillation check (default 50·tGuess)
+	JacRelTol   float64 // Jacobian mismatch tolerance, relative to its scale (default 1e-4)
+	SkipDynamic bool    // only run the static (pointwise) checks
+}
+
+// Model runs the checks on sys around the initial guess x0 / period guess
+// tGuess, returning all findings (empty means the model looks sound).
+func Model(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) []Issue {
+	o := Options{TMax: 50 * tGuess, JacRelTol: 1e-4}
+	if opts != nil {
+		if opts.TMax > 0 {
+			o.TMax = opts.TMax
+		}
+		if opts.JacRelTol > 0 {
+			o.JacRelTol = opts.JacRelTol
+		}
+		o.SkipDynamic = opts.SkipDynamic
+	}
+	var issues []Issue
+	add := func(sev Severity, check, detail string, args ...any) {
+		issues = append(issues, Issue{Severity: sev, Check: check, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	n := sys.Dim()
+	if n <= 0 {
+		add(Fatal, "dimensions", "Dim() = %d", n)
+		return issues
+	}
+	if len(x0) != n {
+		add(Fatal, "dimensions", "len(x0) = %d but Dim() = %d", len(x0), n)
+		return issues
+	}
+	p := sys.NumNoise()
+	if p <= 0 {
+		add(Warning, "noise", "NumNoise() = %d: characterisation will return c = 0", p)
+	}
+	if labels := sys.NoiseLabels(); len(labels) != p {
+		add(Warning, "noise", "NoiseLabels() has %d entries for %d sources", len(labels), p)
+	}
+
+	// Pointwise checks at x0 and a few perturbed points.
+	points := [][]float64{x0}
+	for s := 1; s <= 2; s++ {
+		xp := append([]float64(nil), x0...)
+		for i := range xp {
+			xp[i] *= 1 + 0.1*float64(s)
+			xp[i] += 1e-3 * float64(s)
+		}
+		points = append(points, xp)
+	}
+	fbuf := make([]float64, n)
+	bbuf := make([]float64, n*max(p, 1))
+	for pi, x := range points {
+		sys.Eval(x, fbuf)
+		for i, v := range fbuf {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				add(Fatal, "vector-field", "f[%d] non-finite at probe %d", i, pi)
+			}
+		}
+		if p > 0 {
+			sys.Noise(x, bbuf)
+			for i, v := range bbuf[:n*p] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					add(Fatal, "noise", "B[%d] non-finite at probe %d", i, pi)
+				}
+			}
+		}
+		// Jacobian vs finite differences.
+		maxd := dynsys.CheckJacobian(sys, x)
+		jac := make([]float64, n*n)
+		sys.Jacobian(x, jac)
+		scale := 0.0
+		for _, v := range jac {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if maxd > o.JacRelTol*(1+scale) {
+			add(Fatal, "jacobian", "analytic Jacobian deviates from finite differences by %.3e (scale %.3e) at probe %d", maxd, scale, pi)
+		}
+	}
+	if hasFatal(issues) || o.SkipDynamic {
+		return issues
+	}
+
+	// Dynamic checks: does it oscillate, and is the cycle stable?
+	T, xc, err := shooting.EstimatePeriod(sys, x0, o.TMax)
+	if err != nil {
+		add(Fatal, "oscillation", "no sustained oscillation detected from the given start: %v", err)
+		return issues
+	}
+	if math.Abs(T-tGuess) > 5*tGuess {
+		add(Warning, "period", "estimated period %.3e is far from the guess %.3e", T, tGuess)
+	}
+	pss, err := shooting.Find(sys, xc, T, nil)
+	if err != nil {
+		add(Fatal, "steady-state", "shooting failed: %v", err)
+		return issues
+	}
+	dec, err := floquet.Analyze(sys, pss, nil)
+	if err != nil {
+		add(Fatal, "floquet", "%v", err)
+		return issues
+	}
+	if m := dec.StabilityMargin(); m < 1e-6 {
+		add(Warning, "stability", "stability margin %.3e: the transverse dynamics are near-neutral; c may be ill-conditioned", m)
+	}
+	if dec.BiorthoDrift > 1e-3 {
+		add(Warning, "adjoint", "v1 biorthogonality drift %.3e before renormalisation; consider more Floquet steps", dec.BiorthoDrift)
+	}
+	return issues
+}
+
+func hasFatal(issues []Issue) bool {
+	for _, i := range issues {
+		if i.Severity == Fatal {
+			return true
+		}
+	}
+	return false
+}

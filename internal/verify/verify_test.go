@@ -1,0 +1,141 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/osc"
+)
+
+func TestCleanModelPasses(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	issues := Model(h, []float64{1, 0}, 1, nil)
+	for _, i := range issues {
+		t.Errorf("unexpected issue: %s", i)
+	}
+}
+
+func TestDimensionMismatchFatal(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	issues := Model(h, []float64{1, 0, 0}, 1, nil)
+	if len(issues) != 1 || issues[0].Severity != Fatal || issues[0].Check != "dimensions" {
+		t.Fatalf("issues: %v", issues)
+	}
+}
+
+// badJac wraps Hopf with a corrupted Jacobian.
+type badJac struct{ osc.Hopf }
+
+func (b *badJac) Jacobian(x []float64, dst []float64) {
+	b.Hopf.Jacobian(x, dst)
+	dst[0] += 100 // deliberate sign/derivation bug
+}
+
+func TestBrokenJacobianCaught(t *testing.T) {
+	b := &badJac{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
+	issues := Model(b, []float64{1, 0}, 1, nil)
+	found := false
+	for _, i := range issues {
+		if i.Check == "jacobian" && i.Severity == Fatal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("jacobian corruption not caught: %v", issues)
+	}
+}
+
+// nanNoise wraps Hopf with a NaN in the noise map.
+type nanNoise struct{ osc.Hopf }
+
+func (b *nanNoise) Noise(x []float64, dst []float64) {
+	b.Hopf.Noise(x, dst)
+	dst[0] = math.NaN()
+}
+
+func TestNaNNoiseCaught(t *testing.T) {
+	b := &nanNoise{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
+	issues := Model(b, []float64{1, 0}, 1, nil)
+	found := false
+	for _, i := range issues {
+		if i.Check == "noise" && i.Severity == Fatal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NaN noise not caught: %v", issues)
+	}
+}
+
+// damped is a non-oscillating (globally stable) system.
+type damped struct{}
+
+func (d *damped) Dim() int { return 2 }
+func (d *damped) Eval(x, dst []float64) {
+	dst[0] = -x[0]
+	dst[1] = -2 * x[1]
+}
+func (d *damped) Jacobian(x []float64, dst []float64) {
+	dst[0], dst[1], dst[2], dst[3] = -1, 0, 0, -2
+}
+func (d *damped) NumNoise() int                    { return 1 }
+func (d *damped) Noise(x []float64, dst []float64) { dst[0], dst[1] = 1, 0 }
+func (d *damped) NoiseLabels() []string            { return []string{"s"} }
+
+func TestNonOscillatorCaught(t *testing.T) {
+	issues := Model(&damped{}, []float64{1, 1}, 1, nil)
+	found := false
+	for _, i := range issues {
+		if i.Check == "oscillation" && i.Severity == Fatal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-oscillator not caught: %v", issues)
+	}
+}
+
+func TestSkipDynamic(t *testing.T) {
+	// With SkipDynamic the damped system passes the static checks only.
+	issues := Model(&damped{}, []float64{1, 1}, 1, &Options{SkipDynamic: true})
+	for _, i := range issues {
+		if i.Severity == Fatal {
+			t.Fatalf("static checks failed on a well-formed model: %v", i)
+		}
+	}
+}
+
+func TestNoiselessWarns(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	fd := struct{ *osc.Hopf }{h}
+	_ = fd
+	// Use FiniteDiffSystem with zero noise columns.
+	issues := Model(&zeroNoise{h}, []float64{1, 0}, 1, &Options{SkipDynamic: true})
+	found := false
+	for _, i := range issues {
+		if i.Check == "noise" && i.Severity == Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zero-noise model did not warn: %v", issues)
+	}
+}
+
+type zeroNoise struct{ *osc.Hopf }
+
+func (z *zeroNoise) NumNoise() int                    { return 0 }
+func (z *zeroNoise) Noise(x []float64, dst []float64) {}
+func (z *zeroNoise) NoiseLabels() []string            { return nil }
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Severity: Fatal, Check: "jacobian", Detail: "boom"}
+	s := i.String()
+	if !strings.Contains(s, "FATAL") || !strings.Contains(s, "jacobian") {
+		t.Fatalf("render: %q", s)
+	}
+	if Warning.String() != "warning" {
+		t.Fatal("severity render")
+	}
+}

@@ -1,0 +1,89 @@
+// Package phasenoise is the public facade of this repository: a Go
+// implementation of the unified phase-noise theory and numerical methods of
+//
+//	A. Demir, A. Mehrotra, J. Roychowdhury,
+//	"Phase Noise in Oscillators: A Unifying Theory and Numerical Methods
+//	 for Characterisation", DAC 1998.
+//
+// An oscillator is described by the dynsys.System interface (vector field
+// f(x), Jacobian, and noise map B(x)). Characterise runs the paper's
+// Section-9 pipeline — shooting for the periodic steady state, Floquet
+// analysis with the numerically stable backward-adjoint computation of the
+// perturbation projection vector v1(t), and the quadrature for the scalar
+// phase-diffusion constant c — and returns every practical figure of merit:
+// the Lorentzian output spectrum, single-sideband phase noise L(f_m),
+// timing jitter, per-source noise budgets and per-node sensitivities.
+//
+//	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1e6, Sigma: 1e-3}
+//	res, err := phasenoise.Characterise(h, []float64{1, 0}, 1e-6, nil)
+//	sp := res.OutputSpectrum(0, 4)          // 4 harmonics
+//	lfm := sp.LdBcLorentzian(1e3)           // L(1 kHz) in dBc/Hz
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture and the per-experiment reproduction index.
+package phasenoise
+
+import (
+	"repro/internal/core"
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/shooting"
+	"repro/internal/verify"
+)
+
+// System is the oscillator model contract (see dynsys.System).
+type System = dynsys.System
+
+// Result is a complete phase-noise characterisation (see core.Result).
+type Result = core.Result
+
+// Spectrum is the Lorentzian output spectrum (see core.Spectrum).
+type Spectrum = core.Spectrum
+
+// SourceContribution is one noise source's share of c (see core).
+type SourceContribution = core.SourceContribution
+
+// Options configures the characterisation pipeline (see core.Options).
+type Options = core.Options
+
+// PSS is a converged periodic steady state (see shooting.PSS).
+type PSS = shooting.PSS
+
+// FloquetDecomposition carries multipliers, u1 and v1 (see floquet).
+type FloquetDecomposition = floquet.Decomposition
+
+// Characterise runs the full pipeline on an oscillator model. x0 is an
+// initial-state guess (anywhere in the limit cycle's basin) and tGuess a
+// rough period estimate; use EstimatePeriod when no estimate is available.
+func Characterise(sys System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
+	return core.Characterise(sys, x0, tGuess, opts)
+}
+
+// CharacteriseAuto runs the pipeline without a period guess: the period and
+// a point on the cycle are estimated from a transient integration of length
+// tMax (cover a few dozen periods).
+func CharacteriseAuto(sys System, x0 []float64, tMax float64, opts *Options) (*Result, error) {
+	return core.CharacteriseAuto(sys, x0, tMax, opts)
+}
+
+// EstimatePeriod integrates the system and estimates the oscillation period
+// and a point on the cycle from mean-crossings of the liveliest state.
+func EstimatePeriod(sys System, x0 []float64, tMax float64) (float64, []float64, error) {
+	return shooting.EstimatePeriod(sys, x0, tMax)
+}
+
+// FindPSS locates the periodic steady state without the noise analysis.
+func FindPSS(sys System, x0 []float64, tGuess float64, opts *shooting.Options) (*PSS, error) {
+	return shooting.Find(sys, x0, tGuess, opts)
+}
+
+// ModelIssue is one finding of the model self-checker (see verify.Issue).
+type ModelIssue = verify.Issue
+
+// VerifyModel runs static and dynamic sanity checks on a user-supplied
+// oscillator model before characterisation: dimension consistency,
+// analytic-Jacobian correctness, finite noise entries, oscillation
+// detection and orbital stability. An empty result means the model passed.
+func VerifyModel(sys System, x0 []float64, tGuess float64) []ModelIssue {
+	return verify.Model(sys, x0, tGuess, nil)
+}

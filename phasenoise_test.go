@@ -1,0 +1,397 @@
+package phasenoise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/osc"
+	"repro/internal/sde"
+	"repro/internal/stochproc"
+)
+
+// ---------------------------------------------------------------------------
+// End-to-end ground truth through the public facade.
+// ---------------------------------------------------------------------------
+
+func TestEndToEndHopfGroundTruth(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi * 1e3, Sigma: 0.3}
+	res, err := Characterise(h, []float64{1, 0}, h.Period()*1.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.C-h.ExactC()) / h.ExactC(); rel > 1e-5 {
+		t.Fatalf("c relative error %g", rel)
+	}
+	if rel := math.Abs(res.T()-h.Period()) / h.Period(); rel > 1e-9 {
+		t.Fatalf("T relative error %g", rel)
+	}
+}
+
+func TestEstimatePeriodFacade(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 1, Sigma: 0.01}
+	T, x0, err := EstimatePeriod(v, []float64{1, 0}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pss, err := FindPSS(v, x0, T, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.T-6.6633) > 0.02 {
+		t.Fatalf("vdP period %g", pss.T)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2(a): bandpass oscillator — c, f0 and the computed PSD.
+// ---------------------------------------------------------------------------
+
+func TestFig2aBandpassMatchesPaper(t *testing.T) {
+	res, err := experiments.CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: f0 = 6.66 kHz, c = 7.56e-8 s²·Hz, corner 10.56 Hz.
+	if math.Abs(res.F0()-6660) > 2 {
+		t.Fatalf("f0 = %g, want 6660", res.F0())
+	}
+	if math.Abs(res.C-7.56e-8) > 0.02e-8 {
+		t.Fatalf("c = %g, want 7.56e-8", res.C)
+	}
+	if math.Abs(res.CornerFreq()-10.53) > 0.2 {
+		t.Fatalf("corner = %g, want ≈10.5 Hz", res.CornerFreq())
+	}
+	pts := experiments.Fig2a(res, 100)
+	if len(pts) != 401 {
+		t.Fatalf("%d sweep points", len(pts))
+	}
+	// The PSD peaks near each of the first four harmonics and is finite.
+	f0 := res.F0()
+	for _, p := range pts {
+		if math.IsInf(p.PSD, 0) || math.IsNaN(p.PSD) || p.PSD < 0 {
+			t.Fatalf("bad PSD at %g: %g", p.F, p.PSD)
+		}
+	}
+	// Value near the first harmonic far exceeds mid-band values.
+	at := func(f float64) float64 {
+		bi, bd := 0, math.Inf(1)
+		for i, p := range pts {
+			if d := math.Abs(p.F - f); d < bd {
+				bi, bd = i, d
+			}
+		}
+		return pts[bi].PSD
+	}
+	if at(f0) < 100*at(1.5*f0) {
+		t.Fatalf("no line at f0: %g vs %g", at(f0), at(1.5*f0))
+	}
+	if at(3*f0) < 10*at(2.5*f0) {
+		t.Fatalf("no line at 3f0 (odd harmonics dominate a comparator feedback): %g vs %g", at(3*f0), at(2.5*f0))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2(b): Monte-Carlo "spectrum analyzer" vs the Lorentzian.
+// ---------------------------------------------------------------------------
+
+func TestFig2bMonteCarloLorentzian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo PSD comparison skipped in -short mode")
+	}
+	res, err := experiments.CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := experiments.Fig2b(res, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line centre within 0.5% of f0; half-width within 35% of π·f0²·c
+	// (12 paths keep the test fast, at the cost of estimator noise).
+	if math.Abs(r.FitCenter-res.F0()) > 0.005*res.F0() {
+		t.Fatalf("line centre %g, want ≈%g", r.FitCenter, res.F0())
+	}
+	if math.Abs(r.FitHalfW-r.TheoryHalfW) > 0.35*r.TheoryHalfW {
+		t.Fatalf("half-width %g, theory %g", r.FitHalfW, r.TheoryHalfW)
+	}
+	if math.Abs(r.FitPeak-r.TheoryPeak) > 0.5*r.TheoryPeak {
+		t.Fatalf("peak %g, theory %g", r.FitPeak, r.TheoryPeak)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: L(f_m) approximations across the corner frequency.
+// ---------------------------------------------------------------------------
+
+func TestFig3CornerBehaviour(t *testing.T) {
+	res, err := experiments.CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := experiments.Fig3(res, 10)
+	fc := res.CornerFreq()
+	for _, p := range pts {
+		diff := math.Abs(p.Lorentzian - p.InvSquare)
+		switch {
+		case p.Fm > 20*fc:
+			if diff > 0.5 {
+				t.Fatalf("fm=%g ≫ fc: approximations differ by %g dB", p.Fm, diff)
+			}
+		case p.Fm < fc/20:
+			if diff < 10 {
+				t.Fatalf("fm=%g ≪ fc: Eq.28 should have blown up (diff %g dB)", p.Fm, diff)
+			}
+		}
+	}
+	// Eq. 27 saturates at 10·log10(1/(π²f0⁴c²)·f0²c) = 10·log10(1/(π²f0²c)).
+	want := 10 * math.Log10(1/(math.Pi*math.Pi*res.F0()*res.F0()*res.C))
+	if math.Abs(pts[0].Lorentzian-want) > 0.5 {
+		t.Fatalf("Eq.27 saturation %g, want %g", pts[0].Lorentzian, want)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: ECL ring oscillator table and FOM sweep.
+// ---------------------------------------------------------------------------
+
+func TestFig4aTrendsMatchPaper(t *testing.T) {
+	rows, err := experiments.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	nominal, bigRc, bigRb := rows[0], rows[1], rows[2]
+	// Nominal frequency near the paper's 167.7 MHz.
+	if math.Abs(nominal.F0-167.7e6) > 2e6 {
+		t.Fatalf("nominal f0 = %g", nominal.F0)
+	}
+	// Nominal c within 3× of the paper's 0.269e-15 (substitute substrate).
+	if nominal.C < 0.269e-15/3 || nominal.C > 0.269e-15*3 {
+		t.Fatalf("nominal c = %g vs paper 0.269e-15", nominal.C)
+	}
+	// Raising Rc lowers f0 and lowers c (paper rows 1→2).
+	if bigRc.F0 >= nominal.F0 {
+		t.Fatal("Rc↑ should lower f0")
+	}
+	if bigRc.C >= nominal.C {
+		t.Fatalf("Rc↑ should lower c: %g vs %g", bigRc.C, nominal.C)
+	}
+	// Raising rb lowers f0 and raises c (paper rows 1→3).
+	if bigRb.F0 >= nominal.F0 {
+		t.Fatal("rb↑ should lower f0")
+	}
+	if bigRb.C <= nominal.C {
+		t.Fatalf("rb↑ should raise c: %g vs %g", bigRb.C, nominal.C)
+	}
+	// IEE sweep: f0 ≈ constant (±5%), c strictly decreasing.
+	iee := rows[3:]
+	for i, r := range iee {
+		if math.Abs(r.F0-nominal.F0) > 0.05*nominal.F0 {
+			t.Fatalf("IEE row %d: f0 moved to %g", i, r.F0)
+		}
+	}
+	if !(nominal.C > iee[0].C && iee[0].C > iee[1].C && iee[1].C > iee[2].C) {
+		t.Fatalf("c not decreasing in IEE: %g %g %g %g",
+			nominal.C, iee[0].C, iee[1].C, iee[2].C)
+	}
+}
+
+func TestFig4bMonotoneDecreasing(t *testing.T) {
+	rows, err := experiments.Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := experiments.Fig4b(rows)
+	if len(series) != 4 {
+		t.Fatalf("%d FOM points", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].IEE <= series[i-1].IEE {
+			t.Fatal("series not ordered by IEE")
+		}
+		if series[i].FOM >= series[i-1].FOM {
+			t.Fatalf("(2πf0)²c not decreasing in IEE: %g → %g", series[i-1].FOM, series[i].FOM)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 6: α(t) becomes Gaussian with linearly growing variance.
+// ---------------------------------------------------------------------------
+
+func TestSec6AlphaGaussianLinearVariance(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := res.PhaseSDE(h)
+	nPaths := 1200
+	var at20, at40 []float64
+	for p := 0; p < nPaths; p++ {
+		rng := rand.New(rand.NewSource(int64(500 + p)))
+		path := sde.EulerMaruyama(phase, []float64{0}, 0, res.T()/50, 40*50, 50, rng)
+		at20 = append(at20, path.X[20][0])
+		at40 = append(at40, path.X[40][0])
+	}
+	m20 := stochproc.SampleMoments(at20)
+	m40 := stochproc.SampleMoments(at40)
+	// Linear variance growth: Var[α(40T)] ≈ 2·Var[α(20T)].
+	if r := m40.Variance / m20.Variance; r < 1.7 || r > 2.3 {
+		t.Fatalf("variance ratio %g, want ≈2", r)
+	}
+	// Var[α(t)] = c·t.
+	want20 := res.C * 20 * res.T()
+	if math.Abs(m20.Variance-want20) > 0.15*want20 {
+		t.Fatalf("Var[α(20T)] = %g, want %g", m20.Variance, want20)
+	}
+	// Asymptotic Gaussianity.
+	if !m40.IsGaussianish(5) {
+		t.Fatalf("α(40T) not Gaussian: skew %g kurt %g", m40.Skewness, m40.ExcessKurtosis)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 7: stationarity — the output autocorrelation loses its t
+// dependence (no cyclostationary components survive).
+// ---------------------------------------------------------------------------
+
+func TestSec7OutputStationarity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble stationarity check skipped in -short mode")
+	}
+	// A fast-diffusing Hopf so the asymptotic regime arrives quickly.
+	h := &osc.Hopf{Lambda: 4, Omega: 2 * math.Pi, Sigma: 0.35}
+	res, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := sde.System{
+		Dim: 2, NumNoise: h.NumNoise(),
+		Drift: func(tt float64, x, dst []float64) { h.Eval(x, dst) },
+		Diff:  func(tt float64, x []float64, dst []float64) { h.Noise(x, dst) },
+	}
+	T := res.T()
+	dt := T / 200
+	// Simulate past the mixing time: σ_α(t*) ≈ T when c·t* = T² ⇒ t* = T²/c.
+	tMix := T * T / res.C / 8
+	steps := int(tMix/dt) + 200*4
+	cfg := sde.EnsembleConfig{Paths: 600, Steps: steps, Stride: 1, Seed: 11, Dt: dt}
+	ens := sde.Ensemble(full, res.PSS.X0, cfg)
+	// Ensemble autocorrelation R(t, τ) = E[x(t)x(t+τ)] at fixed τ = T/3 for
+	// several t beyond the mixing time, separated by fractions of a period:
+	// any surviving cyclostationarity would make them differ.
+	base := steps - 4*200
+	lag := 200 / 3
+	var rs []float64
+	for _, off := range []int{0, 50, 100, 150} { // t spaced by T/4
+		var s sde.Stats
+		for _, p := range ens {
+			s.Add(p.X[base+off][0] * p.X[base+off+lag][0])
+		}
+		rs = append(rs, s.Mean())
+	}
+	// All four must agree within Monte-Carlo error (≈ 1/√600 of the power).
+	power := 0.5
+	for i := 1; i < len(rs); i++ {
+		if math.Abs(rs[i]-rs[0]) > 4*power/math.Sqrt(600) {
+			t.Fatalf("autocorrelation depends on t: %v", rs)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 7/8: total carrier power is preserved under phase noise (Eq. 25).
+// ---------------------------------------------------------------------------
+
+func TestSec7TotalPowerPreserved(t *testing.T) {
+	res, err := experiments.CharacteriseBandpass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := res.OutputSpectrum(0, 4)
+	// Eq. 25: Σ 2|X_i|² equals the mean-square AC power of the noiseless
+	// waveform (Parseval).
+	ns := 4096
+	msq := 0.0
+	mean := 0.0
+	buf := make([]float64, 2)
+	var vals []float64
+	for k := 0; k < ns; k++ {
+		res.PSS.Orbit.At(res.T()*float64(k)/float64(ns), buf)
+		vals = append(vals, buf[0])
+		mean += buf[0]
+	}
+	mean /= float64(ns)
+	for _, v := range vals {
+		msq += (v - mean) * (v - mean)
+	}
+	msq /= float64(ns)
+	if math.Abs(sp.TotalPower()-msq) > 0.01*msq {
+		t.Fatalf("Eq.25 power %g, waveform AC power %g", sp.TotalPower(), msq)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 8 / McNeill: crossing jitter variance grows linearly with slope c.
+// ---------------------------------------------------------------------------
+
+func TestSec8JitterSlopeMatchesC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jitter Monte Carlo skipped in -short mode")
+	}
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	res, err := Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := sde.System{
+		Dim: 2, NumNoise: h.NumNoise(),
+		Drift: func(tt float64, x, dst []float64) { h.Eval(x, dst) },
+		Diff:  func(tt float64, x []float64, dst []float64) { h.Noise(x, dst) },
+	}
+	jr, err := experiments.JitterExperiment(full, res, 0, 200, 30, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.RelativeErr > 0.25 {
+		t.Fatalf("jitter slope %g vs c %g (%.0f%% off)",
+			jr.MeasuredC, jr.TheoryC, 100*jr.RelativeErr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-source budget sanity on the ring (Eqs. 30–31).
+// ---------------------------------------------------------------------------
+
+func TestSec8RingBudgetSymmetricAndComplete(t *testing.T) {
+	res, err := experiments.CharacteriseRingFull(500, 58, 331e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSource) != 12 {
+		t.Fatalf("%d sources", len(res.PerSource))
+	}
+	sum := 0.0
+	byKind := map[string]float64{}
+	for _, s := range res.PerSource {
+		sum += s.Fraction
+		// Strip the stage prefix: "stageN.kind".
+		byKind[s.Label[7:]] += s.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+	// Ring symmetry: the three stages of each kind contribute equally, so
+	// each kind's total must be ≈ 3× any one stage's share.
+	for _, s := range res.PerSource {
+		kind := s.Label[7:]
+		if math.Abs(3*s.Fraction-byKind[kind]) > 0.02 {
+			t.Fatalf("stage asymmetry for %s: %g vs kind total %g", s.Label, s.Fraction, byKind[kind])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package phasenoise
+
+// Repository-level property tests: the pipeline's invariants must hold over
+// randomly drawn oscillator parameters, not just the hand-picked fixtures.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/osc"
+)
+
+// Property: for any (λ, ω, σ) the computed c matches the Hopf closed form.
+func TestQuickHopfGroundTruthSweep(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := &osc.Hopf{
+			Lambda: 0.3 + 3*rng.Float64(),
+			Omega:  0.5 + 20*rng.Float64(),
+			Sigma:  0.01 + 0.2*rng.Float64(),
+			YOnly:  rng.Intn(2) == 0,
+		}
+		res, err := Characterise(h, []float64{1, 0.1}, h.Period()*(0.8+0.4*rng.Float64()), nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.C-h.ExactC()) < 1e-5*h.ExactC() &&
+			math.Abs(res.T()-h.Period()) < 1e-8*h.Period()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: c is invariant under time-translation of the initial guess —
+// wherever on (or near) the cycle shooting starts, the same c comes out.
+func TestQuickPhaseReferenceInvariance(t *testing.T) {
+	v := &osc.VanDerPol{Mu: 1.2, Sigma: 0.03}
+	ref, err := Characterise(v, []float64{2, 0}, 6.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random point near the orbit at a random phase.
+		buf := make([]float64, 2)
+		ref.PSS.Orbit.At(rng.Float64()*ref.T(), buf)
+		buf[0] += 0.1 * rng.NormFloat64()
+		buf[1] += 0.1 * rng.NormFloat64()
+		res, err := Characterise(v, buf, ref.T()*(0.9+0.2*rng.Float64()), nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.C-ref.C) < 1e-7*ref.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: noise-power linearity — scaling every noise column by g scales
+// c by exactly g², for any oscillator in the zoo.
+func TestQuickNoisePowerLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := 0.5 + 2*rng.Float64()
+		v1 := &osc.VanDerPol{Mu: 0.5 + rng.Float64(), Sigma: 0.02}
+		v2 := &osc.VanDerPol{Mu: v1.Mu, Sigma: v1.Sigma * g}
+		r1, err1 := Characterise(v1, []float64{2, 0}, 6.5, nil)
+		r2, err2 := Characterise(v2, []float64{2, 0}, 6.5, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r2.C-g*g*r1.C) < 1e-8*r2.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time-rescaling covariance. Scaling the Hopf frequency by k at
+// fixed noise rescales the period by 1/k and c by 1/k² (dimensional
+// analysis of Eq. 29: v1 carries 1/ω).
+func TestQuickTimeRescaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + 4*rng.Float64()
+		base := &osc.Hopf{Lambda: 1, Omega: 3, Sigma: 0.05}
+		fast := &osc.Hopf{Lambda: 1, Omega: 3 * k, Sigma: 0.05}
+		r1, err1 := Characterise(base, []float64{1, 0}, base.Period(), nil)
+		r2, err2 := Characterise(fast, []float64{1, 0}, fast.Period(), nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r2.T()-r1.T()/k) < 1e-8*r1.T() &&
+			math.Abs(r2.C-r1.C/(k*k)) < 1e-6*r1.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the per-source decomposition always sums to c, and every
+// sensitivity is non-negative, across random ring designs.
+func TestQuickRingBudgetClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := osc.NewECLRingPaper()
+		r.Rc = 300 + 500*rng.Float64()
+		r.IEE = (250 + 300*rng.Float64()) * 1e-6
+		T, x0, err := EstimatePeriod(r, r.InitialState(), 300e-9)
+		if err != nil {
+			return false
+		}
+		res, err := Characterise(r, x0, T, nil)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, s := range res.PerSource {
+			if s.C < 0 {
+				return false
+			}
+			sum += s.C
+		}
+		for _, cs := range res.Sensitivity {
+			if cs < 0 {
+				return false
+			}
+		}
+		return math.Abs(sum-res.C) < 1e-9*res.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
