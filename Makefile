@@ -1,0 +1,24 @@
+# Tier-1 verification: build, full test suite, vet, and a race-detector pass
+# over the concurrent packages (the Monte-Carlo ensemble engine and the batch
+# sweep engine). Run `make verify` before every PR.
+
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+verify: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/sde/... ./internal/sweep/...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...

@@ -9,6 +9,7 @@ package phasenoise
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/osc"
 	"repro/internal/sde"
 	"repro/internal/shooting"
+	"repro/internal/sweep"
 )
 
 // --- Figure 2(a): computed PSD of the bandpass oscillator ------------------
@@ -230,6 +232,59 @@ func BenchmarkMcNeillJitter(b *testing.B) {
 	}
 }
 
+// --- Batch sweep engine ------------------------------------------------------
+
+// sweepGrid builds an 8-point Hopf frequency sweep, the workload of the
+// parallel-speedup acceptance criterion: compare BenchmarkSweepSerial8
+// against BenchmarkSweepParallel8 on a multi-core runner (>= 2x on 4 cores).
+func sweepGrid() []sweep.Point {
+	pts := make([]sweep.Point, 8)
+	for i := range pts {
+		h := &osc.Hopf{Lambda: 1, Omega: 2 + float64(i), Sigma: 0.02}
+		pts[i] = sweep.Point{
+			Name:   "hopf",
+			System: h,
+			X0:     []float64{1, 0.1},
+			TGuess: h.Period() * 1.05,
+		}
+	}
+	return pts
+}
+
+func benchmarkSweep(b *testing.B, workers int) {
+	pts := sweepGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range sweep.Run(pts, &sweep.Config{Workers: workers}) {
+			if !r.OK() {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepSerial8(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel8(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSweepLadderRecovery measures the retry-ladder overhead on a point
+// that needs all three rungs (see sweep.TestRunLadderRecoversHardPoint).
+func BenchmarkSweepLadderRecovery(b *testing.B) {
+	pts := []sweep.Point{{
+		Name:   "vdp-hard",
+		System: &osc.VanDerPol{Mu: 3, Sigma: 0.01},
+		X0:     []float64{2, 0},
+		TGuess: 9.0,
+		Opts:   &core.Options{Shooting: &shooting.Options{StepsPerPeriod: 60}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sweep.Run(pts, nil)[0]
+		if !r.OK() || len(r.Attempts) != 3 {
+			b.Fatalf("ladder behaviour changed: ok=%v attempts=%d", r.OK(), len(r.Attempts))
+		}
+	}
+}
+
 // --- Pipeline kernels --------------------------------------------------------
 
 func BenchmarkShootingHopf(b *testing.B) {
@@ -311,6 +366,25 @@ func BenchmarkEulerMaruyama(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sde.EulerMaruyama(sys, []float64{1, 0}, 0, 1e-3, 10000, 10000, rng)
+	}
+}
+
+// BenchmarkPhaseSDEDiff exercises the Monte-Carlo inner loop of the exact
+// phase SDE; -benchmem must report 0 allocs/op (scratch is hoisted out of
+// the Diff closure).
+func BenchmarkPhaseSDEDiff(b *testing.B) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res, err := core.Characterise(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := res.PhaseSDE(h)
+	alpha := []float64{0.01}
+	dst := make([]float64, sys.NumNoise)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Diff(float64(i)*1e-3, alpha, dst)
 	}
 }
 

@@ -1,0 +1,246 @@
+// Command pnsweep batch-characterises a named oscillator over a parameter
+// grid using the internal/sweep engine: every grid point runs the full
+// shooting → Floquet → c-quadrature pipeline on a bounded worker pool, hard
+// points escalate through the retry ladder, and failures are reported
+// per-point instead of aborting the sweep.
+//
+// Usage:
+//
+//	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
+//	        [-workers n] [-json file] [-v]
+//
+// The swept parameter depends on the oscillator: hopf sweeps the angular
+// frequency ω, vanderpol the nonlinearity μ, ring the tail bias current IEE.
+// A summary table goes to stdout; -json writes the full per-point results,
+// including retry history and per-stage diagnostics, as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+	"repro/internal/sweep"
+)
+
+// pointJSON is the JSON shape of one sweep point result.
+type pointJSON struct {
+	Name     string        `json:"name"`
+	Param    float64       `json:"param"`
+	OK       bool          `json:"ok"`
+	Error    string        `json:"error,omitempty"`
+	T        float64       `json:"period_s,omitempty"`
+	F0       float64       `json:"f0_hz,omitempty"`
+	C        float64       `json:"c_s2hz,omitempty"`
+	Corner   float64       `json:"corner_hz,omitempty"`
+	WallMS   float64       `json:"wall_ms"`
+	Attempts []attemptJSON `json:"attempts"`
+}
+
+type attemptJSON struct {
+	Rung          string  `json:"rung"`
+	Error         string  `json:"error,omitempty"`
+	WallMS        float64 `json:"wall_ms"`
+	ShootingIters int     `json:"shooting_iters"`
+	Residual      float64 `json:"shooting_residual"`
+	AdjointSteps  int     `json:"adjoint_steps"`
+	ClosureErr    float64 `json:"adjoint_closure_err"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnsweep: ")
+	oscName := flag.String("osc", "hopf", "oscillator: hopf (sweeps ω), vanderpol (sweeps μ), ring (sweeps IEE)")
+	pmin := flag.Float64("min", 0, "sweep parameter lower bound (0 = oscillator default)")
+	pmax := flag.Float64("max", 0, "sweep parameter upper bound (0 = oscillator default)")
+	n := flag.Int("n", 8, "number of grid points")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	jsonPath := flag.String("json", "", "write full JSON results to this file")
+	verbose := flag.Bool("v", false, "stream per-attempt progress to stderr")
+	flag.Parse()
+
+	points, param, err := buildGrid(*oscName, *pmin, *pmax, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := &sweep.Config{Workers: *workers}
+	if *verbose {
+		cfg.OnAttempt = func(i int, name string, a sweep.Attempt) {
+			status := "ok"
+			if a.Err != nil {
+				status = a.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%s] rung %q (%v): %s\n", name, a.RungName, a.Wall.Round(time.Millisecond), status)
+		}
+	}
+
+	start := time.Now()
+	results := sweep.Run(points, cfg)
+	wall := time.Since(start)
+
+	printSummary(results, param, wall, *workers)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results, param); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("full results written to %s\n", *jsonPath)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			os.Exit(1) // partial failure: table printed, exit non-zero
+		}
+	}
+}
+
+// buildGrid materialises the parameter grid for one oscillator family and
+// returns the sweep points plus the per-point parameter values.
+func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("need at least one grid point, got %d", n)
+	}
+	grid := func(lo, hi float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			if n == 1 {
+				out[i] = lo
+				continue
+			}
+			out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		return out
+	}
+	defaults := func(lo, hi float64) (float64, float64) {
+		if pmin != 0 {
+			lo = pmin
+		}
+		if pmax != 0 {
+			hi = pmax
+		}
+		return lo, hi
+	}
+	switch name {
+	case "hopf":
+		lo, hi := defaults(2, 12)
+		vals := grid(lo, hi)
+		pts := make([]sweep.Point, n)
+		for i, w := range vals {
+			h := &osc.Hopf{Lambda: 1, Omega: w, Sigma: 0.02}
+			pts[i] = sweep.Point{
+				Name:   fmt.Sprintf("hopf-omega=%.4g", w),
+				System: h,
+				X0:     []float64{1, 0.1},
+				TGuess: h.Period() * 1.05,
+			}
+		}
+		return pts, vals, nil
+	case "vanderpol":
+		lo, hi := defaults(0.5, 3.5)
+		vals := grid(lo, hi)
+		pts := make([]sweep.Point, n)
+		for i, mu := range vals {
+			pts[i] = sweep.Point{
+				Name:   fmt.Sprintf("vdp-mu=%.4g", mu),
+				System: &osc.VanDerPol{Mu: mu, Sigma: 0.01},
+				X0:     []float64{2, 0},
+				// Crude relaxation-oscillation period estimate; the
+				// shooting transient and closest-return scan refine it.
+				TGuess: 2*math.Pi + (3-2*math.Log(2))*mu,
+			}
+		}
+		return pts, vals, nil
+	case "ring":
+		lo, hi := defaults(331e-6, 715e-6)
+		vals := grid(lo, hi)
+		pts := make([]sweep.Point, n)
+		for i, iee := range vals {
+			r := osc.NewECLRingPaper()
+			r.IEE = iee
+			pts[i] = sweep.Point{
+				Name:   fmt.Sprintf("ring-iee=%.3gu", iee*1e6),
+				System: r,
+				X0:     r.InitialState(),
+				TGuess: 6e-9, // near the paper's 167.7 MHz nominal
+				Opts:   &core.Options{Shooting: &shooting.Options{StepsPerPeriod: 4000}},
+			}
+		}
+		return pts, vals, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown oscillator %q (want hopf, vanderpol, ring)", name)
+	}
+}
+
+func printSummary(results []sweep.PointResult, param []float64, wall time.Duration, workers int) {
+	okCount := 0
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\tparam\tstatus\tf0 (Hz)\tc (s²·Hz)\tcorner (Hz)\tattempts\twall")
+	for i, r := range results {
+		status := "ok"
+		f0s, cs, cor := "-", "-", "-"
+		if r.OK() {
+			okCount++
+			f0s = fmt.Sprintf("%.6e", r.Result.F0())
+			cs = fmt.Sprintf("%.4e", r.Result.C)
+			cor = fmt.Sprintf("%.3e", r.Result.CornerFreq())
+			if len(r.Attempts) > 1 {
+				status = fmt.Sprintf("recovered@%s", r.Attempts[len(r.Attempts)-1].RungName)
+			}
+		} else {
+			status = "FAILED"
+		}
+		fmt.Fprintf(tw, "%s\t%.6g\t%s\t%s\t%s\t%s\t%d\t%v\n",
+			r.Name, param[i], status, f0s, cs, cor, len(r.Attempts), r.Wall.Round(time.Millisecond))
+	}
+	tw.Flush()
+	fmt.Printf("%d/%d points characterised in %v on %d workers\n", okCount, len(results), wall.Round(time.Millisecond), workers)
+}
+
+func writeJSON(path string, results []sweep.PointResult, param []float64) error {
+	out := make([]pointJSON, len(results))
+	for i, r := range results {
+		pj := pointJSON{
+			Name:   r.Name,
+			Param:  param[i],
+			OK:     r.OK(),
+			WallMS: float64(r.Wall) / float64(time.Millisecond),
+		}
+		if r.Err != nil {
+			pj.Error = r.Err.Error()
+		}
+		if r.OK() {
+			pj.T = r.Result.T()
+			pj.F0 = r.Result.F0()
+			pj.C = r.Result.C
+			pj.Corner = r.Result.CornerFreq()
+		}
+		for _, a := range r.Attempts {
+			aj := attemptJSON{
+				Rung:          a.RungName,
+				WallMS:        float64(a.Wall) / float64(time.Millisecond),
+				ShootingIters: a.Trace.Shooting.Iters,
+				Residual:      a.Trace.Shooting.Residual,
+				AdjointSteps:  a.Trace.Floquet.Steps,
+				ClosureErr:    a.Trace.Floquet.ClosureErr,
+			}
+			if a.Err != nil {
+				aj.Error = a.Err.Error()
+			}
+			pj.Attempts = append(pj.Attempts, aj)
+		}
+		out[i] = pj
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

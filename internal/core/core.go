@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
@@ -79,6 +80,18 @@ func (r *Result) JitterRMSAfter(tau float64) float64 {
 	return math.Sqrt(r.C * tau)
 }
 
+// Trace aggregates per-stage diagnostics of one Characterise call: how long
+// each pipeline stage took, how hard the solvers worked, and how well they
+// converged. Attach a zero Trace to Options.Trace; on failure the populated
+// stages show where the pipeline stopped.
+type Trace struct {
+	Shooting   shooting.Trace // Newton shooting diagnostics
+	Floquet    floquet.Trace  // Floquet/adjoint diagnostics
+	QuadPoints int            // quadrature points used for the c integral
+	QuadWall   time.Duration  // wall-clock time of the c quadratures
+	Wall       time.Duration  // total wall-clock time of Characterise
+}
+
 // Options configures Characterise.
 type Options struct {
 	Shooting *shooting.Options
@@ -86,6 +99,10 @@ type Options struct {
 	// QuadPoints sets the number of quadrature points for the c integral
 	// (default: the adjoint trajectory knots).
 	QuadPoints int
+	// Trace, when non-nil, receives per-stage diagnostics. Stage traces
+	// configured directly on Shooting/Floquet options are preserved;
+	// otherwise the stages record into this aggregate trace.
+	Trace *Trace
 }
 
 // Characterise runs the full Section-9 pipeline: periodic steady state by
@@ -95,9 +112,33 @@ type Options struct {
 func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
 	var so *shooting.Options
 	var fo *floquet.Options
+	var tr *Trace
 	qp := 0
 	if opts != nil {
-		so, fo, qp = opts.Shooting, opts.Floquet, opts.QuadPoints
+		so, fo, qp, tr = opts.Shooting, opts.Floquet, opts.QuadPoints, opts.Trace
+	}
+	if tr != nil {
+		*tr = Trace{}
+		start := time.Now()
+		defer func() { tr.Wall = time.Since(start) }()
+		// Point the stage traces into the aggregate on copies of the
+		// caller's option structs, so the caller's structs stay untouched.
+		sc := shooting.Options{}
+		if so != nil {
+			sc = *so
+		}
+		if sc.Trace == nil {
+			sc.Trace = &tr.Shooting
+		}
+		so = &sc
+		fc := floquet.Options{}
+		if fo != nil {
+			fc = *fo
+		}
+		if fc.Trace == nil {
+			fc.Trace = &tr.Floquet
+		}
+		fo = &fc
 	}
 	pss, err := shooting.Find(sys, x0, tGuess, so)
 	if err != nil {
@@ -107,7 +148,17 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 	if err != nil {
 		return nil, fmt.Errorf("core: floquet analysis: %w", err)
 	}
-	return FromDecomposition(sys, pss, dec, qp)
+	if tr == nil {
+		return FromDecomposition(sys, pss, dec, qp)
+	}
+	if qp <= 0 {
+		qp = max(len(dec.V1.Points), 1000) // FromDecomposition's default grid
+	}
+	qStart := time.Now()
+	res, err := FromDecomposition(sys, pss, dec, qp)
+	tr.QuadWall = time.Since(qStart)
+	tr.QuadPoints = qp
+	return res, err
 }
 
 // CharacteriseAuto is Characterise without a period guess: it integrates
@@ -217,17 +268,22 @@ func (r *Result) OutputSpectrum(component, nh int) *Spectrum {
 // as an sde.System with a single state (α) and the oscillator's p noise
 // sources, suitable for Monte-Carlo simulation of α(t) without simulating
 // the full state. (Itô interpretation, zero drift.)
+//
+// The returned system reuses internal scratch buffers across Diff calls —
+// the Monte-Carlo inner loop — so it must not be shared between goroutines.
+// For sde.Ensemble runs use PhaseSDEFactory, which hands each worker its
+// own system.
 func (r *Result) PhaseSDE(sys dynsys.System) sde.System {
 	n := sys.Dim()
 	p := sys.NumNoise()
+	x := make([]float64, n)
+	v := make([]float64, n)
+	b := make([]float64, n*p)
 	return sde.System{
 		Dim:      1,
 		NumNoise: p,
 		Drift:    func(t float64, x, dst []float64) { dst[0] = 0 },
 		Diff: func(t float64, alpha []float64, dst []float64) {
-			x := make([]float64, n)
-			v := make([]float64, n)
-			b := make([]float64, n*p)
 			ts := t + alpha[0]
 			tm := math.Mod(ts, r.PSS.T)
 			if tm < 0 {
@@ -245,6 +301,14 @@ func (r *Result) PhaseSDE(sys dynsys.System) sde.System {
 			}
 		},
 	}
+}
+
+// PhaseSDEFactory returns a constructor for per-goroutine phase-deviation
+// systems: each call yields an independent PhaseSDE sharing the (read-only)
+// orbit and v1 trajectories but owning its own scratch buffers, so the
+// factory can feed one system to every sde.Ensemble worker without races.
+func (r *Result) PhaseSDEFactory(sys dynsys.System) func() sde.System {
+	return func() sde.System { return r.PhaseSDE(sys) }
 }
 
 // Report renders a human-readable characterisation summary.

@@ -300,3 +300,87 @@ func TestCharacteriseErrorPropagation(t *testing.T) {
 		t.Fatal("expected error for bad period guess")
 	}
 }
+
+func TestPhaseSDEDiffDoesNotAllocate(t *testing.T) {
+	// The Diff closure is the innermost loop of Monte-Carlo phase
+	// simulation; it must reuse its scratch buffers rather than allocate
+	// three slices per call.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res := characteriseHopf(t, h)
+	sys := res.PhaseSDE(h)
+	alpha := []float64{0.01}
+	dst := make([]float64, sys.NumNoise)
+	allocs := testing.AllocsPerRun(200, func() {
+		sys.Diff(0.37, alpha, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("Diff allocates %g objects per call, want 0", allocs)
+	}
+}
+
+func TestPhaseSDEFactoryGivesIndependentSystems(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	res := characteriseHopf(t, h)
+	mk := res.PhaseSDEFactory(h)
+	a, b := mk(), mk()
+	da := make([]float64, a.NumNoise)
+	db := make([]float64, b.NumNoise)
+	// Concurrent use of separate factory products must be race-free
+	// (verified under -race) and agree pointwise.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			a.Diff(0.1*float64(i), []float64{0.02}, da)
+		}
+		close(done)
+	}()
+	for i := 0; i < 500; i++ {
+		b.Diff(0.1*float64(i), []float64{0.02}, db)
+	}
+	<-done
+	a.Diff(1.7, []float64{0.02}, da)
+	b.Diff(1.7, []float64{0.02}, db)
+	for j := range da {
+		if da[j] != db[j] {
+			t.Fatalf("factory systems disagree: %v vs %v", da, db)
+		}
+	}
+}
+
+func TestCharacteriseTraceRecordsStages(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	var tr Trace
+	res, err := Characterise(h, []float64{1, 0.1}, h.Period()*1.05, &Options{Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Wall <= 0 {
+		t.Fatal("total wall time not recorded")
+	}
+	if tr.Shooting.Iters == 0 || tr.Shooting.Wall <= 0 {
+		t.Fatalf("shooting stage not traced: %+v", tr.Shooting)
+	}
+	if tr.Shooting.Residual > 1e-10 {
+		t.Fatalf("converged residual not recorded: %g", tr.Shooting.Residual)
+	}
+	if tr.Floquet.Wall <= 0 || tr.Floquet.Steps == 0 {
+		t.Fatalf("floquet stage not traced: %+v", tr.Floquet)
+	}
+	if tr.Floquet.ClosureErr <= 0 {
+		t.Fatal("adjoint closure error not recorded")
+	}
+	if tr.QuadPoints == 0 || tr.QuadWall <= 0 {
+		t.Fatalf("quadrature stage not traced: points=%d wall=%v", tr.QuadPoints, tr.QuadWall)
+	}
+	if res.C <= 0 {
+		t.Fatal("characterisation result lost")
+	}
+	// The trace must reset on reuse.
+	tr.QuadPoints = -1
+	if _, err := Characterise(h, []float64{1, 0.1}, h.Period()*1.05, &Options{Trace: &tr}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.QuadPoints <= 0 {
+		t.Fatal("trace not reset between calls")
+	}
+}

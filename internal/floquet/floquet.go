@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
+	"time"
 
 	"repro/internal/dynsys"
 	"repro/internal/linalg"
@@ -22,6 +24,23 @@ import (
 // eigenvalue close to 1 — i.e. the supplied orbit is not a (resolved)
 // periodic solution of an autonomous system.
 var ErrNoUnitMultiplier = errors.New("floquet: no characteristic multiplier near 1")
+
+// ErrAdjointClosure is returned when the backward-integrated adjoint vector
+// fails to close on itself over one period within Options.MaxPeriodDrift;
+// increase Steps or tighten the shooting tolerance.
+var ErrAdjointClosure = errors.New("floquet: adjoint closure error too large")
+
+// Trace records per-stage diagnostics of one Analyze call. Attach a zero
+// Trace to Options.Trace; fields are overwritten as each stage completes, so
+// on failure the trace shows how far the analysis got.
+type Trace struct {
+	Wall         time.Duration // total wall-clock time of Analyze
+	AdjointWall  time.Duration // time in the backward adjoint integration
+	Steps        int           // adjoint integration steps used
+	UnitErr      float64       // |multiplier₁ − 1|
+	ClosureErr   float64       // relative adjoint closure error over one period
+	BiorthoDrift float64       // max |v1ᵀ(t)·ẋs(t) − 1| before renormalisation
+}
 
 // ErrUnstableCycle is returned when a multiplier other than the structural
 // unit one lies outside the unit circle, meaning the orbit is not
@@ -37,6 +56,7 @@ type Options struct {
 	NoRenormalize  bool    // keep the raw backward-integrated v1(t) without pointwise rescaling
 	RelaxResidual  bool    // accept larger inverse-iteration residuals (ill-conditioned monodromy)
 	MaxPeriodDrift float64 // max tolerated ‖v1(0)−v1(T)‖ closure error (default 1e-3, relative)
+	Trace          *Trace  // optional per-stage diagnostics, filled in by Analyze
 }
 
 func (o *Options) defaults(orbitKnots int) Options {
@@ -62,6 +82,7 @@ func (o *Options) defaults(orbitKnots int) Options {
 		if o.MaxPeriodDrift > 0 {
 			out.MaxPeriodDrift = o.MaxPeriodDrift
 		}
+		out.Trace = o.Trace
 	}
 	return out
 }
@@ -113,6 +134,12 @@ func (d *Decomposition) StabilityMargin() float64 {
 //     contracting Floquet modes of the cycle are expanding for the adjoint.
 func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decomposition, error) {
 	o := opts.defaults(len(pss.Orbit.Points))
+	tr := o.Trace
+	if tr != nil {
+		*tr = Trace{Steps: o.Steps}
+		start := time.Now()
+		defer func() { tr.Wall = time.Since(start) }()
+	}
 	n := sys.Dim()
 	phi := pss.Monodromy
 
@@ -127,10 +154,19 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 			best, bdist = i, d
 		}
 	}
+	if tr != nil {
+		tr.UnitErr = bdist
+	}
 	if best < 0 || bdist > o.UnitTol {
 		return nil, fmt.Errorf("%w (closest %.3e away; refine the shooting solution)", ErrNoUnitMultiplier, bdist)
 	}
 	mult[0], mult[best] = mult[best], mult[0]
+	// The contract on Decomposition.Multipliers is |·| sorted descending
+	// after the structural unit multiplier; eigenvalue routines return them
+	// in no particular order.
+	sort.SliceStable(mult[1:], func(i, j int) bool {
+		return cmplx.Abs(mult[1+i]) > cmplx.Abs(mult[1+j])
+	})
 	if !o.SkipStability {
 		for i := 1; i < len(mult); i++ {
 			if cmplx.Abs(mult[i]) > 1+o.StabilityTol {
@@ -161,35 +197,68 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 
 	// Backward adjoint integration over [0, T] with y(T) = v1(0).
 	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
+	adjStart := time.Now()
 	v1traj := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps)
+	if tr != nil {
+		tr.AdjointWall = time.Since(adjStart)
+	}
 
 	// Closure diagnostic: the backward solution at t=0 should reproduce v1(0).
 	v1at0 := make([]float64, n)
 	v1traj.At(0, v1at0)
 	closure := linalg.Norm2(linalg.SubVec(v1at0, v10)) / (1 + linalg.Norm2(v10))
+	if tr != nil {
+		tr.ClosureErr = closure
+	}
 
-	// Biorthogonality drift |v1ᵀ(t) ẋs(t) − 1| and optional renormalisation.
+	// Biorthogonality drift |v1ᵀ(t) ẋs(t) − 1| at the knots.
+	pts := v1traj.Points
+	ips := make([]float64, len(pts))
 	drift := 0.0
 	xbuf := make([]float64, n)
 	fbuf := make([]float64, n)
-	for i := range v1traj.Points {
-		p := &v1traj.Points[i]
-		pss.Orbit.At(p.T, xbuf)
+	for i := range pts {
+		pss.Orbit.At(pts[i].T, xbuf)
 		sys.Eval(xbuf, fbuf)
-		ipT := linalg.Dot(p.X, fbuf)
-		if d := math.Abs(ipT - 1); d > drift {
+		ips[i] = linalg.Dot(pts[i].X, fbuf)
+		if d := math.Abs(ips[i] - 1); d > drift {
 			drift = d
 		}
-		if !o.NoRenormalize && ipT != 0 {
-			// The exact v1 satisfies v1ᵀ(t)u1(t) ≡ 1; rescaling pointwise
-			// removes accumulated integration error without changing the
-			// direction of the projection.
-			linalg.ScaleVec(1/ipT, p.X)
-			linalg.ScaleVec(1/ipT, p.DX) // keep the interpolant consistent
+	}
+	if tr != nil {
+		tr.BiorthoDrift = drift
+	}
+	if !o.NoRenormalize {
+		// The exact v1 satisfies v1ᵀ(t)u1(t) ≡ 1; rescaling pointwise removes
+		// accumulated integration error without changing the direction of the
+		// projection. The renormalised vector is ṽ1 = v1/ip with
+		// d ṽ1/dt = v̇1/ip − (dip/dt)/ip²·v1, so the knot slopes need the
+		// derivative of the rescaling factor as well — scaling DX by 1/ip
+		// alone leaves the Hermite interpolant inconsistent wherever the
+		// drift varies between knots.
+		for i := range pts {
+			ip := ips[i]
+			if ip == 0 {
+				continue
+			}
+			var dip float64
+			switch {
+			case i == 0:
+				dip = (ips[1] - ips[0]) / (pts[1].T - pts[0].T)
+			case i == len(pts)-1:
+				dip = (ips[i] - ips[i-1]) / (pts[i].T - pts[i-1].T)
+			default:
+				dip = (ips[i+1] - ips[i-1]) / (pts[i+1].T - pts[i-1].T)
+			}
+			p := &pts[i]
+			for k := range p.DX {
+				p.DX[k] = (p.DX[k] - dip/ip*p.X[k]) / ip
+			}
+			linalg.ScaleVec(1/ip, p.X)
 		}
 	}
 	if closure > o.MaxPeriodDrift {
-		return nil, fmt.Errorf("floquet: adjoint closure error %.3e exceeds %.3e; increase Steps or tighten shooting tolerance", closure, o.MaxPeriodDrift)
+		return nil, fmt.Errorf("%w: %.3e exceeds %.3e; increase Steps or tighten shooting tolerance", ErrAdjointClosure, closure, o.MaxPeriodDrift)
 	}
 
 	return &Decomposition{

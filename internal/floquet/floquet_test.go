@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"testing"
 
+	"repro/internal/dynsys"
 	"repro/internal/linalg"
 	"repro/internal/ode"
 	"repro/internal/osc"
@@ -225,5 +226,190 @@ func TestStabilityMarginHopf(t *testing.T) {
 	want := 1 - h.ExactSecondMultiplier()
 	if math.Abs(dec.StabilityMargin()-want) > 1e-5 {
 		t.Fatalf("margin = %g, want %g", dec.StabilityMargin(), want)
+	}
+}
+
+// Regression for the renormalised-interpolant slope bug: scaling the knot
+// slopes by the same 1/ipT as the knot values drops the −(d ipT/dt)/ipT²·v1
+// term of the exact derivative of v1(t)/ipT(t), so the Hermite interpolant
+// was inconsistent wherever the biorthogonality drift varies. A coarse
+// monodromy (StepsPerPeriod 20) plants a small error in v1(0) that decays
+// backward as exp(−2λ(T−t)), concentrating drift variation near t = T,
+// while the fine adjoint grid keeps Hermite truncation error ≈1e-9.
+// Calibration on this exact configuration: pre-fix mid-knot worst error
+// 1.05e-7, post-fix 5.8e-8.
+func TestRenormalisedInterpolantBiorthogonality(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, &shooting.Options{StepsPerPeriod: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(h, pss, &Options{Steps: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.BiorthoDrift < 1e-5 {
+		t.Fatalf("drift %g too small to exercise the renormalisation", dec.BiorthoDrift)
+	}
+	v := make([]float64, 2)
+	x := make([]float64, 2)
+	f := make([]float64, 2)
+	worst := 0.0
+	pts := dec.V1.Points
+	for i := 0; i+1 < len(pts); i++ {
+		tm := 0.5 * (pts[i].T + pts[i+1].T)
+		dec.V1.At(tm, v)
+		pss.Orbit.At(tm, x)
+		h.Eval(x, f)
+		if d := math.Abs(v[0]*f[0]+v[1]*f[1] - 1); d > worst {
+			worst = d
+		}
+	}
+	if worst > 8e-8 {
+		t.Fatalf("mid-knot |v1ᵀ·ẋs − 1| = %.3e, want < 8e-8 (inconsistent Hermite slopes)", worst)
+	}
+}
+
+// Regression: Multipliers is documented "|·| sorted desc" after the leading
+// structural unit multiplier, but Analyze only swapped the unit one to the
+// front. A Hopf oscillator augmented with two OU noise states has
+// multipliers {1, e^{−2λT}, e^{−T/τ₁}, e^{−T/τ₂}} whose natural eigenvalue
+// order is not modulus-sorted.
+func TestMultipliersSortedByModulus(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1.5, Omega: 2 * math.Pi, Sigma: 0.05, YOnly: true}
+	col, err := dynsys.NewColored(h, []dynsys.ColoredSource{
+		{Index: 0, Tau: 0.04, Sigma: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pss, err := shooting.Find(col, col.AugmentState([]float64{1, 0}), h.Period(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(col, pss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Multipliers) != 3 {
+		t.Fatalf("%d multipliers", len(dec.Multipliers))
+	}
+	for i := 1; i+1 < len(dec.Multipliers); i++ {
+		a, b := cmplx.Abs(dec.Multipliers[i]), cmplx.Abs(dec.Multipliers[i+1])
+		if a < b {
+			t.Fatalf("multipliers not |·|-sorted desc after the unit one: %v", dec.Multipliers)
+		}
+	}
+	// The exponents must stay aligned with the sorted multipliers.
+	for i, m := range dec.Multipliers {
+		want := cmplx.Log(m) / complex(dec.T, 0)
+		if i == 0 {
+			want = 0
+		}
+		if cmplx.Abs(dec.Exponents[i]-want) > 1e-12 {
+			t.Fatalf("exponent %d = %v misaligned with multiplier %v", i, dec.Exponents[i], m)
+		}
+	}
+	// StabilityMargin must reflect the largest non-unit modulus, which for
+	// τ = 0.04 (e^{−T/τ} ≈ e^{−25}) is the oscillator mode e^{−2λT}.
+	want := 1 - math.Exp(-2*h.Lambda*h.Period())
+	if got := dec.StabilityMargin(); math.Abs(got-want) > 1e-4 {
+		t.Fatalf("stability margin %g, want %g", got, want)
+	}
+}
+
+func TestAdjointClosureTypedError(t *testing.T) {
+	h := &osc.Hopf{Lambda: 2, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(h, pss, &Options{Steps: 40, MaxPeriodDrift: 1e-12})
+	if err == nil {
+		t.Fatal("expected a closure failure with 40 steps and 1e-12 drift budget")
+	}
+	if !errors.Is(err, ErrAdjointClosure) {
+		t.Fatalf("error %v is not ErrAdjointClosure", err)
+	}
+}
+
+func TestFloquetTraceRecordsStages(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}
+	pss, err := shooting.Find(h, []float64{1, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	dec, err := Analyze(h, pss, &Options{Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Wall <= 0 || tr.AdjointWall <= 0 {
+		t.Fatalf("wall times not recorded: %+v", tr)
+	}
+	if tr.Steps <= 0 {
+		t.Fatalf("steps not recorded: %+v", tr)
+	}
+	if tr.UnitErr != dec.UnitErr || tr.ClosureErr != dec.ClosureErr || tr.BiorthoDrift != dec.BiorthoDrift {
+		t.Fatalf("trace diagnostics %+v disagree with decomposition %+v", tr, dec)
+	}
+	// On failure the trace still reports the stages that ran.
+	_, err = Analyze(h, pss, &Options{Trace: &tr, Steps: 40, MaxPeriodDrift: 1e-12})
+	if err == nil {
+		t.Fatal("expected closure failure")
+	}
+	if tr.ClosureErr <= 1e-12 {
+		t.Fatalf("failed analysis left no closure diagnostic: %+v", tr)
+	}
+}
+
+// Regression for the multiplier-sort bug on a path where it actually bites:
+// linalg.Eigenvalues returns moduli sorted desc, so for a stable cycle the
+// unit multiplier is already first and the front-swap is a no-op. But when
+// two or more multipliers lie outside the unit circle (diagnostic analysis
+// of an unstable orbit with SkipStability), the swap that brings the unit
+// multiplier forward drops the displaced large multiplier into the middle
+// of the tail: {3, 2, 1, ε} → {1, 2, 3, ε}, violating the documented
+// "|·| sorted desc" contract. Built from a Hopf cycle with two repelling
+// transverse directions (ż_i = κ_i·z_i, z_i ≡ 0 on the cycle).
+func TestMultipliersSortedWhenUnitNotLargest(t *testing.T) {
+	lam, om := 1.5, 2*math.Pi
+	k1, k2 := math.Log(3.0), math.Log(2.0) // T = 1 ⇒ multipliers 3 and 2
+	sys := &dynsys.FiniteDiffSystem{
+		N: 4,
+		F: func(x, dst []float64) {
+			r2 := x[0]*x[0] + x[1]*x[1]
+			dst[0] = lam*x[0]*(1-r2) - om*x[1]
+			dst[1] = lam*x[1]*(1-r2) + om*x[0]
+			dst[2] = k1 * x[2]
+			dst[3] = k2 * x[3]
+		},
+	}
+	pss, err := shooting.Find(sys, []float64{1, 0, 0, 0}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Analyze(sys, pss, &Options{SkipStability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Multipliers) != 4 {
+		t.Fatalf("%d multipliers", len(dec.Multipliers))
+	}
+	if cmplx.Abs(dec.Multipliers[0]-1) > 1e-5 {
+		t.Fatalf("leading multiplier %v, want the structural unit one", dec.Multipliers[0])
+	}
+	for i := 1; i+1 < len(dec.Multipliers); i++ {
+		a, b := cmplx.Abs(dec.Multipliers[i]), cmplx.Abs(dec.Multipliers[i+1])
+		if a < b {
+			t.Fatalf("multipliers not |·|-sorted desc after the unit one: %v", dec.Multipliers)
+		}
+	}
+	if math.Abs(cmplx.Abs(dec.Multipliers[1])-3) > 1e-4 {
+		t.Fatalf("largest non-unit multiplier %v, want 3", dec.Multipliers[1])
+	}
+	// Report must print them in contract order too.
+	if got := dec.StabilityMargin(); math.Abs(got-(1-3)) > 1e-3 {
+		t.Fatalf("stability margin %g, want −2", got)
 	}
 }

@@ -112,7 +112,20 @@ type EnsembleConfig struct {
 // Ensemble runs cfg.Paths independent Euler–Maruyama integrations of sys in
 // parallel and returns all paths. Path k is seeded with cfg.Seed+k, so
 // results are reproducible regardless of scheduling.
+//
+// sys is shared by every worker, so its Drift/Diff closures must be safe
+// for concurrent use. For systems that keep internal scratch state (e.g.
+// core.Result.PhaseSDE) use EnsembleFrom with a per-worker factory.
 func Ensemble(sys System, x0 []float64, cfg EnsembleConfig) []*Path {
+	return EnsembleFrom(func() System { return sys }, x0, cfg)
+}
+
+// EnsembleFrom is Ensemble with a per-worker system factory: each worker
+// goroutine calls mk once and uses that instance for all its paths, so
+// systems whose Drift/Diff closures reuse scratch buffers never race.
+// Results stay deterministic — path k is seeded with cfg.Seed+k and stored
+// at out[k] whatever the scheduling.
+func EnsembleFrom(mk func() System, x0 []float64, cfg EnsembleConfig) []*Path {
 	stride := cfg.Stride
 	if stride < 1 {
 		stride = 1
@@ -131,6 +144,7 @@ func Ensemble(sys System, x0 []float64, cfg EnsembleConfig) []*Path {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sys := mk()
 			for k := range next {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
 				out[k] = EulerMaruyama(sys, x0, cfg.T0, cfg.Dt, cfg.Steps, stride, rng)

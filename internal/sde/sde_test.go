@@ -251,3 +251,46 @@ func TestQuickBrownianSelfSimilarity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// scratchSystem mimics systems like core.Result.PhaseSDE whose Diff closure
+// reuses an internal scratch buffer: correct per goroutine, racy if shared.
+func scratchSystem(sigma float64) System {
+	scratch := make([]float64, 1)
+	return System{
+		Dim:      1,
+		NumNoise: 1,
+		Drift:    func(t float64, x, dst []float64) { dst[0] = 0 },
+		Diff: func(t float64, x []float64, dst []float64) {
+			scratch[0] = sigma * (1 + 0.1*math.Tanh(x[0]))
+			dst[0] = scratch[0]
+		},
+	}
+}
+
+func TestEnsembleFromMatchesEnsemble(t *testing.T) {
+	cfg := EnsembleConfig{Paths: 16, Steps: 200, Seed: 7, Dt: 0.005}
+	a := Ensemble(brownian(0.5), []float64{0}, cfg)
+	b := EnsembleFrom(func() System { return brownian(0.5) }, []float64{0}, cfg)
+	for k := range a {
+		for j := range a[k].X {
+			if a[k].X[j][0] != b[k].X[j][0] {
+				t.Fatalf("path %d diverges at sample %d", k, j)
+			}
+		}
+	}
+}
+
+func TestEnsembleFromPerWorkerSystems(t *testing.T) {
+	// Each worker must get its own factory product, so stateful Diff
+	// closures never race (this test is the -race canary) and the run stays
+	// deterministic.
+	cfg := EnsembleConfig{Paths: 32, Steps: 300, Seed: 11, Dt: 0.004}
+	a := EnsembleFrom(func() System { return scratchSystem(0.3) }, []float64{0.2}, cfg)
+	b := EnsembleFrom(func() System { return scratchSystem(0.3) }, []float64{0.2}, cfg)
+	for k := range a {
+		last := len(a[k].X) - 1
+		if a[k].X[last][0] != b[k].X[last][0] {
+			t.Fatalf("path %d not reproducible with per-worker systems", k)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dynsys"
 	"repro/internal/linalg"
@@ -18,17 +19,31 @@ import (
 // ErrNoConvergence is returned when Newton shooting fails to close the orbit.
 var ErrNoConvergence = errors.New("shooting: Newton iteration did not converge")
 
+// Trace records per-stage diagnostics of one Find call. Attach a zero Trace
+// to Options.Trace before calling Find; every field is overwritten, on
+// failure as well as success, so a caller can inspect how far the solver got.
+type Trace struct {
+	Wall          time.Duration // total wall-clock time of Find
+	TransientWall time.Duration // time spent settling onto the attractor
+	TRefined      float64       // period after the closest-return scan (0 if the scan failed)
+	Iters         int           // Newton iterations performed
+	Residuals     []float64     // relative closure residual at the start of each iteration
+	Residual      float64       // final relative closure residual
+	Dampings      int           // Newton step halvings across all iterations
+}
+
 // Options configures the shooting solver.
 type Options struct {
 	Tol            float64 // residual tolerance, relative to state scale (default 1e-10)
 	MaxIter        int     // Newton iterations (default 50)
 	StepsPerPeriod int     // RK4 steps for each period integration (default 2000)
 	Transient      float64 // pre-integration time in units of the period guess (default 20)
-	Damping        bool    // halve Newton steps that increase the residual (default true)
+	NoDamping      bool    // disable halving Newton steps that increase the residual (damping is on by default)
+	Trace          *Trace  // optional per-stage diagnostics, filled in by Find
 }
 
 func (o *Options) defaults() Options {
-	out := Options{Tol: 1e-10, MaxIter: 50, StepsPerPeriod: 2000, Transient: 20, Damping: true}
+	out := Options{Tol: 1e-10, MaxIter: 50, StepsPerPeriod: 2000, Transient: 20}
 	if o != nil {
 		if o.Tol > 0 {
 			out.Tol = o.Tol
@@ -42,7 +57,8 @@ func (o *Options) defaults() Options {
 		if o.Transient > 0 {
 			out.Transient = o.Transient
 		}
-		out.Damping = o.Damping
+		out.NoDamping = o.NoDamping
+		out.Trace = o.Trace
 	}
 	return out
 }
@@ -95,6 +111,12 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 		return nil, fmt.Errorf("shooting: period guess must be positive, got %g", tGuess)
 	}
 	o := opts.defaults()
+	tr := o.Trace
+	if tr != nil {
+		*tr = Trace{}
+		start := time.Now()
+		defer func() { tr.Wall = time.Since(start) }()
+	}
 	n := sys.Dim()
 	if len(x0) != n {
 		return nil, fmt.Errorf("shooting: x0 has length %d, want %d", len(x0), n)
@@ -105,7 +127,11 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	x := append([]float64(nil), x0...)
 	if o.Transient > 0 {
 		ttr := o.Transient * tGuess
+		tStart := time.Now()
 		res, err := ode.DOPRI5(f, 0, ttr, x, &ode.Options{RTol: 1e-9, ATol: 1e-12})
+		if tr != nil {
+			tr.TransientWall = time.Since(tStart)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("shooting: transient integration failed: %w", err)
 		}
@@ -187,6 +213,9 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 						break
 					}
 				}
+				if tr != nil {
+					tr.TRefined = T
+				}
 			}
 		}
 	}
@@ -217,6 +246,11 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 		}
 		res /= scale
 		lastRes = res
+		if tr != nil {
+			tr.Iters = iter
+			tr.Residual = res
+			tr.Residuals = append(tr.Residuals, res)
+		}
 		if res < o.Tol {
 			if linalg.NormInfVec(fx0) < 1e-3*fRef {
 				return nil, errors.New("shooting: converged to an equilibrium, not a limit cycle")
@@ -258,15 +292,21 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 			Tc := T + lambda*delta[n]
 			if Tc <= 0.2*tGuess || Tc > 5*tGuess {
 				lambda *= 0.5
+				if tr != nil {
+					tr.Dampings++
+				}
 				continue
 			}
 			sys.Eval(xc, fx0)
 			if linalg.NormInfVec(fx0) < 1e-3*fRef {
 				// Candidate is collapsing onto an equilibrium.
 				lambda *= 0.5
+				if tr != nil {
+					tr.Dampings++
+				}
 				continue
 			}
-			if !o.Damping {
+			if o.NoDamping {
 				x, T = xc, Tc
 				applied = true
 				break
@@ -285,6 +325,9 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 				break
 			}
 			lambda *= 0.5
+			if tr != nil {
+				tr.Dampings++
+			}
 		}
 		if !applied {
 			return nil, fmt.Errorf("%w: damping failed at iteration %d (residual %.3e)", ErrNoConvergence, iter, res)

@@ -191,3 +191,63 @@ func TestShootingThenEstimateConsistency(t *testing.T) {
 		t.Fatalf("shooting T=%g far from estimate %g", pss.T, Test)
 	}
 }
+
+// Regression: a caller that passes a partial Options (setting only Tol)
+// must NOT silently lose the default-on Newton damping. Before the
+// tri-state fix, defaults() copied the damping flag verbatim from the
+// caller struct, so any non-nil Options disabled damping.
+func TestPartialOptionsKeepDampingEnabled(t *testing.T) {
+	d := (&Options{Tol: 1e-8}).defaults()
+	if d.NoDamping {
+		t.Fatal("partial Options{Tol: ...} disabled Newton damping; damping must stay on by default")
+	}
+	d = (&Options{NoDamping: true}).defaults()
+	if !d.NoDamping {
+		t.Fatal("explicit NoDamping was not honoured")
+	}
+}
+
+func TestNoDampingStillConvergesOnHopf(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	pss, err := Find(h, []float64{0.8, 0.1}, 0.9, &Options{NoDamping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pss.T-1) > 1e-8 {
+		t.Fatalf("T = %g, want 1", pss.T)
+	}
+}
+
+func TestTraceRecordsConvergenceHistory(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	var tr Trace
+	pss, err := Find(h, []float64{0.8, 0.1}, 0.9, &Options{Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iters != pss.Iters {
+		t.Fatalf("trace iters %d, pss iters %d", tr.Iters, pss.Iters)
+	}
+	if len(tr.Residuals) != tr.Iters {
+		t.Fatalf("%d residuals for %d iterations", len(tr.Residuals), tr.Iters)
+	}
+	if tr.Residual != pss.Residual {
+		t.Fatalf("trace residual %g, pss residual %g", tr.Residual, pss.Residual)
+	}
+	if tr.Wall <= 0 {
+		t.Fatalf("wall time %v not recorded", tr.Wall)
+	}
+	if tr.TransientWall <= 0 {
+		t.Fatalf("transient wall time %v not recorded", tr.TransientWall)
+	}
+	if tr.TRefined <= 0 {
+		t.Fatalf("refined period %g not recorded", tr.TRefined)
+	}
+	// The trace must be reset between calls.
+	if _, err := Find(h, []float64{1, 0}, 1, &Options{Trace: &tr, Transient: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Residuals) > tr.Iters {
+		t.Fatalf("stale residual history: %d entries for %d iterations", len(tr.Residuals), tr.Iters)
+	}
+}

@@ -1,0 +1,248 @@
+// Package sweep runs batches of phase-noise characterisations — parameter
+// sweeps over bias, supply, or device values — through the full
+// shooting → Floquet → c-quadrature pipeline on a bounded worker pool.
+//
+// The engine mirrors the sde.Ensemble pattern: a fixed number of workers
+// drain an index channel and write into a result slice, so the output order
+// is deterministic whatever the scheduling. Robustness comes from a retry
+// ladder: when a point fails with a refinable error (Newton shooting did not
+// converge, no unit Floquet multiplier, adjoint closure too large), the
+// engine escalates through rungs of tighter tolerance, more integration
+// steps, and longer transient before recording a structured per-point
+// failure. One hard point never aborts the batch.
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/shooting"
+)
+
+// Point is one characterisation job in a batch.
+type Point struct {
+	Name   string        // label carried into results and progress hooks
+	System dynsys.System // oscillator model
+	X0     []float64     // initial state guess
+	TGuess float64       // period guess
+	Opts   *core.Options // base pipeline options (nil for defaults); rungs scale from these
+}
+
+// Rung is one escalation step of the retry ladder. Zero-valued fields leave
+// the corresponding option untouched; scaling factors apply to the point's
+// base options (or the solver defaults when the base leaves them unset).
+type Rung struct {
+	Name           string  // label recorded in Attempt
+	TolDiv         float64 // divide the shooting tolerance by this (>1 tightens)
+	StepsFactor    float64 // multiply shooting StepsPerPeriod (>1 refines)
+	AdjointFactor  float64 // multiply explicit floquet Steps (>1 refines; default Steps auto-scale with StepsPerPeriod)
+	TransientExtra float64 // additional transient periods before shooting
+}
+
+// Defaults the rungs scale against when the point's base options leave a
+// field unset. They mirror shooting.Options.defaults.
+const (
+	defaultTol            = 1e-10
+	defaultStepsPerPeriod = 2000
+	defaultTransient      = 20
+)
+
+// DefaultLadder escalates twice after the base attempt: a 10× tighter /
+// 2× finer pass, then a 100× tighter / 4× finer pass with a much longer
+// transient for points that start far off the attractor.
+func DefaultLadder() []Rung {
+	return []Rung{
+		{Name: "base"},
+		{Name: "tight", TolDiv: 10, StepsFactor: 2, AdjointFactor: 2, TransientExtra: 20},
+		{Name: "max", TolDiv: 100, StepsFactor: 4, AdjointFactor: 4, TransientExtra: 60},
+	}
+}
+
+// Attempt records one ladder rung tried on one point.
+type Attempt struct {
+	Rung     int           // index into the ladder
+	RungName string        // Rung.Name
+	Err      error         // nil on success
+	Trace    core.Trace    // per-stage diagnostics of this attempt
+	Wall     time.Duration // wall-clock time of this attempt
+}
+
+// PointResult is the outcome of one point: either a characterisation or a
+// structured failure, plus the full retry history.
+type PointResult struct {
+	Index    int    // position in the input slice
+	Name     string // Point.Name
+	Result   *core.Result
+	Err      error // nil iff Result != nil; the last attempt's error otherwise
+	Attempts []Attempt
+	Wall     time.Duration // total wall-clock time across all attempts
+}
+
+// OK reports whether the point characterised successfully.
+func (r *PointResult) OK() bool { return r.Err == nil && r.Result != nil }
+
+// Config tunes a batch run.
+type Config struct {
+	// Workers bounds the worker pool (default GOMAXPROCS, capped at the
+	// number of points).
+	Workers int
+	// Ladder is the escalation sequence (default DefaultLadder()). The
+	// first rung is the base attempt; an empty slice gets one plain rung.
+	Ladder []Rung
+	// OnAttempt, when non-nil, streams progress: it is called after every
+	// attempt (success or failure) on any point. Calls are serialised by
+	// the engine, so the hook needs no locking of its own.
+	OnAttempt func(index int, name string, att Attempt)
+	// OnPoint, when non-nil, is called once per point as it completes,
+	// serialised like OnAttempt. Points complete out of order.
+	OnPoint func(res PointResult)
+}
+
+// Retryable reports whether err is a refinable pipeline failure — one the
+// retry ladder may cure with tighter tolerances, more steps, or a longer
+// transient. Structural errors (bad dimensions, unstable cycles, degenerate
+// monodromy) are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, shooting.ErrNoConvergence) ||
+		errors.Is(err, floquet.ErrNoUnitMultiplier) ||
+		errors.Is(err, floquet.ErrAdjointClosure)
+}
+
+// applyRung builds the options for one attempt: a deep-enough copy of the
+// point's base options (caller structs are never mutated) with the rung's
+// scalings applied against the base values or the solver defaults.
+func applyRung(base *core.Options, r Rung) *core.Options {
+	out := core.Options{}
+	if base != nil {
+		out = *base
+	}
+	sc := shooting.Options{}
+	if out.Shooting != nil {
+		sc = *out.Shooting
+	}
+	fc := floquet.Options{}
+	if out.Floquet != nil {
+		fc = *out.Floquet
+	}
+	if r.TolDiv > 1 {
+		if sc.Tol <= 0 {
+			sc.Tol = defaultTol
+		}
+		sc.Tol /= r.TolDiv
+	}
+	if r.StepsFactor > 1 {
+		if sc.StepsPerPeriod <= 0 {
+			sc.StepsPerPeriod = defaultStepsPerPeriod
+		}
+		sc.StepsPerPeriod = int(float64(sc.StepsPerPeriod) * r.StepsFactor)
+	}
+	if r.TransientExtra > 0 {
+		if sc.Transient <= 0 {
+			sc.Transient = defaultTransient
+		}
+		sc.Transient += r.TransientExtra
+	}
+	// Explicit adjoint step counts scale directly; the default (0) already
+	// auto-scales with the orbit resolution raised by StepsFactor.
+	if r.AdjointFactor > 1 && fc.Steps > 0 {
+		fc.Steps = int(float64(fc.Steps) * r.AdjointFactor)
+	}
+	out.Shooting = &sc
+	out.Floquet = &fc
+	return &out
+}
+
+// Run characterises every point and returns one PointResult per point, in
+// input order. Failures are per-point and structured; Run itself never
+// fails. Points must not share mutable state (a dynsys.System may be shared
+// only if its methods are safe for concurrent use).
+func Run(points []Point, cfg *Config) []PointResult {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	ladder := c.Ladder
+	if len(ladder) == 0 {
+		ladder = DefaultLadder()
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	out := make([]PointResult, len(points))
+	var hookMu sync.Mutex // serialises user hooks across workers
+	attempt := func(i int, name string, att Attempt) {
+		if c.OnAttempt == nil {
+			return
+		}
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		c.OnAttempt(i, name, att)
+	}
+	done := func(res PointResult) {
+		if c.OnPoint == nil {
+			return
+		}
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		c.OnPoint(res)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				out[k] = runPoint(k, points[k], ladder, attempt)
+				done(out[k])
+			}
+		}()
+	}
+	for k := range points {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// runPoint walks one point up the ladder until an attempt succeeds or the
+// failure is not retryable.
+func runPoint(index int, p Point, ladder []Rung, attempt func(int, string, Attempt)) PointResult {
+	start := time.Now()
+	res := PointResult{Index: index, Name: p.Name}
+	for ri, rung := range ladder {
+		opts := applyRung(p.Opts, rung)
+		var tr core.Trace
+		opts.Trace = &tr
+		aStart := time.Now()
+		r, err := core.Characterise(p.System, p.X0, p.TGuess, opts)
+		att := Attempt{Rung: ri, RungName: rung.Name, Err: err, Trace: tr, Wall: time.Since(aStart)}
+		res.Attempts = append(res.Attempts, att)
+		attempt(index, p.Name, att)
+		if err == nil {
+			res.Result, res.Err = r, nil
+			break
+		}
+		res.Err = err
+		if !Retryable(err) {
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	return res
+}

@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floquet"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+func hopfGrid(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		h := &osc.Hopf{Lambda: 1, Omega: 2 + 0.5*float64(i), Sigma: 0.02}
+		pts[i] = Point{
+			Name:   "hopf-" + string(rune('a'+i)),
+			System: h,
+			X0:     []float64{1, 0.1},
+			TGuess: h.Period() * 1.05,
+		}
+	}
+	return pts
+}
+
+func TestRunMatchesSerialCharacterise(t *testing.T) {
+	pts := hopfGrid(6)
+	results := Run(pts, nil)
+	if len(results) != len(pts) {
+		t.Fatalf("%d results for %d points", len(results), len(pts))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != pts[i].Name {
+			t.Fatalf("result %d out of order: index=%d name=%q", i, r.Index, r.Name)
+		}
+		if !r.OK() {
+			t.Fatalf("point %d failed: %v", i, r.Err)
+		}
+		if len(r.Attempts) != 1 || r.Attempts[0].RungName != "base" {
+			t.Fatalf("point %d: easy point needed %d attempts", i, len(r.Attempts))
+		}
+		want, err := core.Characterise(pts[i].System, pts[i].X0, pts[i].TGuess, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Result.C-want.C) > 1e-12*want.C {
+			t.Fatalf("point %d: sweep c=%g, serial c=%g", i, r.Result.C, want.C)
+		}
+		if r.Attempts[0].Trace.Shooting.Iters == 0 || r.Attempts[0].Trace.Wall <= 0 {
+			t.Fatalf("point %d: attempt trace empty: %+v", i, r.Attempts[0].Trace)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	pts := hopfGrid(5)
+	serial := Run(pts, &Config{Workers: 1})
+	parallel := Run(pts, &Config{Workers: 8})
+	for i := range serial {
+		if serial[i].Result.C != parallel[i].Result.C {
+			t.Fatalf("point %d: c differs across worker counts", i)
+		}
+	}
+}
+
+// A stiff Van der Pol cycle under-resolved at StepsPerPeriod=60 walks the
+// whole ladder: the base rung loses the unit multiplier, the tight rung
+// (2x steps) fails adjoint closure, and the max rung (4x steps) converges.
+func hardVdPPoint() Point {
+	return Point{
+		Name:   "vdp-hard",
+		System: &osc.VanDerPol{Mu: 3, Sigma: 0.01},
+		X0:     []float64{2, 0},
+		TGuess: 9.0,
+		Opts:   &core.Options{Shooting: &shooting.Options{StepsPerPeriod: 60}},
+	}
+}
+
+func TestRunLadderRecoversHardPoint(t *testing.T) {
+	pts := append(hopfGrid(2), hardVdPPoint())
+	results := Run(pts, nil)
+	r := results[2]
+	if !r.OK() {
+		t.Fatalf("ladder failed to recover hard point: %v", r.Err)
+	}
+	if len(r.Attempts) != 3 {
+		t.Fatalf("expected 3 attempts, got %d", len(r.Attempts))
+	}
+	if !errors.Is(r.Attempts[0].Err, floquet.ErrNoUnitMultiplier) {
+		t.Fatalf("attempt 0: want ErrNoUnitMultiplier, got %v", r.Attempts[0].Err)
+	}
+	if !errors.Is(r.Attempts[1].Err, floquet.ErrAdjointClosure) {
+		t.Fatalf("attempt 1: want ErrAdjointClosure, got %v", r.Attempts[1].Err)
+	}
+	if r.Attempts[2].Err != nil || r.Attempts[2].RungName != "max" {
+		t.Fatalf("attempt 2: %q err=%v", r.Attempts[2].RungName, r.Attempts[2].Err)
+	}
+	// The recovered characterisation must agree with a well-resolved run.
+	ref, err := core.Characterise(pts[2].System, pts[2].X0, pts[2].TGuess,
+		&core.Options{Shooting: &shooting.Options{StepsPerPeriod: 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(r.Result.C-ref.C) / ref.C; rel > 1e-3 {
+		t.Fatalf("recovered c off by %g relative", rel)
+	}
+	// Failed attempts still carry diagnostics showing how far they got.
+	if r.Attempts[0].Trace.Floquet.UnitErr < 1e-3 {
+		t.Fatalf("attempt 0 trace should record the large unit error, got %g", r.Attempts[0].Trace.Floquet.UnitErr)
+	}
+}
+
+func TestRunStructuredFailureDoesNotAbortBatch(t *testing.T) {
+	impossible := Point{
+		Name:   "impossible",
+		System: &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02},
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+		// A closure tolerance below anything the ladder can reach: every
+		// rung fails with ErrAdjointClosure, exhausting the ladder.
+		Opts: &core.Options{Floquet: &floquet.Options{Steps: 30, MaxPeriodDrift: 1e-13}},
+	}
+	pts := append(hopfGrid(3), impossible)
+	results := Run(pts, nil)
+	for i := 0; i < 3; i++ {
+		if !results[i].OK() {
+			t.Fatalf("good point %d failed: %v", i, results[i].Err)
+		}
+	}
+	bad := results[3]
+	if bad.OK() {
+		t.Fatal("impossible point reported success")
+	}
+	if !errors.Is(bad.Err, floquet.ErrAdjointClosure) {
+		t.Fatalf("want structured ErrAdjointClosure, got %v", bad.Err)
+	}
+	if len(bad.Attempts) != 3 {
+		t.Fatalf("ladder should be exhausted: %d attempts", len(bad.Attempts))
+	}
+	for i, a := range bad.Attempts {
+		if a.Err == nil {
+			t.Fatalf("attempt %d unexpectedly succeeded", i)
+		}
+		if a.Trace.Floquet.ClosureErr <= 0 {
+			t.Fatalf("attempt %d lost its closure diagnostic", i)
+		}
+	}
+}
+
+func TestRunNonRetryableFailsFast(t *testing.T) {
+	pts := []Point{{
+		Name:   "bad-guess",
+		System: &osc.Hopf{Lambda: 1, Omega: 2, Sigma: 0.01},
+		X0:     []float64{1, 0},
+		TGuess: -1, // structural error: no ladder rung can fix a negative guess
+	}}
+	results := Run(pts, nil)
+	if results[0].OK() {
+		t.Fatal("expected failure")
+	}
+	if len(results[0].Attempts) != 1 {
+		t.Fatalf("non-retryable error must not climb the ladder: %d attempts", len(results[0].Attempts))
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, err := range []error{shooting.ErrNoConvergence, floquet.ErrNoUnitMultiplier, floquet.ErrAdjointClosure} {
+		if !Retryable(err) {
+			t.Fatalf("%v should be retryable", err)
+		}
+		// Wrapped, as the pipeline returns them.
+		if !Retryable(errors.Join(errors.New("core: floquet analysis"), err)) {
+			t.Fatalf("wrapped %v should be retryable", err)
+		}
+	}
+	for _, err := range []error{nil, errors.New("boom"), floquet.ErrUnstableCycle} {
+		if Retryable(err) {
+			t.Fatalf("%v should not be retryable", err)
+		}
+	}
+}
+
+func TestApplyRungScalesAgainstDefaults(t *testing.T) {
+	r := Rung{TolDiv: 10, StepsFactor: 2, AdjointFactor: 2, TransientExtra: 20}
+	o := applyRung(nil, r)
+	if math.Abs(o.Shooting.Tol-1e-11) > 1e-26 {
+		t.Fatalf("Tol = %g", o.Shooting.Tol)
+	}
+	if o.Shooting.StepsPerPeriod != 4000 {
+		t.Fatalf("StepsPerPeriod = %d", o.Shooting.StepsPerPeriod)
+	}
+	if o.Shooting.Transient != 40 {
+		t.Fatalf("Transient = %g", o.Shooting.Transient)
+	}
+	if o.Floquet.Steps != 0 {
+		t.Fatal("default adjoint steps must stay auto-scaled")
+	}
+
+	base := &core.Options{
+		Shooting: &shooting.Options{Tol: 1e-8, StepsPerPeriod: 500, Transient: 5},
+		Floquet:  &floquet.Options{Steps: 100},
+	}
+	o = applyRung(base, r)
+	if math.Abs(o.Shooting.Tol-1e-9) > 1e-24 || o.Shooting.StepsPerPeriod != 1000 || o.Shooting.Transient != 25 {
+		t.Fatalf("base scaling wrong: %+v", o.Shooting)
+	}
+	if o.Floquet.Steps != 200 {
+		t.Fatalf("adjoint steps = %d", o.Floquet.Steps)
+	}
+	// The caller's structs must never be mutated.
+	if base.Shooting.Tol != 1e-8 || base.Shooting.StepsPerPeriod != 500 || base.Floquet.Steps != 100 {
+		t.Fatalf("base options mutated: %+v %+v", base.Shooting, base.Floquet)
+	}
+}
+
+func TestHooksStreamProgress(t *testing.T) {
+	pts := append(hopfGrid(4), hardVdPPoint())
+	var attempts, points int
+	var names []string
+	results := Run(pts, &Config{
+		Workers:   4,
+		OnAttempt: func(i int, name string, a Attempt) { attempts++ },
+		OnPoint: func(r PointResult) {
+			points++
+			names = append(names, r.Name)
+		},
+	})
+	wantAttempts := 0
+	for _, r := range results {
+		wantAttempts += len(r.Attempts)
+	}
+	if attempts != wantAttempts {
+		t.Fatalf("OnAttempt fired %d times, want %d", attempts, wantAttempts)
+	}
+	if points != len(pts) || len(names) != len(pts) {
+		t.Fatalf("OnPoint fired %d times, want %d", points, len(pts))
+	}
+}
+
+func TestRunParallelSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs >= 4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	pts := hopfGrid(8)
+	t0 := time.Now()
+	Run(pts, &Config{Workers: 1})
+	serial := time.Since(t0)
+	t0 = time.Now()
+	Run(pts, &Config{Workers: runtime.GOMAXPROCS(0)})
+	parallel := time.Since(t0)
+	if speedup := serial.Seconds() / parallel.Seconds(); speedup < 2 {
+		t.Fatalf("speedup %.2fx < 2x (serial %v, parallel %v)", speedup, serial, parallel)
+	}
+}
