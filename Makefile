@@ -1,6 +1,7 @@
 # Tier-1 verification: build, full test suite, vet, and a race-detector pass
-# over the concurrent packages (the Monte-Carlo ensemble engine and the batch
-# sweep engine). Run `make verify` before every PR.
+# over every package (the sweep engine, Monte-Carlo ensembles, and the budget
+# token thread concurrency through the whole stack). Run `make verify` before
+# every PR. CI (.github/workflows/ci.yml) runs the same steps.
 
 GO ?= go
 
@@ -18,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sde/... ./internal/sweep/...
+	$(GO) test -race -timeout 10m ./...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...

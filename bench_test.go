@@ -394,6 +394,6 @@ func BenchmarkVariationalSTM(b *testing.B) {
 	jac := func(t float64, x []float64, dst []float64) { h.Jacobian(x, dst) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ode.Variational(f, jac, 0, 1, []float64{1, 0}, 2000, nil)
+		ode.Variational(f, jac, 0, 1, []float64{1, 0}, 2000, nil, nil)
 	}
 }

@@ -7,25 +7,38 @@
 // Usage:
 //
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
-//	        [-workers n] [-json file] [-v]
+//	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
 // frequency ω, vanderpol the nonlinearity μ, ring the tail bias current IEE.
 // A summary table goes to stdout; -json writes the full per-point results,
 // including retry history and per-stage diagnostics, as JSON.
+//
+// -timeout bounds the whole sweep and -point-timeout each point's retry
+// ladder by wall clock. SIGINT (Ctrl-C) cancels in-flight points; the
+// summary table and JSON are still emitted for everything that completed
+// (a second SIGINT aborts immediately). Cut-off points appear in the table
+// as TIMEOUT or CANCELED, panicking models as PANIC, and points where
+// shooting converged but the rest of the pipeline did not as FAILED* — the
+// star marks a preserved partial periodic steady state, whose period is
+// reported in the JSON output.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/osc"
 	"repro/internal/shooting"
@@ -34,16 +47,21 @@ import (
 
 // pointJSON is the JSON shape of one sweep point result.
 type pointJSON struct {
-	Name     string        `json:"name"`
-	Param    float64       `json:"param"`
-	OK       bool          `json:"ok"`
-	Error    string        `json:"error,omitempty"`
-	T        float64       `json:"period_s,omitempty"`
-	F0       float64       `json:"f0_hz,omitempty"`
-	C        float64       `json:"c_s2hz,omitempty"`
-	Corner   float64       `json:"corner_hz,omitempty"`
-	WallMS   float64       `json:"wall_ms"`
-	Attempts []attemptJSON `json:"attempts"`
+	Name   string  `json:"name"`
+	Param  float64 `json:"param"`
+	OK     bool    `json:"ok"`
+	Status string  `json:"status"` // ok | recovered | failed | timeout | canceled | panic
+	Error  string  `json:"error,omitempty"`
+	T      float64 `json:"period_s,omitempty"`
+	F0     float64 `json:"f0_hz,omitempty"`
+	C      float64 `json:"c_s2hz,omitempty"`
+	Corner float64 `json:"corner_hz,omitempty"`
+	// Partial results: set when shooting converged even though the full
+	// characterisation did not.
+	PartialT        float64       `json:"partial_period_s,omitempty"`
+	PartialResidual float64       `json:"partial_residual,omitempty"`
+	WallMS          float64       `json:"wall_ms"`
+	Attempts        []attemptJSON `json:"attempts"`
 }
 
 type attemptJSON struct {
@@ -56,6 +74,24 @@ type attemptJSON struct {
 	ClosureErr    float64 `json:"adjoint_closure_err"`
 }
 
+// status classifies a point result for the table and JSON.
+func status(r *sweep.PointResult) string {
+	switch {
+	case r.OK() && len(r.Attempts) > 1:
+		return "recovered"
+	case r.OK():
+		return "ok"
+	case errors.Is(r.Err, sweep.ErrModelPanic):
+		return "panic"
+	case errors.Is(r.Err, budget.ErrBudgetExceeded):
+		return "timeout"
+	case errors.Is(r.Err, budget.ErrCanceled):
+		return "canceled"
+	default:
+		return "failed"
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pnsweep: ")
@@ -64,6 +100,8 @@ func main() {
 	pmax := flag.Float64("max", 0, "sweep parameter upper bound (0 = oscillator default)")
 	n := flag.Int("n", 8, "number of grid points")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = unbounded)")
+	ptTimeout := flag.Duration("point-timeout", 0, "wall-clock budget per point, all retries included (0 = unbounded)")
 	jsonPath := flag.String("json", "", "write full JSON results to this file")
 	verbose := flag.Bool("v", false, "stream per-attempt progress to stderr")
 	flag.Parse()
@@ -73,7 +111,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := &sweep.Config{Workers: *workers}
+	// Batch budget: optional deadline plus SIGINT cancellation. The first
+	// interrupt cancels in-flight points but still prints the summary for
+	// completed ones; a second interrupt aborts the process.
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	if *timeout > 0 {
+		tok = budget.WithTimeout(tok, *timeout)
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "pnsweep: interrupt — cancelling in-flight points (interrupt again to abort)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+
+	cfg := &sweep.Config{
+		Workers:      *workers,
+		Budget:       tok,
+		PointTimeout: *ptTimeout,
+	}
 	if *verbose {
 		cfg.OnAttempt = func(i int, name string, a sweep.Attempt) {
 			status := "ok"
@@ -180,28 +240,46 @@ func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64
 }
 
 func printSummary(results []sweep.PointResult, param []float64, wall time.Duration, workers int) {
-	okCount := 0
+	okCount, partial := 0, 0
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "point\tparam\tstatus\tf0 (Hz)\tc (s²·Hz)\tcorner (Hz)\tattempts\twall")
 	for i, r := range results {
-		status := "ok"
+		st := status(&r)
 		f0s, cs, cor := "-", "-", "-"
 		if r.OK() {
 			okCount++
 			f0s = fmt.Sprintf("%.6e", r.Result.F0())
 			cs = fmt.Sprintf("%.4e", r.Result.C)
 			cor = fmt.Sprintf("%.3e", r.Result.CornerFreq())
-			if len(r.Attempts) > 1 {
-				status = fmt.Sprintf("recovered@%s", r.Attempts[len(r.Attempts)-1].RungName)
+			if st == "recovered" {
+				st = fmt.Sprintf("recovered@%s", r.Attempts[len(r.Attempts)-1].RungName)
 			}
 		} else {
-			status = "FAILED"
+			switch st {
+			case "timeout":
+				st = "TIMEOUT"
+			case "canceled":
+				st = "CANCELED"
+			case "panic":
+				st = "PANIC"
+			default:
+				st = "FAILED"
+			}
+			if r.Degraded() {
+				// Shooting converged: the PSS frequency is still known.
+				st += "*"
+				partial++
+				f0s = fmt.Sprintf("%.6e", 1/r.PSS.T)
+			}
 		}
 		fmt.Fprintf(tw, "%s\t%.6g\t%s\t%s\t%s\t%s\t%d\t%v\n",
-			r.Name, param[i], status, f0s, cs, cor, len(r.Attempts), r.Wall.Round(time.Millisecond))
+			r.Name, param[i], st, f0s, cs, cor, len(r.Attempts), r.Wall.Round(time.Millisecond))
 	}
 	tw.Flush()
 	fmt.Printf("%d/%d points characterised in %v on %d workers\n", okCount, len(results), wall.Round(time.Millisecond), workers)
+	if partial > 0 {
+		fmt.Printf("* %d failed point(s) kept a converged periodic steady state (see JSON for details)\n", partial)
+	}
 }
 
 func writeJSON(path string, results []sweep.PointResult, param []float64) error {
@@ -211,6 +289,7 @@ func writeJSON(path string, results []sweep.PointResult, param []float64) error 
 			Name:   r.Name,
 			Param:  param[i],
 			OK:     r.OK(),
+			Status: status(&r),
 			WallMS: float64(r.Wall) / float64(time.Millisecond),
 		}
 		if r.Err != nil {
@@ -221,6 +300,9 @@ func writeJSON(path string, results []sweep.PointResult, param []float64) error 
 			pj.F0 = r.Result.F0()
 			pj.C = r.Result.C
 			pj.Corner = r.Result.CornerFreq()
+		} else if r.PSS != nil {
+			pj.PartialT = r.PSS.T
+			pj.PartialResidual = r.PSS.Residual
 		}
 		for _, a := range r.Attempts {
 			aj := attemptJSON{

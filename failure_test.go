@@ -4,19 +4,28 @@ package phasenoise
 // descriptive errors, never panics, wrong-but-plausible numbers, or hangs.
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/ode"
 	"repro/internal/osc"
 	"repro/internal/sde"
+	"repro/internal/shooting"
 )
 
 // nanField becomes NaN once the state leaves a disc — emulating a device
-// model evaluated outside its validity range.
-type nanField struct{ osc.Hopf }
+// model evaluated outside its validity range. evals counts vector-field
+// evaluations so tests can assert the pipeline bails early.
+type nanField struct {
+	osc.Hopf
+	evals int
+}
 
 func (m *nanField) Eval(x, dst []float64) {
+	m.evals++
 	m.Hopf.Eval(x, dst)
 	if x[0]*x[0]+x[1]*x[1] > 4 {
 		dst[0] = math.NaN()
@@ -24,11 +33,68 @@ func (m *nanField) Eval(x, dst []float64) {
 }
 
 func TestNaNVectorFieldFailsCleanly(t *testing.T) {
-	m := &nanField{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
+	m := &nanField{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}}
 	// Start outside the validity disc: the integrator must bail, not hang.
 	_, err := Characterise(m, []float64{3, 0}, 1, nil)
 	if err == nil {
 		t.Fatal("expected failure for NaN vector field")
+	}
+	// The failure must carry the integrator-level type through the shooting
+	// wrapper, so callers (and the sweep retry ladder) can branch on it.
+	if !errors.Is(err, shooting.ErrIntegration) {
+		t.Fatalf("error not tagged shooting.ErrIntegration: %v", err)
+	}
+	if !errors.Is(err, ode.ErrStepSizeUnderflow) && !errors.Is(err, ode.ErrNonFinite) {
+		t.Fatalf("error lost the underlying integrator sentinel: %v", err)
+	}
+	// And it must bail within a few (rejected, shrinking) steps, not after
+	// grinding through the whole transient grid.
+	if m.evals > 5000 {
+		t.Fatalf("took %d field evaluations to refuse a NaN state", m.evals)
+	}
+}
+
+// slowField hangs inside every Eval long enough that an unbudgeted
+// characterisation would take minutes — emulating an expensive device model
+// or a deadlocked external evaluator.
+type slowField struct {
+	osc.Hopf
+	delay time.Duration
+}
+
+func (m *slowField) Eval(x, dst []float64) {
+	time.Sleep(m.delay)
+	m.Hopf.Eval(x, dst)
+}
+
+func TestHangingModelCutOffByBudget(t *testing.T) {
+	m := &slowField{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.05}, delay: time.Millisecond}
+	start := time.Now()
+	var ctr Trace
+	res, err := Characterise(m, []float64{1, 0.1}, 1, &Options{
+		Budget: NewBudgetTimeout(150 * time.Millisecond),
+		Trace:  &ctr,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("hanging model characterised in %v: %+v", elapsed, res)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	// The cut-off must be prompt: the budget is polled per integrator step,
+	// so one step's delay past the deadline is the worst case. Allow a wide
+	// margin for loaded CI machines, but nowhere near the minutes a full
+	// characterisation of this model would take.
+	if elapsed > 5*time.Second {
+		t.Fatalf("budgeted characterisation took %v, want prompt cut-off", elapsed)
+	}
+	// The trace shows the shooting stage was underway and Floquet never ran.
+	if ctr.Shooting.Wall == 0 {
+		t.Fatal("trace records no shooting progress before the cut-off")
+	}
+	if ctr.Floquet.Wall != 0 || ctr.Floquet.Steps != 0 {
+		t.Fatalf("floquet stage ran despite shooting being cut off: %+v", ctr.Floquet)
 	}
 }
 

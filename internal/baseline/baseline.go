@@ -110,7 +110,14 @@ func LTVCovariance(sys dynsys.System, pss *shooting.PSS, nPeriods, stepsPerPerio
 	record(0)
 	for k := 0; k < nPeriods; k++ {
 		t0 := float64(k) * pss.T
-		pp = ode.RK4(rhs, t0, t0+pss.T, pp, stepsPerPeriod)
+		next, err := ode.RK4(rhs, t0, t0+pss.T, pp, stepsPerPeriod, nil)
+		if err != nil {
+			// The linearised covariance overflowed: the unbounded growth this
+			// baseline demonstrates outran float64. Stop and return the
+			// samples collected so far — the growth trend is already visible.
+			break
+		}
+		pp = next
 		record(t0 + pss.T)
 	}
 	return out
@@ -172,7 +179,9 @@ func ForwardAdjointGrowth(sys dynsys.System, pss *shooting.PSS, v10 []float64, e
 	// Extended orbit over nPeriods periods.
 	rec := &ode.Trajectory{}
 	tEnd := float64(nPeriods) * pss.T
-	ode.Variational(f, jac, 0, tEnd, pss.X0, nPeriods*stepsPerPeriod, rec)
+	if _, _, err := ode.Variational(f, jac, 0, tEnd, pss.X0, nPeriods*stepsPerPeriod, rec, nil); err != nil {
+		return math.Inf(1) // orbit blew up before the demo even started
+	}
 	y0 := linalg.CloneVec(v10)
 	y0[0] += eps
 	yf := ode.AdjointForward(jac, rec, 0, tEnd, y0, nPeriods*stepsPerPeriod)

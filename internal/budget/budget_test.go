@@ -1,0 +1,115 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilTokenNeverTrips(t *testing.T) {
+	var tok *Token
+	if err := tok.Err(); err != nil {
+		t.Fatalf("nil token tripped: %v", err)
+	}
+	if tok.Done() != nil {
+		t.Fatal("nil token has a done channel")
+	}
+	if _, ok := tok.Deadline(); ok {
+		t.Fatal("nil token has a deadline")
+	}
+}
+
+func TestWithCancel(t *testing.T) {
+	tok, cancel := WithCancel(nil)
+	if err := tok.Err(); err != nil {
+		t.Fatalf("fresh token tripped: %v", err)
+	}
+	cancel()
+	if err := tok.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	select {
+	case <-tok.Done():
+	default:
+		t.Fatal("Done channel not closed after cancel")
+	}
+	cancel() // idempotent
+}
+
+func TestWithTimeout(t *testing.T) {
+	tok := WithTimeout(nil, 20*time.Millisecond)
+	if err := tok.Err(); err != nil {
+		t.Fatalf("fresh deadline token tripped: %v", err)
+	}
+	if _, ok := tok.Deadline(); !ok {
+		t.Fatal("no deadline reported")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := tok.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := WithCancel(nil)
+	child := WithTimeout(parent, time.Hour)
+	cancel()
+	if err := child.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("child got %v, want parent's ErrCanceled", err)
+	}
+	if child.Done() == nil {
+		t.Fatal("child exposes no done channel from its chain")
+	}
+}
+
+func TestEarliestDeadlineWins(t *testing.T) {
+	parent := WithTimeout(nil, 10*time.Millisecond)
+	child := WithTimeout(parent, time.Hour)
+	dl, ok := child.Deadline()
+	if !ok {
+		t.Fatal("no deadline")
+	}
+	if time.Until(dl) > time.Second {
+		t.Fatalf("child deadline %v ignores earlier parent deadline", dl)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := child.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded via parent deadline", err)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tok := FromContext(ctx)
+	if err := tok.Err(); err != nil {
+		t.Fatalf("live context tripped: %v", err)
+	}
+	cancel()
+	if err := tok.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer dcancel()
+	dtok := FromContext(dctx)
+	if _, ok := dtok.Deadline(); !ok {
+		t.Fatal("context deadline not adopted")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := dtok.Err(); !Is(err) {
+		t.Fatalf("got %v, want a budget error", err)
+	}
+}
+
+func TestIsHelper(t *testing.T) {
+	if Is(nil) {
+		t.Fatal("Is(nil)")
+	}
+	if Is(errors.New("other")) {
+		t.Fatal("Is(other)")
+	}
+	if !Is(ErrCanceled) || !Is(ErrBudgetExceeded) {
+		t.Fatal("Is misses its own sentinels")
+	}
+}

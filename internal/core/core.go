@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
 	"repro/internal/fourier"
@@ -103,6 +104,26 @@ type Options struct {
 	// configured directly on Shooting/Floquet options are preserved;
 	// otherwise the stages record into this aggregate trace.
 	Trace *Trace
+	// Budget, when non-nil, threads a cancellation/wall-clock token through
+	// every pipeline stage (polled at integrator-step granularity). On a
+	// cut-off, Characterise returns a wrapped budget.ErrCanceled or
+	// budget.ErrBudgetExceeded naming the interrupted stage, and the Trace
+	// shows how far each stage got. Stage budgets configured directly on
+	// Shooting/Floquet options are preserved.
+	Budget *budget.Token
+	// Partial, when non-nil, receives intermediate pipeline products as each
+	// stage completes, so a caller keeps everything the pipeline learned even
+	// when a later stage fails or the budget expires.
+	Partial *Partial
+}
+
+// Partial collects the pipeline products that had already converged when
+// Characterise failed partway: the periodic steady state after shooting, the
+// Floquet decomposition after the adjoint analysis. Fields are nil for stages
+// that never completed.
+type Partial struct {
+	PSS     *shooting.PSS
+	Floquet *floquet.Decomposition
 }
 
 // Characterise runs the full Section-9 pipeline: periodic steady state by
@@ -113,30 +134,41 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 	var so *shooting.Options
 	var fo *floquet.Options
 	var tr *Trace
+	var bud *budget.Token
+	var part *Partial
 	qp := 0
 	if opts != nil {
 		so, fo, qp, tr = opts.Shooting, opts.Floquet, opts.QuadPoints, opts.Trace
+		bud, part = opts.Budget, opts.Partial
 	}
-	if tr != nil {
-		*tr = Trace{}
-		start := time.Now()
-		defer func() { tr.Wall = time.Since(start) }()
-		// Point the stage traces into the aggregate on copies of the
-		// caller's option structs, so the caller's structs stay untouched.
+	if tr != nil || bud != nil {
+		if tr != nil {
+			*tr = Trace{}
+			start := time.Now()
+			defer func() { tr.Wall = time.Since(start) }()
+		}
+		// Point the stage traces and budgets into the aggregate on copies of
+		// the caller's option structs, so the caller's structs stay untouched.
 		sc := shooting.Options{}
 		if so != nil {
 			sc = *so
 		}
-		if sc.Trace == nil {
+		if tr != nil && sc.Trace == nil {
 			sc.Trace = &tr.Shooting
+		}
+		if sc.Budget == nil {
+			sc.Budget = bud
 		}
 		so = &sc
 		fc := floquet.Options{}
 		if fo != nil {
 			fc = *fo
 		}
-		if fc.Trace == nil {
+		if tr != nil && fc.Trace == nil {
 			fc.Trace = &tr.Floquet
+		}
+		if fc.Budget == nil {
+			fc.Budget = bud
 		}
 		fo = &fc
 	}
@@ -144,9 +176,18 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 	if err != nil {
 		return nil, fmt.Errorf("core: periodic steady state: %w", err)
 	}
+	if part != nil {
+		part.PSS = pss
+	}
 	dec, err := floquet.Analyze(sys, pss, fo)
 	if err != nil {
 		return nil, fmt.Errorf("core: floquet analysis: %w", err)
+	}
+	if part != nil {
+		part.Floquet = dec
+	}
+	if err := bud.Err(); err != nil {
+		return nil, fmt.Errorf("core: before c quadrature: %w", err)
 	}
 	if tr == nil {
 		return FromDecomposition(sys, pss, dec, qp)
@@ -166,7 +207,11 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 // mean-crossings, then runs the full pipeline. tMax should cover at least a
 // few dozen oscillation periods.
 func CharacteriseAuto(sys dynsys.System, x0 []float64, tMax float64, opts *Options) (*Result, error) {
-	T, xc, err := shooting.EstimatePeriod(sys, x0, tMax)
+	var bud *budget.Token
+	if opts != nil {
+		bud = opts.Budget
+	}
+	T, xc, err := shooting.EstimatePeriodBudget(sys, x0, tMax, bud)
 	if err != nil {
 		return nil, fmt.Errorf("core: period estimation: %w", err)
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/budget"
+	"repro/internal/floquet"
 	"repro/internal/osc"
 	"repro/internal/sde"
 )
@@ -382,5 +385,41 @@ func TestCharacteriseTraceRecordsStages(t *testing.T) {
 	}
 	if tr.QuadPoints <= 0 {
 		t.Fatal("trace not reset between calls")
+	}
+}
+
+func TestPartialKeepsPSSWhenFloquetFails(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	var part Partial
+	// An unreachable closure tolerance fails the Floquet stage after
+	// shooting has converged; the partial must keep the PSS and record the
+	// failed stage's absence.
+	_, err := Characterise(h, []float64{1, 0.1}, 1.05, &Options{
+		Floquet: &floquet.Options{Steps: 30, MaxPeriodDrift: 1e-13},
+		Partial: &part,
+	})
+	if err == nil {
+		t.Fatal("expected floquet failure")
+	}
+	if part.PSS == nil {
+		t.Fatal("converged PSS not preserved in Partial")
+	}
+	if math.Abs(part.PSS.T-1) > 1e-6 {
+		t.Fatalf("partial period %g, want ≈1", part.PSS.T)
+	}
+	if part.Floquet != nil {
+		t.Fatal("failed floquet stage left a decomposition in Partial")
+	}
+}
+
+func TestCharacteriseBudgetBeforeQuadrature(t *testing.T) {
+	// A pre-canceled budget must stop the pipeline at its first stage with
+	// the typed sentinel and an error naming the stage.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := Characterise(h, []float64{1, 0.1}, 1.05, &Options{Budget: tok})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
 	}
 }

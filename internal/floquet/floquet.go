@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dynsys"
 	"repro/internal/linalg"
 	"repro/internal/ode"
@@ -57,6 +58,10 @@ type Options struct {
 	RelaxResidual  bool    // accept larger inverse-iteration residuals (ill-conditioned monodromy)
 	MaxPeriodDrift float64 // max tolerated ‖v1(0)−v1(T)‖ closure error (default 1e-3, relative)
 	Trace          *Trace  // optional per-stage diagnostics, filled in by Analyze
+	// Budget, when non-nil, is polled at integrator-step granularity in the
+	// backward adjoint integration; a tripped token aborts Analyze with a
+	// wrapped budget.ErrCanceled/ErrBudgetExceeded.
+	Budget *budget.Token
 }
 
 func (o *Options) defaults(orbitKnots int) Options {
@@ -83,6 +88,7 @@ func (o *Options) defaults(orbitKnots int) Options {
 			out.MaxPeriodDrift = o.MaxPeriodDrift
 		}
 		out.Trace = o.Trace
+		out.Budget = o.Budget
 	}
 	return out
 }
@@ -142,6 +148,9 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	}
 	n := sys.Dim()
 	phi := pss.Monodromy
+	if err := o.Budget.Err(); err != nil {
+		return nil, fmt.Errorf("floquet: before monodromy eigenanalysis: %w", err)
+	}
 
 	mult, err := linalg.Eigenvalues(phi)
 	if err != nil {
@@ -198,9 +207,12 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	// Backward adjoint integration over [0, T] with y(T) = v1(0).
 	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
 	adjStart := time.Now()
-	v1traj := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps)
+	v1traj, err := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps, o.Budget)
 	if tr != nil {
 		tr.AdjointWall = time.Since(adjStart)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("floquet: adjoint integration: %w", err)
 	}
 
 	// Closure diagnostic: the backward solution at t=0 should reproduce v1(0).

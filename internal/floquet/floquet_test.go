@@ -209,7 +209,9 @@ func TestForwardAdjointUnstableBackwardStable(t *testing.T) {
 	// Build an extended orbit trajectory spanning several periods.
 	f := func(tt float64, x, dst []float64) { h.Eval(x, dst) }
 	extRec := &ode.Trajectory{}
-	ode.Variational(f, jac, 0, 5*pss.T, pss.X0, 10000, extRec)
+	if _, _, err := ode.Variational(f, jac, 0, 5*pss.T, pss.X0, 10000, extRec, nil); err != nil {
+		t.Fatal(err)
+	}
 	yf := ode.AdjointForward(jac, extRec, 0, 5*pss.T, y0, 10000)
 	growth := linalg.Norm2(linalg.SubVec(yf, dec.V10)) / 1e-8
 	if growth < 1e3 {

@@ -30,7 +30,10 @@ func TestRCDecayTimeConstant(t *testing.T) {
 	}
 	// dv/dt = −v/(RC): integrate one time constant.
 	f := func(tt float64, x, dst []float64) { sys.Eval(x, dst) }
-	x := ode.RK4(f, 0, 1e-3, []float64{1}, 1000)
+	x, err := ode.RK4(f, 0, 1e-3, []float64{1}, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(x[0]-math.Exp(-1)) > 1e-6 {
 		t.Fatalf("v(τ) = %g, want e⁻¹", x[0])
 	}
@@ -52,7 +55,10 @@ func TestLCResonance(t *testing.T) {
 	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-3*1e-9))
 	T := 1 / f0
 	// Start with 1 V on the cap; after one full period it must return.
-	x := ode.RK4(f, 0, T, []float64{1, 0}, 20000)
+	x, err := ode.RK4(f, 0, T, []float64{1, 0}, 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]) > 1e-9 {
 		t.Fatalf("after one period: %v", x)
 	}
@@ -102,7 +108,10 @@ func TestDCCurrentSourceEquilibrium(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := func(tt float64, x, dst []float64) { sys.Eval(x, dst) }
-	x := ode.RK4(f, 0, 1e-4, []float64{0}, 10000) // ≫ RC = 2 µs
+	x, err := ode.RK4(f, 0, 1e-4, []float64{0}, 10000, nil) // ≫ RC = 2 µs
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(x[0]-2) > 1e-6 {
 		t.Fatalf("equilibrium %g V, want 2", x[0])
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/budget"
 	"repro/internal/linalg"
 )
 
@@ -13,6 +14,9 @@ type TrapezoidalOptions struct {
 	MaxNewton   int     // Newton iterations per step (default 25)
 	Record      bool    // store a dense Trajectory
 	FreshJacTol float64 // re-factor Jacobian when Newton contraction is worse than this (default: always fresh)
+	// Budget, when non-nil, is polled once per step; a tripped token aborts
+	// the integration with a wrapped ErrCanceled/ErrBudgetExceeded.
+	Budget *budget.Token
 }
 
 // Trapezoidal integrates ẋ = f with the A-stable implicit trapezoidal rule
@@ -32,6 +36,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			o.MaxNewton = opts.MaxNewton
 		}
 		o.Record = opts.Record
+		o.Budget = opts.Budget
 	}
 	n := len(x0)
 	h := (t1 - t0) / float64(nsteps)
@@ -51,6 +56,9 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
 		tn := t + h
+		if err := o.Budget.Err(); err != nil {
+			return nil, fmt.Errorf("ode: trapezoidal at t=%g (step %d/%d): %w", t, s, nsteps, err)
+		}
 		f(t, x, fk)
 		// Predictor: explicit Euler.
 		for i := 0; i < n; i++ {
@@ -125,6 +133,9 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 				return nil, fmt.Errorf("%w at t=%g after %d iterations", ErrNewtonDiverged, tn, o.MaxNewton)
 			}
 		}
+		if !finite(xn) {
+			return nil, fmt.Errorf("%w in trapezoidal step at t=%g (step %d/%d)", ErrNonFinite, tn, s+1, nsteps)
+		}
 		copy(x, xn)
 		res.Steps++
 		if o.Record {
@@ -139,8 +150,10 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 // Variational integrates the joint system ẋ = f(t,x), Ẏ = A(t,x)Y with
 // Y(t0) = I using fixed-step RK4, returning the final state and the
 // state-transition matrix Φ(t1, t0). When rec is non-nil the state part of
-// the solution is appended to it as a dense trajectory.
-func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, rec *Trajectory) ([]float64, *linalg.Matrix) {
+// the solution is appended to it as a dense trajectory. The integration is
+// cut off with a wrapped budget error when tok trips (nil tok never trips)
+// and with ErrNonFinite as soon as the joint state turns NaN/Inf.
+func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, rec *Trajectory, tok *budget.Token) ([]float64, *linalg.Matrix, error) {
 	n := len(x0)
 	aug := make([]float64, n+n*n)
 	copy(aug, x0)
@@ -165,29 +178,36 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			}
 		}
 	}
+	var dz []float64
 	if rec != nil {
-		dz := make([]float64, n+n*n)
+		dz = make([]float64, n+n*n)
 		rhs(t0, aug, dz)
 		rec.Append(t0, aug[:n], dz[:n])
-		h := (t1 - t0) / float64(nsteps)
-		k1 := make([]float64, len(aug))
-		k2 := make([]float64, len(aug))
-		k3 := make([]float64, len(aug))
-		k4 := make([]float64, len(aug))
-		tmp := make([]float64, len(aug))
-		for s := 0; s < nsteps; s++ {
-			t := t0 + float64(s)*h
-			rk4Step(rhs, t, aug, h, aug, k1, k2, k3, k4, tmp)
+	}
+	h := (t1 - t0) / float64(nsteps)
+	k1 := make([]float64, len(aug))
+	k2 := make([]float64, len(aug))
+	k3 := make([]float64, len(aug))
+	k4 := make([]float64, len(aug))
+	tmp := make([]float64, len(aug))
+	for s := 0; s < nsteps; s++ {
+		t := t0 + float64(s)*h
+		if err := tok.Err(); err != nil {
+			return nil, nil, fmt.Errorf("ode: variational integration at t=%g (step %d/%d): %w", t, s, nsteps, err)
+		}
+		rk4Step(rhs, t, aug, h, aug, k1, k2, k3, k4, tmp)
+		if !finite(aug) {
+			return nil, nil, fmt.Errorf("%w in variational integration at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
+		}
+		if rec != nil {
 			rhs(t+h, aug, dz)
 			rec.Append(t+h, aug[:n], dz[:n])
 		}
-	} else {
-		aug = RK4(rhs, t0, t1, aug, nsteps)
 	}
 	phi := linalg.NewMatrixFrom(n, n, aug[n:])
 	xf := make([]float64, n)
 	copy(xf, aug[:n])
-	return xf, phi
+	return xf, phi, nil
 }
 
 // AdjointBackward integrates the adjoint system ẏ = −Aᵀ(t)y backwards in
@@ -196,7 +216,9 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 // solution as a Trajectory sampled on the same uniform grid (nsteps steps).
 // Integrating the adjoint backwards is numerically stable because the
 // unstable forward modes become decaying ones (paper, Section 9, step 5).
-func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int) *Trajectory {
+// The integration is cut off with a wrapped budget error when tok trips (nil
+// tok never trips) and with ErrNonFinite if the adjoint state turns NaN/Inf.
+func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int, tok *budget.Token) (*Trajectory, error) {
 	n := len(yT)
 	jm := make([]float64, n*n)
 	xbuf := make([]float64, n)
@@ -234,21 +256,28 @@ func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, 
 	store(nsteps, t1)
 	for s := 0; s < nsteps; s++ {
 		t := t1 - float64(s)*h
+		if err := tok.Err(); err != nil {
+			return nil, fmt.Errorf("ode: backward adjoint at t=%g (step %d/%d): %w", t, s, nsteps, err)
+		}
 		rk4Step(rhs, t, y, -h, y, k1, k2, k3, k4, tmp)
+		if !finite(y) {
+			return nil, fmt.Errorf("%w in backward adjoint at t=%g (step %d/%d)", ErrNonFinite, t-h, s+1, nsteps)
+		}
 		store(nsteps-1-s, t-h)
 	}
 	out := &Trajectory{}
 	for i := 0; i <= nsteps; i++ {
 		out.Append(ts[i], ys[i], dys[i])
 	}
-	return out
+	return out, nil
 }
 
 // AdjointForward integrates ẏ = −Aᵀ(t)y forwards from t0 to t1 along the
 // stored trajectory xs. This direction is numerically UNSTABLE for stable
 // limit cycles (the contracting Floquet modes of the original system become
 // expanding modes of the adjoint); it is provided for the Section-9
-// instability demonstration and for testing.
+// instability demonstration and for testing. Because blow-up is the expected
+// outcome being demonstrated, this loop deliberately has no non-finite guard.
 func AdjointForward(jac JacFunc, xs *Trajectory, t0, t1 float64, y0 []float64, nsteps int) []float64 {
 	n := len(y0)
 	jm := make([]float64, n*n)
@@ -264,7 +293,18 @@ func AdjointForward(jac JacFunc, xs *Trajectory, t0, t1 float64, y0 []float64, n
 			dst[i] = -s
 		}
 	}
-	return RK4(rhs, t0, t1, y0, nsteps)
+	y := make([]float64, n)
+	copy(y, y0)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	h := (t1 - t0) / float64(nsteps)
+	for s := 0; s < nsteps; s++ {
+		rk4Step(rhs, t0+float64(s)*h, y, h, y, k1, k2, k3, k4, tmp)
+	}
+	return y
 }
 
 // FiniteDiffJacobian returns a JacFunc that approximates ∂f/∂x by central

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/budget"
 )
 
 // Func is the right-hand side of an autonomous-friendly ODE ẋ = f(t, x).
@@ -25,6 +27,23 @@ var ErrStepSizeUnderflow = errors.New("ode: step size underflow")
 
 // ErrNewtonDiverged is returned when the implicit corrector fails.
 var ErrNewtonDiverged = errors.New("ode: Newton iteration diverged")
+
+// ErrNonFinite is returned when an integrator state turns NaN or ±Inf. The
+// fixed-step integrators check after every step, so a model that leaves its
+// validity range is caught within one step instead of marching garbage to the
+// end of the interval.
+var ErrNonFinite = errors.New("ode: non-finite state")
+
+// finite reports whether every entry of x is a finite float64.
+// (x-x != 0 catches both NaN and ±Inf with a single arithmetic op.)
+func finite(x []float64) bool {
+	for _, v := range x {
+		if v-v != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // RK4Step advances x by one classical Runge–Kutta 4 step of size h,
 // writing the result into xout (may alias x). Scratch slices are allocated
@@ -60,8 +79,10 @@ func rk4Step(f Func, t float64, x []float64, h float64, xout, k1, k2, k3, k4, tm
 }
 
 // RK4 integrates ẋ = f from t0 to t1 with nsteps fixed steps, returning the
-// final state. x0 is not modified.
-func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int) []float64 {
+// final state. x0 is not modified. The integration is cut off with a wrapped
+// budget error when tok trips (nil tok never trips) and with ErrNonFinite as
+// soon as the state turns NaN/Inf.
+func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int, tok *budget.Token) ([]float64, error) {
 	if nsteps <= 0 {
 		panic("ode: RK4 requires nsteps > 0")
 	}
@@ -76,9 +97,15 @@ func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int) []float64 {
 	h := (t1 - t0) / float64(nsteps)
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
+		if err := tok.Err(); err != nil {
+			return nil, fmt.Errorf("ode: RK4 at t=%g (step %d/%d): %w", t, s, nsteps, err)
+		}
 		rk4Step(f, t, x, h, x, k1, k2, k3, k4, tmp)
+		if !finite(x) {
+			return nil, fmt.Errorf("%w in RK4 at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
+		}
 	}
-	return x
+	return x, nil
 }
 
 // SamplePoint is one stored knot of a trajectory: state and derivative at t,
@@ -199,6 +226,9 @@ type Options struct {
 	MaxStep  float64 // maximum step (default: interval length)
 	MaxSteps int     // step budget (default 10_000_000)
 	Record   bool    // store the solution as a dense Trajectory
+	// Budget, when non-nil, is polled once per trial step; a tripped token
+	// aborts the integration with a wrapped ErrCanceled/ErrBudgetExceeded.
+	Budget *budget.Token
 }
 
 func (o *Options) defaults(t0, t1 float64) Options {
@@ -216,6 +246,7 @@ func (o *Options) defaults(t0, t1 float64) Options {
 			out.MaxSteps = o.MaxSteps
 		}
 		out.Record = o.Record
+		out.Budget = o.Budget
 	}
 	if out.MaxStep <= 0 {
 		out.MaxStep = math.Abs(t1 - t0)
@@ -288,11 +319,20 @@ func DOPRI5(f Func, t0, t1 float64, x0 []float64, opts *Options) (*Result, error
 	prevErr := 1.0
 	firstStage := true
 	for t < t1 {
+		if err := o.Budget.Err(); err != nil {
+			return nil, fmt.Errorf("ode: DOPRI5 at t=%g after %d steps: %w", t, res.Steps, err)
+		}
 		if res.Steps+res.Rejected > o.MaxSteps {
 			return nil, fmt.Errorf("ode: exceeded %d steps at t=%g", o.MaxSteps, t)
 		}
 		if h < 1e-14*(math.Abs(t)+1) {
 			return nil, fmt.Errorf("%w at t=%g (h=%g)", ErrStepSizeUnderflow, t, h)
+		}
+		// A NaN step size (vector field non-finite at the very first state,
+		// poisoning the initial-step estimate) fails every comparison above
+		// and would otherwise grind through MaxSteps rejected steps.
+		if h-h != 0 {
+			return nil, fmt.Errorf("%w: DOPRI5 step size %g at t=%g (vector field non-finite?)", ErrNonFinite, h, t)
 		}
 		if t+h > t1 {
 			h = t1 - t

@@ -5,10 +5,39 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/budget"
+	"repro/internal/linalg"
 )
 
 // Exponential decay: ẋ = −x, x(0)=1 → x(t) = e^{-t}.
 func decay(t float64, x, dst []float64) { dst[0] = -x[0] }
+
+// rk4 / vari / adjBack run the budget-aware integrators with a nil token,
+// panicking on error — for well-posed test problems where failure is a bug.
+func rk4(f Func, t0, t1 float64, x0 []float64, nsteps int) []float64 {
+	x, err := RK4(f, t0, t1, x0, nsteps, nil)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+func vari(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, rec *Trajectory) ([]float64, *linalg.Matrix) {
+	xf, phi, err := Variational(f, jac, t0, t1, x0, nsteps, rec, nil)
+	if err != nil {
+		panic(err)
+	}
+	return xf, phi
+}
+
+func adjBack(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int) *Trajectory {
+	tr, err := AdjointBackward(jac, xs, t0, t1, yT, nsteps, nil)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
 
 // Harmonic oscillator: ẋ = y, ẏ = −ω²x.
 func harmonic(omega float64) Func {
@@ -26,7 +55,7 @@ func harmonicJac(omega float64) JacFunc {
 }
 
 func TestRK4Decay(t *testing.T) {
-	x := RK4(decay, 0, 1, []float64{1}, 100)
+	x := rk4(decay, 0, 1, []float64{1}, 100)
 	want := math.Exp(-1)
 	if math.Abs(x[0]-want) > 1e-9 {
 		t.Fatalf("x(1) = %g, want %g", x[0], want)
@@ -36,7 +65,7 @@ func TestRK4Decay(t *testing.T) {
 func TestRK4FourthOrderConvergence(t *testing.T) {
 	// Halving h should reduce the error by ~2⁴.
 	errAt := func(nsteps int) float64 {
-		x := RK4(decay, 0, 1, []float64{1}, nsteps)
+		x := rk4(decay, 0, 1, []float64{1}, nsteps)
 		return math.Abs(x[0] - math.Exp(-1))
 	}
 	e1 := errAt(10)
@@ -51,7 +80,7 @@ func TestRK4StepMatchesRK4(t *testing.T) {
 	x := []float64{1}
 	out := make([]float64, 1)
 	RK4Step(decay, 0, x, 0.1, out)
-	want := RK4(decay, 0, 0.1, []float64{1}, 1)
+	want := rk4(decay, 0, 0.1, []float64{1}, 1)
 	if out[0] != want[0] {
 		t.Fatalf("RK4Step %g != RK4 %g", out[0], want[0])
 	}
@@ -59,7 +88,7 @@ func TestRK4StepMatchesRK4(t *testing.T) {
 
 func TestRK4HarmonicEnergyConservation(t *testing.T) {
 	f := harmonic(2)
-	x := RK4(f, 0, 2*math.Pi, []float64{1, 0}, 20000)
+	x := rk4(f, 0, 2*math.Pi, []float64{1, 0}, 20000)
 	// After one period of cos(2t): x(π) ... period is π for ω=2. 2π = 2 periods.
 	if math.Abs(x[0]-1) > 1e-8 || math.Abs(x[1]) > 1e-7 {
 		t.Fatalf("after integral periods: %v, want [1 0]", x)
@@ -240,7 +269,7 @@ func TestVariationalLinearSystem(t *testing.T) {
 	// [[cos ωt, sin(ωt)/ω], [−ω sin ωt, cos ωt]].
 	omega := 2.0
 	tEnd := 0.7
-	_, phi := Variational(harmonic(omega), harmonicJac(omega), 0, tEnd, []float64{1, 0}, 2000, nil)
+	_, phi := vari(harmonic(omega), harmonicJac(omega), 0, tEnd, []float64{1, 0}, 2000, nil)
 	c, s := math.Cos(omega*tEnd), math.Sin(omega*tEnd)
 	want := [][]float64{{c, s / omega}, {-omega * s, c}}
 	for i := 0; i < 2; i++ {
@@ -255,7 +284,7 @@ func TestVariationalLinearSystem(t *testing.T) {
 func TestVariationalDeterminantLiouville(t *testing.T) {
 	// Liouville: det Φ(t,0) = exp(∫ tr A). For harmonic oscillator tr A = 0
 	// so det Φ = 1 for all t.
-	_, phi := Variational(harmonic(1.3), harmonicJac(1.3), 0, 5, []float64{0.3, -1}, 5000, nil)
+	_, phi := vari(harmonic(1.3), harmonicJac(1.3), 0, 5, []float64{0.3, -1}, 5000, nil)
 	det := phi.At(0, 0)*phi.At(1, 1) - phi.At(0, 1)*phi.At(1, 0)
 	if math.Abs(det-1) > 1e-8 {
 		t.Fatalf("det Φ = %g, want 1", det)
@@ -264,7 +293,7 @@ func TestVariationalDeterminantLiouville(t *testing.T) {
 
 func TestVariationalRecordsTrajectory(t *testing.T) {
 	rec := &Trajectory{}
-	xf, _ := Variational(harmonic(1), harmonicJac(1), 0, 1, []float64{1, 0}, 100, rec)
+	xf, _ := vari(harmonic(1), harmonicJac(1), 0, 1, []float64{1, 0}, 100, rec)
 	if len(rec.Points) != 101 {
 		t.Fatalf("expected 101 knots, got %d", len(rec.Points))
 	}
@@ -282,9 +311,9 @@ func TestAdjointBackwardInverseTransposeProperty(t *testing.T) {
 	f := harmonic(omega)
 	jac := harmonicJac(omega)
 	rec := &Trajectory{}
-	Variational(f, jac, 0, 3, []float64{1, 0.5}, 3000, rec)
+	vari(f, jac, 0, 3, []float64{1, 0.5}, 3000, rec)
 	yT := []float64{0.3, -0.8}
-	adj := AdjointBackward(jac, rec, 0, 3, yT, 3000)
+	adj := adjBack(jac, rec, 0, 3, yT, 3000)
 	// Inner product of adjoint and a variational solution must be constant.
 	// Take the variational solution w(t) starting from w(0)=e1:
 	wrec := &Trajectory{}
@@ -353,7 +382,7 @@ func TestQuickDOPRI5vsRK4(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		want := RK4(harmonic(omega), 0, 2, []float64{1, 0}, 4000)
+		want := rk4(harmonic(omega), 0, 2, []float64{1, 0}, 4000)
 		return math.Abs(res.X[0]-want[0]) < 1e-6 && math.Abs(res.X[1]-want[1]) < 1e-6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -376,5 +405,91 @@ func TestQuickTrapezoidalVsDOPRI5(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRK4NonFiniteBailsEarly(t *testing.T) {
+	// A vector field that turns NaN at t ≥ 0.5 must surface ErrNonFinite
+	// within a handful of evaluations, not after the whole grid.
+	evals := 0
+	f := func(tt float64, x, dst []float64) {
+		evals++
+		if tt >= 0.5 {
+			dst[0] = math.NaN()
+			return
+		}
+		dst[0] = -x[0]
+	}
+	_, err := RK4(f, 0, 1, []float64{1}, 1000, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("got %v, want ErrNonFinite", err)
+	}
+	// The poison hits at step ~500 of 1000 (4 evals per step); the guard
+	// must fire on that very step, within a few evaluations of the onset.
+	if evals > 4*505 {
+		t.Fatalf("took %d evaluations to notice non-finite state", evals)
+	}
+}
+
+func TestRK4InfiniteStateSurfaced(t *testing.T) {
+	f := func(tt float64, x, dst []float64) { dst[0] = math.Inf(1) }
+	_, err := RK4(f, 0, 1, []float64{1}, 100, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("got %v, want ErrNonFinite for +Inf", err)
+	}
+}
+
+func TestVariationalNonFiniteSurfaced(t *testing.T) {
+	f := func(tt float64, x, dst []float64) { dst[0], dst[1] = math.NaN(), 0 }
+	jac := func(tt float64, x []float64, dst []float64) {
+		dst[0], dst[1], dst[2], dst[3] = 0, 0, 0, 0
+	}
+	_, _, err := Variational(f, jac, 0, 1, []float64{1, 0}, 100, nil, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("got %v, want ErrNonFinite", err)
+	}
+}
+
+func TestRK4CanceledBudget(t *testing.T) {
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	evals := 0
+	f := func(tt float64, x, dst []float64) { evals++; dst[0] = -x[0] }
+	_, err := RK4(f, 0, 1, []float64{1}, 1000, tok)
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if evals != 0 {
+		t.Fatalf("pre-canceled token still ran %d evaluations", evals)
+	}
+}
+
+func TestDOPRI5CanceledBudget(t *testing.T) {
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := DOPRI5(decay, 0, 5, []float64{1}, &Options{Budget: tok})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestTrapezoidalCanceledBudget(t *testing.T) {
+	jac := func(tt float64, x []float64, dst []float64) { dst[0] = -1 }
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := Trapezoidal(decay, jac, 0, 1, []float64{1}, 100, &TrapezoidalOptions{Budget: tok})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestAdjointBackwardCanceledBudget(t *testing.T) {
+	rec := &Trajectory{}
+	vari(harmonic(1), harmonicJac(1), 0, 1, []float64{1, 0}, 100, rec)
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := AdjointBackward(harmonicJac(1), rec, 0, 1, []float64{1, 0}, 100, tok)
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
 	}
 }

@@ -9,10 +9,13 @@
 package sde
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"repro/internal/budget"
 )
 
 // DriftFunc evaluates the drift f(t, x) into dst.
@@ -58,6 +61,15 @@ func (p *Path) Component(i int) []float64 {
 // recording every `stride`-th point (stride >= 1; the initial point is always
 // recorded). rng supplies the Gaussian increments.
 func EulerMaruyama(sys System, x0 []float64, t0, dt float64, nsteps, stride int, rng *rand.Rand) *Path {
+	p, _ := EulerMaruyamaBudget(sys, x0, t0, dt, nsteps, stride, rng, nil) // nil token never trips
+	return p
+}
+
+// EulerMaruyamaBudget is EulerMaruyama under a cancellation/budget token,
+// polled once per step: a tripped token aborts the path with a wrapped
+// budget.ErrCanceled/ErrBudgetExceeded. A nil token never trips, so the
+// error is then always nil.
+func EulerMaruyamaBudget(sys System, x0 []float64, t0, dt float64, nsteps, stride int, rng *rand.Rand, tok *budget.Token) (*Path, error) {
 	if stride < 1 {
 		panic("sde: stride must be >= 1")
 	}
@@ -80,6 +92,9 @@ func EulerMaruyama(sys System, x0 []float64, t0, dt float64, nsteps, stride int,
 	record()
 	for k := 0; k < nsteps; k++ {
 		t := t0 + float64(k)*dt
+		if err := tok.Err(); err != nil {
+			return nil, fmt.Errorf("sde: Euler–Maruyama at t=%g (step %d/%d): %w", t, k, nsteps, err)
+		}
 		sys.Drift(t, x, drift)
 		sys.Diff(t, x, diff)
 		for j := 0; j < p; j++ {
@@ -97,7 +112,7 @@ func EulerMaruyama(sys System, x0 []float64, t0, dt float64, nsteps, stride int,
 			record()
 		}
 	}
-	return path
+	return path, nil
 }
 
 // EnsembleConfig describes a Monte-Carlo run.
@@ -107,6 +122,11 @@ type EnsembleConfig struct {
 	Stride int   // record every Stride-th step (default 1)
 	Seed   int64 // master seed; path k uses Seed+k (deterministic fan-out)
 	T0, Dt float64
+	// Budget, when non-nil, is polled per integration step by every worker;
+	// once it trips, unfinished paths are left nil in the result slice.
+	// Completed paths are kept, so a cut-off ensemble still reports
+	// everything it learned.
+	Budget *budget.Token
 }
 
 // Ensemble runs cfg.Paths independent Euler–Maruyama integrations of sys in
@@ -146,8 +166,13 @@ func EnsembleFrom(mk func() System, x0 []float64, cfg EnsembleConfig) []*Path {
 			defer wg.Done()
 			sys := mk()
 			for k := range next {
+				if cfg.Budget.Err() != nil {
+					continue // drain; canceled paths stay nil
+				}
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
-				out[k] = EulerMaruyama(sys, x0, cfg.T0, cfg.Dt, cfg.Steps, stride, rng)
+				if p, err := EulerMaruyamaBudget(sys, x0, cfg.T0, cfg.Dt, cfg.Steps, stride, rng, cfg.Budget); err == nil {
+					out[k] = p
+				}
 			}
 		}()
 	}

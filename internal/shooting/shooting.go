@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dynsys"
 	"repro/internal/linalg"
 	"repro/internal/ode"
@@ -18,6 +19,25 @@ import (
 
 // ErrNoConvergence is returned when Newton shooting fails to close the orbit.
 var ErrNoConvergence = errors.New("shooting: Newton iteration did not converge")
+
+// ErrIntegration tags refinable integrator-level failures surfaced through
+// Find: adaptive step-size underflow, implicit-Newton divergence, and
+// non-finite states from an under-resolved fixed-step integration. These are
+// the failures a retry ladder can cure with more steps, tighter tolerances or
+// a longer transient; the underlying ode error stays in the chain, so both
+// errors.Is(err, ErrIntegration) and errors.Is(err, ode.ErrStepSizeUnderflow)
+// hold. Budget cut-offs are never tagged with it.
+var ErrIntegration = errors.New("shooting: trajectory integration failed")
+
+// wrapIntegration wraps an integrator error for one named stage of Find,
+// tagging refinable causes with ErrIntegration while leaving budget cut-offs
+// and structural failures untagged.
+func wrapIntegration(stage string, err error) error {
+	if errors.Is(err, ode.ErrStepSizeUnderflow) || errors.Is(err, ode.ErrNewtonDiverged) || errors.Is(err, ode.ErrNonFinite) {
+		return fmt.Errorf("shooting: %s: %w: %w", stage, ErrIntegration, err)
+	}
+	return fmt.Errorf("shooting: %s: %w", stage, err)
+}
 
 // Trace records per-stage diagnostics of one Find call. Attach a zero Trace
 // to Options.Trace before calling Find; every field is overwritten, on
@@ -40,6 +60,11 @@ type Options struct {
 	Transient      float64 // pre-integration time in units of the period guess (default 20)
 	NoDamping      bool    // disable halving Newton steps that increase the residual (damping is on by default)
 	Trace          *Trace  // optional per-stage diagnostics, filled in by Find
+	// Budget, when non-nil, is polled at integrator-step granularity through
+	// every stage of Find; a tripped token aborts with a wrapped
+	// budget.ErrCanceled/ErrBudgetExceeded and the Trace shows how far the
+	// solve got.
+	Budget *budget.Token
 }
 
 func (o *Options) defaults() Options {
@@ -59,6 +84,7 @@ func (o *Options) defaults() Options {
 		}
 		out.NoDamping = o.NoDamping
 		out.Trace = o.Trace
+		out.Budget = o.Budget
 	}
 	return out
 }
@@ -128,12 +154,12 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	if o.Transient > 0 {
 		ttr := o.Transient * tGuess
 		tStart := time.Now()
-		res, err := ode.DOPRI5(f, 0, ttr, x, &ode.Options{RTol: 1e-9, ATol: 1e-12})
+		res, err := ode.DOPRI5(f, 0, ttr, x, &ode.Options{RTol: 1e-9, ATol: 1e-12, Budget: o.Budget})
 		if tr != nil {
 			tr.TransientWall = time.Since(tStart)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("shooting: transient integration failed: %w", err)
+			return nil, wrapIntegration("transient integration", err)
 		}
 		x = res.X
 	}
@@ -144,7 +170,12 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	// for relaxation-like cycles with very stiff monodromy.
 	T := tGuess
 	{
-		res, err := ode.DOPRI5(f, 0, 2.5*tGuess, x, &ode.Options{RTol: 1e-10, ATol: 1e-13, Record: true})
+		res, err := ode.DOPRI5(f, 0, 2.5*tGuess, x, &ode.Options{RTol: 1e-10, ATol: 1e-13, Record: true, Budget: o.Budget})
+		if err != nil && budget.Is(err) {
+			// A numerically failed scan just falls back to tGuess, but a
+			// budget cut-off must not be swallowed.
+			return nil, fmt.Errorf("shooting: period-refinement scan: %w", err)
+		}
 		if err == nil {
 			// Sample the dense trajectory on a fine grid and measure the
 			// distance back to the starting point.
@@ -232,7 +263,13 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	bs := linalg.NewMatrix(n+1, n+1)
 	rhs := make([]float64, n+1)
 	for iter := 1; iter <= o.MaxIter; iter++ {
-		xT, phi := ode.Variational(f, jac, 0, T, x, o.StepsPerPeriod, nil)
+		if err := o.Budget.Err(); err != nil {
+			return nil, fmt.Errorf("shooting: Newton iteration %d: %w", iter, err)
+		}
+		xT, phi, verr := ode.Variational(f, jac, 0, T, x, o.StepsPerPeriod, nil, o.Budget)
+		if verr != nil {
+			return nil, wrapIntegration(fmt.Sprintf("monodromy integration (iteration %d)", iter), verr)
+		}
 		sys.Eval(x, fx0)
 		fxT := make([]float64, n)
 		sys.Eval(xT, fxT)
@@ -311,7 +348,19 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 				applied = true
 				break
 			}
-			xTc := ode.RK4(f, 0, Tc, xc, o.StepsPerPeriod)
+			xTc, rerr := ode.RK4(f, 0, Tc, xc, o.StepsPerPeriod, o.Budget)
+			if rerr != nil {
+				if budget.Is(rerr) {
+					return nil, fmt.Errorf("shooting: damping trial (iteration %d): %w", iter, rerr)
+				}
+				// A non-finite trial orbit is just a rejected candidate:
+				// halve the step and keep looking.
+				lambda *= 0.5
+				if tr != nil {
+					tr.Dampings++
+				}
+				continue
+			}
 			resc := 0.0
 			for i := 0; i < n; i++ {
 				if d := math.Abs(xTc[i] - xc[i]); d > resc {
@@ -340,7 +389,10 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 func finish(sys dynsys.System, x0 []float64, T float64, o Options, iters int, res float64) (*PSS, error) {
 	f, jac := sysFunc(sys)
 	rec := &ode.Trajectory{}
-	_, phi := ode.Variational(f, jac, 0, T, x0, o.StepsPerPeriod, rec)
+	_, phi, err := ode.Variational(f, jac, 0, T, x0, o.StepsPerPeriod, rec, o.Budget)
+	if err != nil {
+		return nil, wrapIntegration("orbit recording", err)
+	}
 	return &PSS{
 		X0:        append([]float64(nil), x0...),
 		T:         T,
@@ -357,10 +409,17 @@ func finish(sys dynsys.System, x0 []float64, T float64, o Options, iters int, re
 // (approximate) cycle at a crossing instant. Fails if fewer than three
 // crossings are seen.
 func EstimatePeriod(sys dynsys.System, x0 []float64, tMax float64) (float64, []float64, error) {
+	return EstimatePeriodBudget(sys, x0, tMax, nil)
+}
+
+// EstimatePeriodBudget is EstimatePeriod under a cancellation/budget token:
+// the transient integration is polled per step and cut off with a wrapped
+// budget error when tok trips.
+func EstimatePeriodBudget(sys dynsys.System, x0 []float64, tMax float64, tok *budget.Token) (float64, []float64, error) {
 	f, _ := sysFunc(sys)
-	res, err := ode.DOPRI5(f, 0, tMax, x0, &ode.Options{RTol: 1e-8, ATol: 1e-11, Record: true})
+	res, err := ode.DOPRI5(f, 0, tMax, x0, &ode.Options{RTol: 1e-8, ATol: 1e-11, Record: true, Budget: tok})
 	if err != nil {
-		return 0, nil, fmt.Errorf("shooting: period-estimation integration failed: %w", err)
+		return 0, nil, wrapIntegration("period-estimation integration", err)
 	}
 	pts := res.Traj.Points
 	if len(pts) < 10 {

@@ -1,9 +1,12 @@
 package shooting
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
+	"repro/internal/budget"
 	"repro/internal/osc"
 )
 
@@ -249,5 +252,47 @@ func TestTraceRecordsConvergenceHistory(t *testing.T) {
 	}
 	if len(tr.Residuals) > tr.Iters {
 		t.Fatalf("stale residual history: %d entries for %d iterations", len(tr.Residuals), tr.Iters)
+	}
+}
+
+func TestFindCanceledBudget(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := Find(h, []float64{0.8, 0.1}, 0.9, &Options{Budget: tok})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestFindBudgetTimeoutPrompt(t *testing.T) {
+	// An expired deadline must cut Find off at integrator-step granularity:
+	// the call returns almost immediately with the typed error and the
+	// trace shows it never reached the Newton iteration.
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	var tr Trace
+	start := time.Now()
+	_, err := Find(h, []float64{0.8, 0.1}, 0.9, &Options{
+		Budget: budget.WithTimeout(nil, 0),
+		Trace:  &tr,
+	})
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cut-off took %v", elapsed)
+	}
+	if tr.Iters != 0 {
+		t.Fatalf("Newton ran %d iterations past an expired budget", tr.Iters)
+	}
+}
+
+func TestEstimatePeriodBudget(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi}
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, _, err := EstimatePeriodBudget(h, []float64{1, 0}, 20, tok)
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
 	}
 }

@@ -4,23 +4,43 @@
 //
 // The engine mirrors the sde.Ensemble pattern: a fixed number of workers
 // drain an index channel and write into a result slice, so the output order
-// is deterministic whatever the scheduling. Robustness comes from a retry
-// ladder: when a point fails with a refinable error (Newton shooting did not
-// converge, no unit Floquet multiplier, adjoint closure too large), the
-// engine escalates through rungs of tighter tolerance, more integration
-// steps, and longer transient before recording a structured per-point
-// failure. One hard point never aborts the batch.
+// is deterministic whatever the scheduling. Robustness comes in four layers:
+//
+//   - a retry ladder: when a point fails with a refinable error (Newton
+//     shooting did not converge, integrator step-size underflow or
+//     divergence, no unit Floquet multiplier, adjoint closure too large),
+//     the engine escalates through rungs of tighter tolerance, more
+//     integration steps, and longer transient before recording a structured
+//     per-point failure;
+//   - deadlines: Config.AttemptTimeout and Config.PointTimeout bound each
+//     attempt and each point's whole ladder by wall clock, and Config.Budget
+//     cancels or deadline-bounds the whole batch. Cut-off points fail with
+//     typed budget.ErrBudgetExceeded / budget.ErrCanceled while every other
+//     point completes;
+//   - panic isolation: each attempt runs in its own goroutine with panic
+//     recovery, so a panicking model Eval/Jacobian becomes a structured
+//     ErrModelPanic failure (carrying the recovered value and stack) for
+//     that point instead of killing the process or deadlocking the feeder;
+//   - partial results: when shooting converged but Floquet failed or the
+//     budget expired, the PointResult keeps the best converged PSS, so a
+//     batch reports everything it learned.
+//
+// One hard, hostile, or hanging point never aborts the batch.
 package sweep
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
+	"repro/internal/ode"
 	"repro/internal/shooting"
 )
 
@@ -52,6 +72,11 @@ const (
 	defaultTransient      = 20
 )
 
+// defaultAbandonGrace is how long the engine waits, after cancelling an
+// attempt's token, for a model that ignores cancellation before abandoning
+// the attempt goroutine (see Config.AbandonGrace).
+const defaultAbandonGrace = time.Second
+
 // DefaultLadder escalates twice after the base attempt: a 10× tighter /
 // 2× finer pass, then a 100× tighter / 4× finer pass with a much longer
 // transient for points that start far off the attractor.
@@ -62,6 +87,27 @@ func DefaultLadder() []Rung {
 		{Name: "max", TolDiv: 100, StepsFactor: 4, AdjointFactor: 4, TransientExtra: 60},
 	}
 }
+
+// ErrModelPanic tags a per-point failure caused by a panicking model
+// Eval/Jacobian/Noise. Branch with errors.Is(err, ErrModelPanic); recover
+// details with errors.As into a *PanicError.
+var ErrModelPanic = errors.New("sweep: model panicked")
+
+// PanicError is the structured failure recorded when a model panics during
+// an attempt. It satisfies errors.Is(err, ErrModelPanic).
+type PanicError struct {
+	Point string // Point.Name
+	Rung  string // ladder rung during which the panic fired
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: model panicked on point %q (rung %q): %v", e.Point, e.Rung, e.Value)
+}
+
+// Is reports target == ErrModelPanic so the sentinel matches through wraps.
+func (e *PanicError) Is(target error) bool { return target == ErrModelPanic }
 
 // Attempt records one ladder rung tried on one point.
 type Attempt struct {
@@ -75,16 +121,26 @@ type Attempt struct {
 // PointResult is the outcome of one point: either a characterisation or a
 // structured failure, plus the full retry history.
 type PointResult struct {
-	Index    int    // position in the input slice
-	Name     string // Point.Name
-	Result   *core.Result
-	Err      error // nil iff Result != nil; the last attempt's error otherwise
+	Index  int    // position in the input slice
+	Name   string // Point.Name
+	Result *core.Result
+	Err    error // nil iff Result != nil; the last attempt's error otherwise
+	// PSS is the best converged periodic steady state seen across all
+	// attempts (smallest closure residual). On success it equals
+	// Result.PSS; on a degraded failure — shooting converged but Floquet
+	// failed, or the budget expired mid-pipeline — it preserves what the
+	// point did learn.
+	PSS      *shooting.PSS
 	Attempts []Attempt
 	Wall     time.Duration // total wall-clock time across all attempts
 }
 
 // OK reports whether the point characterised successfully.
 func (r *PointResult) OK() bool { return r.Err == nil && r.Result != nil }
+
+// Degraded reports whether the point failed overall but still carries a
+// converged periodic steady state (partial result).
+func (r *PointResult) Degraded() bool { return r.Err != nil && r.PSS != nil }
 
 // Config tunes a batch run.
 type Config struct {
@@ -94,21 +150,50 @@ type Config struct {
 	// Ladder is the escalation sequence (default DefaultLadder()). The
 	// first rung is the base attempt; an empty slice gets one plain rung.
 	Ladder []Rung
+	// Budget, when non-nil, bounds the whole batch: on cancellation or
+	// deadline expiry, in-flight attempts are cut off (typed error per
+	// point), pending points are marked without running, and Run returns
+	// with every completed result intact.
+	Budget *budget.Token
+	// PointTimeout bounds one point's whole retry ladder by wall clock
+	// (0 = unbounded). On expiry the point fails with a wrapped
+	// budget.ErrBudgetExceeded.
+	PointTimeout time.Duration
+	// AttemptTimeout bounds each individual attempt by wall clock
+	// (0 = unbounded). Budget cut-offs are not retryable, so an attempt
+	// timeout also ends the point's ladder.
+	AttemptTimeout time.Duration
+	// AbandonGrace is how long to wait, after a deadline or cancellation
+	// has tripped the attempt's token, for the model to return before the
+	// attempt goroutine is abandoned (default 1s). Cooperative models exit
+	// within a few integrator steps; only a model that ignores cancellation
+	// entirely (e.g. blocks forever inside Eval) is abandoned, and its
+	// late result is discarded.
+	AbandonGrace time.Duration
 	// OnAttempt, when non-nil, streams progress: it is called after every
 	// attempt (success or failure) on any point. Calls are serialised by
 	// the engine, so the hook needs no locking of its own.
 	OnAttempt func(index int, name string, att Attempt)
 	// OnPoint, when non-nil, is called once per point as it completes,
-	// serialised like OnAttempt. Points complete out of order.
+	// serialised like OnAttempt. Points complete out of order. Points
+	// skipped because the batch budget tripped are reported here too.
 	OnPoint func(res PointResult)
 }
 
 // Retryable reports whether err is a refinable pipeline failure — one the
 // retry ladder may cure with tighter tolerances, more steps, or a longer
 // transient. Structural errors (bad dimensions, unstable cycles, degenerate
-// monodromy) are not retryable.
+// monodromy), budget cut-offs, and model panics are not retryable: repeating
+// a cut-off under the same budget cannot help, and a panicking model stays
+// broken at any tolerance.
 func Retryable(err error) bool {
+	if err == nil || budget.Is(err) || errors.Is(err, ErrModelPanic) {
+		return false
+	}
 	return errors.Is(err, shooting.ErrNoConvergence) ||
+		errors.Is(err, shooting.ErrIntegration) ||
+		errors.Is(err, ode.ErrStepSizeUnderflow) ||
+		errors.Is(err, ode.ErrNewtonDiverged) ||
 		errors.Is(err, floquet.ErrNoUnitMultiplier) ||
 		errors.Is(err, floquet.ErrAdjointClosure)
 }
@@ -161,14 +246,18 @@ func applyRung(base *core.Options, r Rung) *core.Options {
 // input order. Failures are per-point and structured; Run itself never
 // fails. Points must not share mutable state (a dynsys.System may be shared
 // only if its methods are safe for concurrent use).
+//
+// When cfg.Budget trips mid-batch, Run returns promptly: completed results
+// are kept, in-flight points fail with a typed budget error, and points that
+// never started are marked with a wrapped budget.ErrCanceled /
+// ErrBudgetExceeded.
 func Run(points []Point, cfg *Config) []PointResult {
 	var c Config
 	if cfg != nil {
 		c = *cfg
 	}
-	ladder := c.Ladder
-	if len(ladder) == 0 {
-		ladder = DefaultLadder()
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder()
 	}
 	workers := c.Workers
 	if workers <= 0 {
@@ -207,42 +296,163 @@ func Run(points []Point, cfg *Config) []PointResult {
 		go func() {
 			defer wg.Done()
 			for k := range next {
-				out[k] = runPoint(k, points[k], ladder, attempt)
+				out[k] = runPoint(k, points[k], &c, attempt)
 				done(out[k])
 			}
 		}()
 	}
+	// The feeder watches the batch budget so a cancellation with idle-free
+	// workers cannot strand it: pending points are marked without running.
+	cancelCh := c.Budget.Done() // nil when the budget is not cancelable
+feed:
 	for k := range points {
-		next <- k
+		if err := c.Budget.Err(); err != nil { // deadline-only budgets have no Done channel
+			markSkipped(points, out, k, err, done)
+			break feed
+		}
+		select {
+		case next <- k:
+		case <-cancelCh:
+			markSkipped(points, out, k, c.Budget.Err(), done)
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 	return out
 }
 
+// markSkipped records budget-typed failures for points[from:] that never
+// reached a worker.
+func markSkipped(points []Point, out []PointResult, from int, cause error, done func(PointResult)) {
+	if cause == nil {
+		cause = budget.ErrCanceled
+	}
+	for j := from; j < len(points); j++ {
+		out[j] = PointResult{
+			Index: j,
+			Name:  points[j].Name,
+			Err:   fmt.Errorf("sweep: point %q not started: %w", points[j].Name, cause),
+		}
+		done(out[j])
+	}
+}
+
 // runPoint walks one point up the ladder until an attempt succeeds or the
-// failure is not retryable.
-func runPoint(index int, p Point, ladder []Rung, attempt func(int, string, Attempt)) PointResult {
+// failure is not retryable, under the point's wall-clock budget.
+func runPoint(index int, p Point, c *Config, attempt func(int, string, Attempt)) PointResult {
 	start := time.Now()
 	res := PointResult{Index: index, Name: p.Name}
-	for ri, rung := range ladder {
-		opts := applyRung(p.Opts, rung)
-		var tr core.Trace
-		opts.Trace = &tr
-		aStart := time.Now()
-		r, err := core.Characterise(p.System, p.X0, p.TGuess, opts)
-		att := Attempt{Rung: ri, RungName: rung.Name, Err: err, Trace: tr, Wall: time.Since(aStart)}
+	if err := c.Budget.Err(); err != nil {
+		res.Err = fmt.Errorf("sweep: point %q not started: %w", p.Name, err)
+		return res
+	}
+	ptTok := c.Budget
+	if c.PointTimeout > 0 {
+		ptTok = budget.WithTimeout(ptTok, c.PointTimeout)
+	}
+	for ri, rung := range c.Ladder {
+		att, r, pss := runAttempt(p, ri, rung, ptTok, c)
 		res.Attempts = append(res.Attempts, att)
 		attempt(index, p.Name, att)
-		if err == nil {
+		if pss != nil && (res.PSS == nil || pss.Residual < res.PSS.Residual) {
+			res.PSS = pss
+		}
+		if att.Err == nil {
 			res.Result, res.Err = r, nil
+			if r.PSS != nil {
+				res.PSS = r.PSS
+			}
 			break
 		}
-		res.Err = err
-		if !Retryable(err) {
+		res.Err = att.Err
+		if !Retryable(att.Err) {
 			break
 		}
 	}
 	res.Wall = time.Since(start)
 	return res
+}
+
+// attemptOutcome is what one attempt goroutine hands back to its supervisor.
+type attemptOutcome struct {
+	att Attempt
+	res *core.Result
+	pss *shooting.PSS
+}
+
+// runAttempt executes one ladder rung in its own goroutine under the
+// combined attempt/point/batch budget, recovering panics and enforcing the
+// deadline even against a model that never returns.
+func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (Attempt, *core.Result, *shooting.PSS) {
+	atTok, cancel := budget.WithCancel(parent)
+	defer cancel()
+	if c.AttemptTimeout > 0 {
+		atTok = budget.WithTimeout(atTok, c.AttemptTimeout)
+	}
+
+	aStart := time.Now()
+	ch := make(chan attemptOutcome, 1) // buffered: an abandoned goroutine can still exit
+	go func() {
+		out := attemptOutcome{att: Attempt{Rung: ri, RungName: rung.Name}}
+		var partial core.Partial
+		defer func() {
+			if rec := recover(); rec != nil {
+				out.att.Err = &PanicError{Point: p.Name, Rung: rung.Name, Value: rec, Stack: debug.Stack()}
+				out.res = nil
+				out.pss = partial.PSS
+			}
+			out.att.Wall = time.Since(aStart)
+			ch <- out
+		}()
+		opts := applyRung(p.Opts, rung)
+		opts.Trace = &out.att.Trace
+		opts.Budget = atTok
+		opts.Partial = &partial
+		out.res, out.att.Err = core.Characterise(p.System, p.X0, p.TGuess, opts)
+		out.pss = partial.PSS
+	}()
+
+	// Supervise: wait for the attempt, the earliest deadline in the chain,
+	// or a batch cancellation.
+	var timer <-chan time.Time
+	if dl, ok := atTok.Deadline(); ok {
+		tm := time.NewTimer(time.Until(dl))
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case o := <-ch:
+		return o.att, o.res, o.pss
+	case <-timer:
+	case <-atTok.Done():
+	}
+
+	// Budget tripped. A cooperative model sees the cancelled token within a
+	// few integrator steps and returns with a typed error and a full trace;
+	// give it AbandonGrace before declaring it unresponsive.
+	cancel()
+	grace := c.AbandonGrace
+	if grace <= 0 {
+		grace = defaultAbandonGrace
+	}
+	gt := time.NewTimer(grace)
+	defer gt.Stop()
+	select {
+	case o := <-ch:
+		return o.att, o.res, o.pss
+	case <-gt.C:
+		cause := atTok.Err()
+		if cause == nil {
+			cause = budget.ErrCanceled
+		}
+		wall := time.Since(aStart)
+		return Attempt{
+			Rung:     ri,
+			RungName: rung.Name,
+			Wall:     wall,
+			Err: fmt.Errorf("sweep: attempt %q on point %q abandoned after %v (model unresponsive to cancellation): %w",
+				rung.Name, p.Name, wall.Round(time.Millisecond), cause),
+		}, nil, nil
+	}
 }

@@ -2,13 +2,17 @@ package sweep
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/floquet"
+	"repro/internal/ode"
 	"repro/internal/osc"
 	"repro/internal/shooting"
 )
@@ -254,5 +258,257 @@ func TestRunParallelSpeedup(t *testing.T) {
 	parallel := time.Since(t0)
 	if speedup := serial.Seconds() / parallel.Seconds(); speedup < 2 {
 		t.Fatalf("speedup %.2fx < 2x (serial %v, parallel %v)", speedup, serial, parallel)
+	}
+}
+
+func TestRetryableIncludesIntegratorFailures(t *testing.T) {
+	// Regression: integrator-level refinable failures (step-size underflow,
+	// Newton divergence, non-finite states) must escalate through the
+	// ladder, not abort the point on the first rung.
+	wrapped := fmt.Errorf("core: periodic steady state: shooting: transient integration: %w: %w",
+		shooting.ErrIntegration, ode.ErrStepSizeUnderflow)
+	if !Retryable(wrapped) {
+		t.Fatalf("underflow through shooting not retryable: %v", wrapped)
+	}
+	for _, err := range []error{shooting.ErrIntegration, ode.ErrStepSizeUnderflow, ode.ErrNewtonDiverged} {
+		if !Retryable(err) {
+			t.Fatalf("%v should be retryable", err)
+		}
+	}
+	// Budget cut-offs and panics are never retryable: repeating under the
+	// same budget cannot help, and a panicking model stays broken.
+	for _, err := range []error{
+		budget.ErrCanceled,
+		budget.ErrBudgetExceeded,
+		fmt.Errorf("sweep: point cut off: %w", budget.ErrBudgetExceeded),
+		error(&PanicError{Point: "p", Rung: "base", Value: "boom"}),
+	} {
+		if Retryable(err) {
+			t.Fatalf("%v must not be retryable", err)
+		}
+	}
+}
+
+// nanEverywhere is a model whose vector field is never finite: every rung's
+// integration fails with a refinable integrator error.
+type nanEverywhere struct{ osc.Hopf }
+
+func (m *nanEverywhere) Eval(x, dst []float64) {
+	m.Hopf.Eval(x, dst)
+	dst[0] = math.NaN()
+}
+
+func TestIntegratorFailureEscalatesThroughLadder(t *testing.T) {
+	pts := append(hopfGrid(1), Point{
+		Name:   "nan-model",
+		System: &nanEverywhere{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}},
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+	})
+	results := Run(pts, nil)
+	if !results[0].OK() {
+		t.Fatalf("good point failed: %v", results[0].Err)
+	}
+	bad := results[1]
+	if bad.OK() {
+		t.Fatal("NaN model reported success")
+	}
+	if !errors.Is(bad.Err, shooting.ErrIntegration) {
+		t.Fatalf("failure lost the ErrIntegration tag: %v", bad.Err)
+	}
+	if !errors.Is(bad.Err, ode.ErrNonFinite) && !errors.Is(bad.Err, ode.ErrStepSizeUnderflow) {
+		t.Fatalf("failure lost the integrator sentinel: %v", bad.Err)
+	}
+	// The refinable classification must have walked the whole ladder.
+	if len(bad.Attempts) != len(DefaultLadder()) {
+		t.Fatalf("integrator failure aborted after %d attempts, want full ladder of %d", len(bad.Attempts), len(DefaultLadder()))
+	}
+}
+
+// panicModel panics inside Eval once the state leaves a disc — emulating an
+// out-of-range table lookup in a device model.
+type panicModel struct{ osc.Hopf }
+
+func (m *panicModel) Eval(x, dst []float64) {
+	if x[0]*x[0]+x[1]*x[1] > 4 {
+		panic("device model evaluated outside its table range")
+	}
+	m.Hopf.Eval(x, dst)
+}
+
+func TestPanickingModelIsolated(t *testing.T) {
+	pts := append(hopfGrid(3), Point{
+		Name:   "panicky",
+		System: &panicModel{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}},
+		X0:     []float64{3, 0}, // starts outside the disc: first Eval panics
+		TGuess: 1,
+	})
+	results := Run(pts, &Config{Workers: 2})
+	for i := 0; i < 3; i++ {
+		if !results[i].OK() {
+			t.Fatalf("good point %d failed alongside a panicking one: %v", i, results[i].Err)
+		}
+	}
+	bad := results[3]
+	if bad.OK() {
+		t.Fatal("panicking model reported success")
+	}
+	if !errors.Is(bad.Err, ErrModelPanic) {
+		t.Fatalf("want ErrModelPanic, got %v", bad.Err)
+	}
+	var pe *PanicError
+	if !errors.As(bad.Err, &pe) {
+		t.Fatalf("cannot recover *PanicError from %v", bad.Err)
+	}
+	if pe.Point != "panicky" || pe.Rung != "base" {
+		t.Fatalf("panic metadata wrong: %+v", pe)
+	}
+	if pe.Value == nil || len(pe.Stack) == 0 {
+		t.Fatal("panic value or stack lost")
+	}
+	if len(bad.Attempts) != 1 {
+		t.Fatalf("panic must not be retried: %d attempts", len(bad.Attempts))
+	}
+}
+
+func TestCancelMidBatchPreservesCompletedPoints(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pts := hopfGrid(12)
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	var pointsDone int
+	start := time.Now()
+	results := Run(pts, &Config{
+		Workers: 1,
+		Budget:  tok,
+		OnPoint: func(r PointResult) {
+			pointsDone++
+			if pointsDone == 1 {
+				cancel() // cut the batch after the first completed point
+			}
+		},
+	})
+	elapsed := time.Since(start)
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled batch took %v to return", elapsed)
+	}
+	if len(results) != len(pts) {
+		t.Fatalf("%d results for %d points", len(results), len(pts))
+	}
+	if !results[0].OK() {
+		t.Fatalf("completed point lost after cancellation: %v", results[0].Err)
+	}
+	ok, failed := 0, 0
+	for i, r := range results {
+		if r.Name != pts[i].Name || r.Index != i {
+			t.Fatalf("result %d mislabelled: %+v", i, r)
+		}
+		if r.OK() {
+			ok++
+			continue
+		}
+		failed++
+		if !errors.Is(r.Err, budget.ErrCanceled) {
+			t.Fatalf("pending point %d: want wrapped ErrCanceled, got %v", i, r.Err)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("cancellation raced: every point completed")
+	}
+	if ok > 2 {
+		t.Fatalf("%d points completed after a cancel issued during point 1", ok)
+	}
+	if pointsDone != len(pts) {
+		t.Fatalf("OnPoint fired %d times, want %d (skipped points must be reported)", pointsDone, len(pts))
+	}
+	// No goroutine leaks: workers and attempt goroutines all wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestPointTimeoutTyped(t *testing.T) {
+	pts := hopfGrid(2)
+	results := Run(pts, &Config{Workers: 2, PointTimeout: time.Nanosecond})
+	for i, r := range results {
+		if r.OK() {
+			t.Fatalf("point %d beat a 1ns budget", i)
+		}
+		if !errors.Is(r.Err, budget.ErrBudgetExceeded) {
+			t.Fatalf("point %d: want wrapped ErrBudgetExceeded, got %v", i, r.Err)
+		}
+	}
+}
+
+// blockingModel ignores cancellation entirely: one Eval call sleeps far past
+// any deadline, emulating a model stuck in an external call.
+type blockingModel struct {
+	osc.Hopf
+	block time.Duration
+}
+
+func (m *blockingModel) Eval(x, dst []float64) {
+	time.Sleep(m.block)
+	m.Hopf.Eval(x, dst)
+}
+
+func TestUnresponsiveModelAbandoned(t *testing.T) {
+	pts := []Point{{
+		Name:   "stuck",
+		System: &blockingModel{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}, block: 3 * time.Second},
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+	}}
+	start := time.Now()
+	results := Run(pts, &Config{
+		AttemptTimeout: 50 * time.Millisecond,
+		AbandonGrace:   100 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	r := results[0]
+	if r.OK() {
+		t.Fatal("stuck model reported success")
+	}
+	if !errors.Is(r.Err, budget.ErrBudgetExceeded) {
+		t.Fatalf("want wrapped ErrBudgetExceeded, got %v", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "abandoned") {
+		t.Fatalf("abandonment not recorded in error: %v", r.Err)
+	}
+	// Deadline + grace, not the model's 3s block (and nowhere near a full
+	// characterisation's worth of blocked Evals).
+	if elapsed > 2*time.Second {
+		t.Fatalf("abandoning an unresponsive model took %v", elapsed)
+	}
+}
+
+func TestDegradedPointKeepsConvergedPSS(t *testing.T) {
+	// Shooting converges on every rung; Floquet always fails the closure
+	// tolerance. The point fails overall but must keep the best PSS.
+	impossible := Point{
+		Name:   "degraded",
+		System: &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02},
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+		Opts:   &core.Options{Floquet: &floquet.Options{Steps: 30, MaxPeriodDrift: 1e-13}},
+	}
+	results := Run([]Point{impossible}, nil)
+	r := results[0]
+	if r.OK() {
+		t.Fatal("impossible point reported success")
+	}
+	if !r.Degraded() {
+		t.Fatalf("converged PSS lost on floquet failure: PSS=%v err=%v", r.PSS, r.Err)
+	}
+	if math.Abs(r.PSS.T-1) > 1e-6 {
+		t.Fatalf("partial PSS period %g, want ≈1", r.PSS.T)
+	}
+	if r.PSS.Residual > 1e-8 {
+		t.Fatalf("partial PSS residual %g not converged", r.PSS.Residual)
 	}
 }

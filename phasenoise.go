@@ -24,6 +24,10 @@
 package phasenoise
 
 import (
+	"context"
+	"time"
+
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
@@ -46,17 +50,67 @@ type SourceContribution = core.SourceContribution
 // Options configures the characterisation pipeline (see core.Options).
 type Options = core.Options
 
+// Trace carries per-stage diagnostics of one characterisation (see
+// core.Trace); attach via Options.Trace. On failure or cut-off it shows how
+// far each stage got.
+type Trace = core.Trace
+
 // PSS is a converged periodic steady state (see shooting.PSS).
 type PSS = shooting.PSS
 
 // FloquetDecomposition carries multipliers, u1 and v1 (see floquet).
 type FloquetDecomposition = floquet.Decomposition
 
+// Budget is a cancellation/wall-clock token threaded through the numeric
+// stack at integrator-step granularity (see internal/budget). A nil *Budget
+// is valid and never trips. Attach one via Options.Budget, or use
+// CharacteriseContext to adapt a context.Context.
+type Budget = budget.Token
+
+// Partial collects stage outputs as the pipeline completes them, so a
+// characterisation cut off by a budget — or failed after shooting converged
+// — still reports what it learned. Attach via Options.Partial.
+type Partial = core.Partial
+
+// ErrCanceled and ErrBudgetExceeded are the typed cut-off sentinels every
+// pipeline error wraps when a budget trips; branch with errors.Is.
+var (
+	ErrCanceled       = budget.ErrCanceled
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
+)
+
+// NewBudget returns a cancelable budget token. Calling stop (idempotent)
+// cancels every computation holding the token or a child of it.
+func NewBudget() (*Budget, func()) { return budget.WithCancel(nil) }
+
+// NewBudgetTimeout returns a budget token that trips after d.
+func NewBudgetTimeout(d time.Duration) *Budget { return budget.WithTimeout(nil, d) }
+
+// BudgetFromContext adapts a context.Context into a budget token honouring
+// the context's cancellation and deadline.
+func BudgetFromContext(ctx context.Context) *Budget { return budget.FromContext(ctx) }
+
 // Characterise runs the full pipeline on an oscillator model. x0 is an
 // initial-state guess (anywhere in the limit cycle's basin) and tGuess a
 // rough period estimate; use EstimatePeriod when no estimate is available.
 func Characterise(sys System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
 	return core.Characterise(sys, x0, tGuess, opts)
+}
+
+// CharacteriseContext is Characterise under a context: cancellation or
+// deadline expiry aborts the pipeline at integrator-step granularity with an
+// error wrapping ErrCanceled/ErrBudgetExceeded (matching both the sentinel
+// and — via Options.Trace / Options.Partial — recording how far it got).
+// Any budget already set in opts takes precedence.
+func CharacteriseContext(ctx context.Context, sys System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Budget == nil {
+		o.Budget = budget.FromContext(ctx)
+	}
+	return core.Characterise(sys, x0, tGuess, &o)
 }
 
 // CharacteriseAuto runs the pipeline without a period guess: the period and
