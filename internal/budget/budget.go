@@ -50,11 +50,29 @@ type Token struct {
 // WithCancel returns a cancelable child of parent (nil parent is allowed) and
 // the function that trips it. The cancel function is idempotent and safe to
 // call from any goroutine.
+//
+// The child's Done channel closes when either the cancel function fires or
+// any cancelable ancestor trips, so a supervisor that inserted its own cancel
+// link still observes cancellation from above. When the parent chain is
+// cancelable this costs one forwarding goroutine; as with context.WithCancel,
+// call cancel once the token is no longer needed to release it.
 func WithCancel(parent *Token) (*Token, func()) {
-	ch := make(chan struct{})
+	own := make(chan struct{})
 	var once sync.Once
-	cancel := func() { once.Do(func() { close(ch) }) }
-	return &Token{parent: parent, done: ch}, cancel
+	cancel := func() { once.Do(func() { close(own) }) }
+	done := (<-chan struct{})(own)
+	if pd := parent.Done(); pd != nil {
+		merged := make(chan struct{})
+		go func() {
+			select {
+			case <-own:
+			case <-pd:
+			}
+			close(merged)
+		}()
+		done = merged
+	}
+	return &Token{parent: parent, done: done}, cancel
 }
 
 // WithTimeout returns a child of parent (nil parent is allowed) that reports
@@ -136,10 +154,12 @@ func (t *Token) Deadline() (time.Time, bool) {
 	return dl, ok
 }
 
-// Done returns the nearest cancellation channel in the chain (nil when no
-// ancestor is cancelable). It lets a supervisor select on cancellation
-// alongside other events; deadlines are not reflected here — pair Done with
-// Deadline and a timer.
+// Done returns a channel that closes once any cancelable link in the chain
+// trips (nil when none is cancelable). Every WithCancel link already folds
+// its ancestors' cancellation into its own channel, so the nearest cancelable
+// link's channel observes the whole chain. It lets a supervisor select on
+// cancellation alongside other events; deadlines are not reflected here —
+// pair Done with Deadline and a timer.
 func (t *Token) Done() <-chan struct{} {
 	for tk := t; tk != nil; tk = tk.parent {
 		if tk.done != nil {

@@ -63,6 +63,62 @@ func TestParentCancellationPropagates(t *testing.T) {
 	}
 }
 
+func TestDoneObservesAncestorCancellation(t *testing.T) {
+	// Regression: a caller that inserts its own cancel link must still see
+	// ancestor cancellation on Done() — previously Done() returned only the
+	// nearest cancelable link, hiding the batch-level cancel from the sweep
+	// attempt supervisor.
+	parent, pcancel := WithCancel(nil)
+	child, ccancel := WithCancel(parent)
+	defer ccancel()
+	select {
+	case <-child.Done():
+		t.Fatal("fresh child Done already closed")
+	default:
+	}
+	pcancel()
+	select {
+	case <-child.Done():
+	case <-time.After(time.Second):
+		t.Fatal("child Done() never observed parent cancellation")
+	}
+	if err := child.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("child got %v, want ErrCanceled", err)
+	}
+}
+
+func TestDoneObservesAncestorThroughDeadlineLinks(t *testing.T) {
+	// The sweep attempt chain: batch cancel → point deadline → attempt
+	// cancel → attempt deadline. Cancelling the root must close the channel
+	// Done() returns at the bottom of the chain.
+	root, rcancel := WithCancel(nil)
+	point := WithTimeout(root, time.Hour)
+	att, acancel := WithCancel(point)
+	defer acancel()
+	leaf := WithTimeout(att, time.Hour)
+	rcancel()
+	select {
+	case <-leaf.Done():
+	case <-time.After(time.Second):
+		t.Fatal("leaf Done() never observed root cancellation through deadline links")
+	}
+}
+
+func TestOwnCancelStillClosesDone(t *testing.T) {
+	parent, pcancel := WithCancel(nil)
+	defer pcancel()
+	child, ccancel := WithCancel(parent)
+	ccancel()
+	select {
+	case <-child.Done():
+	case <-time.After(time.Second):
+		t.Fatal("child Done() not closed by its own cancel")
+	}
+	if err := parent.Err(); err != nil {
+		t.Fatalf("child cancel leaked to parent: %v", err)
+	}
+}
+
 func TestEarliestDeadlineWins(t *testing.T) {
 	parent := WithTimeout(nil, 10*time.Millisecond)
 	child := WithTimeout(parent, time.Hour)

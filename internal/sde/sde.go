@@ -123,15 +123,34 @@ type EnsembleConfig struct {
 	Seed   int64 // master seed; path k uses Seed+k (deterministic fan-out)
 	T0, Dt float64
 	// Budget, when non-nil, is polled per integration step by every worker;
-	// once it trips, unfinished paths are left nil in the result slice.
-	// Completed paths are kept, so a cut-off ensemble still reports
-	// everything it learned.
+	// once it trips, unfinished paths are left nil in the result slice (their
+	// slots are kept so out[k] always corresponds to seed Seed+k). Completed
+	// paths are kept, so a cut-off ensemble still reports everything it
+	// learned — but any consumer that iterates the slice (PSD averaging,
+	// jitter extraction, phase-variance estimators) must skip the nil entries
+	// or pass the slice through Compact first.
 	Budget *budget.Token
+}
+
+// Compact returns the non-nil paths of an ensemble in order. Use it before
+// handing a budget-bounded ensemble to consumers that dereference every
+// entry; without a budget, ensembles have no nil entries and Compact returns
+// an equal slice.
+func Compact(paths []*Path) []*Path {
+	out := make([]*Path, 0, len(paths))
+	for _, p := range paths {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Ensemble runs cfg.Paths independent Euler–Maruyama integrations of sys in
 // parallel and returns all paths. Path k is seeded with cfg.Seed+k, so
-// results are reproducible regardless of scheduling.
+// results are reproducible regardless of scheduling. When cfg.Budget trips
+// mid-run, paths cut off before completion are nil in the result — see
+// EnsembleConfig.Budget and Compact.
 //
 // sys is shared by every worker, so its Drift/Diff closures must be safe
 // for concurrent use. For systems that keep internal scratch state (e.g.
@@ -144,7 +163,8 @@ func Ensemble(sys System, x0 []float64, cfg EnsembleConfig) []*Path {
 // goroutine calls mk once and uses that instance for all its paths, so
 // systems whose Drift/Diff closures reuse scratch buffers never race.
 // Results stay deterministic — path k is seeded with cfg.Seed+k and stored
-// at out[k] whatever the scheduling.
+// at out[k] whatever the scheduling. As with Ensemble, a tripped cfg.Budget
+// leaves unfinished entries nil; Compact filters them.
 func EnsembleFrom(mk func() System, x0 []float64, cfg EnsembleConfig) []*Path {
 	stride := cfg.Stride
 	if stride < 1 {

@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"repro/internal/budget"
 )
 
 // Pure Brownian motion: dx = σ dW.
@@ -60,6 +63,39 @@ func TestOUStationaryVariance(t *testing.T) {
 	want := sigma * sigma / (2 * theta)
 	if math.Abs(st.Var()-want) > 0.1*want {
 		t.Fatalf("stationary var = %g, want %g", st.Var(), want)
+	}
+}
+
+func TestEnsembleBudgetCutLeavesNilsCompactFilters(t *testing.T) {
+	// An already-expired budget cuts off every path: the slice keeps its
+	// length (out[k] ↔ seed Seed+k) with nil entries, and Compact strips
+	// them for consumers that dereference everything.
+	cfg := EnsembleConfig{Paths: 8, Steps: 50, Seed: 3, Dt: 0.01,
+		Budget: budget.WithTimeout(nil, 0)}
+	paths := Ensemble(brownian(1), []float64{0}, cfg)
+	if len(paths) != cfg.Paths {
+		t.Fatalf("budget cut changed the slice length: %d, want %d", len(paths), cfg.Paths)
+	}
+	for k, p := range paths {
+		if p != nil {
+			t.Fatalf("path %d completed under an expired budget", k)
+		}
+	}
+	if got := Compact(paths); len(got) != 0 {
+		t.Fatalf("Compact kept %d nil paths", len(got))
+	}
+
+	// A live budget completes every path and Compact is the identity.
+	cfg.Budget = budget.WithTimeout(nil, time.Hour)
+	paths = Ensemble(brownian(1), []float64{0}, cfg)
+	comp := Compact(paths)
+	if len(comp) != len(paths) {
+		t.Fatalf("Compact dropped %d completed paths", len(paths)-len(comp))
+	}
+	for k := range comp {
+		if comp[k] == nil || comp[k] != paths[k] {
+			t.Fatalf("Compact reordered or lost path %d", k)
+		}
 	}
 }
 

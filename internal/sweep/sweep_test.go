@@ -487,6 +487,44 @@ func TestUnresponsiveModelAbandoned(t *testing.T) {
 	}
 }
 
+func TestCancelOnlyBudgetAbandonsBlockedModel(t *testing.T) {
+	// Regression: with a cancel-only budget (no AttemptTimeout, PointTimeout,
+	// or deadline — the pnsweep SIGINT-without--timeout shape) and a model
+	// blocked inside Eval, the attempt supervisor used to select on its own
+	// local cancel channel only, never waking on the batch cancel: Run hung
+	// in wg.Wait() and AbandonGrace never applied.
+	pts := []Point{{
+		Name:   "stuck",
+		System: &blockingModel{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}, block: 5 * time.Second},
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+	}}
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := Run(pts, &Config{Budget: tok, AbandonGrace: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	// Cancel delay + grace + scheduling slack — far below the model's 5s
+	// block, and a hang here means the supervisor never saw the cancel.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled batch took %v to return (AbandonGrace=100ms)", elapsed)
+	}
+	r := results[0]
+	if r.OK() {
+		t.Fatal("blocked model reported success")
+	}
+	if !errors.Is(r.Err, budget.ErrCanceled) {
+		t.Fatalf("want wrapped ErrCanceled, got %v", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "abandoned") {
+		t.Fatalf("abandonment not recorded in error: %v", r.Err)
+	}
+}
+
 func TestDegradedPointKeepsConvergedPSS(t *testing.T) {
 	// Shooting converges on every rung; Floquet always fails the closure
 	// tolerance. The point fails overall but must keep the best PSS.
