@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench bench-json
 
 verify: build test vet race
 
@@ -23,3 +23,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Machine-readable benchmark record for trend tracking: -count 3 for noise
+# estimation, output captured as BENCH_<date>.json (go test -json stream;
+# BenchmarkResult lines carry ns/op, B/op, allocs/op). CI uploads the same
+# file as a build artifact.
+bench-json:
+	$(GO) test -json -bench . -benchmem -count 3 -run '^$$' ./... > BENCH_$$(date +%Y-%m-%d).json

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	pnchar -osc hopf|vanderpol|bandpass|ring|fhn [-harmonics n] [-lfm f_m]
+//	       [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
+//
+// -debug-addr serves /metrics (Prometheus text format) and /debug/pprof/
+// while the pipeline runs; -cpuprofile/-memprofile write pprof files and
+// -trace-out records the pipeline's span events as JSON lines.
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/osc"
 	"repro/internal/shooting"
@@ -23,14 +30,29 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pnchar: ")
+	// All work happens in run so its defers — profile writers, the trace
+	// file, the debug server — run before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	oscName := flag.String("osc", "bandpass", "oscillator: hopf, vanderpol, bandpass, ring, fhn, negres, colpitts")
 	harmonics := flag.Int("harmonics", 4, "harmonics for the spectrum summary")
 	lfmAt := flag.Float64("lfm", 0, "also print L(f_m) at this offset in Hz (0 = skip)")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stopObs()
 
 	res, err := characterise(*oscName)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	fmt.Print(res.Report())
 
@@ -41,6 +63,7 @@ func main() {
 		fmt.Printf("L(%g Hz)            = %.2f dBc/Hz (Eq. 27), %.2f dBc/Hz (Eq. 28)\n",
 			*lfmAt, sp.LdBcLorentzian(*lfmAt), sp.LdBcInvSquare(*lfmAt))
 	}
+	return 0
 }
 
 func characterise(name string) (*core.Result, error) {

@@ -8,11 +8,18 @@
 //
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
 //	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
+//	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
 // frequency ω, vanderpol the nonlinearity μ, ring the tail bias current IEE.
 // A summary table goes to stdout; -json writes the full per-point results,
 // including retry history and per-stage diagnostics, as JSON.
+//
+// On a terminal, a live progress line on stderr tracks points done, failures,
+// retries and the ETA; it is suppressed when stderr is piped or with -v.
+// -debug-addr serves /metrics (Prometheus text format) and /debug/pprof/
+// while the sweep runs; -cpuprofile/-memprofile write pprof files and
+// -trace-out records the pipeline's span events as JSON lines.
 //
 // -timeout bounds the whole sweep and -point-timeout each point's retry
 // ladder by wall clock. SIGINT (Ctrl-C) cancels in-flight points; the
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/osc"
 	"repro/internal/shooting"
@@ -95,6 +103,12 @@ func status(r *sweep.PointResult) string {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pnsweep: ")
+	// All work happens in run so its defers — profile writers, the trace
+	// file, the debug server — run before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	oscName := flag.String("osc", "hopf", "oscillator: hopf (sweeps ω), vanderpol (sweeps μ), ring (sweeps IEE)")
 	pmin := flag.Float64("min", 0, "sweep parameter lower bound (0 = oscillator default)")
 	pmax := flag.Float64("max", 0, "sweep parameter upper bound (0 = oscillator default)")
@@ -104,11 +118,20 @@ func main() {
 	ptTimeout := flag.Duration("point-timeout", 0, "wall-clock budget per point, all retries included (0 = unbounded)")
 	jsonPath := flag.String("json", "", "write full JSON results to this file")
 	verbose := flag.Bool("v", false, "stream per-attempt progress to stderr")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stopObs()
 
 	points, param, err := buildGrid(*oscName, *pmin, *pmax, *n)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	// Batch budget: optional deadline plus SIGINT cancellation. The first
@@ -134,6 +157,7 @@ func main() {
 		Budget:       tok,
 		PointTimeout: *ptTimeout,
 	}
+	var prog *progress
 	if *verbose {
 		cfg.OnAttempt = func(i int, name string, a sweep.Attempt) {
 			status := "ok"
@@ -142,24 +166,33 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[%s] rung %q (%v): %s\n", name, a.RungName, a.Wall.Round(time.Millisecond), status)
 		}
+	} else if prog = newProgress(len(points), os.Stderr); prog != nil {
+		// Live in-place progress line on a terminal; -v's per-attempt stream
+		// takes precedence, and piped stderr suppresses it (newProgress
+		// returns nil off-terminal).
+		cfg.OnAttempt = func(i int, name string, a sweep.Attempt) { prog.attempt(a) }
+		cfg.OnPoint = func(r sweep.PointResult) { prog.point(r) }
 	}
 
 	start := time.Now()
 	results := sweep.Run(points, cfg)
 	wall := time.Since(start)
 
+	prog.finish() // clear the progress line before the summary table renders
 	printSummary(results, param, wall, *workers)
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, results, param); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("full results written to %s\n", *jsonPath)
 	}
 	for _, r := range results {
 		if !r.OK() {
-			os.Exit(1) // partial failure: table printed, exit non-zero
+			return 1 // partial failure: table printed, exit non-zero
 		}
 	}
+	return 0
 }
 
 // buildGrid materialises the parameter grid for one oscillator family and

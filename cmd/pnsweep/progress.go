@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// progress renders a single in-place status line on a terminal:
+//
+//	12/32 points  2 failed  3 retries  elapsed 4s  ETA 9s
+//
+// It is fed from the sweep engine's OnAttempt/OnPoint hooks, which the engine
+// already serialises, so no locking is needed here. Construct with
+// newProgress, which returns nil when stderr is not a terminal (piped or
+// redirected output stays clean) — all methods are nil-safe no-ops.
+type progress struct {
+	out     *os.File
+	total   int
+	start   time.Time
+	done    int
+	failed  int
+	retries int
+}
+
+// isTerminal reports whether f is attached to a character device.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// newProgress returns a live progress line writing to out, or nil when out is
+// not a terminal.
+func newProgress(total int, out *os.File) *progress {
+	if !isTerminal(out) {
+		return nil
+	}
+	return &progress{out: out, total: total, start: time.Now()}
+}
+
+// attempt records one ladder attempt; rungs past the first count as retries.
+func (p *progress) attempt(a sweep.Attempt) {
+	if p == nil {
+		return
+	}
+	if a.Rung > 0 {
+		p.retries++
+	}
+	p.render()
+}
+
+// point records one completed point.
+func (p *progress) point(r sweep.PointResult) {
+	if p == nil {
+		return
+	}
+	p.done++
+	if !r.OK() {
+		p.failed++
+	}
+	p.render()
+}
+
+func (p *progress) render() {
+	elapsed := time.Since(p.start)
+	eta := "--"
+	if p.done > 0 && p.done < p.total {
+		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = remain.Round(time.Second).String()
+	}
+	// \r rewinds, \x1b[K clears the remainder of the previous line.
+	fmt.Fprintf(p.out, "\r\x1b[K%d/%d points  %d failed  %d retries  elapsed %s  ETA %s",
+		p.done, p.total, p.failed, p.retries, elapsed.Round(time.Second), eta)
+}
+
+// finish clears the progress line so the summary table starts clean.
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	fmt.Fprint(p.out, "\r\x1b[K")
+}

@@ -1,0 +1,118 @@
+// Observability: watch the pipeline work, in-process and without a server.
+//
+// Runs a small Hopf frequency sweep with the process-wide metrics registry
+// and an in-memory ring-buffer span tracer installed, then prints what the
+// instruments saw: integrator steps by method, Newton iterations, sweep
+// outcomes, the per-point latency histogram, and the span tree of the last
+// characterisation. The same instruments feed the /metrics endpoint and
+// -trace-out JSONL stream of the pnsweep/pnchar CLIs (see README
+// "Observability").
+//
+// Run with: go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/osc"
+	"repro/internal/sweep"
+)
+
+func main() {
+	// Switch the instruments on: a fresh registry for metrics, a ring buffer
+	// holding the most recent spans. Both are process-wide; nil uninstalls.
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	ring := obs.NewRingEmitter(4096)
+	obs.SetEmitter(ring)
+
+	// A small frequency sweep of the Hopf normal form.
+	var points []sweep.Point
+	for i := 0; i < 6; i++ {
+		h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * (1 + 0.5*float64(i)), Sigma: 0.05}
+		points = append(points, sweep.Point{
+			Name:   fmt.Sprintf("hopf-%.1fHz", 1+0.5*float64(i)),
+			System: h,
+			X0:     []float64{1, 0.1},
+			TGuess: h.Period() * 1.05,
+		})
+	}
+	results := sweep.Run(points, nil)
+	ok := 0
+	for _, r := range results {
+		if r.OK() {
+			ok++
+		}
+	}
+	fmt.Printf("sweep: %d/%d points characterised\n\n", ok, len(points))
+
+	// The metrics snapshot — every counter, gauge, and histogram the
+	// pipeline touched, exactly what /metrics would serve.
+	s := reg.Snapshot()
+	fmt.Println("counters:")
+	for _, c := range s.Counters {
+		name := c.Name
+		if c.LabelKey != "" {
+			name = fmt.Sprintf("%s{%s=%q}", c.Name, c.LabelKey, c.LabelVal)
+		}
+		fmt.Printf("  %-55s %d\n", name, c.Value)
+	}
+	fmt.Println("gauges:")
+	for _, g := range s.Gauges {
+		fmt.Printf("  %-55s %g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Printf("histogram %s: %d observations, sum %.3fs\n", h.Name, h.Count, h.Sum)
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Printf("  ≤ %8.3fs  %d\n", h.Bounds[i], n)
+			} else {
+				fmt.Printf("  > %8.3fs  %d\n", h.Bounds[len(h.Bounds)-1], n)
+			}
+		}
+	}
+
+	// The span tree of one characterisation, reconstructed from the ring.
+	// Each event is one completed span; parents emit after their children.
+	evs := ring.Events()
+	byParent := make(map[uint64][]obs.Event)
+	var lastChar obs.Event
+	for _, ev := range evs {
+		byParent[ev.Parent] = append(byParent[ev.Parent], ev)
+		if ev.Name == "core.Characterise" {
+			lastChar = ev
+		}
+	}
+	fmt.Printf("\nspan tree of the last characterisation (%d spans recorded):\n", len(evs))
+	printTree(byParent, lastChar, 1)
+}
+
+func printTree(byParent map[uint64][]obs.Event, ev obs.Event, depth int) {
+	attrs := ""
+	if len(ev.Attrs) > 0 {
+		keys := make([]string, 0, len(ev.Attrs))
+		for k := range ev.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, ev.Attrs[k]))
+		}
+		attrs = "  [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Printf("%s%-18s %8.2fms%s\n",
+		strings.Repeat("  ", depth), ev.Name, float64(ev.DurNS)/1e6, attrs)
+	children := append([]obs.Event(nil), byParent[ev.Span]...)
+	sort.Slice(children, func(i, j int) bool { return children[i].StartNS < children[j].StartNS })
+	for _, c := range children {
+		printTree(byParent, c, depth+1)
+	}
+}

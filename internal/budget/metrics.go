@@ -1,0 +1,21 @@
+package budget
+
+import "repro/internal/obs"
+
+var tripMetrics = obs.NewView(func(r *obs.Registry) *tripInstruments {
+	return &tripInstruments{
+		trips: r.CounterVec("pn_budget_trips_total", "Pipeline stages cut off by a tripped cancellation/budget token.", "stage"),
+	}
+})
+
+type tripInstruments struct {
+	trips *obs.CounterVec
+}
+
+// RecordTrip increments the process-wide budget-trip counter for the named
+// pipeline stage (e.g. "shooting", "floquet", "quadrature", "sweep_attempt").
+// Callers invoke it when a stage error satisfies Is; it is a no-op while no
+// metrics registry is installed.
+func RecordTrip(stage string) {
+	tripMetrics.Get().trips.With(stage).Inc()
+}

@@ -1,0 +1,113 @@
+// Package cliobs wires the observability layer (internal/obs) into the
+// command-line tools: one flag set shared by pnsweep and pnchar
+// (-debug-addr, -cpuprofile, -memprofile, -trace-out) and a Start/stop pair
+// that installs the process-wide metrics registry and span emitter, starts
+// the /metrics + pprof debug server, and runs the CPU/heap profilers with
+// proper shutdown ordering.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the standard observability flag values.
+type Flags struct {
+	DebugAddr  string // serve /metrics and /debug/pprof on this address
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write a heap profile to this file on shutdown
+	TraceOut   string // append span events as JSON lines to this file
+}
+
+// Register installs the standard observability flags on fs (use
+// flag.CommandLine for a CLI's default set) and returns the value holder.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/* on this address (e.g. :6060; empty = off)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "append pipeline span events as JSON lines to this file")
+	return f
+}
+
+// Enabled reports whether any observability feature was requested.
+func (f *Flags) Enabled() bool {
+	return f.DebugAddr != "" || f.CPUProfile != "" || f.MemProfile != "" || f.TraceOut != ""
+}
+
+// Start activates everything the flags request and returns a stop function
+// that must run before process exit (call it via defer from a run() helper,
+// not from a main that os.Exits). With no flags set, Start is a no-op and the
+// pipeline keeps its allocation-free fast path.
+func (f *Flags) Start() (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	fail := func(e error) (func(), error) {
+		stop()
+		return func() {}, e
+	}
+
+	if f.DebugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetGlobal(reg)
+		srv, serr := obs.ServeDebug(f.DebugAddr, reg)
+		if serr != nil {
+			return fail(serr)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+		stops = append(stops, func() { _ = srv.Close() })
+	}
+
+	if f.TraceOut != "" {
+		tf, oerr := os.OpenFile(f.TraceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if oerr != nil {
+			return fail(fmt.Errorf("trace-out: %w", oerr))
+		}
+		obs.SetEmitter(obs.NewJSONLEmitter(tf))
+		stops = append(stops, func() {
+			obs.SetEmitter(nil)
+			_ = tf.Close()
+		})
+	}
+
+	if f.CPUProfile != "" {
+		cf, oerr := os.Create(f.CPUProfile)
+		if oerr != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", oerr))
+		}
+		if perr := pprof.StartCPUProfile(cf); perr != nil {
+			_ = cf.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", perr))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			_ = cf.Close()
+		})
+	}
+
+	if f.MemProfile != "" {
+		stops = append(stops, func() {
+			mf, oerr := os.Create(f.MemProfile)
+			if oerr != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", oerr)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if werr := pprof.WriteHeapProfile(mf); werr != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", werr)
+			}
+			_ = mf.Close()
+		})
+	}
+
+	return stop, nil
+}

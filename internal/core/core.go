@@ -27,9 +27,21 @@ import (
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
 	"repro/internal/fourier"
+	"repro/internal/obs"
 	"repro/internal/sde"
 	"repro/internal/shooting"
 )
+
+// coreInstruments are the pipeline-level metrics.
+type coreInstruments struct {
+	ok     *obs.Counter // pn_core_characterisations_total{outcome="ok"}
+	failed *obs.Counter // pn_core_characterisations_total{outcome="error"}
+}
+
+var coreMetrics = obs.NewView(func(r *obs.Registry) *coreInstruments {
+	runs := r.CounterVec("pn_core_characterisations_total", "Characterise calls, by outcome.", "outcome")
+	return &coreInstruments{ok: runs.With("ok"), failed: runs.With("error")}
+})
 
 // SourceContribution is one noise source's share of the phase-diffusion
 // constant (Eq. 30): c = Σ c_i.
@@ -115,6 +127,11 @@ type Options struct {
 	// stage completes, so a caller keeps everything the pipeline learned even
 	// when a later stage fails or the budget expires.
 	Partial *Partial
+	// Span, when non-nil, parents the "core.Characterise" span (with nested
+	// shooting/floquet/quadrature child spans) under an existing trace. When
+	// nil, Characterise starts a root span on the process-wide emitter — or
+	// none at all if tracing is off.
+	Span *obs.Span
 }
 
 // Partial collects the pipeline products that had already converged when
@@ -131,6 +148,25 @@ type Partial struct {
 // computation of v1(t), and the quadratures for c, per-source contributions
 // and per-node sensitivities.
 func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*Result, error) {
+	var parent *obs.Span
+	if opts != nil {
+		parent = opts.Span
+	}
+	sp := obs.StartSpan(parent, "core.Characterise")
+	res, err := characterise(sys, x0, tGuess, opts, sp)
+	m := coreMetrics.Get()
+	if err != nil {
+		m.failed.Inc()
+	} else {
+		m.ok.Inc()
+		sp.SetAttr("c", res.C)
+		sp.SetAttr("period", res.T())
+	}
+	sp.EndErr(err)
+	return res, err
+}
+
+func characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options, sp *obs.Span) (*Result, error) {
 	var so *shooting.Options
 	var fo *floquet.Options
 	var tr *Trace
@@ -172,33 +208,46 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 		}
 		fo = &fc
 	}
+	ssp := obs.StartSpan(sp, "shooting.Find")
 	pss, err := shooting.Find(sys, x0, tGuess, so)
+	ssp.EndErr(err)
 	if err != nil {
+		if budget.Is(err) {
+			budget.RecordTrip("shooting")
+		}
 		return nil, fmt.Errorf("core: periodic steady state: %w", err)
 	}
 	if part != nil {
 		part.PSS = pss
 	}
+	fsp := obs.StartSpan(sp, "floquet.Analyze")
 	dec, err := floquet.Analyze(sys, pss, fo)
+	fsp.EndErr(err)
 	if err != nil {
+		if budget.Is(err) {
+			budget.RecordTrip("floquet")
+		}
 		return nil, fmt.Errorf("core: floquet analysis: %w", err)
 	}
 	if part != nil {
 		part.Floquet = dec
 	}
 	if err := bud.Err(); err != nil {
+		budget.RecordTrip("quadrature")
 		return nil, fmt.Errorf("core: before c quadrature: %w", err)
-	}
-	if tr == nil {
-		return FromDecomposition(sys, pss, dec, qp)
 	}
 	if qp <= 0 {
 		qp = max(len(dec.V1.Points), 1000) // FromDecomposition's default grid
 	}
+	qsp := obs.StartSpan(sp, "quadrature")
 	qStart := time.Now()
 	res, err := FromDecomposition(sys, pss, dec, qp)
-	tr.QuadWall = time.Since(qStart)
-	tr.QuadPoints = qp
+	qsp.SetAttr("points", qp)
+	qsp.EndErr(err)
+	if tr != nil {
+		tr.QuadWall = time.Since(qStart)
+		tr.QuadPoints = qp
+	}
 	return res, err
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/obs"
+	"repro/internal/osc"
+)
+
+// tripAfterShooting wraps a system and cancels a budget token a fixed number
+// of Jacobian calls after the shooting stage completed (signalled by
+// Partial.PSS becoming non-nil, which Characterise sets on the same
+// goroutine). Analyze evaluates the Jacobian only inside the backward adjoint
+// integration, so the trip is guaranteed to land mid-Floquet.
+type tripAfterShooting struct {
+	dynsys.System
+	part   *Partial
+	calls  int
+	after  int
+	cancel func()
+}
+
+func (s *tripAfterShooting) Jacobian(x []float64, dst []float64) {
+	if s.part.PSS != nil {
+		s.calls++
+		if s.calls > s.after {
+			s.cancel()
+		}
+	}
+	s.System.Jacobian(x, dst)
+}
+
+// Degraded-path traces: when the budget trips mid-Floquet, the aggregate
+// Trace must still carry the complete shooting diagnostics and a partial
+// (non-zero, non-configured) Floquet stage.
+func TestDegradedTraceOnMidFloquetBudgetTrip(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	var part Partial
+	wrapped := &tripAfterShooting{System: h, part: &part, after: 400, cancel: cancel}
+
+	var tr Trace
+	const configured = 4000
+	_, err := Characterise(wrapped, []float64{1, 0.1}, 1.05, &Options{
+		Floquet: &floquet.Options{Steps: configured},
+		Trace:   &tr,
+		Budget:  tok,
+		Partial: &part,
+	})
+	if !budget.Is(err) {
+		t.Fatalf("got %v, want a budget error", err)
+	}
+	// Shooting completed: its trace is fully populated.
+	if tr.Shooting.Iters == 0 || tr.Shooting.Wall <= 0 {
+		t.Fatalf("shooting trace lost on degraded run: %+v", tr.Shooting)
+	}
+	if tr.Shooting.Residual <= 0 || tr.Shooting.Residual > 1e-9 {
+		t.Fatalf("converged shooting residual not recorded: %g", tr.Shooting.Residual)
+	}
+	if part.PSS == nil {
+		t.Fatal("converged PSS not preserved")
+	}
+	// Floquet was cut mid-adjoint: partial step count, wall time recorded.
+	if tr.Floquet.Steps <= 0 || tr.Floquet.Steps >= configured {
+		t.Fatalf("Floquet.Steps = %d, want partial in (0, %d)", tr.Floquet.Steps, configured)
+	}
+	if tr.Floquet.Wall <= 0 {
+		t.Fatal("partial floquet wall time not recorded")
+	}
+	// The quadrature never ran.
+	if tr.QuadPoints != 0 || tr.QuadWall != 0 {
+		t.Fatalf("quadrature trace set for a stage that never ran: points=%d wall=%v", tr.QuadPoints, tr.QuadWall)
+	}
+	if part.Floquet != nil {
+		t.Fatal("failed floquet stage must not populate Partial.Floquet")
+	}
+}
+
+// The budget-trip counter must name the interrupted stage.
+func TestBudgetTripCountedByStage(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	if _, err := Characterise(h, []float64{1, 0.1}, 1.05, &Options{Budget: tok}); err == nil {
+		t.Fatal("want an error from the pre-canceled budget")
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_budget_trips_total", "shooting"); got != 1 {
+		t.Fatalf("shooting trips = %d, want 1", got)
+	}
+	if got := s.Counter("pn_core_characterisations_total", "error"); got != 1 {
+		t.Fatalf("error characterisations = %d, want 1", got)
+	}
+}

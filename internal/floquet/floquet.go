@@ -142,10 +142,16 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	o := opts.defaults(len(pss.Orbit.Points))
 	tr := o.Trace
 	if tr != nil {
-		*tr = Trace{Steps: o.Steps}
+		// Reset to zero — NOT to the configured step count. Steps is filled
+		// with the number of adjoint steps actually completed once the
+		// integration runs, so a trace from an early exit (budget trip before
+		// or during the adjoint stage) reports real work done, not intent.
+		*tr = Trace{}
 		start := time.Now()
 		defer func() { tr.Wall = time.Since(start) }()
 	}
+	fm := floquetMetrics.Get()
+	fm.analyses.Inc()
 	n := sys.Dim()
 	phi := pss.Monodromy
 	if err := o.Budget.Err(); err != nil {
@@ -207,9 +213,10 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	// Backward adjoint integration over [0, T] with y(T) = v1(0).
 	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
 	adjStart := time.Now()
-	v1traj, err := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps, o.Budget)
+	v1traj, adjDone, err := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps, o.Budget)
 	if tr != nil {
 		tr.AdjointWall = time.Since(adjStart)
+		tr.Steps = adjDone
 	}
 	if err != nil {
 		return nil, fmt.Errorf("floquet: adjoint integration: %w", err)
@@ -219,6 +226,7 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	v1at0 := make([]float64, n)
 	v1traj.At(0, v1at0)
 	closure := linalg.Norm2(linalg.SubVec(v1at0, v10)) / (1 + linalg.Norm2(v10))
+	fm.closureErr.Set(closure)
 	if tr != nil {
 		tr.ClosureErr = closure
 	}
@@ -270,6 +278,7 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 		}
 	}
 	if closure > o.MaxPeriodDrift {
+		fm.closureFails.Inc()
 		return nil, fmt.Errorf("%w: %.3e exceeds %.3e; increase Steps or tighten shooting tolerance", ErrAdjointClosure, closure, o.MaxPeriodDrift)
 	}
 

@@ -1,0 +1,101 @@
+package floquet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/dynsys"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+// cancelingJac wraps a System and cancels a budget token after a fixed number
+// of Jacobian calls. In Analyze, every Jacobian evaluation happens inside the
+// backward adjoint integration, so the cancellation is guaranteed to land
+// mid-adjoint.
+type cancelingJac struct {
+	dynsys.System
+	calls  int
+	after  int
+	cancel func()
+}
+
+func (c *cancelingJac) Jacobian(x []float64, dst []float64) {
+	c.calls++
+	if c.calls > c.after {
+		c.cancel()
+	}
+	c.System.Jacobian(x, dst)
+}
+
+// Regression: Trace.Steps must report the adjoint steps actually completed,
+// not the configured Options.Steps pre-filled at entry. A budget trip
+// mid-adjoint must leave a partial (not full, not zero) step count.
+func TestTraceStepsPartialOnMidAdjointBudgetTrip(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0.2}, 1.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	// ≈ 100 adjoint steps before the trip: 4 rhs evals per RK4 step plus one
+	// per stored sample, each evaluating the Jacobian once.
+	wrapped := &cancelingJac{System: h, after: 500, cancel: cancel}
+
+	var tr Trace
+	const configured = 3000
+	_, err = Analyze(wrapped, pss, &Options{Steps: configured, Trace: &tr, Budget: tok})
+	if !budget.Is(err) {
+		t.Fatalf("got %v, want a budget error", err)
+	}
+	if tr.Steps <= 0 || tr.Steps >= configured {
+		t.Fatalf("Trace.Steps = %d, want partial in (0, %d)", tr.Steps, configured)
+	}
+	if tr.AdjointWall <= 0 {
+		t.Fatal("Trace.AdjointWall must cover the partial adjoint integration")
+	}
+	// The stages before the adjoint completed, so their diagnostics are real.
+	if tr.UnitErr <= 0 {
+		t.Fatal("Trace.UnitErr must be set before the adjoint stage")
+	}
+}
+
+// A budget that trips before the adjoint ever runs must leave Steps at zero —
+// the old behaviour reported the full configured count for work never done.
+func TestTraceStepsZeroOnPreCanceledBudget(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0.2}, 1.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	var tr Trace
+	_, err = Analyze(h, pss, &Options{Steps: 3000, Trace: &tr, Budget: tok})
+	if !budget.Is(err) {
+		t.Fatalf("got %v, want a budget error", err)
+	}
+	if tr.Steps != 0 {
+		t.Fatalf("Trace.Steps = %d for work never started, want 0", tr.Steps)
+	}
+}
+
+// On success, Steps equals the configured adjoint step count.
+func TestTraceStepsFullOnSuccess(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.1}
+	pss, err := shooting.Find(h, []float64{1, 0.2}, 1.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	const configured = 2500
+	if _, err := Analyze(h, pss, &Options{Steps: configured, Trace: &tr}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps != configured {
+		t.Fatalf("Trace.Steps = %d, want %d", tr.Steps, configured)
+	}
+}

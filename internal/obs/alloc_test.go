@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+// The no-op path must be allocation-free: with no registry installed, a
+// package-level View hands out a shared zero bundle and every instrument call
+// is a nil-receiver no-op. This is what keeps the integrator hot paths free
+// to call into obs unconditionally.
+func TestNoOpPathAllocationFree(t *testing.T) {
+	defer SetGlobal(nil)
+	SetGlobal(nil)
+	type bundle struct {
+		c *Counter
+		g *Gauge
+		h *Histogram
+	}
+	v := NewView(func(r *Registry) *bundle {
+		return &bundle{
+			c: r.Counter("alloc_total", ""),
+			g: r.Gauge("alloc_gauge", ""),
+			h: r.Histogram("alloc_hist", "", []float64{1}),
+		}
+	})
+	v.Get() // warm the cached zero bundle
+
+	if n := testing.AllocsPerRun(1000, func() {
+		b := v.Get()
+		b.c.Add(3)
+		b.c.Inc()
+		b.g.Set(1)
+		b.g.Add(2)
+		b.h.Observe(0.5)
+	}); n != 0 {
+		t.Fatalf("no-op path allocates %v per run, want 0", n)
+	}
+
+	// Tracing off must be free too: StartSpan returns nil without allocating.
+	SetEmitter(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(nil, "off")
+		sp.SetAttr("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("tracing-off path allocates %v per run, want 0", n)
+	}
+}
+
+// With a registry installed, recording on already-bound instruments must be
+// allocation-free as well (atomic adds only) — histograms and counter adds in
+// per-call flush paths cannot churn the heap.
+func TestRecordingAllocationFree(t *testing.T) {
+	defer SetGlobal(nil)
+	type bundle struct {
+		c *Counter
+		h *Histogram
+	}
+	v := NewView(func(r *Registry) *bundle {
+		return &bundle{
+			c: r.Counter("rec_total", ""),
+			h: r.Histogram("rec_hist", "", ExpBuckets(0.001, 4, 10)),
+		}
+	})
+	SetGlobal(NewRegistry())
+	v.Get() // warm: first Get after a swap rebuilds the bundle
+
+	if n := testing.AllocsPerRun(1000, func() {
+		b := v.Get()
+		b.c.Add(7)
+		b.h.Observe(0.42)
+	}); n != 0 {
+		t.Fatalf("recording path allocates %v per run, want 0", n)
+	}
+}

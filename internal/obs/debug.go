@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"time"
+)
+
+// DebugServer is the in-process HTTP endpoint serving /metrics and
+// /debug/pprof/* for a running pipeline. Start one with ServeDebug; it runs
+// on its own goroutine until Close.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug listens on addr (e.g. ":6060" or "127.0.0.1:0") and serves
+//
+//	/metrics            — Prometheus text exposition of reg
+//	/debug/pprof/...    — the standard net/http/pprof handlers
+//	                      (heap, profile, trace, goroutine, …)
+//
+// A nil reg resolves the process-wide registry at request time, so a server
+// started before SetGlobal still exposes the live metrics. The server runs
+// until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	d := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// MetricsHandler returns an http.Handler rendering reg in the Prometheus
+// text format. A nil reg resolves the process-wide registry per request.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r := reg
+		if r == nil {
+			r = Global()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeDebugMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pn_demo_total", "Demo.").Add(42)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "pn_demo_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status=%d body=%q", code, body[:min(len(body), 200)])
+	}
+
+	// The heap profile endpoint must serve real pprof data.
+	code, body = get(t, "http://"+srv.Addr()+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "heap profile") {
+		t.Fatalf("/debug/pprof/heap status=%d", code)
+	}
+}
+
+func TestMetricsHandlerResolvesGlobalLate(t *testing.T) {
+	defer SetGlobal(nil)
+	SetGlobal(nil)
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// No registry yet: empty exposition, not a crash.
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Fatalf("pre-registry /metrics = (%d, %q), want empty 200", code, body)
+	}
+
+	// Installed after the server started: must be picked up per request.
+	reg := NewRegistry()
+	reg.Counter("pn_late_total", "").Inc()
+	SetGlobal(reg)
+	_, body = get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "pn_late_total 1") {
+		t.Fatalf("late-installed registry not served:\n%s", body)
+	}
+}

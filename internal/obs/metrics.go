@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are safe on
+// a nil receiver (no-op) and for concurrent use.
+type Counter struct {
+	v        atomic.Int64
+	name     string
+	labelKey string
+	labelVal string
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (queue depth, last
+// closure error). All methods are nil-safe and concurrency-safe.
+type Gauge struct {
+	bits     atomic.Uint64 // math.Float64bits
+	name     string
+	labelKey string
+	labelVal string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge (CAS loop; lock-free).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Observations are
+// classified against ascending upper bounds (an implicit +Inf bucket catches
+// the tail); exposition is Prometheus-style cumulative. Nil-safe and
+// concurrency-safe; Observe is lock-free.
+type Histogram struct {
+	name   string
+	bounds []float64       // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // math.Float64bits, CAS-added
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n ascending bucket bounds start, start·factor,
+// start·factor², … — the usual latency-histogram layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CounterVec is a family of counters sharing a name and differing in one
+// label value (e.g. pn_ode_steps_total{method="..."}). With is get-or-create
+// and idempotent, so packages can resolve label values lazily. Nil-safe.
+type CounterVec struct {
+	r        *Registry
+	name     string
+	help     string
+	labelKey string
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(labelValue string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.r.counter(v.name, v.help, v.labelKey, labelValue)
+}
+
+type metricKey struct {
+	name     string
+	labelVal string
+}
+
+// Registry is a concurrency-safe collection of named instruments.
+// Registration is idempotent: asking twice for the same (name, label) returns
+// the same instrument, so independent packages can share a metric family.
+// All methods are safe on a nil receiver and return nil instruments, making a
+// nil *Registry a valid "observability off" value.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string // family name → help, first registration wins
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+func (r *Registry) setHelp(name, help string) {
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the unlabeled counter with the given name, creating it on
+// first use. Conventionally names end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counter(name, help, "", "")
+}
+
+func (r *Registry) counter(name, help, labelKey, labelVal string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := metricKey{name, labelVal}
+	if c, ok := r.counters[k]; ok {
+		return c
+	}
+	r.setHelp(name, help)
+	c := &Counter{name: name, labelKey: labelKey, labelVal: labelVal}
+	r.counters[k] = c
+	return c
+}
+
+// CounterVec returns a one-label counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.setHelp(name, help)
+	r.mu.Unlock()
+	return &CounterVec{r: r, name: name, help: help, labelKey: labelKey}
+}
+
+// Gauge returns the unlabeled gauge with the given name, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := metricKey{name, ""}
+	if g, ok := r.gauges[k]; ok {
+		return g
+	}
+	r.setHelp(name, help)
+	g := &Gauge{name: name}
+	r.gauges[k] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// supplied ascending bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	r.setHelp(name, help)
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// CounterValue is one counter series in a Snapshot.
+type CounterValue struct {
+	Name     string
+	LabelKey string
+	LabelVal string
+	Value    int64
+}
+
+// GaugeValue is one gauge series in a Snapshot.
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// HistogramValue is one histogram in a Snapshot. Counts are per-bucket (not
+// cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramValue struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time view of every instrument, sorted by name then
+// label value. Individual values are read atomically, but the snapshot as a
+// whole is not a consistent cut across instruments.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Counter returns the snapshotted value of a counter series (0 if absent).
+func (s Snapshot) Counter(name, labelVal string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelVal == labelVal {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Snapshot captures the current value of every instrument. Nil-safe: a nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: k.name, LabelKey: c.labelKey, LabelVal: k.labelVal, Value: c.Value()})
+	}
+	for k, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: k.name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].LabelVal < s.Counters[j].LabelVal
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (families sorted by name, one # HELP/# TYPE header per family). It
+// implements io.WriterTo; nil registries render nothing.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	header := func(name, typ string) {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, typ)
+	}
+	lastFamily := ""
+	for _, c := range s.Counters {
+		if c.Name != lastFamily {
+			header(c.Name, "counter")
+			lastFamily = c.Name
+		}
+		if c.LabelKey != "" {
+			fmt.Fprintf(&sb, "%s{%s=\"%s\"} %d\n", c.Name, c.LabelKey, escapeLabel(c.LabelVal), c.Value)
+		} else {
+			fmt.Fprintf(&sb, "%s %d\n", c.Name, c.Value)
+		}
+	}
+	for _, g := range s.Gauges {
+		header(g.Name, "gauge")
+		fmt.Fprintf(&sb, "%s %g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		header(h.Name, "histogram")
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", h.Name, fmt.Sprintf("%g", b), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(&sb, "%s_sum %g\n", h.Name, h.Sum)
+		fmt.Fprintf(&sb, "%s_count %d\n", h.Name, h.Count)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}

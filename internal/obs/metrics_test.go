@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("g", "help g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "help h", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.9, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("hist count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 556.4 {
+		t.Fatalf("hist sum = %g, want 556.4", got)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	want := []uint64{2, 1, 2} // (-inf,1], (1,10], (10,+inf)
+	for i, w := range want {
+		if hv.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, hv.Counts[i], w)
+		}
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "first help")
+	b := r.Counter("same_total", "second help (ignored)")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instrument")
+	}
+	v1 := r.CounterVec("vec_total", "h", "k").With("x")
+	v2 := r.CounterVec("vec_total", "h", "k").With("x")
+	if v1 != v2 {
+		t.Fatal("same (name,label) in a vec must return the same counter")
+	}
+	v3 := r.CounterVec("vec_total", "h", "k").With("y")
+	if v1 == v3 {
+		t.Fatal("different label values must be different counters")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := r.Gauge("g", "")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(2)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	cv := r.CounterVec("v_total", "", "k")
+	cv.With("a").Inc()
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var sb strings.Builder
+	if n, err := r.WriteTo(&sb); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestSnapshotSortedAndLookup(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("pn_steps_total", "h", "method")
+	vec.With("rk4").Add(7)
+	vec.With("dopri5").Add(3)
+	r.Counter("pn_aaa_total", "h").Inc()
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for _, c := range s.Counters {
+		names = append(names, c.Name+"/"+c.LabelVal)
+	}
+	wantOrder := []string{"pn_aaa_total/", "pn_steps_total/dopri5", "pn_steps_total/rk4"}
+	for i, w := range wantOrder {
+		if names[i] != w {
+			t.Fatalf("snapshot order %v, want %v", names, wantOrder)
+		}
+	}
+	if got := s.Counter("pn_steps_total", "rk4"); got != 7 {
+		t.Fatalf("lookup = %d, want 7", got)
+	}
+	if got := s.Counter("absent", ""); got != 0 {
+		t.Fatalf("absent lookup = %d, want 0", got)
+	}
+}
+
+func TestWriteToPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("pn_steps_total", "Steps taken.", "method").With("rk4").Add(12)
+	r.Gauge("pn_depth", "Queue depth.").Set(3)
+	h := r.Histogram("pn_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pn_steps_total Steps taken.\n# TYPE pn_steps_total counter\n",
+		`pn_steps_total{method="rk4"} 12`,
+		"# TYPE pn_depth gauge",
+		"pn_depth 3",
+		"# TYPE pn_lat_seconds histogram",
+		`pn_lat_seconds_bucket{le="0.1"} 1`,
+		`pn_lat_seconds_bucket{le="1"} 2`,
+		`pn_lat_seconds_bucket{le="+Inf"} 3`,
+		"pn_lat_seconds_sum 5.55",
+		"pn_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("pn_esc_total", "h", "k").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pn_esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if diff := b[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 8))
+	vec := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+				vec.With("a").Inc()
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*iters)
+	}
+}
+
+func TestViewRebindsOnRegistrySwap(t *testing.T) {
+	defer SetGlobal(nil)
+	type bundle struct{ c *Counter }
+	v := NewView(func(r *Registry) *bundle {
+		return &bundle{c: r.Counter("swap_total", "")}
+	})
+
+	SetGlobal(nil)
+	off := v.Get()
+	if off == nil || off.c != nil {
+		t.Fatal("off view must be a zero bundle with nil instruments")
+	}
+	off.c.Inc() // must not panic
+
+	r1 := NewRegistry()
+	SetGlobal(r1)
+	on := v.Get()
+	if on.c == nil {
+		t.Fatal("on view must carry live instruments")
+	}
+	on.c.Inc()
+	if r1.Snapshot().Counter("swap_total", "") != 1 {
+		t.Fatal("live counter did not record")
+	}
+	if v.Get() != on {
+		t.Fatal("view must cache the bundle for a stable registry")
+	}
+
+	r2 := NewRegistry()
+	SetGlobal(r2)
+	on2 := v.Get()
+	if on2 == on {
+		t.Fatal("view must rebuild after a registry swap")
+	}
+	on2.c.Inc()
+	if r2.Snapshot().Counter("swap_total", "") != 1 {
+		t.Fatal("rebound counter did not record into the new registry")
+	}
+}

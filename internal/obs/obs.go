@@ -1,0 +1,87 @@
+// Package obs is the stdlib-only observability layer of the phase-noise
+// pipeline: a process-wide metrics registry (atomic counters, gauges and
+// fixed-bucket histograms with Prometheus-style text exposition), span
+// tracing emitted as JSONL events to a pluggable Emitter, and an HTTP debug
+// server exposing /metrics next to net/http/pprof.
+//
+// Observability is off by default and costs nothing when off: the global
+// registry and emitter start nil, every instrument method is safe (and a
+// no-op) on a nil receiver, and the no-op paths are allocation-free, so
+// instrumented hot loops in ode/sde pay a single atomic pointer load per
+// call, not per step. CLIs opt in with SetGlobal/SetEmitter at startup.
+//
+// Instrumented packages keep their instrument handles in a View: a lazily
+// built, atomically cached bundle keyed on the current global registry, so
+// the per-call fast path is one atomic load plus a pointer compare, and
+// swapping the registry (tests, restarts) rebinds every package on its next
+// call.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// globalReg holds the process-wide registry; nil means metrics are off.
+var globalReg atomic.Pointer[Registry]
+
+// SetGlobal installs (or, with nil, removes) the process-wide registry that
+// package Views bind their instruments to. Safe for concurrent use, but
+// intended to be called once at process startup.
+func SetGlobal(r *Registry) { globalReg.Store(r) }
+
+// Global returns the process-wide registry, or nil when metrics are off.
+func Global() *Registry { return globalReg.Load() }
+
+// Enabled reports whether a process-wide registry is installed.
+func Enabled() bool { return globalReg.Load() != nil }
+
+// View lazily binds a package's instrument bundle T to the current global
+// registry. Get returns a pointer to a zero-valued T while no registry is
+// installed — all instrument fields nil, so every recording call is a no-op —
+// and rebuilds the bundle (once, under a mutex) whenever the global registry
+// changes identity.
+type View[T any] struct {
+	build func(*Registry) *T
+	mu    sync.Mutex
+	cur   atomic.Pointer[viewState[T]]
+}
+
+type viewState[T any] struct {
+	reg *Registry
+	val *T
+}
+
+// NewView declares a package-level instrument bundle. build is called at most
+// once per installed registry, the first time Get observes it.
+func NewView[T any](build func(*Registry) *T) *View[T] {
+	return &View[T]{build: build}
+}
+
+// Get returns the bundle bound to the current global registry. Never nil:
+// with no registry installed it returns a shared zero-valued bundle whose nil
+// instruments make every recording call a no-op. The fast path is one atomic
+// load and a pointer comparison, with no allocation.
+func (v *View[T]) Get() *T {
+	reg := Global()
+	if st := v.cur.Load(); st != nil && st.reg == reg {
+		return st.val
+	}
+	return v.rebuild(reg)
+}
+
+func (v *View[T]) rebuild(reg *Registry) *T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if st := v.cur.Load(); st != nil && st.reg == reg {
+		return st.val
+	}
+	var val *T
+	if reg != nil {
+		val = v.build(reg)
+	} else {
+		val = new(T)
+	}
+	v.cur.Store(&viewState[T]{reg: reg, val: val})
+	return val
+}

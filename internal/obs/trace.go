@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span, serialised as a single JSON line. Timestamps
+// are derived from one process-local monotonic epoch, so within a process
+// events carry strictly consistent ordering: a child's start never precedes
+// its parent's, and End times respect call order even across goroutines.
+type Event struct {
+	Type    string         `json:"type"` // always "span"
+	Name    string         `json:"name"`
+	Span    uint64         `json:"span"`
+	Parent  uint64         `json:"parent,omitempty"` // 0 for root spans
+	StartNS int64          `json:"start_unix_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Emitter receives completed span events. Implementations must be safe for
+// concurrent use; the pipeline emits from worker goroutines.
+type Emitter interface {
+	Emit(Event)
+}
+
+type emitterRef struct{ e Emitter }
+
+var globalEmitter atomic.Pointer[emitterRef]
+
+// SetEmitter installs (or, with nil, removes) the process-wide span emitter.
+// While no emitter is installed, StartSpan returns nil spans and tracing is
+// allocation-free.
+func SetEmitter(e Emitter) {
+	if e == nil {
+		globalEmitter.Store(nil)
+		return
+	}
+	globalEmitter.Store(&emitterRef{e: e})
+}
+
+// CurrentEmitter returns the process-wide emitter, or nil when tracing is off.
+func CurrentEmitter() Emitter {
+	if ref := globalEmitter.Load(); ref != nil {
+		return ref.e
+	}
+	return nil
+}
+
+var spanIDs atomic.Uint64
+
+// epoch anchors all span timestamps to a single time.Now() carrying a
+// monotonic reading: now() = epoch + monotonic elapsed, so wall-clock steps
+// cannot produce non-monotonic or negative-duration events.
+var epoch = time.Now()
+
+func tnow() time.Time { return epoch.Add(time.Since(epoch)) }
+
+// Span is one timed operation. Create with StartSpan, finish with End (or
+// EndErr); attributes attached before End are carried on the emitted Event.
+// All methods are safe on a nil receiver — a nil span is the "tracing off"
+// value — and safe for concurrent use (a supervisor may End a span whose
+// worker goroutine is still trying to annotate it; the first End wins and
+// later calls are no-ops).
+type Span struct {
+	em     Emitter
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// StartSpan opens a span under parent. A nil parent starts a root span on the
+// process-wide emitter; if that is nil too (tracing off), StartSpan returns a
+// nil span and the whole subtree is free.
+func StartSpan(parent *Span, name string) *Span {
+	var em Emitter
+	var pid uint64
+	if parent != nil {
+		em = parent.em
+		pid = parent.id
+	} else {
+		em = CurrentEmitter()
+	}
+	if em == nil {
+		return nil
+	}
+	return &Span{
+		em:     em,
+		name:   name,
+		id:     spanIDs.Add(1),
+		parent: pid,
+		start:  tnow(),
+	}
+}
+
+// ID returns the span's process-unique id (0 on a nil receiver).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value attribute. Values must be JSON-marshalable.
+// Calls after End are dropped.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = v
+}
+
+// End closes the span and emits its Event. Idempotent: only the first call
+// emits.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := tnow()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.em.Emit(Event{
+		Type:    "span",
+		Name:    s.name,
+		Span:    s.id,
+		Parent:  s.parent,
+		StartNS: s.start.UnixNano(),
+		DurNS:   int64(end.Sub(s.start)),
+		Attrs:   attrs,
+	})
+}
+
+// EndErr records err (when non-nil) as the "error" attribute and ends the
+// span.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
+	s.End()
+}
+
+// JSONLEmitter serialises events as JSON lines to an io.Writer (typically a
+// file). Emissions are serialised by a mutex; encoding errors are dropped —
+// tracing must never fail the pipeline.
+type JSONLEmitter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLEmitter wraps w. The caller owns w's lifetime (close it after the
+// last span has ended).
+func NewJSONLEmitter(w io.Writer) *JSONLEmitter {
+	return &JSONLEmitter{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Emitter.
+func (e *JSONLEmitter) Emit(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.enc.Encode(ev)
+}
+
+// RingEmitter keeps the last N events in memory — the in-process flight
+// recorder used by tests, examples, and post-mortem dumps.
+type RingEmitter struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingEmitter returns a ring holding the most recent capacity events.
+func NewRingEmitter(capacity int) *RingEmitter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingEmitter{buf: make([]Event, capacity)}
+}
+
+// Emit implements Emitter.
+func (e *RingEmitter) Emit(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buf[e.next] = ev
+	e.next++
+	if e.next == len(e.buf) {
+		e.next = 0
+		e.full = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (e *RingEmitter) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.full {
+		return append([]Event(nil), e.buf[:e.next]...)
+	}
+	out := make([]Event, 0, len(e.buf))
+	out = append(out, e.buf[e.next:]...)
+	out = append(out, e.buf[:e.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (e *RingEmitter) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.full {
+		return len(e.buf)
+	}
+	return e.next
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func decodeJSONL(t *testing.T, r io.Reader) []Event {
+	t.Helper()
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out
+		} else if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	defer SetEmitter(nil)
+	var buf bytes.Buffer
+	SetEmitter(NewJSONLEmitter(&buf))
+
+	root := StartSpan(nil, "root")
+	root.SetAttr("kind", "test")
+	child := StartSpan(root, "child")
+	grand := StartSpan(child, "grand")
+	grand.End()
+	child.EndErr(fmt.Errorf("boom"))
+	root.End()
+
+	evs := decodeJSONL(t, &buf)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Events emit at End, so completion order is grand, child, root.
+	byName := map[string]Event{}
+	for _, e := range evs {
+		if e.Type != "span" {
+			t.Fatalf("event type = %q, want span", e.Type)
+		}
+		byName[e.Name] = e
+	}
+	r, c, g := byName["root"], byName["child"], byName["grand"]
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.Span || g.Parent != c.Span {
+		t.Fatalf("nesting broken: root=%d child=(%d←%d) grand=(%d←%d)", r.Span, c.Span, c.Parent, g.Span, g.Parent)
+	}
+	if r.Attrs["kind"] != "test" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if c.Attrs["error"] != "boom" {
+		t.Fatalf("EndErr must record the error attr, got %v", c.Attrs)
+	}
+	// Monotonic timestamps: children start no earlier than their parents and
+	// end no later (parents end last), and durations are non-negative.
+	end := func(e Event) int64 { return e.StartNS + e.DurNS }
+	for name, e := range byName {
+		if e.DurNS < 0 {
+			t.Fatalf("%s: negative duration %d", name, e.DurNS)
+		}
+	}
+	if c.StartNS < r.StartNS || g.StartNS < c.StartNS {
+		t.Fatal("child started before its parent")
+	}
+	if end(g) > end(c) || end(c) > end(r) {
+		t.Fatal("child ended after its parent")
+	}
+}
+
+func TestStartSpanNilWhenTracingOff(t *testing.T) {
+	SetEmitter(nil)
+	sp := StartSpan(nil, "free")
+	if sp != nil {
+		t.Fatal("StartSpan must return nil when no emitter is installed")
+	}
+	// Everything on a nil span is a no-op.
+	sp.SetAttr("k", 1)
+	sp.EndErr(nil)
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("nil span id must be 0")
+	}
+	if child := StartSpan(sp, "child-of-nil"); child != nil {
+		t.Fatal("child of a nil span with tracing off must be nil")
+	}
+}
+
+func TestSpanEndIdempotentAndAttrAfterEndDropped(t *testing.T) {
+	defer SetEmitter(nil)
+	ring := NewRingEmitter(8)
+	SetEmitter(ring)
+	sp := StartSpan(nil, "once")
+	sp.End()
+	sp.SetAttr("late", true) // dropped
+	sp.End()                 // no second event
+	sp.EndErr(fmt.Errorf("late error"))
+	if ring.Len() != 1 {
+		t.Fatalf("got %d events, want 1", ring.Len())
+	}
+	if attrs := ring.Events()[0].Attrs; attrs != nil {
+		t.Fatalf("late attrs must be dropped, got %v", attrs)
+	}
+}
+
+func TestSpanConcurrentAnnotateAndEnd(t *testing.T) {
+	defer SetEmitter(nil)
+	SetEmitter(NewRingEmitter(64))
+	// A supervisor may End a span while the worker is still annotating it;
+	// run under -race to verify the locking.
+	for i := 0; i < 50; i++ {
+		sp := StartSpan(nil, "race")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); sp.SetAttr("k", 1) }()
+		go func() { defer wg.Done(); sp.End() }()
+		wg.Wait()
+	}
+}
+
+func TestRingEmitterWrap(t *testing.T) {
+	ring := NewRingEmitter(3)
+	for i := 0; i < 5; i++ {
+		ring.Emit(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("len = %d, want 3", ring.Len())
+	}
+	evs := ring.Events()
+	want := []string{"e2", "e3", "e4"}
+	for i, w := range want {
+		if evs[i].Name != w {
+			t.Fatalf("events = %v, want oldest-first %v", evs, want)
+		}
+	}
+}
+
+func TestRingEmitterPartial(t *testing.T) {
+	ring := NewRingEmitter(4)
+	ring.Emit(Event{Name: "a"})
+	ring.Emit(Event{Name: "b"})
+	if ring.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ring.Len())
+	}
+	evs := ring.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("events = %v", evs)
+	}
+}

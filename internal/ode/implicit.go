@@ -53,10 +53,17 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 		f(t0, x, fk)
 		res.Traj.Append(t0, x, fk)
 	}
+	m := odeMetrics.Get()
+	newtonIters := 0
+	flush := func() {
+		m.trapSteps.Add(int64(res.Steps))
+		m.trapNewton.Add(int64(newtonIters))
+	}
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
 		tn := t + h
 		if err := o.Budget.Err(); err != nil {
+			flush()
 			return nil, fmt.Errorf("ode: trapezoidal at t=%g (step %d/%d): %w", t, s, nsteps, err)
 		}
 		f(t, x, fk)
@@ -66,6 +73,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 		}
 		converged := false
 		for it := 0; it < o.MaxNewton; it++ {
+			newtonIters++
 			f(tn, xn, fn)
 			// G(xn) = xn - x - h/2 (fk + fn)
 			gnorm := 0.0
@@ -90,6 +98,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			}
 			dx, err := linalg.Solve(jm, g)
 			if err != nil {
+				flush()
 				return nil, fmt.Errorf("ode: trapezoidal Newton solve at t=%g: %w", tn, err)
 			}
 			// Damped update: halve until the residual does not explode.
@@ -116,6 +125,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 				lambda *= 0.5
 			}
 			if !applied {
+				flush()
 				return nil, fmt.Errorf("%w at t=%g (residual %g)", ErrNewtonDiverged, tn, gnorm)
 			}
 		}
@@ -130,10 +140,13 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 				}
 			}
 			if gnorm > 1e-6*(1+linalg.NormInfVec(xn)) {
+				flush()
 				return nil, fmt.Errorf("%w at t=%g after %d iterations", ErrNewtonDiverged, tn, o.MaxNewton)
 			}
 		}
 		if !finite(xn) {
+			m.nonFinite.Inc()
+			flush()
 			return nil, fmt.Errorf("%w in trapezoidal step at t=%g (step %d/%d)", ErrNonFinite, tn, s+1, nsteps)
 		}
 		copy(x, xn)
@@ -143,6 +156,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			res.Traj.Append(tn, x, fn)
 		}
 	}
+	flush()
 	res.X = x
 	return res, nil
 }
@@ -190,13 +204,17 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 	k3 := make([]float64, len(aug))
 	k4 := make([]float64, len(aug))
 	tmp := make([]float64, len(aug))
+	m := odeMetrics.Get()
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
 		if err := tok.Err(); err != nil {
+			m.varSteps.Add(int64(s))
 			return nil, nil, fmt.Errorf("ode: variational integration at t=%g (step %d/%d): %w", t, s, nsteps, err)
 		}
 		rk4Step(rhs, t, aug, h, aug, k1, k2, k3, k4, tmp)
 		if !finite(aug) {
+			m.varSteps.Add(int64(s + 1))
+			m.nonFinite.Inc()
 			return nil, nil, fmt.Errorf("%w in variational integration at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
 		}
 		if rec != nil {
@@ -204,6 +222,7 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			rec.Append(t+h, aug[:n], dz[:n])
 		}
 	}
+	m.varSteps.Add(int64(nsteps))
 	phi := linalg.NewMatrixFrom(n, n, aug[n:])
 	xf := make([]float64, n)
 	copy(xf, aug[:n])
@@ -218,7 +237,11 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 // unstable forward modes become decaying ones (paper, Section 9, step 5).
 // The integration is cut off with a wrapped budget error when tok trips (nil
 // tok never trips) and with ErrNonFinite if the adjoint state turns NaN/Inf.
-func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int, tok *budget.Token) (*Trajectory, error) {
+//
+// The second return value is the number of steps actually completed — equal
+// to nsteps on success, smaller on an early exit — so callers can report real
+// work done (floquet.Trace.Steps) rather than the configured step count.
+func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int, tok *budget.Token) (*Trajectory, int, error) {
 	n := len(yT)
 	jm := make([]float64, n*n)
 	xbuf := make([]float64, n)
@@ -254,22 +277,27 @@ func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, 
 		dys[idx] = append([]float64(nil), dy...)
 	}
 	store(nsteps, t1)
+	m := odeMetrics.Get()
 	for s := 0; s < nsteps; s++ {
 		t := t1 - float64(s)*h
 		if err := tok.Err(); err != nil {
-			return nil, fmt.Errorf("ode: backward adjoint at t=%g (step %d/%d): %w", t, s, nsteps, err)
+			m.adjSteps.Add(int64(s))
+			return nil, s, fmt.Errorf("ode: backward adjoint at t=%g (step %d/%d): %w", t, s, nsteps, err)
 		}
 		rk4Step(rhs, t, y, -h, y, k1, k2, k3, k4, tmp)
 		if !finite(y) {
-			return nil, fmt.Errorf("%w in backward adjoint at t=%g (step %d/%d)", ErrNonFinite, t-h, s+1, nsteps)
+			m.adjSteps.Add(int64(s + 1))
+			m.nonFinite.Inc()
+			return nil, s + 1, fmt.Errorf("%w in backward adjoint at t=%g (step %d/%d)", ErrNonFinite, t-h, s+1, nsteps)
 		}
 		store(nsteps-1-s, t-h)
 	}
+	m.adjSteps.Add(int64(nsteps))
 	out := &Trajectory{}
 	for i := 0; i <= nsteps; i++ {
 		out.Append(ts[i], ys[i], dys[i])
 	}
-	return out, nil
+	return out, nsteps, nil
 }
 
 // AdjointForward integrates ẏ = −Aᵀ(t)y forwards from t0 to t1 along the

@@ -1,0 +1,136 @@
+package ode
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+)
+
+// withRegistry installs a fresh registry for the test and removes it after.
+func withRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	r := obs.NewRegistry()
+	obs.SetGlobal(r)
+	t.Cleanup(func() { obs.SetGlobal(nil) })
+	return r
+}
+
+func TestIntegratorStepMetrics(t *testing.T) {
+	r := withRegistry(t)
+	f := harmonic(1)
+	jac := harmonicJac(1)
+
+	if _, err := RK4(f, 0, 1, []float64{1, 0}, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DOPRI5(f, 0, 1, []float64{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Trapezoidal(f, jac, 0, 1, []float64{1, 0}, 50, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec := &Trajectory{}
+	if _, _, err := Variational(f, jac, 0, 1, []float64{1, 0}, 80, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AdjointBackward(jac, rec, 0, 1, []float64{1, 0}, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s := r.Snapshot()
+	if got := s.Counter("pn_ode_steps_total", "rk4"); got != 100 {
+		t.Fatalf("rk4 steps = %d, want 100", got)
+	}
+	if got := s.Counter("pn_ode_steps_total", "dopri5"); got <= 0 {
+		t.Fatalf("dopri5 steps = %d, want > 0", got)
+	}
+	if got := s.Counter("pn_ode_steps_total", "trapezoidal"); got != 50 {
+		t.Fatalf("trapezoidal steps = %d, want 50", got)
+	}
+	if got := s.Counter("pn_ode_steps_total", "variational"); got != 80 {
+		t.Fatalf("variational steps = %d, want 80", got)
+	}
+	if got := s.Counter("pn_ode_steps_total", "adjoint"); got != 60 {
+		t.Fatalf("adjoint steps = %d, want 60", got)
+	}
+	if got := s.Counter("pn_ode_newton_iters_total", ""); got < 50 {
+		t.Fatalf("newton iters = %d, want >= one per trapezoidal step", got)
+	}
+}
+
+func TestStepMetricsFlushedOnBudgetTrip(t *testing.T) {
+	r := withRegistry(t)
+	f := harmonic(1)
+	jac := harmonicJac(1)
+	rec := &Trajectory{}
+	vari(f, jac, 0, 1, []float64{1, 0}, 100, rec)
+	before := r.Snapshot().Counter("pn_ode_steps_total", "variational")
+	if before != 100 {
+		t.Fatalf("variational steps = %d, want 100", before)
+	}
+
+	// Cancel mid-run — from inside the Jacobian, so the trip lands between
+	// steps; the steps completed up to the cut must still be counted.
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	calls := 0
+	countingJac := func(t float64, x []float64, dst []float64) {
+		calls++
+		if calls > 200 { // ≈ 40 steps: 4 rhs evals per RK4 step plus the sample
+			cancel()
+		}
+		jac(t, x, dst)
+	}
+	_, _, err := AdjointBackward(countingJac, rec, 0, 1, []float64{1, 0}, 100, tok)
+	if err == nil {
+		t.Fatal("want a budget error")
+	}
+	got := r.Snapshot().Counter("pn_ode_steps_total", "adjoint")
+	if got <= 0 || got >= 100 {
+		t.Fatalf("adjoint steps after mid-run trip = %d, want in (0, 100)", got)
+	}
+}
+
+func TestNonFiniteCounted(t *testing.T) {
+	r := withRegistry(t)
+	blow := func(t float64, x, dst []float64) {
+		dst[0] = x[0] * x[0] * 1e30
+	}
+	_, err := RK4(blow, 0, 1, []float64{1}, 50, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("got %v, want ErrNonFinite", err)
+	}
+	if got := r.Snapshot().Counter("pn_ode_nonfinite_total", ""); got != 1 {
+		t.Fatalf("nonfinite = %d, want 1", got)
+	}
+}
+
+// Instrumentation must not add allocations to the integrator hot path: the
+// per-call allocation count of RK4 is identical with metrics off and on.
+func TestRK4AllocsUnchangedByInstrumentation(t *testing.T) {
+	f := harmonic(1)
+	x0 := []float64{1, 0}
+
+	obs.SetGlobal(nil)
+	odeMetrics.Get() // warm the cached zero bundle
+	off := testing.AllocsPerRun(200, func() {
+		if _, err := RK4(f, 0, 1, x0, 64, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	obs.SetGlobal(obs.NewRegistry())
+	t.Cleanup(func() { obs.SetGlobal(nil) })
+	odeMetrics.Get() // warm the live bundle (the rebuild allocates once)
+	on := testing.AllocsPerRun(200, func() {
+		if _, err := RK4(f, 0, 1, x0, 64, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if on != off {
+		t.Fatalf("RK4 allocs/run: off=%v on=%v — instrumentation must not allocate", off, on)
+	}
+}

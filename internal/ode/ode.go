@@ -95,16 +95,21 @@ func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int, tok *budget.Token) ([
 	k4 := make([]float64, n)
 	tmp := make([]float64, n)
 	h := (t1 - t0) / float64(nsteps)
+	m := odeMetrics.Get()
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
 		if err := tok.Err(); err != nil {
+			m.rk4Steps.Add(int64(s))
 			return nil, fmt.Errorf("ode: RK4 at t=%g (step %d/%d): %w", t, s, nsteps, err)
 		}
 		rk4Step(f, t, x, h, x, k1, k2, k3, k4, tmp)
 		if !finite(x) {
+			m.rk4Steps.Add(int64(s + 1))
+			m.nonFinite.Inc()
 			return nil, fmt.Errorf("%w in RK4 at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
 		}
 	}
+	m.rk4Steps.Add(int64(nsteps))
 	return x, nil
 }
 
@@ -283,8 +288,24 @@ var (
 // DOPRI5 integrates ẋ = f from t0 to t1 (t1 > t0) with the Dormand–Prince
 // 5(4) adaptive pair. x0 is not modified.
 func DOPRI5(f Func, t0, t1 float64, x0 []float64, opts *Options) (*Result, error) {
+	res, err := dopri5(f, t0, t1, x0, opts)
+	m := odeMetrics.Get()
+	m.dopri5Steps.Add(int64(res.Steps))
+	m.dopri5Rejected.Add(int64(res.Rejected))
+	if err != nil {
+		if errors.Is(err, ErrNonFinite) {
+			m.nonFinite.Inc()
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// dopri5 is the DOPRI5 body; it always returns a non-nil Result so the
+// wrapper can account partial work (accepted/rejected steps) on failure too.
+func dopri5(f Func, t0, t1 float64, x0 []float64, opts *Options) (*Result, error) {
 	if t1 <= t0 {
-		return nil, fmt.Errorf("ode: DOPRI5 requires t1 > t0 (got %g..%g)", t0, t1)
+		return &Result{}, fmt.Errorf("ode: DOPRI5 requires t1 > t0 (got %g..%g)", t0, t1)
 	}
 	o := opts.defaults(t0, t1)
 	n := len(x0)
@@ -320,19 +341,19 @@ func DOPRI5(f Func, t0, t1 float64, x0 []float64, opts *Options) (*Result, error
 	firstStage := true
 	for t < t1 {
 		if err := o.Budget.Err(); err != nil {
-			return nil, fmt.Errorf("ode: DOPRI5 at t=%g after %d steps: %w", t, res.Steps, err)
+			return res, fmt.Errorf("ode: DOPRI5 at t=%g after %d steps: %w", t, res.Steps, err)
 		}
 		if res.Steps+res.Rejected > o.MaxSteps {
-			return nil, fmt.Errorf("ode: exceeded %d steps at t=%g", o.MaxSteps, t)
+			return res, fmt.Errorf("ode: exceeded %d steps at t=%g", o.MaxSteps, t)
 		}
 		if h < 1e-14*(math.Abs(t)+1) {
-			return nil, fmt.Errorf("%w at t=%g (h=%g)", ErrStepSizeUnderflow, t, h)
+			return res, fmt.Errorf("%w at t=%g (h=%g)", ErrStepSizeUnderflow, t, h)
 		}
 		// A NaN step size (vector field non-finite at the very first state,
 		// poisoning the initial-step estimate) fails every comparison above
 		// and would otherwise grind through MaxSteps rejected steps.
 		if h-h != 0 {
-			return nil, fmt.Errorf("%w: DOPRI5 step size %g at t=%g (vector field non-finite?)", ErrNonFinite, h, t)
+			return res, fmt.Errorf("%w: DOPRI5 step size %g at t=%g (vector field non-finite?)", ErrNonFinite, h, t)
 		}
 		if t+h > t1 {
 			h = t1 - t

@@ -32,7 +32,7 @@ func vari(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, rec *Tr
 }
 
 func adjBack(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, nsteps int) *Trajectory {
-	tr, err := AdjointBackward(jac, xs, t0, t1, yT, nsteps, nil)
+	tr, _, err := AdjointBackward(jac, xs, t0, t1, yT, nsteps, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -488,8 +488,11 @@ func TestAdjointBackwardCanceledBudget(t *testing.T) {
 	vari(harmonic(1), harmonicJac(1), 0, 1, []float64{1, 0}, 100, rec)
 	tok, cancel := budget.WithCancel(nil)
 	cancel()
-	_, err := AdjointBackward(harmonicJac(1), rec, 0, 1, []float64{1, 0}, 100, tok)
+	_, done, err := AdjointBackward(harmonicJac(1), rec, 0, 1, []float64{1, 0}, 100, tok)
 	if !errors.Is(err, budget.ErrCanceled) {
 		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if done != 0 {
+		t.Fatalf("pre-canceled token: got %d steps done, want 0", done)
 	}
 }

@@ -1,0 +1,23 @@
+package sde
+
+import "repro/internal/obs"
+
+// sdeInstruments are the Monte-Carlo engine metrics. Step counts are
+// accumulated locally in EulerMaruyamaBudget and flushed once per path, so
+// the per-step loop stays free of atomic traffic.
+type sdeInstruments struct {
+	steps         *obs.Counter // pn_sde_steps_total
+	pathsDone     *obs.Counter // pn_sde_paths_total{outcome="completed"}
+	pathsCut      *obs.Counter // pn_sde_paths_total{outcome="cut"}
+	pathsAbandond *obs.Counter // pn_sde_paths_total{outcome="abandoned"}
+}
+
+var sdeMetrics = obs.NewView(func(r *obs.Registry) *sdeInstruments {
+	paths := r.CounterVec("pn_sde_paths_total", "Euler–Maruyama sample paths, by outcome (completed, cut mid-path by a budget trip, or abandoned before starting).", "outcome")
+	return &sdeInstruments{
+		steps:         r.Counter("pn_sde_steps_total", "Euler–Maruyama integration steps completed."),
+		pathsDone:     paths.With("completed"),
+		pathsCut:      paths.With("cut"),
+		pathsAbandond: paths.With("abandoned"),
+	}
+})

@@ -90,9 +90,12 @@ func EulerMaruyamaBudget(sys System, x0 []float64, t0, dt float64, nsteps, strid
 		path.X = append(path.X, xc)
 	}
 	record()
+	m := sdeMetrics.Get()
 	for k := 0; k < nsteps; k++ {
 		t := t0 + float64(k)*dt
 		if err := tok.Err(); err != nil {
+			m.steps.Add(int64(k))
+			m.pathsCut.Inc()
 			return nil, fmt.Errorf("sde: Euler–Maruyama at t=%g (step %d/%d): %w", t, k, nsteps, err)
 		}
 		sys.Drift(t, x, drift)
@@ -112,6 +115,8 @@ func EulerMaruyamaBudget(sys System, x0 []float64, t0, dt float64, nsteps, strid
 			record()
 		}
 	}
+	m.steps.Add(int64(nsteps))
+	m.pathsDone.Inc()
 	return path, nil
 }
 
@@ -185,8 +190,10 @@ func EnsembleFrom(mk func() System, x0 []float64, cfg EnsembleConfig) []*Path {
 		go func() {
 			defer wg.Done()
 			sys := mk()
+			m := sdeMetrics.Get()
 			for k := range next {
 				if cfg.Budget.Err() != nil {
+					m.pathsAbandond.Inc()
 					continue // drain; canceled paths stay nil
 				}
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))

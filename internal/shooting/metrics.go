@@ -1,0 +1,22 @@
+package shooting
+
+import "repro/internal/obs"
+
+// shootingInstruments are the shooting-solver metrics. Counts are accumulated
+// in locals during Find and flushed once on return (success or failure), so
+// the Newton loop itself carries no atomic traffic.
+type shootingInstruments struct {
+	finds       *obs.Counter // pn_shooting_finds_total
+	converged   *obs.Counter // pn_shooting_converged_total
+	newtonIters *obs.Counter // pn_shooting_newton_iters_total
+	dampings    *obs.Counter // pn_shooting_dampings_total
+}
+
+var shootingMetrics = obs.NewView(func(r *obs.Registry) *shootingInstruments {
+	return &shootingInstruments{
+		finds:       r.Counter("pn_shooting_finds_total", "Shooting Find calls started."),
+		converged:   r.Counter("pn_shooting_converged_total", "Shooting Find calls that returned a converged periodic steady state."),
+		newtonIters: r.Counter("pn_shooting_newton_iters_total", "Newton shooting iterations started."),
+		dampings:    r.Counter("pn_shooting_dampings_total", "Newton step halvings (damping activations)."),
+	}
+})

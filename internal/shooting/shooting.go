@@ -143,6 +143,13 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 		start := time.Now()
 		defer func() { tr.Wall = time.Since(start) }()
 	}
+	sm := shootingMetrics.Get()
+	sm.finds.Inc()
+	iters, dampings := 0, 0
+	defer func() {
+		sm.newtonIters.Add(int64(iters))
+		sm.dampings.Add(int64(dampings))
+	}()
 	n := sys.Dim()
 	if len(x0) != n {
 		return nil, fmt.Errorf("shooting: x0 has length %d, want %d", len(x0), n)
@@ -266,6 +273,12 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 		if err := o.Budget.Err(); err != nil {
 			return nil, fmt.Errorf("shooting: Newton iteration %d: %w", iter, err)
 		}
+		// Count the iteration as soon as it starts real work, so a trace from
+		// a failure inside the monodromy integration still reflects it.
+		iters = iter
+		if tr != nil {
+			tr.Iters = iter
+		}
 		xT, phi, verr := ode.Variational(f, jac, 0, T, x, o.StepsPerPeriod, nil, o.Budget)
 		if verr != nil {
 			return nil, wrapIntegration(fmt.Sprintf("monodromy integration (iteration %d)", iter), verr)
@@ -284,7 +297,6 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 		res /= scale
 		lastRes = res
 		if tr != nil {
-			tr.Iters = iter
 			tr.Residual = res
 			tr.Residuals = append(tr.Residuals, res)
 		}
@@ -292,7 +304,11 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 			if linalg.NormInfVec(fx0) < 1e-3*fRef {
 				return nil, errors.New("shooting: converged to an equilibrium, not a limit cycle")
 			}
-			return finish(sys, x, T, o, iter, res)
+			pss, err := finish(sys, x, T, o, iter, res)
+			if err == nil {
+				sm.converged.Inc()
+			}
+			return pss, err
 		}
 
 		// Bordered Newton system.
@@ -329,6 +345,7 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 			Tc := T + lambda*delta[n]
 			if Tc <= 0.2*tGuess || Tc > 5*tGuess {
 				lambda *= 0.5
+				dampings++
 				if tr != nil {
 					tr.Dampings++
 				}
@@ -338,6 +355,7 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 			if linalg.NormInfVec(fx0) < 1e-3*fRef {
 				// Candidate is collapsing onto an equilibrium.
 				lambda *= 0.5
+				dampings++
 				if tr != nil {
 					tr.Dampings++
 				}
@@ -356,6 +374,7 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 				// A non-finite trial orbit is just a rejected candidate:
 				// halve the step and keep looking.
 				lambda *= 0.5
+				dampings++
 				if tr != nil {
 					tr.Dampings++
 				}
@@ -374,6 +393,7 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 				break
 			}
 			lambda *= 0.5
+			dampings++
 			if tr != nil {
 				tr.Dampings++
 			}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
+	"repro/internal/obs"
 	"repro/internal/ode"
 	"repro/internal/shooting"
 )
@@ -289,6 +290,12 @@ func Run(points []Point, cfg *Config) []PointResult {
 		c.OnPoint(res)
 	}
 
+	m := sweepMetrics.Get()
+	m.queueDepth.Set(float64(len(points)))
+	rsp := obs.StartSpan(nil, "sweep.Run")
+	rsp.SetAttr("points", len(points))
+	rsp.SetAttr("workers", workers)
+
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -296,7 +303,17 @@ func Run(points []Point, cfg *Config) []PointResult {
 		go func() {
 			defer wg.Done()
 			for k := range next {
-				out[k] = runPoint(k, points[k], &c, attempt)
+				out[k] = runPoint(k, points[k], &c, attempt, rsp)
+				switch {
+				case out[k].OK():
+					m.pointsOK.Inc()
+				case out[k].Degraded():
+					m.pointsDegraded.Inc()
+				default:
+					m.pointsFailed.Inc()
+				}
+				m.pointSeconds.Observe(out[k].Wall.Seconds())
+				m.queueDepth.Add(-1)
 				done(out[k])
 			}
 		}()
@@ -319,6 +336,7 @@ feed:
 	}
 	close(next)
 	wg.Wait()
+	rsp.End()
 	return out
 }
 
@@ -328,31 +346,41 @@ func markSkipped(points []Point, out []PointResult, from int, cause error, done 
 	if cause == nil {
 		cause = budget.ErrCanceled
 	}
+	m := sweepMetrics.Get()
 	for j := from; j < len(points); j++ {
 		out[j] = PointResult{
 			Index: j,
 			Name:  points[j].Name,
 			Err:   fmt.Errorf("sweep: point %q not started: %w", points[j].Name, cause),
 		}
+		m.pointsSkipped.Inc()
+		m.queueDepth.Add(-1)
 		done(out[j])
 	}
 }
 
 // runPoint walks one point up the ladder until an attempt succeeds or the
 // failure is not retryable, under the point's wall-clock budget.
-func runPoint(index int, p Point, c *Config, attempt func(int, string, Attempt)) PointResult {
+func runPoint(index int, p Point, c *Config, attempt func(int, string, Attempt), rsp *obs.Span) PointResult {
 	start := time.Now()
 	res := PointResult{Index: index, Name: p.Name}
 	if err := c.Budget.Err(); err != nil {
 		res.Err = fmt.Errorf("sweep: point %q not started: %w", p.Name, err)
 		return res
 	}
+	psp := obs.StartSpan(rsp, "sweep.point")
+	psp.SetAttr("index", index)
+	psp.SetAttr("name", p.Name)
+	defer func() {
+		psp.SetAttr("attempts", len(res.Attempts))
+		psp.EndErr(res.Err)
+	}()
 	ptTok := c.Budget
 	if c.PointTimeout > 0 {
 		ptTok = budget.WithTimeout(ptTok, c.PointTimeout)
 	}
 	for ri, rung := range c.Ladder {
-		att, r, pss := runAttempt(p, ri, rung, ptTok, c)
+		att, r, pss := runAttempt(p, ri, rung, ptTok, c, psp)
 		res.Attempts = append(res.Attempts, att)
 		attempt(index, p.Name, att)
 		if pss != nil && (res.PSS == nil || pss.Residual < res.PSS.Residual) {
@@ -384,7 +412,12 @@ type attemptOutcome struct {
 // runAttempt executes one ladder rung in its own goroutine under the
 // combined attempt/point/batch budget, recovering panics and enforcing the
 // deadline even against a model that never returns.
-func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (Attempt, *core.Result, *shooting.PSS) {
+func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config, psp *obs.Span) (Attempt, *core.Result, *shooting.PSS) {
+	m := sweepMetrics.Get()
+	m.attempts.With(rung.Name).Inc()
+	asp := obs.StartSpan(psp, "sweep.attempt")
+	asp.SetAttr("rung", rung.Name)
+
 	atTok, cancel := budget.WithCancel(parent)
 	defer cancel()
 	if c.AttemptTimeout > 0 {
@@ -409,6 +442,7 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (At
 		opts.Trace = &out.att.Trace
 		opts.Budget = atTok
 		opts.Partial = &partial
+		opts.Span = asp
 		out.res, out.att.Err = core.Characterise(p.System, p.X0, p.TGuess, opts)
 		out.pss = partial.PSS
 	}()
@@ -423,6 +457,7 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (At
 	}
 	select {
 	case o := <-ch:
+		asp.EndErr(o.att.Err)
 		return o.att, o.res, o.pss
 	case <-timer:
 	case <-atTok.Done():
@@ -440,6 +475,7 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (At
 	defer gt.Stop()
 	select {
 	case o := <-ch:
+		asp.EndErr(o.att.Err)
 		return o.att, o.res, o.pss
 	case <-gt.C:
 		cause := atTok.Err()
@@ -447,12 +483,15 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config) (At
 			cause = budget.ErrCanceled
 		}
 		wall := time.Since(aStart)
+		m.abandoned.Inc()
+		err := fmt.Errorf("sweep: attempt %q on point %q abandoned after %v (model unresponsive to cancellation): %w",
+			rung.Name, p.Name, wall.Round(time.Millisecond), cause)
+		asp.EndErr(err)
 		return Attempt{
 			Rung:     ri,
 			RungName: rung.Name,
 			Wall:     wall,
-			Err: fmt.Errorf("sweep: attempt %q on point %q abandoned after %v (model unresponsive to cancellation): %w",
-				rung.Name, p.Name, wall.Round(time.Millisecond), cause),
+			Err:      err,
 		}, nil, nil
 	}
 }
