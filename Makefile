@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json
+.PHONY: verify build test vet race bench bench-json smoke-serve
 
 verify: build test vet race
 
@@ -20,6 +20,12 @@ vet:
 
 race:
 	$(GO) test -race -timeout 10m ./...
+
+# End-to-end smoke of the job server: build pnserve, characterise over HTTP,
+# assert the identical resubmission is a cache hit, scrape /metrics. CI runs
+# the same script (serve-smoke job).
+smoke-serve:
+	./scripts/smoke_serve.sh
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...

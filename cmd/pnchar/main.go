@@ -1,30 +1,38 @@
 // Command pnchar runs the full phase-noise characterisation pipeline
 // (shooting → Floquet → c quadratures) on a named oscillator from the model
-// library and prints the resulting report: period, phase-diffusion constant
+// registry and prints the resulting report: period, phase-diffusion constant
 // c, Lorentzian corner, Floquet multipliers, per-source noise budget and
 // per-node sensitivities.
 //
 // Usage:
 //
-//	pnchar -osc hopf|vanderpol|bandpass|ring|fhn [-harmonics n] [-lfm f_m]
+//	pnchar -osc hopf|vanderpol|bandpass|ring|fhn|negres|colpitts
+//	       [-p name=value ...] [-harmonics n] [-lfm f_m]
+//	       [-cache-dir dir] [-cache-mem bytes]
 //	       [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
-// -debug-addr serves /metrics (Prometheus text format) and /debug/pprof/
-// while the pipeline runs; -cpuprofile/-memprofile write pprof files and
-// -trace-out records the pipeline's span events as JSON lines.
+// Models come from internal/osc's registry; -p overrides a registered
+// parameter (repeatable, e.g. -p mu=2.5 -p sigma=0.02) and unknown names are
+// rejected. -cache-dir serves repeat characterisations from the
+// content-addressed result store shared with pnsweep and pnserve. -debug-addr
+// serves /metrics (Prometheus text format) and /debug/pprof/ while the
+// pipeline runs; -cpuprofile/-memprofile write pprof files and -trace-out
+// records the pipeline's span events as JSON lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/cliobs"
 	"repro/internal/core"
-	"repro/internal/osc"
-	"repro/internal/shooting"
+	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -39,6 +47,21 @@ func run() int {
 	oscName := flag.String("osc", "bandpass", "oscillator: hopf, vanderpol, bandpass, ring, fhn, negres, colpitts")
 	harmonics := flag.Int("harmonics", 4, "harmonics for the spectrum summary")
 	lfmAt := flag.Float64("lfm", 0, "also print L(f_m) at this offset in Hz (0 = skip)")
+	cacheDir := flag.String("cache-dir", "", "reuse characterisation results from this directory (shared with pnsweep and pnserve; empty = no cache)")
+	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
+	params := map[string]float64{}
+	flag.Func("p", "override a model parameter as name=value (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %q: %w", name, err)
+		}
+		params[name] = v
+		return nil
+	})
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -49,10 +72,13 @@ func run() int {
 	}
 	defer stopObs()
 
-	res, err := characterise(*oscName)
+	res, cached, err := characterise(*oscName, params, *cacheDir, *cacheMem)
 	if err != nil {
 		log.Print(err)
 		return 1
+	}
+	if cached {
+		fmt.Println("(served from the result cache)")
 	}
 	fmt.Print(res.Report())
 
@@ -66,48 +92,25 @@ func run() int {
 	return 0
 }
 
-func characterise(name string) (*core.Result, error) {
-	switch name {
-	case "hopf":
-		h := &osc.Hopf{Lambda: 1, Omega: 2 * math.Pi * 1e6, Sigma: 1e-2}
-		return core.Characterise(h, []float64{1, 0}, h.Period(), nil)
-	case "vanderpol":
-		v := &osc.VanDerPol{Mu: 1, Sigma: 0.01}
-		return core.Characterise(v, []float64{2, 0}, 6.7, nil)
-	case "bandpass":
-		b := osc.NewBandpassPaper()
-		return core.Characterise(b, []float64{0.1, 0}, 1/6660.0, nil)
-	case "ring":
-		r := osc.NewECLRingPaper()
-		T, x0, err := shooting.EstimatePeriod(r, r.InitialState(), 300e-9)
-		if err != nil {
-			return nil, err
+// characterise resolves the named model through the registry and runs it
+// through the batch engine — one-point batch, so the retry ladder, panic
+// isolation and the content-addressed cache all apply exactly as they do for
+// pnsweep and pnserve (and cache keys are shared with both).
+func characterise(name string, params map[string]float64, cacheDir string, cacheMem int64) (*core.Result, bool, error) {
+	var store *cache.Store
+	if cacheDir != "" {
+		var err error
+		if store, err = cache.New(cache.Options{MaxBytes: cacheMem, Dir: cacheDir}); err != nil {
+			return nil, false, err
 		}
-		return core.Characterise(r, x0, T, &core.Options{
-			Shooting: &shooting.Options{StepsPerPeriod: 4000},
-		})
-	case "negres":
-		v := osc.NewNegResLC(1e8, 5e-9, 8, 3, 0.2, 300, 2)
-		return core.Characterise(v, []float64{0.01, 0}, 1e-8, nil)
-	case "colpitts":
-		cp := osc.NewColpittsPaperScale()
-		x0 := cp.BiasPoint()
-		x0[1] += 0.05
-		T, xc, err := shooting.EstimatePeriod(cp, x0, 300.0/cp.F0Linear())
-		if err != nil {
-			return nil, err
-		}
-		return core.Characterise(cp, xc, T, nil)
-	case "fhn":
-		f := &osc.FitzHughNagumo{Eps: 0.08, A: 0, SigmaV: 1e-3, SigmaW: 1e-3}
-		T, x0, err := shooting.EstimatePeriod(f, []float64{1, 0}, 60)
-		if err != nil {
-			return nil, err
-		}
-		return core.Characterise(f, x0, T, &core.Options{
-			Shooting: &shooting.Options{StepsPerPeriod: 8000},
-		})
-	default:
-		return nil, fmt.Errorf("unknown oscillator %q", name)
 	}
+	pt, err := serve.PointSpec{Model: name, Params: params}.Resolve(nil)
+	if err != nil {
+		return nil, false, err
+	}
+	r := sweep.Run([]sweep.Point{pt}, &sweep.Config{Workers: 1, Cache: store})[0]
+	if !r.OK() {
+		return nil, false, r.Err
+	}
+	return r.Result, r.Cached, nil
 }

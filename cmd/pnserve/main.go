@@ -1,0 +1,142 @@
+// Command pnserve runs the characterisation-as-a-service job server: an HTTP
+// JSON API (internal/serve) that characterises registered oscillator models —
+// single points or parameter sweeps — on a bounded worker pool, in front of
+// the content-addressed result cache (internal/cache).
+//
+// Usage:
+//
+//	pnserve [-addr :8080] [-workers n] [-queue n]
+//	        [-cache-dir dir] [-cache-mem bytes]
+//	        [-job-timeout d] [-drain-timeout d]
+//	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
+//
+// The API surface (see internal/serve for details):
+//
+//	POST /v1/characterise     {"model":"hopf","params":{...}}       → job
+//	POST /v1/sweep            {"points":[...],"workers":4}          → job
+//	GET  /v1/jobs/{id}        job status (+?full=1 for full results)
+//	GET  /v1/jobs/{id}/events live progress as Server-Sent Events
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/models           registered models and their defaults
+//	GET  /healthz             liveness and drain state
+//	GET  /metrics             Prometheus text metrics (pn_serve_*, pn_cache_*, …)
+//	GET  /debug/pprof/        the standard pprof handlers
+//
+// -cache-dir persists results across restarts and shares them with pnsweep
+// and pnchar runs pointed at the same directory; -cache-mem bounds the
+// in-memory tier. SIGINT/SIGTERM drain gracefully: intake stops (503), queued
+// and running jobs finish, and after -drain-timeout whatever is still running
+// is cancelled through its budget token.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cliobs"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnserve: ")
+	// All work happens in run so its defers — profile writers, the trace
+	// file, the debug server — run before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "job worker pool size")
+	queue := flag.Int("queue", 16, "queued-job bound (submissions beyond it get 429)")
+	cacheDir := flag.String("cache-dir", "", "persist characterisation results in this directory (empty = memory only)")
+	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes")
+	jobTimeout := flag.Duration("job-timeout", 0, "ceiling on any job's wall clock, on top of per-request timeout_ms (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain grace before in-flight jobs are cancelled")
+	obsFlags := cliobs.Register(flag.CommandLine)
+	flag.Parse()
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stopObs()
+	// A server always exposes /metrics, debug flags or not; install the
+	// registry if cliobs did not already.
+	if !obs.Enabled() {
+		obs.SetGlobal(obs.NewRegistry())
+	}
+
+	store, err := cache.New(cache.Options{MaxBytes: *cacheMem, Dir: *cacheDir})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		Queue:      *queue,
+		Cache:      store,
+		MaxJobWall: *jobTimeout,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/metrics", obs.MetricsHandler(nil))
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "pnserve: listening on %s (%d workers, queue %d, cache-mem %d, cache-dir %q, GOMAXPROCS %d)\n",
+		*addr, *workers, *queue, *cacheMem, *cacheDir, runtime.GOMAXPROCS(0))
+
+	select {
+	case err := <-errc:
+		log.Printf("http server: %v", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pnserve: %v — draining (grace %v; signal again to abort)\n", sig, *drainTimeout)
+	}
+	go func() {
+		<-sigc
+		os.Exit(130)
+	}()
+
+	// Drain order: stop the listener first so no submission can slip in
+	// after the job queue closes, then drain the job server under the grace.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pnserve: drain grace expired — cancelled in-flight jobs")
+	}
+	return 0
+}

@@ -8,12 +8,19 @@
 //
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
 //	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
+//	        [-cache-dir dir] [-cache-mem bytes]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
 // frequency ω, vanderpol the nonlinearity μ, ring the tail bias current IEE.
-// A summary table goes to stdout; -json writes the full per-point results,
-// including retry history and per-stage diagnostics, as JSON.
+// A summary table goes to stdout; -json writes the full per-point results —
+// loss-free, including trajectories, retry history and per-stage diagnostics
+// — as JSON.
+//
+// -cache-dir reuses prior characterisations from a content-addressed result
+// store shared with pnchar and pnserve: identical points are served from the
+// cache (status "cached", counted on the progress line) without running the
+// pipeline, and fresh results are persisted for the next run.
 //
 // On a terminal, a live progress line on stderr tracks points done, failures,
 // retries and the ETA; it is suppressed when stderr is piped or with -v.
@@ -37,7 +44,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,45 +52,29 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cache"
 	"repro/internal/cliobs"
-	"repro/internal/core"
-	"repro/internal/osc"
-	"repro/internal/shooting"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
-// pointJSON is the JSON shape of one sweep point result.
+// pointJSON is the JSON shape of one sweep point result: the swept parameter
+// and a human-readable status next to the loss-free engine result. Point
+// round-trips through sweep.PointResult's JSON codec, so trajectories, the
+// Floquet decomposition, per-source budgets, retry history and typed
+// budget/panic error classification all survive re-reading the file.
 type pointJSON struct {
-	Name   string  `json:"name"`
-	Param  float64 `json:"param"`
-	OK     bool    `json:"ok"`
-	Status string  `json:"status"` // ok | recovered | failed | timeout | canceled | panic
-	Error  string  `json:"error,omitempty"`
-	T      float64 `json:"period_s,omitempty"`
-	F0     float64 `json:"f0_hz,omitempty"`
-	C      float64 `json:"c_s2hz,omitempty"`
-	Corner float64 `json:"corner_hz,omitempty"`
-	// Partial results: set when shooting converged even though the full
-	// characterisation did not.
-	PartialT        float64       `json:"partial_period_s,omitempty"`
-	PartialResidual float64       `json:"partial_residual,omitempty"`
-	WallMS          float64       `json:"wall_ms"`
-	Attempts        []attemptJSON `json:"attempts"`
-}
-
-type attemptJSON struct {
-	Rung          string  `json:"rung"`
-	Error         string  `json:"error,omitempty"`
-	WallMS        float64 `json:"wall_ms"`
-	ShootingIters int     `json:"shooting_iters"`
-	Residual      float64 `json:"shooting_residual"`
-	AdjointSteps  int     `json:"adjoint_steps"`
-	ClosureErr    float64 `json:"adjoint_closure_err"`
+	Name   string             `json:"name"`
+	Param  float64            `json:"param"`
+	Status string             `json:"status"` // ok | cached | recovered | failed | timeout | canceled | panic
+	Point  *sweep.PointResult `json:"point"`
 }
 
 // status classifies a point result for the table and JSON.
 func status(r *sweep.PointResult) string {
 	switch {
+	case r.OK() && r.Cached:
+		return "cached"
 	case r.OK() && len(r.Attempts) > 1:
 		return "recovered"
 	case r.OK():
@@ -118,6 +108,8 @@ func run() int {
 	ptTimeout := flag.Duration("point-timeout", 0, "wall-clock budget per point, all retries included (0 = unbounded)")
 	jsonPath := flag.String("json", "", "write full JSON results to this file")
 	verbose := flag.Bool("v", false, "stream per-attempt progress to stderr")
+	cacheDir := flag.String("cache-dir", "", "reuse characterisation results from this directory (shared with pnchar and pnserve; empty = no cache)")
+	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -127,6 +119,14 @@ func run() int {
 		return 1
 	}
 	defer stopObs()
+
+	var store *cache.Store
+	if *cacheDir != "" {
+		if store, err = cache.New(cache.Options{MaxBytes: *cacheMem, Dir: *cacheDir}); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
 
 	points, param, err := buildGrid(*oscName, *pmin, *pmax, *n)
 	if err != nil {
@@ -156,6 +156,7 @@ func run() int {
 		Workers:      *workers,
 		Budget:       tok,
 		PointTimeout: *ptTimeout,
+		Cache:        store,
 	}
 	var prog *progress
 	if *verbose {
@@ -196,7 +197,12 @@ func run() int {
 }
 
 // buildGrid materialises the parameter grid for one oscillator family and
-// returns the sweep points plus the per-point parameter values.
+// returns the sweep points plus the per-point parameter values. Points are
+// specified as pure data (model name + parameter map) and resolved through
+// the same serve.PointSpec path the job server uses, so the stamped
+// content-addressed cache keys are identical — a sweep run with -cache-dir
+// warms the cache for pnserve and pnchar runs over the same directory, and
+// vice versa.
 func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("need at least one grid point, got %d", n)
@@ -221,64 +227,63 @@ func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64
 		}
 		return lo, hi
 	}
+	var vals []float64
+	specs := make([]serve.PointSpec, 0, n)
 	switch name {
 	case "hopf":
 		lo, hi := defaults(2, 12)
-		vals := grid(lo, hi)
-		pts := make([]sweep.Point, n)
-		for i, w := range vals {
-			h := &osc.Hopf{Lambda: 1, Omega: w, Sigma: 0.02}
-			pts[i] = sweep.Point{
+		vals = grid(lo, hi)
+		for _, w := range vals {
+			specs = append(specs, serve.PointSpec{
 				Name:   fmt.Sprintf("hopf-omega=%.4g", w),
-				System: h,
-				X0:     []float64{1, 0.1},
-				TGuess: h.Period() * 1.05,
-			}
+				Model:  "hopf",
+				Params: map[string]float64{"lambda": 1, "omega": w, "sigma": 0.02},
+			})
 		}
-		return pts, vals, nil
 	case "vanderpol":
 		lo, hi := defaults(0.5, 3.5)
-		vals := grid(lo, hi)
-		pts := make([]sweep.Point, n)
-		for i, mu := range vals {
-			pts[i] = sweep.Point{
+		vals = grid(lo, hi)
+		for _, mu := range vals {
+			specs = append(specs, serve.PointSpec{
 				Name:   fmt.Sprintf("vdp-mu=%.4g", mu),
-				System: &osc.VanDerPol{Mu: mu, Sigma: 0.01},
-				X0:     []float64{2, 0},
-				// Crude relaxation-oscillation period estimate; the
-				// shooting transient and closest-return scan refine it.
-				TGuess: 2*math.Pi + (3-2*math.Log(2))*mu,
-			}
+				Model:  "vanderpol",
+				Params: map[string]float64{"mu": mu, "sigma": 0.01},
+			})
 		}
-		return pts, vals, nil
 	case "ring":
 		lo, hi := defaults(331e-6, 715e-6)
-		vals := grid(lo, hi)
-		pts := make([]sweep.Point, n)
-		for i, iee := range vals {
-			r := osc.NewECLRingPaper()
-			r.IEE = iee
-			pts[i] = sweep.Point{
+		vals = grid(lo, hi)
+		for _, iee := range vals {
+			specs = append(specs, serve.PointSpec{
 				Name:   fmt.Sprintf("ring-iee=%.3gu", iee*1e6),
-				System: r,
-				X0:     r.InitialState(),
-				TGuess: 6e-9, // near the paper's 167.7 MHz nominal
-				Opts:   &core.Options{Shooting: &shooting.Options{StepsPerPeriod: 4000}},
-			}
+				Model:  "ring",
+				Params: map[string]float64{"iee": iee},
+			})
 		}
-		return pts, vals, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown oscillator %q (want hopf, vanderpol, ring)", name)
 	}
+	pts := make([]sweep.Point, len(specs))
+	for i, sp := range specs {
+		pt, err := sp.Resolve(nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("point %q: %w", sp.Name, err)
+		}
+		pts[i] = pt
+	}
+	return pts, vals, nil
 }
 
 func printSummary(results []sweep.PointResult, param []float64, wall time.Duration, workers int) {
-	okCount, partial := 0, 0
+	okCount, partial, cached := 0, 0, 0
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "point\tparam\tstatus\tf0 (Hz)\tc (s²·Hz)\tcorner (Hz)\tattempts\twall")
 	for i, r := range results {
 		st := status(&r)
 		f0s, cs, cor := "-", "-", "-"
+		if r.Cached {
+			cached++
+		}
 		if r.OK() {
 			okCount++
 			f0s = fmt.Sprintf("%.6e", r.Result.F0())
@@ -309,7 +314,8 @@ func printSummary(results []sweep.PointResult, param []float64, wall time.Durati
 			r.Name, param[i], st, f0s, cs, cor, len(r.Attempts), r.Wall.Round(time.Millisecond))
 	}
 	tw.Flush()
-	fmt.Printf("%d/%d points characterised in %v on %d workers\n", okCount, len(results), wall.Round(time.Millisecond), workers)
+	fmt.Printf("%d/%d points characterised (cached: %d) in %v on %d workers\n",
+		okCount, len(results), cached, wall.Round(time.Millisecond), workers)
 	if partial > 0 {
 		fmt.Printf("* %d failed point(s) kept a converged periodic steady state (see JSON for details)\n", partial)
 	}
@@ -317,41 +323,13 @@ func printSummary(results []sweep.PointResult, param []float64, wall time.Durati
 
 func writeJSON(path string, results []sweep.PointResult, param []float64) error {
 	out := make([]pointJSON, len(results))
-	for i, r := range results {
-		pj := pointJSON{
-			Name:   r.Name,
+	for i := range results {
+		out[i] = pointJSON{
+			Name:   results[i].Name,
 			Param:  param[i],
-			OK:     r.OK(),
-			Status: status(&r),
-			WallMS: float64(r.Wall) / float64(time.Millisecond),
+			Status: status(&results[i]),
+			Point:  &results[i],
 		}
-		if r.Err != nil {
-			pj.Error = r.Err.Error()
-		}
-		if r.OK() {
-			pj.T = r.Result.T()
-			pj.F0 = r.Result.F0()
-			pj.C = r.Result.C
-			pj.Corner = r.Result.CornerFreq()
-		} else if r.PSS != nil {
-			pj.PartialT = r.PSS.T
-			pj.PartialResidual = r.PSS.Residual
-		}
-		for _, a := range r.Attempts {
-			aj := attemptJSON{
-				Rung:          a.RungName,
-				WallMS:        float64(a.Wall) / float64(time.Millisecond),
-				ShootingIters: a.Trace.Shooting.Iters,
-				Residual:      a.Trace.Shooting.Residual,
-				AdjointSteps:  a.Trace.Floquet.Steps,
-				ClosureErr:    a.Trace.Floquet.ClosureErr,
-			}
-			if a.Err != nil {
-				aj.Error = a.Err.Error()
-			}
-			pj.Attempts = append(pj.Attempts, aj)
-		}
-		out[i] = pj
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -21,6 +21,7 @@ type progress struct {
 	total   int
 	start   time.Time
 	done    int
+	cached  int
 	failed  int
 	retries int
 }
@@ -57,6 +58,9 @@ func (p *progress) point(r sweep.PointResult) {
 		return
 	}
 	p.done++
+	if r.Cached {
+		p.cached++
+	}
 	if !r.OK() {
 		p.failed++
 	}
@@ -71,8 +75,8 @@ func (p *progress) render() {
 		eta = remain.Round(time.Second).String()
 	}
 	// \r rewinds, \x1b[K clears the remainder of the previous line.
-	fmt.Fprintf(p.out, "\r\x1b[K%d/%d points  %d failed  %d retries  elapsed %s  ETA %s",
-		p.done, p.total, p.failed, p.retries, elapsed.Round(time.Second), eta)
+	fmt.Fprintf(p.out, "\r\x1b[K%d/%d points  cached: %d  %d failed  %d retries  elapsed %s  ETA %s",
+		p.done, p.total, p.cached, p.failed, p.retries, elapsed.Round(time.Second), eta)
 }
 
 // finish clears the progress line so the summary table starts clean.

@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func payload(i int) []byte { return []byte(fmt.Sprintf(`{"v":%d}`, i)) }
+
+func TestMemGetPut(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("k", payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || !bytes.Equal(v, payload(1)) {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+	if err := s.Put("k", []byte("not json")); err == nil {
+		t.Fatal("want invalid-JSON rejection")
+	}
+}
+
+func TestLRUEvictionAtByteBound(t *testing.T) {
+	// Each payload is 9 bytes; bound of 30 holds three entries.
+	s, err := New(Options{MaxBytes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		_ = s.Put(fmt.Sprintf("k%d", i), payload(i)) // {"v":1} etc: 7 bytes... use fixed-size
+	}
+	sz := int64(len(payload(1)))
+	wantEntries := int(30 / sz)
+	if s.Len() != min(3, wantEntries) {
+		t.Fatalf("len=%d want %d", s.Len(), min(3, wantEntries))
+	}
+	// Touch k1 so k2 becomes the LRU victim.
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("k1 should be resident")
+	}
+	for i := 4; s.Len()*int(sz) <= 30-int(sz); i++ {
+		_ = s.Put(fmt.Sprintf("k%d", i), payload(i))
+	}
+	_ = s.Put("overflow", payload(99))
+	if s.Bytes() > 30 {
+		t.Fatalf("bytes=%d exceeds bound", s.Bytes())
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("k2 should have been evicted before the recently-used k1")
+	}
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("recently-used k1 was evicted")
+	}
+}
+
+func TestOversizedPayloadSkipsMemory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{MaxBytes: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("big", payload(7)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("oversized entry resident in memory (len=%d)", s.Len())
+	}
+	// Still served from disk.
+	if v, ok := s.Get("big"); !ok || !bytes.Equal(v, payload(7)) {
+		t.Fatalf("disk get: %q ok=%v", v, ok)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentIdenticalJobs(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	origins := make([]Origin, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, origin, err := s.Do("job", func() ([]byte, error) {
+				computes.Add(1)
+				return payload(42), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			origins[i], vals[i] = origin, v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", got)
+	}
+	computed := 0
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(vals[i], payload(42)) {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+		if origins[i] == OriginComputed {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d callers report OriginComputed, want 1", computed)
+	}
+}
+
+func TestDoSharesErrorsWithoutCaching(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("pipeline exploded")
+	if _, _, err := s.Do("k", func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("got %v", err)
+	}
+	// Failure was not cached: the next Do computes again.
+	v, origin, err := s.Do("k", func() ([]byte, error) { return payload(1), nil })
+	if err != nil || origin != OriginComputed || !bytes.Equal(v, payload(1)) {
+		t.Fatalf("v=%q origin=%v err=%v", v, origin, err)
+	}
+	// Now it is cached.
+	if _, origin, _ := s.Do("k", func() ([]byte, error) { t.Fatal("must not compute"); return nil, nil }); origin != OriginMem {
+		t.Fatalf("origin=%v want mem", origin)
+	}
+}
+
+func TestDiskPersistsAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("k", payload(5)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s2.Get("k")
+	if !ok || !bytes.Equal(v, payload(5)) {
+		t.Fatalf("fresh store: %q ok=%v", v, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatal("disk hit was not promoted to memory")
+	}
+}
+
+func TestDiskCorruptionToleratedAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"garbage":   []byte("not json at all"),
+		"truncated": []byte(`{"v":1,"key":"trunc`),
+		"badver":    []byte(`{"v":999,"key":"badver","payload":{"x":1}}`),
+		"wrongkey":  []byte(`{"v":1,"key":"other","payload":{"x":1}}`),
+		"empty":     nil,
+	}
+	for key, content := range cases {
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("%s: corrupt file served as a hit", key)
+		}
+		// The bad file is removed, so a healthy write is not shadowed.
+		if err := s.Put(key, payload(1)); err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := New(Options{Dir: dir})
+		if v, ok := s2.Get(key); !ok || !bytes.Equal(v, payload(1)) {
+			t.Fatalf("%s: healthy rewrite not visible: %q ok=%v", key, v, ok)
+		}
+	}
+}
+
+func TestPathHostileKeysNeverTouchDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"../escape", "a/b", "a\\b", ""} {
+		_ = s.Put(key, payload(1))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("hostile keys created files: %v", entries)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
+		t.Fatal("path traversal escaped the cache dir")
+	}
+}
+
+func TestNilStoreIsCachingOff(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("k", payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	v, origin, err := s.Do("k", func() ([]byte, error) { ran = true; return payload(2), nil })
+	if !ran || err != nil || origin.Cached() || !bytes.Equal(v, payload(2)) {
+		t.Fatalf("nil Do: ran=%v v=%q origin=%v err=%v", ran, v, origin, err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("nil store reports contents")
+	}
+}
+
+func TestConcurrentMixedOperationsRace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{MaxBytes: 200, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("k%d", i%13)
+				switch i % 3 {
+				case 0:
+					_ = s.Put(k, payload(i))
+				case 1:
+					s.Get(k)
+				default:
+					_, _, _ = s.Do(k, func() ([]byte, error) { return payload(i), nil })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Bytes() > 200 {
+		t.Fatalf("byte bound violated: %d", s.Bytes())
+	}
+}

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// diskSchemaVersion is the on-disk envelope schema. Entries with a different
+// version (or none) are treated as misses and removed, so a schema change
+// invalidates stale files instead of decoding them wrongly.
+const diskSchemaVersion = 1
+
+// diskEnvelope wraps a payload on disk with enough context to validate it:
+// the schema version and the key the payload was stored under (guards
+// against files copied or renamed across keys).
+type diskEnvelope struct {
+	V       int             `json:"v"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// diskStore is the persistent tier: one JSON file per key under dir.
+// Writes are atomic (temp file + rename); reads tolerate anything — a
+// truncated, garbage or wrong-version file is a miss, never an error.
+type diskStore struct {
+	dir string
+}
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+// path maps a key to its file. Keys are content hashes (hex), but guard
+// against anything path-hostile slipping through: non-filename-safe keys get
+// no disk tier.
+func (d *diskStore) path(key string) (string, bool) {
+	if key == "" || len(key) > 256 {
+		return "", false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return "", false
+		}
+	}
+	return filepath.Join(d.dir, key+".json"), true
+}
+
+// get loads a payload; any failure is a miss. Corrupt files are removed so
+// they cannot shadow a future healthy write.
+func (d *diskStore) get(key string) ([]byte, bool) {
+	p, ok := d.path(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			cacheMetrics.Get().diskErrors.Inc()
+		}
+		return nil, false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.V != diskSchemaVersion || env.Key != key || len(env.Payload) == 0 {
+		cacheMetrics.Get().diskErrors.Inc()
+		_ = os.Remove(p)
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// put stores a payload atomically. The payload must be valid JSON (the
+// store's envelope embeds it verbatim); Store.Put validates that upstream.
+func (d *diskStore) put(key string, payload []byte) {
+	p, ok := d.path(key)
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(diskEnvelope{V: diskSchemaVersion, Key: key, Payload: payload})
+	if err != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "."+key+".tmp-*")
+	if err != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		_ = os.Remove(tmpName)
+		return
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		_ = os.Remove(tmpName)
+	}
+}

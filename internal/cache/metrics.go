@@ -1,0 +1,32 @@
+package cache
+
+import "repro/internal/obs"
+
+// cacheInstruments are the content-addressed store's metrics. Gauges are
+// adjusted by delta (never Set) so several stores in one process compose.
+type cacheInstruments struct {
+	hitsMem    *obs.Counter // pn_cache_hits_total{tier="mem"}
+	hitsDisk   *obs.Counter // pn_cache_hits_total{tier="disk"}
+	misses     *obs.Counter // pn_cache_misses_total
+	shared     *obs.Counter // pn_cache_shared_total (singleflight collapses)
+	evictions  *obs.Counter // pn_cache_evictions_total
+	diskErrors *obs.Counter // pn_cache_disk_errors_total
+	inflight   *obs.Gauge   // pn_cache_inflight
+	memBytes   *obs.Gauge   // pn_cache_mem_bytes
+	memEntries *obs.Gauge   // pn_cache_mem_entries
+}
+
+var cacheMetrics = obs.NewView(func(r *obs.Registry) *cacheInstruments {
+	hits := r.CounterVec("pn_cache_hits_total", "Cache hits, by tier (mem = in-memory LRU, disk = persistent store).", "tier")
+	return &cacheInstruments{
+		hitsMem:    hits.With("mem"),
+		hitsDisk:   hits.With("disk"),
+		misses:     r.Counter("pn_cache_misses_total", "Cache lookups that found nothing in any tier."),
+		shared:     r.Counter("pn_cache_shared_total", "Requests served by joining an identical in-flight computation (singleflight)."),
+		evictions:  r.Counter("pn_cache_evictions_total", "Entries evicted from the in-memory LRU to respect the byte bound."),
+		diskErrors: r.Counter("pn_cache_disk_errors_total", "Disk-store read/write failures tolerated as misses (corrupt, truncated or unwritable files)."),
+		inflight:   r.Gauge("pn_cache_inflight", "Computations currently running under singleflight."),
+		memBytes:   r.Gauge("pn_cache_mem_bytes", "Bytes held by the in-memory LRU tier."),
+		memEntries: r.Gauge("pn_cache_mem_entries", "Entries held by the in-memory LRU tier."),
+	}
+})

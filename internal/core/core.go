@@ -46,9 +46,9 @@ var coreMetrics = obs.NewView(func(r *obs.Registry) *coreInstruments {
 // SourceContribution is one noise source's share of the phase-diffusion
 // constant (Eq. 30): c = Σ c_i.
 type SourceContribution struct {
-	Label    string
-	C        float64 // c_i in s²·Hz
-	Fraction float64 // c_i / c (Eq. 31)
+	Label    string  `json:"label"`
+	C        float64 `json:"c"`        // c_i in s²·Hz
+	Fraction float64 `json:"fraction"` // c_i / c (Eq. 31)
 }
 
 // Result is a complete phase-noise characterisation of one oscillator.

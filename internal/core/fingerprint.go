@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/floquet"
+	"repro/internal/shooting"
+)
+
+// FingerprintFields returns the canonical key→value map of the effective
+// solver knobs of o, for content-addressed result caching. Every knob that
+// changes the numerical outcome of Characterise is included; diagnostics
+// plumbing (Trace, Budget, Partial, Span) is not, because it never changes
+// the result. Unset knobs are resolved to the solver defaults first, so a
+// nil Options, a zero Options and an explicitly-default Options all map to
+// the same fields — and therefore the same cache key.
+//
+// Values are formatted losslessly (hex floating point for float64), so two
+// option sets collide only when they are numerically identical.
+func (o *Options) FingerprintFields() map[string]string {
+	var so *shooting.Options
+	var fo *floquet.Options
+	qp := 0
+	if o != nil {
+		so, fo, qp = o.Shooting, o.Floquet, o.QuadPoints
+	}
+	se := so.Effective()
+	fe := fo.Effective()
+	return map[string]string{
+		"shoot.tol":       fpFloat(se.Tol),
+		"shoot.maxiter":   strconv.Itoa(se.MaxIter),
+		"shoot.steps":     strconv.Itoa(se.StepsPerPeriod),
+		"shoot.transient": fpFloat(se.Transient),
+		"shoot.nodamping": fpBool(se.NoDamping),
+		"floq.steps":      strconv.Itoa(fe.Steps),
+		"floq.unittol":    fpFloat(fe.UnitTol),
+		"floq.stabtol":    fpFloat(fe.StabilityTol),
+		"floq.skipstab":   fpBool(fe.SkipStability),
+		"floq.norenorm":   fpBool(fe.NoRenormalize),
+		"floq.relaxres":   fpBool(fe.RelaxResidual),
+		"floq.maxdrift":   fpFloat(fe.MaxPeriodDrift),
+		"quadpoints":      strconv.Itoa(qp),
+	}
+}
+
+func fpFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func fpBool(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/floquet"
+	"repro/internal/shooting"
+)
+
+// resultJSON is the wire form of a Result; the unexported noise-source
+// labels travel explicitly.
+type resultJSON struct {
+	PSS         *shooting.PSS          `json:"pss,omitempty"`
+	Floquet     *floquet.Decomposition `json:"floquet,omitempty"`
+	C           float64                `json:"c"`
+	PerSource   []SourceContribution   `json:"per_source,omitempty"`
+	Sensitivity []float64              `json:"sensitivity,omitempty"`
+	Labels      []string               `json:"labels,omitempty"`
+}
+
+// SourceLabels returns the oscillator's noise-source labels in source order
+// (the order of sys.NoiseLabels(), not the sorted PerSource order).
+func (r *Result) SourceLabels() []string { return r.labels }
+
+// MarshalJSON implements json.Marshaler. Together with UnmarshalJSON it makes
+// a Result JSON round-trip loss-free (including the unexported source
+// labels), which the disk result cache and the service API rely on.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		PSS:         r.PSS,
+		Floquet:     r.Floquet,
+		C:           r.C,
+		PerSource:   r.PerSource,
+		Sensitivity: r.Sensitivity,
+		Labels:      r.labels,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		PSS:         w.PSS,
+		Floquet:     w.Floquet,
+		C:           w.C,
+		PerSource:   w.PerSource,
+		Sensitivity: w.Sensitivity,
+		labels:      w.Labels,
+	}
+	return nil
+}
+
+// spectrumJSON is the wire form of a Spectrum; Fourier coefficients travel
+// as [re, im] pairs because complex128 has no native JSON encoding.
+type spectrumJSON struct {
+	F0     float64      `json:"f0"`
+	C      float64      `json:"c"`
+	Coeffs [][2]float64 `json:"coeffs,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Spectrum) MarshalJSON() ([]byte, error) {
+	w := spectrumJSON{F0: s.F0, C: s.C}
+	if s.Coeffs != nil {
+		w.Coeffs = make([][2]float64, len(s.Coeffs))
+		for i, c := range s.Coeffs {
+			w.Coeffs[i] = [2]float64{real(c), imag(c)}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Spectrum) UnmarshalJSON(data []byte) error {
+	var w spectrumJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = Spectrum{F0: w.F0, C: w.C}
+	if w.Coeffs != nil {
+		s.Coeffs = make([]complex128, len(w.Coeffs))
+		for i, p := range w.Coeffs {
+			s.Coeffs[i] = complex(p[0], p[1])
+		}
+	}
+	return nil
+}

@@ -64,6 +64,19 @@ type Options struct {
 	Budget *budget.Token
 }
 
+// Effective returns a copy of o with the statically-defaulted knobs resolved
+// to the values Analyze actually runs with. Steps is the exception: its
+// default scales with the orbit resolution at analysis time, so an unset
+// Steps stays 0 ("auto") here. Used for content-addressed result caching,
+// where "nil", "zero" and "explicitly default" must hash alike.
+func (o *Options) Effective() Options {
+	out := o.defaults(0)
+	if o == nil || o.Steps <= 0 {
+		out.Steps = 0 // auto: resolved against the orbit, not a static default
+	}
+	return out
+}
+
 func (o *Options) defaults(orbitKnots int) Options {
 	out := Options{
 		Steps:          max(2000, 4*orbitKnots),

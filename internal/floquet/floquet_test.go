@@ -263,7 +263,7 @@ func TestRenormalisedInterpolantBiorthogonality(t *testing.T) {
 		dec.V1.At(tm, v)
 		pss.Orbit.At(tm, x)
 		h.Eval(x, f)
-		if d := math.Abs(v[0]*f[0]+v[1]*f[1] - 1); d > worst {
+		if d := math.Abs(v[0]*f[0] + v[1]*f[1] - 1); d > worst {
 			worst = d
 		}
 	}

@@ -1,0 +1,80 @@
+package floquet
+
+import (
+	"encoding/json"
+
+	"repro/internal/ode"
+)
+
+// decompositionJSON is the wire form of a Decomposition. complex128 has no
+// native JSON encoding, so multipliers and exponents travel as [re, im]
+// pairs; every other field round-trips verbatim.
+type decompositionJSON struct {
+	T            float64         `json:"t"`
+	Multipliers  [][2]float64    `json:"multipliers"`
+	Exponents    [][2]float64    `json:"exponents"`
+	U10          []float64       `json:"u10,omitempty"`
+	V10          []float64       `json:"v10,omitempty"`
+	V1           *ode.Trajectory `json:"v1,omitempty"`
+	UnitErr      float64         `json:"unit_err,omitempty"`
+	ClosureErr   float64         `json:"closure_err,omitempty"`
+	BiorthoDrift float64         `json:"biortho_drift,omitempty"`
+}
+
+func complexToPairs(in []complex128) [][2]float64 {
+	if in == nil {
+		return nil
+	}
+	out := make([][2]float64, len(in))
+	for i, c := range in {
+		out[i] = [2]float64{real(c), imag(c)}
+	}
+	return out
+}
+
+func pairsToComplex(in [][2]float64) []complex128 {
+	if in == nil {
+		return nil
+	}
+	out := make([]complex128, len(in))
+	for i, p := range in {
+		out[i] = complex(p[0], p[1])
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler, encoding complex slices as
+// [re, im] pairs so the decomposition survives a JSON round trip loss-free.
+func (d *Decomposition) MarshalJSON() ([]byte, error) {
+	return json.Marshal(decompositionJSON{
+		T:            d.T,
+		Multipliers:  complexToPairs(d.Multipliers),
+		Exponents:    complexToPairs(d.Exponents),
+		U10:          d.U10,
+		V10:          d.V10,
+		V1:           d.V1,
+		UnitErr:      d.UnitErr,
+		ClosureErr:   d.ClosureErr,
+		BiorthoDrift: d.BiorthoDrift,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Decomposition) UnmarshalJSON(data []byte) error {
+	var w decompositionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*d = Decomposition{
+		T:            w.T,
+		Multipliers:  pairsToComplex(w.Multipliers),
+		Exponents:    pairsToComplex(w.Exponents),
+		U10:          w.U10,
+		V10:          w.V10,
+		V1:           w.V1,
+		UnitErr:      w.UnitErr,
+		ClosureErr:   w.ClosureErr,
+		BiorthoDrift: w.BiorthoDrift,
+	}
+	return nil
+}

@@ -320,6 +320,27 @@ func (s Snapshot) Counter(name, labelVal string) int64 {
 	return 0
 }
 
+// Gauge returns the snapshotted value of a gauge (0 if absent).
+func (s Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the snapshotted histogram with the given name and
+// whether it exists.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
 // Snapshot captures the current value of every instrument. Nil-safe: a nil
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

@@ -1,0 +1,159 @@
+package osc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dynsys"
+)
+
+// BuiltModel is a ready-to-characterise oscillator instance produced by
+// Build: the system plus the library's recommended starting point for the
+// pipeline. Jobs that arrive as pure data (a model name and a parameter map,
+// e.g. over the characterisation-service API) resolve to a BuiltModel; the
+// caller may still override X0 or the period guess.
+type BuiltModel struct {
+	Sys dynsys.System
+	// Params is the fully resolved parameter map (defaults overlaid with the
+	// caller's overrides). Content-addressed cache keys must be built from
+	// this map, not the caller's sparse one, so that {"hopf", {}} and
+	// {"hopf", all-defaults-spelled-out} address the same result.
+	Params map[string]float64
+	// X0 is the recommended initial state guess.
+	X0 []float64
+	// TGuess is the recommended period guess. It is 0 when the model has no
+	// reliable closed-form estimate; then EstimateTMax is set instead.
+	TGuess float64
+	// EstimateTMax, when > 0, is the transient horizon over which
+	// shooting.EstimatePeriod should derive the period guess (models whose
+	// period has no usable closed form).
+	EstimateTMax float64
+	// ShootingSteps is the model's recommended shooting StepsPerPeriod
+	// (0 = solver default). Stiff or many-state models need finer orbits.
+	ShootingSteps int
+}
+
+// modelDef is one registry entry: parameter defaults plus a constructor from
+// a fully resolved parameter map.
+type modelDef struct {
+	defaults map[string]float64
+	build    func(p map[string]float64) *BuiltModel
+}
+
+// registry maps model names to definitions. Parameter names are the lowercase
+// struct field names; boolean knobs are encoded as 0/1 floats so a job stays
+// a flat {name, params} record.
+var registry = map[string]modelDef{
+	"hopf": {
+		// The pnchar demo point: a 1 MHz Hopf normal form.
+		defaults: map[string]float64{"lambda": 1, "omega": 2 * math.Pi * 1e6, "sigma": 1e-2, "yonly": 0},
+		build: func(p map[string]float64) *BuiltModel {
+			h := &Hopf{Lambda: p["lambda"], Omega: p["omega"], Sigma: p["sigma"], YOnly: p["yonly"] != 0}
+			return &BuiltModel{Sys: h, X0: []float64{1, 0.1}, TGuess: h.Period() * 1.05}
+		},
+	},
+	"vanderpol": {
+		defaults: map[string]float64{"mu": 1, "sigma": 0.01},
+		build: func(p map[string]float64) *BuiltModel {
+			v := &VanDerPol{Mu: p["mu"], Sigma: p["sigma"]}
+			// Crude relaxation-oscillation period estimate; the shooting
+			// transient and closest-return scan refine it.
+			return &BuiltModel{Sys: v, X0: []float64{2, 0}, TGuess: 2*math.Pi + (3-2*math.Log(2))*v.Mu}
+		},
+	},
+	"bandpass": {
+		defaults: map[string]float64{},
+		build: func(p map[string]float64) *BuiltModel {
+			return &BuiltModel{Sys: NewBandpassPaper(), X0: []float64{0.1, 0}, TGuess: 1 / 6660.0}
+		},
+	},
+	"ring": {
+		defaults: map[string]float64{"iee": 331e-6, "rc": 500, "rb": 58},
+		build: func(p map[string]float64) *BuiltModel {
+			r := NewECLRingPaper()
+			r.IEE, r.Rc, r.Rb = p["iee"], p["rc"], p["rb"]
+			return &BuiltModel{Sys: r, X0: r.InitialState(), TGuess: 6e-9, ShootingSteps: 4000}
+		},
+	},
+	"fhn": {
+		defaults: map[string]float64{"eps": 0.08, "a": 0, "sigmav": 1e-3, "sigmaw": 1e-3},
+		build: func(p map[string]float64) *BuiltModel {
+			f := &FitzHughNagumo{Eps: p["eps"], A: p["a"], SigmaV: p["sigmav"], SigmaW: p["sigmaw"]}
+			return &BuiltModel{Sys: f, X0: []float64{1, 0}, EstimateTMax: 60, ShootingSteps: 8000}
+		},
+	},
+	"negres": {
+		defaults: map[string]float64{"f0": 1e8, "l": 5e-9, "q": 8, "gmratio": 3, "vs": 0.2, "tempk": 300, "excess": 2},
+		build: func(p map[string]float64) *BuiltModel {
+			v := NewNegResLC(p["f0"], p["l"], p["q"], p["gmratio"], p["vs"], p["tempk"], p["excess"])
+			return &BuiltModel{Sys: v, X0: []float64{0.01, 0}, TGuess: 1 / p["f0"]}
+		},
+	},
+	"colpitts": {
+		defaults: map[string]float64{},
+		build: func(p map[string]float64) *BuiltModel {
+			c := NewColpittsPaperScale()
+			x0 := c.BiasPoint()
+			x0[1] += 0.05 // kick the emitter node off the bias point
+			return &BuiltModel{Sys: c, X0: x0, EstimateTMax: 300 / c.F0Linear()}
+		},
+	},
+}
+
+// Models returns the registered model names, sorted.
+func Models() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultParams returns a copy of a model's parameter defaults (nil for an
+// unknown model). Useful for API discoverability.
+func DefaultParams(name string) map[string]float64 {
+	def, ok := registry[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(def.defaults))
+	for k, v := range def.defaults {
+		out[k] = v
+	}
+	return out
+}
+
+// Build constructs a registered oscillator from pure data: a model name and
+// parameter overrides. Unknown model names and unknown parameter names are
+// errors (strict matching keeps content-addressed cache keys honest: a typoed
+// parameter must not silently characterise the default model).
+func Build(name string, params map[string]float64) (*BuiltModel, error) {
+	def, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("osc: unknown model %q (registered: %v)", name, Models())
+	}
+	p := make(map[string]float64, len(def.defaults))
+	for k, v := range def.defaults {
+		p[k] = v
+	}
+	for k, v := range params {
+		if _, ok := def.defaults[k]; !ok {
+			return nil, fmt.Errorf("osc: model %q has no parameter %q (accepted: %v)", name, k, paramNames(def.defaults))
+		}
+		p[k] = v
+	}
+	bm := def.build(p)
+	bm.Params = p
+	return bm, nil
+}
+
+func paramNames(defaults map[string]float64) []string {
+	out := make([]string, 0, len(defaults))
+	for k := range defaults {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,61 @@
+package osc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuildDefaults(t *testing.T) {
+	for _, name := range Models() {
+		bm, err := Build(name, nil)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if bm.Sys == nil {
+			t.Fatalf("Build(%q): nil system", name)
+		}
+		if len(bm.X0) != bm.Sys.Dim() {
+			t.Fatalf("Build(%q): X0 dim %d != system dim %d", name, len(bm.X0), bm.Sys.Dim())
+		}
+		if bm.TGuess <= 0 && bm.EstimateTMax <= 0 {
+			t.Fatalf("Build(%q): neither TGuess nor EstimateTMax set", name)
+		}
+		// The system must be evaluable at the recommended starting point.
+		dst := make([]float64, bm.Sys.Dim())
+		bm.Sys.Eval(bm.X0, dst)
+	}
+}
+
+func TestRegistryParamOverride(t *testing.T) {
+	bm, err := Build("hopf", map[string]float64{"omega": 10, "yonly": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := bm.Sys.(*Hopf)
+	if h.Omega != 10 || !h.YOnly || h.Lambda != 1 {
+		t.Fatalf("override not applied: %+v", h)
+	}
+}
+
+func TestRegistryStrictness(t *testing.T) {
+	if _, err := Build("nosuch", nil); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("want unknown-model error, got %v", err)
+	}
+	if _, err := Build("hopf", map[string]float64{"omgea": 3}); err == nil || !strings.Contains(err.Error(), "no parameter") {
+		t.Fatalf("want unknown-parameter error, got %v", err)
+	}
+}
+
+func TestRegistryDefaultParamsCopied(t *testing.T) {
+	p := DefaultParams("hopf")
+	if p == nil {
+		t.Fatal("nil defaults for hopf")
+	}
+	p["lambda"] = 99
+	if DefaultParams("hopf")["lambda"] == 99 {
+		t.Fatal("DefaultParams returned shared map")
+	}
+	if DefaultParams("nosuch") != nil {
+		t.Fatal("want nil for unknown model")
+	}
+}

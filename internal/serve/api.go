@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Job states, in lifecycle order. A job is terminal in exactly one of
+// StateDone (the batch ran; individual points may still have failed),
+// StateFailed (a job-level failure: resolution error or wall-clock budget
+// exhausted) or StateCanceled (the cancel endpoint or server shutdown tripped
+// the job's budget token).
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// PointSpec is one characterisation target as pure data: a registered model
+// name plus parameter overrides (defaults fill the rest). Strictness is
+// inherited from osc.Build — unknown models and unknown parameter names are
+// rejected at submission, so a typo can never silently characterise the
+// default model under a wrong cache key.
+type PointSpec struct {
+	// Name labels the point in results and events (default: the model name).
+	Name  string `json:"name,omitempty"`
+	Model string `json:"model"`
+	// Params overrides the model's default parameters; see GET /v1/models.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// CharacteriseRequest is the body of POST /v1/characterise: one point plus
+// job-wide knobs.
+type CharacteriseRequest struct {
+	PointSpec
+	// TimeoutMS bounds the job by wall clock from worker pickup; on expiry
+	// in-flight work is cut off with a budget error (0 = unbounded).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the content-addressed result cache for this job (it
+	// neither reads nor writes).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a batch of points run on one
+// worker pool under one budget, sharing the retry ladder and the cache.
+type SweepRequest struct {
+	Points []PointSpec `json:"points"`
+	// Workers bounds the per-job sweep pool (clamped to the server's cap).
+	Workers   int   `json:"workers,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+}
+
+// PointSummary is the compact per-point outcome carried in job status and SSE
+// events: the headline numbers without the orbit-sized payload. The full
+// loss-free sweep.PointResult (trajectories, Floquet decomposition, retry
+// history) is available from GET /v1/jobs/{id}?full=1.
+type PointSummary struct {
+	Index    int     `json:"index"`
+	Name     string  `json:"name"`
+	OK       bool    `json:"ok"`
+	Cached   bool    `json:"cached,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	T        float64 `json:"period_s,omitempty"`
+	F0       float64 `json:"f0_hz,omitempty"`
+	C        float64 `json:"c_s2hz,omitempty"`
+	CornerHz float64 `json:"corner_hz,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	// Error keeps its budget/panic classification across the wire: decode the
+	// job JSON with this package's types and errors.Is against the pipeline
+	// sentinels still works (see sweep.RemoteError).
+	Error *sweep.RemoteError `json:"error,omitempty"`
+}
+
+// summarize compacts one point result for status payloads and events.
+func summarize(r *sweep.PointResult) PointSummary {
+	s := PointSummary{
+		Index:    r.Index,
+		Name:     r.Name,
+		OK:       r.OK(),
+		Cached:   r.Cached,
+		Degraded: r.Degraded(),
+		Attempts: len(r.Attempts),
+		WallMS:   float64(r.Wall) / float64(time.Millisecond),
+		Error:    sweep.EncodeError(r.Err),
+	}
+	if r.OK() {
+		s.T = r.Result.T()
+		s.F0 = r.Result.F0()
+		s.C = r.Result.C
+		s.CornerHz = r.Result.CornerFreq()
+	} else if r.PSS != nil {
+		s.T = r.PSS.T // degraded: shooting converged, so the period is known
+	}
+	return s
+}
+
+// JobStatus is the response of the submit endpoints and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"` // "characterise" or "sweep"
+	State  string `json:"state"`
+	Points int    `json:"points"`
+	// Progress counters; Done counts terminal points (ok or failed), Cached
+	// the subset served from the result cache without running the pipeline.
+	DonePoints   int `json:"done_points"`
+	CachedPoints int `json:"cached_points"`
+	FailedPoints int `json:"failed_points"`
+	// Error is the job-level failure (budget trip, resolution error); per-
+	// point failures live in Results. Kind-tagged like PointSummary.Error.
+	Error  *sweep.RemoteError `json:"error,omitempty"`
+	WallMS float64            `json:"wall_ms,omitempty"`
+	// Results holds the per-point summaries completed so far (terminal jobs:
+	// all of them, in input order).
+	Results []PointSummary `json:"results,omitempty"`
+	// Full holds the loss-free per-point results, only with ?full=1 on a
+	// terminal job; round-trips through sweep.PointResult's JSON codec.
+	Full []sweep.PointResult `json:"full_results,omitempty"`
+}
+
+// ModelInfo describes one registered model for GET /v1/models.
+type ModelInfo struct {
+	Name     string             `json:"name"`
+	Defaults map[string]float64 `json:"defaults"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,69 @@
+package serve
+
+import "sync"
+
+// Event is one entry of a job's progress stream, delivered over SSE and
+// replayable from the beginning: every event carries a monotonically
+// increasing per-job sequence number, so a client that reconnects with
+// Last-Event-ID resumes exactly where it left off.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Type  string `json:"type"`            // "state" or "point"
+	State string `json:"state,omitempty"` // job state, on type "state"
+	// Point is the finished point's summary, on type "point". Points arrive
+	// in completion order — cached points near-instantly, computed ones much
+	// later — but Point.Index is always exact (see sweep.Config.OnPoint).
+	Point *PointSummary `json:"point,omitempty"`
+}
+
+// eventLog is an append-only in-memory event history with broadcast: readers
+// replay everything after a sequence number, then block on a channel that
+// closes at the next append. close marks the stream complete so readers can
+// finish after draining.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	changed chan struct{}
+	done    bool
+}
+
+func newEventLog() *eventLog { return &eventLog{changed: make(chan struct{})} }
+
+// append stamps ev with the next sequence number, stores it, and wakes every
+// blocked reader.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return // terminal: late hooks from an abandoned attempt are dropped
+	}
+	ev.Seq = int64(len(l.events)) + 1
+	l.events = append(l.events, ev)
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// close marks the stream complete and wakes readers one last time.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// since returns every event with Seq > after, a channel that closes on the
+// next append (or close), and whether the stream is complete. A reader loops:
+// drain, flush, and — unless done with nothing left — wait on the channel.
+func (l *eventLog) since(after int64) ([]Event, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if n := int64(len(l.events)); after < n {
+		out = append(out, l.events[after:]...)
+	}
+	return out, l.changed, l.done
+}

@@ -1,0 +1,26 @@
+package serve
+
+import "repro/internal/obs"
+
+// serveInstruments are the job-server metrics: submissions and rejections by
+// kind/reason, terminal job states, live queue and in-flight gauges, and the
+// job-latency distribution.
+type serveInstruments struct {
+	submitted  *obs.CounterVec // pn_serve_submitted_total{kind}
+	jobs       *obs.CounterVec // pn_serve_jobs_total{state}
+	rejected   *obs.CounterVec // pn_serve_rejected_total{reason}
+	queueDepth *obs.Gauge      // pn_serve_queue_depth
+	inflight   *obs.Gauge      // pn_serve_jobs_inflight
+	jobSeconds *obs.Histogram  // pn_serve_job_seconds
+}
+
+var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
+	return &serveInstruments{
+		submitted:  r.CounterVec("pn_serve_submitted_total", "Jobs accepted onto the queue, by kind (characterise, sweep).", "kind"),
+		jobs:       r.CounterVec("pn_serve_jobs_total", "Jobs finished, by terminal state (done, failed, canceled).", "state"),
+		rejected:   r.CounterVec("pn_serve_rejected_total", "Submissions rejected before queueing, by reason (queue_full, draining, too_large, bad_request).", "reason"),
+		queueDepth: r.Gauge("pn_serve_queue_depth", "Jobs accepted but not yet picked up by a worker."),
+		inflight:   r.Gauge("pn_serve_jobs_inflight", "Jobs currently running on a worker."),
+		jobSeconds: r.Histogram("pn_serve_job_seconds", "Wall-clock time per job from worker pickup to terminal state.", obs.ExpBuckets(0.001, 4, 12)),
+	}
+})

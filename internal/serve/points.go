@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+	"repro/internal/sweep"
+)
+
+// validate builds the model once to surface unknown-model/unknown-parameter
+// errors at submission time, before the job queues.
+func (p PointSpec) validate() error {
+	_, err := osc.Build(p.Model, p.Params)
+	return err
+}
+
+// Resolve turns a pure-data point spec into a runnable sweep point: it builds
+// the model, estimates the period over the registry's transient horizon when
+// no closed form exists (under tok, so a canceled job never burns the
+// integration), applies the model's recommended solver options, and stamps
+// the content-addressed cache key.
+//
+// The key is computed from the registry recommendation (resolved params, the
+// recommended X0 and period guess, the effective solver knobs) BEFORE period
+// estimation, so a resubmit of an estimate-based model addresses the same
+// result without depending on the estimator's output. CLIs building points by
+// hand must use cache.CharacterisationKey with the same inputs to share a
+// disk cache with the server.
+func (p PointSpec) Resolve(tok *budget.Token) (sweep.Point, error) {
+	m, err := osc.Build(p.Model, p.Params)
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	var opts *core.Options
+	if m.ShootingSteps > 0 {
+		opts = &core.Options{Shooting: &shooting.Options{StepsPerPeriod: m.ShootingSteps}}
+	}
+	key := cache.CharacterisationKey(p.Model, m.Params, m.X0, m.TGuess, opts.FingerprintFields())
+
+	x0, tGuess := m.X0, m.TGuess
+	if tGuess == 0 {
+		tGuess, x0, err = shooting.EstimatePeriodBudget(m.Sys, m.X0, m.EstimateTMax, tok)
+		if err != nil {
+			return sweep.Point{}, fmt.Errorf("model %q: period estimation: %w", p.Model, err)
+		}
+	}
+	name := p.Name
+	if name == "" {
+		name = p.Model
+	}
+	return sweep.Point{
+		Name:   name,
+		System: m.Sys,
+		X0:     x0,
+		TGuess: tGuess,
+		Opts:   opts,
+		Key:    key,
+	}, nil
+}

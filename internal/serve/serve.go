@@ -1,0 +1,576 @@
+// Package serve is the characterisation-as-a-service layer: an HTTP JSON API
+// that runs phase-noise characterisation jobs — single points or whole
+// parameter sweeps — on a bounded worker pool, in front of the
+// content-addressed result cache (internal/cache) and the batch engine
+// (internal/sweep).
+//
+// Jobs are pure data: a registered model name plus a parameter map (see
+// internal/osc's registry), so requests are reproducible, cacheable by
+// content, and never execute caller code. The API:
+//
+//	POST /v1/characterise   — submit a one-point job        → JobStatus (202)
+//	POST /v1/sweep          — submit a multi-point job      → JobStatus (202)
+//	GET  /v1/jobs/{id}      — job status (+?full=1 payload) → JobStatus
+//	GET  /v1/jobs/{id}/events — progress stream (SSE, replayable by Last-Event-ID)
+//	POST /v1/jobs/{id}/cancel — trip the job's budget token → JobStatus
+//	GET  /v1/models         — registered models + defaults
+//	GET  /healthz           — liveness + drain state
+//
+// Back-pressure is explicit: a bounded queue (429 + Retry-After when full), a
+// request-size limit (413), and a draining state (503) entered by Shutdown,
+// which stops intake, drains the queue, and — if the grace context expires —
+// cancels in-flight jobs through their budget tokens.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/osc"
+	"repro/internal/sweep"
+)
+
+// Config tunes a Server. The zero value is usable: 2 workers, a queue of 16,
+// no cache, a 1 MiB body limit.
+type Config struct {
+	// Workers is the job worker pool size (default 2). Each worker runs one
+	// job at a time; a sweep job parallelises internally up to MaxSweepWorkers.
+	Workers int
+	// Queue bounds accepted-but-not-started jobs (default 16); submissions
+	// beyond it are rejected with 429.
+	Queue int
+	// Cache, when non-nil, is the content-addressed result store consulted
+	// for every point (shared with CLI runs pointed at the same directory).
+	Cache *cache.Store
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxPoints caps the points of one sweep request (default 4096).
+	MaxPoints int
+	// MaxSweepWorkers caps a job's internal sweep parallelism (default
+	// GOMAXPROCS).
+	MaxSweepWorkers int
+	// Retain bounds how many terminal jobs stay queryable (default 256);
+	// beyond it the oldest terminal jobs are evicted.
+	Retain int
+	// MaxJobWall, when > 0, is a server-side ceiling on any job's wall clock
+	// from worker pickup, applied on top of the request's own timeout_ms.
+	MaxJobWall time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 4096
+	}
+	if c.MaxSweepWorkers <= 0 {
+		c.MaxSweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Retain <= 0 {
+		c.Retain = 256
+	}
+	return c
+}
+
+// job is one queued/running/terminal characterisation job.
+type job struct {
+	id           string
+	kind         string // "characterise" or "sweep"
+	specs        []PointSpec
+	jobTimeout   time.Duration
+	sweepWorkers int
+	noCache      bool
+
+	tok    *budget.Token // child of the server root; tripped by cancel/shutdown
+	cancel func()
+	events *eventLog
+
+	mu                      sync.Mutex
+	state                   string
+	results                 []sweep.PointResult // terminal only
+	summaries               []PointSummary      // completed points so far, input order (sparse until terminal)
+	doneN, cachedN, failedN int
+	err                     error
+	wall                    time.Duration
+}
+
+// setState transitions the job and emits a state event.
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+	j.events.append(Event{Type: "state", State: state})
+}
+
+// status snapshots the job for the API.
+func (j *job) status(full bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.id,
+		Kind:         j.kind,
+		State:        j.state,
+		Points:       len(j.specs),
+		DonePoints:   j.doneN,
+		CachedPoints: j.cachedN,
+		FailedPoints: j.failedN,
+		Error:        sweep.EncodeError(j.err),
+		WallMS:       float64(j.wall) / float64(time.Millisecond),
+	}
+	for _, s := range j.summaries {
+		if s.Name != "" || s.OK { // skip never-filled slots of a cut-short job
+			st.Results = append(st.Results, s)
+		}
+	}
+	if full && j.results != nil {
+		st.Full = j.results
+	}
+	return st
+}
+
+// Server is the job server. It implements http.Handler; mount it directly or
+// behind a mux. Create with New, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	root  *budget.Token
+	stop  func()
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for terminal-job eviction
+	seq      int64
+	draining bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	root, stop := budget.WithCancel(nil)
+	s := &Server{
+		cfg:   cfg,
+		root:  root,
+		stop:  stop,
+		queue: make(chan *job, cfg.Queue),
+		jobs:  make(map[string]*job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/characterise", s.handleCharacterise)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: it stops accepting submissions (503), lets
+// queued and running jobs finish, and — if ctx expires first — trips every
+// job's budget token so in-flight work is cut off cooperatively, then waits
+// for the workers to exit. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel root token: every job token trips
+		<-done
+		return ctx.Err()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes the size-limited JSON request body, classifying the
+// failure for the rejection metric.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			serveMetrics.Get().rejected.With("too_large").Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			serveMetrics.Get().rejected.With("bad_request").Inc()
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCharacterise(w http.ResponseWriter, r *http.Request) {
+	var req CharacteriseRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	s.submit(w, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		serveMetrics.Get().rejected.With("bad_request").Inc()
+		writeErr(w, http.StatusBadRequest, "sweep needs at least one point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxPoints {
+		serveMetrics.Get().rejected.With("bad_request").Inc()
+		writeErr(w, http.StatusBadRequest, "sweep of %d points exceeds the limit of %d", len(req.Points), s.cfg.MaxPoints)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
+		workers = s.cfg.MaxSweepWorkers
+	}
+	s.submit(w, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache)
+}
+
+// submit validates the specs, registers the job and enqueues it, answering
+// 202 with the queued status — or the appropriate rejection.
+func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) {
+	m := serveMetrics.Get()
+	for i, sp := range specs {
+		if err := sp.validate(); err != nil {
+			m.rejected.With("bad_request").Inc()
+			writeErr(w, http.StatusBadRequest, "point %d: %v", i, err)
+			return
+		}
+	}
+
+	tok, cancel := budget.WithCancel(s.root)
+	j := &job{
+		kind:         kind,
+		specs:        specs,
+		jobTimeout:   time.Duration(timeoutMS) * time.Millisecond,
+		sweepWorkers: workers,
+		noCache:      noCache,
+		tok:          tok,
+		cancel:       cancel,
+		events:       newEventLog(),
+		state:        StateQueued,
+		summaries:    make([]PointSummary, len(specs)),
+	}
+
+	// Everything a worker reads (id, the queued event) must be in place
+	// before the job becomes visible on the queue.
+	j.events.append(Event{Type: "state", State: StateQueued})
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		m.rejected.With("draining").Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	j.id = "j" + strconv.FormatInt(s.seq, 10)
+	// The gauge rises before the send so the worker's decrement (not under
+	// s.mu) can never be observed ahead of it leaving the depth negative
+	// forever; a momentary scrape race is the worst case.
+	m.queueDepth.Add(1)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		m.queueDepth.Add(-1)
+		m.rejected.With("queue_full").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d)", s.cfg.Queue)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	m.submitted.With(kind).Inc()
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.cfg.Retain {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			j.mu.Lock()
+			terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live: keep, even over the bound
+		}
+	}
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(r.URL.Query().Get("full") == "1"))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	names := osc.Models()
+	out := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, ModelInfo{Name: n, Defaults: osc.DefaultParams(n)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	running := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{OK: true, Draining: draining, Queued: len(s.queue), Running: running})
+}
+
+// handleEvents streams the job's event log as Server-Sent Events: full
+// history replay (resumable from the Last-Event-ID header), then live tail
+// until the job reaches a terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			after = n
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, wait, done := j.events.since(after)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			after = ev.Seq
+		}
+		flusher.Flush()
+		if done && len(evs) == 0 {
+			return
+		}
+		if done {
+			continue // drain whatever arrived with the close
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// worker pulls jobs off the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: resolve specs to sweep points under the
+// job token, run the batch through internal/sweep (cache, retry ladder, panic
+// isolation and all), and classify the terminal state.
+func (s *Server) runJob(j *job) {
+	m := serveMetrics.Get()
+	m.queueDepth.Add(-1)
+	m.inflight.Add(1)
+	start := time.Now()
+	span := obs.StartSpan(nil, "serve.job")
+	span.SetAttr("id", j.id)
+	span.SetAttr("kind", j.kind)
+	span.SetAttr("points", len(j.specs))
+
+	state, jobErr := s.executeJob(j)
+
+	j.mu.Lock()
+	j.state = state
+	j.err = jobErr
+	j.wall = time.Since(start)
+	j.mu.Unlock()
+	j.events.append(Event{Type: "state", State: state})
+	j.events.close()
+	j.cancel() // release the token's forwarding goroutine
+
+	m.inflight.Add(-1)
+	m.jobs.With(state).Inc()
+	m.jobSeconds.Observe(time.Since(start).Seconds())
+	span.SetAttr("state", state)
+	span.EndErr(jobErr)
+}
+
+// executeJob does the work of runJob and returns the terminal state plus the
+// job-level error (nil for StateDone).
+func (s *Server) executeJob(j *job) (string, error) {
+	j.setState(StateRunning)
+	jtok := j.tok
+	if j.jobTimeout > 0 {
+		jtok = budget.WithTimeout(jtok, j.jobTimeout)
+	}
+	if s.cfg.MaxJobWall > 0 {
+		jtok = budget.WithTimeout(jtok, s.cfg.MaxJobWall)
+	}
+
+	points := make([]sweep.Point, len(j.specs))
+	for i, sp := range j.specs {
+		pt, err := sp.Resolve(jtok)
+		if err != nil {
+			return classify(err), fmt.Errorf("point %d: %w", i, err)
+		}
+		points[i] = pt
+	}
+
+	store := s.cfg.Cache
+	if j.noCache {
+		store = nil
+	}
+	results := sweep.Run(points, &sweep.Config{
+		Workers: j.sweepWorkers,
+		Budget:  jtok,
+		Cache:   store,
+		OnPoint: func(r sweep.PointResult) {
+			sum := summarize(&r)
+			j.mu.Lock()
+			j.summaries[r.Index] = sum
+			j.doneN++
+			if r.Cached {
+				j.cachedN++
+			}
+			if !r.OK() {
+				j.failedN++
+			}
+			j.mu.Unlock()
+			j.events.append(Event{Type: "point", Point: &sum})
+		},
+	})
+
+	j.mu.Lock()
+	j.results = results
+	j.mu.Unlock()
+
+	// A tripped job token is a job-level outcome (cancel endpoint, shutdown,
+	// or the job's own deadline); per-point failures under a live token are
+	// data, not a job failure.
+	if err := jtok.Err(); err != nil {
+		return classify(err), err
+	}
+	return StateDone, nil
+}
+
+// classify maps a job-level error to its terminal state.
+func classify(err error) string {
+	if errors.Is(err, budget.ErrCanceled) {
+		return StateCanceled
+	}
+	return StateFailed
+}

@@ -67,6 +67,12 @@ type Options struct {
 	Budget *budget.Token
 }
 
+// Effective returns a copy of o with every unset knob resolved to the
+// solver default — the options Find actually runs with. Callers that need a
+// stable identity for a solve (content-addressed result caching) fingerprint
+// the effective options so "nil", "zero" and "explicitly default" hash alike.
+func (o *Options) Effective() Options { return o.defaults() }
+
 func (o *Options) defaults() Options {
 	out := Options{Tol: 1e-10, MaxIter: 50, StepsPerPeriod: 2000, Transient: 20}
 	if o != nil {

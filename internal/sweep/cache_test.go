@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/osc"
+)
+
+// keyedHopfPoint builds one cacheable Hopf point; identical omega ⇒
+// identical key.
+func keyedHopfPoint(name string, omega float64) Point {
+	h := &osc.Hopf{Lambda: 1, Omega: omega, Sigma: 0.02}
+	x0 := []float64{1, 0.1}
+	tg := h.Period() * 1.05
+	var opts *core.Options
+	return Point{
+		Name:   name,
+		System: h,
+		X0:     x0,
+		TGuess: tg,
+		Opts:   opts,
+		Key: cache.CharacterisationKey("hopf",
+			map[string]float64{"lambda": 1, "omega": omega, "sigma": 0.02},
+			x0, tg, opts.FingerprintFields()),
+	}
+}
+
+func TestCacheSecondBatchIsACacheSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []Point{keyedHopfPoint("a", 2), keyedHopfPoint("b", 3), keyedHopfPoint("c", 4)}
+	cfg := &Config{Workers: 2, Cache: store}
+
+	first := Run(pts, cfg)
+	for i, r := range first {
+		if !r.OK() || r.Cached {
+			t.Fatalf("first run point %d: ok=%v cached=%v err=%v", i, r.OK(), r.Cached, r.Err)
+		}
+	}
+	chars := reg.Snapshot().Counter("pn_core_characterisations_total", "ok")
+	if chars != 3 {
+		t.Fatalf("first run characterisations = %d, want 3", chars)
+	}
+
+	second := Run(pts, cfg)
+	for i, r := range second {
+		if !r.OK() || !r.Cached {
+			t.Fatalf("second run point %d: ok=%v cached=%v err=%v", i, r.OK(), r.Cached, r.Err)
+		}
+		if len(r.Attempts) != 0 {
+			t.Fatalf("cached point %d ran %d attempts", i, len(r.Attempts))
+		}
+		if math.Abs(r.Result.C-first[i].Result.C) != 0 {
+			t.Fatalf("cached c=%g differs from computed c=%g", r.Result.C, first[i].Result.C)
+		}
+		if r.PSS == nil || r.PSS != r.Result.PSS {
+			t.Fatal("cached PointResult.PSS must alias Result.PSS")
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_core_characterisations_total", "ok"); got != chars {
+		t.Fatalf("second run invoked the pipeline: %d characterisations, want %d", got, chars)
+	}
+	if got := s.Counter("pn_sweep_points_total", "cached"); got != 3 {
+		t.Fatalf("cached outcome counter = %d, want 3", got)
+	}
+	if d := s.Gauge("pn_sweep_queue_depth"); d != 0 {
+		t.Fatalf("queue depth after cached batch = %g, want 0 (cached short-circuit skipped a decrement?)", d)
+	}
+}
+
+func TestCacheIdenticalPointsCollapseToOneRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = keyedHopfPoint("dup", 2) // all identical ⇒ one key
+	}
+	results := Run(pts, &Config{Workers: n, Cache: store})
+	computed := 0
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+		if !r.Cached {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d points computed, want exactly 1 (singleflight)", computed)
+	}
+	if got := reg.Snapshot().Counter("pn_core_characterisations_total", "ok"); got != 1 {
+		t.Fatalf("characterisations = %d, want 1", got)
+	}
+}
+
+func TestCacheOnPointIndicesExactUnderInterleaving(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-warm half the grid so cached (instant) and computed (slow) points
+	// interleave maximally.
+	warm := []Point{keyedHopfPoint("w0", 2), keyedHopfPoint("w1", 3)}
+	Run(warm, &Config{Cache: store})
+
+	pts := []Point{
+		keyedHopfPoint("p0", 2), // cached
+		keyedHopfPoint("p1", 5), // computed
+		keyedHopfPoint("p2", 3), // cached
+		keyedHopfPoint("p3", 6), // computed
+	}
+	var mu sync.Mutex
+	seen := make(map[int]string)
+	results := Run(pts, &Config{Workers: 4, Cache: store, OnPoint: func(r PointResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, dup := seen[r.Index]; dup {
+			t.Errorf("index %d reported twice (%q then %q)", r.Index, prev, r.Name)
+		}
+		seen[r.Index] = r.Name
+	}})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(pts) {
+		t.Fatalf("OnPoint fired %d times, want %d", len(seen), len(pts))
+	}
+	for i, p := range pts {
+		if seen[i] != p.Name {
+			t.Fatalf("index %d carried name %q, want %q", i, seen[i], p.Name)
+		}
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result slot %d has Index %d", i, r.Index)
+		}
+	}
+	if !results[0].Cached || results[1].Cached || !results[2].Cached || results[3].Cached {
+		t.Fatalf("cached pattern wrong: %v %v %v %v",
+			results[0].Cached, results[1].Cached, results[2].Cached, results[3].Cached)
+	}
+}
+
+func TestCacheDiskRoundTripServesNewProcess(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []Point{keyedHopfPoint("p", 2)}
+	first := Run(pts, &Config{Cache: s1})
+	if !first[0].OK() {
+		t.Fatal(first[0].Err)
+	}
+	// A fresh store over the same directory models a new process.
+	s2, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := Run(pts, &Config{Cache: s2})
+	if !second[0].OK() || !second[0].Cached {
+		t.Fatalf("disk-backed rerun: ok=%v cached=%v err=%v", second[0].OK(), second[0].Cached, second[0].Err)
+	}
+	if second[0].Result.C != first[0].Result.C {
+		t.Fatalf("disk round trip changed c: %g vs %g", second[0].Result.C, first[0].Result.C)
+	}
+	if got, want := second[0].Result.T(), first[0].Result.T(); got != want {
+		t.Fatalf("disk round trip changed T: %g vs %g", got, want)
+	}
+}

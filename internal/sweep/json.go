@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/shooting"
+)
+
+// Error kinds carried on the wire so a decoded PointResult still classifies
+// with errors.Is against the pipeline's sentinel errors.
+const (
+	errKindCanceled = "canceled"
+	errKindBudget   = "budget"
+	errKindPanic    = "panic"
+	errKindOther    = "error"
+)
+
+// RemoteError is a pipeline error reconstructed from its JSON form: the
+// original message plus a kind tag that preserves errors.Is matching for
+// budget.ErrCanceled, budget.ErrBudgetExceeded and ErrModelPanic across the
+// round trip. The concrete error chain (wrapped stage errors, panic stacks)
+// does not survive serialisation; the message text does.
+type RemoteError struct {
+	Msg  string `json:"msg"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Is maps the wire kind back onto the package sentinels.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Kind {
+	case errKindCanceled:
+		return target == budget.ErrCanceled
+	case errKindBudget:
+		return target == budget.ErrBudgetExceeded
+	case errKindPanic:
+		return target == ErrModelPanic
+	}
+	return false
+}
+
+// EncodeError converts any pipeline error to its wire form (nil stays nil):
+// the message plus the kind tag that keeps errors.Is classification working
+// after a round trip. The service layer uses it to report job and point
+// errors over the API with their budget/panic identity intact.
+func EncodeError(err error) *RemoteError { return encodeErr(err) }
+
+// encodeErr converts an error to its wire form (nil stays nil).
+func encodeErr(err error) *RemoteError {
+	if err == nil {
+		return nil
+	}
+	kind := errKindOther
+	switch {
+	case errors.Is(err, budget.ErrCanceled):
+		kind = errKindCanceled
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		kind = errKindBudget
+	case errors.Is(err, ErrModelPanic):
+		kind = errKindPanic
+	}
+	return &RemoteError{Msg: err.Error(), Kind: kind}
+}
+
+// decodeErr converts a wire error back to an error (nil stays nil).
+func decodeErr(w *RemoteError) error {
+	if w == nil {
+		return nil
+	}
+	return w
+}
+
+// attemptJSON is the wire form of an Attempt.
+type attemptJSON struct {
+	Rung     int           `json:"rung"`
+	RungName string        `json:"rung_name"`
+	Error    *RemoteError  `json:"error,omitempty"`
+	Trace    core.Trace    `json:"trace"`
+	Wall     time.Duration `json:"wall_ns"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a Attempt) MarshalJSON() ([]byte, error) {
+	return json.Marshal(attemptJSON{
+		Rung:     a.Rung,
+		RungName: a.RungName,
+		Error:    encodeErr(a.Err),
+		Trace:    a.Trace,
+		Wall:     a.Wall,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Attempt) UnmarshalJSON(data []byte) error {
+	var w attemptJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*a = Attempt{
+		Rung:     w.Rung,
+		RungName: w.RungName,
+		Err:      decodeErr(w.Error),
+		Trace:    w.Trace,
+		Wall:     w.Wall,
+	}
+	return nil
+}
+
+// pointResultJSON is the wire form of a PointResult. On success Result.PSS
+// and PointResult.PSS alias the same object; the wire form elides the
+// duplicate (pss_is_result) and restores the aliasing on decode.
+type pointResultJSON struct {
+	Index       int           `json:"index"`
+	Name        string        `json:"name"`
+	Result      *core.Result  `json:"result,omitempty"`
+	Error       *RemoteError  `json:"error,omitempty"`
+	PSS         *shooting.PSS `json:"pss,omitempty"`
+	PSSIsResult bool          `json:"pss_is_result,omitempty"`
+	Attempts    []Attempt     `json:"attempts,omitempty"`
+	Wall        time.Duration `json:"wall_ns"`
+	Cached      bool          `json:"cached,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. Together with UnmarshalJSON it makes
+// a PointResult JSON round-trip loss-free up to error-chain identity: typed
+// budget/panic classification and every numeric field survive; wrapped error
+// values are flattened to their message (see RemoteError).
+func (r PointResult) MarshalJSON() ([]byte, error) {
+	w := pointResultJSON{
+		Index:    r.Index,
+		Name:     r.Name,
+		Result:   r.Result,
+		Error:    encodeErr(r.Err),
+		Attempts: r.Attempts,
+		Wall:     r.Wall,
+		Cached:   r.Cached,
+	}
+	if r.Result != nil && r.PSS == r.Result.PSS {
+		w.PSSIsResult = true
+	} else {
+		w.PSS = r.PSS
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *PointResult) UnmarshalJSON(data []byte) error {
+	var w pointResultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = PointResult{
+		Index:    w.Index,
+		Name:     w.Name,
+		Result:   w.Result,
+		Err:      decodeErr(w.Error),
+		PSS:      w.PSS,
+		Attempts: w.Attempts,
+		Wall:     w.Wall,
+		Cached:   w.Cached,
+	}
+	if w.PSSIsResult && w.Result != nil {
+		r.PSS = w.Result.PSS
+	}
+	return nil
+}

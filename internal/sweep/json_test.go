@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/osc"
+)
+
+// TestPointResultJSONRoundTripSuccess runs a real characterisation through the
+// batch engine and checks the wire form survives marshal → unmarshal →
+// re-marshal byte-identically, with the PSS↔Result.PSS aliasing restored.
+func TestPointResultJSONRoundTripSuccess(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2, Sigma: 0.02}
+	res := Run([]Point{{Name: "p", System: h, X0: []float64{1, 0.1}, TGuess: h.Period() * 1.05}}, nil)
+	r := res[0]
+	if !r.OK() {
+		t.Fatal(r.Err)
+	}
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PointResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("marshal → unmarshal → marshal is not byte-identical")
+	}
+	if back.Index != r.Index || back.Name != r.Name || back.Wall != r.Wall {
+		t.Fatal("scalar fields changed")
+	}
+	if back.Result == nil || back.Result.C != r.Result.C {
+		t.Fatal("result payload changed")
+	}
+	if back.PSS == nil || back.PSS != back.Result.PSS {
+		t.Fatal("PSS must alias Result.PSS after decode, as it does on a live success")
+	}
+	if len(back.Attempts) != len(r.Attempts) {
+		t.Fatalf("attempts: %d vs %d", len(back.Attempts), len(r.Attempts))
+	}
+	for i := range back.Attempts {
+		if back.Attempts[i].RungName != r.Attempts[i].RungName ||
+			back.Attempts[i].Wall != r.Attempts[i].Wall ||
+			!reflect.DeepEqual(back.Attempts[i].Trace, r.Attempts[i].Trace) {
+			t.Fatalf("attempt %d changed", i)
+		}
+	}
+}
+
+// TestPointResultJSONErrorKindsSurvive checks that errors.Is classification
+// against the pipeline sentinels holds after a JSON round trip, for every
+// sentinel the engine can emit.
+func TestPointResultJSONErrorKindsSurvive(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+	}{
+		{"canceled", fmt.Errorf("point %q: %w", "p", budget.ErrCanceled), budget.ErrCanceled},
+		{"budget", fmt.Errorf("attempt: %w", budget.ErrBudgetExceeded), budget.ErrBudgetExceeded},
+		{"panic", &PanicError{Value: "boom", Stack: []byte("stack")}, ErrModelPanic},
+	}
+	sentinels := []error{budget.ErrCanceled, budget.ErrBudgetExceeded, ErrModelPanic}
+	for _, tc := range cases {
+		r := PointResult{
+			Index: 3,
+			Name:  tc.name,
+			Err:   tc.err,
+			Attempts: []Attempt{{
+				Rung: 1, RungName: "retry",
+				Err:  tc.err,
+				Wall: 17 * time.Millisecond,
+			}},
+			Wall: 40 * time.Millisecond,
+		}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PointResult
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Err == nil || back.Err.Error() != tc.err.Error() {
+			t.Fatalf("%s: message changed: %v", tc.name, back.Err)
+		}
+		for _, s := range sentinels {
+			want := s == tc.sentinel
+			if got := errors.Is(back.Err, s); got != want {
+				t.Fatalf("%s: errors.Is(decoded, %v) = %v, want %v", tc.name, s, got, want)
+			}
+			if got := errors.Is(back.Attempts[0].Err, s); got != want {
+				t.Fatalf("%s attempt: errors.Is(decoded, %v) = %v, want %v", tc.name, s, got, want)
+			}
+		}
+		if back.OK() {
+			t.Fatalf("%s: failed result decoded as OK", tc.name)
+		}
+	}
+
+	// A plain error stays an error but matches no sentinel.
+	data, err := json.Marshal(PointResult{Err: errors.New("shooting: diverged")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PointResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != "shooting: diverged" {
+		t.Fatalf("plain error changed: %v", back.Err)
+	}
+	for _, s := range sentinels {
+		if errors.Is(back.Err, s) {
+			t.Fatalf("plain error spuriously matches %v", s)
+		}
+	}
+}
+
+// TestPointResultJSONDegradedKeepsStandalonePSS: a degraded point (failed but
+// with a converged PSS and no Result) must keep its standalone PSS distinct
+// from any Result aliasing.
+func TestPointResultJSONDegradedKeepsStandalonePSS(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 2, Sigma: 0.02}
+	ok := Run([]Point{{Name: "p", System: h, X0: []float64{1, 0.1}, TGuess: h.Period() * 1.05}}, nil)
+	if !ok[0].OK() {
+		t.Fatal(ok[0].Err)
+	}
+	r := PointResult{
+		Index: 1,
+		Name:  "degraded",
+		Err:   errors.New("floquet: stability check failed"),
+		PSS:   ok[0].PSS,
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PointResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Result != nil {
+		t.Fatal("degraded point grew a Result")
+	}
+	if back.PSS == nil || back.PSS.T != r.PSS.T || back.PSS.Residual != r.PSS.Residual {
+		t.Fatal("standalone PSS changed")
+	}
+	if back.Degraded() != r.Degraded() {
+		t.Fatal("degraded classification changed")
+	}
+}

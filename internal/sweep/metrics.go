@@ -6,20 +6,22 @@ import "repro/internal/obs"
 // pressure (attempts per rung), live queue depth, and the point-latency
 // distribution.
 type sweepInstruments struct {
-	pointsOK       *obs.Counter   // pn_sweep_points_total{outcome="ok"}
-	pointsDegraded *obs.Counter   // pn_sweep_points_total{outcome="degraded"}
-	pointsFailed   *obs.Counter   // pn_sweep_points_total{outcome="failed"}
-	pointsSkipped  *obs.Counter   // pn_sweep_points_total{outcome="skipped"}
+	pointsOK       *obs.Counter    // pn_sweep_points_total{outcome="ok"}
+	pointsCached   *obs.Counter    // pn_sweep_points_total{outcome="cached"}
+	pointsDegraded *obs.Counter    // pn_sweep_points_total{outcome="degraded"}
+	pointsFailed   *obs.Counter    // pn_sweep_points_total{outcome="failed"}
+	pointsSkipped  *obs.Counter    // pn_sweep_points_total{outcome="skipped"}
 	attempts       *obs.CounterVec // pn_sweep_attempts_total{rung}
-	abandoned      *obs.Counter   // pn_sweep_abandoned_total
-	queueDepth     *obs.Gauge     // pn_sweep_queue_depth
-	pointSeconds   *obs.Histogram // pn_sweep_point_seconds
+	abandoned      *obs.Counter    // pn_sweep_abandoned_total
+	queueDepth     *obs.Gauge      // pn_sweep_queue_depth
+	pointSeconds   *obs.Histogram  // pn_sweep_point_seconds
 }
 
 var sweepMetrics = obs.NewView(func(r *obs.Registry) *sweepInstruments {
-	points := r.CounterVec("pn_sweep_points_total", "Sweep points finished, by outcome (ok, degraded = failed but with a converged PSS, failed, skipped = never started because the batch budget tripped).", "outcome")
+	points := r.CounterVec("pn_sweep_points_total", "Sweep points finished, by outcome (ok, cached = served from the result cache without running the pipeline, degraded = failed but with a converged PSS, failed, skipped = never started because the batch budget tripped).", "outcome")
 	return &sweepInstruments{
 		pointsOK:       points.With("ok"),
+		pointsCached:   points.With("cached"),
 		pointsDegraded: points.With("degraded"),
 		pointsFailed:   points.With("failed"),
 		pointsSkipped:  points.With("skipped"),

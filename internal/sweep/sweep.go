@@ -26,9 +26,14 @@
 //     batch reports everything it learned.
 //
 // One hard, hostile, or hanging point never aborts the batch.
+//
+// With Config.Cache attached, keyed points resolve through the
+// content-addressed result store first: repeated batches become cache sweeps,
+// and concurrent identical points collapse to a single pipeline run.
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dynsys"
 	"repro/internal/floquet"
@@ -52,6 +58,14 @@ type Point struct {
 	X0     []float64     // initial state guess
 	TGuess float64       // period guess
 	Opts   *core.Options // base pipeline options (nil for defaults); rungs scale from these
+	// Key, when non-empty and Config.Cache is set, content-addresses this
+	// point's result: a hit skips the whole retry ladder, a successful run
+	// is stored for future batches. Build keys with
+	// cache.CharacterisationKey so every producer (CLI, job server, library
+	// callers) shares one store. The key must capture everything that
+	// determines the result — model identity, parameters, X0, TGuess and
+	// the effective options — or cached answers will be wrong.
+	Key string
 }
 
 // Rung is one escalation step of the retry ladder. Zero-valued fields leave
@@ -134,6 +148,10 @@ type PointResult struct {
 	PSS      *shooting.PSS
 	Attempts []Attempt
 	Wall     time.Duration // total wall-clock time across all attempts
+	// Cached reports that the result was served from the content-addressed
+	// store (or by joining an identical in-flight computation) without
+	// running the pipeline; Attempts is empty in that case.
+	Cached bool
 }
 
 // OK reports whether the point characterised successfully.
@@ -176,9 +194,26 @@ type Config struct {
 	// the engine, so the hook needs no locking of its own.
 	OnAttempt func(index int, name string, att Attempt)
 	// OnPoint, when non-nil, is called once per point as it completes,
-	// serialised like OnAttempt. Points complete out of order. Points
-	// skipped because the batch budget tripped are reported here too.
+	// serialised like OnAttempt.
+	//
+	// Ordering guarantee: exactly one call per point, and res.Index is exact
+	// (the position in the input slice), but calls arrive in completion
+	// order, not input order — and with a Cache attached the interleaving
+	// gets extreme, because cached points complete near-instantly while
+	// computed ones take seconds. Consumers must key on res.Index, never on
+	// arrival order. Points skipped because the batch budget tripped are
+	// reported here too.
 	OnPoint func(res PointResult)
+	// Cache, when non-nil, is the content-addressed result store consulted
+	// for every point with a non-empty Key before its retry ladder runs. A
+	// hit returns the stored result (PointResult.Cached = true) without
+	// invoking the pipeline; concurrent identical points — within this
+	// batch, across batches, or across processes sharing a disk store —
+	// collapse to one computation via singleflight. Only successful
+	// characterisations are stored; a point that joins an in-flight
+	// identical computation shares its outcome, including a failure (a
+	// budget trip in the computing caller fails its waiters too).
+	Cache *cache.Store
 }
 
 // Retryable reports whether err is a refinable pipeline failure — one the
@@ -291,7 +326,11 @@ func Run(points []Point, cfg *Config) []PointResult {
 	}
 
 	m := sweepMetrics.Get()
-	m.queueDepth.Set(float64(len(points)))
+	// Add, not Set: concurrent batches (several server jobs, overlapping CLI
+	// runs) share this gauge, and each decrements once per finished point —
+	// including points short-circuited by the cache or skipped on a budget
+	// trip — so the gauge returns to its pre-batch value when Run returns.
+	m.queueDepth.Add(float64(len(points)))
 	rsp := obs.StartSpan(nil, "sweep.Run")
 	rsp.SetAttr("points", len(points))
 	rsp.SetAttr("workers", workers)
@@ -305,6 +344,8 @@ func Run(points []Point, cfg *Config) []PointResult {
 			for k := range next {
 				out[k] = runPoint(k, points[k], &c, attempt, rsp)
 				switch {
+				case out[k].Cached && out[k].OK():
+					m.pointsCached.Inc()
 				case out[k].OK():
 					m.pointsOK.Inc()
 				case out[k].Degraded():
@@ -359,8 +400,9 @@ func markSkipped(points []Point, out []PointResult, from int, cause error, done 
 	}
 }
 
-// runPoint walks one point up the ladder until an attempt succeeds or the
-// failure is not retryable, under the point's wall-clock budget.
+// runPoint resolves one point: through the content-addressed cache when the
+// point is keyed (hit, or singleflight-joined computation), otherwise by
+// walking the retry ladder directly.
 func runPoint(index int, p Point, c *Config, attempt func(int, string, Attempt), rsp *obs.Span) PointResult {
 	start := time.Now()
 	res := PointResult{Index: index, Name: p.Name}
@@ -373,8 +415,60 @@ func runPoint(index int, p Point, c *Config, attempt func(int, string, Attempt),
 	psp.SetAttr("name", p.Name)
 	defer func() {
 		psp.SetAttr("attempts", len(res.Attempts))
+		psp.SetAttr("cached", res.Cached)
 		psp.EndErr(res.Err)
 	}()
+
+	if c.Cache != nil && p.Key != "" {
+		res = runPointCached(index, p, c, attempt, psp)
+	} else {
+		res = runLadder(index, p, c, attempt, psp)
+	}
+	res.Wall = time.Since(start)
+	return res
+}
+
+// runPointCached funnels the point through Config.Cache: one caller per key
+// runs the ladder and stores a successful result; everyone else is served
+// from the store or by joining that computation.
+func runPointCached(index int, p Point, c *Config, attempt func(int, string, Attempt), psp *obs.Span) PointResult {
+	var computed *PointResult
+	payload, origin, err := c.Cache.Do(p.Key, func() ([]byte, error) {
+		r := runLadder(index, p, c, attempt, psp)
+		computed = &r
+		if !r.OK() {
+			return nil, r.Err
+		}
+		return json.Marshal(r.Result)
+	})
+	if computed != nil {
+		// This caller ran the pipeline; its PointResult has the full attempt
+		// history (and possibly a degraded partial PSS).
+		return *computed
+	}
+	res := PointResult{Index: index, Name: p.Name, Cached: true}
+	if err != nil {
+		// Joined an identical in-flight computation that failed.
+		res.Err = fmt.Errorf("sweep: point %q shared a failed identical computation: %w", p.Name, err)
+		return res
+	}
+	var cr core.Result
+	if jerr := json.Unmarshal(payload, &cr); jerr != nil {
+		// A stale or foreign payload under our key: fall back to computing
+		// rather than failing the point on a cache artefact.
+		return runLadder(index, p, c, attempt, psp)
+	}
+	_ = origin // mem/disk/shared all count as cached for the result record
+	res.Result = &cr
+	res.PSS = cr.PSS
+	return res
+}
+
+// runLadder walks one point up the ladder until an attempt succeeds or the
+// failure is not retryable, under the point's wall-clock budget.
+func runLadder(index int, p Point, c *Config, attempt func(int, string, Attempt), psp *obs.Span) PointResult {
+	start := time.Now()
+	res := PointResult{Index: index, Name: p.Name}
 	ptTok := c.Budget
 	if c.PointTimeout > 0 {
 		ptTok = budget.WithTimeout(ptTok, c.PointTimeout)

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for pnserve: build the server, start it with a disk
+# cache, submit a Hopf characterisation over HTTP, poll it to completion,
+# resubmit the identical request and assert it is served from the result
+# cache, then check the pn_serve_* / pn_cache_* metric families on /metrics.
+# Used by CI (serve-smoke job) and runnable locally: ./scripts/smoke_serve.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke_serve: FAIL: $*" >&2
+  exit 1
+}
+
+# Extract a string or number field from a single-object JSON response.
+json_field() { # json_field <key> <<< "$json"
+  sed -n "s/.*\"$1\":\"\\{0,1\\}\\([^\",}]*\\)\"\\{0,1\\}.*/\\1/p"
+}
+
+echo "smoke_serve: building pnserve"
+go build -o "$TMP/pnserve" ./cmd/pnserve
+
+echo "smoke_serve: starting on $BASE (cache $TMP/cache)"
+"$TMP/pnserve" -addr "127.0.0.1:$PORT" -workers 2 -cache-dir "$TMP/cache" \
+  >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/server.log" >&2; fail "server exited early"; }
+  sleep 0.2
+  [[ $i -eq 50 ]] && fail "server never became healthy"
+done
+
+REQ='{"model":"hopf","timeout_ms":60000}'
+
+submit_and_wait() { # submit_and_wait -> prints terminal job JSON
+  local resp id state job
+  resp="$(curl -sf "$BASE/v1/characterise" -d "$REQ")" || fail "submit failed"
+  id="$(json_field id <<<"$resp")"
+  [[ -n "$id" ]] || fail "no job id in response: $resp"
+  for i in $(seq 1 300); do
+    job="$(curl -sf "$BASE/v1/jobs/$id")" || fail "status fetch failed for $id"
+    state="$(json_field state <<<"$job")"
+    case "$state" in
+      done) echo "$job"; return 0 ;;
+      failed|canceled) fail "job $id ended $state: $job" ;;
+    esac
+    sleep 0.2
+  done
+  fail "job $id never finished: $job"
+}
+
+echo "smoke_serve: first submission (cold cache)"
+first="$(submit_and_wait)"
+grep -q '"cached_points":0' <<<"$first" || fail "cold run reported cached points: $first"
+grep -q '"ok":true' <<<"$first" || fail "cold run point not ok: $first"
+
+echo "smoke_serve: identical resubmission (must hit the cache)"
+second="$(submit_and_wait)"
+grep -q '"cached_points":1' <<<"$second" || fail "resubmit missed the cache: $second"
+grep -q '"cached":true' <<<"$second" || fail "resubmit point not marked cached: $second"
+
+c1="$(json_field c_s2hz <<<"$first")"
+c2="$(json_field c_s2hz <<<"$second")"
+[[ -n "$c1" && "$c1" == "$c2" ]] || fail "cached c differs: $c1 vs $c2"
+
+echo "smoke_serve: checking /metrics"
+metrics="$(curl -sf "$BASE/metrics")" || fail "metrics scrape failed"
+grep -q 'pn_serve_jobs_total{state="done"} 2' <<<"$metrics" \
+  || fail "expected 2 done jobs in metrics"
+grep -q 'pn_serve_submitted_total{kind="characterise"} 2' <<<"$metrics" \
+  || fail "expected 2 submissions in metrics"
+grep -q 'pn_cache_hits_total{tier="mem"} 1' <<<"$metrics" \
+  || fail "expected 1 in-memory cache hit"
+grep -q 'pn_cache_misses_total 1' <<<"$metrics" || fail "expected 1 cache miss"
+grep -q 'pn_core_characterisations_total{outcome="ok"} 1' <<<"$metrics" \
+  || fail "expected exactly 1 pipeline run (resubmit must not recompute)"
+
+echo "smoke_serve: graceful drain"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on drain"
+SERVER_PID=""
+
+echo "smoke_serve: PASS"
