@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-json smoke-serve
+.PHONY: verify build test vet race chaos bench bench-json smoke-serve
 
 verify: build test vet race
 
@@ -20,6 +20,17 @@ vet:
 
 race:
 	$(GO) test -race -timeout 10m ./...
+
+# Fault-injection (chaos) suite under the race detector: the faultinject
+# package itself, the named-fault consumers in cache/sweep/osc/serve
+# (journal durability, readiness lifecycle, injected I/O and model faults),
+# and the SIGKILL crash-recovery e2e in cmd/pnserve. CI runs the same
+# commands (chaos job).
+chaos:
+	$(GO) test -race -timeout 10m ./internal/faultinject/
+	$(GO) test -race -timeout 15m \
+		-run 'TestChaos|TestFault|TestJournal|TestReadyz|TestCrashRecovery' \
+		./internal/cache/ ./internal/sweep/ ./internal/osc/ ./internal/serve/ ./cmd/pnserve
 
 # End-to-end smoke of the job server: build pnserve, characterise over HTTP,
 # assert the identical resubmission is a cache hit, scrape /metrics. CI runs

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pnserve [-addr :8080] [-workers n] [-queue n]
-//	        [-cache-dir dir] [-cache-mem bytes]
+//	        [-cache-dir dir] [-cache-mem bytes] [-journal-dir dir]
 //	        [-job-timeout d] [-drain-timeout d]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
@@ -18,15 +18,21 @@
 //	GET  /v1/jobs/{id}/events live progress as Server-Sent Events
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /v1/models           registered models and their defaults
-//	GET  /healthz             liveness and drain state
+//	GET  /healthz             liveness (always 200)
+//	GET  /readyz              readiness (503 while draining or replaying the journal)
 //	GET  /metrics             Prometheus text metrics (pn_serve_*, pn_cache_*, …)
 //	GET  /debug/pprof/        the standard pprof handlers
 //
 // -cache-dir persists results across restarts and shares them with pnsweep
 // and pnchar runs pointed at the same directory; -cache-mem bounds the
-// in-memory tier. SIGINT/SIGTERM drain gracefully: intake stops (503), queued
-// and running jobs finish, and after -drain-timeout whatever is still running
-// is cancelled through its budget token.
+// in-memory tier. -journal-dir makes jobs durable: accepted jobs are
+// journaled before the 202 goes out, and a crashed or killed server replays
+// the directory on restart — terminal jobs come back queryable, interrupted
+// jobs resume with their completed points served from the result cache (pair
+// it with -cache-dir, or the resumed job recomputes). SIGINT/SIGTERM drain
+// gracefully: intake stops (503), queued and running jobs finish, and after
+// -drain-timeout whatever is still running is cancelled through its budget
+// token.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -63,6 +70,7 @@ func run() int {
 	queue := flag.Int("queue", 16, "queued-job bound (submissions beyond it get 429)")
 	cacheDir := flag.String("cache-dir", "", "persist characterisation results in this directory (empty = memory only)")
 	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes")
+	journalDir := flag.String("journal-dir", "", "journal jobs in this directory and recover them on restart (empty = jobs die with the process)")
 	jobTimeout := flag.Duration("job-timeout", 0, "ceiling on any job's wall clock, on top of per-request timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain grace before in-flight jobs are cancelled")
 	obsFlags := cliobs.Register(flag.CommandLine)
@@ -91,6 +99,7 @@ func run() int {
 		Queue:      *queue,
 		Cache:      store,
 		MaxJobWall: *jobTimeout,
+		JournalDir: *journalDir,
 	})
 
 	mux := http.NewServeMux()
@@ -108,13 +117,21 @@ func run() int {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Listen explicitly (rather than ListenAndServe) so the resolved address
+	// is printable: with -addr :0 the kernel picks the port, and harnesses
+	// (the crash-recovery e2e test, scripts) parse it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
-	fmt.Fprintf(os.Stderr, "pnserve: listening on %s (%d workers, queue %d, cache-mem %d, cache-dir %q, GOMAXPROCS %d)\n",
-		*addr, *workers, *queue, *cacheMem, *cacheDir, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pnserve: listening on %s (%d workers, queue %d, cache-mem %d, cache-dir %q, journal-dir %q, GOMAXPROCS %d)\n",
+		ln.Addr(), *workers, *queue, *cacheMem, *cacheDir, *journalDir, runtime.GOMAXPROCS(0))
 
 	select {
 	case err := <-errc:

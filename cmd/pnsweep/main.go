@@ -8,7 +8,7 @@
 //
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
 //	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
-//	        [-cache-dir dir] [-cache-mem bytes]
+//	        [-cache-dir dir] [-cache-mem bytes] [-server url]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
@@ -16,6 +16,16 @@
 // A summary table goes to stdout; -json writes the full per-point results —
 // loss-free, including trajectories, retry history and per-stage diagnostics
 // — as JSON.
+//
+// -server runs the same sweep remotely on a pnserve instance instead of in
+// process: the grid is submitted as one job (under an Idempotency-Key, so
+// client-side retries never queue duplicates), progress streams back over
+// Server-Sent Events with automatic reconnection — a pnserve restart
+// mid-sweep is survived transparently when the server journals its jobs —
+// and the same summary table and -json output render from the job's
+// loss-free results. SIGINT cancels the remote job through the API.
+// -workers then bounds the job's server-side parallelism, and the server's
+// cache (not -cache-dir) serves repeated points.
 //
 // -cache-dir reuses prior characterisations from a content-addressed result
 // store shared with pnchar and pnserve: identical points are served from the
@@ -39,6 +49,9 @@
 package main
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -54,6 +67,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/cliobs"
+	"repro/internal/pnclient"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -110,6 +124,7 @@ func run() int {
 	verbose := flag.Bool("v", false, "stream per-attempt progress to stderr")
 	cacheDir := flag.String("cache-dir", "", "reuse characterisation results from this directory (shared with pnchar and pnserve; empty = no cache)")
 	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
+	server := flag.String("server", "", "run the sweep remotely on this pnserve base URL (e.g. http://127.0.0.1:8080) instead of in process")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -120,6 +135,16 @@ func run() int {
 	}
 	defer stopObs()
 
+	specs, param, err := buildSpecs(*oscName, *pmin, *pmax, *n)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	if *server != "" {
+		return runRemote(*server, specs, param, *workers, *timeout, *jsonPath, *verbose)
+	}
+
 	var store *cache.Store
 	if *cacheDir != "" {
 		if store, err = cache.New(cache.Options{MaxBytes: *cacheMem, Dir: *cacheDir}); err != nil {
@@ -128,7 +153,7 @@ func run() int {
 		}
 	}
 
-	points, param, err := buildGrid(*oscName, *pmin, *pmax, *n)
+	points, err := resolveSpecs(specs)
 	if err != nil {
 		log.Print(err)
 		return 1
@@ -196,14 +221,14 @@ func run() int {
 	return 0
 }
 
-// buildGrid materialises the parameter grid for one oscillator family and
-// returns the sweep points plus the per-point parameter values. Points are
-// specified as pure data (model name + parameter map) and resolved through
-// the same serve.PointSpec path the job server uses, so the stamped
-// content-addressed cache keys are identical — a sweep run with -cache-dir
-// warms the cache for pnserve and pnchar runs over the same directory, and
-// vice versa.
-func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64, error) {
+// buildSpecs materialises the parameter grid for one oscillator family as
+// pure data (model name + parameter map) plus the per-point parameter values.
+// Local runs resolve the specs through the same serve.PointSpec path the job
+// server uses, so the stamped content-addressed cache keys are identical — a
+// sweep run with -cache-dir warms the cache for pnserve and pnchar runs over
+// the same directory, and vice versa; remote runs (-server) submit the specs
+// verbatim as the job body.
+func buildSpecs(name string, pmin, pmax float64, n int) ([]serve.PointSpec, []float64, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("need at least one grid point, got %d", n)
 	}
@@ -263,15 +288,157 @@ func buildGrid(name string, pmin, pmax float64, n int) ([]sweep.Point, []float64
 	default:
 		return nil, nil, fmt.Errorf("unknown oscillator %q (want hopf, vanderpol, ring)", name)
 	}
+	return specs, vals, nil
+}
+
+// resolveSpecs turns the pure-data specs into runnable sweep points for the
+// in-process engine.
+func resolveSpecs(specs []serve.PointSpec) ([]sweep.Point, error) {
 	pts := make([]sweep.Point, len(specs))
 	for i, sp := range specs {
 		pt, err := sp.Resolve(nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("point %q: %w", sp.Name, err)
+			return nil, fmt.Errorf("point %q: %w", sp.Name, err)
 		}
 		pts[i] = pt
 	}
-	return pts, vals, nil
+	return pts, nil
+}
+
+// runRemote submits the grid as one job to a pnserve instance and follows it
+// to completion: idempotent submission, a reconnecting event stream feeding
+// the same progress line, cancellation over the API on SIGINT, and the
+// standard summary table + -json output rendered from the job's loss-free
+// results.
+func runRemote(base string, specs []serve.PointSpec, param []float64, workers int, timeout time.Duration, jsonPath string, verbose bool) int {
+	c := pnclient.New(base, nil, pnclient.Retry{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// A fresh random key per invocation: retries inside this run deduplicate
+	// (lost 202s, server restarts), distinct runs submit distinct jobs.
+	var kb [16]byte
+	if _, err := rand.Read(kb[:]); err != nil {
+		log.Print(err)
+		return 1
+	}
+	idemKey := "pnsweep-" + hex.EncodeToString(kb[:])
+
+	start := time.Now()
+	st, err := c.Sweep(ctx, serve.SweepRequest{
+		Points:    specs,
+		Workers:   workers,
+		TimeoutMS: int64(timeout / time.Millisecond),
+	}, idemKey)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "pnsweep: job %s submitted to %s (%d points)\n", st.ID, base, len(specs))
+
+	// First SIGINT cancels the remote job (the stream then delivers the
+	// canceled terminal state and the summary still renders); a second
+	// aborts the process.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "pnsweep: interrupt — cancelling job %s (interrupt again to abort)\n", st.ID)
+		cctx, cdone := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cdone()
+		if _, err := c.Cancel(cctx, st.ID); err != nil {
+			log.Printf("cancel: %v", err)
+		}
+		<-sigc
+		os.Exit(130)
+	}()
+
+	prog := newProgress(len(specs), os.Stderr)
+	onEvent := func(ev serve.Event) {
+		switch ev.Type {
+		case "point":
+			p := ev.Point
+			if verbose {
+				status := "ok"
+				if !p.OK {
+					status = "failed"
+				} else if p.Cached {
+					status = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "[%s] %s (%.0fms)\n", p.Name, status, p.WallMS)
+			}
+			// Feed the progress line a synthesized result carrying just the
+			// fields it reads. Recovered jobs re-report pre-crash points, so
+			// clamp instead of overflowing the count.
+			r := sweep.PointResult{Index: p.Index, Name: p.Name, Cached: p.Cached}
+			if !p.OK {
+				r.Err = errors.New("failed")
+			}
+			if prog != nil && prog.done < len(specs) {
+				prog.point(r)
+			}
+		case "state":
+			if verbose && ev.State != "" {
+				fmt.Fprintf(os.Stderr, "job %s: %s\n", st.ID, ev.State)
+			}
+		}
+	}
+
+	final, err := c.Wait(ctx, st.ID, true, onEvent)
+	prog.finish()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	wall := time.Since(start)
+
+	if len(final.Full) == len(param) {
+		printSummary(final.Full, param, wall, workers)
+		if jsonPath != "" {
+			if err := writeJSON(jsonPath, final.Full, param); err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Printf("full results written to %s\n", jsonPath)
+		}
+	} else {
+		// No loss-free payload (e.g. the job predates this process and was
+		// recovered as terminal-only): render the compact summaries.
+		printRemoteSummary(final, wall)
+	}
+	if final.State != serve.StateDone || final.FailedPoints > 0 {
+		if final.Error != nil {
+			log.Printf("job %s %s: %s", final.ID, final.State, final.Error.Msg)
+		}
+		return 1
+	}
+	return 0
+}
+
+// printRemoteSummary renders a job's compact per-point summaries when the
+// loss-free payload is unavailable.
+func printRemoteSummary(st serve.JobStatus, wall time.Duration) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\tstatus\tf0 (Hz)\tc (s²·Hz)\twall")
+	okCount, cached := 0, 0
+	for _, r := range st.Results {
+		status := "FAILED"
+		f0s, cs := "-", "-"
+		if r.OK {
+			okCount++
+			status = "ok"
+			if r.Cached {
+				cached++
+				status = "cached"
+			}
+			f0s = fmt.Sprintf("%.6e", r.F0)
+			cs = fmt.Sprintf("%.4e", r.C)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0fms\n", r.Name, status, f0s, cs, r.WallMS)
+	}
+	tw.Flush()
+	fmt.Printf("%d/%d points characterised (cached: %d) in %v — job %s %s\n",
+		okCount, st.Points, cached, wall.Round(time.Millisecond), st.ID, st.State)
 }
 
 func printSummary(results []sweep.PointResult, param []float64, wall time.Duration, workers int) {

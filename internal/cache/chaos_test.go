@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestChaosDiskWriteFault drops disk writes through the injected fault: the
+// entry still serves from memory, but a fresh store over the same directory
+// misses — and once the fault lifts, the write path recovers.
+func TestChaosDiskWriteFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off := faultinject.Enable(faultinject.Plan{
+		faultinject.CacheDiskWrite: {Mode: faultinject.ModeError},
+	})
+	if err := s.Put("deadbeef", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	off()
+
+	if faultinject.Enabled() {
+		t.Fatal("harness still enabled")
+	}
+	if _, ok := s.Get("deadbeef"); !ok {
+		t.Fatal("memory tier lost the entry")
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("disk write happened under the fault: %v", ents)
+	}
+	if got := reg.Snapshot().Counter("pn_cache_disk_errors_total", ""); got != 1 {
+		t.Fatalf("disk errors = %d, want 1", got)
+	}
+
+	// Fault lifted: the write path works again.
+	if err := s.Put("cafe", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cafe.json")); err != nil {
+		t.Fatalf("post-fault write missing: %v", err)
+	}
+}
+
+// TestChaosDiskReadFault turns a durably stored entry into a read-error miss
+// while the fault is active, without deleting the file: the entry is intact
+// and serves again once the fault lifts.
+func TestChaosDiskReadFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("feed", []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store over the same dir: memory tier empty, must go to disk.
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := faultinject.Enable(faultinject.Plan{
+		faultinject.CacheDiskRead: {Mode: faultinject.ModeError},
+	})
+	if _, ok := s2.Get("feed"); ok {
+		off()
+		t.Fatal("read fault did not produce a miss")
+	}
+	off()
+	if got := reg.Snapshot().Counter("pn_cache_disk_errors_total", ""); got != 1 {
+		t.Fatalf("disk errors = %d, want 1", got)
+	}
+	if v, ok := s2.Get("feed"); !ok || string(v) != `{"v":3}` {
+		t.Fatalf("entry not served after fault lifted: %q %v", v, ok)
+	}
+}
+
+// TestDiskPutDurable sanity-checks the fsync path end to end: the rename is
+// visible, the temp file is gone, and the envelope decodes.
+func TestDiskPutDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("00ff", []byte(`{"k":"v"}`)); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "00ff.json" {
+		t.Fatalf("dir contents: %v", ents)
+	}
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get("00ff"); !ok || string(v) != `{"k":"v"}` {
+		t.Fatalf("reload: %q %v", v, ok)
+	}
+}

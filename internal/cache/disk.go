@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultinject"
 )
 
 // diskSchemaVersion is the on-disk envelope schema. Entries with a different
@@ -21,8 +23,9 @@ type diskEnvelope struct {
 }
 
 // diskStore is the persistent tier: one JSON file per key under dir.
-// Writes are atomic (temp file + rename); reads tolerate anything — a
-// truncated, garbage or wrong-version file is a miss, never an error.
+// Writes are atomic and durable (temp file, fsync, rename, directory fsync);
+// reads tolerate anything — a truncated, garbage or wrong-version file is a
+// miss, never an error.
 type diskStore struct {
 	dir string
 }
@@ -58,6 +61,10 @@ func (d *diskStore) get(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	if faultinject.Fire(faultinject.CacheDiskRead) != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		return nil, false
+	}
 	data, err := os.ReadFile(p)
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -74,8 +81,15 @@ func (d *diskStore) get(key string) ([]byte, bool) {
 	return env.Payload, true
 }
 
-// put stores a payload atomically. The payload must be valid JSON (the
-// store's envelope embeds it verbatim); Store.Put validates that upstream.
+// put stores a payload atomically and durably: write to a temp file, fsync it
+// so the bytes reach stable storage before the rename makes them visible,
+// rename into place, then fsync the directory so the rename itself survives a
+// power loss. Skipping either sync lets a "cached" entry vanish or truncate
+// on crash — exactly what the corrupt-entry-as-miss read path would then hide
+// as silent recomputation, or worse, serve as garbage.
+//
+// The payload must be valid JSON (the store's envelope embeds it verbatim);
+// Store.Put validates that upstream.
 func (d *diskStore) put(key string, payload []byte) {
 	p, ok := d.path(key)
 	if !ok {
@@ -86,6 +100,10 @@ func (d *diskStore) put(key string, payload []byte) {
 		cacheMetrics.Get().diskErrors.Inc()
 		return
 	}
+	if faultinject.Fire(faultinject.CacheDiskWrite) != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		return
+	}
 	tmp, err := os.CreateTemp(d.dir, "."+key+".tmp-*")
 	if err != nil {
 		cacheMetrics.Get().diskErrors.Inc()
@@ -93,8 +111,9 @@ func (d *diskStore) put(key string, payload []byte) {
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		cacheMetrics.Get().diskErrors.Inc()
 		_ = os.Remove(tmpName)
 		return
@@ -102,5 +121,22 @@ func (d *diskStore) put(key string, payload []byte) {
 	if err := os.Rename(tmpName, p); err != nil {
 		cacheMetrics.Get().diskErrors.Inc()
 		_ = os.Remove(tmpName)
+		return
 	}
+	syncDir(d.dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's name is durable.
+// Failures are counted, not fatal: the entry is still correct, just not yet
+// guaranteed across power loss.
+func syncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+		return
+	}
+	if err := f.Sync(); err != nil {
+		cacheMetrics.Get().diskErrors.Inc()
+	}
+	_ = f.Close()
 }

@@ -1,0 +1,11 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — singleflight
+// waiters that never wake, disk-tier writers orphaned by an error path.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,106 @@
+// Package leakcheck verifies that a test suite does not leak goroutines: a
+// server that forgets to reap a worker, a token whose forwarding goroutine
+// never exits, a subscriber blocked on a channel nobody closes. Wire it into
+// a package with one line:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the suite passes, Main snapshots the live goroutines and fails the
+// run if any non-baseline goroutine survives a grace window. The check is
+// deliberately substring-based and forgiving — goroutines owned by the
+// runtime, the testing framework, and process-lifetime singletons are
+// ignored; everything else must exit on its own within the window.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored are stack-trace substrings of goroutines that legitimately outlive
+// a test suite: runtime and testing machinery, signal handling, and
+// process-lifetime pollers started by the standard library.
+var ignored = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.RunTests",
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.MHeap",
+	"runtime.ReadMemStats",
+	"runtime.ensureSigM",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	"repro/internal/leakcheck.",
+	"created by runtime.",
+	"net/http.(*http2clientConnReadLoop)", // shared transport, process lifetime
+}
+
+// Main runs the suite and then the leak check, exiting with a non-zero code
+// if either fails. Intended as the entire body of TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no unexpected goroutine remains or the grace window
+// expires, then reports the survivors. Goroutines often take a few scheduler
+// beats to unwind after the last test (closed servers draining connections,
+// cancelled tokens observing their channels), hence the polling.
+func Check(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var leaked []string
+	for {
+		leaked = interesting()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) leaked by the suite:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// interesting returns the stacks of goroutines not covered by the ignore
+// list. The calling goroutine is excluded by construction (runtime.Stack's
+// first record is the caller; it matches the leakcheck ignore entry anyway).
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+stacks:
+	for _, st := range strings.Split(string(buf), "\n\n") {
+		st = strings.TrimSpace(st)
+		if st == "" {
+			continue
+		}
+		for _, ig := range ignored {
+			if strings.Contains(st, ig) {
+				continue stacks
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

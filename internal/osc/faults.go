@@ -1,0 +1,47 @@
+package osc
+
+import (
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/faultinject"
+)
+
+// faultSystem wraps a registry-built model with the model-eval fault points,
+// so chaos tests can delay, poison or crash any registered oscillator without
+// the model knowing. With no fault plan installed each Eval pays three
+// nil-pointer loads — zero allocations, guarded by TestFaultHooksFreeOnRK4 —
+// which is why every Build wraps unconditionally instead of gating on a flag.
+type faultSystem struct {
+	dynsys.System
+}
+
+// Eval implements dynsys.System with the three eval fault points:
+// osc.eval.delay sleeps (slow model), osc.eval.nan poisons the first
+// component of f(x) (non-finite bail-out paths), osc.eval.panic panics
+// (sweep panic isolation).
+func (s faultSystem) Eval(x, dst []float64) {
+	_ = faultinject.Fire(faultinject.OscEvalDelay)
+	_ = faultinject.Fire(faultinject.OscEvalPanic) // ModePanic: panics when it fires
+	s.System.Eval(x, dst)
+	if faultinject.Fire(faultinject.OscEvalNaN) != nil {
+		dst[0] = math.NaN()
+	}
+}
+
+// Unwrap returns the model underneath the fault hooks (or sys itself when it
+// is not wrapped), for callers that need the concrete oscillator type.
+func (s faultSystem) Unwrap() dynsys.System { return s.System }
+
+// withFaultHooks wraps sys for Build. Kept as a helper so the wrap site in
+// Build stays one line.
+func withFaultHooks(sys dynsys.System) dynsys.System { return faultSystem{System: sys} }
+
+// Unwrap strips the fault-point wrapper Build applies, returning the concrete
+// oscillator. A system that is not wrapped is returned as is.
+func Unwrap(sys dynsys.System) dynsys.System {
+	if fs, ok := sys.(faultSystem); ok {
+		return fs.System
+	}
+	return sys
+}

@@ -1,0 +1,110 @@
+package osc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/ode"
+)
+
+// rk4f adapts a built model to the ode.Func signature, the way the shooting
+// integrators drive it.
+func rk4f(bm *BuiltModel) ode.Func {
+	return func(t float64, x, dst []float64) { bm.Sys.Eval(x, dst) }
+}
+
+// TestFaultHooksFreeOnRK4 is the acceptance guard: with no fault plan
+// installed, the always-compiled-in fault hooks add zero allocations to the
+// RK4 hot path. The wrapped model's allocation count must equal the bare
+// model's, and a direct Eval must not allocate at all.
+func TestFaultHooksFreeOnRK4(t *testing.T) {
+	faultinject.Disable()
+	bm, err := Build("hopf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := Unwrap(bm.Sys)
+	dst := make([]float64, bm.Sys.Dim())
+
+	if n := testing.AllocsPerRun(1000, func() { bm.Sys.Eval(bm.X0, dst) }); n != 0 {
+		t.Fatalf("wrapped Eval allocates %v per run, want 0", n)
+	}
+
+	wrapped := testing.AllocsPerRun(200, func() {
+		if _, err := ode.RK4(rk4f(bm), 0, bm.TGuess, bm.X0, 64, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bmBare := &BuiltModel{Sys: bare, X0: bm.X0, TGuess: bm.TGuess}
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := ode.RK4(rk4f(bmBare), 0, bm.TGuess, bm.X0, 64, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if wrapped != baseline {
+		t.Fatalf("RK4 with fault hooks allocates %v per run, bare model %v — the disabled harness must be free", wrapped, baseline)
+	}
+}
+
+// TestEvalNaNFault poisons f(x) and checks the integrator's non-finite
+// bail-out catches it within one step.
+func TestEvalNaNFault(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalNaN: {Mode: faultinject.ModeError, After: 10},
+	})()
+	bm, err := Build("hopf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rkErr := ode.RK4(rk4f(bm), 0, bm.TGuess, bm.X0, 256, nil)
+	if !errors.Is(rkErr, ode.ErrNonFinite) {
+		t.Fatalf("RK4 under NaN fault returned %v, want ErrNonFinite", rkErr)
+	}
+}
+
+// TestEvalPanicFault checks the panic surfaces as an *InjectedError so the
+// sweep engine's recovery can classify it.
+func TestEvalPanicFault(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalPanic: {Mode: faultinject.ModePanic},
+	})()
+	bm, err := Build("hopf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, bm.Sys.Dim())
+	defer func() {
+		rec := recover()
+		ie, ok := rec.(*faultinject.InjectedError)
+		if !ok || ie.Point != faultinject.OscEvalPanic {
+			t.Fatalf("recover() = %v, want *InjectedError at osc.eval.panic", rec)
+		}
+	}()
+	bm.Sys.Eval(bm.X0, dst)
+}
+
+// TestEvalDelayFault checks the delay point really slows Eval, and NaN
+// poisoning never happens in delay mode.
+func TestEvalDelayFault(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalDelay: {Mode: faultinject.ModeDelay, Delay: 20 * time.Millisecond, Count: 1},
+	})()
+	bm, err := Build("hopf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, bm.Sys.Dim())
+	start := time.Now()
+	bm.Sys.Eval(bm.X0, dst)
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("delayed Eval took %v, want ≥20ms", el)
+	}
+	for _, v := range dst {
+		if math.IsNaN(v) {
+			t.Fatal("delay fault poisoned the output")
+		}
+	}
+}

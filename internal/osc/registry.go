@@ -146,6 +146,9 @@ func Build(name string, params map[string]float64) (*BuiltModel, error) {
 	}
 	bm := def.build(p)
 	bm.Params = p
+	// Every registry-built model carries the chaos harness's model-eval fault
+	// points (see internal/faultinject); free when no plan is installed.
+	bm.Sys = withFaultHooks(bm.Sys)
 	return bm, nil
 }
 

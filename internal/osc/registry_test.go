@@ -31,7 +31,7 @@ func TestRegistryParamOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := bm.Sys.(*Hopf)
+	h := Unwrap(bm.Sys).(*Hopf)
 	if h.Omega != 10 || !h.YOnly || h.Lambda != 1 {
 		t.Fatalf("override not applied: %+v", h)
 	}

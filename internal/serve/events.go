@@ -1,15 +1,27 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/sweep"
+)
 
 // Event is one entry of a job's progress stream, delivered over SSE and
 // replayable from the beginning: every event carries a monotonically
 // increasing per-job sequence number, so a client that reconnects with
-// Last-Event-ID resumes exactly where it left off.
+// Last-Event-ID resumes exactly where it left off. With a journal attached,
+// events survive a process crash too — the restarted server restores the
+// journaled history under the same sequence numbers and resumes the job, so
+// Last-Event-ID replay spans restarts. Delivery across a crash is
+// at-least-once: a resumed job re-reports its points (as cache hits), so
+// consumers must key on Point.Index, never on arrival order or count.
 type Event struct {
 	Seq   int64  `json:"seq"`
 	Type  string `json:"type"`            // "state" or "point"
 	State string `json:"state,omitempty"` // job state, on type "state"
+	// Error carries the job-level failure on terminal "state" events
+	// (failed/canceled), with its budget/panic classification intact.
+	Error *sweep.RemoteError `json:"error,omitempty"`
 	// Point is the finished point's summary, on type "point". Points arrive
 	// in completion order — cached points near-instantly, computed ones much
 	// later — but Point.Index is always exact (see sweep.Config.OnPoint).
@@ -30,17 +42,30 @@ type eventLog struct {
 func newEventLog() *eventLog { return &eventLog{changed: make(chan struct{})} }
 
 // append stamps ev with the next sequence number, stores it, and wakes every
-// blocked reader.
-func (l *eventLog) append(ev Event) {
+// blocked reader. It returns the stamped event and whether it was stored
+// (false once the stream is closed), so callers can journal exactly what a
+// subscriber will see.
+func (l *eventLog) append(ev Event) (Event, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.done {
-		return // terminal: late hooks from an abandoned attempt are dropped
+		return ev, false // terminal: late hooks from an abandoned attempt are dropped
 	}
 	ev.Seq = int64(len(l.events)) + 1
 	l.events = append(l.events, ev)
 	close(l.changed)
 	l.changed = make(chan struct{})
+	return ev, true
+}
+
+// restore preloads journaled history into a fresh log: events keep their
+// original sequence numbers (they must be the contiguous prefix 1..n) so a
+// client reconnecting with a pre-crash Last-Event-ID resumes correctly, and
+// new appends continue at n+1.
+func (l *eventLog) restore(evs []Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append([]Event(nil), evs...)
 }
 
 // close marks the stream complete and wakes readers one last time.

@@ -1,0 +1,503 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// writeJournalFile hand-crafts one journal file, line by line, simulating
+// on-disk state left behind by a crashed server. extra lines are appended
+// verbatim (for torn/garbage tails).
+func writeJournalFile(t *testing.T, dir, name string, recs []jrecord, extra ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	for _, l := range extra {
+		buf.WriteString(l)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+// readSSEFrom is readSSE with a Last-Event-ID header: resume the stream after
+// sequence number `after`.
+func readSSEFrom(t *testing.T, base, id string, after int64) []Event {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(after, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	var out []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			out = append(out, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// postJSONKey is postJSON with an Idempotency-Key header.
+func postJSONKey(t *testing.T, url, key string, v any) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp, st
+}
+
+// TestJournalRecoveryTerminal restores a finished job from its rotated
+// journal: status (state, counters, summaries) and the replayable SSE stream
+// come back exactly as they were, and the ID space continues past it.
+func TestJournalRecoveryTerminal(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	dir := t.TempDir()
+	sum0 := PointSummary{Index: 0, Name: "p0", OK: true, T: 1.25, F0: 0.8, C: 3e-9}
+	sum1 := PointSummary{Index: 1, Name: "p1", OK: true, Cached: true, T: 1.5, F0: 0.66, C: 4e-9}
+	writeJournalFile(t, dir, "j7"+doneExt, []jrecord{
+		{V: 1, T: "accepted", ID: "j7", Kind: "sweep", Specs: []PointSpec{hopfSpec("p0", 3), hopfSpec("p1", 4)}, Workers: 1},
+		{V: 1, T: "event", Ev: &Event{Seq: 1, Type: "state", State: StateQueued}},
+		{V: 1, T: "event", Ev: &Event{Seq: 2, Type: "state", State: StateRunning}},
+		{V: 1, T: "event", Ev: &Event{Seq: 3, Type: "point", Point: &sum0}},
+		{V: 1, T: "event", Ev: &Event{Seq: 4, Type: "point", Point: &sum1}},
+		{V: 1, T: "event", Ev: &Event{Seq: 5, Type: "state", State: StateDone}},
+	})
+
+	s := New(Config{Workers: 1, JournalDir: dir})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	waitReady(t, ts.URL)
+
+	st := getStatus(t, ts.URL, "j7", false)
+	if st.State != StateDone || st.Points != 2 || st.DonePoints != 2 || st.CachedPoints != 1 || st.FailedPoints != 0 {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	if len(st.Results) != 2 || st.Results[0].C != 3e-9 || !st.Results[1].Cached {
+		t.Fatalf("recovered summaries: %+v", st.Results)
+	}
+
+	// The event stream replays in full and closes (the job is terminal).
+	evs := readSSE(t, ts.URL, "j7")
+	if len(evs) != 5 || evs[0].Seq != 1 || evs[4].State != StateDone {
+		t.Fatalf("recovered events: %+v", evs)
+	}
+
+	// New submissions continue the ID space past the recovered job.
+	_, next := postJSON(t, ts.URL+"/v1/characterise", CharacteriseRequest{PointSpec: hopfSpec("next", 5)})
+	if next.ID != "j8" {
+		t.Fatalf("next job ID %q, want j8 (after recovered j7)", next.ID)
+	}
+	waitState(t, ts.URL, next.ID, terminal)
+
+	if got := reg.Snapshot().Counter("pn_serve_jobs_recovered_total", "terminal"); got != 1 {
+		t.Fatalf("recovered{terminal} = %d, want 1", got)
+	}
+}
+
+// TestJournalRecoveryResume is the headline crash-recovery path in-process: a
+// .wal left by a "crashed" server (header, partial progress, torn tail) is
+// re-enqueued on startup and runs to completion with every pre-crash point
+// served from the result cache — the pipeline is never re-invoked — while the
+// SSE stream stays resumable across the restart via Last-Event-ID.
+func TestJournalRecoveryResume(t *testing.T) {
+	specs := []PointSpec{hopfSpec("p0", 3), hopfSpec("p1", 4), hopfSpec("p2", 5)}
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: compute all three points into the shared store ("before the
+	// crash"); this server has no journal.
+	warm := New(Config{Workers: 2, Cache: store})
+	tsw := httptest.NewServer(warm)
+	_, wst := postJSON(t, tsw.URL+"/v1/sweep", SweepRequest{Points: specs})
+	waitState(t, tsw.URL, wst.ID, terminal)
+	tsw.Close()
+	warm.Shutdown(context.Background())
+
+	// Phase 2: the crash artifact — a .wal with partial progress and a torn
+	// final line, as a kill mid-write leaves behind.
+	dir := t.TempDir()
+	sum0 := PointSummary{Index: 0, Name: "p0", OK: true, T: 1, F0: 1, C: 1e-9}
+	writeJournalFile(t, dir, "j3"+walExt, []jrecord{
+		{V: 1, T: "accepted", ID: "j3", Kind: "sweep", Specs: specs, Workers: 1},
+		{V: 1, T: "event", Ev: &Event{Seq: 1, Type: "state", State: StateQueued}},
+		{V: 1, T: "event", Ev: &Event{Seq: 2, Type: "state", State: StateRunning}},
+		{V: 1, T: "event", Ev: &Event{Seq: 3, Type: "point", Point: &sum0}},
+	}, `{"v":1,"t":"event","ev":{"seq":4,"ty`) // torn mid-record
+
+	// Phase 3: restart over the same journal + cache. Count pipeline work
+	// from here only.
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	s := New(Config{Workers: 1, Cache: store, JournalDir: dir})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	waitReady(t, ts.URL)
+
+	st := waitState(t, ts.URL, "j3", terminal)
+	if st.State != StateDone || st.DonePoints != 3 || st.FailedPoints != 0 {
+		t.Fatalf("resumed job status: %+v", st)
+	}
+	if st.CachedPoints != 3 {
+		t.Fatalf("resumed job recomputed: %d cached points, want 3", st.CachedPoints)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != 0 {
+		t.Fatalf("resume re-ran the pipeline %d times, want 0", got)
+	}
+	if got := snap.Counter("pn_serve_jobs_recovered_total", "resumed"); got != 1 {
+		t.Fatalf("recovered{resumed} = %d, want 1", got)
+	}
+	if got := snap.Counter("pn_serve_journal_corrupt_records_total", ""); got < 1 {
+		t.Fatalf("torn line not counted: corrupt records = %d", got)
+	}
+
+	// A client that saw events 1..2 before the crash reconnects with
+	// Last-Event-ID: 2 and gets the restored point event (seq 3), the fresh
+	// queued/running transitions, every point re-reported as a cache hit, and
+	// the terminal state — one contiguous sequence across the restart.
+	evs := readSSEFrom(t, ts.URL, "j3", 2)
+	if len(evs) == 0 || evs[0].Seq != 3 {
+		t.Fatalf("replay after seq 2 starts at %+v", evs)
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(3+i) {
+			t.Fatalf("gap in replayed sequence at %d: %+v", i, ev)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Fatalf("stream did not end terminal: %+v", last)
+	}
+	var resumedQueued, points int
+	for _, ev := range evs[1:] { // after the restored history
+		switch ev.Type {
+		case "state":
+			if ev.State == StateQueued {
+				resumedQueued++
+			}
+		case "point":
+			if !ev.Point.Cached {
+				t.Fatalf("re-reported point not cached: %+v", ev.Point)
+			}
+			points++
+		}
+	}
+	if resumedQueued != 1 || points != 3 {
+		t.Fatalf("resumption events: %d queued, %d points (want 1, 3)", resumedQueued, points)
+	}
+
+	// The finished journal rotated to its terminal name.
+	if _, err := os.Stat(filepath.Join(dir, "j3"+doneExt)); err != nil {
+		t.Fatalf("journal not rotated after resume: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "j3"+walExt)); !os.IsNotExist(err) {
+		t.Fatal("stale .wal left after rotation")
+	}
+}
+
+// TestJournalIdempotency covers the Idempotency-Key contract: duplicate
+// submissions return the existing job (200, not a new 202), a reused key with
+// a different body is rejected, and the mapping survives a restart through
+// the journal header.
+func TestJournalIdempotency(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, JournalDir: dir})
+	ts := httptest.NewServer(s)
+	waitReady(t, ts.URL)
+
+	req := CharacteriseRequest{PointSpec: hopfSpec("idem", 3)}
+	resp1, st1 := postJSONKey(t, ts.URL+"/v1/characterise", "key-1", req)
+	if resp1.StatusCode != http.StatusAccepted || st1.ID == "" {
+		t.Fatalf("first submit: %d %+v", resp1.StatusCode, st1)
+	}
+
+	// Same key, same body: replay, whatever state the job is in.
+	resp2, st2 := postJSONKey(t, ts.URL+"/v1/characterise", "key-1", req)
+	if resp2.StatusCode != http.StatusOK || st2.ID != st1.ID {
+		t.Fatalf("duplicate submit: %d %+v (want 200, id %s)", resp2.StatusCode, st2, st1.ID)
+	}
+	if resp2.Header.Get("Idempotent-Replay") != "true" {
+		t.Fatal("duplicate submit missing Idempotent-Replay header")
+	}
+
+	// Same key, different body: client bug, rejected.
+	resp3, _ := postJSONKey(t, ts.URL+"/v1/characterise", "key-1", CharacteriseRequest{PointSpec: hopfSpec("other", 4)})
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched body: %d, want 409", resp3.StatusCode)
+	}
+
+	waitState(t, ts.URL, st1.ID, terminal)
+	ts.Close()
+	s.Shutdown(context.Background())
+
+	// Restart: the key still maps to the (now recovered, terminal) job.
+	s2 := New(Config{Workers: 1, JournalDir: dir})
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	waitReady(t, ts2.URL)
+
+	resp4, st4 := postJSONKey(t, ts2.URL+"/v1/characterise", "key-1", req)
+	if resp4.StatusCode != http.StatusOK || st4.ID != st1.ID {
+		t.Fatalf("post-restart duplicate: %d id=%q (want 200, id %s)", resp4.StatusCode, st4.ID, st1.ID)
+	}
+	if st4.State != StateDone {
+		t.Fatalf("post-restart replay state %q, want done", st4.State)
+	}
+	resp5, _ := postJSONKey(t, ts2.URL+"/v1/characterise", "key-1", CharacteriseRequest{PointSpec: hopfSpec("other", 4)})
+	if resp5.StatusCode != http.StatusConflict {
+		t.Fatalf("post-restart mismatched body: %d, want 409", resp5.StatusCode)
+	}
+
+	if got := reg.Snapshot().Counter("pn_serve_idempotent_replays_total", ""); got != 2 {
+		t.Fatalf("idempotent replays = %d, want 2", got)
+	}
+	if got := reg.Snapshot().Counter("pn_serve_rejected_total", "idem_mismatch"); got != 2 {
+		t.Fatalf("idem_mismatch rejections = %d, want 2", got)
+	}
+}
+
+// TestJournalCorruptQuarantine: a journal file with an unreadable header must
+// not wedge startup — it is moved aside as .corrupt, counted, and the server
+// comes up ready and empty.
+func TestJournalCorruptQuarantine(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "j5"+walExt), []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 1, JournalDir: dir})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	waitReady(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt job resurrected: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "j5"+walExt+".corrupt")); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if got := reg.Snapshot().Counter("pn_serve_journal_corrupt_records_total", ""); got < 1 {
+		t.Fatalf("corruption not counted: %d", got)
+	}
+	// The quarantined name must not be picked up again on the next start.
+	s2 := New(Config{Workers: 1, JournalDir: dir})
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	waitReady(t, ts2.URL)
+}
+
+// TestReadyzLifecycle: /readyz is 503 while the journal replays (the window
+// widened deterministically by the replay-delay fault point) and while
+// draining; /healthz answers 200 throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalFile(t, dir, "j1"+doneExt, []jrecord{
+		{V: 1, T: "accepted", ID: "j1", Kind: "characterise", Specs: []PointSpec{hopfSpec("old", 3)}, Workers: 1},
+		{V: 1, T: "event", Ev: &Event{Seq: 1, Type: "state", State: StateQueued}},
+		{V: 1, T: "event", Ev: &Event{Seq: 2, Type: "state", State: StateDone}},
+	})
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ServeReplayDelay: {Mode: faultinject.ModeDelay, Delay: 300 * time.Millisecond},
+	})()
+
+	s := New(Config{Workers: 1, JournalDir: dir})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during replay: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during replay: %d, want 200", code)
+	}
+	waitReady(t, ts.URL)
+
+	s.Shutdown(context.Background())
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while drained: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while drained: %d, want 200", code)
+	}
+}
+
+// TestChaosJournalWriteFault: with every journal write failing, submissions
+// still succeed and jobs still complete — durability degrades (counted), the
+// service does not.
+func TestChaosJournalWriteFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ServeJournalWrite: {Mode: faultinject.ModeError},
+	})()
+
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, JournalDir: dir})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	waitReady(t, ts.URL)
+
+	resp, st := postJSON(t, ts.URL+"/v1/characterise", CharacteriseRequest{PointSpec: hopfSpec("nojournal", 3)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit under journal fault: %d", resp.StatusCode)
+	}
+	done := waitState(t, ts.URL, st.ID, terminal)
+	if done.State != StateDone {
+		t.Fatalf("job under journal fault: %+v", done)
+	}
+	if got := reg.Snapshot().Counter("pn_serve_journal_write_errors_total", ""); got < 1 {
+		t.Fatalf("journal write errors = %d, want >= 1", got)
+	}
+	// Nothing durable was promised: no .wal survived to resurrect the job.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("journal dir not empty under write faults: %v", ents)
+	}
+}
+
+// TestChaosHandlerFault: the handler fault point turns every request into a
+// 500 while enabled and disappears with the plan.
+func TestChaosHandlerFault(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	disable := faultinject.Enable(faultinject.Plan{
+		faultinject.ServeHandlerLatency: {Mode: faultinject.ModeError},
+	})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted handler: %d, want 500", resp.StatusCode)
+	}
+	disable()
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handler after disable: %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — workers that
+// outlive Shutdown, event-stream subscribers blocked past job completion,
+// budget-token forwarders never released, journal replayers that don't stop.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

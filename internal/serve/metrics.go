@@ -6,21 +6,31 @@ import "repro/internal/obs"
 // kind/reason, terminal job states, live queue and in-flight gauges, and the
 // job-latency distribution.
 type serveInstruments struct {
-	submitted  *obs.CounterVec // pn_serve_submitted_total{kind}
-	jobs       *obs.CounterVec // pn_serve_jobs_total{state}
-	rejected   *obs.CounterVec // pn_serve_rejected_total{reason}
-	queueDepth *obs.Gauge      // pn_serve_queue_depth
-	inflight   *obs.Gauge      // pn_serve_jobs_inflight
-	jobSeconds *obs.Histogram  // pn_serve_job_seconds
+	submitted     *obs.CounterVec // pn_serve_submitted_total{kind}
+	jobs          *obs.CounterVec // pn_serve_jobs_total{state}
+	rejected      *obs.CounterVec // pn_serve_rejected_total{reason}
+	queueDepth    *obs.Gauge      // pn_serve_queue_depth
+	inflight      *obs.Gauge      // pn_serve_jobs_inflight
+	jobSeconds    *obs.Histogram  // pn_serve_job_seconds
+	idemHits      *obs.Counter    // pn_serve_idempotent_replays_total
+	journalWrites *obs.Counter    // pn_serve_journal_writes_total
+	journalErrors *obs.Counter    // pn_serve_journal_write_errors_total
+	replayCorrupt *obs.Counter    // pn_serve_journal_corrupt_records_total
+	recovered     *obs.CounterVec // pn_serve_jobs_recovered_total{outcome}
 }
 
 var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
 	return &serveInstruments{
-		submitted:  r.CounterVec("pn_serve_submitted_total", "Jobs accepted onto the queue, by kind (characterise, sweep).", "kind"),
-		jobs:       r.CounterVec("pn_serve_jobs_total", "Jobs finished, by terminal state (done, failed, canceled).", "state"),
-		rejected:   r.CounterVec("pn_serve_rejected_total", "Submissions rejected before queueing, by reason (queue_full, draining, too_large, bad_request).", "reason"),
-		queueDepth: r.Gauge("pn_serve_queue_depth", "Jobs accepted but not yet picked up by a worker."),
-		inflight:   r.Gauge("pn_serve_jobs_inflight", "Jobs currently running on a worker."),
-		jobSeconds: r.Histogram("pn_serve_job_seconds", "Wall-clock time per job from worker pickup to terminal state.", obs.ExpBuckets(0.001, 4, 12)),
+		submitted:     r.CounterVec("pn_serve_submitted_total", "Jobs accepted onto the queue, by kind (characterise, sweep).", "kind"),
+		jobs:          r.CounterVec("pn_serve_jobs_total", "Jobs finished, by terminal state (done, failed, canceled).", "state"),
+		rejected:      r.CounterVec("pn_serve_rejected_total", "Submissions rejected before queueing, by reason (queue_full, draining, too_large, bad_request, idem_mismatch).", "reason"),
+		queueDepth:    r.Gauge("pn_serve_queue_depth", "Jobs accepted but not yet picked up by a worker."),
+		inflight:      r.Gauge("pn_serve_jobs_inflight", "Jobs currently running on a worker."),
+		jobSeconds:    r.Histogram("pn_serve_job_seconds", "Wall-clock time per job from worker pickup to terminal state.", obs.ExpBuckets(0.001, 4, 12)),
+		idemHits:      r.Counter("pn_serve_idempotent_replays_total", "Submissions answered with an existing job via Idempotency-Key dedup."),
+		journalWrites: r.Counter("pn_serve_journal_writes_total", "Records appended to job journals."),
+		journalErrors: r.Counter("pn_serve_journal_write_errors_total", "Journal writes dropped on error (real or injected); the job continues, durability degrades."),
+		replayCorrupt: r.Counter("pn_serve_journal_corrupt_records_total", "Journal lines (or whole files) skipped as corrupt during replay."),
+		recovered:     r.CounterVec("pn_serve_jobs_recovered_total", "Jobs reconstructed from the journal at startup, by outcome (resumed, terminal).", "outcome"),
 	}
 })

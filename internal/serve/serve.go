@@ -14,7 +14,8 @@
 //	GET  /v1/jobs/{id}/events — progress stream (SSE, replayable by Last-Event-ID)
 //	POST /v1/jobs/{id}/cancel — trip the job's budget token → JobStatus
 //	GET  /v1/models         — registered models + defaults
-//	GET  /healthz           — liveness + drain state
+//	GET  /healthz           — liveness (always 200 while the process serves)
+//	GET  /readyz            — readiness (503 while draining or during journal replay)
 //
 // Back-pressure is explicit: a bounded queue (429 + Retry-After when full), a
 // request-size limit (413), and a draining state (503) entered by Shutdown,
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/osc"
 	"repro/internal/sweep"
@@ -65,6 +67,14 @@ type Config struct {
 	// MaxJobWall, when > 0, is a server-side ceiling on any job's wall clock
 	// from worker pickup, applied on top of the request's own timeout_ms.
 	MaxJobWall time.Duration
+	// JournalDir, when non-empty, makes jobs durable: every accepted job gets
+	// an append-only JSONL journal under this directory (header fsync'd
+	// before the 202 goes out, terminal events fsync'd and rotated), and on
+	// restart the server replays the directory — terminal jobs come back
+	// queryable, non-terminal jobs are re-enqueued and resumed through the
+	// result cache, so already-computed points are cache hits. Empty keeps
+	// the PR-4 behaviour: jobs live only in process memory.
+	JournalDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +111,8 @@ type job struct {
 	tok    *budget.Token // child of the server root; tripped by cancel/shutdown
 	cancel func()
 	events *eventLog
+	jl     *jobJournal // nil when journalling is off
+	idem   string      // Idempotency-Key this job was submitted under ("" = none)
 
 	mu                      sync.Mutex
 	state                   string
@@ -111,12 +123,22 @@ type job struct {
 	wall                    time.Duration
 }
 
+// emit appends ev to the job's event stream and journals exactly what was
+// stored (same sequence number). terminal events reach stable storage and
+// rotate the journal before emit returns.
+func (j *job) emit(ev Event, terminal bool) {
+	stamped, ok := j.events.append(ev)
+	if ok {
+		j.jl.event(stamped, terminal)
+	}
+}
+
 // setState transitions the job and emits a state event.
 func (j *job) setState(state string) {
 	j.mu.Lock()
 	j.state = state
 	j.mu.Unlock()
-	j.events.append(Event{Type: "state", State: state})
+	j.emit(Event{Type: "state", State: state}, false)
 }
 
 // status snapshots the job for the API.
@@ -145,33 +167,63 @@ func (j *job) status(full bool) JobStatus {
 	return st
 }
 
+// idemEntry maps one Idempotency-Key to the job it created, plus the
+// fingerprint of the request body it arrived with (reuse with a different
+// body is a client error, not a replay).
+type idemEntry struct {
+	id string
+	fp string
+}
+
 // Server is the job server. It implements http.Handler; mount it directly or
 // behind a mux. Create with New, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	root  *budget.Token
-	stop  func()
-	queue chan *job
-	wg    sync.WaitGroup
+	cfg     Config
+	mux     *http.ServeMux
+	root    *budget.Token
+	stop    func()
+	queue   chan *job
+	wg      sync.WaitGroup
+	journal *journal      // nil when journalling is off
+	drainCh chan struct{} // closed when draining starts; stops the replayer
+	closeQ  sync.Once
+	replay  sync.WaitGroup // tracks the startup replay goroutine
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // insertion order, for terminal-job eviction
+	idem     map[string]idemEntry
 	seq      int64
 	draining bool
+	ready    bool // journal replay finished (immediately true without a journal)
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. With Config.JournalDir set
+// it also begins journal replay: the job-ID space is restored synchronously
+// (so new submissions never collide with recovered jobs), then recovery runs
+// in the background while the server already accepts traffic — /readyz
+// reports 503 until every journaled job is restored and re-enqueued.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	root, stop := budget.WithCancel(nil)
 	s := &Server{
-		cfg:   cfg,
-		root:  root,
-		stop:  stop,
-		queue: make(chan *job, cfg.Queue),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		root:    root,
+		stop:    stop,
+		queue:   make(chan *job, cfg.Queue),
+		drainCh: make(chan struct{}),
+		jobs:    make(map[string]*job),
+		idem:    make(map[string]idemEntry),
+	}
+	if cfg.JournalDir != "" {
+		jl, maxSeq, err := openJournal(cfg.JournalDir)
+		if err == nil {
+			s.journal = jl
+			s.seq = maxSeq
+		} else {
+			// An unusable journal dir degrades durability, not service.
+			serveMetrics.Get().journalErrors.Inc()
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/characterise", s.handleCharacterise)
@@ -181,28 +233,50 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux = mux
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.journal != nil {
+		s.replay.Add(1)
+		go s.recoverJobs()
+	} else {
+		s.ready = true
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The handler-latency fault point sits in
+// front of every route: ModeDelay simulates a slow server, ModeError answers
+// 500 before any work happens.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Fire(faultinject.ServeHandlerLatency); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Shutdown drains the server: it stops accepting submissions (503), lets
 // queued and running jobs finish, and — if ctx expires first — trips every
 // job's budget token so in-flight work is cut off cooperatively, then waits
 // for the workers to exit. Safe to call once.
+//
+// A shutdown during journal replay stops the replayer: recovered jobs not yet
+// enqueued keep their .wal files and resume on the next start.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		close(s.drainCh)
 	}
 	s.mu.Unlock()
+	// The replayer must stop before the queue closes (a blocked enqueue on a
+	// closing channel would panic); drainCh has already told it to bail.
+	s.replay.Wait()
+	s.closeQ.Do(func() { close(s.queue) })
 
 	done := make(chan struct{})
 	go func() {
@@ -254,7 +328,7 @@ func (s *Server) handleCharacterise(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	s.submit(w, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache)
+	s.submit(w, r, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -276,12 +350,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
 		workers = s.cfg.MaxSweepWorkers
 	}
-	s.submit(w, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache)
+	s.submit(w, r, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache)
+}
+
+// idemFingerprint condenses a submission's identity — kind, every point spec,
+// and the job-wide knobs — to a content address, so an Idempotency-Key reused
+// with a different body is detectable as a client error rather than silently
+// replaying the wrong job.
+func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) string {
+	f := cache.NewFingerprint()
+	f.Set("kind", kind)
+	f.SetInt("points", len(specs))
+	for i, sp := range specs {
+		pfx := "p" + strconv.Itoa(i) + "."
+		f.Set(pfx+"name", sp.Name)
+		f.Set(pfx+"model", sp.Model)
+		for k, v := range sp.Params {
+			f.SetFloat(pfx+"param."+k, v)
+		}
+	}
+	f.SetInt("timeout_ms", int(timeoutMS))
+	f.SetInt("workers", workers)
+	if noCache {
+		f.SetInt("no_cache", 1)
+	}
+	return f.Key()
 }
 
 // submit validates the specs, registers the job and enqueues it, answering
-// 202 with the queued status — or the appropriate rejection.
-func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) {
+// 202 with the queued status — or the appropriate rejection. A request
+// carrying an Idempotency-Key header is deduplicated: resubmitting the same
+// body under the same key answers 200 with the existing job's status (however
+// far along it is) instead of queueing a duplicate, so clients can blindly
+// retry a submission whose response was lost. The key→job mapping survives
+// restarts through the journal header.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) {
 	m := serveMetrics.Get()
 	for i, sp := range specs {
 		if err := sp.validate(); err != nil {
@@ -289,6 +392,33 @@ func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, t
 			writeErr(w, http.StatusBadRequest, "point %d: %v", i, err)
 			return
 		}
+	}
+
+	idemKey := r.Header.Get("Idempotency-Key")
+	var idemFP string
+	if idemKey != "" {
+		idemFP = idemFingerprint(kind, specs, timeoutMS, workers, noCache)
+		s.mu.Lock()
+		if ent, ok := s.idem[idemKey]; ok {
+			prior := s.jobs[ent.id]
+			s.mu.Unlock()
+			if ent.fp != idemFP {
+				m.rejected.With("idem_mismatch").Inc()
+				writeErr(w, http.StatusConflict, "Idempotency-Key %q was used with a different request body", idemKey)
+				return
+			}
+			if prior == nil {
+				// The job aged out of retention; treat the key as spent.
+				m.rejected.With("idem_mismatch").Inc()
+				writeErr(w, http.StatusConflict, "Idempotency-Key %q refers to an evicted job", idemKey)
+				return
+			}
+			m.idemHits.Inc()
+			w.Header().Set("Idempotent-Replay", "true")
+			writeJSON(w, http.StatusOK, prior.status(false))
+			return
+		}
+		s.mu.Unlock()
 	}
 
 	tok, cancel := budget.WithCancel(s.root)
@@ -301,13 +431,10 @@ func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, t
 		tok:          tok,
 		cancel:       cancel,
 		events:       newEventLog(),
+		idem:         idemKey,
 		state:        StateQueued,
 		summaries:    make([]PointSummary, len(specs)),
 	}
-
-	// Everything a worker reads (id, the queued event) must be in place
-	// before the job becomes visible on the queue.
-	j.events.append(Event{Type: "state", State: StateQueued})
 
 	s.mu.Lock()
 	if s.draining {
@@ -317,8 +444,35 @@ func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, t
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	if idemKey != "" {
+		// Racing submissions under the same key: first past this check wins;
+		// re-check under the lock we dropped above.
+		if ent, ok := s.idem[idemKey]; ok {
+			prior := s.jobs[ent.id]
+			s.mu.Unlock()
+			cancel()
+			if ent.fp != idemFP || prior == nil {
+				m.rejected.With("idem_mismatch").Inc()
+				writeErr(w, http.StatusConflict, "Idempotency-Key %q was used with a different request body", idemKey)
+				return
+			}
+			m.idemHits.Inc()
+			w.Header().Set("Idempotent-Replay", "true")
+			writeJSON(w, http.StatusOK, prior.status(false))
+			return
+		}
+	}
 	s.seq++
 	j.id = "j" + strconv.FormatInt(s.seq, 10)
+	// The header is fsync'd before the 202 goes out: once the client hears
+	// "accepted", the job survives a crash. The queued event rides the same
+	// handle. Both land before the queue send, so everything a worker reads
+	// (id, the queued event) is in place before the job becomes visible.
+	j.jl = s.journal.create(jrecord{
+		ID: j.id, Kind: kind, Specs: specs, TimeoutMS: timeoutMS,
+		Workers: workers, NoCache: noCache, Idem: idemKey, IdemFP: idemFP,
+	})
+	j.emit(Event{Type: "state", State: StateQueued}, false)
 	// The gauge rises before the send so the worker's decrement (not under
 	// s.mu) can never be observed ahead of it leaving the depth negative
 	// forever; a momentary scrape race is the worst case.
@@ -328,11 +482,15 @@ func (s *Server) submit(w http.ResponseWriter, kind string, specs []PointSpec, t
 	default:
 		s.mu.Unlock()
 		cancel()
+		j.jl.discard() // an unqueued job must not be resurrected on restart
 		m.queueDepth.Add(-1)
 		m.rejected.With("queue_full").Inc()
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "job queue is full (%d)", s.cfg.Queue)
 		return
+	}
+	if idemKey != "" {
+		s.idem[idemKey] = idemEntry{id: j.id, fp: idemFP}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -361,6 +519,10 @@ func (s *Server) evictLocked() {
 			if terminal {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if j.idem != "" {
+					delete(s.idem, j.idem)
+				}
+				s.journal.remove(id)
 				evicted = true
 				break
 			}
@@ -406,6 +568,9 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealth is liveness: 200 as long as the process answers HTTP at all,
+// draining or not. Orchestrators restart on liveness failure, so this must
+// never report unhealthy for conditions a restart would not fix.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -419,6 +584,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, Health{OK: true, Draining: draining, Queued: len(s.queue), Running: running})
+}
+
+// handleReady is readiness: 503 while draining (stop sending traffic here)
+// and before journal replay completes (recovered jobs are still being
+// restored, so status lookups could 404 for jobs that do exist). Load
+// balancers route on this; liveness stays green the whole time.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready, draining := s.ready, s.draining
+	s.mu.Unlock()
+	if !ready || draining {
+		writeJSON(w, http.StatusServiceUnavailable, Health{OK: false, Draining: draining, Queued: len(s.queue)})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{OK: true, Queued: len(s.queue)})
 }
 
 // handleEvents streams the job's event log as Server-Sent Events: full
@@ -498,7 +678,10 @@ func (s *Server) runJob(j *job) {
 	j.err = jobErr
 	j.wall = time.Since(start)
 	j.mu.Unlock()
-	j.events.append(Event{Type: "state", State: state})
+	// The terminal event carries the job-level error and is fsync'd + rotated
+	// (.wal → .jsonl) before subscribers see the stream close: a crash after
+	// this line replays as a finished job, never as a re-run.
+	j.emit(Event{Type: "state", State: state, Error: sweep.EncodeError(jobErr)}, true)
 	j.events.close()
 	j.cancel() // release the token's forwarding goroutine
 
@@ -550,7 +733,7 @@ func (s *Server) executeJob(j *job) (string, error) {
 				j.failedN++
 			}
 			j.mu.Unlock()
-			j.events.append(Event{Type: "point", Point: &sum})
+			j.emit(Event{Type: "point", Point: &sum}, false)
 		},
 	})
 
@@ -573,4 +756,173 @@ func classify(err error) string {
 		return StateCanceled
 	}
 	return StateFailed
+}
+
+// recoverJobs replays the journal directory on startup. Terminal jobs come
+// back queryable exactly as they finished (state, counters, summaries, event
+// history for SSE replay); non-terminal jobs are re-enqueued and re-run —
+// their pre-crash points are cache hits, so no completed work recomputes.
+// Runs in the background: the server accepts new traffic meanwhile, and
+// /readyz flips to 200 only when the whole directory is restored. A shutdown
+// mid-replay aborts cleanly: unprocessed .wal files wait for the next start.
+func (s *Server) recoverJobs() {
+	defer s.replay.Done()
+	m := serveMetrics.Get()
+	// ModeDelay here widens the not-ready window deterministically; ModeError
+	// is meaningless for replay and ignored.
+	_ = faultinject.Fire(faultinject.ServeReplayDelay)
+	for _, rj := range s.journal.replay() {
+		if rj.terminal || !rj.wal {
+			s.restoreTerminal(rj, m)
+			continue
+		}
+		if !s.resumeJob(rj, m) {
+			return // draining: remaining .wal files recover on the next start
+		}
+	}
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+}
+
+// restoreTerminal registers a finished job from its journal: queryable status
+// and replayable (closed) event stream, but no loss-free ?full=1 payload —
+// that died with the old process; the summaries carry every headline number.
+func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
+	tok, cancel := budget.WithCancel(nil)
+	cancel() // nothing will run; release the token immediately
+	j := &job{
+		id:           rj.hdr.ID,
+		kind:         rj.hdr.Kind,
+		specs:        rj.hdr.Specs,
+		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
+		sweepWorkers: rj.hdr.Workers,
+		noCache:      rj.hdr.NoCache,
+		tok:          tok,
+		cancel:       cancel,
+		events:       newEventLog(),
+		idem:         rj.hdr.Idem,
+		state:        rj.state,
+		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
+	}
+	if rj.err != nil {
+		j.err = rj.err
+	}
+	restoreProgress(j, rj.events)
+	j.events.restore(rj.events)
+	j.events.close()
+	// A .wal holding a terminal event means the crash hit between the fsync
+	// and the rename; finish the rotation it was owed.
+	if rj.wal {
+		if jj := s.journal.reopen(j.id); jj != nil {
+			jj.mu.Lock()
+			jj.rotateLocked()
+			jj.mu.Unlock()
+		}
+	}
+	s.register(j)
+	m.recovered.With("terminal").Inc()
+}
+
+// resumeJob re-enqueues a non-terminal recovered job. The restored event
+// history keeps its pre-crash sequence numbers (so Last-Event-ID replay spans
+// the restart), then a fresh queued event marks the resumption; the re-run
+// re-reports every point, completed ones as cache hits. Progress counters
+// restart from zero — the re-run recounts. Returns false when the server is
+// draining and the job could not be enqueued.
+func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
+	tok, cancel := budget.WithCancel(s.root)
+	j := &job{
+		id:           rj.hdr.ID,
+		kind:         rj.hdr.Kind,
+		specs:        rj.hdr.Specs,
+		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
+		sweepWorkers: rj.hdr.Workers,
+		noCache:      rj.hdr.NoCache,
+		tok:          tok,
+		cancel:       cancel,
+		events:       newEventLog(),
+		jl:           s.journal.reopen(rj.hdr.ID),
+		idem:         rj.hdr.Idem,
+		state:        StateQueued,
+		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
+	}
+	j.events.restore(rj.events)
+	j.emit(Event{Type: "state", State: StateQueued}, false)
+	s.register(j)
+	m.queueDepth.Add(1)
+	select {
+	case s.queue <- j:
+		m.recovered.With("resumed").Inc()
+		return true
+	case <-s.drainCh:
+		// Shutting down before this job could re-enter the queue: unregister
+		// and keep its .wal on disk so the next start resumes it.
+		cancel()
+		m.queueDepth.Add(-1)
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		for i, id := range s.order {
+			if id == j.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		if j.idem != "" {
+			delete(s.idem, j.idem)
+		}
+		s.mu.Unlock()
+		return false
+	}
+}
+
+// register adds a recovered job to the server's tables (including the
+// idempotency map, so a client retrying its submission after the crash gets
+// the recovered job back, not a duplicate).
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if j.idem != "" {
+		s.idem[j.idem] = idemEntry{id: j.id, fp: j.idemFP()}
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// idemFP recomputes the job's idempotency fingerprint from its own fields
+// (recovered headers carry the key; the fingerprint is derivable).
+func (j *job) idemFP() string {
+	return idemFingerprint(j.kind, j.specs, int64(j.jobTimeout/time.Millisecond), j.sweepWorkers, j.noCache)
+}
+
+// restoreProgress rebuilds a terminal job's counters and summaries from its
+// journaled point events. Point delivery is at-least-once across a crash (a
+// resumed job re-reports everything), so counting dedups by Point.Index with
+// the last occurrence winning — it is the final incarnation's result.
+func restoreProgress(j *job, evs []Event) {
+	filled := make([]bool, len(j.summaries))
+	for _, ev := range evs {
+		if ev.Type != "point" || ev.Point == nil {
+			continue
+		}
+		p := *ev.Point
+		if p.Index < 0 || p.Index >= len(j.summaries) {
+			continue
+		}
+		j.summaries[p.Index] = p
+		filled[p.Index] = true
+	}
+	for i, ok := range filled {
+		if !ok {
+			continue
+		}
+		j.doneN++
+		if j.summaries[i].Cached {
+			j.cachedN++
+		}
+		if !j.summaries[i].OK {
+			j.failedN++
+		}
+	}
 }

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/osc"
+)
+
+// hopfPoint builds one fast registry point for chaos runs.
+func hopfPoint(t *testing.T, name string) Point {
+	t.Helper()
+	bm, err := osc.Build("hopf", map[string]float64{"omega": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Point{Name: name, System: bm.Sys, X0: bm.X0, TGuess: bm.TGuess}
+}
+
+// TestChaosAttemptFaultRecoversViaLadder fails the base attempt with an
+// injected fault and checks the retry ladder escalates past it: injected
+// errors are retryable, so the point recovers on the next rung.
+func TestChaosAttemptFaultRecoversViaLadder(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.SweepAttempt: {Mode: faultinject.ModeError, Count: 1},
+	})()
+	res := Run([]Point{hopfPoint(t, "chaos")}, nil)
+	r := res[0]
+	if !r.OK() {
+		t.Fatalf("point did not recover: %v", r.Err)
+	}
+	if len(r.Attempts) != 2 {
+		t.Fatalf("%d attempts, want 2 (injected failure + recovery)", len(r.Attempts))
+	}
+	if !errors.Is(r.Attempts[0].Err, faultinject.ErrInjected) {
+		t.Fatalf("first attempt error %v does not wrap ErrInjected", r.Attempts[0].Err)
+	}
+	st := faultinject.Stats()
+	if st[faultinject.SweepAttempt].Fired != 1 {
+		t.Fatalf("fault stats: %+v", st)
+	}
+}
+
+// TestChaosModelPanicIsolated panics inside the model's Eval via the osc
+// fault point and checks the engine converts it into a structured
+// ErrModelPanic point failure instead of killing the batch.
+func TestChaosModelPanicIsolated(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalPanic: {Mode: faultinject.ModePanic},
+	})()
+	res := Run([]Point{hopfPoint(t, "boom")}, nil)
+	r := res[0]
+	if r.OK() {
+		t.Fatal("point succeeded under a panicking model")
+	}
+	if !errors.Is(r.Err, ErrModelPanic) {
+		t.Fatalf("error %v does not wrap ErrModelPanic", r.Err)
+	}
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", r.Err)
+	}
+	if _, ok := pe.Value.(*faultinject.InjectedError); !ok {
+		t.Fatalf("panic value %v is not the injected fault", pe.Value)
+	}
+}
+
+// TestChaosModelNaNFailsAttempt poisons Eval with NaN on every hit and checks
+// the point fails structurally (non-finite integration at every rung) without
+// wedging the engine.
+func TestChaosModelNaNFailsAttempt(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalNaN: {Mode: faultinject.ModeError},
+	})()
+	res := Run([]Point{hopfPoint(t, "nan")}, nil)
+	r := res[0]
+	if r.OK() {
+		t.Fatal("point succeeded under NaN poisoning")
+	}
+	if len(r.Attempts) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+}

@@ -1,0 +1,12 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the suite if any test leaks a goroutine — abandoned attempt
+// goroutines after cancellation, pool workers that never drain, hook
+// serialisers blocked on a closed batch.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -45,6 +45,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dynsys"
+	"repro/internal/faultinject"
 	"repro/internal/floquet"
 	"repro/internal/obs"
 	"repro/internal/ode"
@@ -231,7 +232,10 @@ func Retryable(err error) bool {
 		errors.Is(err, ode.ErrStepSizeUnderflow) ||
 		errors.Is(err, ode.ErrNewtonDiverged) ||
 		errors.Is(err, floquet.ErrNoUnitMultiplier) ||
-		errors.Is(err, floquet.ErrAdjointClosure)
+		errors.Is(err, floquet.ErrAdjointClosure) ||
+		// Injected chaos failures retry so fault plans can drive the ladder
+		// (e.g. Count:1 fails the base attempt and recovers on the next rung).
+		errors.Is(err, faultinject.ErrInjected)
 }
 
 // applyRung builds the options for one attempt: a deep-enough copy of the
@@ -532,6 +536,12 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config, psp
 			out.att.Wall = time.Since(aStart)
 			ch <- out
 		}()
+		// The attempt-level fault point fires inside the isolated goroutine so
+		// ModePanic exercises the same recovery path a hostile model does.
+		if err := faultinject.Fire(faultinject.SweepAttempt); err != nil {
+			out.att.Err = fmt.Errorf("sweep: attempt %q on point %q: %w", rung.Name, p.Name, err)
+			return
+		}
 		opts := applyRung(p.Opts, rung)
 		opts.Trace = &out.att.Trace
 		opts.Budget = atTok

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -446,21 +447,37 @@ func TestPointTimeoutTyped(t *testing.T) {
 }
 
 // blockingModel ignores cancellation entirely: one Eval call sleeps far past
-// any deadline, emulating a model stuck in an external call.
+// any deadline, emulating a model stuck in an external call. The sleep is a
+// poll loop on a release flag so the test can unstick the abandoned attempt
+// goroutine at cleanup — from the engine's point of view the model is just as
+// unresponsive (it blocks orders of magnitude past AbandonGrace), but the
+// goroutine unwinds promptly once the test is over instead of tripping the
+// suite's leak check.
 type blockingModel struct {
 	osc.Hopf
-	block time.Duration
+	block    time.Duration
+	released atomic.Bool
 }
 
 func (m *blockingModel) Eval(x, dst []float64) {
-	time.Sleep(m.block)
+	deadline := time.Now().Add(m.block)
+	for time.Now().Before(deadline) && !m.released.Load() {
+		time.Sleep(10 * time.Millisecond)
+	}
 	m.Hopf.Eval(x, dst)
+}
+
+// newBlockingModel builds a blockingModel released at test cleanup.
+func newBlockingModel(t *testing.T, block time.Duration) *blockingModel {
+	m := &blockingModel{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}, block: block}
+	t.Cleanup(func() { m.released.Store(true) })
+	return m
 }
 
 func TestUnresponsiveModelAbandoned(t *testing.T) {
 	pts := []Point{{
 		Name:   "stuck",
-		System: &blockingModel{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}, block: 3 * time.Second},
+		System: newBlockingModel(t, 3*time.Second),
 		X0:     []float64{1, 0.1},
 		TGuess: 1.05,
 	}}
@@ -495,7 +512,7 @@ func TestCancelOnlyBudgetAbandonsBlockedModel(t *testing.T) {
 	// in wg.Wait() and AbandonGrace never applied.
 	pts := []Point{{
 		Name:   "stuck",
-		System: &blockingModel{Hopf: osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}, block: 5 * time.Second},
+		System: newBlockingModel(t, 5*time.Second),
 		X0:     []float64{1, 0.1},
 		TGuess: 1.05,
 	}}

@@ -35,17 +35,21 @@ json_field() { # json_field <key> <<< "$json"
 echo "smoke_serve: building pnserve"
 go build -o "$TMP/pnserve" ./cmd/pnserve
 
-echo "smoke_serve: starting on $BASE (cache $TMP/cache)"
+echo "smoke_serve: starting on $BASE (cache $TMP/cache, journal $TMP/journal)"
 "$TMP/pnserve" -addr "127.0.0.1:$PORT" -workers 2 -cache-dir "$TMP/cache" \
+  -journal-dir "$TMP/journal" \
   >"$TMP/server.log" 2>&1 &
 SERVER_PID=$!
 
+# Gate on readiness, not liveness: /readyz answers 503 until journal replay
+# completes, exactly like a load balancer would wait.
 for i in $(seq 1 50); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if curl -sf "$BASE/readyz" >/dev/null 2>&1; then break; fi
   kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/server.log" >&2; fail "server exited early"; }
   sleep 0.2
-  [[ $i -eq 50 ]] && fail "server never became healthy"
+  [[ $i -eq 50 ]] && fail "server never became ready"
 done
+curl -sf "$BASE/healthz" >/dev/null || fail "liveness probe failed on a ready server"
 
 REQ='{"model":"hopf","timeout_ms":60000}'
 
