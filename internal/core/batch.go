@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dynsys"
+	"repro/internal/floquet"
+	"repro/internal/obs"
+	"repro/internal/shooting"
+)
+
+// BatchPoint is one lane of a CharacteriseBatch call. Opts.ReusePSS must be
+// nil — a point carrying a reusable solution has nothing to gain from the
+// batch and is characterised scalar by the sweep layer.
+type BatchPoint struct {
+	Sys    dynsys.System
+	X0     []float64
+	TGuess float64
+	Opts   *Options
+}
+
+// CharacteriseBatch runs the full Section-9 pipeline for K parameter
+// variants of one model family in lockstep: Newton shooting through
+// shooting.FindBatch, Floquet analysis through floquet.AnalyzeBatch, and the
+// cheap c quadratures per lane. All fixed-step period integrations — the
+// dominant cost — run at full width K through the SoA batch kernels, whose
+// per-lane arithmetic is bit-identical to the scalar kernels, so every
+// successful lane returns exactly the Result that Characterise would.
+//
+// Points must agree on the solver knobs (the sweep layer batches only points
+// with identical options fingerprints); Trace, Budget, Partial and Span may
+// differ per point. laneErrs[k] reports per-lane failures; a non-nil
+// batchErr (tripped batchTok, injected batch fault, or an incompatible
+// batch) voids every lane.
+func CharacteriseBatch(be dynsys.BatchEvaluator, points []BatchPoint, batchTok *budget.Token) (results []*Result, laneErrs []error, batchErr error) {
+	K := len(points)
+	if K == 0 {
+		return nil, nil, errors.New("core: CharacteriseBatch of zero points")
+	}
+	if be == nil {
+		return nil, nil, errors.New("core: CharacteriseBatch requires a batch evaluator")
+	}
+	if be.Lanes() != K {
+		return nil, nil, fmt.Errorf("core: batch evaluator has %d lanes, got %d points", be.Lanes(), K)
+	}
+	var parent *obs.Span
+	for _, pt := range points {
+		if pt.Opts != nil && pt.Opts.Span != nil {
+			parent = pt.Opts.Span
+			break
+		}
+	}
+	sp := obs.StartSpan(parent, "core.CharacteriseBatch")
+	sp.SetAttr("lanes", K)
+	results, laneErrs, batchErr = characteriseBatch(be, points, batchTok, sp)
+	m := coreMetrics.Get()
+	if batchErr == nil {
+		for k := range points {
+			if laneErrs[k] != nil {
+				m.failed.Inc()
+			} else {
+				m.ok.Inc()
+			}
+		}
+	}
+	sp.EndErr(batchErr)
+	return results, laneErrs, batchErr
+}
+
+func characteriseBatch(be dynsys.BatchEvaluator, points []BatchPoint, batchTok *budget.Token, sp *obs.Span) ([]*Result, []error, error) {
+	K := len(points)
+	plans := make([]stagePlan, K)
+	for k, pt := range points {
+		if pt.Opts != nil && pt.Opts.ReusePSS != nil {
+			return nil, nil, fmt.Errorf("core: CharacteriseBatch point %d sets ReusePSS; reuse paths are scalar", k)
+		}
+		plans[k] = resolveStages(pt.Opts)
+		if tr := plans[k].tr; tr != nil {
+			*tr = Trace{}
+			start := time.Now()
+			defer func(tr *Trace) { tr.Wall = time.Since(start) }(tr)
+		}
+	}
+
+	results := make([]*Result, K)
+	laneErrs := make([]error, K)
+
+	lanes := make([]shooting.BatchLane, K)
+	for k, pt := range points {
+		lanes[k] = shooting.BatchLane{Sys: pt.Sys, X0: pt.X0, TGuess: pt.TGuess, Opts: plans[k].so}
+	}
+	ssp := obs.StartSpan(sp, "shooting.FindBatch")
+	psses, sErrs, berr := shooting.FindBatch(be, lanes, batchTok)
+	ssp.EndErr(berr)
+	if berr != nil {
+		return nil, nil, berr
+	}
+	anyPSS := false
+	for k := range points {
+		if sErrs[k] != nil {
+			if budget.Is(sErrs[k]) {
+				budget.RecordTrip("shooting")
+			}
+			laneErrs[k] = fmt.Errorf("core: periodic steady state: %w", sErrs[k])
+			continue
+		}
+		anyPSS = true
+		if part := plans[k].part; part != nil {
+			part.PSS = psses[k]
+		}
+	}
+	if !anyPSS {
+		return results, laneErrs, nil
+	}
+
+	items := make([]floquet.BatchItem, K)
+	for k, pt := range points {
+		items[k] = floquet.BatchItem{Sys: pt.Sys, PSS: psses[k], Opts: plans[k].fo}
+	}
+	fsp := obs.StartSpan(sp, "floquet.AnalyzeBatch")
+	decs, fErrs, berr := floquet.AnalyzeBatch(be, items, batchTok)
+	fsp.EndErr(berr)
+	if berr != nil {
+		return nil, nil, berr
+	}
+
+	for k, pt := range points {
+		if laneErrs[k] != nil {
+			continue
+		}
+		if fErrs[k] != nil {
+			if budget.Is(fErrs[k]) {
+				budget.RecordTrip("floquet")
+			}
+			laneErrs[k] = fmt.Errorf("core: floquet analysis: %w", fErrs[k])
+			continue
+		}
+		dec := decs[k]
+		if part := plans[k].part; part != nil {
+			part.Floquet = dec
+		}
+		if err := plans[k].bud.Err(); err != nil {
+			budget.RecordTrip("quadrature")
+			laneErrs[k] = fmt.Errorf("core: before c quadrature: %w", err)
+			continue
+		}
+		qp := plans[k].qp
+		if qp <= 0 {
+			qp = max(len(dec.V1.Points), 1000) // FromDecomposition's default grid
+		}
+		qStart := time.Now()
+		res, err := FromDecomposition(pt.Sys, psses[k], dec, qp)
+		if tr := plans[k].tr; tr != nil {
+			tr.QuadWall = time.Since(qStart)
+			tr.QuadPoints = qp
+		}
+		if err != nil {
+			laneErrs[k] = err
+			continue
+		}
+		results[k] = res
+	}
+	return results, laneErrs, nil
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/floquet"
 	"repro/internal/fourier"
 	"repro/internal/obs"
+	"repro/internal/ode"
 	"repro/internal/sde"
 	"repro/internal/shooting"
 )
@@ -132,6 +133,14 @@ type Options struct {
 	// nil, Characterise starts a root span on the process-wide emitter — or
 	// none at all if tracing is off.
 	Span *obs.Span
+	// ReusePSS, when non-nil, skips the shooting stage entirely and runs the
+	// downstream analysis on this already-converged periodic steady state.
+	// Retry ladders use it when an earlier attempt failed downstream of
+	// shooting with unchanged shooting knobs: the solution is still valid,
+	// only the adjoint or quadrature resolution changed, so re-running Newton
+	// shooting would reproduce it at full cost. The caller owns the validity
+	// argument (same system, same shooting knobs, residual within tolerance).
+	ReusePSS *shooting.PSS
 }
 
 // Partial collects the pipeline products that had already converged when
@@ -166,56 +175,75 @@ func Characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options
 	return res, err
 }
 
-func characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options, sp *obs.Span) (*Result, error) {
-	var so *shooting.Options
-	var fo *floquet.Options
-	var tr *Trace
-	var bud *budget.Token
-	var part *Partial
-	qp := 0
+// stagePlan is one point's fully resolved pipeline configuration: stage
+// option copies with traces and budgets threaded into the aggregate, so the
+// caller's option structs stay untouched.
+type stagePlan struct {
+	so   *shooting.Options
+	fo   *floquet.Options
+	qp   int
+	tr   *Trace
+	bud  *budget.Token
+	part *Partial
+}
+
+func resolveStages(opts *Options) stagePlan {
+	var p stagePlan
 	if opts != nil {
-		so, fo, qp, tr = opts.Shooting, opts.Floquet, opts.QuadPoints, opts.Trace
-		bud, part = opts.Budget, opts.Partial
+		p.so, p.fo, p.qp, p.tr = opts.Shooting, opts.Floquet, opts.QuadPoints, opts.Trace
+		p.bud, p.part = opts.Budget, opts.Partial
 	}
-	if tr != nil || bud != nil {
-		if tr != nil {
-			*tr = Trace{}
-			start := time.Now()
-			defer func() { tr.Wall = time.Since(start) }()
-		}
-		// Point the stage traces and budgets into the aggregate on copies of
-		// the caller's option structs, so the caller's structs stay untouched.
+	if p.tr != nil || p.bud != nil {
 		sc := shooting.Options{}
-		if so != nil {
-			sc = *so
+		if p.so != nil {
+			sc = *p.so
 		}
-		if tr != nil && sc.Trace == nil {
-			sc.Trace = &tr.Shooting
+		if p.tr != nil && sc.Trace == nil {
+			sc.Trace = &p.tr.Shooting
 		}
 		if sc.Budget == nil {
-			sc.Budget = bud
+			sc.Budget = p.bud
 		}
-		so = &sc
+		p.so = &sc
 		fc := floquet.Options{}
-		if fo != nil {
-			fc = *fo
+		if p.fo != nil {
+			fc = *p.fo
 		}
-		if tr != nil && fc.Trace == nil {
-			fc.Trace = &tr.Floquet
+		if p.tr != nil && fc.Trace == nil {
+			fc.Trace = &p.tr.Floquet
 		}
 		if fc.Budget == nil {
-			fc.Budget = bud
+			fc.Budget = p.bud
 		}
-		fo = &fc
+		p.fo = &fc
 	}
-	ssp := obs.StartSpan(sp, "shooting.Find")
-	pss, err := shooting.Find(sys, x0, tGuess, so)
-	ssp.EndErr(err)
-	if err != nil {
-		if budget.Is(err) {
-			budget.RecordTrip("shooting")
+	return p
+}
+
+func characterise(sys dynsys.System, x0 []float64, tGuess float64, opts *Options, sp *obs.Span) (*Result, error) {
+	p := resolveStages(opts)
+	so, fo, qp, tr := p.so, p.fo, p.qp, p.tr
+	bud, part := p.bud, p.part
+	if tr != nil {
+		*tr = Trace{}
+		start := time.Now()
+		defer func() { tr.Wall = time.Since(start) }()
+	}
+	var pss *shooting.PSS
+	var err error
+	if opts != nil && opts.ReusePSS != nil {
+		pss = opts.ReusePSS
+		sp.SetAttr("pss_reused", true)
+	} else {
+		ssp := obs.StartSpan(sp, "shooting.Find")
+		pss, err = shooting.Find(sys, x0, tGuess, so)
+		ssp.EndErr(err)
+		if err != nil {
+			if budget.Is(err) {
+				budget.RecordTrip("shooting")
+			}
+			return nil, fmt.Errorf("core: periodic steady state: %w", err)
 		}
-		return nil, fmt.Errorf("core: periodic steady state: %w", err)
 	}
 	if part != nil {
 		part.PSS = pss
@@ -286,12 +314,16 @@ func FromDecomposition(sys dynsys.System, pss *shooting.PSS, dec *floquet.Decomp
 	sens := make([]float64, n)
 	total := 0.0
 	// Uniform trapezoidal quadrature over one period: the integrand is
-	// T-periodic, so the trapezoid rule converges spectrally fast.
+	// T-periodic, so the trapezoid rule converges spectrally fast. Both
+	// trajectories are on uniform grids, so the O(1) locators replace a
+	// binary search per sample with identical interpolants.
+	orbitLoc := ode.NewLocator(pss.Orbit)
+	v1Loc := ode.NewLocator(dec.V1)
 	h := pss.T / float64(quadPoints)
 	for k := 0; k < quadPoints; k++ {
 		tk := float64(k) * h
-		pss.Orbit.At(tk, x)
-		dec.V1.At(tk, v)
+		orbitLoc.At(tk, x)
+		v1Loc.At(tk, v)
 		sys.Noise(x, b)
 		// [v1ᵀ B]_j for each source column j.
 		for j := 0; j < p; j++ {
@@ -373,6 +405,8 @@ func (r *Result) PhaseSDE(sys dynsys.System) sde.System {
 	x := make([]float64, n)
 	v := make([]float64, n)
 	b := make([]float64, n*p)
+	orbitLoc := ode.NewLocator(r.PSS.Orbit)
+	v1Loc := ode.NewLocator(r.Floquet.V1)
 	return sde.System{
 		Dim:      1,
 		NumNoise: p,
@@ -383,8 +417,8 @@ func (r *Result) PhaseSDE(sys dynsys.System) sde.System {
 			if tm < 0 {
 				tm += r.PSS.T
 			}
-			r.PSS.Orbit.At(tm, x)
-			r.Floquet.V1.At(tm, v)
+			orbitLoc.At(tm, x)
+			v1Loc.At(tm, v)
 			sys.Noise(x, b)
 			for j := 0; j < p; j++ {
 				s := 0.0

@@ -62,12 +62,22 @@ const (
 	// runs — the knob for driving the retry ladder and per-point failure
 	// accounting without a hostile model.
 	SweepAttempt = "sweep.attempt"
+	// OdeBatchKernel fires at the entry of the batched SoA integration
+	// kernels (BatchRK4 / BatchVariational / BatchAdjointBackward): the whole
+	// batch fails as infrastructure, exercising the sweep engine's fallback
+	// from a batched rung to the per-point scalar ladder.
+	OdeBatchKernel = "ode.batch.kernel"
+	// SweepBatch fails a batched sweep rung at its start, before any lane
+	// runs — the knob for driving the batch→scalar fallback and its
+	// accounting without touching the integrators.
+	SweepBatch = "sweep.batch"
 )
 
 // points is the registered inventory, sorted for stable iteration.
 var points = []string{
 	CacheDiskRead,
 	CacheDiskWrite,
+	OdeBatchKernel,
 	OscEvalDelay,
 	OscEvalNaN,
 	OscEvalPanic,
@@ -75,6 +85,7 @@ var points = []string{
 	ServeJournalWrite,
 	ServeReplayDelay,
 	SweepAttempt,
+	SweepBatch,
 }
 
 // Points returns the registered fault-point names, sorted. Chaos suites use

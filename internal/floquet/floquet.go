@@ -165,13 +165,51 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	}
 	fm := floquetMetrics.Get()
 	fm.analyses.Inc()
+	prep, err := preAdjoint(sys, pss, o, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Backward adjoint integration over [0, T] with y(T) = v1(0).
+	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
+	adjStart := time.Now()
+	v1traj, adjDone, err := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, prep.v10, o.Steps, o.Budget)
+	if tr != nil {
+		tr.AdjointWall = time.Since(adjStart)
+		tr.Steps = adjDone
+	}
+	if err != nil {
+		return nil, fmt.Errorf("floquet: adjoint integration: %w", err)
+	}
+
+	return postAdjoint(sys, pss, o, tr, prep, v1traj)
+}
+
+// adjPrep carries the pre-adjoint stage results: multipliers ordered per the
+// Decomposition contract, exponents, and the Floquet vectors at t = 0.
+type adjPrep struct {
+	mult  []complex128
+	exps  []complex128
+	u10   []float64
+	v10   []float64
+	bdist float64
+}
+
+// preAdjoint runs the scalar stages of Analyze that precede the adjoint
+// integration: the monodromy eigenanalysis, unit-multiplier search, stability
+// check and the v1(0) eigenvector. Shared verbatim by Analyze and
+// AnalyzeBatch so the two paths cannot drift apart.
+func preAdjoint(sys dynsys.System, pss *shooting.PSS, o Options, tr *Trace) (*adjPrep, error) {
 	n := sys.Dim()
 	phi := pss.Monodromy
 	if err := o.Budget.Err(); err != nil {
 		return nil, fmt.Errorf("floquet: before monodromy eigenanalysis: %w", err)
 	}
 
-	mult, err := linalg.Eigenvalues(phi)
+	// The PSS memoizes its monodromy eigendecomposition, so re-analysing the
+	// same solution (a retry-ladder rung that only changed downstream
+	// tolerances) does not refactor Φ.
+	mult, err := pss.MonodromyEigen()
 	if err != nil {
 		return nil, fmt.Errorf("floquet: monodromy eigenvalues: %w", err)
 	}
@@ -222,18 +260,16 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 		return nil, errors.New("floquet: v1(0) orthogonal to u1(0); degenerate monodromy")
 	}
 	linalg.ScaleVec(1/ip, v10)
+	return &adjPrep{mult: mult, exps: exps, u10: u10, v10: v10, bdist: bdist}, nil
+}
 
-	// Backward adjoint integration over [0, T] with y(T) = v1(0).
-	jac := func(t float64, x []float64, dst []float64) { sys.Jacobian(x, dst) }
-	adjStart := time.Now()
-	v1traj, adjDone, err := ode.AdjointBackward(jac, pss.Orbit, 0, pss.T, v10, o.Steps, o.Budget)
-	if tr != nil {
-		tr.AdjointWall = time.Since(adjStart)
-		tr.Steps = adjDone
-	}
-	if err != nil {
-		return nil, fmt.Errorf("floquet: adjoint integration: %w", err)
-	}
+// postAdjoint runs the scalar stages downstream of the adjoint integration:
+// closure diagnostic, biorthogonality drift, pointwise renormalisation and
+// assembly of the Decomposition. Shared by Analyze and AnalyzeBatch.
+func postAdjoint(sys dynsys.System, pss *shooting.PSS, o Options, tr *Trace, prep *adjPrep, v1traj *ode.Trajectory) (*Decomposition, error) {
+	fm := floquetMetrics.Get()
+	n := sys.Dim()
+	v10 := prep.v10
 
 	// Closure diagnostic: the backward solution at t=0 should reproduce v1(0).
 	v1at0 := make([]float64, n)
@@ -250,8 +286,9 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 	drift := 0.0
 	xbuf := make([]float64, n)
 	fbuf := make([]float64, n)
+	orbitLoc := ode.NewLocator(pss.Orbit)
 	for i := range pts {
-		pss.Orbit.At(pts[i].T, xbuf)
+		orbitLoc.At(pts[i].T, xbuf)
 		sys.Eval(xbuf, fbuf)
 		ips[i] = linalg.Dot(pts[i].X, fbuf)
 		if d := math.Abs(ips[i] - 1); d > drift {
@@ -297,12 +334,12 @@ func Analyze(sys dynsys.System, pss *shooting.PSS, opts *Options) (*Decompositio
 
 	return &Decomposition{
 		T:            pss.T,
-		Multipliers:  mult,
-		Exponents:    exps,
-		U10:          u10,
+		Multipliers:  prep.mult,
+		Exponents:    prep.exps,
+		U10:          prep.u10,
 		V10:          v10,
 		V1:           v1traj,
-		UnitErr:      bdist,
+		UnitErr:      prep.bdist,
 		ClosureErr:   closure,
 		BiorthoDrift: drift,
 	}, nil

@@ -1,0 +1,388 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/faultinject"
+)
+
+// batchHarmonic vectorises the harmonic oscillator across lanes with
+// per-lane frequencies, using the same per-lane expressions as harmonic().
+func batchHarmonic(omegas []float64) BatchFunc {
+	return func(ts, x, dst []float64) {
+		k := len(omegas)
+		for j, omega := range omegas {
+			dst[j] = x[k+j]
+			dst[k+j] = -omega * omega * x[j]
+		}
+	}
+}
+
+func batchHarmonicJac(omegas []float64) BatchJacFunc {
+	return func(ts, x, jac []float64) {
+		k := len(omegas)
+		for j, omega := range omegas {
+			jac[0*k+j], jac[1*k+j] = 0, 1
+			jac[2*k+j], jac[3*k+j] = -omega*omega, 0
+		}
+	}
+}
+
+func TestStepperZeroAllocs(t *testing.T) {
+	st := NewStepper(2)
+	f := harmonic(2)
+	x := []float64{1, 0}
+	out := make([]float64, 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		st.Step(f, 0, x, 1e-3, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("Stepper.Step allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestStepperMatchesRK4Step(t *testing.T) {
+	f := harmonic(3)
+	x := []float64{0.3, -1.2}
+	want := make([]float64, 2)
+	RK4Step(f, 0.1, x, 0.05, want)
+	got := make([]float64, 2)
+	NewStepper(2).Step(f, 0.1, x, 0.05, got)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Stepper.Step %v != RK4Step %v", got, want)
+	}
+}
+
+func TestBatchStepperZeroAllocs(t *testing.T) {
+	omegas := []float64{1, 2, 3, 4}
+	k := len(omegas)
+	st := NewBatchStepper(2, k)
+	f := batchHarmonic(omegas)
+	x := make([]float64, 2*k)
+	for j := 0; j < k; j++ {
+		x[j] = 1
+	}
+	ts0 := make([]float64, k)
+	hs := []float64{1e-3, 2e-3, 3e-3, 4e-3}
+	allocs := testing.AllocsPerRun(100, func() {
+		st.Step(f, ts0, hs, x, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("BatchStepper.Step allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestRK4ErrorConvention pins the shared failure convention of the RK4
+// exits: the reported step is the 1-indexed step that did not complete and
+// the reported t is the time of the last valid state (the start of that
+// step), identically for the budget-trip and non-finite paths.
+func TestRK4ErrorConvention(t *testing.T) {
+	// Budget trip before the very first step: step 1, t = t0.
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	_, err := RK4(decay, 2.5, 3.5, []float64{1}, 10, tok)
+	if err == nil {
+		t.Fatal("tripped token did not abort")
+	}
+	if want := "at t=2.5 (step 1/10)"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("budget error %q does not contain %q", err, want)
+	}
+
+	// Non-finite state produced by step 4 (t crosses 0.3): step 4 starts at
+	// t = 0.3 and is the last valid state time.
+	poison := func(tt float64, x, dst []float64) {
+		dst[0] = 1
+		if tt > 0.35 {
+			dst[0] = nan()
+		}
+	}
+	_, err = RK4(poison, 0, 1, []float64{0}, 10, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+	// Step 4 starts at t = 3·h, the last valid state time.
+	h := float64(1) / float64(10)
+	want := fmt.Sprintf("at t=%g (step 4/10)", float64(3)*h)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("non-finite error %q does not contain %q", err, want)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestBatchRK4MatchesScalarBitwise(t *testing.T) {
+	for _, lanes := range []int{1, 3, 8} {
+		omegas := make([]float64, lanes)
+		t1s := make([]float64, lanes)
+		xs := make([]float64, 2*lanes)
+		for j := range omegas {
+			omegas[j] = 1 + 0.5*float64(j)
+			t1s[j] = 1 + 0.1*float64(j)
+			xs[j] = 1 + 0.01*float64(j) // x0
+			xs[lanes+j] = -0.2 * float64(j)
+		}
+		x0s := append([]float64(nil), xs...)
+		laneErrs, batchErr := BatchRK4(batchHarmonic(omegas), 2, lanes, t1s, xs, 200, nil, nil)
+		if batchErr != nil {
+			t.Fatal(batchErr)
+		}
+		for j := 0; j < lanes; j++ {
+			if laneErrs[j] != nil {
+				t.Fatalf("lane %d failed: %v", j, laneErrs[j])
+			}
+			want := rk4(harmonic(omegas[j]), 0, t1s[j], []float64{x0s[j], x0s[lanes+j]}, 200)
+			if xs[j] != want[0] || xs[lanes+j] != want[1] {
+				t.Fatalf("K=%d lane %d: batched (%v %v) != scalar %v", lanes, j, xs[j], xs[lanes+j], want)
+			}
+		}
+	}
+}
+
+func TestBatchRK4LaneIsolation(t *testing.T) {
+	// Lane 1 is poisoned to NaN mid-flight; lanes 0 and 2 must still finish
+	// bit-identical to their scalar runs.
+	const lanes = 3
+	omegas := []float64{1, 2, 3}
+	f := func(ts, x, dst []float64) {
+		batchHarmonic(omegas)(ts, x, dst)
+		if ts[1] > 0.5 {
+			dst[1] = nan()
+		}
+	}
+	t1s := []float64{1, 1, 1}
+	xs := []float64{1, 1, 1, 0, 0, 0}
+	laneErrs, batchErr := BatchRK4(f, 2, lanes, t1s, xs, 100, nil, nil)
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if laneErrs[1] == nil || !errors.Is(laneErrs[1], ErrNonFinite) {
+		t.Fatalf("lane 1 error = %v, want ErrNonFinite", laneErrs[1])
+	}
+	for _, j := range []int{0, 2} {
+		if laneErrs[j] != nil {
+			t.Fatalf("lane %d failed: %v", j, laneErrs[j])
+		}
+		want := rk4(harmonic(omegas[j]), 0, 1, []float64{1, 0}, 100)
+		if xs[j] != want[0] || xs[lanes+j] != want[1] {
+			t.Fatalf("lane %d diverged from scalar after lane 1 died", j)
+		}
+	}
+}
+
+func TestBatchVariationalMatchesScalarBitwise(t *testing.T) {
+	const lanes = 3
+	omegas := []float64{1, 1.7, 2.4}
+	t1s := []float64{2, 2.5, 3}
+	x0s := []float64{1, 0.9, 1.1, 0, 0.1, -0.1}
+	recs := []*Trajectory{{}, nil, {}}
+	xTs, phis, laneErrs, batchErr := BatchVariational(batchHarmonic(omegas), batchHarmonicJac(omegas), 2, lanes, t1s, x0s, 300, recs, nil, nil)
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	for j := 0; j < lanes; j++ {
+		if laneErrs[j] != nil {
+			t.Fatalf("lane %d failed: %v", j, laneErrs[j])
+		}
+		var rec *Trajectory
+		if recs[j] != nil {
+			rec = &Trajectory{}
+		}
+		wantX, wantPhi := vari(harmonic(omegas[j]), harmonicJac(omegas[j]), 0, t1s[j], []float64{x0s[j], x0s[lanes+j]}, 300, rec)
+		for i := 0; i < 2; i++ {
+			if xTs[j][i] != wantX[i] {
+				t.Fatalf("lane %d xT[%d]: %v != %v", j, i, xTs[j][i], wantX[i])
+			}
+		}
+		for i, v := range wantPhi.Data {
+			if phis[j].Data[i] != v {
+				t.Fatalf("lane %d phi[%d]: %v != %v", j, i, phis[j].Data[i], v)
+			}
+		}
+		if rec != nil {
+			if len(recs[j].Points) != len(rec.Points) {
+				t.Fatalf("lane %d: %d recorded knots, want %d", j, len(recs[j].Points), len(rec.Points))
+			}
+			for p := range rec.Points {
+				a, b := recs[j].Points[p], rec.Points[p]
+				if a.T != b.T {
+					t.Fatalf("lane %d knot %d time %v != %v", j, p, a.T, b.T)
+				}
+				for i := 0; i < 2; i++ {
+					if a.X[i] != b.X[i] || a.DX[i] != b.DX[i] {
+						t.Fatalf("lane %d knot %d differs from scalar", j, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchAdjointMatchesScalarBitwise(t *testing.T) {
+	const lanes = 3
+	omegas := []float64{1, 1.5, 2.2}
+	t1s := []float64{2, 2.2, 2.6}
+	orbits := make([]*Trajectory, lanes)
+	yTs := make([][]float64, lanes)
+	for j := 0; j < lanes; j++ {
+		rec := &Trajectory{}
+		vari(harmonic(omegas[j]), harmonicJac(omegas[j]), 0, t1s[j], []float64{1, 0}, 250, rec)
+		orbits[j] = rec
+		yTs[j] = []float64{0.3 + 0.1*float64(j), -0.7}
+	}
+	outs, steps, laneErrs, batchErr := BatchAdjointBackward(batchHarmonicJac(omegas), orbits, t1s, yTs, 250, nil, nil)
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	for j := 0; j < lanes; j++ {
+		if laneErrs[j] != nil {
+			t.Fatalf("lane %d failed: %v", j, laneErrs[j])
+		}
+		if steps[j] != 250 {
+			t.Fatalf("lane %d steps = %d, want 250", j, steps[j])
+		}
+		want := adjBack(harmonicJac(omegas[j]), orbits[j], 0, t1s[j], yTs[j], 250)
+		if len(outs[j].Points) != len(want.Points) {
+			t.Fatalf("lane %d: %d knots, want %d", j, len(outs[j].Points), len(want.Points))
+		}
+		for p := range want.Points {
+			a, b := outs[j].Points[p], want.Points[p]
+			if a.T != b.T {
+				t.Fatalf("lane %d knot %d time %v != %v", j, p, a.T, b.T)
+			}
+			for i := 0; i < 2; i++ {
+				if a.X[i] != b.X[i] || a.DX[i] != b.DX[i] {
+					t.Fatalf("lane %d knot %d adjoint state differs from scalar", j, p)
+				}
+			}
+		}
+	}
+}
+
+func TestKnotLocatorMatchesAt(t *testing.T) {
+	rec := &Trajectory{}
+	vari(harmonic(1.3), harmonicJac(1.3), 0, 3, []float64{1, 0}, 137, rec)
+	lc := NewLocator(rec)
+	if !lc.uniform {
+		t.Fatal("fixed-step recording not recognised as uniform")
+	}
+	got := make([]float64, 2)
+	want := make([]float64, 2)
+	for i := 0; i <= 1000; i++ {
+		tt := -0.1 + 3.2*float64(i)/1000
+		lc.At(tt, got)
+		rec.At(tt, want)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("locator at t=%g: %v != At %v", tt, got, want)
+		}
+	}
+	// Non-uniform knots must fall back to the binary-search path.
+	nu := &Trajectory{}
+	nu.Append(0, []float64{0, 0}, []float64{0, 0})
+	nu.Append(1, []float64{1, 1}, []float64{0, 0})
+	nu.Append(3, []float64{2, 2}, []float64{0, 0})
+	if NewLocator(nu).uniform {
+		t.Fatal("non-uniform trajectory classified as uniform")
+	}
+}
+
+func TestBatchKernelFaultPoint(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{faultinject.OdeBatchKernel: {}})()
+	omegas := []float64{1, 2}
+	xs := []float64{1, 1, 0, 0}
+	_, batchErr := BatchRK4(batchHarmonic(omegas), 2, 2, []float64{1, 1}, xs, 10, nil, nil)
+	if !errors.Is(batchErr, faultinject.ErrInjected) {
+		t.Fatalf("batchErr = %v, want injected fault", batchErr)
+	}
+	_, _, _, batchErr = BatchVariational(batchHarmonic(omegas), batchHarmonicJac(omegas), 2, 2, []float64{1, 1}, xs, 10, nil, nil, nil)
+	if !errors.Is(batchErr, faultinject.ErrInjected) {
+		t.Fatalf("variational batchErr = %v, want injected fault", batchErr)
+	}
+}
+
+func TestBatchRK4LaneBudget(t *testing.T) {
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	omegas := []float64{1, 2}
+	xs := []float64{1, 1, 0, 0}
+	laneErrs, batchErr := BatchRK4(batchHarmonic(omegas), 2, 2, []float64{1, 1}, xs, 100, nil, []*budget.Token{tok, nil})
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if laneErrs[0] == nil {
+		t.Fatal("tripped lane token did not kill lane 0")
+	}
+	if !strings.Contains(laneErrs[0].Error(), "lane 0") {
+		t.Fatalf("lane error %q does not name the lane", laneErrs[0])
+	}
+	if laneErrs[1] != nil {
+		t.Fatalf("lane 1 failed: %v", laneErrs[1])
+	}
+	want := rk4(harmonic(2), 0, 1, []float64{1, 0}, 100)
+	if xs[1] != want[0] || xs[3] != want[1] {
+		t.Fatal("surviving lane diverged from scalar")
+	}
+}
+
+func TestTrapezoidalJacobianFreezing(t *testing.T) {
+	// With freezing on, the stiff decay still converges to the same answer
+	// while factorising far fewer Jacobians than Newton iterations.
+	f := func(tt float64, x, dst []float64) { dst[0] = -50 * x[0] }
+	jac := func(tt float64, x, dst []float64) { dst[0] = -50 }
+	fresh, err := Trapezoidal(f, jac, 0, 1, []float64{1}, 400, &TrapezoidalOptions{NewtonTol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := Trapezoidal(f, jac, 0, 1, []float64{1}, 400, &TrapezoidalOptions{NewtonTol: 1e-13, FreshJacTol: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := frozen.X[0] - fresh.X[0]; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("frozen-Jacobian result %v differs from fresh %v", frozen.X[0], fresh.X[0])
+	}
+}
+
+func BenchmarkBatchRK4Lanes8(b *testing.B) {
+	const lanes = 8
+	omegas := make([]float64, lanes)
+	t1s := make([]float64, lanes)
+	for j := range omegas {
+		omegas[j] = 1 + 0.25*float64(j)
+		t1s[j] = 1
+	}
+	f := batchHarmonic(omegas)
+	xs := make([]float64, 2*lanes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < lanes; j++ {
+			xs[j], xs[lanes+j] = 1, 0
+		}
+		if _, err := BatchRK4(f, 2, lanes, t1s, xs, 500, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarRK4x8(b *testing.B) {
+	const lanes = 8
+	fs := make([]Func, lanes)
+	for j := range fs {
+		fs[j] = harmonic(1 + 0.25*float64(j))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < lanes; j++ {
+			if _, err := RK4(fs[j], 0, 1, []float64{1, 0}, 500, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

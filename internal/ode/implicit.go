@@ -10,10 +10,17 @@ import (
 
 // TrapezoidalOptions configures the implicit trapezoidal integrator.
 type TrapezoidalOptions struct {
-	NewtonTol   float64 // residual tolerance (default 1e-12 scaled)
-	MaxNewton   int     // Newton iterations per step (default 25)
-	Record      bool    // store a dense Trajectory
-	FreshJacTol float64 // re-factor Jacobian when Newton contraction is worse than this (default: always fresh)
+	NewtonTol float64 // residual tolerance (default 1e-12 scaled)
+	MaxNewton int     // Newton iterations per step (default 25)
+	Record    bool    // store a dense Trajectory
+	// FreshJacTol enables modified-Newton Jacobian freezing: the LU
+	// factorisation of J_G = I − h/2·A is kept across Newton iterations and
+	// across steps, and re-factored only when the observed residual
+	// contraction per iteration is worse than this ratio (e.g. 0.25), when
+	// the frozen factorisation turns singular, or when a damped update fails
+	// under it. Zero (the default) factors a fresh Jacobian on every
+	// iteration, exactly as before.
+	FreshJacTol float64
 	// Budget, when non-nil, is polled once per step; a tripped token aborts
 	// the integration with a wrapped ErrCanceled/ErrBudgetExceeded.
 	Budget *budget.Token
@@ -37,6 +44,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 		}
 		o.Record = opts.Record
 		o.Budget = opts.Budget
+		o.FreshJacTol = opts.FreshJacTol
 	}
 	n := len(x0)
 	h := (t1 - t0) / float64(nsteps)
@@ -55,16 +63,32 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 	}
 	m := odeMetrics.Get()
 	newtonIters := 0
+	jacFactors := 0
 	flush := func() {
 		m.trapSteps.Add(int64(res.Steps))
 		m.trapNewton.Add(int64(newtonIters))
+		m.trapJacFactor.Add(int64(jacFactors))
+	}
+	freeze := o.FreshJacTol > 0
+	var flu *linalg.LU // frozen J_G factorisation; nil forces a fresh factor
+	factor := func(t float64, xat []float64) *linalg.LU {
+		// J_G = I - h/2 A(t, x)
+		jac(t, xat, jm.Data)
+		for i := range jm.Data {
+			jm.Data[i] *= -0.5 * h
+		}
+		for i := 0; i < n; i++ {
+			jm.Data[i*n+i] += 1
+		}
+		jacFactors++
+		return linalg.NewLU(jm)
 	}
 	for s := 0; s < nsteps; s++ {
 		t := t0 + float64(s)*h
 		tn := t + h
 		if err := o.Budget.Err(); err != nil {
 			flush()
-			return nil, fmt.Errorf("ode: trapezoidal at t=%g (step %d/%d): %w", t, s, nsteps, err)
+			return nil, fmt.Errorf("ode: trapezoidal at t=%g (step %d/%d): %w", t, s+1, nsteps, err)
 		}
 		f(t, x, fk)
 		// Predictor: explicit Euler.
@@ -88,15 +112,18 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 				converged = true
 				break
 			}
-			// J_G = I - h/2 A(tn, xn)
-			jac(tn, xn, jm.Data)
-			for i := range jm.Data {
-				jm.Data[i] *= -0.5 * h
+			fresh := false
+			if flu == nil {
+				flu = factor(tn, xn)
+				fresh = true
 			}
-			for i := 0; i < n; i++ {
-				jm.Data[i*n+i] += 1
+			dx, err := flu.Solve(g)
+			if err != nil && !fresh {
+				// The frozen factorisation went singular; retry fresh.
+				flu = factor(tn, xn)
+				fresh = true
+				dx, err = flu.Solve(g)
 			}
-			dx, err := linalg.Solve(jm, g)
 			if err != nil {
 				flush()
 				return nil, fmt.Errorf("ode: trapezoidal Newton solve at t=%g: %w", tn, err)
@@ -104,6 +131,7 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 			// Damped update: halve until the residual does not explode.
 			lambda := 1.0
 			applied := false
+			newNorm := gnorm
 			for try := 0; try < 8; try++ {
 				cand := make([]float64, n)
 				for i := 0; i < n; i++ {
@@ -120,13 +148,26 @@ func Trapezoidal(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 				if cnorm <= gnorm || cnorm <= o.NewtonTol*scale {
 					copy(xn, cand)
 					applied = true
+					newNorm = cnorm
 					break
 				}
 				lambda *= 0.5
 			}
 			if !applied {
+				if !fresh {
+					// A stale Jacobian is the likely culprit: spend the next
+					// iteration re-solving this state with a fresh one.
+					flu = nil
+					continue
+				}
 				flush()
 				return nil, fmt.Errorf("%w at t=%g (residual %g)", ErrNewtonDiverged, tn, gnorm)
+			}
+			if !freeze {
+				flu = nil
+			} else if gnorm > 0 && newNorm > o.FreshJacTol*gnorm {
+				// Slow contraction: the frozen Jacobian has drifted too far.
+				flu = nil
 			}
 		}
 		if !converged {
@@ -209,13 +250,13 @@ func Variational(f Func, jac JacFunc, t0, t1 float64, x0 []float64, nsteps int, 
 		t := t0 + float64(s)*h
 		if err := tok.Err(); err != nil {
 			m.varSteps.Add(int64(s))
-			return nil, nil, fmt.Errorf("ode: variational integration at t=%g (step %d/%d): %w", t, s, nsteps, err)
+			return nil, nil, fmt.Errorf("ode: variational integration at t=%g (step %d/%d): %w", t, s+1, nsteps, err)
 		}
 		rk4Step(rhs, t, aug, h, aug, k1, k2, k3, k4, tmp)
 		if !finite(aug) {
 			m.varSteps.Add(int64(s + 1))
 			m.nonFinite.Inc()
-			return nil, nil, fmt.Errorf("%w in variational integration at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
+			return nil, nil, fmt.Errorf("%w in variational integration at t=%g (step %d/%d)", ErrNonFinite, t, s+1, nsteps)
 		}
 		if rec != nil {
 			rhs(t+h, aug, dz)
@@ -282,13 +323,13 @@ func AdjointBackward(jac JacFunc, xs *Trajectory, t0, t1 float64, yT []float64, 
 		t := t1 - float64(s)*h
 		if err := tok.Err(); err != nil {
 			m.adjSteps.Add(int64(s))
-			return nil, s, fmt.Errorf("ode: backward adjoint at t=%g (step %d/%d): %w", t, s, nsteps, err)
+			return nil, s, fmt.Errorf("ode: backward adjoint at t=%g (step %d/%d): %w", t, s+1, nsteps, err)
 		}
 		rk4Step(rhs, t, y, -h, y, k1, k2, k3, k4, tmp)
 		if !finite(y) {
 			m.adjSteps.Add(int64(s + 1))
 			m.nonFinite.Inc()
-			return nil, s + 1, fmt.Errorf("%w in backward adjoint at t=%g (step %d/%d)", ErrNonFinite, t-h, s+1, nsteps)
+			return nil, s + 1, fmt.Errorf("%w in backward adjoint at t=%g (step %d/%d)", ErrNonFinite, t, s+1, nsteps)
 		}
 		store(nsteps-1-s, t-h)
 	}

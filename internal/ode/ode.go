@@ -45,17 +45,39 @@ func finite(x []float64) bool {
 	return true
 }
 
+// Stepper carries the scratch buffers of repeated single RK4 steps, so a
+// caller-driven stepping loop allocates once instead of five slices per step.
+// A Stepper is sized for one state dimension and is not safe for concurrent
+// use; give each goroutine its own.
+type Stepper struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewStepper returns a Stepper for n-dimensional states.
+func NewStepper(n int) *Stepper {
+	return &Stepper{
+		k1:  make([]float64, n),
+		k2:  make([]float64, n),
+		k3:  make([]float64, n),
+		k4:  make([]float64, n),
+		tmp: make([]float64, n),
+	}
+}
+
+// Step advances x by one classical Runge–Kutta 4 step of size h, writing the
+// result into xout (may alias x). It performs no allocations (guarded by
+// TestStepperZeroAllocs). len(x) must match the dimension the Stepper was
+// built for.
+func (s *Stepper) Step(f Func, t float64, x []float64, h float64, xout []float64) {
+	rk4Step(f, t, x, h, xout, s.k1, s.k2, s.k3, s.k4, s.tmp)
+}
+
 // RK4Step advances x by one classical Runge–Kutta 4 step of size h,
 // writing the result into xout (may alias x). Scratch slices are allocated
-// internally; use RK4 for repeated stepping without per-step allocation.
+// internally; stepping loops should hold a Stepper (or use RK4) so the per
+// step cost is pure arithmetic.
 func RK4Step(f Func, t float64, x []float64, h float64, xout []float64) {
-	n := len(x)
-	k1 := make([]float64, n)
-	k2 := make([]float64, n)
-	k3 := make([]float64, n)
-	k4 := make([]float64, n)
-	tmp := make([]float64, n)
-	rk4Step(f, t, x, h, xout, k1, k2, k3, k4, tmp)
+	NewStepper(len(x)).Step(f, t, x, h, xout)
 }
 
 func rk4Step(f Func, t float64, x []float64, h float64, xout, k1, k2, k3, k4, tmp []float64) {
@@ -81,7 +103,10 @@ func rk4Step(f Func, t float64, x []float64, h float64, xout, k1, k2, k3, k4, tm
 // RK4 integrates ẋ = f from t0 to t1 with nsteps fixed steps, returning the
 // final state. x0 is not modified. The integration is cut off with a wrapped
 // budget error when tok trips (nil tok never trips) and with ErrNonFinite as
-// soon as the state turns NaN/Inf.
+// soon as the state turns NaN/Inf. Both failure exits use the same
+// convention: the reported step is the 1-indexed step that did not complete,
+// and the reported t is the time of the last valid state (the start of that
+// step).
 func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int, tok *budget.Token) ([]float64, error) {
 	if nsteps <= 0 {
 		panic("ode: RK4 requires nsteps > 0")
@@ -100,13 +125,13 @@ func RK4(f Func, t0, t1 float64, x0 []float64, nsteps int, tok *budget.Token) ([
 		t := t0 + float64(s)*h
 		if err := tok.Err(); err != nil {
 			m.rk4Steps.Add(int64(s))
-			return nil, fmt.Errorf("ode: RK4 at t=%g (step %d/%d): %w", t, s, nsteps, err)
+			return nil, fmt.Errorf("ode: RK4 at t=%g (step %d/%d): %w", t, s+1, nsteps, err)
 		}
 		rk4Step(f, t, x, h, x, k1, k2, k3, k4, tmp)
 		if !finite(x) {
 			m.rk4Steps.Add(int64(s + 1))
 			m.nonFinite.Inc()
-			return nil, fmt.Errorf("%w in RK4 at t=%g (step %d/%d)", ErrNonFinite, t+h, s+1, nsteps)
+			return nil, fmt.Errorf("%w in RK4 at t=%g (step %d/%d)", ErrNonFinite, t, s+1, nsteps)
 		}
 	}
 	m.rk4Steps.Add(int64(nsteps))

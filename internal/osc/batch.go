@@ -1,0 +1,180 @@
+package osc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dynsys"
+	"repro/internal/faultinject"
+)
+
+// This file vectorises registry models across parameter variants for the
+// batched SoA integration core (internal/ode batch kernels). BatchOf turns K
+// built models of the same family into one dynsys.BatchEvaluator: the Hopf
+// and van der Pol families get hand-written SoA bodies whose per-lane
+// expression order matches the scalar Eval/Jacobian bit for bit; every other
+// family falls back to dynsys.LaneBatch (gather → scalar Eval → scatter),
+// which is bit-identical by construction. Either way the evaluator is
+// wrapped with the same osc.eval.* fault points the scalar path carries, so
+// chaos coverage does not regress when a sweep runs batched.
+
+// hopfBatch is the SoA Hopf normal form over K lanes.
+type hopfBatch struct {
+	lambda, omega []float64
+}
+
+func (b *hopfBatch) Dim() int   { return 2 }
+func (b *hopfBatch) Lanes() int { return len(b.lambda) }
+
+func (b *hopfBatch) EvalBatch(x, dst []float64) {
+	k := len(b.lambda)
+	x0 := x[0*k : 1*k : 1*k]
+	x1 := x[1*k : 2*k : 2*k]
+	d0 := dst[0*k : 1*k : 1*k]
+	d1 := dst[1*k : 2*k : 2*k]
+	for j, lam := range b.lambda {
+		om := b.omega[j]
+		r2 := x0[j]*x0[j] + x1[j]*x1[j]
+		d0[j] = lam*x0[j]*(1-r2) - om*x1[j]
+		d1[j] = lam*x1[j]*(1-r2) + om*x0[j]
+	}
+}
+
+func (b *hopfBatch) JacobianBatch(x, jac []float64) {
+	k := len(b.lambda)
+	x0 := x[0*k : 1*k : 1*k]
+	x1 := x[1*k : 2*k : 2*k]
+	for j, lam := range b.lambda {
+		om := b.omega[j]
+		r2 := x0[j]*x0[j] + x1[j]*x1[j]
+		jac[0*k+j] = lam * (1 - r2 - 2*x0[j]*x0[j])
+		jac[1*k+j] = -om - 2*lam*x0[j]*x1[j]
+		jac[2*k+j] = om - 2*lam*x0[j]*x1[j]
+		jac[3*k+j] = lam * (1 - r2 - 2*x1[j]*x1[j])
+	}
+}
+
+// vdpBatch is the SoA van der Pol oscillator over K lanes.
+type vdpBatch struct {
+	mu []float64
+}
+
+func (b *vdpBatch) Dim() int   { return 2 }
+func (b *vdpBatch) Lanes() int { return len(b.mu) }
+
+func (b *vdpBatch) EvalBatch(x, dst []float64) {
+	k := len(b.mu)
+	x0 := x[0*k : 1*k : 1*k]
+	x1 := x[1*k : 2*k : 2*k]
+	d0 := dst[0*k : 1*k : 1*k]
+	d1 := dst[1*k : 2*k : 2*k]
+	for j, mu := range b.mu {
+		d0[j] = x1[j]
+		d1[j] = mu*(1-x0[j]*x0[j])*x1[j] - x0[j]
+	}
+}
+
+func (b *vdpBatch) JacobianBatch(x, jac []float64) {
+	k := len(b.mu)
+	x0 := x[0*k : 1*k : 1*k]
+	x1 := x[1*k : 2*k : 2*k]
+	for j, mu := range b.mu {
+		jac[0*k+j], jac[1*k+j] = 0, 1
+		jac[2*k+j] = -2*mu*x0[j]*x1[j] - 1
+		jac[3*k+j] = mu * (1 - x0[j]*x0[j])
+	}
+}
+
+// batchFaultSystem carries the osc.eval.* fault points at batch granularity:
+// one delay/panic draw per batched evaluation, and osc.eval.nan poisons the
+// first component of lane 0 — enough to drive the integrators' per-lane
+// non-finite isolation in chaos tests.
+type batchFaultSystem struct {
+	dynsys.BatchEvaluator
+}
+
+func (b batchFaultSystem) EvalBatch(x, dst []float64) {
+	_ = faultinject.Fire(faultinject.OscEvalDelay)
+	_ = faultinject.Fire(faultinject.OscEvalPanic) // ModePanic: panics when it fires
+	b.BatchEvaluator.EvalBatch(x, dst)
+	if faultinject.Fire(faultinject.OscEvalNaN) != nil {
+		dst[0] = math.NaN()
+	}
+}
+
+// Unwrap returns the evaluator underneath the fault hooks.
+func (b batchFaultSystem) Unwrap() dynsys.BatchEvaluator { return b.BatchEvaluator }
+
+// BatchOf vectorises K built models into one lockstep evaluator. All models
+// must share a state dimension; model families with a native SoA body (hopf,
+// vanderpol) use it when every lane is of that family, anything else goes
+// through the gather/scatter LaneBatch fallback. The returned evaluator
+// yields bit-identical per-lane values to the scalar systems.
+func BatchOf(models []*BuiltModel) (dynsys.BatchEvaluator, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("osc: BatchOf of zero models")
+	}
+	systems := make([]dynsys.System, len(models))
+	for i, m := range models {
+		if m == nil || m.Sys == nil {
+			return nil, fmt.Errorf("osc: BatchOf lane %d has no system", i)
+		}
+		systems[i] = m.Sys
+	}
+	return BatchSystems(systems)
+}
+
+// BatchSystems vectorises K same-dimension systems into one lockstep
+// evaluator, exactly like BatchOf but starting from bare dynsys.Systems (the
+// shape the sweep engine holds). Fault-hook wrappers are stripped before the
+// family dispatch and re-applied at batch granularity.
+func BatchSystems(systems []dynsys.System) (dynsys.BatchEvaluator, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("osc: BatchSystems of zero systems")
+	}
+	inner := make([]dynsys.System, len(systems))
+	for i, s := range systems {
+		if s == nil {
+			return nil, fmt.Errorf("osc: BatchSystems lane %d has no system", i)
+		}
+		inner[i] = Unwrap(s)
+	}
+	if be := nativeBatch(inner); be != nil {
+		return batchFaultSystem{BatchEvaluator: be}, nil
+	}
+	lb, err := dynsys.NewLaneBatch(inner)
+	if err != nil {
+		return nil, err
+	}
+	return batchFaultSystem{BatchEvaluator: lb}, nil
+}
+
+// nativeBatch returns a hand-vectorised evaluator when every lane is of the
+// same natively supported family, nil otherwise.
+func nativeBatch(systems []dynsys.System) dynsys.BatchEvaluator {
+	if h, ok := systems[0].(*Hopf); ok {
+		hb := &hopfBatch{lambda: make([]float64, len(systems)), omega: make([]float64, len(systems))}
+		hb.lambda[0], hb.omega[0] = h.Lambda, h.Omega
+		for i, s := range systems[1:] {
+			hi, ok := s.(*Hopf)
+			if !ok {
+				return nil
+			}
+			hb.lambda[i+1], hb.omega[i+1] = hi.Lambda, hi.Omega
+		}
+		return hb
+	}
+	if v, ok := systems[0].(*VanDerPol); ok {
+		vb := &vdpBatch{mu: make([]float64, len(systems))}
+		vb.mu[0] = v.Mu
+		for i, s := range systems[1:] {
+			vi, ok := s.(*VanDerPol)
+			if !ok {
+				return nil
+			}
+			vb.mu[i+1] = vi.Mu
+		}
+		return vb
+	}
+	return nil
+}

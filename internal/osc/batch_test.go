@@ -1,0 +1,151 @@
+package osc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestBatchOfMatchesScalar proves the batch evaluators — native SoA bodies
+// and the LaneBatch fallback alike — are bit-identical to the scalar systems
+// lane by lane, across registry models and batch widths.
+func TestBatchOfMatchesScalar(t *testing.T) {
+	cases := []struct {
+		model  string
+		params []map[string]float64 // one per lane
+	}{
+		{"hopf", []map[string]float64{{}, {"lambda": 2, "omega": 3e6}, {"omega": 5e6, "sigma": 0.03}}},
+		{"vanderpol", []map[string]float64{{"mu": 0.5}, {"mu": 1.5}, {"mu": 3}}},
+		{"bandpass", []map[string]float64{{}, {}}}, // LaneBatch fallback
+		{"ring", []map[string]float64{{}, {"rc": 600}, {"iee": 300e-6}}},
+	}
+	for _, tc := range cases {
+		models := make([]*BuiltModel, len(tc.params))
+		for i, p := range tc.params {
+			bm, err := Build(tc.model, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			models[i] = bm
+		}
+		be, err := BatchOf(models)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		n, lanes := be.Dim(), be.Lanes()
+		if n != models[0].Sys.Dim() || lanes != len(models) {
+			t.Fatalf("%s: batch shape %dx%d", tc.model, n, lanes)
+		}
+		// A spread of states around each model's recommended X0.
+		xs := make([]float64, n*lanes)
+		for k := 0; k < lanes; k++ {
+			for i := 0; i < n; i++ {
+				xs[i*lanes+k] = models[k].X0[i]*(1+0.1*float64(k)) + 0.01*float64(i)
+			}
+		}
+		fb := make([]float64, n*lanes)
+		jb := make([]float64, n*n*lanes)
+		be.EvalBatch(xs, fb)
+		be.JacobianBatch(xs, jb)
+		xk := make([]float64, n)
+		fk := make([]float64, n)
+		jk := make([]float64, n*n)
+		for k := 0; k < lanes; k++ {
+			for i := 0; i < n; i++ {
+				xk[i] = xs[i*lanes+k]
+			}
+			models[k].Sys.Eval(xk, fk)
+			models[k].Sys.Jacobian(xk, jk)
+			for i := 0; i < n; i++ {
+				if fb[i*lanes+k] != fk[i] {
+					t.Fatalf("%s lane %d: EvalBatch[%d] = %v, scalar %v", tc.model, k, i, fb[i*lanes+k], fk[i])
+				}
+			}
+			for i := 0; i < n*n; i++ {
+				if jb[i*lanes+k] != jk[i] {
+					t.Fatalf("%s lane %d: JacobianBatch[%d] = %v, scalar %v", tc.model, k, i, jb[i*lanes+k], jk[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchOfUsesNativeBodies(t *testing.T) {
+	models := make([]*BuiltModel, 2)
+	for i := range models {
+		bm, err := Build("hopf", map[string]float64{"omega": float64(i+1) * 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = bm
+	}
+	be, err := BatchOf(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := be.(batchFaultSystem)
+	if !ok {
+		t.Fatalf("BatchOf did not wrap with fault hooks: %T", be)
+	}
+	if _, ok := bf.Unwrap().(*hopfBatch); !ok {
+		t.Fatalf("homogeneous hopf batch uses %T, want *hopfBatch", bf.Unwrap())
+	}
+}
+
+func TestBatchOfRejectsDimMismatch(t *testing.T) {
+	hopf, err := Build("hopf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := Build("ring", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BatchOf([]*BuiltModel{hopf, ring}); err == nil {
+		t.Fatal("mixed-dimension batch accepted")
+	}
+}
+
+func TestBatchFaultHooks(t *testing.T) {
+	models := make([]*BuiltModel, 2)
+	for i := range models {
+		bm, err := Build("hopf", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = bm
+	}
+	be, err := BatchOf(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []float64{1, 1, 0, 0}
+	dst := make([]float64, 4)
+
+	defer faultinject.Enable(faultinject.Plan{faultinject.OscEvalNaN: {}})()
+	be.EvalBatch(xs, dst)
+	if !math.IsNaN(dst[0]) {
+		t.Fatal("osc.eval.nan did not poison lane 0")
+	}
+	if math.IsNaN(dst[1]) || math.IsNaN(dst[2]) || math.IsNaN(dst[3]) {
+		t.Fatal("poison leaked beyond the first component of lane 0")
+	}
+
+	faultinject.Enable(faultinject.Plan{faultinject.OscEvalPanic: {Mode: faultinject.ModePanic}})
+	func() {
+		defer func() {
+			rec := recover()
+			var ie *faultinject.InjectedError
+			if rec == nil {
+				t.Fatal("osc.eval.panic did not panic the batched eval")
+			}
+			err, ok := rec.(error)
+			if !ok || !errors.As(err, &ie) {
+				t.Fatalf("panic value %v, want *InjectedError", rec)
+			}
+		}()
+		be.EvalBatch(xs, dst)
+	}()
+}

@@ -1,0 +1,181 @@
+package shooting
+
+import (
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/dynsys"
+	"repro/internal/osc"
+)
+
+// buildLanes assembles a batch evaluator and the matching FindBatch lanes for
+// K parameter variants of one registry model.
+func buildLanes(t *testing.T, model string, params []map[string]float64, opts *Options) (dynsys.BatchEvaluator, []BatchLane) {
+	t.Helper()
+	models := make([]*osc.BuiltModel, len(params))
+	lanes := make([]BatchLane, len(params))
+	for k, p := range params {
+		bm, err := osc.Build(model, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[k] = bm
+		lanes[k] = BatchLane{Sys: bm.Sys, X0: bm.X0, TGuess: bm.TGuess, Opts: opts}
+	}
+	be, err := osc.BatchOf(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be, lanes
+}
+
+// samePSS fails the test unless a and b are bit-identical solutions.
+func samePSS(t *testing.T, label string, a, b *PSS) {
+	t.Helper()
+	if a.T != b.T {
+		t.Fatalf("%s: T batch %v, scalar %v", label, a.T, b.T)
+	}
+	if a.Residual != b.Residual || a.Iters != b.Iters {
+		t.Fatalf("%s: residual/iters batch (%v, %d), scalar (%v, %d)", label, a.Residual, a.Iters, b.Residual, b.Iters)
+	}
+	for i := range b.X0 {
+		if a.X0[i] != b.X0[i] {
+			t.Fatalf("%s: X0[%d] batch %v, scalar %v", label, i, a.X0[i], b.X0[i])
+		}
+	}
+	for i := range b.Monodromy.Data {
+		if a.Monodromy.Data[i] != b.Monodromy.Data[i] {
+			t.Fatalf("%s: monodromy[%d] batch %v, scalar %v", label, i, a.Monodromy.Data[i], b.Monodromy.Data[i])
+		}
+	}
+	if len(a.Orbit.Points) != len(b.Orbit.Points) {
+		t.Fatalf("%s: orbit knots batch %d, scalar %d", label, len(a.Orbit.Points), len(b.Orbit.Points))
+	}
+	for p := range b.Orbit.Points {
+		ap, bp := a.Orbit.Points[p], b.Orbit.Points[p]
+		if ap.T != bp.T {
+			t.Fatalf("%s: orbit knot %d at t batch %v, scalar %v", label, p, ap.T, bp.T)
+		}
+		for i := range bp.X {
+			if ap.X[i] != bp.X[i] || ap.DX[i] != bp.DX[i] {
+				t.Fatalf("%s: orbit knot %d component %d differs", label, p, i)
+			}
+		}
+	}
+}
+
+// TestFindBatchMatchesScalarBitwise proves every lane of a lockstep batched
+// shooting solve reproduces the scalar Find bit for bit — solution point,
+// period, monodromy, residual history and the dense recorded orbit — across
+// batch widths and both natively vectorised model families.
+func TestFindBatchMatchesScalarBitwise(t *testing.T) {
+	opts := &Options{Transient: 5, StepsPerPeriod: 600}
+	cases := []struct {
+		model  string
+		params []map[string]float64
+	}{
+		{"hopf", []map[string]float64{{}}},
+		{"hopf", []map[string]float64{{}, {"lambda": 2, "omega": 3e6}, {"omega": 5e6}}},
+		{"hopf", []map[string]float64{
+			{}, {"lambda": 0.5}, {"lambda": 2}, {"lambda": 4},
+			{"omega": 2e6}, {"omega": 3e6}, {"omega": 5e6}, {"lambda": 2, "omega": 2e6},
+		}},
+		{"vanderpol", []map[string]float64{{"mu": 0.4}, {"mu": 1}, {"mu": 1.6}}},
+	}
+	for _, tc := range cases {
+		be, lanes := buildLanes(t, tc.model, tc.params, opts)
+		got, laneErrs, batchErr := FindBatch(be, lanes, nil)
+		if batchErr != nil {
+			t.Fatalf("%s/K=%d: %v", tc.model, len(lanes), batchErr)
+		}
+		for k, lane := range lanes {
+			label := tc.model + "/lane " + string(rune('0'+k))
+			want, err := Find(lane.Sys, lane.X0, lane.TGuess, opts)
+			if err != nil {
+				t.Fatalf("%s: scalar Find: %v", label, err)
+			}
+			if laneErrs[k] != nil {
+				t.Fatalf("%s: batched lane failed: %v", label, laneErrs[k])
+			}
+			samePSS(t, label, got[k], want)
+		}
+	}
+}
+
+// TestFindBatchLaneIsolation injects per-lane failures — an invalid guess and
+// a pre-tripped lane budget — and checks the healthy lane still matches the
+// scalar solve exactly.
+func TestFindBatchLaneIsolation(t *testing.T) {
+	opts := &Options{Transient: 5, StepsPerPeriod: 600}
+	be, lanes := buildLanes(t, "hopf", []map[string]float64{{}, {"lambda": 2}, {"omega": 3e6}}, opts)
+
+	lanes[0].TGuess = -1 // invalid before any integration
+	tok, cancel := budget.WithCancel(nil)
+	cancel()
+	budOpts := *opts
+	budOpts.Budget = tok
+	lanes[2].Opts = &budOpts // budget already spent: dies in the transient
+
+	got, laneErrs, batchErr := FindBatch(be, lanes, nil)
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if laneErrs[0] == nil || got[0] != nil {
+		t.Fatal("negative period guess lane did not fail")
+	}
+	if laneErrs[2] == nil || !budget.Is(laneErrs[2]) {
+		t.Fatalf("budgeted lane error = %v, want a budget cut-off", laneErrs[2])
+	}
+	want, err := Find(lanes[1].Sys, lanes[1].X0, lanes[1].TGuess, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laneErrs[1] != nil {
+		t.Fatalf("healthy lane failed: %v", laneErrs[1])
+	}
+	samePSS(t, "surviving lane", got[1], want)
+}
+
+func TestFindBatchRejectsMismatchedKnobs(t *testing.T) {
+	be, lanes := buildLanes(t, "hopf", []map[string]float64{{}, {"lambda": 2}}, nil)
+	lanes[1].Opts = &Options{Tol: 1e-6}
+	if _, _, err := FindBatch(be, lanes, nil); err == nil {
+		t.Fatal("lanes with different tolerances were batched")
+	}
+}
+
+// TestMonodromyEigenMemoized checks the PSS eigendecomposition cache: two
+// calls agree, and callers get private copies they may reorder freely.
+func TestMonodromyEigenMemoized(t *testing.T) {
+	h := &osc.Hopf{Lambda: 1, Omega: 1}
+	pss, err := Find(h, []float64{0.8, 0.1}, 6.0, &Options{Transient: 5, StepsPerPeriod: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pss.eig == nil {
+		t.Fatal("Find returned a PSS without an eigen cache")
+	}
+	first, err := pss.MonodromyEigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0] = complex(42, 42) // must not leak into the cache
+	second, err := pss.MonodromyEigen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0] == complex(42, 42) {
+		t.Fatal("MonodromyEigen returned a shared slice")
+	}
+	// A decoded PSS (nil cache) still answers.
+	bare := &PSS{Monodromy: pss.Monodromy}
+	vals, err := bare.MonodromyEigen()
+	if err != nil || len(vals) != len(second) {
+		t.Fatalf("cacheless MonodromyEigen: %v (%d values)", err, len(vals))
+	}
+	for i := range vals {
+		if vals[i] != second[i] {
+			t.Fatalf("cacheless eigenvalues differ at %d: %v vs %v", i, vals[i], second[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/budget"
@@ -103,6 +104,35 @@ type PSS struct {
 	Monodromy *linalg.Matrix  // Φ(T, 0) linearised about the orbit
 	Residual  float64         // final ‖x(T)−x0‖∞ relative to state scale
 	Iters     int
+
+	// eig memoizes the monodromy eigendecomposition so that repeated Floquet
+	// analyses of one PSS — e.g. retry-ladder rungs that only tightened
+	// downstream tolerances — factor Φ once. The pointer keeps PSS copyable;
+	// a PSS reconstructed by a decoder (nil cache) just computes fresh.
+	eig *pssEigCache
+}
+
+// pssEigCache holds the lazily computed monodromy eigenvalues.
+type pssEigCache struct {
+	once sync.Once
+	vals []complex128
+	err  error
+}
+
+// MonodromyEigen returns the eigenvalues of the monodromy matrix, computing
+// them at most once per PSS produced by this package. The returned slice is
+// a fresh copy, safe for the caller to reorder.
+func (p *PSS) MonodromyEigen() ([]complex128, error) {
+	if p.eig == nil {
+		return linalg.Eigenvalues(p.Monodromy)
+	}
+	p.eig.once.Do(func() {
+		p.eig.vals, p.eig.err = linalg.Eigenvalues(p.Monodromy)
+	})
+	if p.eig.err != nil {
+		return nil, p.eig.err
+	}
+	return append([]complex128(nil), p.eig.vals...), nil
 }
 
 // F0 returns the oscillation frequency 1/T.
@@ -162,106 +192,9 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	}
 	f, jac := sysFunc(sys)
 
-	// Transient: settle onto the attractor before polishing.
-	x := append([]float64(nil), x0...)
-	if o.Transient > 0 {
-		ttr := o.Transient * tGuess
-		tStart := time.Now()
-		res, err := ode.DOPRI5(f, 0, ttr, x, &ode.Options{RTol: 1e-9, ATol: 1e-12, Budget: o.Budget})
-		if tr != nil {
-			tr.TransientWall = time.Since(tStart)
-		}
-		if err != nil {
-			return nil, wrapIntegration("transient integration", err)
-		}
-		x = res.X
-	}
-
-	// Refine the period guess by a closest-return scan: integrate 2.5 guess
-	// periods and take the time of the closest return to x. This brings even
-	// a 10–30% period error within Newton's convergence basin, which matters
-	// for relaxation-like cycles with very stiff monodromy.
-	T := tGuess
-	{
-		res, err := ode.DOPRI5(f, 0, 2.5*tGuess, x, &ode.Options{RTol: 1e-10, ATol: 1e-13, Record: true, Budget: o.Budget})
-		if err != nil && budget.Is(err) {
-			// A numerically failed scan just falls back to tGuess, but a
-			// budget cut-off must not be swallowed.
-			return nil, fmt.Errorf("shooting: period-refinement scan: %w", err)
-		}
-		if err == nil {
-			// Sample the dense trajectory on a fine grid and measure the
-			// distance back to the starting point.
-			const grid = 4000
-			buf := make([]float64, n)
-			dist := make([]float64, grid+1)
-			ts := make([]float64, grid+1)
-			bestD, amp := math.Inf(1), 0.0
-			for k := 0; k <= grid; k++ {
-				tk := 2.5 * tGuess * float64(k) / grid
-				res.Traj.At(tk, buf)
-				d := linalg.Norm2(linalg.SubVec(buf, x))
-				ts[k], dist[k] = tk, d
-				if d > amp {
-					amp = d
-				}
-				if tk >= 0.5*tGuess && d < bestD {
-					bestD = d
-				}
-			}
-			// Collect candidate returns: grid local minima well below the
-			// orbit scale, each refined by ternary search on the dense
-			// trajectory so grid quantization (≈ speed·Δt) cannot make one
-			// return look spuriously closer than another.
-			distAt := func(tt float64) float64 {
-				res.Traj.At(tt, buf)
-				return linalg.Norm2(linalg.SubVec(buf, x))
-			}
-			type candidate struct{ t, d float64 }
-			var cands []candidate
-			for k := 1; k < grid; k++ {
-				if ts[k] < 0.5*tGuess {
-					continue
-				}
-				if dist[k] > 0.05*amp || dist[k] > dist[k-1] || dist[k] > dist[k+1] {
-					continue
-				}
-				lo, hi := ts[k-1], ts[k+1]
-				for it := 0; it < 60; it++ {
-					m1 := lo + (hi-lo)/3
-					m2 := hi - (hi-lo)/3
-					if distAt(m1) < distAt(m2) {
-						hi = m2
-					} else {
-						lo = m1
-					}
-				}
-				tm := 0.5 * (lo + hi)
-				cands = append(cands, candidate{tm, distAt(tm)})
-			}
-			if len(cands) > 0 {
-				bestD = math.Inf(1)
-				for _, c := range cands {
-					if c.d < bestD {
-						bestD = c.d
-					}
-				}
-				// Earliest candidate comparable to the best: the absolute
-				// slack covers strongly contracting cycles, where the first
-				// return is genuinely farther off-cycle than later ones yet
-				// still the fundamental.
-				thresh := math.Max(3*bestD, 1e-5*amp)
-				for _, c := range cands {
-					if c.d <= thresh {
-						T = c.t
-						break
-					}
-				}
-				if tr != nil {
-					tr.TRefined = T
-				}
-			}
-		}
+	x, T, err := settle(f, x0, tGuess, o, tr)
+	if err != nil {
+		return nil, err
 	}
 	fx0 := make([]float64, n)
 	// Reference flow magnitude on the cycle: used to reject Newton updates
@@ -411,6 +344,111 @@ func Find(sys dynsys.System, x0 []float64, tGuess float64, opts *Options) (*PSS,
 	return nil, fmt.Errorf("%w after %d iterations (residual %.3e)", ErrNoConvergence, o.MaxIter, lastRes)
 }
 
+// settle relaxes the initial guess onto the attractor by transient
+// integration and refines the period guess by a closest-return scan. It is
+// the pre-Newton stage shared by Find and FindBatch: the scan integrates 2.5
+// guess periods and takes the time of the closest return to x, which brings
+// even a 10–30% period error within Newton's convergence basin — that
+// matters for relaxation-like cycles with very stiff monodromy.
+func settle(f ode.Func, x0 []float64, tGuess float64, o Options, tr *Trace) ([]float64, float64, error) {
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	if o.Transient > 0 {
+		ttr := o.Transient * tGuess
+		tStart := time.Now()
+		res, err := ode.DOPRI5(f, 0, ttr, x, &ode.Options{RTol: 1e-9, ATol: 1e-12, Budget: o.Budget})
+		if tr != nil {
+			tr.TransientWall = time.Since(tStart)
+		}
+		if err != nil {
+			return nil, 0, wrapIntegration("transient integration", err)
+		}
+		x = res.X
+	}
+
+	T := tGuess
+	res, err := ode.DOPRI5(f, 0, 2.5*tGuess, x, &ode.Options{RTol: 1e-10, ATol: 1e-13, Record: true, Budget: o.Budget})
+	if err != nil && budget.Is(err) {
+		// A numerically failed scan just falls back to tGuess, but a
+		// budget cut-off must not be swallowed.
+		return nil, 0, fmt.Errorf("shooting: period-refinement scan: %w", err)
+	}
+	if err == nil {
+		// Sample the dense trajectory on a fine grid and measure the
+		// distance back to the starting point.
+		const grid = 4000
+		buf := make([]float64, n)
+		dist := make([]float64, grid+1)
+		ts := make([]float64, grid+1)
+		bestD, amp := math.Inf(1), 0.0
+		for k := 0; k <= grid; k++ {
+			tk := 2.5 * tGuess * float64(k) / grid
+			res.Traj.At(tk, buf)
+			d := linalg.Norm2(linalg.SubVec(buf, x))
+			ts[k], dist[k] = tk, d
+			if d > amp {
+				amp = d
+			}
+			if tk >= 0.5*tGuess && d < bestD {
+				bestD = d
+			}
+		}
+		// Collect candidate returns: grid local minima well below the
+		// orbit scale, each refined by ternary search on the dense
+		// trajectory so grid quantization (≈ speed·Δt) cannot make one
+		// return look spuriously closer than another.
+		distAt := func(tt float64) float64 {
+			res.Traj.At(tt, buf)
+			return linalg.Norm2(linalg.SubVec(buf, x))
+		}
+		type candidate struct{ t, d float64 }
+		var cands []candidate
+		for k := 1; k < grid; k++ {
+			if ts[k] < 0.5*tGuess {
+				continue
+			}
+			if dist[k] > 0.05*amp || dist[k] > dist[k-1] || dist[k] > dist[k+1] {
+				continue
+			}
+			lo, hi := ts[k-1], ts[k+1]
+			for it := 0; it < 60; it++ {
+				m1 := lo + (hi-lo)/3
+				m2 := hi - (hi-lo)/3
+				if distAt(m1) < distAt(m2) {
+					hi = m2
+				} else {
+					lo = m1
+				}
+			}
+			tm := 0.5 * (lo + hi)
+			cands = append(cands, candidate{tm, distAt(tm)})
+		}
+		if len(cands) > 0 {
+			bestD = math.Inf(1)
+			for _, c := range cands {
+				if c.d < bestD {
+					bestD = c.d
+				}
+			}
+			// Earliest candidate comparable to the best: the absolute
+			// slack covers strongly contracting cycles, where the first
+			// return is genuinely farther off-cycle than later ones yet
+			// still the fundamental.
+			thresh := math.Max(3*bestD, 1e-5*amp)
+			for _, c := range cands {
+				if c.d <= thresh {
+					T = c.t
+					break
+				}
+			}
+			if tr != nil {
+				tr.TRefined = T
+			}
+		}
+	}
+	return x, T, nil
+}
+
 // finish records the dense orbit and monodromy at the converged solution.
 func finish(sys dynsys.System, x0 []float64, T float64, o Options, iters int, res float64) (*PSS, error) {
 	f, jac := sysFunc(sys)
@@ -426,6 +464,7 @@ func finish(sys dynsys.System, x0 []float64, T float64, o Options, iters int, re
 		Monodromy: phi,
 		Residual:  res,
 		Iters:     iters,
+		eig:       &pssEigCache{},
 	}, nil
 }
 

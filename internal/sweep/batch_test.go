@@ -1,0 +1,336 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/floquet"
+	"repro/internal/obs"
+	"repro/internal/osc"
+	"repro/internal/shooting"
+)
+
+// sameResult asserts two characterisations are bit-identical by comparing
+// their full JSON encodings (C, per-source decomposition, sensitivities, the
+// PSS with its whole recorded orbit, and the Floquet decomposition). Go's
+// shortest-round-trip float encoding makes this equivalent to exact float64
+// equality field by field.
+func sameResult(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if a == nil || b == nil {
+		t.Fatalf("%s: nil result (a=%v b=%v)", label, a == nil, b == nil)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		if a.C != b.C {
+			t.Fatalf("%s: c differs: %g vs %g", label, a.C, b.C)
+		}
+		t.Fatalf("%s: results differ beyond c (T %g vs %g)", label, a.T(), b.T())
+	}
+}
+
+// TestBatchedSweepMatchesScalarBitwise is the headline equivalence property:
+// a sweep run through the lockstep SoA batch path returns, for every point
+// and every batch width, exactly the result the scalar path returns —
+// batching is a scheduling change, never a numerical one.
+func TestBatchedSweepMatchesScalarBitwise(t *testing.T) {
+	pts := hopfGrid(8)
+	scalar := Run(pts, &Config{Workers: 4})
+	for i, r := range scalar {
+		if !r.OK() {
+			t.Fatalf("scalar point %d: %v", i, r.Err)
+		}
+	}
+	for _, lanes := range []int{1, 3, 8} {
+		reg := obs.NewRegistry()
+		obs.SetGlobal(reg)
+		batched := Run(pts, &Config{Workers: 2, BatchLanes: lanes})
+		obs.SetGlobal(nil)
+		for i, r := range batched {
+			if !r.OK() {
+				t.Fatalf("K=%d point %d: %v", lanes, i, r.Err)
+			}
+			if len(r.Attempts) != 1 || r.Attempts[0].RungName != "base" {
+				t.Fatalf("K=%d point %d: %d attempts (want one base attempt)", lanes, i, len(r.Attempts))
+			}
+			if r.Attempts[0].Trace.Shooting.Iters == 0 || r.Attempts[0].Trace.Wall <= 0 {
+				t.Fatalf("K=%d point %d: attempt trace empty: %+v", lanes, i, r.Attempts[0].Trace)
+			}
+			if r.PSS == nil || r.PSS != r.Result.PSS {
+				t.Fatalf("K=%d point %d: PointResult.PSS must alias Result.PSS", lanes, i)
+			}
+			sameResult(t, "batched vs scalar", r.Result, scalar[i].Result)
+		}
+		s := reg.Snapshot()
+		wantBatches := int64(0)
+		if lanes > 1 {
+			wantBatches = int64((len(pts) + lanes - 1) / lanes)
+		}
+		if got := s.Counter("pn_sweep_batches_total", "ok"); got != wantBatches {
+			t.Fatalf("K=%d: pn_sweep_batches_total{ok} = %d, want %d", lanes, got, wantBatches)
+		}
+		if got := s.Counter("pn_sweep_batches_total", "fallback"); got != 0 {
+			t.Fatalf("K=%d: unexpected scalar fallbacks: %d", lanes, got)
+		}
+	}
+}
+
+// TestBatchedSweepMixedFamiliesViaLaneBatch batches points of two model
+// families in one unit: no native SoA body covers the mix, so the evaluator
+// falls back to the gather/scatter LaneBatch — which must still be
+// bit-identical to the scalar path.
+func TestBatchedSweepMixedFamiliesViaLaneBatch(t *testing.T) {
+	var pts []Point
+	for name, params := range map[string]map[string]float64{
+		"h5": {"omega": 5}, "h7": {"omega": 7},
+	} {
+		bm, err := osc.Build("hopf", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, Point{Name: name, System: bm.Sys, X0: bm.X0, TGuess: bm.TGuess})
+	}
+	for name, params := range map[string]map[string]float64{
+		"v1": {"mu": 0.8}, "v2": {"mu": 1.2},
+	} {
+		bm, err := osc.Build("vanderpol", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, Point{Name: name, System: bm.Sys, X0: bm.X0, TGuess: bm.TGuess})
+	}
+	scalar := Run(pts, &Config{Workers: 1})
+	batched := Run(pts, &Config{Workers: 1, BatchLanes: len(pts)})
+	for i := range pts {
+		if !scalar[i].OK() {
+			t.Fatalf("scalar %q: %v", pts[i].Name, scalar[i].Err)
+		}
+		if !batched[i].OK() {
+			t.Fatalf("batched %q: %v", pts[i].Name, batched[i].Err)
+		}
+		sameResult(t, pts[i].Name, batched[i].Result, scalar[i].Result)
+	}
+}
+
+// TestBatchLaneFailureContinuesLadder puts an easy and a hard point in one
+// batch: the easy lane succeeds on the batched base rung while the hard
+// lane's structured failure climbs its own scalar retry ladder, ending in
+// exactly the result a fully scalar run produces.
+func TestBatchLaneFailureContinuesLadder(t *testing.T) {
+	opts := &core.Options{Shooting: &shooting.Options{StepsPerPeriod: 60}}
+	pts := []Point{
+		{Name: "vdp-easy", System: &osc.VanDerPol{Mu: 0.2, Sigma: 0.01}, X0: []float64{2, 0}, TGuess: 9.0, Opts: opts},
+		{Name: "vdp-hard", System: &osc.VanDerPol{Mu: 3, Sigma: 0.01}, X0: []float64{2, 0}, TGuess: 9.0, Opts: opts},
+	}
+	scalar := Run(pts, &Config{Workers: 1})
+	batched := Run(pts, &Config{Workers: 1, BatchLanes: 2})
+
+	easy, hard := batched[0], batched[1]
+	if !easy.OK() || len(easy.Attempts) != 1 {
+		t.Fatalf("easy lane: ok=%v attempts=%d err=%v", easy.OK(), len(easy.Attempts), easy.Err)
+	}
+	if !hard.OK() {
+		t.Fatalf("hard lane never recovered: %v", hard.Err)
+	}
+	if len(hard.Attempts) != 3 {
+		t.Fatalf("hard lane: %d attempts, want 3 (batched base + two scalar rungs)", len(hard.Attempts))
+	}
+	if !errors.Is(hard.Attempts[0].Err, floquet.ErrNoUnitMultiplier) {
+		t.Fatalf("hard lane batched attempt: %v, want ErrNoUnitMultiplier", hard.Attempts[0].Err)
+	}
+	if hard.Attempts[2].RungName != "max" || hard.Attempts[2].Err != nil {
+		t.Fatalf("hard lane final attempt: %q err=%v", hard.Attempts[2].RungName, hard.Attempts[2].Err)
+	}
+	sameResult(t, "easy", easy.Result, scalar[0].Result)
+	sameResult(t, "hard", hard.Result, scalar[1].Result)
+}
+
+// TestPSSReuseSkipsShooting is the retry-ladder fast-path regression test:
+// when a rung fails downstream of shooting and the next rung changes only
+// downstream knobs, the converged periodic steady state is reused instead of
+// re-run — pn_shooting_finds_total must count one Find per point, not one
+// per attempt.
+func TestPSSReuseSkipsShooting(t *testing.T) {
+	// Steps=30 leaves an adjoint closure error ≈7e-6 on this Hopf point —
+	// far above the 1e-7 drift bound — while the second rung's 10× steps
+	// land near 1e-9, far below it. Shooting knobs never change.
+	ladder := []Rung{{Name: "base"}, {Name: "adj", AdjointFactor: 10}}
+	popts := &core.Options{Floquet: &floquet.Options{Steps: 30, MaxPeriodDrift: 1e-7}}
+	mk := func(omega float64) Point {
+		h := &osc.Hopf{Lambda: 1, Omega: omega, Sigma: 0.02}
+		return Point{Name: "h", System: h, X0: []float64{1, 0.1}, TGuess: h.Period() * 1.05, Opts: popts}
+	}
+
+	check := func(t *testing.T, cfg *Config, pts []Point) {
+		reg := obs.NewRegistry()
+		obs.SetGlobal(reg)
+		defer obs.SetGlobal(nil)
+		results := Run(pts, cfg)
+		for i, r := range results {
+			if !r.OK() {
+				t.Fatalf("point %d failed: %v", i, r.Err)
+			}
+			if len(r.Attempts) != 2 {
+				t.Fatalf("point %d: %d attempts, want 2", i, len(r.Attempts))
+			}
+			if !errors.Is(r.Attempts[0].Err, floquet.ErrAdjointClosure) {
+				t.Fatalf("point %d base attempt: %v, want ErrAdjointClosure", i, r.Attempts[0].Err)
+			}
+			// The reused attempt still produced a full result with the same PSS.
+			if r.Result.PSS == nil || r.PSS.T != r.Result.PSS.T {
+				t.Fatalf("point %d: reused attempt lost the PSS", i)
+			}
+		}
+		s := reg.Snapshot()
+		if got, want := s.Counter("pn_shooting_finds_total", ""), int64(len(pts)); got != want {
+			t.Fatalf("pn_shooting_finds_total = %d, want %d (shooting must run once per point, not per attempt)", got, want)
+		}
+		if got, want := s.Counter("pn_sweep_pss_reuse_total", ""), int64(len(pts)); got != want {
+			t.Fatalf("pn_sweep_pss_reuse_total = %d, want %d", got, want)
+		}
+	}
+
+	t.Run("scalar", func(t *testing.T) {
+		check(t, &Config{Workers: 1, Ladder: ladder}, []Point{mk(5)})
+	})
+	t.Run("batched", func(t *testing.T) {
+		// Both lanes fail closure on the batched base rung; each continues
+		// its own ladder reusing the PSS found inside the batch.
+		check(t, &Config{Workers: 1, Ladder: ladder, BatchLanes: 2}, []Point{mk(5), mk(6)})
+	})
+}
+
+// TestBatchedSweepSharesScalarCacheKeys proves the batched path is invisible
+// to the content-addressed cache: results computed batched are stored under
+// the same pnfp1 keys the scalar path derives, and vice versa.
+func TestBatchedSweepSharesScalarCacheKeys(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []Point{keyedHopfPoint("a", 2), keyedHopfPoint("b", 3), keyedHopfPoint("c", 4), keyedHopfPoint("d", 5)}
+
+	first := Run(pts, &Config{Workers: 1, BatchLanes: 4, Cache: store})
+	for i, r := range first {
+		if !r.OK() || r.Cached {
+			t.Fatalf("batched first run point %d: ok=%v cached=%v err=%v", i, r.OK(), r.Cached, r.Err)
+		}
+	}
+
+	// A scalar run over the same grid must be served entirely from the
+	// batched run's cache entries.
+	second := Run(pts, &Config{Workers: 1, Cache: store})
+	for i, r := range second {
+		if !r.OK() || !r.Cached {
+			t.Fatalf("scalar rerun point %d: ok=%v cached=%v err=%v", i, r.OK(), r.Cached, r.Err)
+		}
+		sameResult(t, "cached vs computed", r.Result, first[i].Result)
+	}
+
+	// And a batched rerun short-circuits on the pre-check without building a
+	// batch at all.
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	third := Run(pts, &Config{Workers: 1, BatchLanes: 4, Cache: store})
+	for i, r := range third {
+		if !r.OK() || !r.Cached {
+			t.Fatalf("batched rerun point %d: ok=%v cached=%v err=%v", i, r.OK(), r.Cached, r.Err)
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_sweep_batches_total", "ok"); got != 0 {
+		t.Fatalf("batched rerun ran %d batches, want 0 (cache pre-check)", got)
+	}
+	if got := s.Counter("pn_sweep_points_total", "cached"); got != 4 {
+		t.Fatalf("cached outcomes = %d, want 4", got)
+	}
+}
+
+// TestChaosSweepBatchFaultFallsBackScalar injects a failure at the batch
+// fault point and checks every lane is re-run on the isolated scalar path,
+// successfully and with fallback accounting.
+func TestChaosSweepBatchFaultFallsBackScalar(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.SweepBatch: {Mode: faultinject.ModeError, Count: 1},
+	})()
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	pts := hopfGrid(3)
+	results := Run(pts, &Config{Workers: 1, BatchLanes: 3})
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("point %d did not recover scalar: %v", i, r.Err)
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_sweep_batches_total", "fallback"); got != 1 {
+		t.Fatalf("fallback batches = %d, want 1", got)
+	}
+	if st := faultinject.Stats(); st[faultinject.SweepBatch].Fired != 1 {
+		t.Fatalf("fault stats: %+v", st)
+	}
+}
+
+// TestChaosBatchKernelFaultFallsBackScalar fails the first batched SoA
+// kernel invocation: the whole batch dies as an infrastructure error and the
+// sweep engine re-runs every lane scalar.
+func TestChaosBatchKernelFaultFallsBackScalar(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OdeBatchKernel: {Mode: faultinject.ModeError, Count: 1},
+	})()
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	pts := hopfGrid(3)
+	results := Run(pts, &Config{Workers: 1, BatchLanes: 3})
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("point %d did not recover scalar: %v", i, r.Err)
+		}
+		if len(r.Attempts) != 1 || r.Attempts[0].RungName != "base" {
+			t.Fatalf("point %d: scalar fallback should succeed on base, got %d attempts", i, len(r.Attempts))
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_sweep_batches_total", "fallback"); got != 1 {
+		t.Fatalf("fallback batches = %d, want 1", got)
+	}
+	if st := faultinject.Stats(); st[faultinject.OdeBatchKernel].Fired != 1 {
+		t.Fatalf("fault stats: %+v", st)
+	}
+}
+
+// TestChaosModelPanicInBatchIsolated panics the model inside the lockstep
+// kernels: the batch goroutine's recovery routes every lane to the scalar
+// path, where the panicking model becomes a per-point structured
+// ErrModelPanic instead of killing the sweep.
+func TestChaosModelPanicInBatchIsolated(t *testing.T) {
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.OscEvalPanic: {Mode: faultinject.ModePanic},
+	})()
+	pts := []Point{hopfPoint(t, "boom-a"), hopfPoint(t, "boom-b")}
+	results := Run(pts, &Config{Workers: 1, BatchLanes: 2})
+	for i, r := range results {
+		if r.OK() {
+			t.Fatalf("point %d succeeded under a panicking model", i)
+		}
+		if !errors.Is(r.Err, ErrModelPanic) {
+			t.Fatalf("point %d error %v does not wrap ErrModelPanic", i, r.Err)
+		}
+	}
+}

@@ -215,6 +215,20 @@ type Config struct {
 	// identical computation shares its outcome, including a failure (a
 	// budget trip in the computing caller fails its waiters too).
 	Cache *cache.Store
+	// BatchLanes, when > 1, groups compatible points — same state dimension
+	// and identical effective base-rung solver options — into lockstep SoA
+	// batches of up to this many lanes. A batched group runs its base-rung
+	// attempt through core.CharacteriseBatch at full width; every lane's
+	// result is bit-identical to the scalar pipeline (and hashes to the same
+	// cache key), so batching is purely a throughput lever. Per-point budget
+	// cut-offs, structured failures and attempt traces are preserved: a lane
+	// that fails retryably continues its own scalar retry ladder from the
+	// next rung, and a batch-level infrastructure failure (injected fault,
+	// model panic inside the lockstep kernels) falls every lane back to the
+	// fully isolated scalar path from the base rung. Cached points are
+	// served by a cache pre-check before the batch is built; fresh successes
+	// are committed back to the store.
+	BatchLanes int
 }
 
 // Retryable reports whether err is a refinable pipeline failure — one the
@@ -339,27 +353,43 @@ func Run(points []Point, cfg *Config) []PointResult {
 	rsp.SetAttr("points", len(points))
 	rsp.SetAttr("workers", workers)
 
+	// finalize does the per-point bookkeeping once out[k] is in its final
+	// state, whatever path produced it.
+	finalize := func(k int) {
+		switch {
+		case out[k].Cached && out[k].OK():
+			m.pointsCached.Inc()
+		case out[k].OK():
+			m.pointsOK.Inc()
+		case out[k].Degraded():
+			m.pointsDegraded.Inc()
+		default:
+			m.pointsFailed.Inc()
+		}
+		m.pointSeconds.Observe(out[k].Wall.Seconds())
+		m.queueDepth.Add(-1)
+		done(out[k])
+	}
+
+	// A unit is what one worker picks up in one go: a single point's retry
+	// ladder, or a lockstep batch of compatible points.
+	units := planUnits(points, &c)
+	rsp.SetAttr("units", len(units))
+
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan []int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range next {
-				out[k] = runPoint(k, points[k], &c, attempt, rsp)
-				switch {
-				case out[k].Cached && out[k].OK():
-					m.pointsCached.Inc()
-				case out[k].OK():
-					m.pointsOK.Inc()
-				case out[k].Degraded():
-					m.pointsDegraded.Inc()
-				default:
-					m.pointsFailed.Inc()
+			for idxs := range next {
+				if len(idxs) == 1 {
+					k := idxs[0]
+					out[k] = runPoint(k, points[k], &c, attempt, rsp)
+					finalize(k)
+					continue
 				}
-				m.pointSeconds.Observe(out[k].Wall.Seconds())
-				m.queueDepth.Add(-1)
-				done(out[k])
+				runBatchUnit(idxs, points, &c, out, attempt, finalize, rsp)
 			}
 		}()
 	}
@@ -367,15 +397,15 @@ func Run(points []Point, cfg *Config) []PointResult {
 	// workers cannot strand it: pending points are marked without running.
 	cancelCh := c.Budget.Done() // nil when the budget is not cancelable
 feed:
-	for k := range points {
+	for u := range units {
 		if err := c.Budget.Err(); err != nil { // deadline-only budgets have no Done channel
-			markSkipped(points, out, k, err, done)
+			markSkipped(points, out, units[u:], err, done)
 			break feed
 		}
 		select {
-		case next <- k:
+		case next <- units[u]:
 		case <-cancelCh:
-			markSkipped(points, out, k, c.Budget.Err(), done)
+			markSkipped(points, out, units[u:], c.Budget.Err(), done)
 			break feed
 		}
 	}
@@ -385,22 +415,24 @@ feed:
 	return out
 }
 
-// markSkipped records budget-typed failures for points[from:] that never
-// reached a worker.
-func markSkipped(points []Point, out []PointResult, from int, cause error, done func(PointResult)) {
+// markSkipped records budget-typed failures for every point of the units
+// that never reached a worker.
+func markSkipped(points []Point, out []PointResult, units [][]int, cause error, done func(PointResult)) {
 	if cause == nil {
 		cause = budget.ErrCanceled
 	}
 	m := sweepMetrics.Get()
-	for j := from; j < len(points); j++ {
-		out[j] = PointResult{
-			Index: j,
-			Name:  points[j].Name,
-			Err:   fmt.Errorf("sweep: point %q not started: %w", points[j].Name, cause),
+	for _, u := range units {
+		for _, j := range u {
+			out[j] = PointResult{
+				Index: j,
+				Name:  points[j].Name,
+				Err:   fmt.Errorf("sweep: point %q not started: %w", points[j].Name, cause),
+			}
+			m.pointsSkipped.Inc()
+			m.queueDepth.Add(-1)
+			done(out[j])
 		}
-		m.pointsSkipped.Inc()
-		m.queueDepth.Add(-1)
-		done(out[j])
 	}
 }
 
@@ -471,14 +503,48 @@ func runPointCached(index int, p Point, c *Config, attempt func(int, string, Att
 // runLadder walks one point up the ladder until an attempt succeeds or the
 // failure is not retryable, under the point's wall-clock budget.
 func runLadder(index int, p Point, c *Config, attempt func(int, string, Attempt), psp *obs.Span) PointResult {
+	return continueLadder(index, p, c, attempt, psp, PointResult{Index: index, Name: p.Name}, 0, nil, nil)
+}
+
+// reusablePSS decides whether the previous attempt's converged solution can
+// replace the next rung's shooting stage: the shooting knobs must be
+// unchanged (the solve would reproduce the same PSS at full cost) and the
+// recorded residual must already meet the next rung's tolerance. This is the
+// retry-ladder fast path for failures downstream of shooting — an adjoint
+// that didn't close, a budget that expired mid-Floquet — retried with only
+// downstream resolution raised.
+func reusablePSS(prev, next *core.Options, pss *shooting.PSS) bool {
+	if prev == nil || next == nil || pss == nil {
+		return false
+	}
+	pe, ne := prev.Shooting.Effective(), next.Shooting.Effective()
+	if pe.Tol != ne.Tol || pe.MaxIter != ne.MaxIter || pe.StepsPerPeriod != ne.StepsPerPeriod ||
+		pe.Transient != ne.Transient || pe.NoDamping != ne.NoDamping {
+		return false
+	}
+	return pss.Residual < ne.Tol
+}
+
+// continueLadder walks the ladder from rung `from`, seeded with the state a
+// prior attempt accumulated (the batched base rung, when the point came out
+// of a lockstep group). prevOpts/prevPSS describe the most recent failed
+// attempt, for the shooting-reuse decision; prevPSS is non-nil exactly when
+// that attempt converged its shooting stage and failed downstream.
+func continueLadder(index int, p Point, c *Config, attempt func(int, string, Attempt), psp *obs.Span, res PointResult, from int, prevOpts *core.Options, prevPSS *shooting.PSS) PointResult {
 	start := time.Now()
-	res := PointResult{Index: index, Name: p.Name}
+	m := sweepMetrics.Get()
 	ptTok := c.Budget
 	if c.PointTimeout > 0 {
 		ptTok = budget.WithTimeout(ptTok, c.PointTimeout)
 	}
-	for ri, rung := range c.Ladder {
-		att, r, pss := runAttempt(p, ri, rung, ptTok, c, psp)
+	for ri := from; ri < len(c.Ladder); ri++ {
+		rung := c.Ladder[ri]
+		opts := applyRung(p.Opts, rung)
+		if reusablePSS(prevOpts, opts, prevPSS) {
+			opts.ReusePSS = prevPSS
+			m.pssReuses.Inc()
+		}
+		att, r, pss := runAttempt(p, ri, rung, opts, ptTok, c, psp)
 		res.Attempts = append(res.Attempts, att)
 		attempt(index, p.Name, att)
 		if pss != nil && (res.PSS == nil || pss.Residual < res.PSS.Residual) {
@@ -495,8 +561,9 @@ func runLadder(index int, p Point, c *Config, attempt func(int, string, Attempt)
 		if !Retryable(att.Err) {
 			break
 		}
+		prevOpts, prevPSS = opts, pss
 	}
-	res.Wall = time.Since(start)
+	res.Wall += time.Since(start)
 	return res
 }
 
@@ -509,8 +576,10 @@ type attemptOutcome struct {
 
 // runAttempt executes one ladder rung in its own goroutine under the
 // combined attempt/point/batch budget, recovering panics and enforcing the
-// deadline even against a model that never returns.
-func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config, psp *obs.Span) (Attempt, *core.Result, *shooting.PSS) {
+// deadline even against a model that never returns. opts is the rung's
+// prepared option set (applyRung output, plus any ReusePSS fast path); its
+// Trace/Budget/Partial/Span fields are overwritten here.
+func runAttempt(p Point, ri int, rung Rung, opts *core.Options, parent *budget.Token, c *Config, psp *obs.Span) (Attempt, *core.Result, *shooting.PSS) {
 	m := sweepMetrics.Get()
 	m.attempts.With(rung.Name).Inc()
 	asp := obs.StartSpan(psp, "sweep.attempt")
@@ -542,7 +611,6 @@ func runAttempt(p Point, ri int, rung Rung, parent *budget.Token, c *Config, psp
 			out.att.Err = fmt.Errorf("sweep: attempt %q on point %q: %w", rung.Name, p.Name, err)
 			return
 		}
-		opts := applyRung(p.Opts, rung)
 		opts.Trace = &out.att.Trace
 		opts.Budget = atTok
 		opts.Partial = &partial
