@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench bench-json bench-compare smoke-serve
+.PHONY: verify build test vet race chaos chaos-cluster bench bench-json bench-compare smoke-serve
 
 verify: build test vet race
 
@@ -31,6 +31,16 @@ chaos:
 	$(GO) test -race -timeout 15m \
 		-run 'TestChaos|TestFault|TestJournal|TestReadyz|TestCrashRecovery' \
 		./internal/cache/ ./internal/sweep/ ./internal/osc/ ./internal/serve/ ./cmd/pnserve
+
+# Cluster-fabric chaos suite under the race detector: lease expiry and renewal
+# on the worker side, the coordinator's injected dispatch/kill/heartbeat/
+# transport faults, coordinator-restart resume, and the real-SIGKILL e2e over
+# a worker fleet (child processes are built with -race too). CI runs the same
+# command (chaos-cluster job).
+chaos-cluster:
+	$(GO) test -race -timeout 20m \
+		-run 'TestCluster|TestChaos|TestLease' \
+		./internal/cluster/ ./internal/serve/ ./cmd/pnserve
 
 # End-to-end smoke of the job server: build pnserve, characterise over HTTP,
 # assert the identical resubmission is a cache hit, scrape /metrics. CI runs

@@ -1,0 +1,382 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The cluster e2e suite runs the sweep fabric over real processes: plain
+// pnserve workers, a pnserve coordinator in front of them, and real SIGKILLs.
+// It asserts the two headline robustness stories end to end:
+//
+//   - worker death mid-lease: the lease is reassigned and the sweep completes
+//     with no cached point recomputed (TestClusterWorkerSIGKILLE2E);
+//   - coordinator death mid-sweep: the restarted coordinator replays its
+//     journalled lease state and resumes without any client intervention,
+//     with every point characterised exactly once fleet-wide
+//     (TestClusterCoordinatorRestartE2E).
+
+var listenLine = regexp.MustCompile(`listening on (\S+)`)
+
+// buildServer compiles pnserve into dir and returns the binary path.
+func buildServer(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "pnserve")
+	args := []string{"build", "-o", bin}
+	if raceEnabled {
+		args = append(args, "-race") // the whole fleet runs under the detector
+	}
+	if out, err := exec.Command("go", append(args, ".")...).CombinedOutput(); err != nil {
+		t.Fatalf("building pnserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches one pnserve with the given extra flags and returns the
+// process and its base URL (parsed from the stderr banner; the kernel picks
+// the port). The stderr pipe keeps draining in the background so the child
+// never blocks on it.
+func startServer(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if m := listenLine.FindStringSubmatch(sc.Text()); m != nil {
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, "http://" + m[1]
+		}
+	}
+	t.Fatalf("pnserve never reported its listen address (stderr closed: %v)", sc.Err())
+	return nil, ""
+}
+
+// clusterJobView is the slice of the job status these tests read off the wire.
+type clusterJobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Done   int    `json:"done_points"`
+	Cached int    `json:"cached_points"`
+	Failed int    `json:"failed_points"`
+}
+
+func clusterGetJob(t *testing.T, base, id string) clusterJobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v clusterJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func clusterWaitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+// clusterSweepBody builds an n-point ring sweep (~100ms+ per point, so kills
+// land mid-job) with per-point parameter salt so every point is distinct.
+func clusterSweepBody(n int, salt float64) string {
+	var sb strings.Builder
+	sb.WriteString(`{"workers":1,"points":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"name":"ring%d","model":"ring","params":{"iee":%g}}`, i, 331e-6*(1+0.001*(salt+float64(i))))
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+func clusterSubmit(t *testing.T, base, idemKey, body string) clusterJobView {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", idemKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var v clusterJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// metricValue scrapes one counter (with an optional label selector, passed
+// verbatim) from a live server's /metrics; absent counters read as 0.
+func metricValue(t *testing.T, base, name string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	re := regexp.MustCompile(regexp.QuoteMeta(name) + ` (\d+)`)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// countCacheEntries counts the committed result files in a shared cache
+// volume (entries land by atomic rename, so the count is a consistent
+// snapshot).
+func countCacheEntries(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// healthRunning reports how many jobs a node says it is running.
+func healthRunning(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Running int `json:"running"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&h)
+	return h.Running
+}
+
+// TestClusterWorkerSIGKILLE2E: two worker nodes and a coordinator over a
+// shared cache volume; the worker holding an active lease is SIGKILLed
+// mid-sweep. The lease must be reassigned (to the surviving worker or the
+// coordinator's in-process fallback), the sweep must complete cleanly, and no
+// point that reached the shared cache before the kill may be recomputed.
+func TestClusterWorkerSIGKILLE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short")
+	}
+	work := t.TempDir()
+	bin := buildServer(t, work)
+	cacheDir := filepath.Join(work, "cache")
+
+	w1cmd, w1 := startServer(t, bin, "-workers", "1", "-cache-dir", cacheDir)
+	w2cmd, w2 := startServer(t, bin, "-workers", "1", "-cache-dir", cacheDir)
+	_, coord := startServer(t, bin,
+		"-workers", "2", "-cache-dir", cacheDir,
+		"-journal-dir", filepath.Join(work, "coord-journal"),
+		"-coordinator", w1+","+w2,
+		"-lease-ttl", "2s", "-lease-points", "2")
+	for _, b := range []string{w1, w2, coord} {
+		clusterWaitReady(t, b)
+	}
+
+	const n = 8
+	job := clusterSubmit(t, coord, "cluster-e2e-kill", clusterSweepBody(n, 0))
+	if job.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+
+	// Pick the victim: a worker that is actually running a leased job right
+	// now, so the kill is guaranteed to land mid-lease.
+	var victim *exec.Cmd
+	deadline := time.Now().Add(60 * time.Second)
+	for victim == nil {
+		if healthRunning(t, w1) > 0 {
+			victim = w1cmd
+		} else if healthRunning(t, w2) > 0 {
+			victim = w2cmd
+		}
+		if st := clusterGetJob(t, coord, job.ID); st.State != "queued" && st.State != "running" {
+			t.Fatalf("job finished before any lease was observable: %+v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever reported a running lease")
+		}
+	}
+	// Snapshot the shared cache just before the kill: everything in it now
+	// must never be computed again by the survivors.
+	cachedAtKill := countCacheEntries(t, cacheDir)
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+	survivor := w2
+	if victim == w2cmd {
+		survivor = w1
+	}
+
+	var final clusterJobView
+	deadline = time.Now().Add(180 * time.Second)
+	for {
+		final = clusterGetJob(t, coord, job.ID)
+		if final.State == "done" || final.State == "failed" || final.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished after the worker kill: %+v", final)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != "done" || final.Done != n || final.Failed != 0 {
+		t.Fatalf("sweep after worker kill: %+v, want done %d/0", final, n)
+	}
+
+	// The killed worker held a lease, so at least one lease was reassigned.
+	if requeued := metricValue(t, coord, `pn_cluster_leases_total{outcome="requeued"}`); requeued < 1 {
+		t.Fatalf("requeued leases = %d, want >= 1 (the killed lease)", requeued)
+	}
+	// Exactly-once effect: the survivors' combined pipeline runs can cover at
+	// most the points that were NOT already in the shared cache when the
+	// victim died — anything cached must come back as a hit, not a re-run.
+	ranSurvivor := metricValue(t, survivor, `pn_core_characterisations_total{outcome="ok"}`)
+	ranCoord := metricValue(t, coord, `pn_core_characterisations_total{outcome="ok"}`)
+	if ranSurvivor+ranCoord > n-cachedAtKill {
+		t.Fatalf("survivors ran the pipeline %d+%d times with %d points pre-cached: some cached point was recomputed",
+			ranSurvivor, ranCoord, cachedAtKill)
+	}
+}
+
+// TestClusterCoordinatorRestartE2E: the coordinator is SIGKILLed mid-sweep
+// and restarted on the same journal directories. The restarted process must
+// replay the job journal and the lease WAL, reattach (or re-dispatch) its
+// leases, and finish the sweep with zero client intervention — the client
+// only ever polls the job ID. The surviving worker's own metrics prove
+// fleet-wide exactly-once: it characterises each of the n points exactly
+// once, no matter how many lease attempts the restart produced.
+func TestClusterCoordinatorRestartE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes; skipped in -short")
+	}
+	work := t.TempDir()
+	bin := buildServer(t, work)
+	cacheDir := filepath.Join(work, "cache")
+	journalDir := filepath.Join(work, "coord-journal")
+
+	_, worker := startServer(t, bin, "-workers", "1", "-cache-dir", cacheDir)
+	coordArgs := []string{
+		"-workers", "1", "-cache-dir", cacheDir,
+		"-journal-dir", journalDir,
+		"-coordinator", worker,
+		"-lease-ttl", "1s", "-lease-points", "16",
+	}
+	coord1cmd, coord1 := startServer(t, bin, coordArgs...)
+	clusterWaitReady(t, worker)
+	clusterWaitReady(t, coord1)
+
+	const n = 8
+	job := clusterSubmit(t, coord1, "cluster-e2e-restart", clusterSweepBody(n, 100))
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := clusterGetJob(t, coord1, job.ID)
+		if st.Done >= 2 {
+			break
+		}
+		if st.State != "queued" && st.State != "running" {
+			t.Fatalf("job finished before the kill: %+v (sweep too fast for this test)", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := coord1cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord1cmd.Wait()
+
+	// Restart on the same directories. No resubmission happens: the journal
+	// replay must bring the job back by itself.
+	_, coord2 := startServer(t, bin, coordArgs...)
+	clusterWaitReady(t, coord2)
+
+	var final clusterJobView
+	deadline = time.Now().Add(180 * time.Second)
+	for {
+		final = clusterGetJob(t, coord2, job.ID)
+		if final.State == "done" || final.State == "failed" || final.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered sweep never finished: %+v", final)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != "done" || final.Done != n || final.Failed != 0 {
+		t.Fatalf("sweep after coordinator restart: %+v, want done %d/0", final, n)
+	}
+
+	// Fleet-wide exactly-once, measured at the only compute site: the worker
+	// ran the pipeline exactly once per point across both coordinator
+	// incarnations — re-dispatched leases found their finished points in the
+	// cache instead of recomputing them.
+	if ran := metricValue(t, worker, `pn_core_characterisations_total{outcome="ok"}`); ran != n {
+		t.Fatalf("worker ran the pipeline %d times across the restart, want exactly %d", ran, n)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	pnserve [-addr :8080] [-workers n] [-queue n]
 //	        [-cache-dir dir] [-cache-mem bytes] [-journal-dir dir]
+//	        [-coordinator url,url,...] [-lease-ttl d] [-lease-points n]
 //	        [-job-timeout d] [-drain-timeout d]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
@@ -33,6 +34,19 @@
 // gracefully: intake stops (503), queued and running jobs finish, and after
 // -drain-timeout whatever is still running is cancelled through its budget
 // token.
+//
+// -coordinator turns the node into a cluster coordinator (internal/cluster):
+// it keeps the full front-door lifecycle — journal, idempotency, SSE — but
+// executes sweeps by leasing point ranges to the listed worker nodes (plain
+// pnserve instances), heartbeating each lease and reassigning it if a worker
+// dies mid-lease. Point the workers and the coordinator at one shared
+// -cache-dir volume so a point computed anywhere is a cache hit everywhere —
+// that sharing is what makes lease reassignment exactly-once in effect.
+// -lease-ttl is the worker-side self-cancel window (a worker orphaned by a
+// dead coordinator stops computing after one TTL), -lease-points the lease
+// granularity. With -journal-dir set, lease dispatch state is journalled
+// under <journal-dir>/leases, so a SIGKILLed coordinator resumes its leases
+// on restart instead of re-running them from scratch.
 package main
 
 import (
@@ -46,12 +60,15 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cliobs"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -71,6 +88,9 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persist characterisation results in this directory (empty = memory only)")
 	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes")
 	journalDir := flag.String("journal-dir", "", "journal jobs in this directory and recover them on restart (empty = jobs die with the process)")
+	coordinator := flag.String("coordinator", "", "comma-separated worker base URLs: run as a cluster coordinator leasing sweeps to them (empty = execute in process)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator mode: worker-side lease self-cancel window, renewed by heartbeat")
+	leasePoints := flag.Int("lease-points", 0, "coordinator mode: points per lease (0 = default)")
 	jobTimeout := flag.Duration("job-timeout", 0, "ceiling on any job's wall clock, on top of per-request timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain grace before in-flight jobs are cancelled")
 	obsFlags := cliobs.Register(flag.CommandLine)
@@ -94,12 +114,40 @@ func run() int {
 		return 1
 	}
 
+	var runner serve.SweepRunner
+	var workerURLs []string
+	if *coordinator != "" {
+		for _, u := range strings.Split(*coordinator, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, strings.TrimRight(u, "/"))
+			}
+		}
+		// Lease dispatch state lives in a subdirectory of the job journal so
+		// the server's own replay scan never mistakes a lease WAL for a job
+		// journal; without -journal-dir, leases are not resumable (same
+		// durability contract as the jobs themselves).
+		walDir := ""
+		if *journalDir != "" {
+			walDir = filepath.Join(*journalDir, "leases")
+		}
+		coord := cluster.New(cluster.Config{
+			Workers:     workerURLs,
+			LeasePoints: *leasePoints,
+			LeaseTTL:    *leaseTTL,
+			WALDir:      walDir,
+			Cache:       store,
+		})
+		defer coord.Close()
+		runner = coord
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:    *workers,
 		Queue:      *queue,
 		Cache:      store,
 		MaxJobWall: *jobTimeout,
 		JournalDir: *journalDir,
+		Runner:     runner,
 	})
 
 	mux := http.NewServeMux()
@@ -132,6 +180,10 @@ func run() int {
 
 	fmt.Fprintf(os.Stderr, "pnserve: listening on %s (%d workers, queue %d, cache-mem %d, cache-dir %q, journal-dir %q, GOMAXPROCS %d)\n",
 		ln.Addr(), *workers, *queue, *cacheMem, *cacheDir, *journalDir, runtime.GOMAXPROCS(0))
+	if len(workerURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "pnserve: coordinator for %d worker nodes (lease-ttl %v): %s\n",
+			len(workerURLs), *leaseTTL, strings.Join(workerURLs, " "))
+	}
 
 	select {
 	case err := <-errc:
@@ -145,8 +197,12 @@ func run() int {
 		os.Exit(130)
 	}()
 
-	// Drain order: stop the listener first so no submission can slip in
-	// after the job queue closes, then drain the job server under the grace.
+	// Drain order: flip /readyz to 503 first so load balancers, health
+	// probers and cluster coordinators route new work away while this node
+	// can still answer HTTP; then stop the listener so no submission can
+	// slip in after the job queue closes; then drain the job server under
+	// the grace.
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

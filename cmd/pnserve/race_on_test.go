@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled propagates the harness's -race into the child pnserve builds,
+// so the SIGKILL e2e suite exercises the whole fleet under the race detector.
+const raceEnabled = true

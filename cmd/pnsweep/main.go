@@ -8,7 +8,7 @@
 //
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
 //	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
-//	        [-cache-dir dir] [-cache-mem bytes] [-server url]
+//	        [-cache-dir dir] [-cache-mem bytes] [-server url] [-cluster url,url,...]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
@@ -26,6 +26,14 @@
 // loss-free results. SIGINT cancels the remote job through the API.
 // -workers then bounds the job's server-side parallelism, and the server's
 // cache (not -cache-dir) serves repeated points.
+//
+// -cluster runs the sweep across several pnserve worker nodes with pnsweep
+// itself acting as the cluster coordinator (internal/cluster): points are
+// leased out by content-addressed routing, leases are heartbeat-renewed and
+// reassigned if a worker dies mid-sweep, and when no worker is reachable the
+// sweep degrades to in-process execution with a warning. Point the workers
+// at one shared cache volume so reassigned points are cache hits; -cache-dir
+// here backs only the local degraded path.
 //
 // -cache-dir reuses prior characterisations from a content-addressed result
 // store shared with pnchar and pnserve: identical points are served from the
@@ -60,6 +68,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -67,6 +77,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cache"
 	"repro/internal/cliobs"
+	"repro/internal/cluster"
 	"repro/internal/pnclient"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -126,6 +137,7 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "reuse characterisation results from this directory (shared with pnchar and pnserve; empty = no cache)")
 	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
 	server := flag.String("server", "", "run the sweep remotely on this pnserve base URL (e.g. http://127.0.0.1:8080) instead of in process")
+	clusterURLs := flag.String("cluster", "", "comma-separated pnserve worker base URLs: coordinate the sweep across them from this process")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -155,6 +167,13 @@ func run() int {
 			log.Print(err)
 			return 1
 		}
+	}
+
+	if *clusterURLs != "" {
+		if *lanes > 1 {
+			fmt.Fprintln(os.Stderr, "pnsweep: -lanes applies to in-process sweeps only; worker nodes choose their own batching")
+		}
+		return runCluster(*clusterURLs, specs, param, *workers, *timeout, *jsonPath, *verbose, store)
 	}
 
 	points, err := resolveSpecs(specs)
@@ -416,6 +435,104 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 			log.Printf("job %s %s: %s", final.ID, final.State, final.Error.Msg)
 		}
 		return 1
+	}
+	return 0
+}
+
+// runCluster coordinates the sweep across pnserve worker nodes from this
+// process: pnsweep builds an internal/cluster coordinator, leases the grid
+// out to the workers, and renders the usual summary table from the merged
+// loss-free results. Worker death mid-sweep reassigns the affected lease; no
+// reachable workers at all degrades to in-process execution with a warning.
+func runCluster(urls string, specs []serve.PointSpec, param []float64, workers int, timeout time.Duration, jsonPath string, verbose bool, store *cache.Store) int {
+	var nodes []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	coord := cluster.New(cluster.Config{Workers: nodes, Cache: store})
+	defer coord.Close()
+
+	// Same budget/SIGINT contract as the in-process path: first interrupt
+	// cancels (the summary still renders for completed points), second aborts.
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	if timeout > 0 {
+		tok = budget.WithTimeout(tok, timeout)
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "pnsweep: interrupt — cancelling in-flight leases (interrupt again to abort)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+
+	// A fresh random job ID per invocation: the coordinator derives its lease
+	// idempotency keys from it, so retries inside this run deduplicate on the
+	// workers while distinct runs never collide.
+	var kb [16]byte
+	if _, err := rand.Read(kb[:]); err != nil {
+		log.Print(err)
+		return 1
+	}
+	jobID := "pnsweep-" + hex.EncodeToString(kb[:])
+	fmt.Fprintf(os.Stderr, "pnsweep: coordinating %d points across %d worker nodes (job %s)\n", len(specs), len(nodes), jobID)
+
+	// Lease streams complete concurrently; the progress line is not
+	// thread-safe, so serialise the summaries here.
+	prog := newProgress(len(specs), os.Stderr)
+	var progMu sync.Mutex
+	start := time.Now()
+	results, err := coord.RunSweep(serve.RunnerRequest{
+		JobID:   jobID,
+		Kind:    "sweep",
+		Specs:   specs,
+		Tok:     tok,
+		Workers: workers,
+		OnSummary: func(s serve.PointSummary) {
+			progMu.Lock()
+			defer progMu.Unlock()
+			if verbose {
+				status := "ok"
+				if !s.OK {
+					status = "failed"
+				} else if s.Cached {
+					status = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "[%s] %s (%.0fms)\n", s.Name, status, s.WallMS)
+			}
+			r := sweep.PointResult{Index: s.Index, Name: s.Name, Cached: s.Cached}
+			if !s.OK {
+				r.Err = errors.New("failed")
+			}
+			if prog != nil && prog.done < len(specs) {
+				prog.point(r)
+			}
+		},
+	})
+	wall := time.Since(start)
+	prog.finish()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	printSummary(results, param, wall, workers)
+	if jsonPath != "" {
+		if werr := writeJSON(jsonPath, results, param); werr != nil {
+			log.Print(werr)
+			return 1
+		}
+		fmt.Printf("full results written to %s\n", jsonPath)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-worker circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (default 3).
+	Threshold int
+	// Cooldown is the first open interval; each re-trip from half-open
+	// doubles it up to MaxCooldown (defaults 500ms and 30s).
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// now is the injectable clock for tests (default time.Now).
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker states, as reported by State().
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a circuit breaker guarding one worker. Closed: requests flow,
+// Threshold consecutive failures trip it open. Open: requests are refused
+// until the cooldown elapses, then exactly one probe is let through
+// (half-open). A probe success closes the breaker and resets the cooldown; a
+// probe failure re-opens it with the cooldown doubled, up to MaxCooldown —
+// a worker that stays dead gets probed geometrically less often.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	failures int       // consecutive failures while closed
+	open     bool      // tripped (open or half-open)
+	probing  bool      // the half-open probe is in flight
+	until    time.Time // open until (then half-open)
+	cooldown time.Duration
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	c := cfg.withDefaults()
+	return &Breaker{cfg: c, cooldown: c.Cooldown}
+}
+
+// Ready reports whether a request could be admitted right now, without
+// consuming the half-open probe slot. Routing filters use this; the chosen
+// worker is then claimed with Allow.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || (!b.probing && !b.cfg.now().Before(b.until))
+}
+
+// Allow admits a request: always while closed, and exactly one probe per
+// cooldown expiry while open. The caller must report the outcome with
+// Success or Fail.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.cfg.now().Before(b.until) {
+		return false
+	}
+	b.probing = true // half-open: this caller is the probe
+	return true
+}
+
+// Success reports a completed request; it closes the breaker from half-open
+// and clears the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+	b.cooldown = b.cfg.Cooldown
+}
+
+// Fail reports a failed request. While closed it advances the streak and
+// trips at Threshold; from half-open it re-opens with a doubled cooldown.
+// It reports whether this call tripped the breaker open.
+func (b *Breaker) Fail() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open {
+		// The half-open probe failed (or a straggler from before the trip):
+		// back off harder.
+		if b.probing {
+			b.probing = false
+			b.cooldown = min(2*b.cooldown, b.cfg.MaxCooldown)
+		}
+		b.until = b.cfg.now().Add(b.cooldown)
+		return false
+	}
+	b.failures++
+	if b.failures < b.cfg.Threshold {
+		return false
+	}
+	b.open = true
+	b.probing = false
+	b.until = b.cfg.now().Add(b.cooldown)
+	return true
+}
+
+// State returns the breaker's current phase for logs and tests.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.probing || !b.cfg.now().Before(b.until):
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle drives the full state machine with a fake clock:
+// closed → (threshold failures) → open → (cooldown) → half-open probe →
+// failure doubles the cooldown → eventual success closes and resets.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, MaxCooldown: 4 * time.Second, now: clk.now})
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker is not closed/allowing")
+	}
+	// A success resets the failure streak.
+	b.Fail()
+	b.Fail()
+	b.Success()
+	b.Fail()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %q after a broken streak, want closed", b.State())
+	}
+	// Three consecutive failures trip it: the streak is at 1.
+	if b.Fail() {
+		t.Fatal("tripped one failure early")
+	}
+	if !b.Fail() {
+		t.Fatal("threshold failure did not report the trip")
+	}
+	if b.State() != BreakerOpen || b.Allow() || b.Ready() {
+		t.Fatalf("tripped breaker: state=%q, still admitting", b.State())
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.advance(1100 * time.Millisecond)
+	if b.State() != BreakerHalfOpen || !b.Ready() {
+		t.Fatalf("post-cooldown state %q, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+
+	// Probe fails: re-open with doubled cooldown (2s).
+	b.Fail()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %q after failed probe, want open", b.State())
+	}
+	clk.advance(1100 * time.Millisecond)
+	if b.Ready() || b.Allow() {
+		t.Fatal("re-opened breaker admitted before the doubled cooldown")
+	}
+	clk.advance(time.Second) // 2.1s total > 2s
+	if !b.Allow() {
+		t.Fatal("probe refused after the doubled cooldown")
+	}
+
+	// Probe succeeds: closed again, cooldown reset to the base.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("success did not close the breaker")
+	}
+	b.Fail()
+	b.Fail()
+	b.Fail()
+	clk.advance(1100 * time.Millisecond) // base cooldown again, not 4s
+	if !b.Allow() {
+		t.Fatal("cooldown was not reset by the successful probe")
+	}
+	// Cooldown doubling caps at MaxCooldown.
+	for i := 0; i < 6; i++ {
+		b.Fail()
+		clk.advance(5 * time.Second) // > MaxCooldown always re-admits
+		if !b.Allow() {
+			t.Fatalf("probe %d refused after MaxCooldown", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestChaosClusterLeaseDispatch injects failures into the coordinator's
+// dispatch path (cluster.lease.dispatch): the first three dispatch attempts
+// die before reaching any worker. The leases must requeue and the sweep must
+// still land every point exactly once.
+func TestChaosClusterLeaseDispatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ClusterLeaseDispatch: {Mode: faultinject.ModeError, Count: 3},
+	})()
+
+	f := startFabric(t, 2, nil)
+	const n = 8
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 100), Workers: 2})
+	assertAllOK(t, st, n)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_cluster_leases_total", "requeued"); got < 3 {
+		t.Fatalf("requeued leases = %d, want >= 3 (injected dispatch failures)", got)
+	}
+	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d", got, n)
+	}
+	if stats := faultinject.Stats()[faultinject.ClusterLeaseDispatch]; stats.Fired != 3 {
+		t.Fatalf("dispatch fault fired %d times, want 3", stats.Fired)
+	}
+}
+
+// TestChaosClusterWorkerKill severs the coordinator's event-stream watch
+// (cluster.worker.kill) — the coordinator's view of a worker dying or
+// partitioning mid-lease. The lease must drain the abandoned attempt,
+// requeue, and the job must finish with every point landing exactly once:
+// points the first attempt completed come back as cache hits, not
+// recomputations.
+func TestChaosClusterWorkerKill(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ClusterWorkerKill: {Mode: faultinject.ModeError, Count: 1},
+	})()
+
+	// One worker and a lease cap above n: exactly one lease, so the single
+	// injected kill deterministically hits it.
+	f := startFabric(t, 1, func(c *Config) {
+		c.LeasePoints = 16
+		c.LeaseTTL = 2 * time.Second
+		c.HeartbeatEvery = 100 * time.Millisecond
+	})
+	const n = 4
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: ringPoints(n, 200), Workers: 2})
+	assertAllOK(t, st, n)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_cluster_leases_total", "requeued"); got < 1 {
+		t.Fatalf("requeued leases = %d, want >= 1 (killed watch)", got)
+	}
+	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d (no duplicate side effects)", got, n)
+	}
+}
+
+// TestChaosClusterHeartbeatDrop silently drops the coordinator's first four
+// lease renewals (cluster.heartbeat.drop) — long enough that the worker's
+// lease TTL lapses and it self-cancels the orphaned job. The coordinator
+// must notice the canceled lease, requeue under a fresh idempotency key, and
+// finish; the worker-side expiry must be visible in the serve metrics.
+func TestChaosClusterHeartbeatDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ClusterHeartbeatDrop: {Mode: faultinject.ModeError, Count: 4},
+	})()
+
+	// One worker, one lease, sequential points: the four dropped renewals
+	// span the whole 400ms TTL while the lease is still mid-sweep.
+	f := startFabric(t, 1, func(c *Config) {
+		c.LeasePoints = 16
+		c.LeaseTTL = 400 * time.Millisecond
+		c.HeartbeatEvery = 100 * time.Millisecond
+	})
+	const n = 8
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: ringPoints(n, 300), Workers: 1})
+	assertAllOK(t, st, n)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_cluster_heartbeats_total", "dropped"); got < 1 {
+		t.Fatalf("dropped heartbeats = %d, want >= 1", got)
+	}
+	if got := snap.Counter("pn_serve_lease_expirations_total", ""); got < 1 {
+		t.Fatalf("worker lease expirations = %d, want >= 1 (TTL must have lapsed)", got)
+	}
+	if got := snap.Counter("pn_cluster_leases_total", "requeued"); got < 1 {
+		t.Fatalf("requeued leases = %d, want >= 1 (expired lease reassigned)", got)
+	}
+	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d", got, n)
+	}
+}
+
+// TestChaosClusterFlakyTransport makes every coordinator->worker HTTP
+// request fail with 20% probability (pnclient.http): submissions, renewals,
+// status fetches. The client's retry/backoff plus the lease machinery must
+// absorb all of it.
+func TestChaosClusterFlakyTransport(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.PnclientHTTP: {Mode: faultinject.ModeError, Prob: 0.2, Seed: 7},
+	})()
+
+	f := startFabric(t, 2, nil)
+	const n = 8
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 400), Workers: 2})
+	assertAllOK(t, st, n)
+
+	if stats := faultinject.Stats()[faultinject.PnclientHTTP]; stats.Fired == 0 {
+		t.Fatal("transport fault never fired; the test exercised nothing")
+	}
+	if got := reg.Snapshot().Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d", got, n)
+	}
+}

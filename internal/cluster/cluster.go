@@ -1,0 +1,633 @@
+// Package cluster is the multi-node sweep fabric: a coordinator that splits
+// a sweep job into point-range leases and hands them to plain pnserve worker
+// nodes, surviving every way a worker can die mid-lease.
+//
+// The design leans on three existing mechanisms instead of inventing new
+// ones:
+//
+//   - Exactly-once effect comes from the content-addressed result cache, not
+//     from delivery guarantees. Leases are reassigned at-least-once; points a
+//     dead worker already finished come back as cache hits on the shared
+//     "pnfp1" fingerprints, so re-execution costs a disk read, and
+//     pn_core_characterisations_total counts each point once fleet-wide.
+//   - Lease liveness is symmetric. The coordinator heartbeats every leased
+//     worker job (POST /v1/jobs/{id}/renew); a worker whose coordinator dies
+//     self-cancels the orphaned job when the TTL lapses, and a coordinator
+//     whose worker dies notices the dropped event stream and reassigns.
+//   - Idempotency keys make retries and coordinator restarts safe. A lease's
+//     key is derived from (job ID, lease ID, attempt), all stable across
+//     restarts, so a replayed coordinator re-submits into the worker's
+//     journal-backed idempotency map and deduplicates onto the job it
+//     already created.
+//
+// Routing is a consistent-hash ring over point fingerprints with rendezvous
+// fallback (see Ring); per-worker circuit breakers and a flap-quarantining
+// health prober keep leases away from dead or unstable workers; and when no
+// worker is usable at all the coordinator degrades to running leases
+// in-process through internal/sweep, so a cluster of zero healthy workers
+// still answers — slowly, with a logged warning — rather than failing.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/faultinject"
+	"repro/internal/pnclient"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers are the worker base URLs (e.g. "http://10.0.0.7:8080"). Empty
+	// means every job degrades to the in-process fallback.
+	Workers []string
+	// LeasePoints is the maximum points per lease (default 8). Smaller
+	// leases reassign less work on worker death; larger ones amortise
+	// dispatch overhead.
+	LeasePoints int
+	// LeaseTTL is the worker-side self-cancel window; the coordinator must
+	// renew within every TTL (default 10s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the renewal period (default LeaseTTL/3).
+	HeartbeatEvery time.Duration
+	// MaxAttempts bounds dispatch attempts per lease before it falls back
+	// to the in-process path (default 2*len(Workers)+2).
+	MaxAttempts int
+	// VNodes is the ring's virtual nodes per worker (default 64).
+	VNodes int
+	// Retry is the per-request client retry policy (zero value = pnclient
+	// defaults).
+	Retry pnclient.Retry
+	// Breaker and Probe tune the per-worker circuit breakers and the
+	// background health prober.
+	Breaker BreakerConfig
+	Probe   ProbeConfig
+	// WALDir, when non-empty, holds per-job lease journals so a restarted
+	// coordinator re-dispatches to the workers already holding its leases.
+	WALDir string
+	// Cache is the shared result store used by the in-process fallback
+	// path (nil = no cache).
+	Cache *cache.Store
+	// HTTP is the client used for worker requests and probes (nil =
+	// http.DefaultClient).
+	HTTP *http.Client
+	// Logf receives warnings (worker quarantined, degraded fallback);
+	// default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeasePoints <= 0 {
+		c.LeasePoints = 8
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 3
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2*len(c.Workers) + 2
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Coordinator fans a sweep job out to worker nodes as leases. It implements
+// serve.SweepRunner, so a pnserve started in coordinator mode keeps its
+// entire front-door lifecycle — journal, SSE progress, idempotency, budget
+// — and only the execution is remote.
+type Coordinator struct {
+	cfg      Config
+	ring     *Ring
+	clients  map[string]*pnclient.Client
+	breakers map[string]*Breaker
+	prober   *prober
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	// fallbackMu serialises in-process fallback leases so a fully degraded
+	// job runs its leases one after another instead of oversubscribing the
+	// local CPU len(leases)-fold.
+	fallbackMu sync.Mutex
+}
+
+// New builds a coordinator and starts its health prober. Call Close when
+// done.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Workers, cfg.VNodes),
+		clients:  make(map[string]*pnclient.Client, len(cfg.Workers)),
+		breakers: make(map[string]*Breaker, len(cfg.Workers)),
+	}
+	for _, w := range cfg.Workers {
+		c.clients[w] = pnclient.New(w, cfg.HTTP, cfg.Retry)
+		c.breakers[w] = NewBreaker(cfg.Breaker)
+	}
+	c.prober = newProber(cfg.Workers, cfg.Probe, cfg.HTTP, cfg.Logf)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	if len(cfg.Workers) > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.prober.run(ctx)
+		}()
+	}
+	return c
+}
+
+// Close stops the health prober. In-flight RunSweep calls are unaffected —
+// they stop through their own budget tokens.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// fail records a failed worker call on its breaker.
+func (c *Coordinator) fail(worker string) {
+	if b := c.breakers[worker]; b != nil && b.Fail() {
+		clusterMetrics.Get().breakerTrips.Inc()
+		c.cfg.Logf("cluster: circuit breaker tripped for worker %s", worker)
+	}
+}
+
+// ok records a successful worker call on its breaker.
+func (c *Coordinator) ok(worker string) {
+	if b := c.breakers[worker]; b != nil {
+		b.Success()
+	}
+}
+
+// pickWorker chooses a worker for the lease: its journalled previous holder
+// first, then the ring preference order, skipping unhealthy (prober) and
+// tripped (breaker) workers. The chosen breaker slot is claimed via Allow.
+func (c *Coordinator) pickWorker(l *lease) (string, bool) {
+	prefs := c.ring.Preference(l.key)
+	if l.worker != "" {
+		ordered := make([]string, 0, len(prefs)+1)
+		ordered = append(ordered, l.worker)
+		for _, w := range prefs {
+			if w != l.worker {
+				ordered = append(ordered, w)
+			}
+		}
+		prefs = ordered
+	}
+	for _, w := range prefs {
+		if !c.prober.Healthy(w) {
+			continue
+		}
+		if b := c.breakers[w]; b != nil && b.Allow() {
+			return w, true
+		}
+	}
+	return "", false
+}
+
+// jobRun is the per-job state of one RunSweep call.
+type jobRun struct {
+	coord *Coordinator
+	req   serve.RunnerRequest
+	wal   *leaseWAL
+
+	mu       sync.Mutex
+	results  []sweep.PointResult
+	stored   []bool // final result written for this global index
+	reported []bool // summary forwarded to OnSummary for this global index
+}
+
+// RunSweep implements serve.SweepRunner: lease out the points, supervise the
+// leases, merge the worker streams, and return the per-point results in
+// input order.
+func (c *Coordinator) RunSweep(req serve.RunnerRequest) ([]sweep.PointResult, error) {
+	n := len(req.Specs)
+	run := &jobRun{
+		coord:    c,
+		req:      req,
+		results:  make([]sweep.PointResult, n),
+		stored:   make([]bool, n),
+		reported: make([]bool, n),
+	}
+	if n == 0 {
+		return run.results, nil
+	}
+
+	// The lease machinery runs on a context that trips with the job's
+	// budget token, so cancellation/timeout propagates into every worker
+	// call and event stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-req.Tok.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	leases := run.buildLeases()
+
+	wal, recs, err := openLeaseWAL(c.cfg.WALDir, req.JobID)
+	if err != nil {
+		c.cfg.Logf("cluster: lease journal unavailable for job %s (%v); running without resume state", req.JobID, err)
+	}
+	run.wal = wal
+	// Resume: the latest dispatch record per lease pins the attempt counter
+	// (so the idempotency key matches the worker job already created) and
+	// the preferred worker.
+	for _, r := range recs {
+		if r.Type == walDispatch && r.Lease >= 0 && r.Lease < len(leases) {
+			leases[r.Lease].attempt = r.Attempt
+			leases[r.Lease].worker = r.Worker
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, l := range leases {
+		wg.Add(1)
+		go func(l *lease) {
+			defer wg.Done()
+			run.runLease(ctx, l)
+		}(l)
+	}
+	wg.Wait()
+
+	if err := req.Tok.Err(); err != nil {
+		wal.Close()
+		return run.results, err
+	}
+	wal.remove() // terminal: the leases can never be resumed again
+	return run.results, nil
+}
+
+// buildLeases groups the job's points by ring primary and chunks each group
+// into LeasePoints-sized leases. The construction is deterministic in the
+// job's specs and the worker list, so a restarted coordinator derives the
+// identical lease IDs — which the idempotency keys depend on. With no
+// workers, everything lands in one fallback lease.
+func (r *jobRun) buildLeases() []*lease {
+	c := r.coord
+	type group struct {
+		indices []int
+		keys    []string
+	}
+	order := append([]string(nil), c.ring.Workers()...)
+	groups := make(map[string]*group, len(order)+1)
+	for i, sp := range r.req.Specs {
+		key := sp.RoutingKey()
+		home := c.ring.Primary(key)
+		g := groups[home]
+		if g == nil {
+			g = &group{}
+			groups[home] = g
+			if home == "" {
+				order = append(order, "")
+			}
+		}
+		g.indices = append(g.indices, i)
+		g.keys = append(g.keys, key)
+	}
+	var leases []*lease
+	for _, w := range order {
+		g := groups[w]
+		if g == nil {
+			continue
+		}
+		for start := 0; start < len(g.indices); start += c.cfg.LeasePoints {
+			end := min(start+c.cfg.LeasePoints, len(g.indices))
+			l := &lease{id: len(leases), key: g.keys[start]}
+			for _, gi := range g.indices[start:end] {
+				l.indices = append(l.indices, gi)
+				l.specs = append(l.specs, r.req.Specs[gi])
+			}
+			leases = append(leases, l)
+		}
+	}
+	return leases
+}
+
+// runLease drives one lease to completion: dispatch to a worker, supervise
+// it, and on any failure requeue with the next attempt's idempotency key —
+// falling back to the in-process path when no worker will take it.
+func (r *jobRun) runLease(ctx context.Context, l *lease) {
+	c := r.coord
+	m := clusterMetrics.Get()
+	for ; ; l.attempt++ {
+		if ctx.Err() != nil {
+			r.abandonLease(l)
+			return
+		}
+		if l.attempt >= c.cfg.MaxAttempts {
+			c.cfg.Logf("cluster: lease %d of job %s exhausted %d dispatch attempts", l.id, r.req.JobID, l.attempt)
+			r.fallbackLease(l)
+			return
+		}
+		w, ok := c.pickWorker(l)
+		if !ok {
+			r.fallbackLease(l)
+			return
+		}
+		l.worker = w
+		if err := faultinject.Fire(faultinject.ClusterLeaseDispatch); err != nil {
+			c.fail(w)
+			m.leases.With("requeued").Inc()
+			continue
+		}
+		st, err := c.clients[w].Sweep(ctx, serve.SweepRequest{
+			Points:     l.specs,
+			Workers:    r.req.Workers,
+			NoCache:    r.req.NoCache,
+			LeaseTTLMS: int64(c.cfg.LeaseTTL / time.Millisecond),
+		}, l.idemKey(r.req.JobID))
+		if err != nil {
+			c.fail(w)
+			m.leases.With("requeued").Inc()
+			continue
+		}
+		c.ok(w)
+		r.wal.append(walRecord{Type: walDispatch, Lease: l.id, Attempt: l.attempt, Worker: w, WorkerJob: st.ID})
+		m.leases.With("dispatched").Inc()
+
+		if r.superviseLease(ctx, l, w, st.ID) {
+			m.leases.With("completed").Inc()
+			r.wal.append(walRecord{Type: walComplete, Lease: l.id, Attempt: l.attempt, Worker: w, WorkerJob: st.ID})
+			return
+		}
+		if ctx.Err() != nil {
+			r.abandonLease(l)
+			return
+		}
+		// Requeue. Drain the old attempt first — cancel it and wait (bounded)
+		// for it to settle — so the replacement never runs the same point
+		// concurrently with a dying job: concurrent identical points on one
+		// worker would join the dying job's in-flight computations and
+		// inherit their budget errors. If the worker is unreachable the
+		// lease TTL performs the same cleanup on its own clock.
+		m.leases.With("requeued").Inc()
+		c.drainAttempt(ctx, w, st.ID)
+	}
+}
+
+// drainAttempt best-effort cancels a worker job being abandoned by a requeue
+// and waits, bounded by the lease TTL, until it is terminal. Every exit path
+// is safe — an unreachable worker just costs the bound — but a reachable one
+// hands back a worker with no in-flight flights for the lease's points, so
+// the re-dispatch starts from clean cache state.
+func (c *Coordinator) drainAttempt(ctx context.Context, w, workerJob string) {
+	dctx, cancel := context.WithTimeout(context.Background(), c.cfg.LeaseTTL+c.cfg.HeartbeatEvery)
+	defer cancel()
+	go func() { // release the bound early if the whole job is being torn down
+		select {
+		case <-ctx.Done():
+			cancel()
+		case <-dctx.Done():
+		}
+	}()
+	if st, err := c.clients[w].Cancel(dctx, workerJob); err != nil || terminalState(st.State) {
+		return
+	}
+	for dctx.Err() == nil {
+		if st, err := c.clients[w].Job(dctx, workerJob, false); err != nil || terminalState(st.State) {
+			return
+		}
+		select {
+		case <-dctx.Done():
+		case <-time.After(c.cfg.HeartbeatEvery / 4):
+		}
+	}
+}
+
+func terminalState(s string) bool {
+	return s == serve.StateDone || s == serve.StateFailed || s == serve.StateCanceled
+}
+
+// superviseLease heartbeats the worker job and merges its event stream,
+// returning true when the lease finished (results folded in) and false when
+// it must be requeued.
+func (r *jobRun) superviseLease(ctx context.Context, l *lease, w, workerJob string) bool {
+	c := r.coord
+
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		c.heartbeat(hbCtx, w, workerJob)
+	}()
+	defer func() {
+		hbCancel()
+		hbWG.Wait()
+	}()
+
+	// Stream the worker's SSE progress into the coordinator job's own
+	// stream. Watch dedups by sequence number within the connection; the
+	// reported[] set dedups across reconnects and reassignments, so the
+	// merged stream delivers each point at most once.
+	watchCtx, watchCancel := context.WithCancel(ctx)
+	defer watchCancel()
+	var killed atomic.Bool
+	werr := c.clients[w].Watch(watchCtx, workerJob, 0, func(ev serve.Event) {
+		if err := faultinject.Fire(faultinject.ClusterWorkerKill); err != nil {
+			killed.Store(true)
+			watchCancel()
+			return
+		}
+		if ev.Type == "point" && ev.Point != nil {
+			// Only successful completions are forwarded live. A failure in
+			// the stream is provisional — a lease dying of TTL expiry
+			// reports its unstarted points as canceled, and those will be
+			// re-run by the reassigned lease. Genuine failures surface when
+			// the lease settles done and completePoint folds the final
+			// results.
+			if !ev.Point.OK {
+				return
+			}
+			li := ev.Point.Index
+			if li < 0 || li >= len(l.indices) {
+				return
+			}
+			r.forwardSummary(l.indices[li], *ev.Point)
+		}
+	})
+	if killed.Load() {
+		c.fail(w)
+		return false
+	}
+	if werr != nil && ctx.Err() == nil {
+		c.fail(w)
+		return false
+	}
+
+	st, err := c.clients[w].Job(ctx, workerJob, true)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.fail(w)
+		}
+		return false
+	}
+	switch st.State {
+	case serve.StateDone:
+		for li := range st.Full {
+			if li >= len(l.indices) {
+				break
+			}
+			r.completePoint(l.indices[li], st.Full[li])
+		}
+		return true
+	default:
+		// Still running (stream trouble), canceled (the worker's lease TTL
+		// expired — our heartbeats were not landing) or failed: requeue.
+		return false
+	}
+}
+
+// heartbeat renews the leased worker job every HeartbeatEvery until ctx
+// ends. The cluster.heartbeat.drop fault point models a coordinator that
+// stays alive but whose renewals stop landing — the worker must then
+// self-cancel the lease.
+func (c *Coordinator) heartbeat(ctx context.Context, w, workerJob string) {
+	m := clusterMetrics.Get()
+	t := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := faultinject.Fire(faultinject.ClusterHeartbeatDrop); err != nil {
+			m.heartbeats.With("dropped").Inc()
+			continue
+		}
+		hctx, cancel := context.WithTimeout(ctx, c.cfg.HeartbeatEvery)
+		_, err := c.clients[w].Renew(hctx, workerJob)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			m.heartbeats.With("failed").Inc()
+			continue
+		}
+		m.heartbeats.With("sent").Inc()
+	}
+}
+
+// fallbackLease runs the lease's points in-process through internal/sweep —
+// the degraded mode when no worker is usable. Fallback leases serialise on
+// the coordinator so a dead cluster behaves like one local sweep, not
+// len(leases) competing ones.
+func (r *jobRun) fallbackLease(l *lease) {
+	c := r.coord
+	c.cfg.Logf("cluster: WARNING: no usable worker for lease %d of job %s; running %d points in-process", l.id, r.req.JobID, len(l.specs))
+	clusterMetrics.Get().fallbackRuns.Inc()
+	clusterMetrics.Get().leases.With("fallback").Inc()
+	r.wal.append(walRecord{Type: walFallback, Lease: l.id, Attempt: l.attempt})
+
+	c.fallbackMu.Lock()
+	defer c.fallbackMu.Unlock()
+	if r.req.Tok.Err() != nil {
+		r.abandonLease(l)
+		return
+	}
+	pts := make([]sweep.Point, 0, len(l.specs))
+	local := make([]int, 0, len(l.specs)) // pts index -> lease-local index
+	for li, sp := range l.specs {
+		p, err := sp.Resolve(r.req.Tok)
+		if err != nil {
+			r.completePoint(l.indices[li], sweep.PointResult{Name: specName(sp), Err: err})
+			continue
+		}
+		pts = append(pts, p)
+		local = append(local, li)
+	}
+	if len(pts) == 0 {
+		return
+	}
+	store := c.cfg.Cache
+	if r.req.NoCache {
+		store = nil
+	}
+	sweep.Run(pts, &sweep.Config{
+		Workers: r.req.Workers,
+		Budget:  r.req.Tok,
+		Cache:   store,
+		OnPoint: func(res sweep.PointResult) {
+			if res.Index < 0 || res.Index >= len(local) {
+				return
+			}
+			r.completePoint(l.indices[local[res.Index]], res)
+		},
+	})
+}
+
+// abandonLease marks the lease's unfinished points with the job's budget
+// error: the job is over, nothing will run them.
+func (r *jobRun) abandonLease(l *lease) {
+	cause := r.req.Tok.Err()
+	if cause == nil {
+		cause = context.Canceled
+	}
+	for li, g := range l.indices {
+		r.completePoint(g, sweep.PointResult{
+			Name: specName(l.specs[li]),
+			Err:  fmt.Errorf("cluster: lease %d abandoned: %w", l.id, cause),
+		})
+	}
+}
+
+// completePoint records the final result for a global point index (first
+// writer wins — a reassigned lease's duplicate completions are discarded)
+// and forwards its summary if the event stream did not already.
+func (r *jobRun) completePoint(global int, res sweep.PointResult) {
+	res.Index = global
+	r.mu.Lock()
+	if r.stored[global] {
+		r.mu.Unlock()
+		clusterMetrics.Get().dupPoints.Inc()
+		return
+	}
+	r.stored[global] = true
+	r.results[global] = res
+	r.mu.Unlock()
+	r.forwardSummary(global, serve.Summarize(&res))
+}
+
+// forwardSummary delivers one per-point summary to the job's OnSummary hook
+// at most once, re-indexed to the global point index.
+func (r *jobRun) forwardSummary(global int, s serve.PointSummary) {
+	if global < 0 || global >= len(r.reported) {
+		return
+	}
+	r.mu.Lock()
+	dup := r.reported[global]
+	r.reported[global] = true
+	r.mu.Unlock()
+	if dup {
+		clusterMetrics.Get().dupPoints.Inc()
+		return
+	}
+	s.Index = global
+	if r.req.OnSummary != nil {
+		r.req.OnSummary(s)
+	}
+}
+
+func specName(sp serve.PointSpec) string {
+	if sp.Name != "" {
+		return sp.Name
+	}
+	return sp.Model
+}

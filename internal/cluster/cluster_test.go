@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/pnclient"
+	"repro/internal/serve"
+)
+
+// fastRetry keeps client-side backoff out of the test clock.
+var fastRetry = pnclient.Retry{Attempts: 5, Base: time.Millisecond, Max: 20 * time.Millisecond, Seed: 1}
+
+// startWorker boots one pnserve worker over httptest with its own cache
+// store on the shared disk directory — the same sharing model as separate
+// worker processes pointed at one cache volume.
+func startWorker(t *testing.T, cacheDir string) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	store, err := cache.New(cache.Options{Dir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Workers: 2, Cache: store})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return ts, s
+}
+
+// fabric is a two-worker cluster with a coordinator-mode front server.
+type fabric struct {
+	workers  []string
+	coord    *Coordinator
+	front    *serve.Server
+	frontTS  *httptest.Server
+	cacheDir string
+}
+
+func startFabric(t *testing.T, nWorkers int, mutate func(*Config)) *fabric {
+	t.Helper()
+	f := &fabric{cacheDir: t.TempDir()}
+	for i := 0; i < nWorkers; i++ {
+		ts, _ := startWorker(t, f.cacheDir)
+		f.workers = append(f.workers, ts.URL)
+	}
+	coordStore, err := cache.New(cache.Options{Dir: f.cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workers:        f.workers,
+		LeasePoints:    3,
+		LeaseTTL:       2 * time.Second,
+		HeartbeatEvery: 200 * time.Millisecond,
+		Retry:          fastRetry,
+		Probe:          ProbeConfig{Every: 100 * time.Millisecond},
+		WALDir:         t.TempDir(),
+		Cache:          coordStore,
+		Logf:           t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f.coord = New(cfg)
+	t.Cleanup(f.coord.Close)
+	f.front = serve.New(serve.Config{Workers: 2, Runner: f.coord})
+	f.frontTS = httptest.NewServer(f.front)
+	t.Cleanup(func() {
+		f.frontTS.Close()
+		f.front.Shutdown(context.Background())
+	})
+	return f
+}
+
+// hopfPoints are fast, fresh points with distinct fingerprints.
+func hopfPoints(n int, salt float64) []serve.PointSpec {
+	pts := make([]serve.PointSpec, n)
+	for i := range pts {
+		pts[i] = serve.PointSpec{
+			Name:   fmt.Sprintf("p%d", i),
+			Model:  "hopf",
+			Params: map[string]float64{"lambda": 1, "omega": 1000 + salt + float64(i), "sigma": 0.02},
+		}
+	}
+	return pts
+}
+
+// ringPoints are slow points (no closed-form period, real integration) so a
+// job reliably outlives lease TTLs measured in hundreds of milliseconds.
+func ringPoints(n int, salt float64) []serve.PointSpec {
+	pts := make([]serve.PointSpec, n)
+	for i := range pts {
+		pts[i] = serve.PointSpec{
+			Name:   fmt.Sprintf("ring%d", i),
+			Model:  "ring",
+			Params: map[string]float64{"iee": 331e-6 * (1 + 0.001*(salt+float64(i)))},
+		}
+	}
+	return pts
+}
+
+func submitAndWait(t *testing.T, base string, req serve.SweepRequest) serve.JobStatus {
+	t.Helper()
+	cl := pnclient.New(base, nil, fastRetry)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := cl.Sweep(ctx, req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.Wait(ctx, st.ID, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func assertAllOK(t *testing.T, st serve.JobStatus, n int) {
+	t.Helper()
+	if st.State != serve.StateDone {
+		t.Fatalf("job state %q, want done (error: %v)", st.State, st.Error)
+	}
+	if st.DonePoints != n || st.FailedPoints != 0 {
+		t.Fatalf("done=%d failed=%d, want %d/0 (%+v)", st.DonePoints, st.FailedPoints, n, st.Results)
+	}
+	if len(st.Full) != n {
+		t.Fatalf("full results: %d, want %d", len(st.Full), n)
+	}
+	for i, r := range st.Full {
+		if !r.OK() {
+			t.Fatalf("point %d (%s) failed: %v", i, r.Name, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("point %d carries index %d", i, r.Index)
+		}
+	}
+}
+
+// TestClusterEndToEnd is the happy path: a sweep through the coordinator
+// front lands every point exactly once across two workers, and the front's
+// own SSE stream carries the merged per-point progress.
+func TestClusterEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	f := startFabric(t, 2, nil)
+	const n = 10
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 0), Workers: 2})
+	assertAllOK(t, st, n)
+
+	snap := reg.Snapshot()
+	// Exactly-once: every point characterised once fleet-wide, none duplicated.
+	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d", got, n)
+	}
+	if d := snap.Counter("pn_cluster_leases_total", "dispatched"); d < 2 {
+		t.Fatalf("leases dispatched = %d, want >= 2 (LeasePoints=3, %d points)", d, n)
+	}
+	if fb := snap.Counter("pn_cluster_fallback_leases_total", ""); fb != 0 {
+		t.Fatalf("healthy cluster used the in-process fallback %d times", fb)
+	}
+
+	// The front's aggregated SSE stream replays one point event per index.
+	seen := map[int]int{}
+	for _, ev := range frontEvents(t, f.frontTS.URL, st.ID) {
+		if ev.Type == "point" && ev.Point != nil {
+			seen[ev.Point.Index]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("front SSE delivered point %d %d times: %v", i, seen[i], seen)
+		}
+	}
+
+	// Identical resubmission: all cache hits, zero new characterisations.
+	st2 := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 0), Workers: 2})
+	assertAllOK(t, st2, n)
+	if st2.CachedPoints != n {
+		t.Fatalf("resubmit cached %d of %d points", st2.CachedPoints, n)
+	}
+	if got := reg.Snapshot().Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("resubmit recomputed: characterisations = %d, want %d", got, n)
+	}
+}
+
+// frontEvents drains the coordinator front's SSE stream for a terminal job.
+func frontEvents(t *testing.T, base, id string) []serve.Event {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []serve.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev serve.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestClusterDegradedNoWorkers: with no workers configured — and separately
+// with only unreachable workers — the coordinator degrades to the in-process
+// sweep path and the job still completes.
+func TestClusterDegradedNoWorkers(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	var logMu sync.Mutex
+	var warned bool
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		if strings.Contains(fmt.Sprintf(format, args...), "in-process") {
+			warned = true
+		}
+		logMu.Unlock()
+		t.Logf(format, args...)
+	}
+
+	f := startFabric(t, 0, func(c *Config) { c.Logf = logf })
+	const n = 4
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 50), Workers: 2})
+	assertAllOK(t, st, n)
+	logMu.Lock()
+	gotWarning := warned
+	logMu.Unlock()
+	if !gotWarning {
+		t.Fatal("degraded run logged no in-process warning")
+	}
+	if got := reg.Snapshot().Counter("pn_cluster_fallback_leases_total", ""); got < 1 {
+		t.Fatalf("fallback leases = %d, want >= 1", got)
+	}
+
+	// Unreachable workers: dispatch fails, breakers accumulate failures,
+	// the job still lands via fallback.
+	f2 := startFabric(t, 0, func(c *Config) {
+		c.Workers = []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}
+		c.Retry = pnclient.Retry{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 1}
+		c.Logf = logf
+	})
+	st2 := submitAndWait(t, f2.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 80), Workers: 2})
+	assertAllOK(t, st2, n)
+}
+
+// TestClusterResumeAfterCoordinatorRestart drives RunSweep directly: a first
+// coordinator dispatches leases and dies mid-job (its budget token trips); a
+// second coordinator with the same WAL directory and job ID resumes — same
+// lease IDs, same idempotency keys — deduplicates onto the worker jobs the
+// first one created, and finishes with every point characterised exactly
+// once.
+func TestClusterResumeAfterCoordinatorRestart(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	cacheDir := t.TempDir()
+	walDir := t.TempDir()
+	var workers []string
+	for i := 0; i < 2; i++ {
+		ts, _ := startWorker(t, cacheDir)
+		workers = append(workers, ts.URL)
+	}
+	cfg := Config{
+		Workers:        workers,
+		LeasePoints:    3,
+		LeaseTTL:       5 * time.Second, // generous: survives the restart gap
+		HeartbeatEvery: 200 * time.Millisecond,
+		Retry:          fastRetry,
+		Probe:          ProbeConfig{Every: 100 * time.Millisecond},
+		WALDir:         walDir,
+		Logf:           t.Logf,
+	}
+	const n = 9
+	specs := ringPoints(n, 0)
+
+	// Coordinator 1: run until the first point completes, then kill it.
+	coord1 := New(cfg)
+	tok1, kill := budget.WithCancel(nil)
+	firstPoint := make(chan struct{})
+	var once sync.Once
+	done1 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		coord1.RunSweep(serve.RunnerRequest{
+			JobID: "restart-job", Kind: "sweep", Specs: specs, Tok: tok1, Workers: 2,
+			OnSummary: func(s serve.PointSummary) {
+				if s.OK {
+					once.Do(func() { close(firstPoint) })
+				}
+			},
+		})
+	}()
+	select {
+	case <-firstPoint:
+	case <-time.After(90 * time.Second):
+		t.Fatal("no point completed under coordinator 1")
+	}
+	kill()
+	<-done1
+	coord1.Close()
+
+	// Coordinator 2: same WAL dir, same job ID, fresh token.
+	coord2 := New(cfg)
+	defer coord2.Close()
+	tok2, release := budget.WithCancel(nil)
+	defer release()
+	var mu sync.Mutex
+	counts := map[int]int{}
+	results, err := coord2.RunSweep(serve.RunnerRequest{
+		JobID: "restart-job", Kind: "sweep", Specs: specs, Tok: tok2, Workers: 2,
+		OnSummary: func(s serve.PointSummary) {
+			mu.Lock()
+			counts[s.Index]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("resumed run returned %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("resumed point %d (%s) failed: %v", i, r.Name, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("resumed point %d carries index %d", i, r.Index)
+		}
+	}
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("resumed run reported point %d %d times", i, counts[i])
+		}
+	}
+	mu.Unlock()
+	// Exactly-once fleet-wide, across both coordinator incarnations.
+	if got := reg.Snapshot().Counter("pn_core_characterisations_total", "ok"); got != n {
+		t.Fatalf("characterisations = %d, want exactly %d", got, n)
+	}
+}
+
+// TestClusterRoutingAffinity: identical points in two separate jobs route to
+// the same worker, so the second job's points are cache hits even without a
+// shared disk tier — the ring, not luck, creates the affinity.
+func TestClusterRoutingAffinity(t *testing.T) {
+	coordCfg := Config{Workers: ringWorkers(5), LeasePoints: 4}
+	c := New(coordCfg)
+	defer c.Close()
+	run := &jobRun{coord: c, req: serve.RunnerRequest{Specs: hopfPoints(20, 0)}}
+	leases1 := run.buildLeases()
+	run2 := &jobRun{coord: c, req: serve.RunnerRequest{Specs: hopfPoints(20, 0)}}
+	leases2 := run2.buildLeases()
+	if len(leases1) != len(leases2) {
+		t.Fatalf("lease layout not deterministic: %d vs %d", len(leases1), len(leases2))
+	}
+	covered := map[int]bool{}
+	for i := range leases1 {
+		if leases1[i].key != leases2[i].key || len(leases1[i].indices) != len(leases2[i].indices) {
+			t.Fatalf("lease %d differs across identical jobs", i)
+		}
+		if len(leases1[i].indices) > coordCfg.LeasePoints {
+			t.Fatalf("lease %d holds %d points, cap %d", i, len(leases1[i].indices), coordCfg.LeasePoints)
+		}
+		for _, g := range leases1[i].indices {
+			if covered[g] {
+				t.Fatalf("point %d appears in two leases", g)
+			}
+			covered[g] = true
+		}
+	}
+	if len(covered) != 20 {
+		t.Fatalf("leases cover %d of 20 points", len(covered))
+	}
+	// Routed homes must follow the ring primaries.
+	for _, l := range leases1 {
+		if home := c.ring.Primary(l.key); home == "" {
+			t.Fatal("lease with no ring home despite populated worker list")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the suite on leaked goroutines — probers that outlive
+// Close, heartbeat loops that outlive their lease, watch streams blocked
+// past job completion.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,26 @@
+package cluster
+
+import "repro/internal/obs"
+
+// clusterInstruments are the coordinator metrics: lease flow by outcome,
+// breaker and prober interventions, heartbeat health, and the degraded
+// in-process fallback count.
+type clusterInstruments struct {
+	leases       *obs.CounterVec // pn_cluster_leases_total{outcome}
+	heartbeats   *obs.CounterVec // pn_cluster_heartbeats_total{outcome}
+	breakerTrips *obs.Counter    // pn_cluster_breaker_trips_total
+	quarantines  *obs.Counter    // pn_cluster_quarantines_total
+	fallbackRuns *obs.Counter    // pn_cluster_fallback_leases_total
+	dupPoints    *obs.Counter    // pn_cluster_duplicate_points_total
+}
+
+var clusterMetrics = obs.NewView(func(r *obs.Registry) *clusterInstruments {
+	return &clusterInstruments{
+		leases:       r.CounterVec("pn_cluster_leases_total", "Lease transitions at the coordinator, by outcome (dispatched, completed, requeued, fallback).", "outcome"),
+		heartbeats:   r.CounterVec("pn_cluster_heartbeats_total", "Lease renewals at the coordinator, by outcome (sent, dropped, failed).", "outcome"),
+		breakerTrips: r.Counter("pn_cluster_breaker_trips_total", "Worker circuit breakers tripped open by consecutive failures."),
+		quarantines:  r.Counter("pn_cluster_quarantines_total", "Workers quarantined by the prober for flapping."),
+		fallbackRuns: r.Counter("pn_cluster_fallback_leases_total", "Leases run in-process because no worker was usable."),
+		dupPoints:    r.Counter("pn_cluster_duplicate_points_total", "Per-point completions discarded as duplicates when merging worker streams."),
+	}
+})

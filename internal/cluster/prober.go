@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProbeConfig tunes the background health prober.
+type ProbeConfig struct {
+	// Every is the probe period per worker (default 1s).
+	Every time.Duration
+	// Timeout bounds one probe request (default 2s).
+	Timeout time.Duration
+	// FlapWindow and FlapMax define flapping: more than FlapMax
+	// healthy<->unhealthy transitions inside FlapWindow quarantines the
+	// worker (defaults 10s and 4). A flapping worker passes every naive
+	// point-in-time check and still loses half the leases it accepts;
+	// quarantine keeps it out of routing until it holds still.
+	FlapWindow time.Duration
+	FlapMax    int
+	// Quarantine is how long a flapping worker is benched (default 5s).
+	Quarantine time.Duration
+	// now is the injectable clock for tests (default time.Now).
+	now func() time.Time
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Every <= 0 {
+		c.Every = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 10 * time.Second
+	}
+	if c.FlapMax <= 0 {
+		c.FlapMax = 4
+	}
+	if c.Quarantine <= 0 {
+		c.Quarantine = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// workerHealth is one worker's probe state.
+type workerHealth struct {
+	healthy     bool
+	known       bool        // at least one probe completed
+	transitions []time.Time // recent healthy<->unhealthy flips
+	benchedTill time.Time   // quarantined until (zero = not benched)
+}
+
+// prober polls every worker's /readyz and tracks health plus flap
+// quarantine. Workers start optimistically healthy — leases must flow before
+// the first probe round lands — and the routing filter consults Healthy.
+type prober struct {
+	cfg     ProbeConfig
+	httpc   *http.Client
+	logf    func(string, ...any)
+	mu      sync.Mutex
+	workers map[string]*workerHealth
+}
+
+func newProber(workers []string, cfg ProbeConfig, httpc *http.Client, logf func(string, ...any)) *prober {
+	p := &prober{cfg: cfg.withDefaults(), httpc: httpc, logf: logf, workers: make(map[string]*workerHealth, len(workers))}
+	if p.httpc == nil {
+		p.httpc = http.DefaultClient
+	}
+	for _, w := range workers {
+		p.workers[w] = &workerHealth{healthy: true}
+	}
+	return p
+}
+
+// Healthy reports whether the worker should receive leases: not known-down
+// and not quarantined for flapping.
+func (p *prober) Healthy(worker string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wh, ok := p.workers[worker]
+	if !ok {
+		return false
+	}
+	if !wh.benchedTill.IsZero() && p.cfg.now().Before(wh.benchedTill) {
+		return false
+	}
+	return wh.healthy
+}
+
+// run probes all workers forever at the configured period, until ctx ends.
+func (p *prober) run(ctx context.Context) {
+	tick := time.NewTicker(p.cfg.Every)
+	defer tick.Stop()
+	for {
+		p.probeAll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (p *prober) probeAll(ctx context.Context) {
+	p.mu.Lock()
+	targets := make([]string, 0, len(p.workers))
+	for w := range p.workers {
+		targets = append(targets, w)
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range targets {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			p.observe(w, p.probeOne(ctx, w))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probeOne reports whether the worker answered /readyz with 200.
+func (p *prober) probeOne(ctx context.Context, worker string) bool {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.httpc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// observe folds one probe result into the worker's state, benching it when
+// the recent transition count says it is flapping.
+func (p *prober) observe(worker string, healthy bool) {
+	now := p.cfg.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wh, ok := p.workers[worker]
+	if !ok {
+		return
+	}
+	if wh.known && healthy != wh.healthy {
+		wh.transitions = append(wh.transitions, now)
+		// Keep only flips inside the window.
+		cut := 0
+		for cut < len(wh.transitions) && now.Sub(wh.transitions[cut]) > p.cfg.FlapWindow {
+			cut++
+		}
+		wh.transitions = wh.transitions[cut:]
+		if len(wh.transitions) > p.cfg.FlapMax && (wh.benchedTill.IsZero() || !now.Before(wh.benchedTill)) {
+			wh.benchedTill = now.Add(p.cfg.Quarantine)
+			clusterMetrics.Get().quarantines.Inc()
+			if p.logf != nil {
+				p.logf("cluster: worker %s is flapping (%d transitions in %v), quarantined for %v", worker, len(wh.transitions), p.cfg.FlapWindow, p.cfg.Quarantine)
+			}
+		}
+	}
+	wh.healthy = healthy
+	wh.known = true
+}

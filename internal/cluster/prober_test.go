@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestProberTracksHealth: a worker that goes 503 is marked unhealthy on the
+// next probe round and recovers when it answers 200 again.
+func TestProberTracksHealth(t *testing.T) {
+	var code atomic.Int32
+	code.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(code.Load()))
+	}))
+	defer ts.Close()
+
+	p := newProber([]string{ts.URL}, ProbeConfig{Every: 10 * time.Millisecond, FlapMax: 100}, nil, t.Logf)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.run(ctx)
+	}()
+	defer func() { cancel(); <-done }()
+
+	if !p.Healthy(ts.URL) {
+		t.Fatal("worker not optimistically healthy before the first probe")
+	}
+	waitFor(t, time.Second, func() bool { return p.Healthy(ts.URL) })
+	code.Store(http.StatusServiceUnavailable)
+	waitFor(t, time.Second, func() bool { return !p.Healthy(ts.URL) })
+	code.Store(http.StatusOK)
+	waitFor(t, time.Second, func() bool { return p.Healthy(ts.URL) })
+
+	if p.Healthy("http://never-registered:1") {
+		t.Fatal("unknown worker reported healthy")
+	}
+}
+
+// TestProberQuarantinesFlapper: a worker flipping between ready and not
+// ready every probe exceeds the flap budget and is benched — even while its
+// instantaneous state reads healthy.
+func TestProberQuarantinesFlapper(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	var n atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	p := newProber([]string{ts.URL}, ProbeConfig{
+		Every:      5 * time.Millisecond,
+		FlapWindow: 10 * time.Second,
+		FlapMax:    4,
+		Quarantine: time.Hour,
+	}, nil, t.Logf)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.run(ctx)
+	}()
+	defer func() { cancel(); <-done }()
+
+	// Benched regardless of which half of the flap the latest probe saw.
+	waitFor(t, 5*time.Second, func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return !p.workers[ts.URL].benchedTill.IsZero()
+	})
+	if p.Healthy(ts.URL) {
+		t.Fatal("quarantined worker still reports healthy")
+	}
+	if got := reg.Snapshot().Counter("pn_cluster_quarantines_total", ""); got < 1 {
+		t.Fatalf("quarantine counter = %d, want >= 1", got)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring routes content-addressed point fingerprints to workers with a
+// consistent hash: each worker owns many virtual nodes on a 64-bit circle,
+// and a key belongs to the first vnode at or after its hash. Identical points
+// therefore always route to the same worker — which is what turns lease
+// reassignment into cache hits — and adding or removing one worker only
+// remaps the keys that worker owned, not the whole sweep.
+//
+// When the ring-chosen primary is unhealthy, Route falls back to
+// highest-random-weight (rendezvous) hashing over the healthy subset: still
+// deterministic per key, still evenly spread, and independent of the vnode
+// layout so a dead primary's keys scatter across the survivors instead of
+// dog-piling its ring successor.
+type Ring struct {
+	workers []string
+	vnodes  []vnode // sorted by hash
+}
+
+type vnode struct {
+	h uint64
+	w int // index into workers
+}
+
+// NewRing builds a ring over the worker base URLs with vnodesPerWorker
+// virtual nodes each (default 64 when <= 0).
+func NewRing(workers []string, vnodesPerWorker int) *Ring {
+	if vnodesPerWorker <= 0 {
+		vnodesPerWorker = 64
+	}
+	r := &Ring{workers: append([]string(nil), workers...)}
+	for wi, w := range r.workers {
+		for v := 0; v < vnodesPerWorker; v++ {
+			r.vnodes = append(r.vnodes, vnode{h: hash64(w + "#" + strconv.Itoa(v)), w: wi})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].h < r.vnodes[j].h })
+	return r
+}
+
+// Workers returns the ring's member list in construction order.
+func (r *Ring) Workers() []string { return r.workers }
+
+// Primary returns the ring owner of key ("" for an empty ring), ignoring
+// health: it is the stable home a healthy worker set converges back to.
+func (r *Ring) Primary(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].h >= h })
+	if i == len(r.vnodes) {
+		i = 0 // wrap: the circle has no end
+	}
+	return r.workers[r.vnodes[i].w]
+}
+
+// Route returns the worker for key among those passing the healthy filter:
+// the ring primary when it is healthy, otherwise the rendezvous choice over
+// the healthy subset. ok is false when no worker is healthy.
+func (r *Ring) Route(key string, healthy func(string) bool) (string, bool) {
+	if p := r.Primary(key); p != "" && (healthy == nil || healthy(p)) {
+		return p, true
+	}
+	var alive []string
+	for _, w := range r.workers {
+		if healthy == nil || healthy(w) {
+			alive = append(alive, w)
+		}
+	}
+	if len(alive) == 0 {
+		return "", false
+	}
+	return Rendezvous(key, alive), true
+}
+
+// Preference returns every worker ordered by routing preference for key: the
+// ring primary first, then the rest by descending rendezvous weight. The
+// dispatcher walks this list until a worker accepts the lease, so retries are
+// deterministic per key rather than random.
+func (r *Ring) Preference(key string) []string {
+	out := make([]string, 0, len(r.workers))
+	primary := r.Primary(key)
+	if primary != "" {
+		out = append(out, primary)
+	}
+	rest := make([]string, 0, len(r.workers))
+	for _, w := range r.workers {
+		if w != primary {
+			rest = append(rest, w)
+		}
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		return rendezvousWeight(key, rest[i]) > rendezvousWeight(key, rest[j])
+	})
+	return append(out, rest...)
+}
+
+// Rendezvous returns the highest-random-weight worker for key among workers
+// ("" when the slice is empty). Deterministic, and removing one worker never
+// remaps keys between the survivors.
+func Rendezvous(key string, workers []string) string {
+	var best string
+	var bestW uint64
+	for _, w := range workers {
+		if s := rendezvousWeight(key, w); best == "" || s > bestW || (s == bestW && w < best) {
+			best, bestW = w, s
+		}
+	}
+	return best
+}
+
+func rendezvousWeight(key, worker string) uint64 {
+	return hash64(worker + "\x00" + key)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWorkers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("pnfp1:%08x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingDeterministicAndBalanced: same key always routes to the same
+// worker, and a realistic key population spreads over every worker.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	workers := ringWorkers(4)
+	r := NewRing(workers, 0)
+	counts := map[string]int{}
+	for _, k := range ringKeys(1000) {
+		w := r.Primary(k)
+		if w2 := NewRing(workers, 0).Primary(k); w2 != w {
+			t.Fatalf("key %q routed to %q then %q", k, w, w2)
+		}
+		counts[w]++
+	}
+	for _, w := range workers {
+		if counts[w] == 0 {
+			t.Fatalf("worker %s received no keys: %v", w, counts)
+		}
+	}
+}
+
+// TestRingConsistency: marking one worker unhealthy only remaps the keys it
+// owned; every other key keeps its primary.
+func TestRingConsistency(t *testing.T) {
+	workers := ringWorkers(4)
+	r := NewRing(workers, 0)
+	dead := workers[2]
+	healthy := func(w string) bool { return w != dead }
+	moved := 0
+	for _, k := range ringKeys(1000) {
+		before := r.Primary(k)
+		after, ok := r.Route(k, healthy)
+		if !ok {
+			t.Fatalf("route found no worker for %q", k)
+		}
+		if after == dead {
+			t.Fatalf("key %q routed to the dead worker", k)
+		}
+		if before != dead && after != before {
+			t.Fatalf("key %q moved from healthy primary %q to %q", k, before, after)
+		}
+		if before == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: dead worker owned no keys")
+	}
+}
+
+// TestRendezvousStability: HRW is deterministic, covers all workers, and
+// removing one worker never remaps a key between two survivors.
+func TestRendezvousStability(t *testing.T) {
+	workers := ringWorkers(5)
+	counts := map[string]int{}
+	for _, k := range ringKeys(500) {
+		w := Rendezvous(k, workers)
+		counts[w]++
+		// Removing any non-winner must leave the winner unchanged.
+		for drop := range workers {
+			if workers[drop] == w {
+				continue
+			}
+			sub := make([]string, 0, len(workers)-1)
+			for i, o := range workers {
+				if i != drop {
+					sub = append(sub, o)
+				}
+			}
+			if got := Rendezvous(k, sub); got != w {
+				t.Fatalf("removing non-winner %q remapped %q from %q to %q", workers[drop], k, w, got)
+			}
+		}
+	}
+	for _, w := range workers {
+		if counts[w] == 0 {
+			t.Fatalf("rendezvous starved worker %s: %v", w, counts)
+		}
+	}
+}
+
+// TestRingPreferenceOrder: the preference list starts at the primary,
+// contains every worker exactly once, and is deterministic.
+func TestRingPreferenceOrder(t *testing.T) {
+	workers := ringWorkers(4)
+	r := NewRing(workers, 0)
+	for _, k := range ringKeys(50) {
+		p := r.Preference(k)
+		if len(p) != len(workers) {
+			t.Fatalf("preference list has %d entries, want %d", len(p), len(workers))
+		}
+		if p[0] != r.Primary(k) {
+			t.Fatalf("preference[0] = %q, primary = %q", p[0], r.Primary(k))
+		}
+		seen := map[string]bool{}
+		for _, w := range p {
+			if seen[w] {
+				t.Fatalf("worker %q appears twice in preference list", w)
+			}
+			seen[w] = true
+		}
+	}
+	if got, ok := NewRing(nil, 0).Route("k", nil); ok || got != "" {
+		t.Fatalf("empty ring routed to %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// chaosTestRE matches the test-function names the chaos targets run. Keep it
+// in sync with the -run filters of `make chaos` and `make chaos-cluster`.
+var chaosTestRE = regexp.MustCompile(`func Test(Chaos|Fault|Journal|Readyz|CrashRecovery|Cluster|Lease)`)
+
+// unfilteredChaosPkgs are packages the chaos targets run without a -run
+// filter: every test file in them counts as chaos coverage.
+var unfilteredChaosPkgs = []string{
+	string(filepath.Separator) + filepath.Join("internal", "faultinject") + string(filepath.Separator),
+	string(filepath.Separator) + filepath.Join("internal", "cluster") + string(filepath.Separator),
+}
+
+// TestEveryPointHasAChaosSuite asserts that every fault point registered in
+// this package is referenced, by its constant identifier, in at least one
+// test file that the chaos targets execute (`make chaos` / `make
+// chaos-cluster`). A fault point nobody injects is dead robustness code: the
+// failure surface it guards regresses silently. Adding a point to the
+// inventory therefore requires adding (or extending) a chaos test that fires
+// it — this test is the tripwire.
+func TestEveryPointHasAChaosSuite(t *testing.T) {
+	consts := pointConstants(t)
+	// Sanity: the parsed constant set must match the registered inventory
+	// exactly, or the declaration block and the points slice have drifted.
+	if len(consts) != len(Points()) {
+		t.Fatalf("parsed %d point constants but Points() registers %d — keep the const block and the points slice in sync", len(consts), len(Points()))
+	}
+	registered := make(map[string]bool)
+	for _, p := range Points() {
+		registered[p] = true
+	}
+	for ident, val := range consts {
+		if !registered[val] {
+			t.Errorf("constant %s = %q is declared but missing from the points slice", ident, val)
+		}
+	}
+
+	files := chaosSuiteFiles(t)
+	if len(files) == 0 {
+		t.Fatal("found no chaos suite files — chaosTestRE or the package list has rotted")
+	}
+	var blobs []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, string(data))
+	}
+	for ident, val := range consts {
+		found := false
+		for i, blob := range blobs {
+			// Chaos suites in other packages reference the point as
+			// faultinject.<Ident>; this package's own suite references it
+			// unqualified.
+			if strings.Contains(blob, "faultinject."+ident) {
+				found = true
+				break
+			}
+			if inFaultinjectPkg(files[i]) && strings.Contains(blob, ident) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fault point %s (%q) is registered but appears in no chaos suite file — add a chaos test that fires it", ident, val)
+		}
+	}
+}
+
+func inFaultinjectPkg(path string) bool {
+	return strings.Contains(path, string(filepath.Separator)+filepath.Join("internal", "faultinject")+string(filepath.Separator))
+}
+
+// pointConstants parses faultinject.go and returns the map of exported string
+// constant identifiers to their values — the declared fault-point inventory.
+func pointConstants(t *testing.T) map[string]string {
+	t.Helper()
+	src := filepath.Join(pkgDir(t), "faultinject.go")
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, src, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", src, err)
+	}
+	out := make(map[string]string)
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+				continue
+			}
+			lit, ok := vs.Values[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || !vs.Names[0].IsExported() {
+				continue
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.Contains(val, ".") {
+				continue // not a fault-point name (points are dotted paths)
+			}
+			out[vs.Names[0].Name] = val
+		}
+	}
+	return out
+}
+
+// chaosSuiteFiles walks the repository for the test files the chaos targets
+// execute: files declaring a chaos-family test function, plus every test file
+// of the packages run unfiltered.
+func chaosSuiteFiles(t *testing.T) []string {
+	t.Helper()
+	root := filepath.Dir(filepath.Dir(pkgDir(t))) // internal/faultinject → repo root
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		for _, pkg := range unfilteredChaosPkgs {
+			if strings.Contains(path, pkg) {
+				out = append(out, path)
+				return nil
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if chaosTestRE.Match(data) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// pkgDir locates this package's source directory from the test binary.
+func pkgDir(t *testing.T) string {
+	t.Helper()
+	// Tests run with the package directory as working directory.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}

@@ -71,16 +71,36 @@ const (
 	// runs — the knob for driving the batch→scalar fallback and its
 	// accounting without touching the integrators.
 	SweepBatch = "sweep.batch"
+	// ClusterLeaseDispatch fails a lease submission in the cluster
+	// coordinator before the HTTP request goes out — the knob for driving
+	// worker selection fallback and circuit-breaker accounting.
+	ClusterLeaseDispatch = "cluster.lease.dispatch"
+	// ClusterWorkerKill severs the coordinator's event stream from a worker
+	// mid-lease, as if the worker process died: the watch aborts, the lease
+	// stops heartbeating, and expiry must reassign it.
+	ClusterWorkerKill = "cluster.worker.kill"
+	// ClusterHeartbeatDrop drops a lease renewal in the coordinator: the
+	// renew call is skipped as if lost to the network, so a healthy worker
+	// looks partitioned and the lease TTL runs out.
+	ClusterHeartbeatDrop = "cluster.heartbeat.drop"
+	// PnclientHTTP fails one pnclient HTTP attempt before it reaches the
+	// transport — a deterministic stand-in for connection refused/reset,
+	// exercising the retry ladder and the callers' failover paths.
+	PnclientHTTP = "pnclient.http"
 )
 
 // points is the registered inventory, sorted for stable iteration.
 var points = []string{
 	CacheDiskRead,
 	CacheDiskWrite,
+	ClusterHeartbeatDrop,
+	ClusterLeaseDispatch,
+	ClusterWorkerKill,
 	OdeBatchKernel,
 	OscEvalDelay,
 	OscEvalNaN,
 	OscEvalPanic,
+	PnclientHTTP,
 	ServeHandlerLatency,
 	ServeJournalWrite,
 	ServeReplayDelay,

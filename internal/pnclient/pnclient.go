@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -53,8 +54,13 @@ func (e *APIError) Error() string {
 
 // retryable reports whether the request that produced err may be re-sent:
 // transport errors (nothing definite happened) and explicitly transient
-// statuses. Other 4xx are the caller's bug and retry identically.
+// statuses. Other 4xx are the caller's bug and retry identically, and a
+// cancelled or expired context is the caller saying stop — retrying it would
+// only sleep out the backoff ladder before failing anyway.
 func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var ae *APIError
 	if errors.As(err, &ae) {
 		switch ae.Status {
@@ -172,6 +178,12 @@ func (c *Client) do(ctx context.Context, method, path string, body any, headers 
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		// A dead context must fail fast even before the first attempt or
+		// between a response and the next backoff — never start an exchange
+		// (or a jitter sleep) the caller has already abandoned.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > 0 {
 			var ra time.Duration
 			var ae *APIError
@@ -210,8 +222,13 @@ func lastRetryAfter(err error) time.Duration {
 	return 0
 }
 
-// once performs a single attempt.
+// once performs a single attempt. The pnclient.http fault point sits in front
+// of the transport: ModeError simulates a connection-level failure (refused,
+// reset) deterministically, ModeDelay a slow network.
 func (c *Client) once(ctx context.Context, method, path string, payload []byte, headers map[string]string, out any) (*http.Response, error) {
+	if err := faultinject.Fire(faultinject.PnclientHTTP); err != nil {
+		return nil, err
+	}
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -290,6 +307,17 @@ func (c *Client) Job(ctx context.Context, id string, full bool) (serve.JobStatus
 func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
 	var st serve.JobStatus
 	_, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil, &st)
+	return st, err
+}
+
+// Renew extends a leased job's TTL on the worker (see
+// serve.SweepRequest.LeaseTTLMS): the returned status doubles as the
+// heartbeat payload — progress counters prove the worker is not just
+// answering HTTP but actually advancing the job. Renewing a job without a
+// lease is a harmless no-op.
+func (c *Client) Renew(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	_, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/renew", nil, nil, &st)
 	return st, err
 }
 

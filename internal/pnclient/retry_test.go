@@ -1,0 +1,91 @@
+package pnclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// sweepReq is a minimal submit body; these tests only exercise the transport.
+func sweepReq() serve.SweepRequest { return serve.SweepRequest{} }
+
+// TestBackoffHonoursContextCancel: cancelling the context while the client is
+// asleep in its backoff window must abort the request immediately — not after
+// the ladder runs out. The backoff here is 10s per step; the whole call has
+// to return in a small fraction of that.
+func TestBackoffHonoursContextCancel(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	// Base == Max == 10s: after the first 503 the client sits in one long
+	// jittered sleep, which is exactly where the cancel must land.
+	c := New(ts.URL, nil, Retry{Attempts: 6, Base: 10 * time.Second, Max: 10 * time.Second, Seed: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := c.Sweep(ctx, sweepReq(), "cancel-key")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to take effect; the backoff sleep ignored ctx", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no attempt after cancel)", calls.Load())
+	}
+
+	// A context dead on arrival never reaches the wire at all.
+	pre := calls.Load()
+	if _, err := c.Sweep(ctx, sweepReq(), "cancel-key"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context submit: want context.Canceled, got %v", err)
+	}
+	if calls.Load() != pre {
+		t.Fatal("dead-context submit still sent a request")
+	}
+}
+
+// TestRetryAttemptsCap: a persistently failing server consumes exactly
+// Retry.Attempts requests, and the final error names the count and carries
+// the last status for errors.As.
+func TestRetryAttemptsCap(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"still broken"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil, Retry{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond, Seed: 1})
+	_, err := c.Sweep(context.Background(), sweepReq(), "cap-key")
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly 3", calls.Load())
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not name the attempts cap: %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want wrapped 503 APIError, got %v", err)
+	}
+}

@@ -52,6 +52,14 @@ type SweepRequest struct {
 	Workers   int   `json:"workers,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	NoCache   bool  `json:"no_cache,omitempty"`
+	// LeaseTTLMS, when > 0, makes the job a lease: unless the submitter
+	// renews it (POST /v1/jobs/{id}/renew) within every TTL window, the
+	// worker cancels the job itself. A cluster coordinator sets this so a
+	// worker orphaned by a coordinator crash or partition stops burning CPU
+	// on points nobody will collect — they are in the shared result cache
+	// for the reassigned lease anyway. The TTL survives worker restarts via
+	// the job journal.
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
 }
 
 // PointSummary is the compact per-point outcome carried in job status and SSE
@@ -75,6 +83,12 @@ type PointSummary struct {
 	// sentinels still works (see sweep.RemoteError).
 	Error *sweep.RemoteError `json:"error,omitempty"`
 }
+
+// Summarize compacts one point result into the wire summary exactly as the
+// server does for its own status payloads and events. Runners (the cluster
+// coordinator's in-process fallback) use it so a locally computed point is
+// indistinguishable from a served one in the SSE stream.
+func Summarize(r *sweep.PointResult) PointSummary { return summarize(r) }
 
 // summarize compacts one point result for status payloads and events.
 func summarize(r *sweep.PointResult) PointSummary {

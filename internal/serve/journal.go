@@ -52,14 +52,15 @@ type jrecord struct {
 	V int    `json:"v"`
 	T string `json:"t"` // "accepted" or "event"
 	// Header fields (T == "accepted").
-	ID        string      `json:"id,omitempty"`
-	Kind      string      `json:"kind,omitempty"`
-	Specs     []PointSpec `json:"specs,omitempty"`
-	TimeoutMS int64       `json:"timeout_ms,omitempty"`
-	Workers   int         `json:"workers,omitempty"`
-	NoCache   bool        `json:"no_cache,omitempty"`
-	Idem      string      `json:"idem,omitempty"`    // client Idempotency-Key, verbatim
-	IdemFP    string      `json:"idem_fp,omitempty"` // request-body fingerprint under that key
+	ID         string      `json:"id,omitempty"`
+	Kind       string      `json:"kind,omitempty"`
+	Specs      []PointSpec `json:"specs,omitempty"`
+	TimeoutMS  int64       `json:"timeout_ms,omitempty"`
+	Workers    int         `json:"workers,omitempty"`
+	NoCache    bool        `json:"no_cache,omitempty"`
+	LeaseTTLMS int64       `json:"lease_ttl_ms,omitempty"` // lease window; resumed jobs re-arm it
+	Idem       string      `json:"idem,omitempty"`         // client Idempotency-Key, verbatim
+	IdemFP     string      `json:"idem_fp,omitempty"`      // request-body fingerprint under that key
 	// Event field (T == "event").
 	Ev *Event `json:"ev,omitempty"`
 }

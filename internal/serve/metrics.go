@@ -17,6 +17,8 @@ type serveInstruments struct {
 	journalErrors *obs.Counter    // pn_serve_journal_write_errors_total
 	replayCorrupt *obs.Counter    // pn_serve_journal_corrupt_records_total
 	recovered     *obs.CounterVec // pn_serve_jobs_recovered_total{outcome}
+	leaseRenewals *obs.Counter    // pn_serve_lease_renewals_total
+	leaseExpired  *obs.Counter    // pn_serve_lease_expirations_total
 }
 
 var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
@@ -32,5 +34,7 @@ var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
 		journalErrors: r.Counter("pn_serve_journal_write_errors_total", "Journal writes dropped on error (real or injected); the job continues, durability degrades."),
 		replayCorrupt: r.Counter("pn_serve_journal_corrupt_records_total", "Journal lines (or whole files) skipped as corrupt during replay."),
 		recovered:     r.CounterVec("pn_serve_jobs_recovered_total", "Jobs reconstructed from the journal at startup, by outcome (resumed, terminal).", "outcome"),
+		leaseRenewals: r.Counter("pn_serve_lease_renewals_total", "Lease renewals received on /v1/jobs/{id}/renew."),
+		leaseExpired:  r.Counter("pn_serve_lease_expirations_total", "Leased jobs self-cancelled because no renewal arrived within the TTL."),
 	}
 })

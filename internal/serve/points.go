@@ -18,6 +18,25 @@ func (p PointSpec) validate() error {
 	return err
 }
 
+// RoutingKey returns the point's content-addressed cache key without running
+// period estimation — the same "pnfp1" fingerprint Resolve stamps on the
+// sweep point, cheap enough to compute for every point of a large sweep. The
+// cluster coordinator hashes it onto the worker ring so identical points
+// always land on (and cache-hit at) the same node. Invalid specs fall back to
+// a name-derived key: routing stays total, and the worker rejects the spec
+// with a real error when the lease arrives.
+func (p PointSpec) RoutingKey() string {
+	m, err := osc.Build(p.Model, p.Params)
+	if err != nil {
+		return "pnfp1:invalid:" + p.Model + ":" + p.Name
+	}
+	var opts *core.Options
+	if m.ShootingSteps > 0 {
+		opts = &core.Options{Shooting: &shooting.Options{StepsPerPeriod: m.ShootingSteps}}
+	}
+	return cache.CharacterisationKey(p.Model, m.Params, m.X0, m.TGuess, opts.FingerprintFields())
+}
+
 // Resolve turns a pure-data point spec into a runnable sweep point: it builds
 // the model, estimates the period over the registry's transient horizon when
 // no closed form exists (under tok, so a canceled job never burns the

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"repro/internal/budget"
+	"repro/internal/sweep"
+)
+
+// SweepRunner replaces the in-process sweep engine for job execution. The
+// default (nil Config.Runner) resolves the job's specs and runs them through
+// internal/sweep on this process; a cluster coordinator installs a runner
+// that leases point ranges out to worker nodes instead. Whatever the runner
+// does, the server's job lifecycle — queueing, journalling, SSE progress,
+// cancellation through the budget token, idempotency — is unchanged.
+type SweepRunner interface {
+	// RunSweep executes one job and returns the loss-free per-point results
+	// in input order (index-aligned with req.Specs; slots the run never
+	// reached may be zero-valued with a recorded error). A returned error is
+	// a job-level failure; per-point failures are data inside the results.
+	//
+	// The runner must stop promptly when req.Tok trips and should report
+	// each point once through req.OnSummary as it completes.
+	RunSweep(req RunnerRequest) ([]sweep.PointResult, error)
+}
+
+// RunnerRequest is everything a SweepRunner needs to execute one job.
+type RunnerRequest struct {
+	// JobID is the server-assigned job ID — stable across restarts (the
+	// journal preserves the ID space), so runners can key their own durable
+	// state (e.g. lease journals) on it.
+	JobID string
+	// Kind is "characterise" or "sweep".
+	Kind string
+	// Specs are the job's points as pure data, in input order.
+	Specs []PointSpec
+	// Tok bounds the job: cancellation (the cancel endpoint, server
+	// shutdown, a lease TTL expiry) and the job's wall-clock deadline both
+	// arrive through it.
+	Tok *budget.Token
+	// Workers is the requested parallelism (already clamped server-side).
+	Workers int
+	// NoCache asks the runner to bypass result caches for this job.
+	NoCache bool
+	// OnSummary, when non-nil, streams per-point completions. At most one
+	// call per point index; calls may arrive concurrently from multiple
+	// worker streams — the server's handler is safe for concurrent use.
+	OnSummary func(PointSummary)
+}

@@ -75,6 +75,11 @@ type Config struct {
 	// result cache, so already-computed points are cache hits. Empty keeps
 	// the PR-4 behaviour: jobs live only in process memory.
 	JournalDir string
+	// Runner, when non-nil, executes jobs instead of the in-process sweep
+	// engine — the hook a cluster coordinator uses to lease points out to
+	// worker nodes. Everything around execution (queueing, journalling,
+	// SSE, cancellation, idempotency) is unchanged. See SweepRunner.
+	Runner SweepRunner
 }
 
 func (c Config) withDefaults() Config {
@@ -107,12 +112,16 @@ type job struct {
 	jobTimeout   time.Duration
 	sweepWorkers int
 	noCache      bool
+	leaseTTL     time.Duration // > 0: job self-cancels unless renewed within each TTL window
 
 	tok    *budget.Token // child of the server root; tripped by cancel/shutdown
 	cancel func()
 	events *eventLog
 	jl     *jobJournal // nil when journalling is off
 	idem   string      // Idempotency-Key this job was submitted under ("" = none)
+
+	leaseMu sync.Mutex
+	leaseT  *time.Timer // armed while the lease is live; Reset on renew
 
 	mu                      sync.Mutex
 	state                   string
@@ -131,6 +140,37 @@ func (j *job) emit(ev Event, terminal bool) {
 	if ok {
 		j.jl.event(stamped, terminal)
 	}
+}
+
+// armLease starts (or, on renewal, rewinds) the job's lease timer. On expiry
+// the job cancels itself through its budget token — a leased job whose
+// coordinator died or partitioned away stops consuming the worker; its
+// finished points are already in the shared result cache for whoever picks
+// the lease up next. No-op for jobs submitted without a lease TTL.
+func (j *job) armLease() {
+	if j.leaseTTL <= 0 {
+		return
+	}
+	j.leaseMu.Lock()
+	defer j.leaseMu.Unlock()
+	if j.leaseT == nil {
+		j.leaseT = time.AfterFunc(j.leaseTTL, func() {
+			serveMetrics.Get().leaseExpired.Inc()
+			j.cancel()
+		})
+		return
+	}
+	j.leaseT.Reset(j.leaseTTL)
+}
+
+// stopLease disarms the lease timer once the job is terminal (a late expiry
+// against a finished job would be harmless but noisy).
+func (j *job) stopLease() {
+	j.leaseMu.Lock()
+	if j.leaseT != nil {
+		j.leaseT.Stop()
+	}
+	j.leaseMu.Unlock()
 }
 
 // setState transitions the job and emits a state event.
@@ -231,6 +271,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/renew", s.handleRenew)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -259,6 +300,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// BeginDrain flips the server to draining without stopping job execution:
+// /readyz answers 503 (load balancers and cluster routers stop sending work
+// here) and new submissions are rejected, while queued and running jobs keep
+// making progress and status/SSE reads still work. Call it before tearing
+// down the HTTP listener so the fleet routes around this node during the
+// drain window instead of discovering it by connection refusal. Idempotent;
+// Shutdown calls it implicitly.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+}
+
 // Shutdown drains the server: it stops accepting submissions (503), lets
 // queued and running jobs finish, and — if ctx expires first — trips every
 // job's budget token so in-flight work is cut off cooperatively, then waits
@@ -267,12 +324,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // A shutdown during journal replay stops the replayer: recovered jobs not yet
 // enqueued keep their .wal files and resume on the next start.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.drainCh)
-	}
-	s.mu.Unlock()
+	s.BeginDrain()
 	// The replayer must stop before the queue closes (a blocked enqueue on a
 	// closing channel would panic); drainCh has already told it to bail.
 	s.replay.Wait()
@@ -294,9 +346,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the ResponseWriter: an encode failure after
+	// WriteHeader would truncate the body mid-response and surface at the
+	// client as an inexplicable EOF, with the status already committed as a
+	// success. Pre-marshaling turns it into an honest 500.
+	data, err := json.Marshal(v)
+	if err != nil {
+		body, _ := json.Marshal(errorBody{Error: fmt.Sprintf("encoding response: %v", err)})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write(append(body, '\n'))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(append(data, '\n'))
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
@@ -328,7 +392,7 @@ func (s *Server) handleCharacterise(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	s.submit(w, r, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache)
+	s.submit(w, r, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache, 0)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -350,14 +414,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
 		workers = s.cfg.MaxSweepWorkers
 	}
-	s.submit(w, r, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache)
+	s.submit(w, r, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache, req.LeaseTTLMS)
 }
 
 // idemFingerprint condenses a submission's identity — kind, every point spec,
 // and the job-wide knobs — to a content address, so an Idempotency-Key reused
 // with a different body is detectable as a client error rather than silently
 // replaying the wrong job.
-func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) string {
+func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64) string {
 	f := cache.NewFingerprint()
 	f.Set("kind", kind)
 	f.SetInt("points", len(specs))
@@ -374,6 +438,9 @@ func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers in
 	if noCache {
 		f.SetInt("no_cache", 1)
 	}
+	if leaseTTLMS > 0 {
+		f.SetInt("lease_ttl_ms", int(leaseTTLMS))
+	}
 	return f.Key()
 }
 
@@ -384,7 +451,7 @@ func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers in
 // far along it is) instead of queueing a duplicate, so clients can blindly
 // retry a submission whose response was lost. The key→job mapping survives
 // restarts through the journal header.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64) {
 	m := serveMetrics.Get()
 	for i, sp := range specs {
 		if err := sp.validate(); err != nil {
@@ -397,7 +464,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	idemKey := r.Header.Get("Idempotency-Key")
 	var idemFP string
 	if idemKey != "" {
-		idemFP = idemFingerprint(kind, specs, timeoutMS, workers, noCache)
+		idemFP = idemFingerprint(kind, specs, timeoutMS, workers, noCache, leaseTTLMS)
 		s.mu.Lock()
 		if ent, ok := s.idem[idemKey]; ok {
 			prior := s.jobs[ent.id]
@@ -428,6 +495,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		jobTimeout:   time.Duration(timeoutMS) * time.Millisecond,
 		sweepWorkers: workers,
 		noCache:      noCache,
+		leaseTTL:     time.Duration(leaseTTLMS) * time.Millisecond,
 		tok:          tok,
 		cancel:       cancel,
 		events:       newEventLog(),
@@ -471,6 +539,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	j.jl = s.journal.create(jrecord{
 		ID: j.id, Kind: kind, Specs: specs, TimeoutMS: timeoutMS,
 		Workers: workers, NoCache: noCache, Idem: idemKey, IdemFP: idemFP,
+		LeaseTTLMS: leaseTTLMS,
 	})
 	j.emit(Event{Type: "state", State: StateQueued}, false)
 	// The gauge rises before the send so the worker's decrement (not under
@@ -497,6 +566,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	s.evictLocked()
 	s.mu.Unlock()
 
+	// The lease clock starts at acceptance: a leased job stuck in the queue
+	// of a wedged worker expires like any other, freeing the coordinator to
+	// reassign instead of waiting on a pickup that never comes.
+	j.armLease()
 	m.submitted.With(kind).Inc()
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
@@ -556,6 +629,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleRenew rewinds a leased job's TTL timer (see SweepRequest.LeaseTTLMS)
+// and answers with the current status — the progress counters double as the
+// heartbeat payload. Renewing an unleased or terminal job is a harmless
+// no-op, so coordinators can renew blindly on a timer.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.armLease()
+	serveMetrics.Get().leaseRenewals.Inc()
 	writeJSON(w, http.StatusOK, j.status(false))
 }
 
@@ -672,6 +760,7 @@ func (s *Server) runJob(j *job) {
 	span.SetAttr("points", len(j.specs))
 
 	state, jobErr := s.executeJob(j)
+	j.stopLease()
 
 	j.mu.Lock()
 	j.state = state
@@ -702,6 +791,10 @@ func (s *Server) executeJob(j *job) (string, error) {
 	}
 	if s.cfg.MaxJobWall > 0 {
 		jtok = budget.WithTimeout(jtok, s.cfg.MaxJobWall)
+	}
+
+	if s.cfg.Runner != nil {
+		return s.runViaRunner(j, jtok)
 	}
 
 	points := make([]sweep.Point, len(j.specs))
@@ -744,6 +837,51 @@ func (s *Server) executeJob(j *job) (string, error) {
 	// A tripped job token is a job-level outcome (cancel endpoint, shutdown,
 	// or the job's own deadline); per-point failures under a live token are
 	// data, not a job failure.
+	if err := jtok.Err(); err != nil {
+		return classify(err), err
+	}
+	return StateDone, nil
+}
+
+// runViaRunner executes the job through the configured SweepRunner (a
+// cluster coordinator, in practice). Per-point progress arrives through
+// OnSummary — possibly concurrently from several worker streams — and is
+// folded into the job's counters and SSE stream exactly like the in-process
+// path's OnPoint hook; summaries are trusted to arrive at most once per
+// index, but an out-of-range index is dropped rather than corrupting state.
+func (s *Server) runViaRunner(j *job, jtok *budget.Token) (string, error) {
+	results, runErr := s.cfg.Runner.RunSweep(RunnerRequest{
+		JobID:   j.id,
+		Kind:    j.kind,
+		Specs:   j.specs,
+		Tok:     jtok,
+		Workers: j.sweepWorkers,
+		NoCache: j.noCache,
+		OnSummary: func(sum PointSummary) {
+			if sum.Index < 0 || sum.Index >= len(j.specs) {
+				return
+			}
+			j.mu.Lock()
+			j.summaries[sum.Index] = sum
+			j.doneN++
+			if sum.Cached {
+				j.cachedN++
+			}
+			if !sum.OK {
+				j.failedN++
+			}
+			j.mu.Unlock()
+			j.emit(Event{Type: "point", Point: &sum}, false)
+		},
+	})
+
+	j.mu.Lock()
+	j.results = results
+	j.mu.Unlock()
+
+	if runErr != nil {
+		return classify(runErr), runErr
+	}
 	if err := jtok.Err(); err != nil {
 		return classify(err), err
 	}
@@ -839,6 +977,7 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
 		sweepWorkers: rj.hdr.Workers,
 		noCache:      rj.hdr.NoCache,
+		leaseTTL:     time.Duration(rj.hdr.LeaseTTLMS) * time.Millisecond,
 		tok:          tok,
 		cancel:       cancel,
 		events:       newEventLog(),
@@ -850,6 +989,10 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 	j.events.restore(rj.events)
 	j.emit(Event{Type: "state", State: StateQueued}, false)
 	s.register(j)
+	// The lease resumes with a full TTL window: the coordinator's renew loop
+	// (or its own journal replay) has one whole period to find the restarted
+	// worker before the job self-cancels.
+	j.armLease()
 	m.queueDepth.Add(1)
 	select {
 	case s.queue <- j:
@@ -893,7 +1036,7 @@ func (s *Server) register(j *job) {
 // idemFP recomputes the job's idempotency fingerprint from its own fields
 // (recovered headers carry the key; the fingerprint is derivable).
 func (j *job) idemFP() string {
-	return idemFingerprint(j.kind, j.specs, int64(j.jobTimeout/time.Millisecond), j.sweepWorkers, j.noCache)
+	return idemFingerprint(j.kind, j.specs, int64(j.jobTimeout/time.Millisecond), j.sweepWorkers, j.noCache, int64(j.leaseTTL/time.Millisecond))
 }
 
 // restoreProgress rebuilds a terminal job's counters and summaries from its

@@ -3,6 +3,9 @@
 # cache, submit a Hopf characterisation over HTTP, poll it to completion,
 # resubmit the identical request and assert it is served from the result
 # cache, then check the pn_serve_* / pn_cache_* metric families on /metrics.
+# A second phase stands up a 2-worker cluster behind a coordinator
+# (pnserve -coordinator), runs a sweep through the lease fabric, and asserts
+# the fleet computed each point exactly once.
 # Used by CI (serve-smoke job) and runnable locally: ./scripts/smoke_serve.sh
 set -euo pipefail
 
@@ -12,12 +15,16 @@ PORT="${PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
 TMP="$(mktemp -d)"
 SERVER_PID=""
+CLUSTER_PIDS=()
 
 cleanup() {
-  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill -TERM "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
+  local pid
+  for pid in ${CLUSTER_PIDS[@]+"${CLUSTER_PIDS[@]}"} "$SERVER_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -100,5 +107,83 @@ echo "smoke_serve: graceful drain"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "server exited non-zero on drain"
 SERVER_PID=""
+
+# --- Cluster phase: 2 workers + a lease coordinator -------------------------
+
+wait_ready() { # wait_ready <base> <pid> <name>
+  local i
+  for i in $(seq 1 50); do
+    if curl -sf "$1/readyz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$2" 2>/dev/null || fail "$3 exited early"
+    sleep 0.2
+  done
+  fail "$3 never became ready"
+}
+
+metric_count() { # metric_count <base> <series> -> integer (0 if absent)
+  local v
+  v="$(curl -sf "$1/metrics" | sed -n "s/^$2 \([0-9][0-9]*\)$/\1/p" | head -1)"
+  echo "${v:-0}"
+}
+
+W1="http://127.0.0.1:$((PORT + 1))"
+W2="http://127.0.0.1:$((PORT + 2))"
+COORD="http://127.0.0.1:$((PORT + 3))"
+
+echo "smoke_serve: cluster phase — starting 2 workers and a coordinator"
+"$TMP/pnserve" -addr "127.0.0.1:$((PORT + 1))" -workers 1 \
+  -cache-dir "$TMP/ccache" >"$TMP/w1.log" 2>&1 &
+CLUSTER_PIDS+=($!)
+"$TMP/pnserve" -addr "127.0.0.1:$((PORT + 2))" -workers 1 \
+  -cache-dir "$TMP/ccache" >"$TMP/w2.log" 2>&1 &
+CLUSTER_PIDS+=($!)
+wait_ready "$W1" "${CLUSTER_PIDS[0]}" "worker 1"
+wait_ready "$W2" "${CLUSTER_PIDS[1]}" "worker 2"
+
+"$TMP/pnserve" -addr "127.0.0.1:$((PORT + 3))" -workers 2 \
+  -coordinator "$W1,$W2" -lease-points 2 \
+  -cache-dir "$TMP/ccache" -journal-dir "$TMP/cjournal" \
+  >"$TMP/coord.log" 2>&1 &
+CLUSTER_PIDS+=($!)
+wait_ready "$COORD" "${CLUSTER_PIDS[2]}" "coordinator"
+grep -q 'coordinator for 2 worker nodes' "$TMP/coord.log" \
+  || fail "coordinator did not announce its worker fleet"
+
+SWEEP='{"points":[{"name":"c0","model":"hopf","params":{"lambda":1,"omega":3,"sigma":0.02}},{"name":"c1","model":"hopf","params":{"lambda":1,"omega":4,"sigma":0.02}},{"name":"c2","model":"hopf","params":{"lambda":1,"omega":5,"sigma":0.02}},{"name":"c3","model":"hopf","params":{"lambda":1,"omega":6,"sigma":0.02}}],"workers":2,"timeout_ms":120000}'
+
+echo "smoke_serve: sweeping 4 points through the lease fabric"
+resp="$(curl -sf "$COORD/v1/sweep" -d "$SWEEP")" || fail "cluster sweep submit failed"
+cid="$(json_field id <<<"$resp")"
+[[ -n "$cid" ]] || fail "no job id in cluster response: $resp"
+cjob=""
+for i in $(seq 1 600); do
+  cjob="$(curl -sf "$COORD/v1/jobs/$cid")" || fail "cluster status fetch failed for $cid"
+  cstate="$(json_field state <<<"$cjob")"
+  case "$cstate" in
+    done) break ;;
+    failed|canceled) fail "cluster job $cid ended $cstate: $cjob" ;;
+  esac
+  sleep 0.2
+  [[ $i -eq 600 ]] && fail "cluster job $cid never finished: $cjob"
+done
+grep -q '"done_points":4' <<<"$cjob" || fail "cluster sweep incomplete: $cjob"
+grep -q '"failed_points":0' <<<"$cjob" || fail "cluster sweep had failures: $cjob"
+
+echo "smoke_serve: checking cluster metrics"
+completed="$(metric_count "$COORD" 'pn_cluster_leases_total{outcome="completed"}')"
+[[ "$completed" -ge 1 ]] || fail "coordinator completed no leases"
+requeued="$(metric_count "$COORD" 'pn_cluster_leases_total{outcome="requeued"}')"
+[[ "$requeued" -eq 0 ]] || fail "healthy fleet requeued $requeued leases"
+ok1="$(metric_count "$W1" 'pn_core_characterisations_total{outcome="ok"}')"
+ok2="$(metric_count "$W2" 'pn_core_characterisations_total{outcome="ok"}')"
+[[ $((ok1 + ok2)) -eq 4 ]] \
+  || fail "fleet computed $((ok1 + ok2)) points, want exactly 4 (w1=$ok1 w2=$ok2)"
+
+echo "smoke_serve: draining the cluster"
+for pid in "${CLUSTER_PIDS[2]}" "${CLUSTER_PIDS[1]}" "${CLUSTER_PIDS[0]}"; do
+  kill -TERM "$pid"
+  wait "$pid" || fail "cluster process $pid exited non-zero on drain"
+done
+CLUSTER_PIDS=()
 
 echo "smoke_serve: PASS"
