@@ -307,9 +307,12 @@ func TestClusterWorkerSIGKILLE2E(t *testing.T) {
 // and restarted on the same journal directories. The restarted process must
 // replay the job journal and the lease WAL, reattach (or re-dispatch) its
 // leases, and finish the sweep with zero client intervention — the client
-// only ever polls the job ID. The surviving worker's own metrics prove
-// fleet-wide exactly-once: it characterises each of the n points exactly
-// once, no matter how many lease attempts the restart produced.
+// only ever polls the job ID. The workers' own metrics prove fleet-wide
+// exactly-once: together they characterise each of the n points exactly
+// once, no matter how many lease attempts the restart produced. The job's
+// merged trace must survive the kill too: one trace ID spanning the worker
+// processes and the coordinator, with the interrupted leases' flight markers
+// recording what was in the air when the process died.
 func TestClusterCoordinatorRestartE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and kills real processes; skipped in -short")
@@ -320,17 +323,19 @@ func TestClusterCoordinatorRestartE2E(t *testing.T) {
 	journalDir := filepath.Join(work, "coord-journal")
 
 	_, worker := startServer(t, bin, "-workers", "1", "-cache-dir", cacheDir)
+	_, worker2 := startServer(t, bin, "-workers", "1", "-cache-dir", cacheDir)
 	coordArgs := []string{
 		"-workers", "1", "-cache-dir", cacheDir,
 		"-journal-dir", journalDir,
-		"-coordinator", worker,
-		"-lease-ttl", "1s", "-lease-points", "16",
+		"-coordinator", worker + "," + worker2,
+		"-lease-ttl", "1s", "-lease-points", "2",
 	}
 	coord1cmd, coord1 := startServer(t, bin, coordArgs...)
 	clusterWaitReady(t, worker)
+	clusterWaitReady(t, worker2)
 	clusterWaitReady(t, coord1)
 
-	const n = 8
+	const n = 10
 	job := clusterSubmit(t, coord1, "cluster-e2e-restart", clusterSweepBody(n, 100))
 	deadline := time.Now().Add(60 * time.Second)
 	for {
@@ -372,11 +377,69 @@ func TestClusterCoordinatorRestartE2E(t *testing.T) {
 		t.Fatalf("sweep after coordinator restart: %+v, want done %d/0", final, n)
 	}
 
-	// Fleet-wide exactly-once, measured at the only compute site: the worker
-	// ran the pipeline exactly once per point across both coordinator
-	// incarnations — re-dispatched leases found their finished points in the
-	// cache instead of recomputing them.
-	if ran := metricValue(t, worker, `pn_core_characterisations_total{outcome="ok"}`); ran != n {
-		t.Fatalf("worker ran the pipeline %d times across the restart, want exactly %d", ran, n)
+	// Fleet-wide exactly-once, measured at the compute sites: the workers
+	// together ran the pipeline exactly once per point across both
+	// coordinator incarnations — re-dispatched leases found their finished
+	// points in the cache instead of recomputing them.
+	ran1 := metricValue(t, worker, `pn_core_characterisations_total{outcome="ok"}`)
+	ran2 := metricValue(t, worker2, `pn_core_characterisations_total{outcome="ok"}`)
+	if ran1+ran2 != n {
+		t.Fatalf("workers ran the pipeline %d+%d times across the restart, want exactly %d total", ran1, ran2, n)
 	}
+
+	// The merged timeline survived the SIGKILL: one trace ID end to end,
+	// spans from at least three processes (both workers plus a coordinator
+	// incarnation), and flight markers recording the leases that were in the
+	// air when coordinator 1 died.
+	jt := clusterGetTrace(t, coord2, job.ID)
+	if jt.TraceID == "" || len(jt.Spans) == 0 {
+		t.Fatalf("restarted coordinator serves no trace: id=%q spans=%d", jt.TraceID, len(jt.Spans))
+	}
+	procs := map[string]bool{}
+	flights := 0
+	for _, ev := range jt.Spans {
+		if ev.Trace != "" && ev.Trace != jt.TraceID {
+			t.Fatalf("event %q carries trace %q, want %q — one trace end to end", ev.Name, ev.Trace, jt.TraceID)
+		}
+		if ev.Type == "span" {
+			procs[ev.Proc] = true
+		}
+		if ev.Type == "flight" {
+			flights++
+		}
+	}
+	if len(procs) < 3 {
+		t.Fatalf("timeline spans %d processes (%v), want >= 3 (workers + coordinator)", len(procs), procs)
+	}
+	if flights < 1 {
+		t.Fatal("timeline has no flight markers for the leases interrupted by the kill")
+	}
+}
+
+// clusterTraceView is the slice of the trace payload the e2e suite reads.
+type clusterTraceView struct {
+	TraceID string `json:"trace_id"`
+	Spans   []struct {
+		Type  string `json:"type"`
+		Name  string `json:"name"`
+		Trace string `json:"trace"`
+		Proc  string `json:"proc"`
+	} `json:"spans"`
+}
+
+func clusterGetTrace(t *testing.T, base, id string) clusterTraceView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: status %d", resp.StatusCode)
+	}
+	var v clusterTraceView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

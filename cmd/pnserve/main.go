@@ -17,7 +17,9 @@
 //	POST /v1/sweep            {"points":[...],"workers":4}          → job
 //	GET  /v1/jobs/{id}        job status (+?full=1 for full results)
 //	GET  /v1/jobs/{id}/events live progress as Server-Sent Events
+//	GET  /v1/jobs/{id}/trace  the job's distributed trace timeline (+?format=jsonl for raw events)
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/cluster/status   live fleet view (workers, breakers, leases, queue depth)
 //	GET  /v1/models           registered models and their defaults
 //	GET  /healthz             liveness (always 200)
 //	GET  /readyz              readiness (503 while draining or replaying the journal)
@@ -115,6 +117,7 @@ func run() int {
 	}
 
 	var runner serve.SweepRunner
+	var clusterStatus func() ([]serve.WorkerStatus, []serve.LeaseStatus)
 	var workerURLs []string
 	if *coordinator != "" {
 		for _, u := range strings.Split(*coordinator, ",") {
@@ -139,15 +142,17 @@ func run() int {
 		})
 		defer coord.Close()
 		runner = coord
+		clusterStatus = coord.Status
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		Queue:      *queue,
-		Cache:      store,
-		MaxJobWall: *jobTimeout,
-		JournalDir: *journalDir,
-		Runner:     runner,
+		Workers:       *workers,
+		Queue:         *queue,
+		Cache:         store,
+		MaxJobWall:    *jobTimeout,
+		JournalDir:    *journalDir,
+		Runner:        runner,
+		ClusterStatus: clusterStatus,
 	})
 
 	mux := http.NewServeMux()

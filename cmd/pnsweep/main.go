@@ -9,6 +9,7 @@
 //	pnsweep -osc hopf|vanderpol|ring [-min v] [-max v] [-n points]
 //	        [-workers n] [-timeout d] [-point-timeout d] [-json file] [-v]
 //	        [-cache-dir dir] [-cache-mem bytes] [-server url] [-cluster url,url,...]
+//	        [-status]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The swept parameter depends on the oscillator: hopf sweeps the angular
@@ -25,7 +26,14 @@
 // and the same summary table and -json output render from the job's
 // loss-free results. SIGINT cancels the remote job through the API.
 // -workers then bounds the job's server-side parallelism, and the server's
-// cache (not -cache-dir) serves repeated points.
+// cache (not -cache-dir) serves repeated points. Every remote submission
+// mints a distributed trace ID and sends it as a Traceparent header, so the
+// job's merged timeline — coordinator and worker spans under one trace — is
+// afterwards queryable at GET <server>/v1/jobs/{id}/trace.
+//
+// -status (with -server) prints the server's live fleet view — worker health,
+// circuit-breaker states, flap quarantine, in-flight leases, queue depth —
+// from GET /v1/cluster/status, then exits.
 //
 // -cluster runs the sweep across several pnserve worker nodes with pnsweep
 // itself acting as the cluster coordinator (internal/cluster): points are
@@ -78,6 +86,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cliobs"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/pnclient"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -138,6 +147,7 @@ func run() int {
 	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
 	server := flag.String("server", "", "run the sweep remotely on this pnserve base URL (e.g. http://127.0.0.1:8080) instead of in process")
 	clusterURLs := flag.String("cluster", "", "comma-separated pnserve worker base URLs: coordinate the sweep across them from this process")
+	statusOnly := flag.Bool("status", false, "with -server: print the server's live cluster status (workers, breakers, leases) and exit")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -147,6 +157,14 @@ func run() int {
 		return 1
 	}
 	defer stopObs()
+
+	if *statusOnly {
+		if *server == "" {
+			log.Print("-status requires -server")
+			return 1
+		}
+		return runStatus(*server)
+	}
 
 	specs, param, err := buildSpecs(*oscName, *pmin, *pmax, *n)
 	if err != nil {
@@ -338,6 +356,11 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 	c := pnclient.New(base, nil, pnclient.Retry{})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Mint this run's distributed trace: the client injects it as a
+	// Traceparent header, the server binds the job (and, in coordinator mode,
+	// every worker job) into the same trace.
+	tctx := obs.SpanContext{Trace: obs.NewTraceID()}
+	ctx = obs.ContextWithSpanContext(ctx, tctx)
 
 	// A fresh random key per invocation: retries inside this run deduplicate
 	// (lost 202s, server restarts), distinct runs submit distinct jobs.
@@ -358,7 +381,8 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 		log.Print(err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "pnsweep: job %s submitted to %s (%d points)\n", st.ID, base, len(specs))
+	fmt.Fprintf(os.Stderr, "pnsweep: job %s submitted to %s (%d points, trace %s)\n", st.ID, base, len(specs), tctx.Trace)
+	fmt.Fprintf(os.Stderr, "pnsweep: timeline at %s/v1/jobs/%s/trace\n", base, st.ID)
 
 	// First SIGINT cancels the remote job (the stream then delivers the
 	// canceled terminal state and the summary still renders); a second
@@ -487,12 +511,18 @@ func runCluster(urls string, specs []serve.PointSpec, param []float64, workers i
 	prog := newProgress(len(specs), os.Stderr)
 	var progMu sync.Mutex
 	start := time.Now()
+	// Root span for the coordinated run; live only when -trace-out (or
+	// another emitter) is installed, in which case the lease/attempt spans
+	// nest under it in the recorded trace.
+	span := obs.StartSpan(nil, "pnsweep.cluster")
+	defer span.End()
 	results, err := coord.RunSweep(serve.RunnerRequest{
 		JobID:   jobID,
 		Kind:    "sweep",
 		Specs:   specs,
 		Tok:     tok,
 		Workers: workers,
+		Span:    span,
 		OnSummary: func(s serve.PointSummary) {
 			progMu.Lock()
 			defer progMu.Unlock()
@@ -533,6 +563,49 @@ func runCluster(urls string, specs []serve.PointSpec, param []float64, workers i
 		if !r.OK() {
 			return 1
 		}
+	}
+	return 0
+}
+
+// runStatus renders a server's live fleet view from GET /v1/cluster/status:
+// the coordinator's workers (probe health, quarantine, breaker phase, live
+// lease counts), the in-flight leases, and the job queue.
+func runStatus(base string) int {
+	c := pnclient.New(base, nil, pnclient.Retry{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cs, err := c.ClusterStatus(ctx)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	role := "single node"
+	if cs.Coordinator {
+		role = fmt.Sprintf("coordinator (%d workers)", len(cs.Workers))
+	}
+	state := "serving"
+	if cs.Draining {
+		state = "draining"
+	}
+	fmt.Printf("%s: %s, %s — %d queued, %d running\n", base, role, state, cs.QueueDepth, cs.RunningJobs)
+	if len(cs.Workers) > 0 {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "worker\thealthy\tquarantined\tbreaker\tleases")
+		for _, w := range cs.Workers {
+			fmt.Fprintf(tw, "%s\t%v\t%v\t%s\t%d\n", w.URL, w.Healthy, w.Quarantined, w.Breaker, w.ActiveLeases)
+		}
+		tw.Flush()
+	}
+	if len(cs.Leases) > 0 {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "job\tlease\tattempt\tworker\tpoints\tage")
+		for _, l := range cs.Leases {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%d\t%v\n",
+				l.JobID, l.Lease, l.Attempt, l.Worker, l.Points, (time.Duration(l.AgeMS) * time.Millisecond).Round(time.Millisecond))
+		}
+		tw.Flush()
+	} else if cs.Coordinator {
+		fmt.Println("no leases in flight")
 	}
 	return 0
 }

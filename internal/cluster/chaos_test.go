@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pnclient"
 	"repro/internal/serve"
 )
 
@@ -109,6 +111,122 @@ func TestChaosClusterHeartbeatDrop(t *testing.T) {
 	if got := snap.Counter("pn_core_characterisations_total", "ok"); got != n {
 		t.Fatalf("characterisations = %d, want exactly %d", got, n)
 	}
+}
+
+// TestChaosTraceIngest kills every worker trace pull at the coordinator
+// (cluster.trace.ingest). Trace shipping is pure observability: the job must
+// finish exactly as without the fault, the failed pulls must be counted, and
+// the coordinator's own timeline must still exist — only the worker-side
+// spans go missing.
+func TestChaosTraceIngest(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ClusterTraceIngest: {Mode: faultinject.ModeError},
+	})()
+
+	f := startFabric(t, 2, nil)
+	const n = 6
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 500), Workers: 2})
+	assertAllOK(t, st, n)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_cluster_trace_pulls_total", "failed"); got < 1 {
+		t.Fatalf("failed trace pulls = %d, want >= 1 (every pull faulted)", got)
+	}
+	if got := snap.Counter("pn_cluster_trace_pulls_total", "ok"); got != 0 {
+		t.Fatalf("ok trace pulls = %d, want 0 under a permanent ingest fault", got)
+	}
+	if stats := faultinject.Stats()[faultinject.ClusterTraceIngest]; stats.Fired < 1 {
+		t.Fatal("trace ingest fault never fired; the test exercised nothing")
+	}
+	// The coordinator's local spans are recorded regardless of pull failures.
+	jt := fetchTrace(t, f.frontTS.URL, st.ID)
+	if len(jt.Spans) == 0 {
+		t.Fatal("coordinator timeline empty despite local spans")
+	}
+	if !timelineHas(jt, "cluster.lease") {
+		t.Fatalf("timeline lacks coordinator lease spans: %+v", jt.Stages)
+	}
+}
+
+// TestClusterTraceTimeline is the tracing happy path: after a clean sweep
+// through the fabric, the coordinator job's trace holds one trace ID shared
+// by coordinator-local spans and the span batches pulled from both workers,
+// and the fleet status surface reports the settled cluster.
+func TestClusterTraceTimeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	f := startFabric(t, 2, nil)
+	const n = 8
+	st := submitAndWait(t, f.frontTS.URL, serve.SweepRequest{Points: hopfPoints(n, 600), Workers: 2})
+	assertAllOK(t, st, n)
+
+	jt := fetchTrace(t, f.frontTS.URL, st.ID)
+	if jt.TraceID == "" {
+		t.Fatal("job has no trace ID")
+	}
+	for _, name := range []string{"serve.job", "cluster.lease", "cluster.attempt", "sweep.Run", "sweep.attempt"} {
+		if !timelineHas(jt, name) {
+			t.Fatalf("timeline lacks %q spans; stages: %+v", name, jt.Stages)
+		}
+	}
+	// Worker jobs re-emit their own serve.job root: the merged timeline holds
+	// the coordinator's plus at least one per dispatched lease.
+	roots := 0
+	for _, ev := range jt.Spans {
+		if ev.Trace != jt.TraceID {
+			t.Fatalf("span %q carries trace %q, want %q — one trace end to end", ev.Name, ev.Trace, jt.TraceID)
+		}
+		if ev.Type == "span" && ev.Name == "serve.job" {
+			roots++
+		}
+	}
+	if roots < 2 {
+		t.Fatalf("serve.job spans = %d, want >= 2 (coordinator + worker jobs)", roots)
+	}
+	if got := reg.Snapshot().Counter("pn_cluster_trace_pulls_total", "ok"); got < 1 {
+		t.Fatalf("ok trace pulls = %d, want >= 1", got)
+	}
+
+	// The settled fleet: both workers healthy, breakers closed, no live leases.
+	workers, leases := f.coord.Status()
+	if len(workers) != 2 {
+		t.Fatalf("status reports %d workers, want 2", len(workers))
+	}
+	for _, w := range workers {
+		if !w.Healthy || w.Quarantined || w.Breaker != BreakerClosed || w.ActiveLeases != 0 {
+			t.Fatalf("settled worker in bad state: %+v", w)
+		}
+	}
+	if len(leases) != 0 {
+		t.Fatalf("settled cluster reports %d live leases: %+v", len(leases), leases)
+	}
+}
+
+// fetchTrace pulls a job's merged timeline from a front server.
+func fetchTrace(t *testing.T, base, id string) serve.JobTrace {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	jt, err := pnclient.New(base, nil, fastRetry).Trace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jt
+}
+
+// timelineHas reports whether any span event in jt carries the given name.
+func timelineHas(jt serve.JobTrace, name string) bool {
+	for _, ev := range jt.Spans {
+		if ev.Type == "span" && ev.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // TestChaosClusterFlakyTransport makes every coordinator->worker HTTP

@@ -33,12 +33,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/pnclient"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -119,6 +121,85 @@ type Coordinator struct {
 	// job runs its leases one after another instead of oversubscribing the
 	// local CPU len(leases)-fold.
 	fallbackMu sync.Mutex
+
+	// leaseMu guards active, the live-lease registry backing Status.
+	leaseMu sync.Mutex
+	active  map[string]*activeLease
+}
+
+// activeLease is one in-flight lease as shown by the status surface.
+type activeLease struct {
+	jobID   string
+	lease   int
+	attempt int
+	worker  string // a worker URL, or "local" for an in-process fallback
+	points  int
+	since   time.Time
+}
+
+// trackLease registers (or refreshes, on re-dispatch) a live lease.
+func (c *Coordinator) trackLease(jobID string, leaseID, attempt int, worker string, points int) {
+	key := fmt.Sprintf("%s|%d", jobID, leaseID)
+	c.leaseMu.Lock()
+	if c.active == nil {
+		c.active = make(map[string]*activeLease)
+	}
+	if al, ok := c.active[key]; ok {
+		al.attempt, al.worker = attempt, worker
+	} else {
+		c.active[key] = &activeLease{jobID: jobID, lease: leaseID, attempt: attempt, worker: worker, points: points, since: time.Now()}
+	}
+	c.leaseMu.Unlock()
+}
+
+// untrackLease drops a settled lease from the registry.
+func (c *Coordinator) untrackLease(jobID string, leaseID int) {
+	c.leaseMu.Lock()
+	delete(c.active, fmt.Sprintf("%s|%d", jobID, leaseID))
+	c.leaseMu.Unlock()
+}
+
+// Status snapshots the fleet for the live status surface: every configured
+// worker's probe health, flap quarantine, breaker phase and live lease count,
+// plus the in-flight leases themselves. Wire it into serve.Config.ClusterStatus
+// to expose it as GET /v1/cluster/status.
+func (c *Coordinator) Status() ([]serve.WorkerStatus, []serve.LeaseStatus) {
+	now := time.Now()
+	c.leaseMu.Lock()
+	leases := make([]serve.LeaseStatus, 0, len(c.active))
+	perWorker := make(map[string]int, len(c.cfg.Workers))
+	for _, al := range c.active {
+		perWorker[al.worker]++
+		leases = append(leases, serve.LeaseStatus{
+			JobID:   al.jobID,
+			Lease:   al.lease,
+			Attempt: al.attempt,
+			Worker:  al.worker,
+			Points:  al.points,
+			AgeMS:   float64(now.Sub(al.since)) / 1e6,
+		})
+	}
+	c.leaseMu.Unlock()
+	sort.Slice(leases, func(i, j int) bool {
+		if leases[i].JobID != leases[j].JobID {
+			return leases[i].JobID < leases[j].JobID
+		}
+		return leases[i].Lease < leases[j].Lease
+	})
+	health := c.prober.status()
+	workers := make([]serve.WorkerStatus, 0, len(c.cfg.Workers))
+	for _, w := range c.cfg.Workers {
+		ws := serve.WorkerStatus{URL: w, ActiveLeases: perWorker[w]}
+		if h, ok := health[w]; ok {
+			ws.Healthy = h.healthy
+			ws.Quarantined = h.quarantined
+		}
+		if b := c.breakers[w]; b != nil {
+			ws.Breaker = b.State()
+		}
+		workers = append(workers, ws)
+	}
+	return workers, leases
 }
 
 // New builds a coordinator and starts its health prober. Call Close when
@@ -246,12 +327,39 @@ func (c *Coordinator) RunSweep(req serve.RunnerRequest) ([]sweep.PointResult, er
 	run.wal = wal
 	// Resume: the latest dispatch record per lease pins the attempt counter
 	// (so the idempotency key matches the worker job already created) and
-	// the preferred worker.
+	// the preferred worker. Leases that were dispatched but never settled
+	// before the crash get a "flight" marker in the job's timeline — the
+	// trace's record of why the lease restarts mid-attempt.
+	inflight := make(map[int]walRecord)
 	for _, r := range recs {
-		if r.Type == walDispatch && r.Lease >= 0 && r.Lease < len(leases) {
+		if r.Lease < 0 || r.Lease >= len(leases) {
+			continue
+		}
+		switch r.Type {
+		case walDispatch:
 			leases[r.Lease].attempt = r.Attempt
 			leases[r.Lease].worker = r.Worker
+			inflight[r.Lease] = r
+		case walComplete, walFallback:
+			delete(inflight, r.Lease)
 		}
+	}
+	if req.IngestTrace != nil && len(inflight) > 0 {
+		evs := make([]obs.Event, 0, len(inflight))
+		for _, rec := range inflight {
+			evs = append(evs, obs.Event{
+				Type:    "flight",
+				Name:    "cluster.lease.resumed",
+				StartNS: time.Now().UnixNano(),
+				Attrs: map[string]any{
+					"lease":      rec.Lease,
+					"attempt":    rec.Attempt,
+					"worker":     rec.Worker,
+					"worker_job": rec.WorkerJob,
+				},
+			})
+		}
+		req.IngestTrace(evs)
 	}
 
 	var wg sync.WaitGroup
@@ -318,12 +426,28 @@ func (r *jobRun) buildLeases() []*lease {
 	return leases
 }
 
+// clusterFlightCap bounds the per-attempt flight-recorder ring on the
+// coordinator side.
+const clusterFlightCap = 64
+
 // runLease drives one lease to completion: dispatch to a worker, supervise
 // it, and on any failure requeue with the next attempt's idempotency key —
 // falling back to the in-process path when no worker will take it.
+//
+// Each dispatch attempt runs under its own span whose context rides the
+// Traceparent header into the worker submission, so the worker job's spans
+// join the coordinator job's trace with the attempt span as remote parent. A
+// per-attempt flight-recorder ring captures the attempt's local subtree;
+// when the attempt is requeued or abandoned, the ring plus a "flight" marker
+// is folded into the job's timeline — the post-mortem of the crashed attempt.
 func (r *jobRun) runLease(ctx context.Context, l *lease) {
 	c := r.coord
 	m := clusterMetrics.Get()
+	lsp := obs.StartSpan(r.req.Span, "cluster.lease")
+	lsp.SetAttr("lease", l.id)
+	lsp.SetAttr("points", len(l.indices))
+	defer lsp.End()
+	defer c.untrackLease(r.req.JobID, l.id)
 	for ; ; l.attempt++ {
 		if ctx.Err() != nil {
 			r.abandonLease(l)
@@ -331,21 +455,39 @@ func (r *jobRun) runLease(ctx context.Context, l *lease) {
 		}
 		if l.attempt >= c.cfg.MaxAttempts {
 			c.cfg.Logf("cluster: lease %d of job %s exhausted %d dispatch attempts", l.id, r.req.JobID, l.attempt)
-			r.fallbackLease(l)
+			r.fallbackLease(l, lsp)
 			return
 		}
 		w, ok := c.pickWorker(l)
 		if !ok {
-			r.fallbackLease(l)
+			r.fallbackLease(l, lsp)
 			return
 		}
 		l.worker = w
+		var ring *obs.RingEmitter
+		var asp *obs.Span
+		if r.req.IngestTrace != nil {
+			ring = obs.NewRingEmitter(clusterFlightCap)
+			asp = obs.StartSpanOn(obs.Tee(lsp.Emitter(), ring), lsp, "cluster.attempt")
+		} else {
+			asp = obs.StartSpan(lsp, "cluster.attempt")
+		}
+		asp.SetAttr("attempt", l.attempt)
+		asp.SetAttr("worker", w)
 		if err := faultinject.Fire(faultinject.ClusterLeaseDispatch); err != nil {
 			c.fail(w)
 			m.leases.With("requeued").Inc()
+			asp.EndErr(err)
+			r.dumpFlight(ring, l, w, "", "dispatch failed")
 			continue
 		}
-		st, err := c.clients[w].Sweep(ctx, serve.SweepRequest{
+		// The attempt span's context rides the submission so the worker job
+		// joins this trace (nil span / tracing off: ctx passes unchanged).
+		cctx := ctx
+		if sc := asp.Context(); sc.Trace != "" {
+			cctx = obs.ContextWithSpanContext(ctx, sc)
+		}
+		st, err := c.clients[w].Sweep(cctx, serve.SweepRequest{
 			Points:     l.specs,
 			Workers:    r.req.Workers,
 			NoCache:    r.req.NoCache,
@@ -354,18 +496,25 @@ func (r *jobRun) runLease(ctx context.Context, l *lease) {
 		if err != nil {
 			c.fail(w)
 			m.leases.With("requeued").Inc()
+			asp.EndErr(err)
+			r.dumpFlight(ring, l, w, "", "submit failed")
 			continue
 		}
 		c.ok(w)
+		c.trackLease(r.req.JobID, l.id, l.attempt, w, len(l.indices))
 		r.wal.append(walRecord{Type: walDispatch, Lease: l.id, Attempt: l.attempt, Worker: w, WorkerJob: st.ID})
 		m.leases.With("dispatched").Inc()
 
 		if r.superviseLease(ctx, l, w, st.ID) {
 			m.leases.With("completed").Inc()
 			r.wal.append(walRecord{Type: walComplete, Lease: l.id, Attempt: l.attempt, Worker: w, WorkerJob: st.ID})
+			asp.End()
+			r.pullWorkerTrace(ctx, w, st.ID)
 			return
 		}
 		if ctx.Err() != nil {
+			asp.EndErr(ctx.Err())
+			r.dumpFlight(ring, l, w, st.ID, "abandoned")
 			r.abandonLease(l)
 			return
 		}
@@ -376,8 +525,62 @@ func (r *jobRun) runLease(ctx context.Context, l *lease) {
 		// inherit their budget errors. If the worker is unreachable the
 		// lease TTL performs the same cleanup on its own clock.
 		m.leases.With("requeued").Inc()
+		asp.EndErr(fmt.Errorf("attempt %d on %s requeued", l.attempt, w))
+		r.dumpFlight(ring, l, w, st.ID, "requeued")
 		c.drainAttempt(ctx, w, st.ID)
+		// Best-effort: whatever spans the dying worker job managed to record
+		// are still worth having in the timeline.
+		r.pullWorkerTrace(ctx, w, st.ID)
 	}
+}
+
+// dumpFlight folds a crashed attempt's flight-recorder ring into the job's
+// timeline, capped with a "flight" marker naming the lease, attempt, worker
+// and cause. Live-emitted spans in the ring dedup away on ingest; the marker
+// (and anything the timeline had dropped) survives as the crash record.
+func (r *jobRun) dumpFlight(ring *obs.RingEmitter, l *lease, worker, workerJob, cause string) {
+	if ring == nil || r.req.IngestTrace == nil {
+		return
+	}
+	evs := append(ring.Events(), obs.Event{
+		Type:    "flight",
+		Name:    "cluster.lease.flight",
+		StartNS: time.Now().UnixNano(),
+		Attrs: map[string]any{
+			"lease":      l.id,
+			"attempt":    l.attempt,
+			"worker":     worker,
+			"worker_job": workerJob,
+			"cause":      cause,
+		},
+	})
+	r.req.IngestTrace(evs)
+	clusterMetrics.Get().flightDumps.Inc()
+}
+
+// pullWorkerTrace ships a worker job's recorded spans into the coordinator
+// job's merged timeline. Strictly best-effort observability: the
+// cluster.trace.ingest fault point and any transport failure lose the batch
+// (counted), never the lease.
+func (r *jobRun) pullWorkerTrace(ctx context.Context, w, workerJob string) {
+	if r.req.IngestTrace == nil || workerJob == "" {
+		return
+	}
+	c := r.coord
+	m := clusterMetrics.Get()
+	if err := faultinject.Fire(faultinject.ClusterTraceIngest); err != nil {
+		m.tracePulls.With("failed").Inc()
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTTL)
+	jt, err := c.clients[w].Trace(pctx, workerJob)
+	cancel()
+	if err != nil {
+		m.tracePulls.With("failed").Inc()
+		return
+	}
+	r.req.IngestTrace(jt.Spans)
+	m.tracePulls.With("ok").Inc()
 }
 
 // drainAttempt best-effort cancels a worker job being abandoned by a requeue
@@ -529,12 +732,15 @@ func (c *Coordinator) heartbeat(ctx context.Context, w, workerJob string) {
 // the degraded mode when no worker is usable. Fallback leases serialise on
 // the coordinator so a dead cluster behaves like one local sweep, not
 // len(leases) competing ones.
-func (r *jobRun) fallbackLease(l *lease) {
+func (r *jobRun) fallbackLease(l *lease, lsp *obs.Span) {
 	c := r.coord
 	c.cfg.Logf("cluster: WARNING: no usable worker for lease %d of job %s; running %d points in-process", l.id, r.req.JobID, len(l.specs))
 	clusterMetrics.Get().fallbackRuns.Inc()
 	clusterMetrics.Get().leases.With("fallback").Inc()
+	c.trackLease(r.req.JobID, l.id, l.attempt, "local", len(l.indices))
 	r.wal.append(walRecord{Type: walFallback, Lease: l.id, Attempt: l.attempt})
+	fsp := obs.StartSpan(lsp, "cluster.fallback")
+	defer fsp.End()
 
 	c.fallbackMu.Lock()
 	defer c.fallbackMu.Unlock()
@@ -564,6 +770,7 @@ func (r *jobRun) fallbackLease(l *lease) {
 		Workers: r.req.Workers,
 		Budget:  r.req.Tok,
 		Cache:   store,
+		Span:    fsp,
 		OnPoint: func(res sweep.PointResult) {
 			if res.Index < 0 || res.Index >= len(local) {
 				return

@@ -12,6 +12,8 @@ type clusterInstruments struct {
 	quarantines  *obs.Counter    // pn_cluster_quarantines_total
 	fallbackRuns *obs.Counter    // pn_cluster_fallback_leases_total
 	dupPoints    *obs.Counter    // pn_cluster_duplicate_points_total
+	tracePulls   *obs.CounterVec // pn_cluster_trace_pulls_total{outcome}
+	flightDumps  *obs.Counter    // pn_cluster_flight_dumps_total
 }
 
 var clusterMetrics = obs.NewView(func(r *obs.Registry) *clusterInstruments {
@@ -22,5 +24,7 @@ var clusterMetrics = obs.NewView(func(r *obs.Registry) *clusterInstruments {
 		quarantines:  r.Counter("pn_cluster_quarantines_total", "Workers quarantined by the prober for flapping."),
 		fallbackRuns: r.Counter("pn_cluster_fallback_leases_total", "Leases run in-process because no worker was usable."),
 		dupPoints:    r.Counter("pn_cluster_duplicate_points_total", "Per-point completions discarded as duplicates when merging worker streams."),
+		tracePulls:   r.CounterVec("pn_cluster_trace_pulls_total", "Worker trace pulls at the coordinator, by outcome (ok, failed).", "outcome"),
+		flightDumps:  r.Counter("pn_cluster_flight_dumps_total", "Coordinator flight-recorder dumps attached to requeued or abandoned lease attempts."),
 	}
 })

@@ -93,6 +93,29 @@ func (p *prober) Healthy(worker string) bool {
 	return wh.healthy
 }
 
+// proberStatus is one worker's health snapshot for the fleet status surface.
+type proberStatus struct {
+	healthy     bool
+	quarantined bool
+}
+
+// status snapshots every worker's probe state. healthy is the raw probe view;
+// quarantined reports an active flap bench (which also makes Healthy refuse
+// leases regardless of the probe result).
+func (p *prober) status() map[string]proberStatus {
+	now := p.cfg.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]proberStatus, len(p.workers))
+	for w, wh := range p.workers {
+		out[w] = proberStatus{
+			healthy:     wh.healthy,
+			quarantined: !wh.benchedTill.IsZero() && now.Before(wh.benchedTill),
+		}
+	}
+	return out
+}
+
 // run probes all workers forever at the configured period, until ctx ends.
 func (p *prober) run(ctx context.Context) {
 	tick := time.NewTicker(p.cfg.Every)

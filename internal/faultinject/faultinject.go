@@ -83,6 +83,11 @@ const (
 	// renew call is skipped as if lost to the network, so a healthy worker
 	// looks partitioned and the lease TTL runs out.
 	ClusterHeartbeatDrop = "cluster.heartbeat.drop"
+	// ClusterTraceIngest fails the coordinator's worker trace pull on lease
+	// settle: the span batch is lost, the job's timeline shows a gap, and the
+	// job itself must settle normally — trace shipping is observability, never
+	// a correctness dependency.
+	ClusterTraceIngest = "cluster.trace.ingest"
 	// PnclientHTTP fails one pnclient HTTP attempt before it reaches the
 	// transport — a deterministic stand-in for connection refused/reset,
 	// exercising the retry ladder and the callers' failover paths.
@@ -95,6 +100,7 @@ var points = []string{
 	CacheDiskWrite,
 	ClusterHeartbeatDrop,
 	ClusterLeaseDispatch,
+	ClusterTraceIngest,
 	ClusterWorkerKill,
 	OdeBatchKernel,
 	OscEvalDelay,

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsedHist is a histogram family decoded back out of the Prometheus text
+// exposition format: cumulative bucket counts keyed by the le bound, plus the
+// _sum/_count series.
+type parsedHist struct {
+	buckets map[string]uint64 // le label -> cumulative count
+	order   []string          // le labels in exposition order
+	sum     float64
+	count   uint64
+}
+
+// decodeExposition is a minimal scrape-side parser for the subset of the
+// text format WriteTo produces. It is intentionally strict: any histogram
+// line it cannot parse fails the test.
+func decodeExposition(t *testing.T, text string) map[string]*parsedHist {
+	t.Helper()
+	hists := map[string]*parsedHist{}
+	get := func(name string) *parsedHist {
+		h := hists[name]
+		if h == nil {
+			h = &parsedHist{buckets: map[string]uint64{}}
+			hists[name] = h
+		}
+		return h
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		switch {
+		case strings.Contains(series, "_bucket{le="):
+			name, rest, _ := strings.Cut(series, "_bucket{le=")
+			le := strings.TrimSuffix(strings.Trim(rest, `"}`), `"`)
+			n, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q: %v", line, err)
+			}
+			h := get(name)
+			if _, dup := h.buckets[le]; dup {
+				t.Fatalf("duplicate bucket le=%q for %s", le, name)
+			}
+			h.buckets[le] = n
+			h.order = append(h.order, le)
+		case strings.HasSuffix(series, "_sum"):
+			f, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("sum %q: %v", line, err)
+			}
+			get(strings.TrimSuffix(series, "_sum")).sum = f
+		case strings.HasSuffix(series, "_count"):
+			n, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("count %q: %v", line, err)
+			}
+			get(strings.TrimSuffix(series, "_count")).count = n
+		}
+	}
+	return hists
+}
+
+// TestHistogramExpositionRoundTrip scrapes WriteTo's text output back into
+// cumulative buckets and verifies everything a standard histogram_quantile
+// query relies on: cumulative monotone buckets, a trailing +Inf bound equal
+// to _count, and per-bucket counts that difference back to the raw Snapshot.
+func TestHistogramExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "round trip", []float64{0.01, 0.1, 1})
+	obsd := []float64{0.005, 0.05, 0.05, 0.5, 2, 7}
+	for _, v := range obsd {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	ph, ok := decodeExposition(t, sb.String())["rt_seconds"]
+	if !ok {
+		t.Fatalf("rt_seconds missing from exposition:\n%s", sb.String())
+	}
+
+	wantOrder := []string{"0.01", "0.1", "1", "+Inf"}
+	if len(ph.order) != len(wantOrder) {
+		t.Fatalf("bucket order = %v, want %v", ph.order, wantOrder)
+	}
+	for i, le := range wantOrder {
+		if ph.order[i] != le {
+			t.Fatalf("bucket order = %v, want %v", ph.order, wantOrder)
+		}
+	}
+
+	// Cumulative and monotone.
+	prev := uint64(0)
+	for _, le := range ph.order {
+		if ph.buckets[le] < prev {
+			t.Fatalf("buckets not monotone: le=%q count %d < previous %d", le, ph.buckets[le], prev)
+		}
+		prev = ph.buckets[le]
+	}
+	if ph.buckets["+Inf"] != ph.count {
+		t.Fatalf("+Inf bucket %d != _count %d", ph.buckets["+Inf"], ph.count)
+	}
+	if ph.count != uint64(len(obsd)) {
+		t.Fatalf("_count = %d, want %d", ph.count, len(obsd))
+	}
+	wantSum := 0.0
+	for _, v := range obsd {
+		wantSum += v
+	}
+	if math.Abs(ph.sum-wantSum) > 1e-9 {
+		t.Fatalf("_sum = %g, want %g", ph.sum, wantSum)
+	}
+
+	// Differencing the cumulative buckets recovers the raw per-bucket counts
+	// the Snapshot reports.
+	snap, ok := r.Snapshot().Histogram("rt_seconds")
+	if !ok {
+		t.Fatal("snapshot missing rt_seconds")
+	}
+	prev = 0
+	for i, le := range ph.order {
+		raw := ph.buckets[le] - prev
+		prev = ph.buckets[le]
+		if raw != snap.Counts[i] {
+			t.Fatalf("bucket le=%q raw count %d != snapshot count %d", le, raw, snap.Counts[i])
+		}
+	}
+}
+
+// TestHistogramExpositionEmpty: a never-observed histogram must still expose
+// a full, consistent family (all-zero buckets, zero sum/count) so scrapes
+// never see a partial series.
+func TestHistogramExpositionEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "", []float64{1, 2})
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	ph, ok := decodeExposition(t, sb.String())["empty_seconds"]
+	if !ok {
+		t.Fatalf("empty_seconds missing:\n%s", sb.String())
+	}
+	if ph.count != 0 || ph.sum != 0 || ph.buckets["+Inf"] != 0 {
+		t.Fatalf("empty histogram exposes nonzero values: %+v", ph)
+	}
+	if len(ph.order) != 3 {
+		t.Fatalf("empty histogram bucket count = %d, want 3 (2 bounds + +Inf)", len(ph.order))
+	}
+}

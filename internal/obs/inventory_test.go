@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricInventoryMatchesDesign is a tripwire: the metric inventory table
+// in DESIGN.md §8 must list exactly the pn_* metrics registered by non-test
+// code, no more and no less. Registering a metric without documenting it (or
+// documenting one that no longer exists) fails here, so the §8 table stays a
+// trustworthy contract for dashboards and alerts.
+//
+// Registration sites are found textually: every registry call in this repo is
+// written single-line as .Counter("pn_...")/.CounterVec(...)/.Gauge(...)/
+// .Histogram(...). If a new call site splits the name onto its own line this
+// test reports it as undocumented — reformat the call or extend the scan.
+func TestMetricInventoryMatchesDesign(t *testing.T) {
+	root := filepath.Join("..", "..")
+
+	registered := scanRegisteredMetrics(t, root)
+	documented := scanDocumentedMetrics(t, filepath.Join(root, "DESIGN.md"))
+
+	var undocumented, stale []string
+	for name := range registered {
+		if _, ok := documented[name]; !ok {
+			undocumented = append(undocumented, name+" (registered at "+registered[name]+")")
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(undocumented)
+	sort.Strings(stale)
+	if len(undocumented) > 0 {
+		t.Errorf("metrics registered but missing from the DESIGN.md §8 inventory table:\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("metrics in the DESIGN.md §8 inventory table but registered nowhere:\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+	if len(registered) == 0 || len(documented) == 0 {
+		t.Fatalf("scan degenerate: %d registered, %d documented — the tripwire itself is broken",
+			len(registered), len(documented))
+	}
+}
+
+var registerRE = regexp.MustCompile(`\.(?:Counter|CounterVec|Gauge|Histogram)\("(pn_[a-z0-9_]+)"`)
+
+// scanRegisteredMetrics walks the production source trees and returns every
+// pn_* name passed to a registry constructor, mapped to one file that
+// registers it. Test files are skipped: throwaway metrics minted inside tests
+// are not part of the exposition contract.
+func scanRegisteredMetrics(t *testing.T, root string) map[string]string {
+	t.Helper()
+	found := make(map[string]string)
+	for _, tree := range []string{"internal", "cmd", "examples"} {
+		dir := filepath.Join(root, tree)
+		if _, err := os.Stat(dir); err != nil {
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range registerRE.FindAllSubmatch(src, -1) {
+				name := string(m[1])
+				if _, ok := found[name]; !ok {
+					found[name] = filepath.ToSlash(strings.TrimPrefix(path, root+string(filepath.Separator)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return found
+}
+
+// documentedRE matches a backticked metric literal in the §8 table: the name,
+// optionally followed by a {label} hint, closed by a backtick. Prose wildcards
+// like `pn_serve_*` deliberately do not match.
+var documentedRE = regexp.MustCompile("`(pn_[a-z0-9_]+)(?:\\{[a-z0-9_]+\\})?`")
+
+// scanDocumentedMetrics extracts the metric names from the DESIGN.md §8
+// section (from the "## 8." heading up to "## 9.").
+func scanDocumentedMetrics(t *testing.T, designPath string) map[string]bool {
+	t.Helper()
+	src, err := os.ReadFile(designPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var section []string
+	in := false
+	for _, line := range strings.Split(string(src), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## 8."):
+			in = true
+		case strings.HasPrefix(line, "## 9."):
+			in = false
+		case in:
+			section = append(section, line)
+		}
+	}
+	if len(section) == 0 {
+		t.Fatal("DESIGN.md has no §8 section — heading renumbered?")
+	}
+	found := make(map[string]bool)
+	for _, m := range documentedRE.FindAllStringSubmatch(strings.Join(section, "\n"), -1) {
+		found[m[1]] = true
+	}
+	return found
+}

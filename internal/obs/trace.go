@@ -1,7 +1,12 @@
 package obs
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -12,9 +17,14 @@ import (
 // are derived from one process-local monotonic epoch, so within a process
 // events carry strictly consistent ordering: a child's start never precedes
 // its parent's, and End times respect call order even across goroutines.
+// Trace and Proc tie events from different processes into one distributed
+// timeline: span IDs are only unique per process, so (Proc, Span) is the
+// globally unique key.
 type Event struct {
-	Type    string         `json:"type"` // always "span"
+	Type    string         `json:"type"` // "span", or a marker kind ("flight", "resume")
 	Name    string         `json:"name"`
+	Trace   string         `json:"trace,omitempty"` // 32-hex trace ID shared across processes
+	Proc    string         `json:"proc,omitempty"`  // emitting process, host:pid
 	Span    uint64         `json:"span"`
 	Parent  uint64         `json:"parent,omitempty"` // 0 for root spans
 	StartNS int64          `json:"start_unix_ns"`
@@ -53,12 +63,83 @@ func CurrentEmitter() Emitter {
 
 var spanIDs atomic.Uint64
 
+// Span IDs start from a per-process random base so that spans minted by
+// different processes in the same distributed trace cannot collide. Sequential
+// counting from the base keeps allocation at zero per span.
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		spanIDs.Store(binary.LittleEndian.Uint64(b[:]))
+	}
+}
+
 // epoch anchors all span timestamps to a single time.Now() carrying a
 // monotonic reading: now() = epoch + monotonic elapsed, so wall-clock steps
 // cannot produce non-monotonic or negative-duration events.
 var epoch = time.Now()
 
 func tnow() time.Time { return epoch.Add(time.Since(epoch)) }
+
+// SpanContext is the portable identity of a span — what crosses a process
+// boundary in a traceparent header. Span is the remote parent's ID; a zero
+// Span with a non-empty Trace joins the trace as a root.
+type SpanContext struct {
+	Trace string // 32 lowercase hex chars
+	Span  uint64
+}
+
+// NewTraceID mints a random 32-hex trace identifier.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: derive from the span counter; still unique per process.
+		binary.LittleEndian.PutUint64(b[:8], spanIDs.Add(1))
+		binary.LittleEndian.PutUint64(b[8:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Traceparent renders the context in W3C traceparent layout:
+// "00-<32 hex trace>-<16 hex span>-01". Empty when the context has no trace.
+func (sc SpanContext) Traceparent() string {
+	if sc.Trace == "" {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", sc.Trace, sc.Span)
+}
+
+// ParseTraceparent parses a W3C-style traceparent header produced by
+// Traceparent. Returns ok=false on any malformed input.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2 (flags)
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	trace := s[3:35]
+	if _, err := hex.DecodeString(trace); err != nil {
+		return SpanContext{}, false
+	}
+	span, err := hex.DecodeString(s[36:52])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: trace, Span: binary.BigEndian.Uint64(span)}, true
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpanContext attaches sc to ctx so transport clients can inject
+// it into outgoing requests.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom extracts a SpanContext previously attached with
+// ContextWithSpanContext.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Trace != ""
+}
 
 // Span is one timed operation. Create with StartSpan, finish with End (or
 // EndErr); attributes attached before End are carried on the emitted Event.
@@ -69,6 +150,7 @@ func tnow() time.Time { return epoch.Add(time.Since(epoch)) }
 type Span struct {
 	em     Emitter
 	name   string
+	trace  string
 	id     uint64
 	parent uint64
 	start  time.Time
@@ -84,9 +166,11 @@ type Span struct {
 func StartSpan(parent *Span, name string) *Span {
 	var em Emitter
 	var pid uint64
+	var trace string
 	if parent != nil {
 		em = parent.em
 		pid = parent.id
+		trace = parent.trace
 	} else {
 		em = CurrentEmitter()
 	}
@@ -96,6 +180,55 @@ func StartSpan(parent *Span, name string) *Span {
 	return &Span{
 		em:     em,
 		name:   name,
+		trace:  trace,
+		id:     spanIDs.Add(1),
+		parent: pid,
+		start:  tnow(),
+	}
+}
+
+// StartSpanIn opens a root span on an explicit emitter, joining the trace
+// described by pctx (typically parsed from an incoming traceparent header).
+// An empty pctx.Trace mints a fresh trace ID. A nil em falls back to the
+// process-wide emitter; if that is nil too, the span is nil and free.
+func StartSpanIn(em Emitter, pctx SpanContext, name string) *Span {
+	if em == nil {
+		em = CurrentEmitter()
+	}
+	if em == nil {
+		return nil
+	}
+	trace := pctx.Trace
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	return &Span{
+		em:     em,
+		name:   name,
+		trace:  trace,
+		id:     spanIDs.Add(1),
+		parent: pctx.Span,
+		start:  tnow(),
+	}
+}
+
+// StartSpanOn opens a child of parent that emits to em instead of the
+// parent's emitter — used to tee an attempt's subtree into a flight-recorder
+// ring while keeping its place in the trace. A nil em returns a nil span.
+func StartSpanOn(em Emitter, parent *Span, name string) *Span {
+	if em == nil {
+		return nil
+	}
+	var pid uint64
+	var trace string
+	if parent != nil {
+		pid = parent.id
+		trace = parent.trace
+	}
+	return &Span{
+		em:     em,
+		name:   name,
+		trace:  trace,
 		id:     spanIDs.Add(1),
 		parent: pid,
 		start:  tnow(),
@@ -108,6 +241,23 @@ func (s *Span) ID() uint64 {
 		return 0
 	}
 	return s.id
+}
+
+// Context returns the span's portable identity for propagation across a
+// process boundary. Zero on a nil receiver.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// Emitter returns the emitter this span reports to (nil on a nil receiver).
+func (s *Span) Emitter() Emitter {
+	if s == nil {
+		return nil
+	}
+	return s.em
 }
 
 // SetAttr attaches a key/value attribute. Values must be JSON-marshalable.
@@ -145,6 +295,7 @@ func (s *Span) End() {
 	s.em.Emit(Event{
 		Type:    "span",
 		Name:    s.name,
+		Trace:   s.trace,
 		Span:    s.id,
 		Parent:  s.parent,
 		StartNS: s.start.UnixNano(),
@@ -236,4 +387,32 @@ func (e *RingEmitter) Len() int {
 		return len(e.buf)
 	}
 	return e.next
+}
+
+type teeEmitter struct{ ems []Emitter }
+
+func (t *teeEmitter) Emit(ev Event) {
+	for _, e := range t.ems {
+		e.Emit(ev)
+	}
+}
+
+// Tee fans each event out to every non-nil emitter. Nil arguments are
+// skipped; with zero live emitters Tee returns nil, with one it returns that
+// emitter unwrapped. Callers must pass concrete nils (typed-nil interface
+// values are not filtered).
+func Tee(ems ...Emitter) Emitter {
+	live := make([]Emitter, 0, len(ems))
+	for _, e := range ems {
+		if e != nil {
+			live = append(live, e)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &teeEmitter{ems: live}
 }

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: 0xdeadbeefcafe}
+	tp := sc.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent layout: %q", tp)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected its own output %q", tp)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-" + strings.Repeat("g", 32) + "-0000000000000001-01", // non-hex trace
+		"00-" + strings.Repeat("a", 32) + "-zzzzzzzzzzzzzzzz-01", // non-hex span
+		"00-" + strings.Repeat("a", 32) + "-0000000000000001-0",  // short flags
+		strings.Repeat("a", 55),                                  // right length, no dashes
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Fatalf("ParseTraceparent accepted malformed %q", s)
+		}
+	}
+}
+
+func TestTraceparentEmptyContext(t *testing.T) {
+	if tp := (SpanContext{}).Traceparent(); tp != "" {
+		t.Fatalf("empty context traceparent = %q, want empty", tp)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace IDs must be 32 hex chars, got %q %q", a, b)
+	}
+	if a == b {
+		t.Fatal("two trace IDs collided")
+	}
+}
+
+func TestContextCarriesSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := SpanContextFrom(ctx); ok {
+		t.Fatal("empty context must not yield a span context")
+	}
+	want := SpanContext{Trace: NewTraceID(), Span: 42}
+	ctx = ContextWithSpanContext(ctx, want)
+	got, ok := SpanContextFrom(ctx)
+	if !ok || got != want {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, want)
+	}
+	// An attached context with no trace ID reads back as absent.
+	ctx = ContextWithSpanContext(context.Background(), SpanContext{Span: 7})
+	if _, ok := SpanContextFrom(ctx); ok {
+		t.Fatal("traceless span context must read back as absent")
+	}
+}
+
+func TestStartSpanInJoinsRemoteTrace(t *testing.T) {
+	ring := NewRingEmitter(8)
+	remote := SpanContext{Trace: NewTraceID(), Span: 999}
+	root := StartSpanIn(ring, remote, "serve.job")
+	child := StartSpan(root, "child")
+	child.End()
+	root.End()
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Trace != remote.Trace {
+			t.Fatalf("%s: trace = %q, want remote trace %q", e.Name, e.Trace, remote.Trace)
+		}
+	}
+	if evs[1].Parent != remote.Span {
+		t.Fatalf("root parent = %d, want remote span %d", evs[1].Parent, remote.Span)
+	}
+	if evs[0].Parent != evs[1].Span {
+		t.Fatal("child must nest under the joined root")
+	}
+	if got := root.Context(); got.Trace != remote.Trace || got.Span != evs[1].Span {
+		t.Fatalf("root.Context() = %+v", got)
+	}
+}
+
+func TestStartSpanInMintsTraceWhenAbsent(t *testing.T) {
+	ring := NewRingEmitter(2)
+	sp := StartSpanIn(ring, SpanContext{}, "root")
+	sp.End()
+	if evs := ring.Events(); len(evs) != 1 || len(evs[0].Trace) != 32 {
+		t.Fatalf("minted trace missing: %+v", ring.Events())
+	}
+}
+
+func TestStartSpanInNilEmitterFallsBack(t *testing.T) {
+	SetEmitter(nil)
+	if sp := StartSpanIn(nil, SpanContext{Trace: NewTraceID()}, "x"); sp != nil {
+		t.Fatal("no emitter anywhere: span must be nil")
+	}
+	ring := NewRingEmitter(2)
+	SetEmitter(ring)
+	defer SetEmitter(nil)
+	sp := StartSpanIn(nil, SpanContext{Trace: NewTraceID()}, "x")
+	if sp == nil {
+		t.Fatal("StartSpanIn must fall back to the global emitter")
+	}
+	sp.End()
+	if ring.Len() != 1 {
+		t.Fatal("fallback emitter did not receive the event")
+	}
+}
+
+func TestStartSpanOnTeesSubtree(t *testing.T) {
+	main := NewRingEmitter(8)
+	flight := NewRingEmitter(8)
+	root := StartSpanIn(main, SpanContext{Trace: NewTraceID()}, "point")
+	att := StartSpanOn(Tee(main, flight), root, "attempt")
+	inner := StartSpan(att, "stage")
+	inner.End()
+	att.End()
+	root.End()
+
+	if main.Len() != 3 {
+		t.Fatalf("main emitter got %d events, want 3", main.Len())
+	}
+	if flight.Len() != 2 {
+		t.Fatalf("flight ring got %d events, want attempt subtree only (2), got %v", flight.Len(), flight.Events())
+	}
+	// The teed subtree stays inside the same trace and under the root span.
+	fe := flight.Events()
+	if fe[0].Trace != root.Context().Trace || fe[1].Parent != root.ID() {
+		t.Fatalf("teed subtree lost its place in the trace: %+v root=%d", fe, root.ID())
+	}
+}
+
+func TestStartSpanOnNilEmitter(t *testing.T) {
+	if sp := StartSpanOn(nil, nil, "x"); sp != nil {
+		t.Fatal("StartSpanOn with nil emitter must return nil")
+	}
+}
+
+func TestTeeFiltersNil(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("Tee of no live emitters must be nil")
+	}
+	ring := NewRingEmitter(2)
+	if got := Tee(nil, ring); got != Emitter(ring) {
+		t.Fatal("Tee of one live emitter must return it unwrapped")
+	}
+	other := NewRingEmitter(2)
+	tee := Tee(ring, nil, other)
+	tee.Emit(Event{Name: "x"})
+	if ring.Len() != 1 || other.Len() != 1 {
+		t.Fatal("tee must fan out to all live emitters")
+	}
+}
+
+func TestSpanIDsDoNotRestartAtZero(t *testing.T) {
+	// Span IDs are seeded from crypto/rand per process so two processes in
+	// one distributed trace cannot mint colliding IDs. The probability of a
+	// random base below 2^32 is ~1e-10; treat it as a seeding failure.
+	ring := NewRingEmitter(1)
+	sp := StartSpanIn(ring, SpanContext{}, "probe")
+	if sp.ID() < 1<<32 {
+		t.Fatalf("span ID %d looks unseeded (sequential from zero)", sp.ID())
+	}
+}

@@ -133,4 +133,22 @@ func TestRK4AllocsUnchangedByInstrumentation(t *testing.T) {
 	if on != off {
 		t.Fatalf("RK4 allocs/run: off=%v on=%v — instrumentation must not allocate", off, on)
 	}
+
+	// The traced path: a serving process runs with a process-global span
+	// emitter installed (the job-timeline tee). The integrator sits below the
+	// span layer and must stay oblivious — same allocation count again.
+	ring := obs.NewRingEmitter(64)
+	obs.SetEmitter(ring)
+	t.Cleanup(func() { obs.SetEmitter(nil) })
+	traced := testing.AllocsPerRun(200, func() {
+		if _, err := RK4(f, 0, 1, x0, 64, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced != off {
+		t.Fatalf("RK4 allocs/run: off=%v traced=%v — a live emitter must not reach the integrator hot path", off, traced)
+	}
+	if ring.Len() != 0 {
+		t.Fatalf("RK4 emitted %d span events; the integrator must not trace per call", ring.Len())
+	}
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -243,6 +244,11 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
+	// Propagate the caller's trace context (obs.ContextWithSpanContext) so the
+	// server binds the job into the same distributed trace.
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		req.Header.Set("Traceparent", sc.Traceparent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -319,6 +325,24 @@ func (c *Client) Renew(ctx context.Context, id string) (serve.JobStatus, error) 
 	var st serve.JobStatus
 	_, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/renew", nil, nil, &st)
 	return st, err
+}
+
+// Trace fetches the job's merged distributed timeline: every completed span
+// the coordinator recorded or ingested for the job, with per-stage and
+// per-process latency rollups.
+func (c *Client) Trace(ctx context.Context, id string) (serve.JobTrace, error) {
+	var jt serve.JobTrace
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, nil, &jt)
+	return jt, err
+}
+
+// ClusterStatus fetches the server's live fleet view: worker health, breaker
+// states, active leases, and queue depth. Against a plain (non-coordinator)
+// server the worker and lease lists are empty.
+func (c *Client) ClusterStatus(ctx context.Context) (serve.ClusterStatus, error) {
+	var cs serve.ClusterStatus
+	_, err := c.do(ctx, http.MethodGet, "/v1/cluster/status", nil, nil, &cs)
+	return cs, err
 }
 
 // terminalState reports whether s is a terminal job state.

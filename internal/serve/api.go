@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -134,6 +135,70 @@ type JobStatus struct {
 	// Full holds the loss-free per-point results, only with ?full=1 on a
 	// terminal job; round-trips through sweep.PointResult's JSON codec.
 	Full []sweep.PointResult `json:"full_results,omitempty"`
+}
+
+// TraceStage aggregates one span name across the timeline — where the job's
+// wall clock went, per pipeline stage.
+type TraceStage struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// TraceProc aggregates one process's contribution to the timeline — which
+// node the time was spent on.
+type TraceProc struct {
+	Proc    string  `json:"proc"`
+	Spans   int     `json:"spans"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// JobTrace is the response of GET /v1/jobs/{id}/trace: the job's merged
+// distributed timeline (coordinator, worker, and in-process spans under one
+// trace ID) plus per-stage and per-process latency rollups. Spans are in
+// arrival order; order them by StartNS per Proc for a timeline view (clocks
+// are only comparable within one process). Dropped counts events discarded
+// once the per-job buffer filled.
+type JobTrace struct {
+	JobID   string       `json:"job_id"`
+	TraceID string       `json:"trace_id"`
+	Spans   []obs.Event  `json:"spans"`
+	Stages  []TraceStage `json:"stages,omitempty"`
+	Procs   []TraceProc  `json:"procs,omitempty"`
+	Dropped int          `json:"dropped,omitempty"`
+}
+
+// WorkerStatus is one worker node's health as the coordinator sees it.
+type WorkerStatus struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Quarantined  bool   `json:"quarantined,omitempty"`
+	Breaker      string `json:"breaker"` // closed, open, half-open
+	ActiveLeases int    `json:"active_leases"`
+}
+
+// LeaseStatus is one in-flight lease: which worker holds which point range of
+// which job, on which attempt, and for how long.
+type LeaseStatus struct {
+	JobID   string  `json:"job_id"`
+	Lease   int     `json:"lease"`
+	Attempt int     `json:"attempt"`
+	Worker  string  `json:"worker"`
+	Points  int     `json:"points"`
+	AgeMS   float64 `json:"age_ms"`
+}
+
+// ClusterStatus is the response of GET /v1/cluster/status: the live fleet
+// view. Every node answers with its own queue/job numbers; Workers and Leases
+// are filled only on a coordinator (Coordinator reports which).
+type ClusterStatus struct {
+	Coordinator bool           `json:"coordinator"`
+	Draining    bool           `json:"draining"`
+	QueueDepth  int            `json:"queue_depth"`
+	RunningJobs int            `json:"running_jobs"`
+	Workers     []WorkerStatus `json:"workers,omitempty"`
+	Leases      []LeaseStatus  `json:"leases,omitempty"`
 }
 
 // ModelInfo describes one registered model for GET /v1/models.

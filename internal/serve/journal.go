@@ -61,6 +61,7 @@ type jrecord struct {
 	LeaseTTLMS int64       `json:"lease_ttl_ms,omitempty"` // lease window; resumed jobs re-arm it
 	Idem       string      `json:"idem,omitempty"`         // client Idempotency-Key, verbatim
 	IdemFP     string      `json:"idem_fp,omitempty"`      // request-body fingerprint under that key
+	Trace      string      `json:"trace,omitempty"`        // traceparent at submit; restarts keep the trace ID
 	// Event field (T == "event").
 	Ev *Event `json:"ev,omitempty"`
 }

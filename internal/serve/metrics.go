@@ -19,6 +19,9 @@ type serveInstruments struct {
 	recovered     *obs.CounterVec // pn_serve_jobs_recovered_total{outcome}
 	leaseRenewals *obs.Counter    // pn_serve_lease_renewals_total
 	leaseExpired  *obs.Counter    // pn_serve_lease_expirations_total
+	traceSpans    *obs.Counter    // pn_trace_spans_total
+	traceIngested *obs.Counter    // pn_trace_ingested_total
+	traceDropped  *obs.Counter    // pn_trace_dropped_total
 }
 
 var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
@@ -36,5 +39,8 @@ var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
 		recovered:     r.CounterVec("pn_serve_jobs_recovered_total", "Jobs reconstructed from the journal at startup, by outcome (resumed, terminal).", "outcome"),
 		leaseRenewals: r.Counter("pn_serve_lease_renewals_total", "Lease renewals received on /v1/jobs/{id}/renew."),
 		leaseExpired:  r.Counter("pn_serve_lease_expirations_total", "Leased jobs self-cancelled because no renewal arrived within the TTL."),
+		traceSpans:    r.Counter("pn_trace_spans_total", "Span events recorded into job traces by this process."),
+		traceIngested: r.Counter("pn_trace_ingested_total", "Span events ingested into job traces from other processes (coordinator trace pulls)."),
+		traceDropped:  r.Counter("pn_trace_dropped_total", "Span events dropped because a job's trace buffer was full."),
 	}
 })

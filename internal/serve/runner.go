@@ -2,6 +2,7 @@ package serve
 
 import (
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -44,4 +45,13 @@ type RunnerRequest struct {
 	// call per point index; calls may arrive concurrently from multiple
 	// worker streams — the server's handler is safe for concurrent use.
 	OnSummary func(PointSummary)
+	// Span is the job's root span. Runners parent their own spans (lease
+	// dispatch, attempts) under it and propagate Span.Context() over every
+	// HTTP hop so worker-side spans join the same trace.
+	Span *obs.Span
+	// IngestTrace, when non-nil, folds span events collected from other
+	// processes (worker trace pulls, coordinator-side flight dumps) into the
+	// job's merged timeline. Safe for concurrent use; duplicate events are
+	// deduplicated by (proc, span).
+	IngestTrace func([]obs.Event)
 }

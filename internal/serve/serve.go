@@ -12,7 +12,9 @@
 //	POST /v1/sweep          — submit a multi-point job      → JobStatus (202)
 //	GET  /v1/jobs/{id}      — job status (+?full=1 payload) → JobStatus
 //	GET  /v1/jobs/{id}/events — progress stream (SSE, replayable by Last-Event-ID)
+//	GET  /v1/jobs/{id}/trace  — merged distributed timeline (+ ?format=jsonl raw)
 //	POST /v1/jobs/{id}/cancel — trip the job's budget token → JobStatus
+//	GET  /v1/cluster/status — live fleet view (workers/leases on a coordinator)
 //	GET  /v1/models         — registered models + defaults
 //	GET  /healthz           — liveness (always 200 while the process serves)
 //	GET  /readyz            — readiness (503 while draining or during journal replay)
@@ -80,6 +82,15 @@ type Config struct {
 	// worker nodes. Everything around execution (queueing, journalling,
 	// SSE, cancellation, idempotency) is unchanged. See SweepRunner.
 	Runner SweepRunner
+	// FlightRecorder is the per-attempt flight-recorder ring capacity passed
+	// to the sweep engine: a crashing attempt (panic, timeout, abandonment)
+	// dumps its last spans into the journalled failure. Default 64; negative
+	// disables.
+	FlightRecorder int
+	// ClusterStatus, when non-nil, supplies the coordinator's live fleet view
+	// (workers, breaker states, in-flight leases) for GET /v1/cluster/status.
+	// Nil on plain nodes: the endpoint then reports only this node's numbers.
+	ClusterStatus func() ([]WorkerStatus, []LeaseStatus)
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +112,11 @@ func (c Config) withDefaults() Config {
 	if c.Retain <= 0 {
 		c.Retain = 256
 	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = 64
+	} else if c.FlightRecorder < 0 {
+		c.FlightRecorder = 0
+	}
 	return c
 }
 
@@ -114,11 +130,13 @@ type job struct {
 	noCache      bool
 	leaseTTL     time.Duration // > 0: job self-cancels unless renewed within each TTL window
 
-	tok    *budget.Token // child of the server root; tripped by cancel/shutdown
-	cancel func()
-	events *eventLog
-	jl     *jobJournal // nil when journalling is off
-	idem   string      // Idempotency-Key this job was submitted under ("" = none)
+	tok      *budget.Token // child of the server root; tripped by cancel/shutdown
+	cancel   func()
+	events   *eventLog
+	jl       *jobJournal     // nil when journalling is off
+	idem     string          // Idempotency-Key this job was submitted under ("" = none)
+	trace    *jobTrace       // distributed timeline (always non-nil for runnable jobs)
+	traceCtx obs.SpanContext // trace ID + remote parent from the submit's traceparent
 
 	leaseMu sync.Mutex
 	leaseT  *time.Timer // armed while the lease is live; Reset on renew
@@ -270,8 +288,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/renew", s.handleRenew)
+	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -488,6 +508,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		s.mu.Unlock()
 	}
 
+	// The submit's traceparent header roots the job in the caller's
+	// distributed trace (pnclient injects it; the coordinator's lease
+	// dispatches carry the attempt span). Absent or malformed, the job
+	// starts a fresh trace of its own.
+	traceCtx, hasTP := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+	if !hasTP {
+		traceCtx = obs.SpanContext{Trace: obs.NewTraceID()}
+	}
+
 	tok, cancel := budget.WithCancel(s.root)
 	j := &job{
 		kind:         kind,
@@ -500,6 +529,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		cancel:       cancel,
 		events:       newEventLog(),
 		idem:         idemKey,
+		traceCtx:     traceCtx,
 		state:        StateQueued,
 		summaries:    make([]PointSummary, len(specs)),
 	}
@@ -539,8 +569,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	j.jl = s.journal.create(jrecord{
 		ID: j.id, Kind: kind, Specs: specs, TimeoutMS: timeoutMS,
 		Workers: workers, NoCache: noCache, Idem: idemKey, IdemFP: idemFP,
-		LeaseTTLMS: leaseTTLMS,
+		LeaseTTLMS: leaseTTLMS, Trace: traceCtx.Traceparent(),
 	})
+	j.trace = newJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
 	j.emit(Event{Type: "state", State: StateQueued}, false)
 	// The gauge rises before the send so the worker's decrement (not under
 	// s.mu) can never be observed ahead of it leaving the depth negative
@@ -552,6 +583,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		s.mu.Unlock()
 		cancel()
 		j.jl.discard() // an unqueued job must not be resurrected on restart
+		j.trace.discard(tracePath(s.cfg.JournalDir, j.id))
 		m.queueDepth.Add(-1)
 		m.rejected.With("queue_full").Inc()
 		w.Header().Set("Retry-After", "1")
@@ -596,6 +628,7 @@ func (s *Server) evictLocked() {
 					delete(s.idem, j.idem)
 				}
 				s.journal.remove(id)
+				j.trace.discard(tracePath(s.cfg.JournalDir, id))
 				evicted = true
 				break
 			}
@@ -645,6 +678,54 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	j.armLease()
 	serveMetrics.Get().leaseRenewals.Inc()
 	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleTrace serves the job's merged distributed timeline: this node's own
+// spans plus whatever has been ingested from workers, with per-stage and
+// per-process latency rollups. ?format=jsonl streams the raw events one JSON
+// line each — the journal-file format, pipe-friendly.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	evs, dropped := j.trace.snapshot()
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for _, ev := range evs {
+			if enc.Encode(ev) != nil {
+				return
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, renderTrace(j.id, j.traceCtx.Trace, evs, dropped))
+}
+
+// handleClusterStatus serves the live fleet view. Plain nodes report their
+// own queue/job numbers; a coordinator (Config.ClusterStatus installed) adds
+// per-worker health/breaker state and the in-flight lease table.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	running := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	st := ClusterStatus{Draining: draining, QueueDepth: len(s.queue), RunningJobs: running}
+	if s.cfg.ClusterStatus != nil {
+		st.Coordinator = true
+		st.Workers, st.Leases = s.cfg.ClusterStatus()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
@@ -754,12 +835,15 @@ func (s *Server) runJob(j *job) {
 	m.queueDepth.Add(-1)
 	m.inflight.Add(1)
 	start := time.Now()
-	span := obs.StartSpan(nil, "serve.job")
+	// The root span joins the submit's trace (remote parent = the client's or
+	// coordinator's span) and emits both into the job's own trace buffer and,
+	// when process-wide tracing is on, the global emitter.
+	span := obs.StartSpanIn(obs.Tee(j.trace, obs.CurrentEmitter()), j.traceCtx, "serve.job")
 	span.SetAttr("id", j.id)
 	span.SetAttr("kind", j.kind)
 	span.SetAttr("points", len(j.specs))
 
-	state, jobErr := s.executeJob(j)
+	state, jobErr := s.executeJob(j, span)
 	j.stopLease()
 
 	j.mu.Lock()
@@ -779,11 +863,15 @@ func (s *Server) runJob(j *job) {
 	m.jobSeconds.Observe(time.Since(start).Seconds())
 	span.SetAttr("state", state)
 	span.EndErr(jobErr)
+	// The timeline stays queryable from memory; the file handle is released
+	// now that the last span has landed (eviction deletes the file later).
+	j.trace.close()
 }
 
 // executeJob does the work of runJob and returns the terminal state plus the
-// job-level error (nil for StateDone).
-func (s *Server) executeJob(j *job) (string, error) {
+// job-level error (nil for StateDone). span is the job's root span; the whole
+// sweep subtree is parented under it.
+func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 	j.setState(StateRunning)
 	jtok := j.tok
 	if j.jobTimeout > 0 {
@@ -794,7 +882,7 @@ func (s *Server) executeJob(j *job) (string, error) {
 	}
 
 	if s.cfg.Runner != nil {
-		return s.runViaRunner(j, jtok)
+		return s.runViaRunner(j, jtok, span)
 	}
 
 	points := make([]sweep.Point, len(j.specs))
@@ -811,9 +899,11 @@ func (s *Server) executeJob(j *job) (string, error) {
 		store = nil
 	}
 	results := sweep.Run(points, &sweep.Config{
-		Workers: j.sweepWorkers,
-		Budget:  jtok,
-		Cache:   store,
+		Workers:        j.sweepWorkers,
+		Budget:         jtok,
+		Cache:          store,
+		Span:           span,
+		FlightRecorder: s.cfg.FlightRecorder,
 		OnPoint: func(r sweep.PointResult) {
 			sum := summarize(&r)
 			j.mu.Lock()
@@ -849,14 +939,16 @@ func (s *Server) executeJob(j *job) (string, error) {
 // folded into the job's counters and SSE stream exactly like the in-process
 // path's OnPoint hook; summaries are trusted to arrive at most once per
 // index, but an out-of-range index is dropped rather than corrupting state.
-func (s *Server) runViaRunner(j *job, jtok *budget.Token) (string, error) {
+func (s *Server) runViaRunner(j *job, jtok *budget.Token, span *obs.Span) (string, error) {
 	results, runErr := s.cfg.Runner.RunSweep(RunnerRequest{
-		JobID:   j.id,
-		Kind:    j.kind,
-		Specs:   j.specs,
-		Tok:     jtok,
-		Workers: j.sweepWorkers,
-		NoCache: j.noCache,
+		JobID:       j.id,
+		Kind:        j.kind,
+		Specs:       j.specs,
+		Tok:         jtok,
+		Workers:     j.sweepWorkers,
+		NoCache:     j.noCache,
+		Span:        span,
+		IngestTrace: j.trace.ingest,
 		OnSummary: func(sum PointSummary) {
 			if sum.Index < 0 || sum.Index >= len(j.specs) {
 				return
@@ -929,6 +1021,7 @@ func (s *Server) recoverJobs() {
 func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 	tok, cancel := budget.WithCancel(nil)
 	cancel() // nothing will run; release the token immediately
+	traceCtx := recoveredTraceCtx(rj.hdr.Trace)
 	j := &job{
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
@@ -940,9 +1033,12 @@ func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 		cancel:       cancel,
 		events:       newEventLog(),
 		idem:         rj.hdr.Idem,
+		traceCtx:     traceCtx,
 		state:        rj.state,
 		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
 	}
+	j.trace = reopenJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
+	j.trace.close() // terminal: the timeline is read-only from here
 	if rj.err != nil {
 		j.err = rj.err
 	}
@@ -970,6 +1066,7 @@ func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 // draining and the job could not be enqueued.
 func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 	tok, cancel := budget.WithCancel(s.root)
+	traceCtx := recoveredTraceCtx(rj.hdr.Trace)
 	j := &job{
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
@@ -983,9 +1080,16 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 		events:       newEventLog(),
 		jl:           s.journal.reopen(rj.hdr.ID),
 		idem:         rj.hdr.Idem,
+		traceCtx:     traceCtx,
 		state:        StateQueued,
 		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
 	}
+	// The pre-crash timeline is reloaded and the same trace ID continues; a
+	// resume marker records the restart itself — in-flight span trees died
+	// unemitted with the old process, and this marker is what explains the
+	// gap when reading the merged timeline.
+	j.trace = reopenJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
+	j.trace.Emit(obs.Event{Type: "resume", Name: "serve.job.resumed", StartNS: time.Now().UnixNano()})
 	j.events.restore(rj.events)
 	j.emit(Event{Type: "state", State: StateQueued}, false)
 	s.register(j)

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The job trace is the distributed-tracing sibling of the job journal: every
+// job owns a bounded buffer of completed span events — its own (the serve.job
+// root span and the whole sweep subtree under it) plus events ingested from
+// worker nodes via the coordinator's trace pull. With journalling on, each
+// event is also appended to <JournalDir>/traces/<jobID>.jsonl as it arrives
+// (plain unbuffered writes: a SIGKILL loses at most the line in flight), so a
+// restarted coordinator still serves the pre-crash timeline. The traces/
+// subdirectory keeps trace files out of the job-journal replay walk.
+
+// traceSubdir is the journal subdirectory holding per-job trace files.
+const traceSubdir = "traces"
+
+// defaultTraceCap bounds a job's in-memory (and on-disk) trace buffer.
+const defaultTraceCap = 4096
+
+// procID identifies this process in multi-process traces.
+var procID = func() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	return host + ":" + strconv.Itoa(os.Getpid())
+}()
+
+// jobTrace collects one job's distributed timeline. It implements
+// obs.Emitter for locally produced spans; worker-shipped batches arrive
+// through ingest. Events are deduplicated by (proc, span) — a coordinator
+// restart re-pulls worker traces, and re-dispatched leases dedup onto the
+// same worker job — and the buffer is capped: once full, new events are
+// dropped and counted rather than growing without bound.
+type jobTrace struct {
+	trace string // trace ID stamped on locally emitted events
+
+	mu      sync.Mutex
+	evs     []obs.Event
+	seen    map[string]struct{}
+	dropped int
+	f       *os.File // nil: memory-only (no journal dir)
+	cap     int
+}
+
+// recoveredTraceCtx restores a job's span context from the journalled
+// traceparent string; pre-trace journals (or a corrupt header field) get a
+// fresh trace ID so the recovered job still has a coherent timeline.
+func recoveredTraceCtx(traceparent string) obs.SpanContext {
+	if sc, ok := obs.ParseTraceparent(traceparent); ok {
+		return sc
+	}
+	return obs.SpanContext{Trace: obs.NewTraceID()}
+}
+
+// tracePath maps a job ID into the traces subdirectory ("" when journalling
+// is off or the ID is path-hostile, mirroring journal.path).
+func tracePath(journalDir, id string) string {
+	if journalDir == "" || id == "" || len(id) > 64 || containsPathHostile(id) {
+		return ""
+	}
+	return filepath.Join(journalDir, traceSubdir, id+".jsonl")
+}
+
+func containsPathHostile(id string) bool {
+	for _, r := range id {
+		if r == '/' || r == '\\' || r == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// newJobTrace opens a fresh trace for a job. path == "" keeps it memory-only.
+func newJobTrace(traceID, path string) *jobTrace {
+	t := &jobTrace{trace: traceID, seen: make(map[string]struct{}), cap: defaultTraceCap}
+	if path != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+			if f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+				t.f = f
+			}
+		}
+		if t.f == nil {
+			serveMetrics.Get().journalErrors.Inc()
+		}
+	}
+	return t
+}
+
+// reopenJobTrace restores a recovered job's timeline from its trace file and
+// reopens it for appending, so a restarted coordinator keeps extending the
+// same trace. Corrupt lines (the torn-final-line crash artifact) are skipped.
+func reopenJobTrace(traceID, path string) *jobTrace {
+	t := newJobTrace(traceID, path)
+	if path == "" {
+		return t
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return t
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		t.restore(ev)
+	}
+	return t
+}
+
+// dedupKey identifies an event across re-ingests. Span 0 (marker events)
+// falls back to the start timestamp so distinct markers are not collapsed.
+func dedupKey(ev obs.Event) string {
+	if ev.Span != 0 {
+		return ev.Proc + "|" + strconv.FormatUint(ev.Span, 16)
+	}
+	return ev.Proc + "|" + ev.Name + "@" + strconv.FormatInt(ev.StartNS, 10)
+}
+
+// Emit implements obs.Emitter for locally produced spans: stamp this
+// process's identity and the job's trace ID, then record.
+func (t *jobTrace) Emit(ev obs.Event) {
+	if t == nil {
+		return
+	}
+	if ev.Proc == "" {
+		ev.Proc = procID
+	}
+	if ev.Trace == "" {
+		ev.Trace = t.trace
+	}
+	t.record(ev, true)
+}
+
+// ingest folds a batch of events into the timeline, preserving Proc/Trace
+// stamps where present. Events without a Proc (coordinator-side flight dumps
+// and markers) were produced in this process and are stamped accordingly, so
+// their dedup keys match any live-emitted copies of the same spans.
+func (t *jobTrace) ingest(evs []obs.Event) {
+	if t == nil {
+		return
+	}
+	m := serveMetrics.Get()
+	for _, ev := range evs {
+		if ev.Proc == "" {
+			ev.Proc = procID
+		}
+		if ev.Trace == "" {
+			ev.Trace = t.trace
+		}
+		if t.record(ev, false) {
+			m.traceIngested.Inc()
+		}
+	}
+}
+
+// restore re-adds an event read back from the trace file: dedup and buffer
+// only, never re-written to disk.
+func (t *jobTrace) restore(ev obs.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := dedupKey(ev)
+	if _, dup := t.seen[key]; dup || len(t.evs) >= t.cap {
+		return
+	}
+	t.seen[key] = struct{}{}
+	t.evs = append(t.evs, ev)
+}
+
+// record dedups, buffers, counts, and appends to the trace file. Returns
+// whether the event was kept.
+func (t *jobTrace) record(ev obs.Event, local bool) bool {
+	m := serveMetrics.Get()
+	t.mu.Lock()
+	key := dedupKey(ev)
+	if _, dup := t.seen[key]; dup {
+		t.mu.Unlock()
+		return false
+	}
+	if len(t.evs) >= t.cap {
+		t.dropped++
+		t.mu.Unlock()
+		m.traceDropped.Inc()
+		return false
+	}
+	t.seen[key] = struct{}{}
+	t.evs = append(t.evs, ev)
+	var f *os.File
+	if t.f != nil {
+		f = t.f
+	}
+	var line []byte
+	if f != nil {
+		line, _ = json.Marshal(ev)
+	}
+	t.mu.Unlock()
+	if local {
+		m.traceSpans.Inc()
+	}
+	if f != nil && line != nil {
+		// One unbuffered write per event: torn tails are tolerated on reload,
+		// and an fsync per span would tax the sweep path for little — the
+		// buffer is the primary copy while the process lives.
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			m.journalErrors.Inc()
+		}
+	}
+	return true
+}
+
+// snapshot copies the timeline (and the drop count) for the API.
+func (t *jobTrace) snapshot() ([]obs.Event, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]obs.Event(nil), t.evs...), t.dropped
+}
+
+// close releases the file handle (the buffer stays queryable).
+func (t *jobTrace) close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.f != nil {
+		_ = t.f.Close()
+		t.f = nil
+	}
+	t.mu.Unlock()
+}
+
+// discard closes the handle and deletes the trace file — eviction-time
+// cleanup, paired with journal.remove.
+func (t *jobTrace) discard(path string) {
+	t.close()
+	if path != "" {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			serveMetrics.Get().journalErrors.Inc()
+		}
+	}
+}
+
+// renderTrace builds the API view: the raw timeline plus per-stage and
+// per-process latency rollups (markers — flight dumps, resume records — are
+// listed but not aggregated).
+func renderTrace(jobID string, trace string, evs []obs.Event, dropped int) JobTrace {
+	jt := JobTrace{JobID: jobID, TraceID: trace, Spans: evs, Dropped: dropped}
+	stageIdx := map[string]int{}
+	procIdx := map[string]int{}
+	for _, ev := range evs {
+		if ev.Type != "span" {
+			continue
+		}
+		ms := float64(ev.DurNS) / 1e6
+		si, ok := stageIdx[ev.Name]
+		if !ok {
+			si = len(jt.Stages)
+			stageIdx[ev.Name] = si
+			jt.Stages = append(jt.Stages, TraceStage{Name: ev.Name})
+		}
+		st := &jt.Stages[si]
+		st.Count++
+		st.TotalMS += ms
+		if ms > st.MaxMS {
+			st.MaxMS = ms
+		}
+		pi, ok := procIdx[ev.Proc]
+		if !ok {
+			pi = len(jt.Procs)
+			procIdx[ev.Proc] = pi
+			jt.Procs = append(jt.Procs, TraceProc{Proc: ev.Proc})
+		}
+		jt.Procs[pi].Spans++
+		jt.Procs[pi].TotalMS += ms
+	}
+	return jt
+}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/obs"
+	"repro/internal/osc"
+)
+
+// lastAttempt returns the final attempt of a point's ladder.
+func lastAttempt(t *testing.T, r PointResult) Attempt {
+	t.Helper()
+	if len(r.Attempts) == 0 {
+		t.Fatalf("point %q recorded no attempts", r.Name)
+	}
+	return r.Attempts[len(r.Attempts)-1]
+}
+
+func hasSpan(evs []obs.Event, name string) bool {
+	for _, e := range evs {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFlightRecorderOnPanic: a panicking model's failed attempt must carry a
+// bounded flight dump even with process-wide tracing off.
+func TestFlightRecorderOnPanic(t *testing.T) {
+	const cap = 16
+	results := Run([]Point{{
+		Name:   "panicky",
+		System: &panicModel{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}},
+		X0:     []float64{3, 0}, // first Eval panics
+		TGuess: 1,
+	}}, &Config{FlightRecorder: cap})
+	r := results[0]
+	if !errors.Is(r.Err, ErrModelPanic) {
+		t.Fatalf("want ErrModelPanic, got %v", r.Err)
+	}
+	att := lastAttempt(t, r)
+	if len(att.Flight) == 0 {
+		t.Fatal("panicking attempt carried no flight dump")
+	}
+	if len(att.Flight) > cap {
+		t.Fatalf("flight dump %d events, cap %d", len(att.Flight), cap)
+	}
+	if !hasSpan(att.Flight, "sweep.attempt") {
+		t.Fatalf("dump misses the attempt span: %+v", att.Flight)
+	}
+}
+
+// TestFlightRecorderOnTimeout: an attempt cut off by its timeout (the model
+// cooperates with cancellation) dumps its ring.
+func TestFlightRecorderOnTimeout(t *testing.T) {
+	results := Run(hopfGrid(1), &Config{
+		FlightRecorder: 32,
+		AttemptTimeout: time.Nanosecond,
+	})
+	r := results[0]
+	if !errors.Is(r.Err, budget.ErrBudgetExceeded) {
+		t.Fatalf("want wrapped ErrBudgetExceeded, got %v", r.Err)
+	}
+	att := lastAttempt(t, r)
+	if len(att.Flight) == 0 {
+		t.Fatal("timed-out attempt carried no flight dump")
+	}
+	if !hasSpan(att.Flight, "sweep.attempt") {
+		t.Fatalf("dump misses the attempt span: %+v", att.Flight)
+	}
+}
+
+// TestFlightRecorderOnAbandon: a model that ignores cancellation is abandoned
+// past AbandonGrace; the synthesised attempt still gets the dump.
+func TestFlightRecorderOnAbandon(t *testing.T) {
+	results := Run([]Point{{
+		Name:   "stuck",
+		System: newBlockingModel(t, 3*time.Second),
+		X0:     []float64{1, 0.1},
+		TGuess: 1.05,
+	}}, &Config{
+		FlightRecorder: 8,
+		AttemptTimeout: 50 * time.Millisecond,
+		AbandonGrace:   100 * time.Millisecond,
+	})
+	r := results[0]
+	if !errors.Is(r.Err, budget.ErrBudgetExceeded) {
+		t.Fatalf("want wrapped ErrBudgetExceeded, got %v", r.Err)
+	}
+	att := lastAttempt(t, r)
+	if att.Err == nil || len(att.Flight) == 0 {
+		t.Fatalf("abandoned attempt carried no flight dump: %+v", att)
+	}
+	if len(att.Flight) > 8 {
+		t.Fatalf("flight dump %d events, cap 8", len(att.Flight))
+	}
+	if !hasSpan(att.Flight, "sweep.attempt") {
+		t.Fatalf("dump misses the attempt span: %+v", att.Flight)
+	}
+}
+
+// TestFlightRecorderQuietPaths: successes never dump, retryable failures
+// never dump (journal bloat), and a zero capacity disables the recorder
+// entirely.
+func TestFlightRecorderQuietPaths(t *testing.T) {
+	results := Run(hopfGrid(1), &Config{FlightRecorder: 16})
+	if r := results[0]; !r.OK() || len(lastAttempt(t, r).Flight) != 0 {
+		t.Fatalf("successful attempt must not carry a dump: err=%v", r.Err)
+	}
+
+	// A hostile-dynamics point fails retryably up the whole ladder; none of
+	// the attempts may dump.
+	hostile := Point{
+		Name:   "hostile",
+		System: &osc.Hopf{Lambda: 1e12, Omega: 2 * math.Pi, Sigma: 0.02},
+		X0:     []float64{1e150, 1e150},
+		TGuess: 1e-12,
+	}
+	results = Run([]Point{hostile}, &Config{FlightRecorder: 16})
+	if r := results[0]; r.OK() {
+		t.Fatal("hostile point unexpectedly succeeded")
+	} else {
+		for i, att := range r.Attempts {
+			if budget.Is(att.Err) || errors.Is(att.Err, ErrModelPanic) {
+				continue // crash-class: a dump here would be correct
+			}
+			if len(att.Flight) != 0 {
+				t.Fatalf("retryable attempt %d carried a dump: %v", i, att.Err)
+			}
+		}
+	}
+
+	// Recorder off: even a panic carries no dump.
+	results = Run([]Point{{
+		Name:   "panicky",
+		System: &panicModel{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}},
+		X0:     []float64{3, 0},
+		TGuess: 1,
+	}}, &Config{})
+	if att := lastAttempt(t, results[0]); len(att.Flight) != 0 {
+		t.Fatal("FlightRecorder=0 must disable dumps")
+	}
+}
+
+// TestFlightDumpSurvivesJSONRoundTrip: the dump rides the PointResult wire
+// form — that is how a worker's crash timeline reaches the coordinator's
+// journal.
+func TestFlightDumpSurvivesJSONRoundTrip(t *testing.T) {
+	results := Run([]Point{{
+		Name:   "panicky",
+		System: &panicModel{osc.Hopf{Lambda: 1, Omega: 2 * math.Pi, Sigma: 0.02}},
+		X0:     []float64{3, 0},
+		TGuess: 1,
+	}}, &Config{FlightRecorder: 16})
+	orig := results[0]
+	want := lastAttempt(t, orig).Flight
+	if len(want) == 0 {
+		t.Fatal("precondition: no dump to round-trip")
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back PointResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got := lastAttempt(t, back).Flight
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost events: %d -> %d", len(want), len(got))
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name || got[i].Span != want[i].Span {
+			t.Fatalf("event %d changed: %+v -> %+v", i, want[i], got[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shooting"
 )
 
@@ -83,6 +84,7 @@ type attemptJSON struct {
 	Error    *RemoteError  `json:"error,omitempty"`
 	Trace    core.Trace    `json:"trace"`
 	Wall     time.Duration `json:"wall_ns"`
+	Flight   []obs.Event   `json:"flight,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -93,6 +95,7 @@ func (a Attempt) MarshalJSON() ([]byte, error) {
 		Error:    encodeErr(a.Err),
 		Trace:    a.Trace,
 		Wall:     a.Wall,
+		Flight:   a.Flight,
 	})
 }
 
@@ -108,6 +111,7 @@ func (a *Attempt) UnmarshalJSON(data []byte) error {
 		Err:      decodeErr(w.Error),
 		Trace:    w.Trace,
 		Wall:     w.Wall,
+		Flight:   w.Flight,
 	}
 	return nil
 }

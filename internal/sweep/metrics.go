@@ -17,6 +17,7 @@ type sweepInstruments struct {
 	pointSeconds   *obs.Histogram  // pn_sweep_point_seconds
 	batches        *obs.CounterVec // pn_sweep_batches_total{outcome}
 	pssReuses      *obs.Counter    // pn_sweep_pss_reuse_total
+	flightDumps    *obs.Counter    // pn_sweep_flight_dumps_total
 }
 
 var sweepMetrics = obs.NewView(func(r *obs.Registry) *sweepInstruments {
@@ -33,5 +34,6 @@ var sweepMetrics = obs.NewView(func(r *obs.Registry) *sweepInstruments {
 		pointSeconds:   r.Histogram("pn_sweep_point_seconds", "Wall-clock time per sweep point across its whole retry ladder.", obs.ExpBuckets(0.001, 4, 12)),
 		batches:        r.CounterVec("pn_sweep_batches_total", "Lockstep base-rung batches run, by outcome (ok = batch completed and lanes resolved individually, fallback = batch-level infrastructure failure sent every lane to the scalar path, abandoned = the batch ignored cancellation past the grace period).", "outcome"),
 		pssReuses:      r.Counter("pn_sweep_pss_reuse_total", "Retry-ladder attempts that skipped Newton shooting by reusing the previous attempt's converged periodic steady state."),
+		flightDumps:    r.Counter("pn_sweep_flight_dumps_total", "Flight-recorder dumps attached to crashed attempts (panic, budget/timeout cut-off, abandonment)."),
 	}
 })

@@ -132,6 +132,11 @@ type Attempt struct {
 	Err      error         // nil on success
 	Trace    core.Trace    // per-stage diagnostics of this attempt
 	Wall     time.Duration // wall-clock time of this attempt
+	// Flight is the flight-recorder dump: the last Config.FlightRecorder
+	// span events of this attempt's subtree, captured when the attempt
+	// panicked, was cut off by a budget/timeout, or was abandoned. Empty for
+	// successes and ordinary retryable failures.
+	Flight []obs.Event
 }
 
 // PointResult is the outcome of one point: either a characterisation or a
@@ -229,6 +234,16 @@ type Config struct {
 	// served by a cache pre-check before the batch is built; fresh successes
 	// are committed back to the store.
 	BatchLanes int
+	// Span, when non-nil, parents the batch's root span so the whole sweep
+	// subtree lands in the caller's trace (e.g. a serve job's span). When nil
+	// the root span starts on the process-wide emitter as before.
+	Span *obs.Span
+	// FlightRecorder, when > 0, runs every attempt under a ring buffer of
+	// this many span events. If the attempt panics, trips its budget/timeout,
+	// or is abandoned, the ring is dumped into Attempt.Flight so the failure
+	// carries its own bounded timeline — even when process-wide tracing is
+	// off. 0 disables the recorder.
+	FlightRecorder int
 }
 
 // Retryable reports whether err is a refinable pipeline failure — one the
@@ -349,7 +364,7 @@ func Run(points []Point, cfg *Config) []PointResult {
 	// including points short-circuited by the cache or skipped on a budget
 	// trip — so the gauge returns to its pre-batch value when Run returns.
 	m.queueDepth.Add(float64(len(points)))
-	rsp := obs.StartSpan(nil, "sweep.Run")
+	rsp := obs.StartSpan(c.Span, "sweep.Run")
 	rsp.SetAttr("points", len(points))
 	rsp.SetAttr("workers", workers)
 
@@ -582,8 +597,32 @@ type attemptOutcome struct {
 func runAttempt(p Point, ri int, rung Rung, opts *core.Options, parent *budget.Token, c *Config, psp *obs.Span) (Attempt, *core.Result, *shooting.PSS) {
 	m := sweepMetrics.Get()
 	m.attempts.With(rung.Name).Inc()
-	asp := obs.StartSpan(psp, "sweep.attempt")
+	// With the flight recorder on, the attempt's whole span subtree (this
+	// span plus the pipeline-stage spans under it via opts.Span) is teed into
+	// a private ring so a crashing attempt can dump its final moments — even
+	// when process-wide tracing is off and psp is nil.
+	var ring *obs.RingEmitter
+	var asp *obs.Span
+	if c.FlightRecorder > 0 {
+		ring = obs.NewRingEmitter(c.FlightRecorder)
+		asp = obs.StartSpanOn(obs.Tee(psp.Emitter(), ring), psp, "sweep.attempt")
+	} else {
+		asp = obs.StartSpan(psp, "sweep.attempt")
+	}
 	asp.SetAttr("rung", rung.Name)
+	// dump attaches the ring to crash-class failures — panic, budget/timeout
+	// cut-off, abandonment — never to ordinary retryable failures, which
+	// would bloat journals. Call after asp has ended so the dump includes the
+	// attempt span itself.
+	dump := func(att *Attempt) {
+		if ring == nil || att.Err == nil {
+			return
+		}
+		if errors.Is(att.Err, ErrModelPanic) || budget.Is(att.Err) {
+			att.Flight = ring.Events()
+			m.flightDumps.Inc()
+		}
+	}
 
 	atTok, cancel := budget.WithCancel(parent)
 	defer cancel()
@@ -630,6 +669,7 @@ func runAttempt(p Point, ri int, rung Rung, opts *core.Options, parent *budget.T
 	select {
 	case o := <-ch:
 		asp.EndErr(o.att.Err)
+		dump(&o.att)
 		return o.att, o.res, o.pss
 	case <-timer:
 	case <-atTok.Done():
@@ -648,6 +688,7 @@ func runAttempt(p Point, ri int, rung Rung, opts *core.Options, parent *budget.T
 	select {
 	case o := <-ch:
 		asp.EndErr(o.att.Err)
+		dump(&o.att)
 		return o.att, o.res, o.pss
 	case <-gt.C:
 		cause := atTok.Err()
@@ -659,11 +700,13 @@ func runAttempt(p Point, ri int, rung Rung, opts *core.Options, parent *budget.T
 		err := fmt.Errorf("sweep: attempt %q on point %q abandoned after %v (model unresponsive to cancellation): %w",
 			rung.Name, p.Name, wall.Round(time.Millisecond), cause)
 		asp.EndErr(err)
-		return Attempt{
+		att := Attempt{
 			Rung:     ri,
 			RungName: rung.Name,
 			Wall:     wall,
 			Err:      err,
-		}, nil, nil
+		}
+		dump(&att)
+		return att, nil, nil
 	}
 }

@@ -179,6 +179,25 @@ ok2="$(metric_count "$W2" 'pn_core_characterisations_total{outcome="ok"}')"
 [[ $((ok1 + ok2)) -eq 4 ]] \
   || fail "fleet computed $((ok1 + ok2)) points, want exactly 4 (w1=$ok1 w2=$ok2)"
 
+echo "smoke_serve: checking the trace and fleet-status surfaces"
+spans="$(metric_count "$COORD" 'pn_trace_spans_total')"
+[[ "$spans" -ge 1 ]] || fail "coordinator recorded no trace spans (pn_trace_spans_total=$spans)"
+pulls="$(metric_count "$COORD" 'pn_cluster_trace_pulls_total{outcome="ok"}')"
+[[ "$pulls" -ge 1 ]] || fail "coordinator pulled no worker traces (pn_cluster_trace_pulls_total{ok}=$pulls)"
+trace="$(curl -sf "$COORD/v1/jobs/$cid/trace")" || fail "trace fetch failed for $cid"
+tid="$(json_field trace_id <<<"$trace")"
+[[ -n "$tid" ]] || fail "cluster job has no trace id: $trace"
+grep -q '"cluster.lease"' <<<"$trace" || fail "timeline lacks coordinator lease spans: $trace"
+grep -q '"serve.job"' <<<"$trace" || fail "timeline lacks serve.job spans: $trace"
+# The worker batches were pulled on lease settle, so the merged timeline must
+# carry spans from at least two distinct processes (coordinator + a worker).
+nprocs="$(grep -o '"proc":"[^"]*"' <<<"$trace" | sort -u | wc -l)"
+[[ "$nprocs" -ge 2 ]] \
+  || fail "timeline spans come from $nprocs process(es), want >= 2 (worker pulls missing)"
+status="$(curl -sf "$COORD/v1/cluster/status")" || fail "cluster status fetch failed"
+grep -q '"coordinator":true' <<<"$status" || fail "status surface lacks coordinator flag: $status"
+grep -q '"healthy":true' <<<"$status" || fail "status surface reports no healthy workers: $status"
+
 echo "smoke_serve: draining the cluster"
 for pid in "${CLUSTER_PIDS[2]}" "${CLUSTER_PIDS[1]}" "${CLUSTER_PIDS[0]}"; do
   kill -TERM "$pid"
