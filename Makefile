@@ -30,7 +30,7 @@ chaos:
 	$(GO) test -race -timeout 10m ./internal/faultinject/
 	$(GO) test -race -timeout 15m \
 		-run 'TestChaos|TestFault|TestJournal|TestReadyz|TestCrashRecovery' \
-		./internal/cache/ ./internal/sweep/ ./internal/osc/ ./internal/serve/ ./cmd/pnserve
+		./internal/cache/ ./internal/sweep/ ./internal/osc/ ./internal/serve/ ./internal/pll/ ./cmd/pnserve
 
 # Cluster-fabric chaos suite under the race detector: lease expiry and renewal
 # on the worker side, the coordinator's injected dispatch/kill/heartbeat/

@@ -1,0 +1,325 @@
+// Command pnpll composes system-level phase noise for PLL and clock chains
+// from per-oscillator characterisations (internal/pll): reference, charge-pump
+// loop and VCO contributions are shaped by type-II loop transfer functions
+// into a composite L(f_m) mask, integrated RMS jitter and a per-contributor
+// breakdown, with optional seeded time-domain phase realizations.
+//
+// Usage:
+//
+//	pnpll -config chain.json [-json out.json] [-cache-dir dir] [-workers n]
+//	      [-timeout d] [-server url] [-v]
+//	pnpll -example
+//
+// The config file is a JSON serve.ComposeRequest: a chain of PLL stages whose
+// oscillator legs are either inline numbers (a known f0/c pair, or a
+// datasheet FOM for a VCO) or {"spec": {"model": ..., "params": ...}} legs
+// that characterise a registered model through the full shooting → Floquet →
+// c pipeline first. -example prints a ready-to-run config and exits.
+//
+// Locally, spec legs run on an in-process worker pool and -cache-dir reuses
+// characterisations from the content-addressed store shared with pnchar,
+// pnsweep and pnserve — composing many chain variants over the same
+// oscillators characterises each oscillator once. With -server the request is
+// submitted to a pnserve instance as a "compose" job instead (idempotent
+// submission, journal-backed durability, the server's cache), and the same
+// output renders from the job's result. Composition itself is frequency-
+// domain arithmetic — microseconds — so iterating on loop bandwidth, divider
+// or PFD floors over cached legs is interactive either way.
+//
+// Output: a per-contributor jitter table plus the composite RMS jitter on
+// stdout; -json writes the full pll.Result (grid, composite and
+// per-contributor masks, realization) loss-free, with non-finite values
+// encoded as strings per the repo's JSON convention.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/cliobs"
+	"repro/internal/obs"
+	"repro/internal/pll"
+	"repro/internal/pnclient"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// exampleConfig is the -example output: a two-leg chain — a crystal-like
+// reference (inline numbers) locking a characterised Hopf "VCO" — small
+// enough to run in seconds yet exercising spec legs, the cache and the
+// per-contributor breakdown.
+const exampleConfig = `{
+  "stages": [
+    {
+      "name": "pll0",
+      "ref": {"name": "xo", "f0_hz": 1.0e7, "c_s2hz": 1.0e-22},
+      "vco": {"spec": {"name": "hopf-vco", "model": "hopf", "params": {"omega": 6.283185307179586}}},
+      "loop_bandwidth_hz": 0.05,
+      "pfd_noise_dbc_hz": -150
+    }
+  ],
+  "grid": {"start_hz": 0.001, "stop_hz": 100, "points_per_decade": 20},
+  "jitter_band_hz": [0.01, 10]
+}
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pnpll: ")
+	os.Exit(run())
+}
+
+func run() int {
+	configPath := flag.String("config", "", "composition request JSON (see -example); \"-\" reads stdin")
+	jsonPath := flag.String("json", "", "write the full composition result (masks, breakdown, realization) to this file")
+	cacheDir := flag.String("cache-dir", "", "reuse characterisation results from this directory (shared with pnchar, pnsweep, pnserve)")
+	cacheMem := flag.Int64("cache-mem", cache.DefaultMaxBytes, "in-memory result cache bound in bytes (only with -cache-dir)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for characterising spec legs")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole composition, leg characterisation included (0 = unbounded)")
+	server := flag.String("server", "", "submit to this pnserve base URL (e.g. http://127.0.0.1:8080) instead of composing in process")
+	example := flag.Bool("example", false, "print an example composition config and exit")
+	verbose := flag.Bool("v", false, "stream per-leg progress to stderr")
+	obsFlags := cliobs.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleConfig)
+		return 0
+	}
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stopObs()
+
+	req, err := readConfig(*configPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := req.Validate(); err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	if *server != "" {
+		return runRemote(*server, req, *timeout, *jsonPath, *verbose)
+	}
+	return runLocal(req, *cacheDir, *cacheMem, *workers, *timeout, *jsonPath, *verbose)
+}
+
+func readConfig(path string) (*serve.ComposeRequest, error) {
+	if path == "" {
+		return nil, fmt.Errorf("need -config (or -example for a starting point)")
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = os.ReadFile("/dev/stdin")
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var req serve.ComposeRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &req, nil
+}
+
+// runLocal characterises the request's spec legs on an in-process pool (cache
+// hits first) and composes the chain here.
+func runLocal(req *serve.ComposeRequest, cacheDir string, cacheMem int64, workers int, timeout time.Duration, jsonPath string, verbose bool) int {
+	var store *cache.Store
+	if cacheDir != "" {
+		var err error
+		if store, err = cache.New(cache.Options{MaxBytes: cacheMem, Dir: cacheDir}); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+
+	tok, cancel := budget.WithCancel(nil)
+	defer cancel()
+	if timeout > 0 {
+		tok = budget.WithTimeout(tok, timeout)
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "pnpll: interrupt — cancelling (interrupt again to abort)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+
+	specs := req.SpecLegs()
+	var results []sweep.PointResult
+	if len(specs) > 0 {
+		points := make([]sweep.Point, len(specs))
+		for i, sp := range specs {
+			pt, err := sp.Resolve(nil)
+			if err != nil {
+				log.Printf("leg %q: %v", sp.Name, err)
+				return 1
+			}
+			points[i] = pt
+		}
+		cfg := &sweep.Config{Workers: workers, Budget: tok, Cache: store}
+		if verbose {
+			cfg.OnPoint = func(r sweep.PointResult) {
+				status := "ok"
+				if !r.OK() {
+					status = "failed"
+				} else if r.Cached {
+					status = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "[%s] %s (%v)\n", r.Name, status, r.Wall.Round(time.Millisecond))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "pnpll: characterising %d leg(s) on %d workers\n", len(specs), workers)
+		results = sweep.Run(points, cfg)
+	}
+
+	cfg, err := req.BuildConfig(results)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	res, err := pll.Compose(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return emit(res, jsonPath)
+}
+
+// runRemote submits the request as a compose job to a pnserve instance and
+// renders the same output from the job's full result.
+func runRemote(base string, req *serve.ComposeRequest, timeout time.Duration, jsonPath string, verbose bool) int {
+	c := pnclient.New(base, nil, pnclient.Retry{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tctx := obs.SpanContext{Trace: obs.NewTraceID()}
+	ctx = obs.ContextWithSpanContext(ctx, tctx)
+
+	var kb [16]byte
+	if _, err := rand.Read(kb[:]); err != nil {
+		log.Print(err)
+		return 1
+	}
+	idemKey := "pnpll-" + hex.EncodeToString(kb[:])
+	if timeout > 0 {
+		req.TimeoutMS = int64(timeout / time.Millisecond)
+	}
+
+	st, err := c.Compose(ctx, *req, idemKey)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "pnpll: job %s submitted to %s (%d spec legs, trace %s)\n",
+		st.ID, base, len(req.SpecLegs()), tctx.Trace)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "pnpll: interrupt — cancelling job %s (interrupt again to abort)\n", st.ID)
+		cctx, cdone := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cdone()
+		if _, err := c.Cancel(cctx, st.ID); err != nil {
+			log.Printf("cancel: %v", err)
+		}
+		<-sigc
+		os.Exit(130)
+	}()
+
+	final, err := c.Wait(ctx, st.ID, true, func(ev serve.Event) {
+		if !verbose {
+			return
+		}
+		switch ev.Type {
+		case "point":
+			status := "ok"
+			if !ev.Point.OK {
+				status = "failed"
+			} else if ev.Point.Cached {
+				status = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[leg %s] %s (%.0fms)\n", ev.Point.Name, status, ev.Point.WallMS)
+		case "compose":
+			fmt.Fprintf(os.Stderr, "composed: %.4g s RMS jitter\n", ev.Compose.JitterSec)
+		case "state":
+			fmt.Fprintf(os.Stderr, "job %s: %s\n", st.ID, ev.State)
+		}
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if final.State != serve.StateDone {
+		if final.Error != nil {
+			log.Printf("job %s %s: %s", final.ID, final.State, final.Error.Msg)
+		} else {
+			log.Printf("job %s %s", final.ID, final.State)
+		}
+		return 1
+	}
+	if final.ComposeResult == nil {
+		log.Printf("job %s done but carried no composition result", final.ID)
+		return 1
+	}
+	return emit(final.ComposeResult, jsonPath)
+}
+
+// emit renders the breakdown table and optional JSON output.
+func emit(res *pll.Result, jsonPath string) int {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "contributor\tjitter (s, RMS)\tshare")
+	total := res.JitterSec * res.JitterSec
+	for _, c := range res.Contributors {
+		share := 0.0
+		if total > 0 {
+			share = c.JitterSec * c.JitterSec / total
+		}
+		fmt.Fprintf(tw, "%s\t%.4e\t%.1f%%\n", c.Name, c.JitterSec, 100*share)
+	}
+	tw.Flush()
+	fmt.Printf("carrier %.6e Hz, composite RMS jitter %.4e s (%.4e rad) over [%.3g, %.3g] Hz, %d grid points\n",
+		res.CarrierHz, res.JitterSec, res.JitterRad, res.BandHz[0], res.BandHz[1], len(res.FHz))
+	if res.Phase != nil {
+		fmt.Printf("phase realization: %d samples at %.6g Hz\n", len(res.Phase), res.SampleRateHz)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Printf("full result written to %s\n", jsonPath)
+	}
+	return 0
+}

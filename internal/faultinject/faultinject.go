@@ -92,6 +92,11 @@ const (
 	// transport — a deterministic stand-in for connection refused/reset,
 	// exercising the retry ladder and the callers' failover paths.
 	PnclientHTTP = "pnclient.http"
+	// PllCompose fires at the entry of the PLL composition engine
+	// (pll.Compose): the composition fails as infrastructure after its
+	// oscillator legs already characterised, exercising the compose job
+	// kind's failure accounting without touching the pipeline or the cache.
+	PllCompose = "pll.compose"
 )
 
 // points is the registered inventory, sorted for stable iteration.
@@ -106,6 +111,7 @@ var points = []string{
 	OscEvalDelay,
 	OscEvalNaN,
 	OscEvalPanic,
+	PllCompose,
 	PnclientHTTP,
 	ServeHandlerLatency,
 	ServeJournalWrite,

@@ -1,0 +1,24 @@
+package pll
+
+import "testing"
+
+// BenchmarkPLLCompose is the gated benchmark on the mask-evaluation hot
+// loop: a two-stage chain with PFD floors over the default 20-points/decade
+// grid, jitter integral included, no realization. bench_compare gates both
+// ns/op drift and allocs/op — the engine must stay a handful of grid-sized
+// slices, nothing per-point.
+func BenchmarkPLLCompose(b *testing.B) {
+	st0 := testStage()
+	st0.PFDNoisedBcHz = -210
+	cfg := &Config{
+		Stages: []Stage{st0, {VCO: Leg{F0Hz: 10e9, C: 1e-20}, LoopBandwidthHz: 1e6}},
+		Grid:   Grid{StartHz: 100, StopHz: 100e6},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

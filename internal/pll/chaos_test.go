@@ -1,0 +1,46 @@
+package pll
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// TestChaosComposeInjectedFailure fires the pll.compose fault point and
+// asserts the engine fails cleanly: a wrapped faultinject sentinel, the
+// error outcome counted, and no partial Result escaping. Composition is pure
+// arithmetic, so this point is how chaos runs make the compose job kind fail
+// as infrastructure after its legs already characterised.
+func TestChaosComposeInjectedFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.PllCompose: {Mode: faultinject.ModeError, Count: 1},
+	})()
+
+	res, err := Compose(testConfig())
+	if err == nil {
+		t.Fatal("want an injected failure")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error does not wrap the faultinject sentinel: %v", err)
+	}
+	if res != nil {
+		t.Fatal("failed compose leaked a partial result")
+	}
+	if st := faultinject.Stats()[faultinject.PllCompose]; st.Fired != 1 {
+		t.Fatalf("fault point fired %d times, want 1", st.Fired)
+	}
+	if got := reg.Snapshot().Counter("pn_pll_compositions_total", "error"); got != 1 {
+		t.Fatalf("error compositions = %d, want 1", got)
+	}
+
+	// The plan's single shot is spent: the engine recovers immediately.
+	if _, err := Compose(testConfig()); err != nil {
+		t.Fatalf("compose after the injected failure: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package pll
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// wfloat is a float64 that survives JSON even when non-finite, following the
+// repo-wide codec convention (see floquet's codec): Inf/-Inf/NaN travel as
+// the strings "Inf", "-Inf", "NaN"; finite values stay plain numbers. A
+// composed mask hits -Inf dBc/Hz wherever a contributor's linear power
+// underflows to zero (a floor disabled mid-grid, a highpass at DC), and
+// encoding/json would reject the whole Result for it.
+type wfloat float64
+
+func (f wfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *wfloat) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "Inf", "+Inf":
+			*f = wfloat(math.Inf(1))
+		case "-Inf":
+			*f = wfloat(math.Inf(-1))
+		case "NaN":
+			*f = wfloat(math.NaN())
+		default:
+			return fmt.Errorf("pll: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = wfloat(v)
+	return nil
+}
+
+func toWfloats(in []float64) []wfloat {
+	if in == nil {
+		return nil
+	}
+	out := make([]wfloat, len(in))
+	for i, v := range in {
+		out[i] = wfloat(v)
+	}
+	return out
+}
+
+func fromWfloats(in []wfloat) []float64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// contributorJSON / resultJSON are the wire forms: dB masks and jitters ride
+// wfloat so -Inf points survive; grids and realizations are finite by
+// construction and stay plain numbers.
+type contributorJSON struct {
+	Name      string   `json:"name"`
+	LdBc      []wfloat `json:"l_dbc"`
+	JitterSec wfloat   `json:"jitter_sec"`
+}
+
+type resultJSON struct {
+	CarrierHz    float64           `json:"carrier_hz"`
+	FHz          []float64         `json:"f_hz"`
+	LdBc         []wfloat          `json:"l_dbc"`
+	Contributors []contributorJSON `json:"contributors"`
+	BandHz       [2]float64        `json:"band_hz"`
+	JitterRad    wfloat            `json:"jitter_rad"`
+	JitterSec    wfloat            `json:"jitter_sec"`
+	Phase        []float64         `json:"phase,omitempty"`
+	SampleRateHz float64           `json:"sample_rate_hz,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler so a Result round-trips loss-free
+// through the job API, the journal and the CLI, -Inf mask points included.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	w := resultJSON{
+		CarrierHz:    r.CarrierHz,
+		FHz:          r.FHz,
+		LdBc:         toWfloats(r.LdBc),
+		BandHz:       r.BandHz,
+		JitterRad:    wfloat(r.JitterRad),
+		JitterSec:    wfloat(r.JitterSec),
+		Phase:        r.Phase,
+		SampleRateHz: r.SampleRateHz,
+	}
+	if r.Contributors != nil {
+		w.Contributors = make([]contributorJSON, len(r.Contributors))
+		for i, c := range r.Contributors {
+			w.Contributors[i] = contributorJSON{Name: c.Name, LdBc: toWfloats(c.LdBc), JitterSec: wfloat(c.JitterSec)}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		CarrierHz:    w.CarrierHz,
+		FHz:          w.FHz,
+		LdBc:         fromWfloats(w.LdBc),
+		BandHz:       w.BandHz,
+		JitterRad:    float64(w.JitterRad),
+		JitterSec:    float64(w.JitterSec),
+		Phase:        w.Phase,
+		SampleRateHz: w.SampleRateHz,
+	}
+	if w.Contributors != nil {
+		r.Contributors = make([]Contributor, len(w.Contributors))
+		for i, c := range w.Contributors {
+			r.Contributors[i] = Contributor{Name: c.Name, LdBc: fromWfloats(c.LdBc), JitterSec: float64(c.JitterSec)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package pll
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.Realization = &RealizationConfig{Samples: 64, SampleRateHz: 1e6, Seed: 3}
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Fatal("composed Result did not survive a JSON round trip")
+	}
+}
+
+// TestResultJSONNonFinite pins the PR-7 codec convention on the new types:
+// -Inf mask points (a contributor with zero linear power) and NaN jitters
+// travel as strings, finite values as numbers, and both directions agree.
+func TestResultJSONNonFinite(t *testing.T) {
+	res := &Result{
+		CarrierHz: 1e9,
+		FHz:       []float64{1e3, 1e4},
+		LdBc:      []float64{math.Inf(-1), -120},
+		Contributors: []Contributor{
+			{Name: "pll0.vco", LdBc: []float64{math.Inf(-1), math.Inf(1)}, JitterSec: math.NaN()},
+		},
+		BandHz:    [2]float64{1e3, 1e4},
+		JitterRad: math.Inf(1),
+		JitterSec: 1e-12,
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("non-finite Result must marshal: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"-Inf"`, `"Inf"`, `"NaN"`, `-120`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("wire form lacks %s: %s", want, s)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.LdBc[0], -1) || back.LdBc[1] != -120 {
+		t.Errorf("mask round trip: %v", back.LdBc)
+	}
+	if !math.IsInf(back.Contributors[0].LdBc[1], 1) || !math.IsNaN(back.Contributors[0].JitterSec) {
+		t.Errorf("contributor round trip: %+v", back.Contributors[0])
+	}
+	if !math.IsInf(back.JitterRad, 1) || back.JitterSec != 1e-12 {
+		t.Errorf("jitter round trip: rad=%v sec=%v", back.JitterRad, back.JitterSec)
+	}
+}
+
+// TestConfigJSONGolden pins the request wire format: a config authored as
+// the documented JSON decodes to the expected struct and re-encodes without
+// losing fields.
+func TestConfigJSONGolden(t *testing.T) {
+	golden := `{
+		"stages": [{
+			"name": "main",
+			"ref": {"name": "xo", "f0_hz": 10e6, "c_s2hz": 1e-22},
+			"vco": {"name": "vco", "fom": {"f0_hz": 1e9, "fom_dbc_hz": -180, "power_mw": 10, "flicker_corner_hz": 1e5}},
+			"loop_bandwidth_hz": 100e3,
+			"phase_margin_deg": 55,
+			"divider_n": 100,
+			"pfd_noise_dbc_hz": -210
+		}],
+		"grid": {"start_hz": 100, "stop_hz": 1e8, "points_per_decade": 10},
+		"jitter_band_hz": [1e3, 2e7],
+		"realization": {"samples": 1024, "sample_rate_hz": 2e8, "seed": 17}
+	}`
+	var cfg Config
+	if err := json.Unmarshal([]byte(golden), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Stages: []Stage{{
+			Name:            "main",
+			Ref:             &Leg{Name: "xo", F0Hz: 10e6, C: 1e-22},
+			VCO:             Leg{Name: "vco", FOM: &FOM{F0Hz: 1e9, FOMdBcHz: -180, PowerMW: 10, FlickerCornerHz: 1e5}},
+			LoopBandwidthHz: 100e3,
+			PhaseMarginDeg:  55,
+			DividerN:        100,
+			PFDNoisedBcHz:   -210,
+		}},
+		Grid:         Grid{StartHz: 100, StopHz: 1e8, PointsPerDecade: 10},
+		JitterBandHz: [2]float64{1e3, 2e7},
+		Realization:  &RealizationConfig{Samples: 1024, SampleRateHz: 2e8, Seed: 17},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("golden config decoded to\n%+v\nwant\n%+v", cfg, want)
+	}
+	re, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Config
+	if err := json.Unmarshal(re, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("config did not survive re-encoding")
+	}
+	if _, err := Compose(&cfg); err != nil {
+		t.Fatalf("golden config must compose: %v", err)
+	}
+}

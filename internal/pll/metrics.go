@@ -1,0 +1,23 @@
+package pll
+
+import "repro/internal/obs"
+
+// pllInstruments are the composition-engine metrics: compositions by
+// outcome, legs by parameterisation kind, and the compose latency
+// distribution (microseconds dominate — the engine is pure arithmetic).
+type pllInstruments struct {
+	ok      *obs.Counter    // pn_pll_compositions_total{outcome="ok"}
+	failed  *obs.Counter    // pn_pll_compositions_total{outcome="error"}
+	legs    *obs.CounterVec // pn_pll_legs_total{kind}
+	seconds *obs.Histogram  // pn_pll_compose_seconds
+}
+
+var pllMetrics = obs.NewView(func(r *obs.Registry) *pllInstruments {
+	runs := r.CounterVec("pn_pll_compositions_total", "Compose calls, by outcome.", "outcome")
+	return &pllInstruments{
+		ok:      runs.With("ok"),
+		failed:  runs.With("error"),
+		legs:    r.CounterVec("pn_pll_legs_total", "Oscillator legs consumed by compositions, by parameterisation (ref, vco, fom).", "kind"),
+		seconds: r.Histogram("pn_pll_compose_seconds", "Wall-clock time per composition (grid evaluation + jitter integral + optional realization).", obs.ExpBuckets(0.000001, 4, 12)),
+	}
+})

@@ -1,0 +1,409 @@
+package pll
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testStage returns a single-PLL chain: a clean 10 MHz reference multiplied
+// to 1 GHz by a noisier VCO through a 100 kHz loop.
+func testStage() Stage {
+	return Stage{
+		Ref:             &Leg{Name: "xo", F0Hz: 10e6, C: 1e-22},
+		VCO:             Leg{Name: "vco", F0Hz: 1e9, C: 1e-18},
+		LoopBandwidthHz: 100e3,
+	}
+}
+
+func testConfig() *Config {
+	return &Config{
+		Stages: []Stage{testStage()},
+		Grid:   Grid{StartHz: 100, StopHz: 100e6},
+	}
+}
+
+func lorentzDB(f0, c, fm float64) float64 {
+	return 10 * math.Log10(lorentzSource{f0: f0, c: c}.llin(fm))
+}
+
+// interpDB reads a mask at offset fm by log-log interpolation of the grid.
+func interpDB(f, ldbc []float64, fm float64) float64 {
+	lin := make([]float64, len(ldbc))
+	for i, v := range ldbc {
+		lin[i] = math.Pow(10, v/10)
+	}
+	return 10 * math.Log10(interpLogLog(f, lin, fm))
+}
+
+func TestLoopTransferShape(t *testing.T) {
+	loop := newLoop(100e3, 60, 100)
+	// Deep in-band: input noise passes with the full N² multiplication,
+	// the VCO is suppressed.
+	lp2, hp2 := loop.at(10)
+	if got, want := 10*math.Log10(lp2), 40.0; math.Abs(got-want) > 0.01 {
+		t.Errorf("in-band lowpass = %.3f dB, want %.3f (N²)", got, want)
+	}
+	if hp2 > 1e-10 {
+		t.Errorf("in-band highpass = %g, want ~0", hp2)
+	}
+	// Far out of band: the lowpass dies, the VCO passes untouched.
+	lp2, hp2 = loop.at(100e6)
+	if lp2 > 1e-2 {
+		t.Errorf("far-out lowpass = %g, want ~0", lp2)
+	}
+	if math.Abs(10*math.Log10(hp2)) > 0.01 {
+		t.Errorf("far-out highpass = %.4f dB, want 0", 10*math.Log10(hp2))
+	}
+	// At crossover |G| = 1 by construction of K.
+	w := 2 * math.Pi * 100e3
+	g2 := (loop.k * loop.k / (w * w * w * w)) * (1 + (w/loop.wz)*(w/loop.wz))
+	if math.Abs(g2-1) > 1e-9 {
+		t.Errorf("|G(jωc)|² = %g, want 1", g2)
+	}
+}
+
+func TestCompositeMatchesVCOFarOut(t *testing.T) {
+	cfg := testConfig()
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≫ loop bandwidth the composite must be the bare VCO Lorentzian: the
+	// acceptance-criterion tolerance is 0.1 dB.
+	for _, fm := range []float64{10e6, 30e6, 90e6} {
+		got := interpDB(res.FHz, res.LdBc, fm)
+		want := lorentzDB(1e9, 1e-18, fm)
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("composite at %.0f Hz = %.3f dBc/Hz, standalone VCO = %.3f (Δ %.3f dB > 0.1)",
+				fm, got, want, got-want)
+		}
+	}
+}
+
+func TestCompositeMatchesReferredReferenceInBand(t *testing.T) {
+	cfg := testConfig()
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep in-band the composite is the reference noise multiplied to the
+	// output carrier: L_ref(f) + 20·log10(N), N = 100.
+	for _, fm := range []float64{200.0, 1e3} {
+		got := interpDB(res.FHz, res.LdBc, fm)
+		want := lorentzDB(10e6, 1e-22, fm) + 40
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("composite at %.0f Hz = %.3f dBc/Hz, referred reference = %.3f", fm, got, want)
+		}
+	}
+}
+
+func TestContributorsSumToComposite(t *testing.T) {
+	st := testStage()
+	st.PFDNoisedBcHz = -210
+	st.DividerNoisedBcHz = -215
+	cfg := &Config{Stages: []Stage{st}, Grid: Grid{StartHz: 100, StopHz: 100e6}}
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"pll0.ref", "pll0.pfd", "pll0.div", "pll0.vco"}
+	if len(res.Contributors) != len(wantNames) {
+		t.Fatalf("got %d contributors, want %d", len(res.Contributors), len(wantNames))
+	}
+	for i, c := range res.Contributors {
+		if c.Name != wantNames[i] {
+			t.Errorf("contributor %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+	}
+	for i := range res.FHz {
+		var sum float64
+		for _, c := range res.Contributors {
+			sum += math.Pow(10, c.LdBc[i]/10)
+		}
+		got := math.Pow(10, res.LdBc[i]/10)
+		if math.Abs(sum-got) > 1e-9*got {
+			t.Fatalf("at %g Hz contributors sum to %g, composite is %g", res.FHz[i], sum, got)
+		}
+	}
+}
+
+func TestPerSourceSelection(t *testing.T) {
+	base := testConfig()
+	sel := testConfig()
+	sel.Stages[0].VCO = Leg{
+		F0Hz:      1e9,
+		PerSource: []SourceC{{Label: "thermal", C: 1e-18}, {Label: "flicker", C: 5e-18}},
+		Sources:   []string{"thermal"},
+	}
+	a, err := Compose(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compose(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.LdBc {
+		if math.Abs(a.LdBc[i]-b.LdBc[i]) > 1e-9 {
+			t.Fatalf("per-source selection of c_i=1e-18 differs from scalar c=1e-18 at %g Hz: %g vs %g",
+				a.FHz[i], a.LdBc[i], b.LdBc[i])
+		}
+	}
+
+	bad := testConfig()
+	bad.Stages[0].VCO.PerSource = []SourceC{{Label: "thermal", C: 1e-18}}
+	bad.Stages[0].VCO.Sources = []string{"nope"}
+	if _, err := Compose(bad); err == nil || !strings.Contains(err.Error(), "unknown noise source") {
+		t.Fatalf("unknown source name: got %v", err)
+	}
+}
+
+func TestCascadePropagatesUpstreamThroughLowpass(t *testing.T) {
+	// Stage 0 output (1 GHz) feeds stage 1, which multiplies by 10 through a
+	// much cleaner VCO and a narrow loop.
+	cfg := testConfig()
+	cfg.Stages = append(cfg.Stages, Stage{
+		VCO:             Leg{F0Hz: 10e9, C: 1e-20},
+		LoopBandwidthHz: 1e6,
+	})
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CarrierHz != 10e9 {
+		t.Fatalf("carrier = %g, want 10 GHz", res.CarrierHz)
+	}
+	// Stage-0 contributors must still be individually visible, now referred
+	// through stage 1's lowpass (+20 dB in-band).
+	single, err := Compose(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref0, ref0Single *Contributor
+	for i := range res.Contributors {
+		if res.Contributors[i].Name == "pll0.ref" {
+			ref0 = &res.Contributors[i]
+		}
+	}
+	for i := range single.Contributors {
+		if single.Contributors[i].Name == "pll0.ref" {
+			ref0Single = &single.Contributors[i]
+		}
+	}
+	if ref0 == nil || ref0Single == nil {
+		t.Fatal("pll0.ref contributor missing after cascade")
+	}
+	fm := 1e3 // deep inside both loops
+	got := interpDB(res.FHz, ref0.LdBc, fm)
+	want := interpDB(single.FHz, ref0Single.LdBc, fm) + 20
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("cascaded pll0.ref at %g Hz = %.3f dBc/Hz, want single-stage + 20 dB = %.3f", fm, got, want)
+	}
+	// Far out of both loops the composite is the last VCO alone.
+	gotFar := interpDB(res.FHz, res.LdBc, 90e6)
+	wantFar := lorentzDB(10e9, 1e-20, 90e6)
+	if math.Abs(gotFar-wantFar) > 0.1 {
+		t.Errorf("cascade far-out = %.3f dBc/Hz, last VCO = %.3f", gotFar, wantFar)
+	}
+}
+
+func TestBandVarianceFlatMask(t *testing.T) {
+	f := []float64{1e3, 2e3, 4e3, 8e3, 16e3}
+	lin := []float64{1e-10, 1e-10, 1e-10, 1e-10, 1e-10}
+	got := bandVariance(f, lin, 2e3, 8e3)
+	want := 2 * 1e-10 * 6e3
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("flat-band variance = %g, want %g", got, want)
+	}
+	// Band edges interior to segments interpolate.
+	got = bandVariance(f, lin, 3e3, 6e3)
+	want = 2 * 1e-10 * 3e3
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("clipped flat-band variance = %g, want %g", got, want)
+	}
+}
+
+func TestJitterBandClampsIntoGrid(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterBandHz = [2]float64{10, 1e9} // wider than the grid on both sides
+	res, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandHz != [2]float64{100, 100e6} {
+		t.Fatalf("band = %v, want clamped to grid [100, 1e8]", res.BandHz)
+	}
+	if res.JitterRad <= 0 || res.JitterSec <= 0 {
+		t.Fatalf("jitter not positive: %g rad, %g s", res.JitterRad, res.JitterSec)
+	}
+	if got := res.JitterRad / (2 * math.Pi * res.CarrierHz); math.Abs(got-res.JitterSec) > 1e-24 {
+		t.Fatalf("jitter_sec %g inconsistent with jitter_rad %g", res.JitterSec, res.JitterRad)
+	}
+}
+
+func TestFOMSourceShape(t *testing.T) {
+	src := newFOMSource(&FOM{F0Hz: 1e9, FOMdBcHz: -160, PowerMW: 10, FlickerCornerHz: 1e5})
+	// At 1 MHz: -160 + 20·log10(1e9/1e6) - 10·log10(10) + 10·log10(1 + 0.1)
+	want := -160.0 + 60 - 10 + 10*math.Log10(1.1)
+	got := 10 * math.Log10(src.llin(1e6))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("FOM source at 1 MHz = %.6f dBc/Hz, want %.6f", got, want)
+	}
+	// An octave in frequency costs 6 dB beyond the flicker corner.
+	noFc := newFOMSource(&FOM{F0Hz: 1e9, FOMdBcHz: -160, PowerMW: 10})
+	ratio := 10 * math.Log10(noFc.llin(1e6)/noFc.llin(2e6))
+	if math.Abs(ratio-20*math.Log10(2)) > 1e-9 {
+		t.Errorf("FOM slope = %.4f dB/octave, want %.4f", ratio, 20*math.Log10(2))
+	}
+}
+
+func TestRealizationSeededAndScaled(t *testing.T) {
+	cfg := testConfig()
+	cfg.Realization = &RealizationConfig{Samples: 1 << 12, SampleRateHz: 200e6, Seed: 7}
+	a, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phase) != 1<<12 || a.SampleRateHz != 200e6 {
+		t.Fatalf("realization shape: %d samples at %g Hz", len(a.Phase), a.SampleRateHz)
+	}
+	b, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Phase {
+		if a.Phase[i] != b.Phase[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	cfg.Realization.Seed = 8
+	c, err := Compose(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Phase {
+		if a.Phase[i] != c.Phase[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical realizations")
+	}
+}
+
+// TestRealizationVarianceMatchesPSD drives the synthesis with a flat
+// spectrum and checks the sample variance against the analytic integral —
+// the scaling contract between the mask and the time series.
+func TestRealizationVarianceMatchesPSD(t *testing.T) {
+	const level = 1e-8 // rad²/Hz single-sideband
+	n := 1 << 14
+	fs := 1e6
+	f := []float64{1, fs}
+	lin := []float64{level, level}
+	phase := realize(f, lin, &RealizationConfig{Samples: n, SampleRateHz: fs, Seed: 42})
+	var mean, v float64
+	for _, p := range phase {
+		mean += p
+	}
+	mean /= float64(n)
+	for _, p := range phase {
+		v += (p - mean) * (p - mean)
+	}
+	v /= float64(n)
+	// σ² = 2·∫_0^{fs/2} L df = level·fs (the DC bin is zeroed; negligible).
+	want := 2 * level * fs / 2
+	if v < 0.8*want || v > 1.2*want {
+		t.Fatalf("realized variance %g, want %g ±20%%", v, want)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no stages", func(c *Config) { c.Stages = nil }, "at least one stage"},
+		{"missing ref", func(c *Config) { c.Stages[0].Ref = nil }, "needs a ref leg"},
+		{"ref on later stage", func(c *Config) {
+			c.Stages = append(c.Stages, Stage{Ref: &Leg{F0Hz: 1, C: 1}, VCO: Leg{F0Hz: 1e9, C: 1e-18}, LoopBandwidthHz: 1e3})
+		}, "only stage 0"},
+		{"no bandwidth", func(c *Config) { c.Stages[0].LoopBandwidthHz = 0 }, "loop_bandwidth_hz"},
+		{"bad margin", func(c *Config) { c.Stages[0].PhaseMarginDeg = 90 }, "phase margin"},
+		{"bad grid", func(c *Config) { c.Grid.StopHz = c.Grid.StartHz }, "grid"},
+		{"bad band", func(c *Config) { c.JitterBandHz = [2]float64{5, 2} }, "jitter band"},
+		{"band off grid", func(c *Config) { c.JitterBandHz = [2]float64{1, 10} }, "does not overlap"},
+		{"no vco c", func(c *Config) { c.Stages[0].VCO.C = 0 }, "finite c > 0"},
+		{"c and fom", func(c *Config) {
+			c.Stages[0].VCO.FOM = &FOM{F0Hz: 1e9, FOMdBcHz: -180, PowerMW: 1}
+		}, "not both"},
+		{"fom without power", func(c *Config) {
+			c.Stages[0].VCO = Leg{FOM: &FOM{F0Hz: 1e9, FOMdBcHz: -180}}
+		}, "power_mw"},
+		{"huge realization", func(c *Config) {
+			c.Realization = &RealizationConfig{Samples: maxRealizationSamples + 1, SampleRateHz: 1e6}
+		}, "samples"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(cfg)
+			_, err := Compose(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestComposeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	if _, err := Compose(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.Stages[0].LoopBandwidthHz = -1
+	if _, err := Compose(bad); err == nil {
+		t.Fatal("want validation error")
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("pn_pll_compositions_total", "ok"); got != 1 {
+		t.Errorf("ok compositions = %d, want 1", got)
+	}
+	if got := s.Counter("pn_pll_compositions_total", "error"); got != 1 {
+		t.Errorf("failed compositions = %d, want 1", got)
+	}
+	if got := s.Counter("pn_pll_legs_total", "ref"); got != 1 {
+		t.Errorf("ref legs = %d, want 1", got)
+	}
+	if got := s.Counter("pn_pll_legs_total", "vco"); got != 1 {
+		t.Errorf("vco legs = %d, want 1", got)
+	}
+}
+
+func TestGridEndpointsExact(t *testing.T) {
+	g := Grid{StartHz: 100, StopHz: 1e6, PointsPerDecade: 10}
+	f, err := g.points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != 100 || f[len(f)-1] != 1e6 {
+		t.Fatalf("grid endpoints [%g, %g], want [100, 1e6]", f[0], f[len(f)-1])
+	}
+	if len(f) != 41 {
+		t.Fatalf("grid has %d points, want 41 (4 decades × 10 + 1)", len(f))
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i] <= f[i-1] {
+			t.Fatalf("grid not strictly increasing at %d", i)
+		}
+	}
+}

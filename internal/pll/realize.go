@@ -1,0 +1,71 @@
+package pll
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fourier"
+)
+
+// realize synthesizes a time-domain phase trajectory φ[m] (radians) from the
+// composite single-sideband mask: Gaussian spectral coefficients drawn with
+// variance matching the two-sided PSD S_φ(f) = 2·L_lin(f) on each FFT bin,
+// Hermitian-symmetrised, inverse-transformed. The draw is seeded, so a
+// (config, seed) pair reproduces the exact trajectory — the property
+// comm-system consumers need to replay a link simulation.
+//
+// Bin frequencies outside the evaluated grid take the nearest grid edge's
+// value; inside, the mask is power-law (log-log) interpolated, which is
+// exact for the 1/f² and flat regions a composed mask is made of.
+func realize(f, lin []float64, rc *RealizationConfig) []float64 {
+	n := rc.Samples
+	fs := rc.SampleRateHz
+	df := fs / float64(n)
+	rng := rand.New(rand.NewSource(rc.Seed))
+
+	spec := make([]complex128, n)
+	for k := 1; k <= n/2; k++ {
+		fk := float64(k) * df
+		// One cosine at f_k with amplitude A has variance A²/2 and occupies
+		// one bin: A²/2 = S_φ(f_k)·df with S_φ = 2·L_lin. Splitting that
+		// power between the k and n-k bins puts σ² = S_φ·df/4 on each
+		// quadrature.
+		sigma := math.Sqrt(2 * interpLogLog(f, lin, fk) * df / 4)
+		if 2*k == n { // Nyquist bin: real, self-conjugate, carries both halves
+			spec[k] = complex(float64(n)*sigma*math.Sqrt2*rng.NormFloat64(), 0)
+			continue
+		}
+		re := float64(n) * sigma * rng.NormFloat64()
+		im := float64(n) * sigma * rng.NormFloat64()
+		spec[k] = complex(re, im)
+		spec[n-k] = complex(re, -im)
+	}
+	inv := fourier.IFFT(spec) // 1/n-normalised, so the n factors above cancel
+	phase := make([]float64, n)
+	for i, c := range inv {
+		phase[i] = real(c)
+	}
+	return phase
+}
+
+// interpLogLog evaluates the mask at x by power-law interpolation between
+// grid neighbours, clamping to the edge values outside the grid. Zero or
+// negative mask values (possible only for a degenerate contributor) fall
+// back to linear interpolation.
+func interpLogLog(f, lin []float64, x float64) float64 {
+	if x <= f[0] {
+		return lin[0]
+	}
+	if x >= f[len(f)-1] {
+		return lin[len(lin)-1]
+	}
+	i := sort.SearchFloat64s(f, x)
+	a, b := f[i-1], f[i]
+	ya, yb := lin[i-1], lin[i]
+	if ya <= 0 || yb <= 0 {
+		return ya + (yb-ya)*(x-a)/(b-a)
+	}
+	p := math.Log(yb/ya) / math.Log(b/a)
+	return ya * math.Pow(x/a, p)
+}

@@ -287,6 +287,12 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest, idemKey stri
 	return c.submit(ctx, "/v1/sweep", req, idemKey)
 }
 
+// Compose submits a PLL/clock-chain composition job; spec legs characterise
+// server-side through the result cache. See Characterise for idemKey.
+func (c *Client) Compose(ctx context.Context, req serve.ComposeRequest, idemKey string) (serve.JobStatus, error) {
+	return c.submit(ctx, "/v1/compose", req, idemKey)
+}
+
 func (c *Client) submit(ctx context.Context, path string, body any, idemKey string) (serve.JobStatus, error) {
 	var hdr map[string]string
 	if idemKey != "" {

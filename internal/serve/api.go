@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pll"
 	"repro/internal/sweep"
 )
 
@@ -117,7 +118,7 @@ func summarize(r *sweep.PointResult) PointSummary {
 // JobStatus is the response of the submit endpoints and GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID     string `json:"id"`
-	Kind   string `json:"kind"` // "characterise" or "sweep"
+	Kind   string `json:"kind"` // "characterise", "sweep" or "compose"
 	State  string `json:"state"`
 	Points int    `json:"points"`
 	// Progress counters; Done counts terminal points (ok or failed), Cached
@@ -135,6 +136,11 @@ type JobStatus struct {
 	// Full holds the loss-free per-point results, only with ?full=1 on a
 	// terminal job; round-trips through sweep.PointResult's JSON codec.
 	Full []sweep.PointResult `json:"full_results,omitempty"`
+	// Compose is the composition summary of a "compose" job once the chain
+	// composed; ComposeResult the full mask/breakdown/realization, only with
+	// ?full=1.
+	Compose       *ComposeSummary `json:"compose,omitempty"`
+	ComposeResult *pll.Result     `json:"compose_result,omitempty"`
 }
 
 // TraceStage aggregates one span name across the timeline — where the job's
@@ -205,6 +211,10 @@ type ClusterStatus struct {
 type ModelInfo struct {
 	Name     string             `json:"name"`
 	Defaults map[string]float64 `json:"defaults"`
+	// NoiseSources are the model's noise-source labels under default
+	// parameters — the names a compose leg's "sources" selector accepts.
+	NoiseSources []string `json:"noise_sources,omitempty"`
+	NumNoise     int      `json:"num_noise"`
 }
 
 // Health is the GET /healthz payload.

@@ -17,7 +17,7 @@ import (
 // consumers must key on Point.Index, never on arrival order or count.
 type Event struct {
 	Seq   int64  `json:"seq"`
-	Type  string `json:"type"`            // "state" or "point"
+	Type  string `json:"type"`            // "state", "point" or "compose"
 	State string `json:"state,omitempty"` // job state, on type "state"
 	// Error carries the job-level failure on terminal "state" events
 	// (failed/canceled), with its budget/panic classification intact.
@@ -26,6 +26,10 @@ type Event struct {
 	// in completion order — cached points near-instantly, computed ones much
 	// later — but Point.Index is always exact (see sweep.Config.OnPoint).
 	Point *PointSummary `json:"point,omitempty"`
+	// Compose is the composition summary, on type "compose" — emitted once by
+	// a compose job after its legs resolved and the chain composed, just
+	// before the terminal state event.
+	Compose *ComposeSummary `json:"compose,omitempty"`
 }
 
 // eventLog is an append-only in-memory event history with broadcast: readers

@@ -62,6 +62,9 @@ type jrecord struct {
 	Idem       string      `json:"idem,omitempty"`         // client Idempotency-Key, verbatim
 	IdemFP     string      `json:"idem_fp,omitempty"`      // request-body fingerprint under that key
 	Trace      string      `json:"trace,omitempty"`        // traceparent at submit; restarts keep the trace ID
+	// Compose is the composition request of a "compose" job; a recovered job
+	// re-runs the composition after its legs resolve (as cache hits).
+	Compose *ComposeRequest `json:"compose,omitempty"`
 	// Event field (T == "event").
 	Ev *Event `json:"ev,omitempty"`
 }
@@ -351,7 +354,7 @@ func (jl *journal) replayFile(path string, wal bool) (recoveredJob, bool) {
 			continue // torn or garbage line: skip, keep what parsed
 		}
 		if first {
-			if rec.T != "accepted" || rec.ID == "" || len(rec.Specs) == 0 {
+			if rec.T != "accepted" || rec.ID == "" || (len(rec.Specs) == 0 && rec.Compose == nil) {
 				return recoveredJob{}, false
 			}
 			rj.hdr = rec

@@ -26,7 +26,7 @@ type serveInstruments struct {
 
 var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
 	return &serveInstruments{
-		submitted:     r.CounterVec("pn_serve_submitted_total", "Jobs accepted onto the queue, by kind (characterise, sweep).", "kind"),
+		submitted:     r.CounterVec("pn_serve_submitted_total", "Jobs accepted onto the queue, by kind (characterise, sweep, compose).", "kind"),
 		jobs:          r.CounterVec("pn_serve_jobs_total", "Jobs finished, by terminal state (done, failed, canceled).", "state"),
 		rejected:      r.CounterVec("pn_serve_rejected_total", "Submissions rejected before queueing, by reason (queue_full, draining, too_large, bad_request, idem_mismatch).", "reason"),
 		queueDepth:    r.Gauge("pn_serve_queue_depth", "Jobs accepted but not yet picked up by a worker."),

@@ -41,6 +41,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/osc"
+	"repro/internal/pll"
 	"repro/internal/sweep"
 )
 
@@ -123,8 +124,9 @@ func (c Config) withDefaults() Config {
 // job is one queued/running/terminal characterisation job.
 type job struct {
 	id           string
-	kind         string // "characterise" or "sweep"
+	kind         string // "characterise", "sweep" or "compose"
 	specs        []PointSpec
+	compose      *ComposeRequest // non-nil for compose jobs: the composition to run over the legs
 	jobTimeout   time.Duration
 	sweepWorkers int
 	noCache      bool
@@ -145,6 +147,8 @@ type job struct {
 	state                   string
 	results                 []sweep.PointResult // terminal only
 	summaries               []PointSummary      // completed points so far, input order (sparse until terminal)
+	composite               *pll.Result         // compose jobs, terminal only (dies with the process; the summary survives)
+	composeSum              *ComposeSummary     // compose jobs: journaled headline numbers
 	doneN, cachedN, failedN int
 	err                     error
 	wall                    time.Duration
@@ -219,8 +223,12 @@ func (j *job) status(full bool) JobStatus {
 			st.Results = append(st.Results, s)
 		}
 	}
+	st.Compose = j.composeSum
 	if full && j.results != nil {
 		st.Full = j.results
+	}
+	if full {
+		st.ComposeResult = j.composite
 	}
 	return st
 }
@@ -286,6 +294,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/characterise", s.handleCharacterise)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/compose", s.handleCompose)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -412,7 +421,7 @@ func (s *Server) handleCharacterise(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	s.submit(w, r, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache, 0)
+	s.submit(w, r, "characterise", []PointSpec{req.PointSpec}, req.TimeoutMS, 1, req.NoCache, 0, nil)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -434,16 +443,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
 		workers = s.cfg.MaxSweepWorkers
 	}
-	s.submit(w, r, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache, req.LeaseTTLMS)
+	s.submit(w, r, "sweep", req.Points, req.TimeoutMS, workers, req.NoCache, req.LeaseTTLMS, nil)
 }
 
 // idemFingerprint condenses a submission's identity — kind, every point spec,
 // and the job-wide knobs — to a content address, so an Idempotency-Key reused
 // with a different body is detectable as a client error rather than silently
 // replaying the wrong job.
-func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64) string {
+func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64, compose *ComposeRequest) string {
 	f := cache.NewFingerprint()
 	f.Set("kind", kind)
+	if compose != nil {
+		f.Set("compose", compose.fingerprint())
+	}
 	f.SetInt("points", len(specs))
 	for i, sp := range specs {
 		pfx := "p" + strconv.Itoa(i) + "."
@@ -471,7 +483,7 @@ func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers in
 // far along it is) instead of queueing a duplicate, so clients can blindly
 // retry a submission whose response was lost. The key→job mapping survives
 // restarts through the journal header.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64, compose *ComposeRequest) {
 	m := serveMetrics.Get()
 	for i, sp := range specs {
 		if err := sp.validate(); err != nil {
@@ -484,7 +496,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	idemKey := r.Header.Get("Idempotency-Key")
 	var idemFP string
 	if idemKey != "" {
-		idemFP = idemFingerprint(kind, specs, timeoutMS, workers, noCache, leaseTTLMS)
+		idemFP = idemFingerprint(kind, specs, timeoutMS, workers, noCache, leaseTTLMS, compose)
 		s.mu.Lock()
 		if ent, ok := s.idem[idemKey]; ok {
 			prior := s.jobs[ent.id]
@@ -521,6 +533,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	j := &job{
 		kind:         kind,
 		specs:        specs,
+		compose:      compose,
 		jobTimeout:   time.Duration(timeoutMS) * time.Millisecond,
 		sweepWorkers: workers,
 		noCache:      noCache,
@@ -569,7 +582,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	j.jl = s.journal.create(jrecord{
 		ID: j.id, Kind: kind, Specs: specs, TimeoutMS: timeoutMS,
 		Workers: workers, NoCache: noCache, Idem: idemKey, IdemFP: idemFP,
-		LeaseTTLMS: leaseTTLMS, Trace: traceCtx.Traceparent(),
+		LeaseTTLMS: leaseTTLMS, Trace: traceCtx.Traceparent(), Compose: compose,
 	})
 	j.trace = newJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
 	j.emit(Event{Type: "state", State: StateQueued}, false)
@@ -732,7 +745,14 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	names := osc.Models()
 	out := make([]ModelInfo, 0, len(names))
 	for _, n := range names {
-		out = append(out, ModelInfo{Name: n, Defaults: osc.DefaultParams(n)})
+		mi := ModelInfo{Name: n, Defaults: osc.DefaultParams(n)}
+		// Noise-source labels under default parameters — what a compose
+		// leg's "sources" selector accepts against this model.
+		if m, err := osc.Build(n, nil); err == nil {
+			mi.NoiseSources = m.Sys.NoiseLabels()
+			mi.NumNoise = m.Sys.NumNoise()
+		}
+		out = append(out, mi)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -870,7 +890,10 @@ func (s *Server) runJob(j *job) {
 
 // executeJob does the work of runJob and returns the terminal state plus the
 // job-level error (nil for StateDone). span is the job's root span; the whole
-// sweep subtree is parented under it.
+// sweep subtree is parented under it. Compose jobs run their composition step
+// after the legs finish, whichever path (in-process or Runner) computed them
+// — a coordinator leases compose legs out to workers like sweep points and
+// composes locally from the collected results.
 func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 	j.setState(StateRunning)
 	jtok := j.tok
@@ -881,10 +904,29 @@ func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 		jtok = budget.WithTimeout(jtok, s.cfg.MaxJobWall)
 	}
 
-	if s.cfg.Runner != nil {
-		return s.runViaRunner(j, jtok, span)
+	if len(j.specs) > 0 {
+		var state string
+		var err error
+		if s.cfg.Runner != nil {
+			state, err = s.runViaRunner(j, jtok, span)
+		} else {
+			state, err = s.runLocal(j, jtok, span)
+		}
+		if err != nil {
+			return state, err
+		}
 	}
+	if j.compose != nil {
+		if state, err := s.composeJob(j, jtok, span); err != nil {
+			return state, err
+		}
+	}
+	return StateDone, nil
+}
 
+// runLocal resolves the specs and runs them through the in-process sweep
+// engine. Returns ("", nil) on success.
+func (s *Server) runLocal(j *job, jtok *budget.Token, span *obs.Span) (string, error) {
 	points := make([]sweep.Point, len(j.specs))
 	for i, sp := range j.specs {
 		pt, err := sp.Resolve(jtok)
@@ -930,15 +972,16 @@ func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 	if err := jtok.Err(); err != nil {
 		return classify(err), err
 	}
-	return StateDone, nil
+	return "", nil
 }
 
 // runViaRunner executes the job through the configured SweepRunner (a
-// cluster coordinator, in practice). Per-point progress arrives through
-// OnSummary — possibly concurrently from several worker streams — and is
-// folded into the job's counters and SSE stream exactly like the in-process
-// path's OnPoint hook; summaries are trusted to arrive at most once per
-// index, but an out-of-range index is dropped rather than corrupting state.
+// cluster coordinator, in practice) and returns ("", nil) on success.
+// Per-point progress arrives through OnSummary — possibly concurrently from
+// several worker streams — and is folded into the job's counters and SSE
+// stream exactly like the in-process path's OnPoint hook; summaries are
+// trusted to arrive at most once per index, but an out-of-range index is
+// dropped rather than corrupting state.
 func (s *Server) runViaRunner(j *job, jtok *budget.Token, span *obs.Span) (string, error) {
 	results, runErr := s.cfg.Runner.RunSweep(RunnerRequest{
 		JobID:       j.id,
@@ -977,7 +1020,7 @@ func (s *Server) runViaRunner(j *job, jtok *budget.Token, span *obs.Span) (strin
 	if err := jtok.Err(); err != nil {
 		return classify(err), err
 	}
-	return StateDone, nil
+	return "", nil
 }
 
 // classify maps a job-level error to its terminal state.
@@ -1026,6 +1069,7 @@ func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
 		specs:        rj.hdr.Specs,
+		compose:      rj.hdr.Compose,
 		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
 		sweepWorkers: rj.hdr.Workers,
 		noCache:      rj.hdr.NoCache,
@@ -1071,6 +1115,7 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
 		specs:        rj.hdr.Specs,
+		compose:      rj.hdr.Compose,
 		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
 		sweepWorkers: rj.hdr.Workers,
 		noCache:      rj.hdr.NoCache,
@@ -1140,7 +1185,7 @@ func (s *Server) register(j *job) {
 // idemFP recomputes the job's idempotency fingerprint from its own fields
 // (recovered headers carry the key; the fingerprint is derivable).
 func (j *job) idemFP() string {
-	return idemFingerprint(j.kind, j.specs, int64(j.jobTimeout/time.Millisecond), j.sweepWorkers, j.noCache, int64(j.leaseTTL/time.Millisecond))
+	return idemFingerprint(j.kind, j.specs, int64(j.jobTimeout/time.Millisecond), j.sweepWorkers, j.noCache, int64(j.leaseTTL/time.Millisecond), j.compose)
 }
 
 // restoreProgress rebuilds a terminal job's counters and summaries from its
@@ -1150,6 +1195,10 @@ func (j *job) idemFP() string {
 func restoreProgress(j *job, evs []Event) {
 	filled := make([]bool, len(j.summaries))
 	for _, ev := range evs {
+		if ev.Type == "compose" && ev.Compose != nil {
+			j.composeSum = ev.Compose // last wins: the final incarnation's composite
+			continue
+		}
 		if ev.Type != "point" || ev.Point == nil {
 			continue
 		}

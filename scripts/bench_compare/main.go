@@ -73,6 +73,12 @@ var gated = []struct {
 		"BenchmarkBatchRK4Lanes8",
 		"BenchmarkScalarRK4x8",
 	}},
+	// The composition engine is served per-request (thousands of compose jobs
+	// fan in on a handful of characterisations), so its mask-evaluation hot
+	// loop is gated too — pure arithmetic, microseconds/op, very low spread.
+	{"./internal/pll", []string{
+		"BenchmarkPLLCompose",
+	}},
 }
 
 // speedupNum / speedupDen name the benchmark pair whose ns/op ratio must

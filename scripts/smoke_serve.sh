@@ -3,6 +3,9 @@
 # cache, submit a Hopf characterisation over HTTP, poll it to completion,
 # resubmit the identical request and assert it is served from the result
 # cache, then check the pn_serve_* / pn_cache_* metric families on /metrics.
+# A compose phase then submits several PLL composition jobs sharing two
+# oscillator legs and asserts the legs characterised exactly once each — the
+# cache fan-in the composition layer exists for.
 # A second phase stands up a 2-worker cluster behind a coordinator
 # (pnserve -coordinator), runs a sweep through the lease fabric, and asserts
 # the fleet computed each point exactly once.
@@ -102,6 +105,45 @@ grep -q 'pn_cache_hits_total{tier="mem"} 1' <<<"$metrics" \
 grep -q 'pn_cache_misses_total 1' <<<"$metrics" || fail "expected 1 cache miss"
 grep -q 'pn_core_characterisations_total{outcome="ok"} 1' <<<"$metrics" \
   || fail "expected exactly 1 pipeline run (resubmit must not recompute)"
+
+# --- Compose phase: N compose jobs fan in on 2 cached characterisations ----
+
+COMPOSE_N=6
+echo "smoke_serve: submitting $COMPOSE_N compose jobs over 2 shared oscillator legs"
+compose_ids=()
+for i in $(seq 1 "$COMPOSE_N"); do
+  omega=$((3 + i % 2))  # legs rotate over omega=3 and omega=4
+  bw="0.0$((20 + i))"   # distinct loop bandwidths: distinct jobs, same legs
+  creq='{"stages":[{"ref":{"name":"xo","f0_hz":0.1,"c_s2hz":1e-24},"vco":{"spec":{"name":"leg'"$omega"'","model":"hopf","params":{"lambda":1,"omega":'"$omega"',"sigma":0.02}}},"loop_bandwidth_hz":'"$bw"'}],"grid":{"start_hz":0.001,"stop_hz":100},"jitter_band_hz":[0.01,10],"timeout_ms":60000}'
+  resp="$(curl -sf "$BASE/v1/compose" -d "$creq")" || fail "compose submit $i failed"
+  compose_ids+=("$(json_field id <<<"$resp")")
+done
+for id in "${compose_ids[@]}"; do
+  [[ -n "$id" ]] || fail "compose submission returned no job id"
+  cjob=""
+  for i in $(seq 1 300); do
+    cjob="$(curl -sf "$BASE/v1/jobs/$id")" || fail "compose status fetch failed for $id"
+    state="$(json_field state <<<"$cjob")"
+    case "$state" in
+      done) break ;;
+      failed|canceled) fail "compose job $id ended $state: $cjob" ;;
+    esac
+    sleep 0.2
+    [[ $i -eq 300 ]] && fail "compose job $id never finished: $cjob"
+  done
+  grep -q '"jitter_sec":' <<<"$cjob" || fail "compose job $id carried no jitter: $cjob"
+done
+
+echo "smoke_serve: checking compose fan-in ($COMPOSE_N jobs, 2 characterisations)"
+metrics="$(curl -sf "$BASE/metrics")" || fail "metrics scrape failed"
+grep -q "pn_serve_submitted_total{kind=\"compose\"} $COMPOSE_N" <<<"$metrics" \
+  || fail "expected $COMPOSE_N compose submissions in metrics"
+grep -q "pn_pll_compositions_total{outcome=\"ok\"} $COMPOSE_N" <<<"$metrics" \
+  || fail "expected $COMPOSE_N ok compositions in metrics"
+# 1 pipeline run from the characterise phase plus exactly 1 per distinct leg:
+# every other compose job's legs must be served from the result cache.
+grep -q 'pn_core_characterisations_total{outcome="ok"} 3' <<<"$metrics" \
+  || fail "compose legs were not shared: want exactly 3 total pipeline runs"
 
 echo "smoke_serve: graceful drain"
 kill -TERM "$SERVER_PID"
