@@ -229,4 +229,62 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	if !bytes.Contains(mbody, []byte(`pn_serve_jobs_recovered_total{outcome="resumed"} 1`)) {
 		t.Fatalf("recovered{resumed} metric missing:\n%s", mbody)
 	}
+
+	// The loss-free payload crossed the crash too: the spill file next to the
+	// WAL kept every pre-kill point, the resumed run appended the rest, and
+	// the streaming download serves all of them from the restarted process.
+	jresp, err := http.Get(base2 + "/v1/jobs/" + job.ID + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("results.jsonl after crash recovery: %d", jresp.StatusCode)
+	}
+	seen := make(map[int]bool)
+	jsc := bufio.NewScanner(jresp.Body)
+	jsc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	for jsc.Scan() {
+		if len(jsc.Bytes()) == 0 {
+			continue
+		}
+		var res struct {
+			Index int             `json:"index"`
+			Name  string          `json:"name"`
+			Res   json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(jsc.Bytes(), &res); err != nil {
+			t.Fatalf("undecodable jsonl line: %v", err)
+		}
+		if res.Res == nil {
+			t.Fatalf("point %d (%s) streamed without its loss-free result", res.Index, res.Name)
+		}
+		seen[res.Index] = true
+	}
+	if err := jsc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("results.jsonl after crash: %d distinct points, want %d", len(seen), n)
+	}
+
+	// And the paginated window works across the restart as well.
+	presp, err := http.Get(base2 + "/v1/jobs/" + job.ID + "/results?offset=0&limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Total      int               `json:"total"`
+		Spilled    int               `json:"spilled"`
+		NextOffset *int              `json:"next_offset"`
+		Results    []json.RawMessage `json:"results"`
+	}
+	err = json.NewDecoder(presp.Body).Decode(&page)
+	presp.Body.Close()
+	if err != nil || presp.StatusCode != http.StatusOK {
+		t.Fatalf("paginated results after crash: %d, %v", presp.StatusCode, err)
+	}
+	if page.Total != n || page.Spilled != n || len(page.Results) != 3 || page.NextOffset == nil || *page.NextOffset != 3 {
+		t.Fatalf("paginated window after crash: total=%d spilled=%d len=%d next=%v", page.Total, page.Spilled, len(page.Results), page.NextOffset)
+	}
 }

@@ -8,24 +8,35 @@
 //	pnserve [-addr :8080] [-workers n] [-queue n]
 //	        [-cache-dir dir] [-cache-mem bytes] [-journal-dir dir]
 //	        [-coordinator url,url,...] [-lease-ttl d] [-lease-points n]
-//	        [-job-timeout d] [-drain-timeout d]
+//	        [-job-timeout d] [-drain-timeout d] [-lane-grant n]
+//	        [-tenant-rate r] [-tenant-burst n] [-tenant-inflight n]
+//	        [-tenant-quotas name=rate:burst:inflight:weight,...]
 //	        [-debug-addr :6060] [-cpuprofile f] [-memprofile f] [-trace-out f]
 //
 // The API surface (see internal/serve for details):
 //
-//	POST /v1/characterise     {"model":"hopf","params":{...}}       → job
-//	POST /v1/sweep            {"points":[...],"workers":4}          → job
-//	GET  /v1/jobs/{id}        job status (+?full=1 for full results)
-//	GET  /v1/jobs/{id}/events live progress as Server-Sent Events
-//	GET  /v1/jobs/{id}/trace  the job's distributed trace timeline (+?format=jsonl for raw events)
-//	POST /v1/jobs/{id}/cancel cancel a queued or running job
-//	GET  /v1/cluster/status   live fleet view (workers, breakers, leases, queue depth)
-//	GET  /v1/models           registered models and their defaults
-//	GET  /healthz             liveness (always 200)
-//	GET  /readyz              readiness (503 while draining or replaying the journal)
-//	GET  /metrics             Prometheus text metrics (pn_serve_*, pn_cache_*, …)
-//	GET  /debug/pprof/        the standard pprof handlers
+//	POST /v1/characterise          {"model":"hopf","params":{...}}       → job
+//	POST /v1/sweep                 {"points":[...],"workers":4}          → job
+//	GET  /v1/jobs/{id}             job status (+?full=1 for full results)
+//	GET  /v1/jobs/{id}/results     loss-free results, paginated (?offset=&limit=)
+//	GET  /v1/jobs/{id}/results.jsonl  loss-free results as a JSONL stream
+//	GET  /v1/jobs/{id}/events      live progress as Server-Sent Events
+//	GET  /v1/jobs/{id}/trace       the job's distributed trace timeline (+?format=jsonl for raw events)
+//	POST /v1/jobs/{id}/cancel      cancel a queued or running job
+//	GET  /v1/cluster/status        live fleet view (workers, breakers, leases, queue depth)
+//	GET  /v1/models                registered models and their defaults
+//	GET  /healthz                  liveness (always 200)
+//	GET  /readyz                   readiness (503 while draining or replaying the journal)
+//	GET  /metrics                  Prometheus text metrics (pn_serve_*, pn_cache_*, …)
+//	GET  /debug/pprof/             the standard pprof handlers
 //
+// Submissions may carry an X-PN-Tenant header naming the submitting tenant
+// (absent = "default"); -tenant-rate/-tenant-burst/-tenant-inflight set every
+// tenant's admission quota, -tenant-quotas overrides individual tenants, and
+// the scheduler shares the worker pool across tenants by weight, with
+// interactive jobs (characterise, compose) in a strict-priority lane above
+// batch sweeps. -lane-grant bounds how many sweep points a batch job runs per
+// scheduler grant before it yields its worker.
 // -cache-dir persists results across restarts and shares them with pnsweep
 // and pnchar runs pointed at the same directory; -cache-mem bounds the
 // in-memory tier. -journal-dir makes jobs durable: accepted jobs are
@@ -64,6 +75,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -83,6 +95,51 @@ func main() {
 	os.Exit(run())
 }
 
+// parseTenantQuotas parses -tenant-quotas: comma-separated
+// name=rate:burst:inflight:weight entries, where trailing fields may be
+// omitted and empty fields inherit the -tenant-* defaults.
+func parseTenantQuotas(spec string, def serve.TenantConfig) (map[string]serve.TenantConfig, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := make(map[string]serve.TenantConfig)
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, quota, ok := strings.Cut(ent, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenant-quotas entry %q: want name=rate:burst:inflight:weight", ent)
+		}
+		cfg := def
+		for i, f := range strings.Split(quota, ":") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-tenant-quotas entry %q field %d: %v", ent, i+1, err)
+			}
+			switch i {
+			case 0:
+				cfg.SubmitRate = v
+			case 1:
+				cfg.SubmitBurst = int(v)
+			case 2:
+				cfg.MaxInFlight = int(v)
+			case 3:
+				cfg.Weight = v
+			default:
+				return nil, fmt.Errorf("-tenant-quotas entry %q: too many fields", ent)
+			}
+		}
+		out[name] = cfg
+	}
+	return out, nil
+}
+
 func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "job worker pool size")
@@ -95,6 +152,11 @@ func run() int {
 	leasePoints := flag.Int("lease-points", 0, "coordinator mode: points per lease (0 = default)")
 	jobTimeout := flag.Duration("job-timeout", 0, "ceiling on any job's wall clock, on top of per-request timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain grace before in-flight jobs are cancelled")
+	laneGrant := flag.Int("lane-grant", 0, "batch-sweep points per scheduler grant before the job yields its worker (0 = default)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant submit rate in jobs/second, applied to every tenant without a -tenant-quotas override (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submit burst on top of -tenant-rate (0 = ceil(rate))")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant cap on accepted-but-unfinished jobs (0 = unlimited)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant overrides, comma-separated name=rate:burst:inflight:weight; empty fields fall back to the -tenant-* defaults")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -145,14 +207,28 @@ func run() int {
 		clusterStatus = coord.Status
 	}
 
+	tenantDefaults := serve.TenantConfig{
+		SubmitRate:  *tenantRate,
+		SubmitBurst: *tenantBurst,
+		MaxInFlight: *tenantInflight,
+	}
+	perTenant, err := parseTenantQuotas(*tenantQuotas, tenantDefaults)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
 	srv := serve.New(serve.Config{
-		Workers:       *workers,
-		Queue:         *queue,
-		Cache:         store,
-		MaxJobWall:    *jobTimeout,
-		JournalDir:    *journalDir,
-		Runner:        runner,
-		ClusterStatus: clusterStatus,
+		Workers:        *workers,
+		Queue:          *queue,
+		Cache:          store,
+		MaxJobWall:     *jobTimeout,
+		JournalDir:     *journalDir,
+		Runner:         runner,
+		ClusterStatus:  clusterStatus,
+		LaneGrant:      *laneGrant,
+		TenantDefaults: tenantDefaults,
+		Tenants:        perTenant,
 	})
 
 	mux := http.NewServeMux()

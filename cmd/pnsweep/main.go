@@ -65,6 +65,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -148,6 +149,8 @@ func run() int {
 	server := flag.String("server", "", "run the sweep remotely on this pnserve base URL (e.g. http://127.0.0.1:8080) instead of in process")
 	clusterURLs := flag.String("cluster", "", "comma-separated pnserve worker base URLs: coordinate the sweep across them from this process")
 	statusOnly := flag.Bool("status", false, "with -server: print the server's live cluster status (workers, breakers, leases) and exit")
+	tenant := flag.String("tenant", "", "with -server: tenant identity sent as the "+serve.TenantHeader+" header; 429s are retried after the server's Retry-After (empty = the server's default tenant)")
+	streamOut := flag.String("stream-out", "", "with -server: download the loss-free results as a JSONL stream from /results.jsonl into this file, instead of one ?full=1 response body")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -176,7 +179,10 @@ func run() int {
 		if *lanes > 1 {
 			fmt.Fprintln(os.Stderr, "pnsweep: -lanes applies to in-process sweeps only; the server chooses its own batching")
 		}
-		return runRemote(*server, specs, param, *workers, *timeout, *jsonPath, *verbose)
+		return runRemote(*server, specs, param, *workers, *timeout, *jsonPath, *verbose, *tenant, *streamOut)
+	}
+	if *tenant != "" || *streamOut != "" {
+		fmt.Fprintln(os.Stderr, "pnsweep: -tenant and -stream-out apply to -server runs only")
 	}
 
 	var store *cache.Store
@@ -352,8 +358,14 @@ func resolveSpecs(specs []serve.PointSpec) ([]sweep.Point, error) {
 // the same progress line, cancellation over the API on SIGINT, and the
 // standard summary table + -json output rendered from the job's loss-free
 // results.
-func runRemote(base string, specs []serve.PointSpec, param []float64, workers int, timeout time.Duration, jsonPath string, verbose bool) int {
+func runRemote(base string, specs []serve.PointSpec, param []float64, workers int, timeout time.Duration, jsonPath string, verbose bool, tenant, streamOut string) int {
 	c := pnclient.New(base, nil, pnclient.Retry{})
+	if tenant != "" {
+		// Every request from here on identifies as this tenant; the client's
+		// retry loop honours the server's Retry-After when the tenant's quota
+		// answers 429, so a throttled submission waits instead of failing.
+		c.SetTenant(tenant)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	// Mint this run's distributed trace: the client injects it as a
@@ -432,7 +444,10 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 		}
 	}
 
-	final, err := c.Wait(ctx, st.ID, true, onEvent)
+	// With -stream-out the loss-free payload arrives over /results.jsonl
+	// below; asking Wait for it too would pull the whole result set into one
+	// ?full=1 response body for nothing.
+	final, err := c.Wait(ctx, st.ID, streamOut == "", onEvent)
 	prog.finish()
 	if err != nil {
 		log.Print(err)
@@ -440,7 +455,15 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 	}
 	wall := time.Since(start)
 
-	if len(final.Full) == len(param) {
+	if streamOut != "" {
+		n, err := streamResultsToFile(ctx, c, st.ID, streamOut, len(specs))
+		if err != nil {
+			log.Printf("streaming results: %v", err)
+			return 1
+		}
+		printRemoteSummary(final, wall)
+		fmt.Printf("streamed %d loss-free results to %s\n", n, streamOut)
+	} else if len(final.Full) == len(param) {
 		printSummary(final.Full, param, wall, workers)
 		if jsonPath != "" {
 			if err := writeJSON(jsonPath, final.Full, param); err != nil {
@@ -461,6 +484,45 @@ func runRemote(base string, specs []serve.PointSpec, param []float64, workers in
 		return 1
 	}
 	return 0
+}
+
+// streamResultsToFile drains the terminal job's /results.jsonl into path, one
+// loss-free codec line per point. The stream is at-least-once across the
+// client's reconnects, so lines are deduplicated by point index; memory stays
+// bounded by one result at a time, which is the reason to prefer this over
+// ?full=1 for large sweeps.
+func streamResultsToFile(ctx context.Context, c *pnclient.Client, id, path string, n int) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	seen := make(map[int]bool, n)
+	var werr error
+	serr := c.StreamResults(ctx, id, func(r sweep.PointResult) {
+		if werr != nil || seen[r.Index] {
+			return
+		}
+		raw, err := json.Marshal(&r)
+		if err != nil {
+			werr = err
+			return
+		}
+		seen[r.Index] = true
+		if _, err := bw.Write(append(raw, '\n')); err != nil {
+			werr = err
+		}
+	})
+	if serr == nil {
+		serr = werr
+	}
+	if err := bw.Flush(); serr == nil {
+		serr = err
+	}
+	if err := f.Close(); serr == nil {
+		serr = err
+	}
+	return len(seen), serr
 }
 
 // runCluster coordinates the sweep across pnserve worker nodes from this
@@ -516,13 +578,26 @@ func runCluster(urls string, specs []serve.PointSpec, param []float64, workers i
 	// nest under it in the recorded trace.
 	span := obs.StartSpan(nil, "pnsweep.cluster")
 	defer span.End()
-	results, err := coord.RunSweep(serve.RunnerRequest{
+	// The coordinator streams each settled point through OnResult; the CLI is
+	// the one place that still wants the whole set in memory (for the summary
+	// table and -json), so collect into an index-aligned slice here.
+	results := make([]sweep.PointResult, len(specs))
+	var resMu sync.Mutex
+	err := coord.RunSweep(serve.RunnerRequest{
 		JobID:   jobID,
 		Kind:    "sweep",
 		Specs:   specs,
 		Tok:     tok,
 		Workers: workers,
 		Span:    span,
+		OnResult: func(r sweep.PointResult) {
+			if r.Index < 0 || r.Index >= len(results) {
+				return
+			}
+			resMu.Lock()
+			results[r.Index] = r
+			resMu.Unlock()
+		},
 		OnSummary: func(s serve.PointSummary) {
 			progMu.Lock()
 			defer progMu.Unlock()

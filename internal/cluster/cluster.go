@@ -284,25 +284,24 @@ type jobRun struct {
 	wal   *leaseWAL
 
 	mu       sync.Mutex
-	results  []sweep.PointResult
-	stored   []bool // final result written for this global index
+	stored   []bool // final result delivered to OnResult for this global index
 	reported []bool // summary forwarded to OnSummary for this global index
 }
 
 // RunSweep implements serve.SweepRunner: lease out the points, supervise the
-// leases, merge the worker streams, and return the per-point results in
-// input order.
-func (c *Coordinator) RunSweep(req serve.RunnerRequest) ([]sweep.PointResult, error) {
+// leases, merge the worker streams, and stream each point's final result
+// through req.OnResult/OnSummary as its lease settles. The coordinator holds
+// per-point booleans, never the payloads — the serving layer spills them.
+func (c *Coordinator) RunSweep(req serve.RunnerRequest) error {
 	n := len(req.Specs)
 	run := &jobRun{
 		coord:    c,
 		req:      req,
-		results:  make([]sweep.PointResult, n),
 		stored:   make([]bool, n),
 		reported: make([]bool, n),
 	}
 	if n == 0 {
-		return run.results, nil
+		return nil
 	}
 
 	// The lease machinery runs on a context that trips with the job's
@@ -374,10 +373,10 @@ func (c *Coordinator) RunSweep(req serve.RunnerRequest) ([]sweep.PointResult, er
 
 	if err := req.Tok.Err(); err != nil {
 		wal.Close()
-		return run.results, err
+		return err
 	}
 	wal.remove() // terminal: the leases can never be resumed again
-	return run.results, nil
+	return nil
 }
 
 // buildLeases groups the job's points by ring primary and chunks each group
@@ -673,7 +672,7 @@ func (r *jobRun) superviseLease(ctx context.Context, l *lease, w, workerJob stri
 		return false
 	}
 
-	st, err := c.clients[w].Job(ctx, workerJob, true)
+	st, err := c.clients[w].Job(ctx, workerJob, false)
 	if err != nil {
 		if ctx.Err() == nil {
 			c.fail(w)
@@ -682,11 +681,36 @@ func (r *jobRun) superviseLease(ctx context.Context, l *lease, w, workerJob stri
 	}
 	switch st.State {
 	case serve.StateDone:
-		for li := range st.Full {
-			if li >= len(l.indices) {
-				break
+		// Pull the loss-free results as a stream off the worker's spill file
+		// (results.jsonl) instead of one giant ?full=1 body: neither side
+		// ever materialises the lease's whole result set.
+		serr := c.clients[w].StreamResults(ctx, workerJob, func(res sweep.PointResult) {
+			li := res.Index
+			if li < 0 || li >= len(l.indices) {
+				return
 			}
-			r.completePoint(l.indices[li], st.Full[li])
+			r.completePoint(l.indices[li], res)
+		})
+		if serr != nil {
+			if ctx.Err() == nil {
+				c.fail(w)
+			}
+			return false
+		}
+		// A done worker whose spill degraded (disk full) can stream fewer
+		// points than the lease holds; account for the gaps rather than
+		// re-running a job the worker considers finished.
+		for li, g := range l.indices {
+			r.mu.Lock()
+			done := g >= 0 && g < len(r.stored) && r.stored[g]
+			r.mu.Unlock()
+			if done {
+				continue
+			}
+			r.completePoint(g, sweep.PointResult{
+				Name: specName(l.specs[li]),
+				Err:  fmt.Errorf("cluster: lease %d: worker %s finished but its result for this point was unavailable", l.id, w),
+			})
 		}
 		return true
 	default:
@@ -767,10 +791,11 @@ func (r *jobRun) fallbackLease(l *lease, lsp *obs.Span) {
 		store = nil
 	}
 	sweep.Run(pts, &sweep.Config{
-		Workers: r.req.Workers,
-		Budget:  r.req.Tok,
-		Cache:   store,
-		Span:    fsp,
+		Workers:        r.req.Workers,
+		Budget:         r.req.Tok,
+		Cache:          store,
+		Span:           fsp,
+		DiscardResults: true, // completePoint streams each result out; nobody reads the slice
 		OnPoint: func(res sweep.PointResult) {
 			if res.Index < 0 || res.Index >= len(local) {
 				return
@@ -795,10 +820,15 @@ func (r *jobRun) abandonLease(l *lease) {
 	}
 }
 
-// completePoint records the final result for a global point index (first
+// completePoint streams the final result for a global point index (first
 // writer wins — a reassigned lease's duplicate completions are discarded)
-// and forwards its summary if the event stream did not already.
+// through OnResult, and forwards its summary if the event stream did not
+// already. The payload goes straight to the hook; the coordinator keeps only
+// the stored[] boolean.
 func (r *jobRun) completePoint(global int, res sweep.PointResult) {
+	if global < 0 || global >= len(r.stored) {
+		return
+	}
 	res.Index = global
 	r.mu.Lock()
 	if r.stored[global] {
@@ -807,8 +837,10 @@ func (r *jobRun) completePoint(global int, res sweep.PointResult) {
 		return
 	}
 	r.stored[global] = true
-	r.results[global] = res
 	r.mu.Unlock()
+	if r.req.OnResult != nil {
+		r.req.OnResult(res)
+	}
 	r.forwardSummary(global, serve.Summarize(&res))
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pnclient"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 // fastRetry keeps client-side backoff out of the test clock.
@@ -329,8 +330,18 @@ func TestClusterResumeAfterCoordinatorRestart(t *testing.T) {
 	defer release()
 	var mu sync.Mutex
 	counts := map[int]int{}
-	results, err := coord2.RunSweep(serve.RunnerRequest{
+	results := make([]sweep.PointResult, n)
+	stored := make([]bool, n)
+	err := coord2.RunSweep(serve.RunnerRequest{
 		JobID: "restart-job", Kind: "sweep", Specs: specs, Tok: tok2, Workers: 2,
+		OnResult: func(r sweep.PointResult) {
+			mu.Lock()
+			if r.Index >= 0 && r.Index < n {
+				results[r.Index] = r
+				stored[r.Index] = true
+			}
+			mu.Unlock()
+		},
 		OnSummary: func(s serve.PointSummary) {
 			mu.Lock()
 			counts[s.Index]++
@@ -340,10 +351,10 @@ func TestClusterResumeAfterCoordinatorRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("resumed run failed: %v", err)
 	}
-	if len(results) != n {
-		t.Fatalf("resumed run returned %d results, want %d", len(results), n)
-	}
 	for i, r := range results {
+		if !stored[i] {
+			t.Fatalf("resumed run never streamed point %d", i)
+		}
 		if !r.OK() {
 			t.Fatalf("resumed point %d (%s) failed: %v", i, r.Name, r.Err)
 		}

@@ -97,6 +97,19 @@ const (
 	// oscillator legs already characterised, exercising the compose job
 	// kind's failure accounting without touching the pipeline or the cache.
 	PllCompose = "pll.compose"
+	// ServeResultsWrite fails a spill append in the job server's result
+	// store, as if the disk filled mid-sweep: the job degrades to
+	// summary-only from that point on, already-spilled frames stay
+	// readable, and the job itself still settles normally.
+	ServeResultsWrite = "serve.results.write"
+	// ServeResultsRead fails a frame read from the result store: the
+	// affected retrieval (a results page, a JSONL stream, a ?full=1
+	// payload) reports the gap, the store itself stays healthy.
+	ServeResultsRead = "serve.results.read"
+	// ServeQuotaCheck fires inside tenant admission before any quota state
+	// changes: ModeError rejects the submission with 429 as if the tenant
+	// were over quota, ModeDelay simulates a slow admission path.
+	ServeQuotaCheck = "serve.quota.check"
 )
 
 // points is the registered inventory, sorted for stable iteration.
@@ -115,7 +128,10 @@ var points = []string{
 	PnclientHTTP,
 	ServeHandlerLatency,
 	ServeJournalWrite,
+	ServeQuotaCheck,
 	ServeReplayDelay,
+	ServeResultsRead,
+	ServeResultsWrite,
 	SweepAttempt,
 	SweepBatch,
 }

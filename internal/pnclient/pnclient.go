@@ -37,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 // APIError is a non-2xx response from the server, with the decoded error
@@ -106,13 +107,21 @@ func (r Retry) withDefaults() Retry {
 // Client talks to one pnserve instance. Construct with New; methods are safe
 // for concurrent use.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry Retry
+	base   string
+	http   *http.Client
+	retry  Retry
+	tenant string
 
 	mu  sync.Mutex
 	rng *rand.Rand
 }
+
+// SetTenant names the tenant every subsequent request is submitted as (the
+// X-PN-Tenant header; empty = the server's default tenant). Quota rejections
+// for the tenant come back as 429 with Retry-After, which the client's retry
+// loop honours. Call before issuing requests; not synchronised against
+// concurrent calls in flight.
+func (c *Client) SetTenant(name string) { c.tenant = name }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
 // httpc may be nil for http.DefaultClient.
@@ -241,6 +250,9 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.tenant != "" {
+		req.Header.Set(serve.TenantHeader, c.tenant)
+	}
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
@@ -312,6 +324,92 @@ func (c *Client) Job(ctx context.Context, id string, full bool) (serve.JobStatus
 	var st serve.JobStatus
 	_, err := c.do(ctx, http.MethodGet, path, nil, nil, &st)
 	return st, err
+}
+
+// Results fetches one page of the job's loss-free point results from the
+// server's spill file: offset is the first point index, limit the page width
+// (<= 0 lets the server default apply). Works on running jobs (a snapshot of
+// what has spilled so far) and journal-recovered ones.
+func (c *Client) Results(ctx context.Context, id string, offset, limit int) (serve.ResultsPage, error) {
+	path := fmt.Sprintf("/v1/jobs/%s/results?offset=%d", id, offset)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var pg serve.ResultsPage
+	_, err := c.do(ctx, http.MethodGet, path, nil, nil, &pg)
+	return pg, err
+}
+
+// StreamResults downloads the job's loss-free results as a JSONL stream
+// (GET /v1/jobs/{id}/results.jsonl), decoding one sweep.PointResult per line
+// into fn in point-index order, without ever holding the whole result set in
+// memory. Delivery is at-least-once across retries — a connection that dies
+// mid-stream is re-fetched from the top — so consumers must dedup by
+// PointResult.Index (the server's spill files and the cluster merge layer
+// both already do).
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(sweep.PointResult)) error {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			if err := sleep(ctx, c.backoff(attempt-1, lastRetryAfter(lastErr))); err != nil {
+				return err
+			}
+		}
+		err := c.streamResultsOnce(ctx, id, fn)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("pnclient: streaming results of %s failed after %d attempts: %w", id, c.retry.Attempts, lastErr)
+}
+
+func (c *Client) streamResultsOnce(ctx context.Context, id string, fn func(sweep.PointResult)) error {
+	if err := faultinject.Fire(faultinject.PnclientHTTP); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/results.jsonl", nil)
+	if err != nil {
+		return err
+	}
+	if c.tenant != "" {
+		req.Header.Set(serve.TenantHeader, c.tenant)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<28)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var res sweep.PointResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("pnclient: bad result line: %w", err)
+		}
+		fn(res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Cancel trips the job's budget token; the job settles to "canceled"

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"time"
 
 	"repro/internal/obs"
@@ -141,6 +142,28 @@ type JobStatus struct {
 	// ?full=1.
 	Compose       *ComposeSummary `json:"compose,omitempty"`
 	ComposeResult *pll.Result     `json:"compose_result,omitempty"`
+}
+
+// ResultsPage is the response of GET /v1/jobs/{id}/results: one page of the
+// job's loss-free per-point results, served straight from the spill file so a
+// client can page through a 10⁵-point sweep without the server (or the
+// response) ever materialising the whole result set. Each element of Results
+// is the exact JSON encoding of one sweep.PointResult, byte-identical to the
+// ?full=1 codec.
+type ResultsPage struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	// Total is the job's point count; Spilled how many results are currently
+	// readable from the spill file (== Total for a healthy terminal job).
+	Total   int `json:"total"`
+	Spilled int `json:"spilled"`
+	Offset  int `json:"offset"`
+	// NextOffset is the offset of the next page, absent on the last one.
+	NextOffset *int `json:"next_offset,omitempty"`
+	// Degraded flags a job whose spill file failed (disk full, I/O error):
+	// summaries remain available but some or all loss-free results are gone.
+	Degraded bool              `json:"degraded,omitempty"`
+	Results  []json.RawMessage `json:"results"`
 }
 
 // TraceStage aggregates one span name across the timeline — where the job's

@@ -285,7 +285,7 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 }
 
 // composeJob runs the composition step of a compose job: the legs have
-// already characterised (results in j.results, possibly all cache hits), so
+// already characterised (results in j.legs, possibly all cache hits), so
 // this is pure frequency-domain arithmetic under the job's span. Returns
 // ("", nil) on success after recording the composite on the job and
 // emitting the compose event.
@@ -297,7 +297,7 @@ func (s *Server) composeJob(j *job, jtok *budget.Token, span *obs.Span) (string,
 		return classify(err), err
 	}
 	j.mu.Lock()
-	results := j.results
+	results := j.legs
 	j.mu.Unlock()
 	cfg, err := j.compose.buildConfig(results)
 	if err != nil {

@@ -59,6 +59,7 @@ type jrecord struct {
 	Workers    int         `json:"workers,omitempty"`
 	NoCache    bool        `json:"no_cache,omitempty"`
 	LeaseTTLMS int64       `json:"lease_ttl_ms,omitempty"` // lease window; resumed jobs re-arm it
+	Tenant     string      `json:"tenant,omitempty"`       // admission identity; recovery restores the in-flight slot
 	Idem       string      `json:"idem,omitempty"`         // client Idempotency-Key, verbatim
 	IdemFP     string      `json:"idem_fp,omitempty"`      // request-body fingerprint under that key
 	Trace      string      `json:"trace,omitempty"`        // traceparent at submit; restarts keep the trace ID

@@ -176,22 +176,27 @@ type stubRunner struct {
 	fail error
 }
 
-func (r *stubRunner) RunSweep(req RunnerRequest) ([]sweep.PointResult, error) {
+func (r *stubRunner) RunSweep(req RunnerRequest) error {
 	r.got = req
 	if r.fail != nil {
-		return nil, r.fail
+		return r.fail
 	}
-	out := make([]sweep.PointResult, len(req.Specs))
 	for i, sp := range req.Specs {
-		out[i] = sweep.PointResult{Index: i, Name: sp.Name, Cached: i%2 == 1, Wall: time.Millisecond}
+		res := sweep.PointResult{Index: i, Name: sp.Name, Cached: i%2 == 1, Wall: time.Millisecond}
+		if req.OnResult != nil {
+			req.OnResult(res)
+		}
 		if req.OnSummary != nil {
-			req.OnSummary(summarize(&out[i]))
+			req.OnSummary(summarize(&res))
 		}
 	}
 	if req.OnSummary != nil {
 		req.OnSummary(PointSummary{Index: len(req.Specs) + 7, Name: "out-of-range"}) // must be dropped, not panic
 	}
-	return out, nil
+	if req.OnResult != nil {
+		req.OnResult(sweep.PointResult{Index: len(req.Specs) + 7, Name: "out-of-range"}) // likewise
+	}
+	return nil
 }
 
 // TestRunnerDelegation installs a Config.Runner and checks the server hands

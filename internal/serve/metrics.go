@@ -22,6 +22,15 @@ type serveInstruments struct {
 	traceSpans    *obs.Counter    // pn_trace_spans_total
 	traceIngested *obs.Counter    // pn_trace_ingested_total
 	traceDropped  *obs.Counter    // pn_trace_dropped_total
+
+	resultSpilled  *obs.Counter    // pn_serve_results_spilled_total
+	resultBytes    *obs.Counter    // pn_serve_results_bytes_total
+	resultErrors   *obs.Counter    // pn_serve_results_errors_total
+	resultDegraded *obs.Counter    // pn_serve_results_degraded_total
+	resultReads    *obs.CounterVec // pn_serve_results_reads_total{kind}
+	tenantJobs     *obs.CounterVec // pn_serve_tenant_jobs_total{tenant}
+	tenantRejected *obs.CounterVec // pn_serve_tenant_rejected_total{tenant}
+	tenantGrants   *obs.CounterVec // pn_serve_tenant_grants_total{tenant}
 }
 
 var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
@@ -42,5 +51,14 @@ var serveMetrics = obs.NewView(func(r *obs.Registry) *serveInstruments {
 		traceSpans:    r.Counter("pn_trace_spans_total", "Span events recorded into job traces by this process."),
 		traceIngested: r.Counter("pn_trace_ingested_total", "Span events ingested into job traces from other processes (coordinator trace pulls)."),
 		traceDropped:  r.Counter("pn_trace_dropped_total", "Span events dropped because a job's trace buffer was full."),
+
+		resultSpilled:  r.Counter("pn_serve_results_spilled_total", "Point-result frames appended to spill files."),
+		resultBytes:    r.Counter("pn_serve_results_bytes_total", "Bytes appended to result spill files (frame headers included)."),
+		resultErrors:   r.Counter("pn_serve_results_errors_total", "Result-store I/O failures (real or injected), reads and writes."),
+		resultDegraded: r.Counter("pn_serve_results_degraded_total", "Jobs degraded to summary-only service because their spill file failed."),
+		resultReads:    r.CounterVec("pn_serve_results_reads_total", "Result retrievals served from spill files, by kind (page, jsonl, full).", "kind"),
+		tenantJobs:     r.CounterVec("pn_serve_tenant_jobs_total", "Jobs accepted, by tenant.", "tenant"),
+		tenantRejected: r.CounterVec("pn_serve_tenant_rejected_total", "Submissions rejected by tenant admission (rate or in-flight quota), by tenant.", "tenant"),
+		tenantGrants:   r.CounterVec("pn_serve_tenant_grants_total", "Scheduler lane grants (one per job pickup or batch chunk), by tenant.", "tenant"),
 	}
 })

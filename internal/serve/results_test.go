@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// getResultsPage fetches one page of /v1/jobs/{id}/results.
+func getResultsPage(t *testing.T, base, id string, offset, limit int) (ResultsPage, int) {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/jobs/%s/results?offset=%d&limit=%d", base, id, offset, limit)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pg ResultsPage
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pg); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return pg, resp.StatusCode
+}
+
+// getJSONL downloads /results.jsonl and returns the raw lines.
+func getJSONL(t *testing.T, base, id string) ([][]byte, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines = append(lines, append([]byte(nil), sc.Bytes()...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines, resp.StatusCode
+}
+
+// TestResultsPaginationAndJSONL: the paginated endpoint and the JSONL stream
+// both serve the loss-free codec bytes off the spill file — walking the pages
+// reassembles exactly the JSONL download, and both decode to the same
+// payload ?full=1 ships, point for point.
+func TestResultsPaginationAndJSONL(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 7
+	specs := make([]PointSpec, n)
+	for i := range specs {
+		specs[i] = hopfSpec(fmt.Sprintf("pg%d", i), 1e3+float64(i))
+	}
+	_, st := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Points: specs, Workers: 2})
+	done := waitState(t, ts.URL, st.ID, terminal)
+	if done.State != StateDone {
+		t.Fatalf("job: %+v", done)
+	}
+
+	lines, code := getJSONL(t, ts.URL, st.ID)
+	if code != http.StatusOK || len(lines) != n {
+		t.Fatalf("jsonl: status %d, %d lines, want 200 with %d", code, len(lines), n)
+	}
+
+	// Walk the pages with a width that forces pagination and splice them.
+	var paged []json.RawMessage
+	offset := 0
+	for {
+		pg, code := getResultsPage(t, ts.URL, st.ID, offset, 3)
+		if code != http.StatusOK {
+			t.Fatalf("page at %d: status %d", offset, code)
+		}
+		if pg.Total != n || pg.Spilled != n || pg.Degraded {
+			t.Fatalf("page header: %+v", pg)
+		}
+		paged = append(paged, pg.Results...)
+		if pg.NextOffset == nil {
+			break
+		}
+		if *pg.NextOffset <= offset {
+			t.Fatalf("next_offset %d did not advance past %d", *pg.NextOffset, offset)
+		}
+		offset = *pg.NextOffset
+	}
+	if len(paged) != n {
+		t.Fatalf("paged walk yielded %d results, want %d", len(paged), n)
+	}
+	for i := range paged {
+		if !bytes.Equal(paged[i], lines[i]) {
+			t.Fatalf("point %d: paged bytes differ from the JSONL line", i)
+		}
+	}
+
+	// Both decode to the ?full=1 payload: same codec, same values, including
+	// the PSS aliasing the loss-free codec restores.
+	full := getStatus(t, ts.URL, st.ID, true)
+	if len(full.Full) != n {
+		t.Fatalf("full payload: %d results, want %d", len(full.Full), n)
+	}
+	for i, raw := range lines {
+		var res sweep.PointResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if res.Index != i || res.Name != full.Full[i].Name {
+			t.Fatalf("line %d decodes to index %d name %q, full has %q", i, res.Index, res.Name, full.Full[i].Name)
+		}
+		want, err := json.Marshal(&full.Full[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("point %d: spilled bytes are not the codec encoding of the ?full=1 result", i)
+		}
+	}
+}
+
+// TestResultsAfterJournalRecovery: a terminal job recovered from the journal
+// serves its loss-free results again — ?full=1, pages and the JSONL stream
+// all come back from the spill file that survived next to the WAL. Before
+// the result store this was the documented gap: replayed jobs were
+// summary-only forever.
+func TestResultsAfterJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
+	specs := make([]PointSpec, n)
+	for i := range specs {
+		specs[i] = hopfSpec(fmt.Sprintf("rec%d", i), 2e3+float64(i))
+	}
+
+	s1 := New(Config{Workers: 2, JournalDir: dir})
+	ts1 := httptest.NewServer(s1)
+	waitReady(t, ts1.URL)
+	_, st := postJSON(t, ts1.URL+"/v1/sweep", SweepRequest{Points: specs, Workers: 2})
+	if waitState(t, ts1.URL, st.ID, terminal).State != StateDone {
+		t.Fatal("first incarnation failed")
+	}
+	wantLines, code := getJSONL(t, ts1.URL, st.ID)
+	if code != http.StatusOK || len(wantLines) != n {
+		t.Fatalf("pre-restart jsonl: status %d, %d lines", code, len(wantLines))
+	}
+	ts1.Close()
+	s1.Shutdown(context.Background())
+
+	s2 := New(Config{Workers: 2, JournalDir: dir})
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	waitReady(t, ts2.URL)
+
+	full := getStatus(t, ts2.URL, st.ID, true)
+	if full.State != StateDone {
+		t.Fatalf("recovered job state %q", full.State)
+	}
+	if len(full.Full) != n {
+		t.Fatalf("recovered ?full=1: %d results, want %d — the replay gap is back", len(full.Full), n)
+	}
+	gotLines, code := getJSONL(t, ts2.URL, st.ID)
+	if code != http.StatusOK || len(gotLines) != n {
+		t.Fatalf("post-restart jsonl: status %d, %d lines", code, len(gotLines))
+	}
+	for i := range wantLines {
+		if !bytes.Equal(wantLines[i], gotLines[i]) {
+			t.Fatalf("point %d: recovered bytes differ from the original spill", i)
+		}
+	}
+	pg, code := getResultsPage(t, ts2.URL, st.ID, 0, n)
+	if code != http.StatusOK || len(pg.Results) != n || pg.Degraded {
+		t.Fatalf("recovered page: status %d, %+v", code, pg)
+	}
+}
+
+// TestChaosResultsWriteFault: with every spill append failing (disk full, in
+// effect), jobs still run to done with full summaries — the loss-free payload
+// degrades away and the degradation is visible in the results endpoints and
+// counted in metrics. Results are an availability surface, not a correctness
+// dependency.
+func TestChaosResultsWriteFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	defer faultinject.Enable(faultinject.Plan{
+		faultinject.ServeResultsWrite: {Mode: faultinject.ModeError},
+	})()
+
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	specs := []PointSpec{hopfSpec("w0", 3e3), hopfSpec("w1", 3e3 + 1)}
+	_, st := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Points: specs})
+	done := waitState(t, ts.URL, st.ID, terminal)
+	if done.State != StateDone {
+		t.Fatalf("job under spill faults: %+v", done)
+	}
+	if len(done.Results) != 2 {
+		t.Fatalf("summaries under spill faults: %d, want 2", len(done.Results))
+	}
+	full := getStatus(t, ts.URL, st.ID, true)
+	if len(full.Full) != 0 {
+		t.Fatalf("?full=1 served %d results from a degraded spill", len(full.Full))
+	}
+	pg, code := getResultsPage(t, ts.URL, st.ID, 0, 10)
+	if code != http.StatusOK {
+		t.Fatalf("page on degraded job: status %d", code)
+	}
+	if !pg.Degraded || pg.Spilled != 0 || len(pg.Results) != 0 {
+		t.Fatalf("degraded page: %+v", pg)
+	}
+	if lines, code := getJSONL(t, ts.URL, st.ID); code != http.StatusOK || len(lines) != 0 {
+		t.Fatalf("degraded jsonl: status %d, %d lines", code, len(lines))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_serve_results_errors_total", ""); got < 1 {
+		t.Fatalf("result errors = %d, want >= 1", got)
+	}
+	if got := snap.Counter("pn_serve_results_degraded_total", ""); got < 1 {
+		t.Fatalf("result degradations = %d, want >= 1", got)
+	}
+}
+
+// TestChaosResultsReadFault: a failing read path answers pages with an
+// explicit 500 and truncates the JSONL stream, and recovers the moment the
+// fault clears — the spill file itself is untouched.
+func TestChaosResultsReadFault(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, st := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Points: []PointSpec{hopfSpec("r0", 4e3)}})
+	if waitState(t, ts.URL, st.ID, terminal).State != StateDone {
+		t.Fatal("job failed")
+	}
+
+	disable := faultinject.Enable(faultinject.Plan{
+		faultinject.ServeResultsRead: {Mode: faultinject.ModeError},
+	})
+	if _, code := getResultsPage(t, ts.URL, st.ID, 0, 10); code != http.StatusInternalServerError {
+		t.Fatalf("page under read fault: status %d, want 500", code)
+	}
+	full := getStatus(t, ts.URL, st.ID, true)
+	if len(full.Full) != 0 {
+		t.Fatalf("?full=1 under read fault returned %d results", len(full.Full))
+	}
+	disable()
+
+	pg, code := getResultsPage(t, ts.URL, st.ID, 0, 10)
+	if code != http.StatusOK || len(pg.Results) != 1 {
+		t.Fatalf("page after fault cleared: status %d, %d results", code, len(pg.Results))
+	}
+	if full := getStatus(t, ts.URL, st.ID, true); len(full.Full) != 1 {
+		t.Fatalf("?full=1 after fault cleared: %d results", len(full.Full))
+	}
+}
+
+// TestChaosQuotaCheckFault: the quota-check fault point rejects submissions
+// as if the tenant were over its rate — 429, Retry-After, both rejection
+// counters — and clears with the plan.
+func TestChaosQuotaCheckFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetGlobal(reg)
+	defer obs.SetGlobal(nil)
+
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	disable := faultinject.Enable(faultinject.Plan{
+		faultinject.ServeQuotaCheck: {Mode: faultinject.ModeError},
+	})
+	body, _ := json.Marshal(CharacteriseRequest{PointSpec: hopfSpec("q0", 5e3)})
+	resp, err := http.Post(ts.URL+"/v1/characterise", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit under quota fault: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	disable()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("pn_serve_rejected_total", "tenant_rate"); got < 1 {
+		t.Fatalf("rejected{tenant_rate} = %d, want >= 1", got)
+	}
+	if got := snap.Counter("pn_serve_tenant_rejected_total", DefaultTenant); got < 1 {
+		t.Fatalf("tenant_rejected{default} = %d, want >= 1", got)
+	}
+
+	resp2, st := postJSON(t, ts.URL+"/v1/characterise", CharacteriseRequest{PointSpec: hopfSpec("q0", 5e3)})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after fault cleared: %d", resp2.StatusCode)
+	}
+	waitState(t, ts.URL, st.ID, terminal)
+}
+
+// TestServeResultMemoryBounded is the heap guard for the spill store: a big
+// sweep must not leave an O(points) result slice behind on the server. The
+// job runs against a shared cache (so points dedup onto one computation)
+// and, once terminal, retained heap over the pre-submit baseline must be far
+// below what holding the loss-free results in memory would cost — yet every
+// loss-free payload is still downloadable from the spill file.
+func TestServeResultMemoryBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates heap accounting and point cost; the bound is only meaningful in a plain build")
+	}
+	store, err := cache.New(cache.Options{MaxBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 2, Cache: store, MaxPoints: 4096, LaneGrant: 64})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A hopf point's loss-free payload is ~1.25 MB; 256 of them held in
+	// memory — the old contract — would pin ~320 MB.
+	const n = 256
+	specs := make([]PointSpec, n)
+	for i := range specs {
+		// Same params => same content-addressed key: one characterisation,
+		// n-1 cache hits, every one of which used to be retained in full.
+		specs[i] = hopfSpec(fmt.Sprintf("mem%d", i), 6e3)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	_, st := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Points: specs, Workers: 2})
+	done := waitState(t, ts.URL, st.ID, terminal)
+	if done.State != StateDone || done.DonePoints != n {
+		t.Fatalf("job: %+v", done)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	var retained int64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		retained = int64(m1.HeapAlloc - m0.HeapAlloc)
+	}
+	// Summaries + SSE history cost a few KiB per point; the loss-free
+	// results cost ~1.25 MB each. A 64 KiB/point bound leaves 20x slack
+	// for GC noise and the one cached entry while still failing decisively
+	// if a result slice sneaks back in (which would sit 20x above it).
+	if limit := int64(n * 64 << 10); retained > limit {
+		t.Fatalf("server retains %d bytes after a %d-point sweep (limit %d): per-job results are back in memory", retained, n, limit)
+	}
+
+	lines, code := getJSONL(t, ts.URL, st.ID)
+	if code != http.StatusOK || len(lines) != n {
+		t.Fatalf("jsonl after big sweep: status %d, %d lines, want %d", code, len(lines), n)
+	}
+}
+
+// TestResultSpillScanTolerance: a torn tail (partial frame) on reopen is
+// truncated, everything before it stays readable — the same stance journal
+// replay takes.
+func TestResultSpillScanTolerance(t *testing.T) {
+	dir := t.TempDir()
+	rs := &resultStore{dir: dir}
+	rf := rs.open("jt", 3)
+	if rf == nil {
+		t.Fatal("open failed")
+	}
+	for i := 0; i < 2; i++ {
+		if err := rf.append(i, []byte(fmt.Sprintf(`{"index":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rf.seal()
+	rf.closeFile()
+
+	// Tear the tail: append half a frame header.
+	p := rs.path("jt")
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf2 := rs.open("jt", 3)
+	if rf2 == nil {
+		t.Fatal("reopen failed")
+	}
+	defer rf2.closeFile()
+	n, total, degraded := rf2.snapshot()
+	if n != 2 || total != 3 || degraded {
+		t.Fatalf("after torn tail: n=%d total=%d degraded=%v", n, total, degraded)
+	}
+	// The truncated file accepts the missing frame again.
+	if err := rf2.append(2, []byte(`{"index":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _ := rf2.snapshot(); n != 3 {
+		t.Fatalf("appends after truncation: n=%d", n)
+	}
+	for i := 0; i < 3; i++ {
+		raw, err := rf2.frame(i)
+		if err != nil || raw == nil {
+			t.Fatalf("frame %d unreadable after recovery: %v", i, err)
+		}
+	}
+}

@@ -13,14 +13,15 @@ import (
 // does, the server's job lifecycle — queueing, journalling, SSE progress,
 // cancellation through the budget token, idempotency — is unchanged.
 type SweepRunner interface {
-	// RunSweep executes one job and returns the loss-free per-point results
-	// in input order (index-aligned with req.Specs; slots the run never
-	// reached may be zero-valued with a recorded error). A returned error is
-	// a job-level failure; per-point failures are data inside the results.
+	// RunSweep executes one job, streaming each completed point through
+	// req.OnResult (the loss-free payload, spilled to disk server-side) and
+	// req.OnSummary (the headline numbers) as it lands. It returns nothing
+	// but the job-level outcome: per-point failures are data inside the
+	// streamed results, and the server never holds an O(points) slice.
 	//
 	// The runner must stop promptly when req.Tok trips and should report
-	// each point once through req.OnSummary as it completes.
-	RunSweep(req RunnerRequest) ([]sweep.PointResult, error)
+	// each point at most once per hook.
+	RunSweep(req RunnerRequest) error
 }
 
 // RunnerRequest is everything a SweepRunner needs to execute one job.
@@ -45,6 +46,10 @@ type RunnerRequest struct {
 	// call per point index; calls may arrive concurrently from multiple
 	// worker streams — the server's handler is safe for concurrent use.
 	OnSummary func(PointSummary)
+	// OnResult, when non-nil, streams the loss-free per-point payloads. Same
+	// delivery contract as OnSummary; the server spills each one to the
+	// job's result file the moment it arrives.
+	OnResult func(sweep.PointResult)
 	// Span is the job's root span. Runners parent their own spans (lease
 	// dispatch, attempts) under it and propagate Span.Context() over every
 	// HTTP hop so worker-side spans join the same trace.

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// The scheduler replaces the old FIFO job channel with two priority lanes and
+// weighted-fair queueing across tenants, and it is what makes a 10⁴-point
+// batch sweep unable to starve an interactive request:
+//
+//   - Lane 0 (interactive) holds characterise and compose jobs; lane 1
+//     (batch) holds sweeps. Workers always drain lane 0 first — strict
+//     priority, safe because interactive jobs are short by construction.
+//   - Within a lane, each tenant has a FIFO of grants and a virtual time
+//     that advances by 1/weight per grant taken; the tenant with the lowest
+//     virtual time goes next. A tenant submitting ten jobs against a
+//     tenant submitting one alternates 1:1 (at equal weight), not 10:1.
+//   - Local batch sweeps do not occupy a worker start-to-finish: runUnit
+//     executes one chunk of Config.LaneGrant points, then the job re-enters
+//     its lane and the worker picks the highest-priority grant again. A
+//     queued interactive job therefore waits at most one chunk (plus
+//     in-flight attempts), whatever the batch backlog — preemption at
+//     lane-grant granularity without killing any work.
+//
+// The queue bound (Config.Queue) counts jobs that have never been granted a
+// worker, exactly the old channel-capacity semantics; a batch job between
+// chunks has started and does not count against intake.
+
+const (
+	laneInteractive = 0
+	laneBatch       = 1
+)
+
+// laneFor classifies a job. Compose jobs are interactive even though they
+// run legs through the sweep engine: their leg counts are small and a PLL
+// composition is the latency-sensitive kind of request.
+func laneFor(j *job) int {
+	if j.kind == "sweep" {
+		return laneBatch
+	}
+	return laneInteractive
+}
+
+// tenantLane is one tenant's queue within one lane.
+type tenantLane struct {
+	jobs   []*job  // FIFO of jobs owed a grant
+	vtime  float64 // virtual time: grants taken / weight
+	weight float64
+}
+
+var errSchedClosed = errors.New("serve: scheduler closed")
+var errSchedFull = errors.New("serve: queue full")
+
+// sched is the two-lane weighted-fair scheduler. All fields are guarded by
+// mu; workers block in next on cond.
+type sched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [2]map[string]*tenantLane
+	closed bool
+	queued int // jobs never yet granted (the intake bound)
+	bound  int
+}
+
+func newSched(bound int) *sched {
+	s := &sched{bound: bound}
+	s.cond = sync.NewCond(&s.mu)
+	s.lanes[laneInteractive] = make(map[string]*tenantLane)
+	s.lanes[laneBatch] = make(map[string]*tenantLane)
+	return s
+}
+
+// tenantLaneLocked materialises the tenant's queue in a lane. A tenant
+// (re)entering an empty queue starts at the lane's minimum active virtual
+// time: it competes fairly from now on but cannot claim credit for the time
+// it was absent (which would let a bursty tenant leapfrog a steady one).
+func (s *sched) tenantLaneLocked(lane int, tenant string, weight float64) *tenantLane {
+	tl, ok := s.lanes[lane][tenant]
+	if !ok {
+		tl = &tenantLane{weight: weight}
+		s.lanes[lane][tenant] = tl
+	}
+	if weight > 0 {
+		tl.weight = weight
+	}
+	if len(tl.jobs) == 0 {
+		if minV, ok := s.minActiveLocked(lane); ok && tl.vtime < minV {
+			tl.vtime = minV
+		}
+	}
+	return tl
+}
+
+func (s *sched) minActiveLocked(lane int) (float64, bool) {
+	minV, ok := 0.0, false
+	for _, tl := range s.lanes[lane] {
+		if len(tl.jobs) == 0 {
+			continue
+		}
+		if !ok || tl.vtime < minV {
+			minV, ok = tl.vtime, true
+		}
+	}
+	return minV, ok
+}
+
+// submit queues a brand-new job (never granted). Fails when the intake bound
+// is reached or the scheduler has closed.
+func (s *sched) submit(j *job, weight float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSchedClosed
+	}
+	if s.bound > 0 && s.queued >= s.bound {
+		return errSchedFull
+	}
+	s.queued++
+	tl := s.tenantLaneLocked(laneFor(j), j.tenant, weight)
+	tl.jobs = append(tl.jobs, j)
+	s.cond.Signal()
+	return nil
+}
+
+// resume enqueues a journal-recovered job. It respects closure (a draining
+// server leaves .wal files for the next start) but not the intake bound:
+// these jobs were admitted by a previous process and are owed a run even if
+// the restarted server has already filled its queue with new work.
+func (s *sched) resume(j *job, weight float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSchedClosed
+	}
+	s.queued++
+	tl := s.tenantLaneLocked(laneFor(j), j.tenant, weight)
+	tl.jobs = append(tl.jobs, j)
+	s.cond.Signal()
+	return nil
+}
+
+// requeue re-enters a started batch job after a chunk — it does not count
+// against the intake bound and is accepted even while draining (started work
+// must finish). The job goes to the back of its tenant FIFO; the vtime
+// charge per grant is what keeps repeated requeues fair.
+func (s *sched) requeue(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl := s.tenantLaneLocked(laneFor(j), j.tenant, 0)
+	tl.jobs = append(tl.jobs, j)
+	s.cond.Signal()
+}
+
+// next blocks until a grant is available and returns its job, or nil when
+// the scheduler is closed and fully drained. Interactive lane first; within
+// a lane, the queued tenant with the lowest virtual time.
+func (s *sched) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for lane := range s.lanes {
+			var best *tenantLane
+			var bestName string
+			for name, tl := range s.lanes[lane] {
+				if len(tl.jobs) == 0 {
+					continue
+				}
+				// Tie-break by name so the scan order of the map cannot make
+				// scheduling non-deterministic.
+				if best == nil || tl.vtime < best.vtime || (tl.vtime == best.vtime && name < bestName) {
+					best, bestName = tl, name
+				}
+			}
+			if best == nil {
+				continue
+			}
+			j := best.jobs[0]
+			best.jobs = best.jobs[1:]
+			best.vtime += 1 / best.weight
+			if !j.granted {
+				j.granted = true
+				s.queued--
+			}
+			serveMetrics.Get().tenantGrants.With(j.tenant).Inc()
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// depth reports jobs accepted but never yet granted a worker — the number
+// the old len(queue-channel) reported.
+func (s *sched) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// close stops intake and wakes every worker; next drains what remains (so
+// queued jobs still reach a terminal state during shutdown) and then
+// returns nil.
+func (s *sched) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

@@ -92,6 +92,18 @@ type Config struct {
 	// (workers, breaker states, in-flight leases) for GET /v1/cluster/status.
 	// Nil on plain nodes: the endpoint then reports only this node's numbers.
 	ClusterStatus func() ([]WorkerStatus, []LeaseStatus)
+	// TenantDefaults is the admission policy applied to every tenant without
+	// an explicit entry in Tenants — including DefaultTenant. The zero value
+	// means no quotas and weight 1. See TenantConfig.
+	TenantDefaults TenantConfig
+	// Tenants overrides the admission policy per tenant name.
+	Tenants map[string]TenantConfig
+	// LaneGrant is how many points of a local batch sweep one scheduler
+	// grant executes before the job yields its worker back to the fair
+	// queue (default 32). Larger grants amortise scheduling overhead;
+	// smaller ones tighten the bound on how long a queued interactive job
+	// waits behind a batch sweep.
+	LaneGrant int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +130,9 @@ func (c Config) withDefaults() Config {
 	} else if c.FlightRecorder < 0 {
 		c.FlightRecorder = 0
 	}
+	if c.LaneGrant <= 0 {
+		c.LaneGrant = 32
+	}
 	return c
 }
 
@@ -125,6 +140,7 @@ func (c Config) withDefaults() Config {
 type job struct {
 	id           string
 	kind         string // "characterise", "sweep" or "compose"
+	tenant       string // admission identity (DefaultTenant when none was sent)
 	specs        []PointSpec
 	compose      *ComposeRequest // non-nil for compose jobs: the composition to run over the legs
 	jobTimeout   time.Duration
@@ -136,22 +152,42 @@ type job struct {
 	cancel   func()
 	events   *eventLog
 	jl       *jobJournal     // nil when journalling is off
+	rf       *resultFile     // spill file for loss-free results (nil = summary-only)
 	idem     string          // Idempotency-Key this job was submitted under ("" = none)
 	trace    *jobTrace       // distributed timeline (always non-nil for runnable jobs)
 	traceCtx obs.SpanContext // trace ID + remote parent from the submit's traceparent
+
+	granted bool     // owned by sched.mu: the job has had its first worker grant
+	exec    *jobExec // owned by the granted worker: cross-chunk execution state
 
 	leaseMu sync.Mutex
 	leaseT  *time.Timer // armed while the lease is live; Reset on renew
 
 	mu                      sync.Mutex
 	state                   string
-	results                 []sweep.PointResult // terminal only
+	legs                    []sweep.PointResult // compose jobs only: leg results for the composition step
 	summaries               []PointSummary      // completed points so far, input order (sparse until terminal)
 	composite               *pll.Result         // compose jobs, terminal only (dies with the process; the summary survives)
 	composeSum              *ComposeSummary     // compose jobs: journaled headline numbers
 	doneN, cachedN, failedN int
 	err                     error
 	wall                    time.Duration
+}
+
+// jobExec is the execution state a job carries between scheduler grants: a
+// chunked batch sweep runs several grants, everything else exactly one. It
+// is created on the first grant and only ever touched by the worker holding
+// the job, so it needs no locking of its own.
+type jobExec struct {
+	start  time.Time
+	span   *obs.Span
+	jtok   *budget.Token
+	points []sweep.Point // resolved specs (local execution only)
+	store  *cache.Store
+	next   int // first point index the next chunk runs
+	onPt   func(res sweep.PointResult)
+	state  string // terminal state once decided ("" = still running)
+	err    error
 }
 
 // emit appends ev to the job's event stream and journals exactly what was
@@ -203,10 +239,12 @@ func (j *job) setState(state string) {
 	j.emit(Event{Type: "state", State: state}, false)
 }
 
-// status snapshots the job for the API.
+// status snapshots the job for the API. The ?full=1 payload decodes off the
+// spill file — the server no longer retains a per-job result slice — so it
+// is present whenever the job is terminal and every point was spilled,
+// including after a journal recovery.
 func (j *job) status(full bool) JobStatus {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:           j.id,
 		Kind:         j.kind,
@@ -224,11 +262,16 @@ func (j *job) status(full bool) JobStatus {
 		}
 	}
 	st.Compose = j.composeSum
-	if full && j.results != nil {
-		st.Full = j.results
-	}
 	if full {
 		st.ComposeResult = j.composite
+	}
+	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+	j.mu.Unlock()
+	if full && terminal {
+		if res := j.rf.decodeAll(); res != nil {
+			serveMetrics.Get().resultReads.With("full").Inc()
+			st.Full = res
+		}
 	}
 	return st
 }
@@ -248,7 +291,9 @@ type Server struct {
 	mux     *http.ServeMux
 	root    *budget.Token
 	stop    func()
-	queue   chan *job
+	sched   *sched
+	tenants *tenants
+	results *resultStore // nil: spill unavailable, jobs serve summaries only
 	wg      sync.WaitGroup
 	journal *journal      // nil when journalling is off
 	drainCh chan struct{} // closed when draining starts; stops the replayer
@@ -276,7 +321,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		root:    root,
 		stop:    stop,
-		queue:   make(chan *job, cfg.Queue),
+		sched:   newSched(cfg.Queue),
+		tenants: newTenants(cfg.TenantDefaults, cfg.Tenants),
+		results: newResultStore(cfg.JournalDir),
 		drainCh: make(chan struct{}),
 		jobs:    make(map[string]*job),
 		idem:    make(map[string]idemEntry),
@@ -296,6 +343,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/compose", s.handleCompose)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/results.jsonl", s.handleResultsJSONL)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
@@ -354,24 +403,29 @@ func (s *Server) BeginDrain() {
 // enqueued keep their .wal files and resume on the next start.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
-	// The replayer must stop before the queue closes (a blocked enqueue on a
-	// closing channel would panic); drainCh has already told it to bail.
+	// The replayer must stop before the scheduler closes (a resumed job must
+	// not land on a closed queue); drainCh has already told it to bail.
 	s.replay.Wait()
-	s.closeQ.Do(func() { close(s.queue) })
+	s.closeQ.Do(func() { s.sched.close() })
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.stop() // cancel root token: every job token trips
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// A journal-less store lives in a temp dir; release it with the workers
+	// gone (terminal jobs lose their ?full payloads, as they always did
+	// without a journal — the process is exiting anyway).
+	s.results.close()
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -485,6 +539,23 @@ func idemFingerprint(kind string, specs []PointSpec, timeoutMS int64, workers in
 // restarts through the journal header.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, specs []PointSpec, timeoutMS int64, workers int, noCache bool, leaseTTLMS int64, compose *ComposeRequest) {
 	m := serveMetrics.Get()
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	} else if !validTenant(tenant) {
+		m.rejected.With("bad_request").Inc()
+		writeErr(w, http.StatusBadRequest, "invalid %s header (want [A-Za-z0-9._-]{1,64})", TenantHeader)
+		return
+	}
+	// The quota-check fault point sits in front of admission: ModeError
+	// rejects as if the tenant were over quota, ModeDelay slows the path.
+	if err := faultinject.Fire(faultinject.ServeQuotaCheck); err != nil {
+		m.rejected.With("tenant_rate").Inc()
+		m.tenantRejected.With(tenant).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "tenant %q over submit quota: %v", tenant, err)
+		return
+	}
 	for i, sp := range specs {
 		if err := sp.validate(); err != nil {
 			m.rejected.With("bad_request").Inc()
@@ -520,6 +591,25 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		s.mu.Unlock()
 	}
 
+	// Tenant admission: charge the token bucket and claim an in-flight slot
+	// before the job touches the journal or the queue. Downstream rejections
+	// (queue full, draining, idempotency race) roll the charge back.
+	if reason, retryAfter := s.tenants.admit(tenant); reason != "" {
+		m.rejected.With(reason).Inc()
+		m.tenantRejected.With(tenant).Inc()
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		what := "submit-rate"
+		if reason == "tenant_inflight" {
+			what = "in-flight"
+		}
+		writeErr(w, http.StatusTooManyRequests, "tenant %q over its %s quota", tenant, what)
+		return
+	}
+
 	// The submit's traceparent header roots the job in the caller's
 	// distributed trace (pnclient injects it; the coordinator's lease
 	// dispatches carry the attempt span). Absent or malformed, the job
@@ -532,6 +622,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	tok, cancel := budget.WithCancel(s.root)
 	j := &job{
 		kind:         kind,
+		tenant:       tenant,
 		specs:        specs,
 		compose:      compose,
 		jobTimeout:   time.Duration(timeoutMS) * time.Millisecond,
@@ -546,11 +637,17 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 		state:        StateQueued,
 		summaries:    make([]PointSummary, len(specs)),
 	}
+	if compose != nil {
+		// Compose legs feed buildConfig positionally; keep them index-ordered
+		// whatever order they complete in.
+		j.legs = make([]sweep.PointResult, len(specs))
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		cancel()
+		s.tenants.unadmit(tenant)
 		m.rejected.With("draining").Inc()
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -562,6 +659,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 			prior := s.jobs[ent.id]
 			s.mu.Unlock()
 			cancel()
+			s.tenants.unadmit(tenant)
 			if ent.fp != idemFP || prior == nil {
 				m.rejected.With("idem_mismatch").Inc()
 				writeErr(w, http.StatusConflict, "Idempotency-Key %q was used with a different request body", idemKey)
@@ -580,23 +678,29 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	// handle. Both land before the queue send, so everything a worker reads
 	// (id, the queued event) is in place before the job becomes visible.
 	j.jl = s.journal.create(jrecord{
-		ID: j.id, Kind: kind, Specs: specs, TimeoutMS: timeoutMS,
+		ID: j.id, Kind: kind, Tenant: tenant, Specs: specs, TimeoutMS: timeoutMS,
 		Workers: workers, NoCache: noCache, Idem: idemKey, IdemFP: idemFP,
 		LeaseTTLMS: leaseTTLMS, Trace: traceCtx.Traceparent(), Compose: compose,
 	})
 	j.trace = newJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
+	// The spill file is opened (and its header fsync'd) while the job is
+	// still invisible: every reader that can find the job sees the same rf
+	// pointer for its whole life. A nil rf (store unavailable, disk trouble)
+	// degrades this job to summary-only service.
+	j.rf = s.results.open(j.id, len(specs))
 	j.emit(Event{Type: "state", State: StateQueued}, false)
-	// The gauge rises before the send so the worker's decrement (not under
+	// The gauge rises before the enqueue so the worker's decrement (not under
 	// s.mu) can never be observed ahead of it leaving the depth negative
 	// forever; a momentary scrape race is the worst case.
 	m.queueDepth.Add(1)
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.sched.submit(j, s.tenants.weight(tenant)); err != nil {
 		s.mu.Unlock()
 		cancel()
+		s.tenants.unadmit(tenant)
 		j.jl.discard() // an unqueued job must not be resurrected on restart
 		j.trace.discard(tracePath(s.cfg.JournalDir, j.id))
+		j.rf.closeFile()
+		s.results.remove(j.id)
 		m.queueDepth.Add(-1)
 		m.rejected.With("queue_full").Inc()
 		w.Header().Set("Retry-After", "1")
@@ -616,6 +720,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, spe
 	// reassign instead of waiting on a pickup that never comes.
 	j.armLease()
 	m.submitted.With(kind).Inc()
+	m.tenantJobs.With(tenant).Inc()
 	writeJSON(w, http.StatusAccepted, j.status(false))
 }
 
@@ -642,6 +747,8 @@ func (s *Server) evictLocked() {
 				}
 				s.journal.remove(id)
 				j.trace.discard(tracePath(s.cfg.JournalDir, id))
+				j.rf.closeFile()
+				s.results.remove(id)
 				evicted = true
 				break
 			}
@@ -666,6 +773,89 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status(r.URL.Query().Get("full") == "1"))
+}
+
+// handleResults serves a page of loss-free point results straight off the
+// job's spill file: ?offset= is the first point index, ?limit= the page
+// width (default 256, capped at 4096). Pages work on running jobs (frames
+// appear as points complete; never-spilled indices are skipped) and on
+// journal-recovered ones — each returned element is the point's exact codec
+// bytes, so a paginating client reassembles the same payload ?full=1 used
+// to ship in one body.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	q := r.URL.Query()
+	offset, limit := 0, 256
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		offset = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	if limit > 4096 {
+		limit = 4096
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	spilled, _, degraded := j.rf.snapshot()
+	page := ResultsPage{
+		JobID:    j.id,
+		State:    state,
+		Total:    len(j.specs),
+		Spilled:  spilled,
+		Offset:   offset,
+		Degraded: degraded,
+		Results:  []json.RawMessage{},
+	}
+	frames, err := j.rf.page(offset, limit)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading results: %v", err)
+		return
+	}
+	if frames != nil {
+		page.Results = frames
+	}
+	if end := offset + limit; end < len(j.specs) {
+		page.NextOffset = &end
+	}
+	serveMetrics.Get().resultReads.With("page").Inc()
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleResultsJSONL streams every spilled result as one codec line per
+// point, in index order — the loss-free bulk download that replaces pulling
+// a giant ?full=1 body, and the first loss-free retrieval path that works on
+// journal-recovered jobs. The stream is a snapshot: a running job yields the
+// points spilled so far.
+func (s *Server) handleResultsJSONL(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.rf == nil {
+		writeErr(w, http.StatusNotFound, "no loss-free results for this job (result store unavailable)")
+		return
+	}
+	serveMetrics.Get().resultReads.With("jsonl").Inc()
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	_ = j.rf.writeJSONL(w) // mid-stream errors can only truncate; the client sees a short read
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -733,7 +923,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
 		j.mu.Unlock()
 	}
 	s.mu.Unlock()
-	st := ClusterStatus{Draining: draining, QueueDepth: len(s.queue), RunningJobs: running}
+	st := ClusterStatus{Draining: draining, QueueDepth: s.sched.depth(), RunningJobs: running}
 	if s.cfg.ClusterStatus != nil {
 		st.Coordinator = true
 		st.Workers, st.Leases = s.cfg.ClusterStatus()
@@ -772,7 +962,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		j.mu.Unlock()
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{OK: true, Draining: draining, Queued: len(s.queue), Running: running})
+	writeJSON(w, http.StatusOK, Health{OK: true, Draining: draining, Queued: s.sched.depth(), Running: running})
 }
 
 // handleReady is readiness: 503 while draining (stop sending traffic here)
@@ -784,10 +974,10 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	ready, draining := s.ready, s.draining
 	s.mu.Unlock()
 	if !ready || draining {
-		writeJSON(w, http.StatusServiceUnavailable, Health{OK: false, Draining: draining, Queued: len(s.queue)})
+		writeJSON(w, http.StatusServiceUnavailable, Health{OK: false, Draining: draining, Queued: s.sched.depth()})
 		return
 	}
-	writeJSON(w, http.StatusOK, Health{OK: true, Queued: len(s.queue)})
+	writeJSON(w, http.StatusOK, Health{OK: true, Queued: s.sched.depth()})
 }
 
 // handleEvents streams the job's event log as Server-Sent Events: full
@@ -842,19 +1032,39 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // worker pulls jobs off the queue until Shutdown closes it.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		j := s.sched.next()
+		if j == nil {
+			return // scheduler closed and drained
+		}
+		s.runUnit(j)
 	}
 }
 
-// runJob executes one job end to end: resolve specs to sweep points under the
-// job token, run the batch through internal/sweep (cache, retry ladder, panic
-// isolation and all), and classify the terminal state.
-func (s *Server) runJob(j *job) {
+// runUnit executes one scheduler grant: the whole body for interactive and
+// runner-delegated jobs, one LaneGrant chunk for a local batch sweep. A
+// chunked job that is not yet terminal re-enters its lane — that requeue is
+// the preemption point where a waiting interactive job (or another tenant)
+// can take the worker.
+func (s *Server) runUnit(j *job) {
+	if j.exec == nil {
+		s.beginJob(j)
+	}
+	s.stepJob(j)
+	if j.exec.state == "" {
+		s.sched.requeue(j)
+		return
+	}
+	s.finishJob(j)
+}
+
+// beginJob runs once per job, on its first grant: state transition, root
+// span, the composed budget token, and the per-point completion hook that
+// spills every loss-free result to the job's file the moment it lands.
+func (s *Server) beginJob(j *job) {
 	m := serveMetrics.Get()
 	m.queueDepth.Add(-1)
 	m.inflight.Add(1)
-	start := time.Now()
 	// The root span joins the submit's trace (remote parent = the client's or
 	// coordinator's span) and emits both into the job's own trace buffer and,
 	// when process-wide tracing is on, the global emitter.
@@ -862,40 +1072,8 @@ func (s *Server) runJob(j *job) {
 	span.SetAttr("id", j.id)
 	span.SetAttr("kind", j.kind)
 	span.SetAttr("points", len(j.specs))
-
-	state, jobErr := s.executeJob(j, span)
-	j.stopLease()
-
-	j.mu.Lock()
-	j.state = state
-	j.err = jobErr
-	j.wall = time.Since(start)
-	j.mu.Unlock()
-	// The terminal event carries the job-level error and is fsync'd + rotated
-	// (.wal → .jsonl) before subscribers see the stream close: a crash after
-	// this line replays as a finished job, never as a re-run.
-	j.emit(Event{Type: "state", State: state, Error: sweep.EncodeError(jobErr)}, true)
-	j.events.close()
-	j.cancel() // release the token's forwarding goroutine
-
-	m.inflight.Add(-1)
-	m.jobs.With(state).Inc()
-	m.jobSeconds.Observe(time.Since(start).Seconds())
-	span.SetAttr("state", state)
-	span.EndErr(jobErr)
-	// The timeline stays queryable from memory; the file handle is released
-	// now that the last span has landed (eviction deletes the file later).
-	j.trace.close()
-}
-
-// executeJob does the work of runJob and returns the terminal state plus the
-// job-level error (nil for StateDone). span is the job's root span; the whole
-// sweep subtree is parented under it. Compose jobs run their composition step
-// after the legs finish, whichever path (in-process or Runner) computed them
-// — a coordinator leases compose legs out to workers like sweep points and
-// composes locally from the collected results.
-func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 	j.setState(StateRunning)
+
 	jtok := j.tok
 	if j.jobTimeout > 0 {
 		jtok = budget.WithTimeout(jtok, j.jobTimeout)
@@ -903,95 +1081,142 @@ func (s *Server) executeJob(j *job, span *obs.Span) (string, error) {
 	if s.cfg.MaxJobWall > 0 {
 		jtok = budget.WithTimeout(jtok, s.cfg.MaxJobWall)
 	}
-
-	if len(j.specs) > 0 {
-		var state string
-		var err error
-		if s.cfg.Runner != nil {
-			state, err = s.runViaRunner(j, jtok, span)
-		} else {
-			state, err = s.runLocal(j, jtok, span)
+	ex := &jobExec{start: time.Now(), span: span, jtok: jtok}
+	ex.onPt = func(r sweep.PointResult) {
+		// Spill before summarising: once the summary is visible the loss-free
+		// payload must already be durable-ish (same ordering as emit-then-ack
+		// in the journal). Append failures degrade the file, never the job.
+		_ = j.rf.appendResult(&r)
+		sum := summarize(&r)
+		j.mu.Lock()
+		if j.legs != nil && r.Index >= 0 && r.Index < len(j.legs) {
+			j.legs[r.Index] = r // compose legs feed the composition step
 		}
-		if err != nil {
-			return state, err
+		j.summaries[r.Index] = sum
+		j.doneN++
+		if r.Cached {
+			j.cachedN++
 		}
+		if !r.OK() {
+			j.failedN++
+		}
+		j.mu.Unlock()
+		j.emit(Event{Type: "point", Point: &sum}, false)
 	}
-	if j.compose != nil {
-		if state, err := s.composeJob(j, jtok, span); err != nil {
-			return state, err
-		}
-	}
-	return StateDone, nil
+	j.exec = ex
 }
 
-// runLocal resolves the specs and runs them through the in-process sweep
-// engine. Returns ("", nil) on success.
-func (s *Server) runLocal(j *job, jtok *budget.Token, span *obs.Span) (string, error) {
-	points := make([]sweep.Point, len(j.specs))
-	for i, sp := range j.specs {
-		pt, err := sp.Resolve(jtok)
-		if err != nil {
-			return classify(err), fmt.Errorf("point %d: %w", i, err)
+// stepJob advances the job by one grant. It records the terminal outcome on
+// j.exec when the job is finished (or failed) and leaves exec.state empty
+// when a local batch sweep still has chunks to run.
+func (s *Server) stepJob(j *job) {
+	ex := j.exec
+	if len(j.specs) > 0 && s.cfg.Runner != nil && ex.next == 0 {
+		ex.next = len(j.specs)
+		if state, err := s.runViaRunner(j); err != nil {
+			ex.state, ex.err = state, err
+			return
 		}
-		points[i] = pt
 	}
-
-	store := s.cfg.Cache
-	if j.noCache {
-		store = nil
+	if len(j.specs) > 0 && s.cfg.Runner == nil {
+		if ex.points == nil {
+			pts := make([]sweep.Point, len(j.specs))
+			for i, sp := range j.specs {
+				pt, err := sp.Resolve(ex.jtok)
+				if err != nil {
+					ex.state, ex.err = classify(err), fmt.Errorf("point %d: %w", i, err)
+					return
+				}
+				pts[i] = pt
+			}
+			ex.points = pts
+			ex.store = s.cfg.Cache
+			if j.noCache {
+				ex.store = nil
+			}
+		}
+		for ex.next < len(ex.points) {
+			a, b := ex.next, ex.next+s.cfg.LaneGrant
+			if j.kind != "sweep" || ex.jtok.Err() != nil || b > len(ex.points) {
+				// Interactive jobs run whole (their point counts are small);
+				// a dead budget drains the remainder in one pass — the engine
+				// delivers every never-started point as skipped, so the
+				// terminal job still accounts for all of them.
+				b = len(ex.points)
+			}
+			s.runChunk(j, a, b)
+			ex.next = b
+			if ex.next < len(ex.points) && ex.jtok.Err() == nil {
+				return // yield the worker; the scheduler picks who runs next
+			}
+		}
 	}
-	results := sweep.Run(points, &sweep.Config{
-		Workers:        j.sweepWorkers,
-		Budget:         jtok,
-		Cache:          store,
-		Span:           span,
-		FlightRecorder: s.cfg.FlightRecorder,
-		OnPoint: func(r sweep.PointResult) {
-			sum := summarize(&r)
-			j.mu.Lock()
-			j.summaries[r.Index] = sum
-			j.doneN++
-			if r.Cached {
-				j.cachedN++
-			}
-			if !r.OK() {
-				j.failedN++
-			}
-			j.mu.Unlock()
-			j.emit(Event{Type: "point", Point: &sum}, false)
-		},
-	})
-
-	j.mu.Lock()
-	j.results = results
-	j.mu.Unlock()
-
 	// A tripped job token is a job-level outcome (cancel endpoint, shutdown,
 	// or the job's own deadline); per-point failures under a live token are
 	// data, not a job failure.
-	if err := jtok.Err(); err != nil {
-		return classify(err), err
+	if err := ex.jtok.Err(); err != nil {
+		ex.state, ex.err = classify(err), err
+		return
 	}
-	return "", nil
+	if j.compose != nil {
+		if state, err := s.composeJob(j, ex.jtok, ex.span); err != nil {
+			ex.state, ex.err = state, err
+			return
+		}
+	}
+	ex.state = StateDone
+}
+
+// runChunk runs points [a, b) through the in-process sweep engine. The engine
+// sees a zero-based sub-slice; results are re-indexed to job coordinates
+// before the completion hook. DiscardResults keeps the engine from returning
+// an O(chunk) slice nobody reads — the spill file is the system of record.
+func (s *Server) runChunk(j *job, a, b int) {
+	ex := j.exec
+	sweep.Run(ex.points[a:b], &sweep.Config{
+		Workers:        j.sweepWorkers,
+		Budget:         ex.jtok,
+		Cache:          ex.store,
+		Span:           ex.span,
+		FlightRecorder: s.cfg.FlightRecorder,
+		DiscardResults: true,
+		OnPoint: func(r sweep.PointResult) {
+			r.Index += a
+			ex.onPt(r)
+		},
+	})
 }
 
 // runViaRunner executes the job through the configured SweepRunner (a
 // cluster coordinator, in practice) and returns ("", nil) on success.
 // Per-point progress arrives through OnSummary — possibly concurrently from
 // several worker streams — and is folded into the job's counters and SSE
-// stream exactly like the in-process path's OnPoint hook; summaries are
+// stream exactly like the in-process path's hook; the loss-free payloads
+// arrive through OnResult and go straight to the spill file. Both are
 // trusted to arrive at most once per index, but an out-of-range index is
 // dropped rather than corrupting state.
-func (s *Server) runViaRunner(j *job, jtok *budget.Token, span *obs.Span) (string, error) {
-	results, runErr := s.cfg.Runner.RunSweep(RunnerRequest{
+func (s *Server) runViaRunner(j *job) (string, error) {
+	ex := j.exec
+	runErr := s.cfg.Runner.RunSweep(RunnerRequest{
 		JobID:       j.id,
 		Kind:        j.kind,
 		Specs:       j.specs,
-		Tok:         jtok,
+		Tok:         ex.jtok,
 		Workers:     j.sweepWorkers,
 		NoCache:     j.noCache,
-		Span:        span,
+		Span:        ex.span,
 		IngestTrace: j.trace.ingest,
+		OnResult: func(r sweep.PointResult) {
+			if r.Index < 0 || r.Index >= len(j.specs) {
+				return
+			}
+			_ = j.rf.appendResult(&r)
+			if j.legs != nil {
+				j.mu.Lock()
+				j.legs[r.Index] = r
+				j.mu.Unlock()
+			}
+		},
 		OnSummary: func(sum PointSummary) {
 			if sum.Index < 0 || sum.Index >= len(j.specs) {
 				return
@@ -1010,17 +1235,49 @@ func (s *Server) runViaRunner(j *job, jtok *budget.Token, span *obs.Span) (strin
 		},
 	})
 
-	j.mu.Lock()
-	j.results = results
-	j.mu.Unlock()
-
 	if runErr != nil {
 		return classify(runErr), runErr
 	}
-	if err := jtok.Err(); err != nil {
+	if err := ex.jtok.Err(); err != nil {
 		return classify(err), err
 	}
 	return "", nil
+}
+
+// finishJob settles the terminal state recorded by stepJob: the fsync'd +
+// rotated terminal event, sealed spill file, released tenant slot, metrics
+// and the closed trace.
+func (s *Server) finishJob(j *job) {
+	m := serveMetrics.Get()
+	ex := j.exec
+	state, jobErr := ex.state, ex.err
+	j.stopLease()
+	// Free the tenant's in-flight slot before the terminal state becomes
+	// visible: a client that polls its job to completion and immediately
+	// resubmits must never bounce off its own finishing job's slot.
+	s.tenants.release(j.tenant)
+
+	j.mu.Lock()
+	j.state = state
+	j.err = jobErr
+	j.wall = time.Since(ex.start)
+	j.mu.Unlock()
+	// The terminal event carries the job-level error and is fsync'd + rotated
+	// (.wal → .jsonl) before subscribers see the stream close: a crash after
+	// this line replays as a finished job, never as a re-run.
+	j.emit(Event{Type: "state", State: state, Error: sweep.EncodeError(jobErr)}, true)
+	j.events.close()
+	j.cancel() // release the token's forwarding goroutine
+	j.rf.seal()
+
+	m.inflight.Add(-1)
+	m.jobs.With(state).Inc()
+	m.jobSeconds.Observe(time.Since(ex.start).Seconds())
+	ex.span.SetAttr("state", state)
+	ex.span.EndErr(jobErr)
+	// The timeline stays queryable from memory; the file handle is released
+	// now that the last span has landed (eviction deletes the file later).
+	j.trace.close()
 }
 
 // classify maps a job-level error to its terminal state.
@@ -1059,8 +1316,10 @@ func (s *Server) recoverJobs() {
 }
 
 // restoreTerminal registers a finished job from its journal: queryable status
-// and replayable (closed) event stream, but no loss-free ?full=1 payload —
-// that died with the old process; the summaries carry every headline number.
+// and replayable (closed) event stream. When the job's spill file survived
+// alongside the WAL, the loss-free results come back with it — ?full=1,
+// /results pages and /results.jsonl all work across the restart; only a job
+// with no spill (pre-store journals, degraded runs) is summary-only.
 func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 	tok, cancel := budget.WithCancel(nil)
 	cancel() // nothing will run; release the token immediately
@@ -1068,6 +1327,7 @@ func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 	j := &job{
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
+		tenant:       recoveredTenant(rj.hdr),
 		specs:        rj.hdr.Specs,
 		compose:      rj.hdr.Compose,
 		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
@@ -1081,6 +1341,8 @@ func (s *Server) restoreTerminal(rj recoveredJob, m *serveInstruments) {
 		state:        rj.state,
 		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
 	}
+	j.rf = s.results.openExisting(j.id, len(j.specs))
+	j.rf.seal() // terminal: frozen read-only, late appends no-op
 	j.trace = reopenJobTrace(traceCtx.Trace, tracePath(s.cfg.JournalDir, j.id))
 	j.trace.close() // terminal: the timeline is read-only from here
 	if rj.err != nil {
@@ -1114,6 +1376,7 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 	j := &job{
 		id:           rj.hdr.ID,
 		kind:         rj.hdr.Kind,
+		tenant:       recoveredTenant(rj.hdr),
 		specs:        rj.hdr.Specs,
 		compose:      rj.hdr.Compose,
 		jobTimeout:   time.Duration(rj.hdr.TimeoutMS) * time.Millisecond,
@@ -1129,6 +1392,13 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 		state:        StateQueued,
 		summaries:    make([]PointSummary, len(rj.hdr.Specs)),
 	}
+	if j.compose != nil {
+		j.legs = make([]sweep.PointResult, len(j.specs))
+	}
+	// The re-run re-reports every point (pre-crash ones as cache hits); the
+	// reopened spill dedups by index, so frames that landed before the crash
+	// stay exactly as first written.
+	j.rf = s.results.open(j.id, len(j.specs))
 	// The pre-crash timeline is reloaded and the same trace ID continues; a
 	// resume marker records the restart itself — in-flight span trees died
 	// unemitted with the old process, and this marker is what explains the
@@ -1143,29 +1413,41 @@ func (s *Server) resumeJob(rj recoveredJob, m *serveInstruments) bool {
 	// worker before the job self-cancels.
 	j.armLease()
 	m.queueDepth.Add(1)
-	select {
-	case s.queue <- j:
+	if s.sched.resume(j, s.tenants.weight(j.tenant)) == nil {
+		// The previous process admitted this job; re-claim its in-flight slot
+		// (without charging the submit bucket) so quota accounting survives
+		// the restart.
+		s.tenants.restore(j.tenant)
 		m.recovered.With("resumed").Inc()
 		return true
-	case <-s.drainCh:
-		// Shutting down before this job could re-enter the queue: unregister
-		// and keep its .wal on disk so the next start resumes it.
-		cancel()
-		m.queueDepth.Add(-1)
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		for i, id := range s.order {
-			if id == j.id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		if j.idem != "" {
-			delete(s.idem, j.idem)
-		}
-		s.mu.Unlock()
-		return false
 	}
+	// Shutting down before this job could re-enter the queue: unregister
+	// and keep its .wal on disk so the next start resumes it.
+	cancel()
+	j.rf.closeFile()
+	m.queueDepth.Add(-1)
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if j.idem != "" {
+		delete(s.idem, j.idem)
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// recoveredTenant maps a journal header to its admission identity; journals
+// written before tenancy existed carry no tenant and fold into the default.
+func recoveredTenant(hdr jrecord) string {
+	if validTenant(hdr.Tenant) {
+		return hdr.Tenant
+	}
+	return DefaultTenant
 }
 
 // register adds a recovered job to the server's tables (including the

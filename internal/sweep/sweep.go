@@ -244,6 +244,12 @@ type Config struct {
 	// carries its own bounded timeline — even when process-wide tracing is
 	// off. 0 disables the recorder.
 	FlightRecorder int
+	// DiscardResults makes Run release each point's result right after its
+	// OnPoint delivery and return nil instead of the accumulated slice — the
+	// memory-bounding mode for huge sweeps whose results stream somewhere
+	// else (a spill file, a network sink) as they complete. OnPoint is the
+	// only way to observe results in this mode.
+	DiscardResults bool
 }
 
 // Retryable reports whether err is a refinable pipeline failure — one the
@@ -384,6 +390,11 @@ func Run(points []Point, cfg *Config) []PointResult {
 		m.pointSeconds.Observe(out[k].Wall.Seconds())
 		m.queueDepth.Add(-1)
 		done(out[k])
+		if c.DiscardResults {
+			// The hook has seen the result; drop the engine's reference so a
+			// huge sweep retains O(workers), not O(points), result payloads.
+			out[k] = PointResult{}
+		}
 	}
 
 	// A unit is what one worker picks up in one go: a single point's retry
@@ -427,6 +438,9 @@ feed:
 	close(next)
 	wg.Wait()
 	rsp.End()
+	if c.DiscardResults {
+		return nil
+	}
 	return out
 }
 

@@ -79,6 +79,13 @@ var gated = []struct {
 	{"./internal/pll", []string{
 		"BenchmarkPLLCompose",
 	}},
+	// The spill store is on every served point's path (append) and every
+	// result download's path (page); the benchmark keeps file creation and
+	// cleanup off the clock, so what's gated is the steady-state frame
+	// traffic, which is page-cache-backed and low-spread.
+	{"./internal/serve", []string{
+		"BenchmarkResultSpill",
+	}},
 }
 
 // speedupNum / speedupDen name the benchmark pair whose ns/op ratio must

@@ -247,4 +247,66 @@ for pid in "${CLUSTER_PIDS[2]}" "${CLUSTER_PIDS[1]}" "${CLUSTER_PIDS[0]}"; do
 done
 CLUSTER_PIDS=()
 
+# --- Overload phase: streamed/paginated results + per-tenant quotas ---------
+
+TBASE="http://127.0.0.1:$((PORT + 4))"
+echo "smoke_serve: overload phase — tenant quotas, paginated and streamed results"
+"$TMP/pnserve" -addr "127.0.0.1:$((PORT + 4))" -workers 2 \
+  -cache-dir "$TMP/tcache" -journal-dir "$TMP/tjournal" \
+  -tenant-quotas 'throttled=1:1:0:1' \
+  >"$TMP/tenant.log" 2>&1 &
+SERVER_PID=$!
+wait_ready "$TBASE" "$SERVER_PID" "overload-phase server"
+
+RSWEEP='{"points":[{"name":"p0","model":"hopf","params":{"lambda":1,"omega":7,"sigma":0.02}},{"name":"p1","model":"hopf","params":{"lambda":1,"omega":8,"sigma":0.02}},{"name":"p2","model":"hopf","params":{"lambda":1,"omega":9,"sigma":0.02}},{"name":"p3","model":"hopf","params":{"lambda":1,"omega":10,"sigma":0.02}},{"name":"p4","model":"hopf","params":{"lambda":1,"omega":11,"sigma":0.02}}],"workers":2,"timeout_ms":120000}'
+resp="$(curl -sf "$TBASE/v1/sweep" -d "$RSWEEP")" || fail "overload-phase sweep submit failed"
+rid="$(json_field id <<<"$resp")"
+[[ -n "$rid" ]] || fail "no job id in overload-phase response: $resp"
+for i in $(seq 1 300); do
+  rjob="$(curl -sf "$TBASE/v1/jobs/$rid")" || fail "status fetch failed for $rid"
+  rstate="$(json_field state <<<"$rjob")"
+  case "$rstate" in
+    done) break ;;
+    failed|canceled) fail "overload-phase job $rid ended $rstate: $rjob" ;;
+  esac
+  sleep 0.2
+  [[ $i -eq 300 ]] && fail "overload-phase job $rid never finished: $rjob"
+done
+
+echo "smoke_serve: paginated results window"
+page="$(curl -sf "$TBASE/v1/jobs/$rid/results?offset=0&limit=2")" || fail "paginated results fetch failed"
+grep -q '"total":5' <<<"$page" || fail "results page total wrong: $page"
+grep -q '"spilled":5' <<<"$page" || fail "results page spilled wrong: $page"
+grep -q '"next_offset":2' <<<"$page" || fail "results page cursor wrong: $page"
+npage="$(grep -o '"index":' <<<"$page" | wc -l)"
+[[ "$npage" -eq 2 ]] || fail "results page carried $npage results, want 2"
+
+echo "smoke_serve: streaming JSONL download"
+curl -sf "$TBASE/v1/jobs/$rid/results.jsonl" >"$TMP/results.jsonl" \
+  || fail "results.jsonl fetch failed"
+nlines="$(wc -l <"$TMP/results.jsonl")"
+[[ "$nlines" -eq 5 ]] || fail "results.jsonl carried $nlines lines, want 5"
+nfull="$(grep -c '"result":' "$TMP/results.jsonl")"
+[[ "$nfull" -eq 5 ]] || fail "only $nfull/5 jsonl lines carry the loss-free payload"
+
+echo "smoke_serve: per-tenant quota enforcement"
+code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-PN-Tenant: throttled' -d "$REQ" "$TBASE/v1/characterise")"
+[[ "$code" == "202" ]] || fail "throttled tenant's first submit answered $code, want 202"
+over="$(curl -si -H 'X-PN-Tenant: throttled' -d "$REQ" "$TBASE/v1/characterise")"
+grep -q '^HTTP/[0-9.]* 429' <<<"$over" || fail "throttled tenant's burst-exceeding submit was not 429: $over"
+grep -qi '^retry-after: [0-9]' <<<"$over" || fail "tenant 429 carried no Retry-After: $over"
+code="$(curl -s -o /dev/null -w '%{http_code}' -d "$REQ" "$TBASE/v1/characterise")"
+[[ "$code" == "202" ]] || fail "default tenant was collateral damage of the throttled one: $code"
+
+echo "smoke_serve: checking overload metrics"
+rejected="$(metric_count "$TBASE" 'pn_serve_tenant_rejected_total{tenant="throttled"}')"
+[[ "$rejected" -ge 1 ]] || fail "throttled tenant's rejection was not counted"
+spilled="$(metric_count "$TBASE" 'pn_serve_results_spilled_total')"
+[[ "$spilled" -ge 5 ]] || fail "expected >= 5 spilled results, got $spilled"
+
+echo "smoke_serve: draining the overload-phase server"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "overload-phase server exited non-zero on drain"
+SERVER_PID=""
+
 echo "smoke_serve: PASS"
